@@ -1,0 +1,176 @@
+//! NPB BT- and SP-like kernels: ADI sweeps on a square process grid.
+//!
+//! Both solvers decompose the domain over a `q × q` grid (NPB requires a
+//! square process count; ranks beyond `q²` only join the collectives)
+//! and per iteration run three directional sweeps, each combining block
+//! solves with `MPI_Sendrecv` exchanges along grid rows/columns. BT does
+//! more work per cell with fewer iterations; SP is lighter and chattier.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_lang::Expr;
+use scalana_mpisim::MachineConfig;
+
+struct GridSolver {
+    name: &'static str,
+    file: &'static str,
+    points: i64,
+    iterations: i64,
+    /// Cycles of solver work per local point per sweep.
+    work: i64,
+    description: &'static str,
+}
+
+/// Build the BT-like app.
+pub fn build_bt() -> App {
+    build_grid(GridSolver {
+        name: "BT",
+        file: "bt.f",
+        points: 12_000_000,
+        iterations: 8,
+        work: 26,
+        description: "NPB BT-like: block-tridiagonal ADI sweeps on a square grid",
+    })
+}
+
+/// Build the SP-like app.
+pub fn build_sp() -> App {
+    build_grid(GridSolver {
+        name: "SP",
+        file: "sp.f",
+        points: 9_000_000,
+        iterations: 14,
+        work: 14,
+        description: "NPB SP-like: scalar-pentadiagonal ADI sweeps on a square grid",
+    })
+}
+
+fn build_grid(spec: GridSolver) -> App {
+    let mut b = ProgramBuilder::new(spec.file);
+    b.param("NPOINTS", spec.points);
+    b.param("NITER", spec.iterations);
+    b.param("WORK", spec.work);
+
+    b.function("main", &[], |f| {
+        // Largest q with q*q <= nprocs.
+        f.let_("q", int(1));
+        f.while_(
+            le((var("q") + int(1)) * (var("q") + int(1)), nprocs()),
+            |f| {
+                f.assign("q", var("q") + int(1));
+            },
+        );
+        f.let_("active", var("q") * var("q"));
+        f.let_("local", var("NPOINTS") / var("active"));
+        f.bcast(int(0), int(64));
+        f.for_("it", int(0), var("NITER"), |f| {
+            f.if_(lt(rank(), var("active")), |f| {
+                // Three directional sweeps (x, y, z).
+                f.call("sweep_x", vec![var("local"), var("q")]);
+                f.call("sweep_y", vec![var("local"), var("q")]);
+                f.call("sweep_z", vec![var("local"), var("q")]);
+            });
+            f.allreduce(int(40));
+        });
+        f.reduce(int(0), int(8));
+    });
+
+    let face = |local: Expr, q: Expr| max(local * int(8) / max(q, int(1)), int(128));
+
+    // Row exchange: neighbours within the grid row (periodic).
+    b.function("sweep_x", &["local", "q"], |f| {
+        f.let_("row", rank() / var("q"));
+        f.let_("col", rank() % var("q"));
+        f.at(spec.file, 2000);
+        f.comp(
+            comp_cycles(var("local") * var("WORK"))
+                .ins(var("local") * var("WORK"))
+                .lst(var("local") * (var("WORK") / int(3) + int(1)))
+                .miss(var("local") / int(35)),
+        );
+        f.let_("east", var("row") * var("q") + (var("col") + int(1)) % var("q"));
+        f.let_(
+            "west",
+            var("row") * var("q") + (var("col") + var("q") - int(1)) % var("q"),
+        );
+        f.sendrecv(var("east"), var("west"), int(11), face(var("local"), var("q")));
+    });
+
+    // Column exchange.
+    b.function("sweep_y", &["local", "q"], |f| {
+        f.let_("row", rank() / var("q"));
+        f.let_("col", rank() % var("q"));
+        f.comp(
+            comp_cycles(var("local") * var("WORK"))
+                .ins(var("local") * var("WORK"))
+                .lst(var("local") * (var("WORK") / int(3) + int(1)))
+                .miss(var("local") / int(35)),
+        );
+        f.let_("south", ((var("row") + int(1)) % var("q")) * var("q") + var("col"));
+        f.let_(
+            "north",
+            ((var("row") + var("q") - int(1)) % var("q")) * var("q") + var("col"),
+        );
+        f.sendrecv(var("south"), var("north"), int(12), face(var("local"), var("q")));
+    });
+
+    // The z sweep is local per pencil but still trades faces diagonally.
+    b.function("sweep_z", &["local", "q"], |f| {
+        f.comp(
+            comp_cycles(var("local") * var("WORK"))
+                .ins(var("local") * var("WORK"))
+                .lst(var("local") * (var("WORK") / int(3) + int(1)))
+                .miss(var("local") / int(35)),
+        );
+        f.let_("active", var("q") * var("q"));
+        f.let_("fwd", (rank() + var("q") + int(1)) % var("active"));
+        f.let_("bwd", (rank() + var("active") - var("q") - int(1)) % var("active"));
+        f.sendrecv(var("fwd"), var("bwd"), int(13), face(var("local"), var("q")));
+    });
+
+    App {
+        name: spec.name.to_string(),
+        program: b.finish().expect("grid solver builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: spec.description.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn bt_and_sp_run_on_square_and_nonsquare_counts() {
+        for app in [build_bt(), build_sp()] {
+            let psg = build_psg(&app.program, &PsgOptions::default());
+            for p in [4usize, 9, 12, 16] {
+                Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} failed at {p}: {e}", app.name));
+            }
+        }
+    }
+
+    #[test]
+    fn bt_is_heavier_than_sp_per_iteration() {
+        let bt = build_bt();
+        let sp = build_sp();
+        let psg_bt = build_psg(&bt.program, &PsgOptions::default());
+        let psg_sp = build_psg(&sp.program, &PsgOptions::default());
+        let t_bt = Simulation::new(&bt.program, &psg_bt, SimConfig::with_nprocs(4))
+            .run()
+            .unwrap()
+            .total_time()
+            / 8.0; // iterations
+        let t_sp = Simulation::new(&sp.program, &psg_sp, SimConfig::with_nprocs(4))
+            .run()
+            .unwrap()
+            .total_time()
+            / 14.0;
+        assert!(t_bt > t_sp, "BT per-iter {t_bt} vs SP {t_sp}");
+    }
+}

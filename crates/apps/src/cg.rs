@@ -1,0 +1,211 @@
+//! NPB CG-like kernel: conjugate gradient on a sparse matrix.
+//!
+//! Skeleton of the real NPB-CG per iteration: a local sparse
+//! matrix-vector product (work ∝ `NA·NONZER / p`), a chain of
+//! `MPI_Sendrecv` transpose exchanges along hypercube dimensions
+//! (`log2 p` partners, shrinking payloads), and two dot-product
+//! allreduces. The paper uses CG both for the overhead comparison
+//! (Table I) and as the motivating example (Fig. 2), where a delay is
+//! manually injected into process 4 and propagates through the exchange
+//! chain.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// CG configuration.
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Matrix dimension (NPB class C ≈ 150k rows).
+    pub na: i64,
+    /// Outer CG iterations (NPB uses 75 for class C).
+    pub iterations: i64,
+    /// Inject the paper's Fig. 2 delay into this rank (`None` = clean
+    /// run). The delay is a loop planted at `cg.f:441` so it owns a
+    /// distinct PSG vertex.
+    pub delay_rank: Option<i64>,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { na: 150_000, iterations: 25, delay_rank: None }
+    }
+}
+
+/// Build the CG app.
+pub fn build(opts: &CgOptions) -> App {
+    let mut b = ProgramBuilder::new("cg.f");
+    b.param("NA", opts.na);
+    b.param("NITER", opts.iterations);
+    b.param("DELAY_RANK", opts.delay_rank.unwrap_or(-1));
+
+    b.function("main", &[], |f| {
+        // Matrix setup: row partitioning and initial vectors.
+        f.let_("rows", var("NA") / nprocs());
+        f.call("makea", vec![var("rows")]);
+        f.bcast(int(0), int(8));
+        f.for_("it", int(0), var("NITER"), |f| {
+            f.call("conj_grad", vec![var("rows"), var("it")]);
+            // Residual norm of the outer iteration.
+            f.allreduce(int(8));
+        });
+        f.reduce(int(0), int(8));
+    });
+
+    b.function("makea", &["rows"], |f| {
+        // Sparse matrix generation: ~15 nonzeros per row.
+        f.for_("i", int(0), int(4), |f| {
+            f.comp(
+                comp_cycles(var("rows") * int(60))
+                    .ins(var("rows") * int(50))
+                    .lst(var("rows") * int(20))
+                    .miss(var("rows") / int(8)),
+            );
+        });
+        f.barrier();
+    });
+
+    b.function("conj_grad", &["rows", "it"], |f| {
+        // Local sparse matvec: the dominant compute (scales 1/p).
+        f.at("cg.f", 556);
+        f.for_("k", int(0), int(2), |f| {
+            f.comp(
+                comp_cycles(var("rows") * int(45))
+                    .ins(var("rows") * int(40))
+                    .lst(var("rows") * int(16))
+                    .miss(var("rows") / int(12)),
+            );
+        });
+        // Fig. 2's injected delay: one straggler rank does extra work
+        // whose cost does NOT shrink with the process count — the
+        // delay that throttled Tianhe-2 scaling in the paper's example.
+        f.if_(eq(rank(), var("DELAY_RANK")), |f| {
+            f.at("cg.f", 441);
+            f.for_("d", int(0), int(4), |f| {
+                f.comp(
+                    comp_cycles(var("NA") * int(2))
+                        .ins(var("NA") * int(2))
+                        .lst(var("NA") / int(2)),
+                );
+            });
+        });
+        // Transpose exchange along hypercube dimensions: log2(p)
+        // sendrecv partners with shrinking payloads, like NPB-CG's
+        // reduce_exch pattern. At non-power-of-two scales only the
+        // ranks inside the largest embedded hypercube exchange (bit
+        // toggling is closed under that set).
+        f.let_("dims", log2(nprocs()));
+        f.let_("pow2", int(1));
+        f.for_("d", int(0), var("dims"), |f| {
+            f.assign("pow2", var("pow2") * int(2));
+        });
+        f.if_(lt(rank(), var("pow2")), |f| {
+            f.for_("d", int(0), var("dims"), |f| {
+                f.let_("stride", int(1));
+                f.for_("s", int(0), var("d"), |f| {
+                    f.assign("stride", var("stride") * int(2));
+                });
+                // XOR-free partner arithmetic: toggle the d-th bit via
+                // div/mod identities.
+                f.let_(
+                    "partner",
+                    (rank() / (var("stride") * int(2))) * (var("stride") * int(2))
+                        + ((rank() + var("stride")) % (var("stride") * int(2))),
+                );
+                f.sendrecv(
+                    var("partner"),
+                    var("partner"),
+                    var("d"),
+                    max(var("rows") * int(8) / max(var("stride"), int(1)), int(64)),
+                );
+                // Merge received partial sums.
+                f.comp(
+                    comp_cycles(var("rows") * int(4))
+                        .ins(var("rows") * int(4))
+                        .lst(var("rows") * int(2)),
+                );
+            });
+        });
+        // Two dot products per iteration.
+        f.allreduce(int(8));
+        f.allreduce(int(8));
+    });
+
+    App {
+        name: "CG".to_string(),
+        program: b.finish().expect("CG builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: opts.delay_rank.map(|_| "cg.f:441".to_string()),
+        description: "NPB CG-like: sparse matvec + hypercube transpose exchange + \
+                      dot-product allreduces"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn cg_runs_at_multiple_scales() {
+        let app = build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        for p in [2usize, 4, 8, 16] {
+            let res = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                .run()
+                .unwrap_or_else(|e| panic!("CG deadlocked at {p}: {e}"));
+            assert!(res.total_time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cg_compute_strong_scales() {
+        let app = build(&CgOptions { na: 100_000, iterations: 4, delay_rank: None });
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let t4 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(4))
+            .run()
+            .unwrap()
+            .total_time();
+        let t32 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(32))
+            .run()
+            .unwrap()
+            .total_time();
+        assert!(
+            t32 < t4,
+            "CG should speed up 4→32 ranks: {t4} vs {t32}"
+        );
+    }
+
+    #[test]
+    fn delayed_rank_slows_whole_run() {
+        let clean = build(&CgOptions { na: 50_000, iterations: 3, delay_rank: None });
+        let delayed = build(&CgOptions { na: 50_000, iterations: 3, delay_rank: Some(4) });
+        let psg_c = build_psg(&clean.program, &PsgOptions::default());
+        let psg_d = build_psg(&delayed.program, &PsgOptions::default());
+        let tc = Simulation::new(&clean.program, &psg_c, SimConfig::with_nprocs(8))
+            .run()
+            .unwrap()
+            .total_time();
+        let td = Simulation::new(&delayed.program, &psg_d, SimConfig::with_nprocs(8))
+            .run()
+            .unwrap()
+            .total_time();
+        assert!(td > tc * 1.2, "delay must hurt: {tc} vs {td}");
+        assert_eq!(delayed.expected_root_cause.as_deref(), Some("cg.f:441"));
+    }
+
+    #[test]
+    fn hypercube_partners_stay_in_range() {
+        // Partner arithmetic must never address out-of-range ranks
+        // (power-of-two scales).
+        let app = build(&CgOptions { na: 10_000, iterations: 2, delay_rank: None });
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        for p in [2usize, 8, 64] {
+            Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                .run()
+                .unwrap_or_else(|e| panic!("partner out of range at p={p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! NPB EP-like kernel: embarrassingly parallel random-number statistics.
+//!
+//! Nearly pure computation (Gaussian-pair generation, work ∝ `2^M / p`)
+//! followed by a handful of small reductions — the best-scaling NPB
+//! kernel, useful as the "nothing to detect" control.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the EP app (class-C-like scale).
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("ep.f");
+    // 2^M total pairs; keep virtual cost practical.
+    b.param("PAIRS", 40_000_000);
+    b.param("BLOCKS", 16);
+
+    b.function("main", &[], |f| {
+        f.let_("my_pairs", var("PAIRS") / nprocs());
+        f.let_("chunk", var("my_pairs") / var("BLOCKS"));
+        f.for_("blk", int(0), var("BLOCKS"), |f| {
+            f.call("gaussian_block", vec![var("chunk")]);
+        });
+        // Global sums: counts per annulus + sx/sy.
+        f.allreduce(int(80));
+        f.allreduce(int(16));
+        f.reduce(int(0), int(8));
+    });
+
+    b.function("gaussian_block", &["chunk"], |f| {
+        // Random generation + rejection: branch-heavy FP work, almost
+        // no memory traffic.
+        f.comp(
+            comp_cycles(var("chunk") * int(12))
+                .ins(var("chunk") * int(14))
+                .lst(var("chunk") * int(2))
+                .miss(var("chunk") / int(4000))
+                .brmiss(var("chunk") / int(16)),
+        );
+    });
+
+    App {
+        name: "EP".to_string(),
+        program: b.finish().expect("EP builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: "NPB EP-like: embarrassingly parallel compute + final reductions"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn ep_scales_almost_perfectly() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let t2 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(2))
+            .run()
+            .unwrap()
+            .total_time();
+        let t16 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(16))
+            .run()
+            .unwrap()
+            .total_time();
+        let speedup = t2 / t16;
+        assert!(
+            speedup > 6.0,
+            "EP 2→16 ranks should speed up ~8x, got {speedup:.2}x"
+        );
+    }
+}

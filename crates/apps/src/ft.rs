@@ -1,0 +1,102 @@
+//! NPB FT-like kernel: 3-D FFT with all-to-all transposes.
+//!
+//! Per time step: local 1-D FFTs (work ∝ `N log N / p`), a global
+//! transpose (`MPI_Alltoall` moving `N / p²` per pair), more local FFTs,
+//! and a checksum allreduce. Communication volume per rank shrinks
+//! slowly with `p`, so the transpose dominates at scale — FT's classic
+//! scaling profile.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the FT app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("ft.f");
+    // Total grid points (class-C-like 512^3 scaled down for virtual cost).
+    b.param("NTOTAL", 8_000_000);
+    b.param("NITER", 10);
+
+    b.function("main", &[], |f| {
+        f.let_("local", var("NTOTAL") / nprocs());
+        f.call("setup", vec![var("local")]);
+        f.for_("it", int(0), var("NITER"), |f| {
+            f.call("fft_step", vec![var("local")]);
+            // Checksum after each step.
+            f.allreduce(int(16));
+        });
+    });
+
+    b.function("setup", &["local"], |f| {
+        f.comp(
+            comp_cycles(var("local") * int(6))
+                .ins(var("local") * int(5))
+                .lst(var("local") * int(2)),
+        );
+        f.barrier();
+    });
+
+    b.function("fft_step", &["local"], |f| {
+        // Local FFTs along two in-slab dimensions.
+        f.at("ft.f", 610);
+        f.for_("dim", int(0), int(2), |f| {
+            f.comp(
+                comp_cycles(var("local") * (log2(var("NTOTAL")) + int(4)) / int(3))
+                    .ins(var("local") * log2(var("NTOTAL")) / int(3))
+                    .lst(var("local") * int(3))
+                    .miss(var("local") / int(40)),
+            );
+        });
+        // Global transpose: each pair exchanges local/p elements of 16B.
+        f.alltoall(max(var("local") * int(16) / max(nprocs(), int(1)), int(64)));
+        // FFT along the remaining dimension.
+        f.comp(
+            comp_cycles(var("local") * (log2(var("local")) + int(4)))
+                .ins(var("local") * log2(var("local")))
+                .lst(var("local") * int(3))
+                .miss(var("local") / int(40)),
+        );
+    });
+
+    App {
+        name: "FT".to_string(),
+        program: b.finish().expect("FT builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: "NPB FT-like: local FFTs + all-to-all transpose + checksum reduce"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn ft_runs_and_alltoall_dominates_at_scale() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let t16 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(16))
+            .run()
+            .unwrap()
+            .total_time();
+        let t128 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(128))
+            .run()
+            .unwrap()
+            .total_time();
+        let t512 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(512))
+            .run()
+            .unwrap()
+            .total_time();
+        // Mid-range scaling is healthy, then the per-peer alltoall
+        // latency wall flattens the curve.
+        assert!(t128 < t16, "16→128 must still speed up");
+        let tail_speedup = t128 / t512;
+        assert!(
+            tail_speedup < 3.0,
+            "FT 128→512 should hit the alltoall wall (ideal 4x), got {tail_speedup:.1}x"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! NPB IS-like kernel: parallel integer bucket sort.
+//!
+//! Per iteration: local key histogram, an allreduce over bucket counts,
+//! an all-to-all key redistribution, and local ranking — the smallest
+//! and most communication-bound NPB kernel.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the IS app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("is.c");
+    b.param("KEYS", 4_000_000);
+    b.param("NITER", 10);
+
+    b.function("main", &[], |f| {
+        f.let_("my_keys", var("KEYS") / nprocs());
+        f.for_("it", int(0), var("NITER"), |f| {
+            // Local histogram.
+            f.comp(
+                comp_cycles(var("my_keys") * int(6))
+                    .ins(var("my_keys") * int(6))
+                    .lst(var("my_keys") * int(3))
+                    .miss(var("my_keys") / int(60)),
+            );
+            // Bucket-size agreement.
+            f.allreduce(int(4096));
+            // Key redistribution.
+            f.alltoall(max(var("my_keys") * int(4) / max(nprocs(), int(1)), int(64)));
+            // Local ranking of received keys.
+            f.comp(
+                comp_cycles(var("my_keys") * int(3))
+                    .ins(var("my_keys") * int(3))
+                    .lst(var("my_keys") * int(2))
+                    .miss(var("my_keys") / int(80)),
+            );
+        });
+        // Full verification.
+        f.allreduce(int(8));
+    });
+
+    App {
+        name: "IS".to_string(),
+        program: b.finish().expect("IS builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: "NPB IS-like: histogram + bucket allreduce + all-to-all keys".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn is_runs_at_power_and_nonpower_scales() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        for p in [2usize, 6, 16] {
+            Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                .run()
+                .unwrap_or_else(|e| panic!("IS failed at {p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! # scalana-apps — the evaluation workload suite
+//!
+//! MiniMPI reconstructions of the programs the paper evaluates
+//! (§VI): the eight NPB kernels (BT, CG, EP, FT, MG, LU, IS, SP) plus
+//! the three real-application case studies (Zeus-MP, SST, Nekbone).
+//!
+//! Each kernel reproduces the *communication skeleton* and *scaling
+//! behaviour* of its namesake — CG's transpose exchanges and reduction
+//! chain, MG's V-cycle halos, FT's all-to-all transpose, LU's pipelined
+//! wavefront, BT/SP's square-process-grid sweeps — because those
+//! skeletons are what the PSG/PPG machinery analyzes. The case-study
+//! apps additionally embed the paper's diagnosed root causes at the
+//! paper's source locations (e.g. the imbalanced boundary loop at
+//! `bval3d.F:155`), with a `fixed` knob that applies the paper's
+//! optimization so the before/after comparisons (Fig. 12–16, §VI-D
+//! speedups) can be regenerated.
+//!
+//! ```
+//! use scalana_apps::{cg, CgOptions};
+//! use scalana_graph::{build_psg, PsgOptions};
+//!
+//! let app = cg::build(&CgOptions::default());
+//! let psg = build_psg(&app.program, &PsgOptions::default());
+//! assert!(psg.stats.mpis > 0);
+//! ```
+
+pub mod bt_sp;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod nekbone;
+pub mod sst;
+pub mod zeusmp;
+
+pub use cg::CgOptions;
+
+use scalana_lang::Program;
+use scalana_mpisim::MachineConfig;
+
+/// A ready-to-run workload: program plus recommended platform model and
+/// ground-truth metadata for verifying detection.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Short name matching the paper's tables (`CG`, `ZMP`, ...).
+    pub name: String,
+    /// The checked MiniMPI program.
+    pub program: Program,
+    /// Platform model the app is calibrated for (heterogeneous cores
+    /// for Nekbone, uniform otherwise).
+    pub machine: MachineConfig,
+    /// `file:line` of the injected scaling-loss root cause, when the
+    /// workload has one (the case studies and delay-injected CG).
+    pub expected_root_cause: Option<String>,
+    /// One-line description.
+    pub description: String,
+}
+
+impl App {
+    /// Render the program back to MiniMPI source.
+    pub fn source(&self) -> String {
+        scalana_lang::pretty::print_program(&self.program)
+    }
+
+    /// Source line count (the `Code` column of Table II, scaled to
+    /// MiniMPI's compactness).
+    pub fn loc(&self) -> usize {
+        self.source().lines().count()
+    }
+}
+
+/// All eleven workloads with default options, in the paper's Table II
+/// order: BT, CG, EP, FT, MG, SP, LU, IS, SST, NEKBONE, ZEUS-MP.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        bt_sp::build_bt(),
+        cg::build(&CgOptions::default()),
+        ep::build(),
+        ft::build(),
+        mg::build(),
+        bt_sp::build_sp(),
+        lu::build(),
+        is::build(),
+        sst::build(false),
+        nekbone::build(false),
+        zeusmp::build(false),
+    ]
+}
+
+/// Look up an app by its Table II name.
+pub fn by_name(name: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eleven_apps_with_unique_names() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 11);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("CG").is_some());
+        assert!(by_name("ZMP").is_some());
+        assert!(by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn every_app_pretty_prints_and_reparses() {
+        for app in all_apps() {
+            let source = app.source();
+            let reparsed = scalana_lang::parse_program("reparse.mmpi", &source)
+                .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", app.name));
+            assert_eq!(
+                reparsed.functions.len(),
+                app.program.functions.len(),
+                "{}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn case_studies_declare_root_causes() {
+        assert_eq!(
+            zeusmp::build(false).expected_root_cause.as_deref(),
+            Some("bval3d.F:155")
+        );
+        assert_eq!(
+            sst::build(false).expected_root_cause.as_deref(),
+            Some("mirandaCPU.cc:247")
+        );
+        assert_eq!(
+            nekbone::build(false).expected_root_cause.as_deref(),
+            Some("blas.f:8941")
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! NPB LU-like kernel: SSOR with a pipelined wavefront.
+//!
+//! The lower/upper triangular sweeps propagate a dependence along the
+//! rank pipeline: each rank receives the boundary plane from its
+//! predecessor, smooths its block, and forwards to its successor — the
+//! classic LU "pencil" pipeline whose fill/drain cost grows with `p`.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the LU app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("lu.f");
+    b.param("NPOINTS", 8_000_000);
+    b.param("NITER", 12);
+
+    b.param("KPLANES", 8);
+
+    b.function("main", &[], |f| {
+        f.let_("local", var("NPOINTS") / nprocs());
+        f.bcast(int(0), int(64));
+        f.for_("it", int(0), var("NITER"), |f| {
+            // Lower-triangular sweep: pipeline forward.
+            f.call("sweep", vec![var("local"), int(0)]);
+            // Upper-triangular sweep: pipeline backward.
+            f.call("sweep_back", vec![var("local"), int(1)]);
+            // RHS norm every iteration.
+            f.allreduce(int(40));
+        });
+    });
+
+    // Plane-pipelined sweep: rank r starts plane k as soon as its
+    // predecessor finishes plane k, so successive ranks overlap — the
+    // fill/drain cost is one plane per pipeline stage.
+    b.function("sweep", &["local", "tag"], |f| {
+        f.let_("plane", max(var("local") / var("KPLANES"), int(16)));
+        f.for_("k", int(0), var("KPLANES"), |f| {
+            f.if_(gt(rank(), int(0)), |f| {
+                f.recv(rank() - int(1), var("tag") * int(100) + var("k"));
+            });
+            f.at("lu.f", 553);
+            f.comp(
+                comp_cycles(var("plane") * int(22))
+                    .ins(var("plane") * int(20))
+                    .lst(var("plane") * int(8))
+                    .miss(var("plane") / int(25)),
+            );
+            f.if_(lt(rank(), nprocs() - int(1)), |f| {
+                f.send(
+                    rank() + int(1),
+                    var("tag") * int(100) + var("k"),
+                    max(var("plane") / int(8), int(64)),
+                );
+            });
+        });
+    });
+
+    b.function("sweep_back", &["local", "tag"], |f| {
+        f.let_("plane", max(var("local") / var("KPLANES"), int(16)));
+        f.for_("k", int(0), var("KPLANES"), |f| {
+            f.if_(lt(rank(), nprocs() - int(1)), |f| {
+                f.recv(rank() + int(1), var("tag") * int(100) + var("k"));
+            });
+            f.comp(
+                comp_cycles(var("plane") * int(22))
+                    .ins(var("plane") * int(20))
+                    .lst(var("plane") * int(8))
+                    .miss(var("plane") / int(25)),
+            );
+            f.if_(gt(rank(), int(0)), |f| {
+                f.send(
+                    rank() - int(1),
+                    var("tag") * int(100) + var("k"),
+                    max(var("plane") / int(8), int(64)),
+                );
+            });
+        });
+    });
+
+    App {
+        name: "LU".to_string(),
+        program: b.finish().expect("LU builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: "NPB LU-like: SSOR pipelined wavefront sweeps".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn lu_pipeline_completes() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        for p in [2usize, 7, 16] {
+            Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                .run()
+                .unwrap_or_else(|e| panic!("LU failed at {p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn pipeline_fill_limits_scaling() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let t2 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(2))
+            .run()
+            .unwrap()
+            .total_time();
+        let t32 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(32))
+            .run()
+            .unwrap()
+            .total_time();
+        let speedup = t2 / t32;
+        assert!(speedup > 1.0 && speedup < 16.0, "LU speedup 2→32: {speedup:.1}x");
+    }
+}

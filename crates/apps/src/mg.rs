@@ -1,0 +1,115 @@
+//! NPB MG-like kernel: multigrid V-cycle on a 1-D rank decomposition.
+//!
+//! Each V-cycle descends through grid levels (work shrinking 8× per
+//! level, halo exchanges with both neighbours at every level), then
+//! ascends with prolongation, and finishes with a residual allreduce.
+//! Coarse levels are latency-bound — MG's scaling limiter.
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the MG app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("mg.f");
+    b.param("NPOINTS", 16_000_000);
+    b.param("LEVELS", 5);
+    b.param("NITER", 8);
+
+    b.function("main", &[], |f| {
+        f.let_("local", var("NPOINTS") / nprocs());
+        f.bcast(int(0), int(64));
+        f.for_("it", int(0), var("NITER"), |f| {
+            f.call("vcycle", vec![var("local")]);
+            f.allreduce(int(8));
+        });
+    });
+
+    b.function("vcycle", &["local"], |f| {
+        // Descend: restrict + smooth at each level.
+        f.for_("lvl", int(0), var("LEVELS"), |f| {
+            f.let_("shrink", int(1));
+            f.for_("s", int(0), var("lvl"), |f| {
+                f.assign("shrink", var("shrink") * int(8));
+            });
+            f.let_("pts", max(var("local") / var("shrink"), int(32)));
+            f.call("smooth", vec![var("pts")]);
+            f.call("halo", vec![max(var("pts") / int(16), int(8)), var("lvl")]);
+        });
+        // Ascend: prolongate + smooth.
+        f.for_("lvl", int(0), var("LEVELS"), |f| {
+            f.let_("grow", int(1));
+            f.for_("s", int(0), var("LEVELS") - var("lvl") - int(1), |f| {
+                f.assign("grow", var("grow") * int(8));
+            });
+            f.let_("pts", max(var("local") / var("grow"), int(32)));
+            f.call("smooth", vec![var("pts")]);
+            f.call("halo", vec![max(var("pts") / int(16), int(8)), var("lvl") + int(16)]);
+        });
+    });
+
+    b.function("smooth", &["pts"], |f| {
+        f.at("mg.f", 1432);
+        f.for_("sweep", int(0), int(2), |f| {
+            f.comp(
+                comp_cycles(var("pts") * int(14))
+                    .ins(var("pts") * int(12))
+                    .lst(var("pts") * int(6))
+                    .miss(var("pts") / int(30)),
+            );
+        });
+    });
+
+    // Halo exchange with both 1-D neighbours (non-periodic boundaries,
+    // so edge ranks branch — an MPI-bearing Branch vertex).
+    b.function("halo", &["bytes", "tag"], |f| {
+        f.if_(gt(rank(), int(0)), |f| {
+            f.isend("s_left", rank() - int(1), var("tag"), var("bytes") * int(8));
+            f.irecv("r_left", rank() - int(1), var("tag"));
+        });
+        f.if_(lt(rank(), nprocs() - int(1)), |f| {
+            f.isend("s_right", rank() + int(1), var("tag"), var("bytes") * int(8));
+            f.irecv("r_right", rank() + int(1), var("tag"));
+        });
+        f.waitall();
+    });
+
+    App {
+        name: "MG".to_string(),
+        program: b.finish().expect("MG builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: None,
+        description: "NPB MG-like: V-cycle smoothing with per-level neighbour halos"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions, VertexKind};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    #[test]
+    fn mg_runs_without_deadlock() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        for p in [2usize, 5, 16] {
+            Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                .run()
+                .unwrap_or_else(|e| panic!("MG failed at {p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn halo_branches_survive_contraction() {
+        let app = build();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        // The boundary branches contain MPI and must keep their vertices.
+        assert!(psg.stats.branches >= 2, "stats: {}", psg.stats);
+        assert!(psg
+            .vertices
+            .iter()
+            .any(|v| matches!(v.kind, VertexKind::Branch)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Zeus-MP-like case study (paper §VI-D1, Fig. 12/13).
+//!
+//! Computational-fluid-dynamics time steps with the paper's diagnosed
+//! pathology embedded:
+//!
+//! - only *busy* ranks execute the boundary-condition loop at
+//!   `bval3d.F:155` (the others are idle in non-blocking P2P) — the
+//!   root cause;
+//! - the delay propagates through three non-blocking exchange phases
+//!   whose waits complete at `nudt.F:227`, `nudt.F:269`, `nudt.F:328`;
+//! - the `MPI_Allreduce` at `nudt.F:361` synchronizes every rank and is
+//!   where the scaling loss manifests;
+//! - additionally the `hsmoc.F:665/841/1041` solver loops carry heavy
+//!   load/store traffic and cache misses that do not shrink with the
+//!   process count.
+//!
+//! `build(true)` applies the paper's fixes: hybrid MPI+OpenMP on the
+//! boundary loop (busy-rank work ÷ threads) and loop tiling + scalar
+//! promotion on the hsmoc loops (cache misses slashed).
+
+use crate::App;
+use scalana_lang::builder::*;
+use scalana_mpisim::MachineConfig;
+
+/// Build the Zeus-MP-like app; `fixed` applies the paper's optimizations.
+pub fn build(fixed: bool) -> App {
+    let mut b = ProgramBuilder::new("zeusmp.F");
+    // 64^3 domain like the paper's experiment, as aggregate work units.
+    b.param("ZONES", 6_000_000);
+    b.param("NSTEPS", 10);
+    // Hybrid-parallel thread count after the fix.
+    b.param("THREADS", if fixed { 4 } else { 1 });
+    // Cache-miss divisor after loop tiling.
+    b.param("TILED", if fixed { 8 } else { 1 });
+
+    b.function("main", &[], |f| {
+        f.let_("local", var("ZONES") / nprocs());
+        f.bcast(int(0), int(256));
+        f.for_("step", int(0), var("NSTEPS"), |f| {
+            f.call("bval3d", vec![var("local")]);
+            f.call("nudt_exchange", vec![var("local"), int(0)]);
+            f.call("hsmoc", vec![var("local"), int(665)]);
+            f.call("nudt_exchange", vec![var("local"), int(1)]);
+            f.call("hsmoc", vec![var("local"), int(841)]);
+            f.call("nudt_exchange", vec![var("local"), int(2)]);
+            f.call("hsmoc", vec![var("local"), int(1041)]);
+            // New-timestep computation: synchronizes everyone.
+            f.at("nudt.F", 361);
+            f.allreduce(int(8));
+        });
+    });
+
+    // Boundary values: only ranks owning an inflow boundary face do the
+    // heavy loop; with a 1-D face assignment that is every fourth rank.
+    b.function("bval3d", &["local"], |f| {
+        f.if_(eq(rank() % int(8), int(0)), |f| {
+            f.at("bval3d.F", 155);
+            f.for_("j", int(0), int(8), |f| {
+                // Volume term scales with 1/p; the surface term is the
+                // boundary face area, which shrinks far slower — the
+                // reason the imbalance persists at 2,048 ranks in the
+                // paper's Tianhe-2 runs.
+                f.let_("work", var("local") * int(3) + var("ZONES") / int(16));
+                f.comp(
+                    comp_cycles(var("work") / var("THREADS"))
+                        .ins(var("work"))
+                        .lst(var("work") / int(3))
+                        .miss(var("work") / int(150)),
+                );
+            });
+        });
+    });
+
+    // Non-blocking point-to-point exchange; the waitall is where idle
+    // neighbours absorb the busy ranks' delay.
+    b.function("nudt_exchange", &["local", "phase"], |f| {
+        f.let_("right", (rank() + int(1)) % nprocs());
+        f.let_("left", (rank() + nprocs() - int(1)) % nprocs());
+        f.let_("bytes", max(var("local") / int(32), int(256)));
+        f.isend("s1", var("right"), var("phase"), var("bytes"));
+        f.irecv("r1", var("left"), var("phase"));
+        f.isend("s2", var("left"), var("phase") + int(10), var("bytes"));
+        f.irecv("r2", var("right"), var("phase") + int(10));
+        // nudt.F:227 / 269 / 328 in the paper; one site per phase.
+        f.at("nudt.F", 227);
+        f.waitall();
+    });
+
+    // Method-of-characteristics solver loops: heavy memory traffic whose
+    // misses have a fixed boundary component that does not scale away.
+    b.function("hsmoc", &["local", "line"], |f| {
+        f.at("hsmoc.F", 665);
+        f.for_("sweep", int(0), int(2), |f| {
+            f.comp(
+                comp_cycles(var("local") * int(7))
+                    .ins(var("local") * int(6))
+                    .lst(var("local") * int(3))
+                    .miss((var("local") / int(20) + int(40_000)) / var("TILED")),
+            );
+        });
+    });
+
+    App {
+        name: "ZMP".to_string(),
+        program: b.finish().expect("Zeus-MP builds"),
+        machine: MachineConfig::default(),
+        expected_root_cause: Some("bval3d.F:155".to_string()),
+        description: "Zeus-MP-like CFD: imbalanced boundary loop feeding non-blocking \
+                      exchanges into a synchronizing allreduce"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    fn total(app: &App, p: usize) -> f64 {
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+            .run()
+            .unwrap()
+            .total_time()
+    }
+
+    #[test]
+    fn zeusmp_runs_and_fix_speeds_it_up() {
+        let broken = build(false);
+        let fixed = build(true);
+        let tb = total(&broken, 16);
+        let tf = total(&fixed, 16);
+        assert!(
+            tf < tb * 0.95,
+            "paper reports ~9.5% improvement; got {tb} -> {tf}"
+        );
+    }
+
+    #[test]
+    fn boundary_loop_has_its_own_vertex_at_paper_location() {
+        let app = build(false);
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let found = psg
+            .vertices
+            .iter()
+            .any(|v| v.span.file_line() == "bval3d.F:155"
+                && v.kind == scalana_graph::VertexKind::Loop);
+        assert!(found, "bval3d.F:155 loop vertex must exist");
+    }
+
+    #[test]
+    fn busy_ranks_finish_computation_later() {
+        let app = build(false);
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let res = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(8))
+            .run()
+            .unwrap();
+        // All ranks end together (allreduce), but busy ranks burned more
+        // instructions.
+        let busy_ins = res.rank_pmu[0].tot_ins;
+        let idle_ins = res.rank_pmu[1].tot_ins;
+        assert!(busy_ins > idle_ins * 1.5, "{busy_ins} vs {idle_ins}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 10: average runtime overhead of the three tools on the NPB
+//! kernels, averaged over 4–128 processes (paper: ScalAna 0.72–9.73%,
+//! 3.52% average, far below the tracer).
+
+use scalana_bench::{measure_app, Table};
+
+fn main() {
+    let scales = [4usize, 16, 64, 128];
+    println!(
+        "Fig. 10 — average runtime overhead over {:?} processes (NPB kernels)\n",
+        scales
+    );
+    let mut table = Table::new(&["Program", "Scalasca-like", "HPCToolkit-like", "ScalAna"]);
+
+    let kernels = ["BT", "CG", "EP", "FT", "MG", "SP", "LU", "IS"];
+    let mut scalana_sum = 0.0;
+    let mut tracer_sum = 0.0;
+    let mut scalana_max = 0.0f64;
+    let mut tracer_max = 0.0f64;
+    let mut count = 0.0;
+    for name in kernels {
+        let app = scalana_apps::by_name(name).unwrap();
+        let mut sums = [0.0f64; 3];
+        for &p in &scales {
+            let report = measure_app(&app, p);
+            sums[0] += report.tool("Scalasca-like tracer").unwrap().overhead_pct;
+            sums[1] += report.tool("HPCToolkit-like profiler").unwrap().overhead_pct;
+            sums[2] += report.tool("ScalAna").unwrap().overhead_pct;
+        }
+        let n = scales.len() as f64;
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}%", sums[0] / n),
+            format!("{:.2}%", sums[1] / n),
+            format!("{:.2}%", sums[2] / n),
+        ]);
+        tracer_sum += sums[0] / n;
+        scalana_sum += sums[2] / n;
+        tracer_max = tracer_max.max(sums[0] / n);
+        scalana_max = scalana_max.max(sums[2] / n);
+        count += 1.0;
+    }
+    table.print();
+
+    let scalana_avg = scalana_sum / count;
+    let tracer_avg = tracer_sum / count;
+    println!("\nScalAna average overhead: {scalana_avg:.2}% (paper: 3.52% on Gorgon)");
+    println!("tracer  average overhead: {tracer_avg:.2}%");
+    println!("\nnote: tracing cost is proportional to event density. The paper's");
+    println!("applications execute orders of magnitude more events per second of");
+    println!("runtime than these scaled-down kernels, so the tracer's penalty is");
+    println!("mild on our compute-dense kernels (EP/BT/SP) and pronounced on the");
+    println!("communication-dense ones (CG/MG/IS) — compare the per-app rows.");
+    assert!(scalana_avg < 10.0, "ScalAna stays inside the paper's band");
+    assert!(scalana_max < 15.0, "ScalAna worst case stays light");
+    assert!(
+        tracer_max > 2.0 * scalana_max,
+        "on event-dense kernels tracing is much heavier ({tracer_max:.1}% vs {scalana_max:.1}%)"
+    );
+    println!("\nshape check PASSED: ScalAna flat & low; tracing explodes with event density");
+}

@@ -1,0 +1,38 @@
+//! Fig. 12: the Zeus-MP backtracking — from the `MPI_Allreduce` at
+//! `nudt.F:361` through the non-blocking exchange waits back to the
+//! boundary loop at `bval3d.F:155`.
+
+use scalana_core::{analyze_app, viewer, ScalAnaConfig};
+
+fn main() {
+    let app = scalana_apps::zeusmp::build(false);
+    println!("Fig. 12 — Zeus-MP scaling-loss diagnosis (4..128 ranks)\n");
+    let analysis =
+        analyze_app(&app, &[4, 8, 16, 32, 64, 128], &ScalAnaConfig::default()).unwrap();
+
+    println!("{}", viewer::render_with_snippets(&app.program, &analysis.report, 2));
+
+    // Paper chain: allreduce symptom, waitall hops, bval3d loop cause.
+    let report = &analysis.report;
+    assert!(
+        report
+            .non_scalable
+            .iter()
+            .any(|n| n.location == "nudt.F:361"),
+        "the allreduce at nudt.F:361 is the detected scaling issue"
+    );
+    assert!(report.found_at("bval3d.F:155"), "root cause at bval3d.F:155");
+    let chain_path = report
+        .paths
+        .iter()
+        .find(|p| p.root_cause().location == "bval3d.F:155")
+        .expect("a path reaches the boundary loop");
+    let through_waitall = chain_path.steps.iter().any(|s| s.location == "nudt.F:227");
+    let crosses_ranks = chain_path.steps.windows(2).any(|w| w[0].rank != w[1].rank);
+    assert!(through_waitall, "path passes the nudt.F waitalls");
+    assert!(crosses_ranks, "path crosses processes");
+    println!(
+        "shape check PASSED: allreduce@nudt.F:361 -> waitall@nudt.F:227 (across ranks) \
+         -> LOOP@bval3d.F:155"
+    );
+}

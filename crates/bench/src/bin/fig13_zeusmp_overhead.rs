@@ -1,0 +1,56 @@
+//! Fig. 13: runtime overhead and storage of the three tools on Zeus-MP
+//! across process counts (paper: ScalAna 1.85% avg / 20 MB at 64 ranks;
+//! Scalasca 40.89% / 28.26 GB).
+
+use scalana_bench::{measure_app, Table};
+use scalana_profile::overhead::human_bytes;
+
+fn main() {
+    let app = scalana_apps::zeusmp::build(false);
+    println!("Fig. 13 — Zeus-MP tool overhead and storage by scale\n");
+    let mut overhead = Table::new(&["ranks", "Scalasca-like", "HPCToolkit-like", "ScalAna"]);
+    let mut storage = Table::new(&["ranks", "Scalasca-like", "HPCToolkit-like", "ScalAna"]);
+
+    let mut scalana_avg = 0.0;
+    let mut tracer_avg = 0.0;
+    let scales = [4usize, 8, 16, 32, 64];
+    for &p in &scales {
+        let report = measure_app(&app, p);
+        let t = report.tool("Scalasca-like tracer").unwrap();
+        let f = report.tool("HPCToolkit-like profiler").unwrap();
+        let s = report.tool("ScalAna").unwrap();
+        overhead.row(vec![
+            p.to_string(),
+            format!("{:.2}%", t.overhead_pct),
+            format!("{:.2}%", f.overhead_pct),
+            format!("{:.2}%", s.overhead_pct),
+        ]);
+        storage.row(vec![
+            p.to_string(),
+            human_bytes(t.storage_bytes),
+            human_bytes(f.storage_bytes),
+            human_bytes(s.storage_bytes),
+        ]);
+        scalana_avg += s.overhead_pct;
+        tracer_avg += t.overhead_pct;
+    }
+    scalana_avg /= scales.len() as f64;
+    tracer_avg /= scales.len() as f64;
+
+    println!("(a) runtime overhead");
+    overhead.print();
+    println!("\n(b) storage cost");
+    storage.print();
+    println!(
+        "\nScalAna avg {scalana_avg:.2}% (paper 1.85%); tracer avg {tracer_avg:.2}% \
+         (paper 40.89% at 64 — our scaled-down Zeus-MP emits far fewer events \
+         per second, so the tracer's runtime penalty shrinks while its storage \
+         still dominates)"
+    );
+    assert!(scalana_avg < 6.0, "ScalAna stays inside the paper's band");
+    let report = measure_app(&app, 64);
+    let t = report.tool("Scalasca-like tracer").unwrap().storage_bytes;
+    let s = report.tool("ScalAna").unwrap().storage_bytes;
+    assert!(t > 5 * s, "tracer storage dwarfs ScalAna's ({t} vs {s})");
+    println!("shape check PASSED");
+}

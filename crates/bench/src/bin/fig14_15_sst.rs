@@ -1,0 +1,55 @@
+//! Fig. 14/15: the SST case study — backtracking to the O(n) scan and
+//! the per-rank TOT_INS histogram before/after the fix.
+
+use scalana_bench::bar;
+use scalana_core::{analyze_app, ScalAnaConfig};
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_mpisim::{SimConfig, Simulation};
+
+fn tot_ins_per_rank(app: &scalana_apps::App, nprocs: usize) -> Vec<f64> {
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let res = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(nprocs))
+        .run()
+        .unwrap();
+    res.rank_pmu.iter().map(|p| p.tot_ins).collect()
+}
+
+fn main() {
+    let broken = scalana_apps::sst::build(false);
+    let fixed = scalana_apps::sst::build(true);
+    let nprocs = 32;
+
+    println!("Fig. 14 — SST backtracking (32 ranks)\n");
+    let analysis = analyze_app(&broken, &[4, 8, 16, 32], &ScalAnaConfig::default()).unwrap();
+    for path in analysis.report.paths.iter().take(3) {
+        for (j, s) in path.steps.iter().enumerate() {
+            let hop = if s.via_comm { "~>" } else { "->" };
+            let mark = if j == path.root_cause_idx { "  <== root cause" } else { "" };
+            println!("  {hop} rank {:<3} {:<14} {:<26}{mark}", s.rank, s.kind, s.location);
+        }
+        println!();
+    }
+    assert!(analysis.report.found_at("mirandaCPU.cc:247"));
+
+    println!("Fig. 15 — TOT_INS per rank before/after the data-structure fix\n");
+    let before = tot_ins_per_rank(&broken, nprocs);
+    let after = tot_ins_per_rank(&fixed, nprocs);
+    let max = before.iter().copied().fold(0.0, f64::max);
+    println!("before (array scan, O(n)):");
+    for (r, v) in before.iter().enumerate() {
+        println!("  rank {r:>2} {:<40} {v:.2e}", bar(*v, max, 40));
+    }
+    println!("after (map lookup, O(log n)):");
+    for (r, v) in after.iter().enumerate() {
+        println!("  rank {r:>2} {:<40} {v:.2e}", bar(*v, max, 40));
+    }
+
+    let sum_b: f64 = before.iter().sum();
+    let sum_a: f64 = after.iter().sum();
+    println!(
+        "\nTOT_INS reduction: {:.2}% (paper: 99.92%)",
+        (1.0 - sum_a / sum_b) * 100.0
+    );
+    assert!(sum_a < sum_b * 0.2);
+    println!("shape check PASSED");
+}

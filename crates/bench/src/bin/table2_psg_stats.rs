@@ -1,0 +1,51 @@
+//! Table II: code size and PSG vertex statistics for all evaluated
+//! programs — vertices before/after contraction and the per-kind
+//! breakdown.
+
+use scalana_bench::Table;
+use scalana_graph::{build_psg, PsgOptions};
+
+fn main() {
+    println!("Table II — PSG statistics (MaxLoopDepth = 10, paper setting)\n");
+    let mut table = Table::new(&[
+        "Program", "LoC", "#VBC", "#VAC", "#Loop", "#Branch", "#Comp", "#MPI", "reduction",
+    ]);
+
+    let mut total_reduction = 0.0;
+    let mut total_comp_mpi = 0.0;
+    let apps = scalana_apps::all_apps();
+    for app in &apps {
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let s = psg.stats;
+        total_reduction += s.reduction();
+        total_comp_mpi += s.comp_mpi_fraction();
+        table.row(vec![
+            app.name.clone(),
+            app.loc().to_string(),
+            s.vbc.to_string(),
+            s.vac.to_string(),
+            s.loops.to_string(),
+            s.branches.to_string(),
+            s.comps.to_string(),
+            s.mpis.to_string(),
+            format!("{:.0}%", s.reduction() * 100.0),
+        ]);
+    }
+    table.print();
+
+    let avg_reduction = total_reduction / apps.len() as f64 * 100.0;
+    let avg_comp_mpi = total_comp_mpi / apps.len() as f64 * 100.0;
+    println!("\naverage contraction reduction: {avg_reduction:.0}% (paper: 68%)");
+    println!("average Comp+MPI fraction:     {avg_comp_mpi:.0}% (paper: >73%)");
+
+    println!(
+        "\nnote: the paper's 68% comes from real C/Fortran, where most\n\
+         statements are scalar code that contraction folds away. MiniMPI\n\
+         workloads are written at skeleton density, so there is less to\n\
+         fold; the folding machinery itself is exercised by the unit tests\n\
+         on statement-dense programs (see scalana-graph::contract)."
+    );
+    assert!(avg_reduction > 8.0, "contraction still removes a visible fraction");
+    assert!(avg_comp_mpi > 60.0, "Comp+MPI dominate the final PSG");
+    println!("\nshape check PASSED");
+}

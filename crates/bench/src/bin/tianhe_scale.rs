@@ -1,0 +1,79 @@
+//! The paper's largest-scale claims, on the simulator's stand-in for
+//! Tianhe-2: ScalAna overhead at 2,048 processes (paper: 1.73 % average
+//! for NPB, 4.72 MB storage) and the Nekbone fix's gain at 2,048
+//! (paper: +11.11 %).
+
+use scalana_bench::Table;
+use scalana_core::{speedup_curve, ScalAnaConfig};
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_mpisim::{SimConfig, Simulation};
+use scalana_profile::overhead::human_bytes;
+use scalana_profile::{ProfilerConfig, ScalAnaProfiler};
+
+fn main() {
+    let nprocs = 2048;
+    println!("Tianhe-2-scale runs — {nprocs} processes\n");
+
+    // ScalAna overhead + storage on three NPB kernels at 2,048 ranks
+    // (paper-literal 200 Hz sampling: these runs are long enough).
+    let mut table = Table::new(&["Program", "baseline (s)", "overhead", "storage"]);
+    let mut sum = 0.0;
+    let kernels = ["CG", "EP", "IS"];
+    for name in kernels {
+        let app = scalana_apps::by_name(name).unwrap();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let base = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(nprocs))
+            .run()
+            .unwrap()
+            .total_time();
+        let mut profiler = ScalAnaProfiler::new(ProfilerConfig::default());
+        let tooled = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(nprocs))
+            .with_hook(&mut profiler)
+            .run()
+            .unwrap()
+            .total_time();
+        let data = profiler.take_data();
+        let overhead = (tooled - base) / base * 100.0;
+        sum += overhead;
+        table.row(vec![
+            name.to_string(),
+            format!("{base:.4}"),
+            format!("{overhead:.2}%"),
+            human_bytes(data.storage_bytes),
+        ]);
+    }
+    table.print();
+    let avg = sum / kernels.len() as f64;
+    println!("\naverage ScalAna overhead at 2,048 ranks: {avg:.2}% (paper: 1.73%)");
+    assert!(avg < 5.0, "overhead stays small at full scale");
+
+    // Nekbone before/after at 2,048 ranks (64-rank baseline, like the
+    // paper's 27.08x -> 29.97x).
+    let broken = scalana_apps::nekbone::build(false);
+    let fixed = scalana_apps::nekbone::build(true);
+    let scales = [64usize, 256, 1024, 2048];
+    let config = ScalAnaConfig::default();
+    let before = speedup_curve(&broken.program, &scales, &config).unwrap();
+    let after = speedup_curve(&fixed.program, &scales, &config).unwrap();
+    let (_, sb) = before.last().unwrap();
+    let (_, sa) = after.last().unwrap();
+    println!("\nNekbone speedup at 2,048 ranks (each vs its own 64-rank baseline):");
+    println!("  before {sb:.2}x, after {sa:.2}x (paper: 27.08x -> 29.97x)");
+    // The paper's headline number is the end-to-end gain at 2,048.
+    let time_at = |app: &scalana_apps::App| {
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        Simulation::new(&app.program, &psg, SimConfig::with_nprocs(nprocs))
+            .run()
+            .unwrap()
+            .total_time()
+    };
+    let tb = time_at(&broken);
+    let tf = time_at(&fixed);
+    println!(
+        "  end-to-end at 2,048 ranks: {tb:.4}s -> {tf:.4}s ({:+.2}% performance; \
+         paper: +11.11%)",
+        (tb / tf - 1.0) * 100.0
+    );
+    assert!(tf < tb, "the fix improves end-to-end time at full scale");
+    println!("\nshape check PASSED");
+}

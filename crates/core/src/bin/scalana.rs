@@ -1,0 +1,167 @@
+//! `scalana` — the command-line front-end (paper §V workflow).
+//!
+//! ```text
+//! scalana static  <file.mmpi> [--max-loop-depth N] [--no-contract] [--dot]
+//! scalana analyze <file.mmpi> [--scales 4,8,16,32] [--abnorm-thd X] [--top K] [--param NAME=V]...
+//! scalana apps    [--list | --run NAME [--scales ...]]
+//! ```
+//!
+//! `static` corresponds to `ScalAna-static` (PSG construction + stats),
+//! `analyze` chains `ScalAna-prof` and `ScalAna-detect` over the given
+//! scales and renders the `ScalAna-viewer` report with code snippets.
+
+use scalana_core::{analyze_app, pipeline, viewer, ScalAnaConfig};
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_lang::parse_program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  scalana static  <file.mmpi> [--max-loop-depth N] [--no-contract] [--dot]
+  scalana analyze <file.mmpi> [--scales 4,8,16,32] [--abnorm-thd X]
+                              [--top K] [--param NAME=VALUE]...
+  scalana apps    [--list | --run NAME [--scales 4,8,16,32]]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("static") => cmd_static(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("apps") => cmd_apps(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+fn parse_scales(spec: &str) -> Result<Vec<usize>, String> {
+    let scales: Result<Vec<usize>, _> = spec.split(',').map(|s| s.trim().parse()).collect();
+    let scales = scales.map_err(|e| format!("bad --scales `{spec}`: {e}"))?;
+    if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("--scales must be a strictly ascending list".to_string());
+    }
+    Ok(scales)
+}
+
+fn load_program(path: &str) -> Result<scalana_lang::Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(path, &source).map_err(|e| e.to_string())
+}
+
+fn cmd_static(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("static: missing <file.mmpi>")?;
+    let mut opts = PsgOptions::default();
+    let mut dot = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--max-loop-depth" => {
+                let v = it.next().ok_or("--max-loop-depth needs a value")?;
+                opts.max_loop_depth =
+                    v.parse().map_err(|e| format!("bad --max-loop-depth: {e}"))?;
+            }
+            "--no-contract" => opts.contract = false,
+            "--dot" => dot = true,
+            other => return Err(format!("static: unknown flag `{other}`")),
+        }
+    }
+    let program = load_program(file)?;
+    let psg = build_psg(&program, &opts);
+    println!("{file}: {}", psg.stats);
+    println!(
+        "contraction reduction {:.0}%, Comp+MPI fraction {:.0}%",
+        psg.stats.reduction() * 100.0,
+        psg.stats.comp_mpi_fraction() * 100.0
+    );
+    if dot {
+        println!("\n{}", scalana_graph::dot::psg_to_dot(&psg));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("analyze: missing <file.mmpi>")?;
+    let mut scales = vec![4, 8, 16, 32];
+    let mut config = ScalAnaConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs a value")?;
+                scales = parse_scales(v)?;
+            }
+            "--abnorm-thd" => {
+                let v = it.next().ok_or("--abnorm-thd needs a value")?;
+                config.detect.abnorm_thd =
+                    v.parse().map_err(|e| format!("bad --abnorm-thd: {e}"))?;
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                config.detect.top_k = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--param" => {
+                let v = it.next().ok_or("--param needs NAME=VALUE")?;
+                let (name, value) =
+                    v.split_once('=').ok_or_else(|| format!("bad --param `{v}`"))?;
+                let value: i64 =
+                    value.parse().map_err(|e| format!("bad --param value: {e}"))?;
+                config.params.insert(name.to_string(), value);
+            }
+            other => return Err(format!("analyze: unknown flag `{other}`")),
+        }
+    }
+    let program = load_program(file)?;
+    let analysis =
+        pipeline::analyze(&program, &scales, &config).map_err(|e| e.to_string())?;
+    println!("PSG: {}", analysis.psg.stats);
+    for run in &analysis.runs {
+        println!(
+            "run @ {:>4} ranks: {:.4}s virtual, {} profile bytes, {} dep edges",
+            run.nprocs, run.total_time, run.storage_bytes, run.comm_edges
+        );
+    }
+    println!("detection took {:.2} ms\n", analysis.detect_seconds * 1e3);
+    println!("{}", viewer::render_with_snippets(&program, &analysis.report, 3));
+    Ok(())
+}
+
+fn cmd_apps(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("--list") | None => {
+            for app in scalana_apps::all_apps() {
+                println!("{:<6} {}", app.name, app.description);
+            }
+            Ok(())
+        }
+        Some("--run") => {
+            let name = args.get(1).ok_or("apps --run: missing NAME")?;
+            let app = scalana_apps::by_name(name)
+                .ok_or_else(|| format!("unknown app `{name}` (see --list)"))?;
+            let mut scales = vec![4, 8, 16, 32];
+            if let Some(pos) = args.iter().position(|a| a == "--scales") {
+                let v = args.get(pos + 1).ok_or("--scales needs a value")?;
+                scales = parse_scales(v)?;
+            }
+            let analysis = analyze_app(&app, &scales, &ScalAnaConfig::default())
+                .map_err(|e| e.to_string())?;
+            println!("{}", analysis.report.render());
+            if let Some(expected) = &app.expected_root_cause {
+                let verdict = if analysis.report.found_at(expected) { "FOUND" } else { "MISSED" };
+                println!("known root cause {expected}: {verdict}");
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("apps: unknown flag `{other}`")),
+    }
+}

@@ -1,0 +1,30 @@
+//! # scalana-core — the ScalAna tool facade
+//!
+//! Wires the substrates into the four-step workflow of paper §V:
+//!
+//! 1. **`ScalAna-static`** — compile the program and build the
+//!    contracted PSG ([`scalana_graph::build_psg`]);
+//! 2. **`ScalAna-prof`** — run the instrumented program at several
+//!    process counts, collecting per-vertex performance vectors and
+//!    compressed communication dependence (plus one small discovery run
+//!    that resolves indirect calls into the PSG);
+//! 3. **`ScalAna-detect`** — assemble one PPG per scale and run
+//!    non-scalable/abnormal detection and backtracking root-cause
+//!    analysis;
+//! 4. **`ScalAna-viewer`** — render the report and the code snippets
+//!    behind each root cause ([`viewer`]).
+//!
+//! ```
+//! use scalana_apps::{cg, CgOptions};
+//! use scalana_core::{analyze_app, ScalAnaConfig};
+//!
+//! let app = cg::build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+//! let analysis = analyze_app(&app, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
+//! assert_eq!(analysis.runs.len(), 3);
+//! println!("{}", analysis.report.render());
+//! ```
+
+pub mod pipeline;
+pub mod viewer;
+
+pub use pipeline::{analyze, analyze_app, speedup_curve, Analysis, RunSummary, ScalAnaConfig};

@@ -1,0 +1,185 @@
+//! The end-to-end analysis pipeline.
+
+use crossbeam::thread;
+use scalana_apps::App;
+use scalana_detect::{detect, DetectConfig, DetectionReport};
+use scalana_graph::{build_psg, Ppg, Psg, PsgOptions};
+use scalana_lang::Program;
+use scalana_mpisim::{MachineConfig, SimConfig, SimError, Simulation};
+use scalana_profile::recorder::discover_indirect_calls;
+use scalana_profile::{ProfileData, ProfilerConfig, ScalAnaProfiler};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one full analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ScalAnaConfig {
+    /// Static-analysis knobs (`MaxLoopDepth`, contraction).
+    pub psg: PsgOptions,
+    /// Profiler knobs (sampling frequency, compression, ...).
+    pub profiler: ProfilerConfig,
+    /// Detection knobs (`AbnormThd`, aggregation, pruning).
+    pub detect: DetectConfig,
+    /// Platform model (overridden by [`analyze_app`] with the app's).
+    pub machine: MachineConfig,
+    /// Program-parameter overrides applied to every run.
+    pub params: HashMap<String, i64>,
+}
+
+/// Summary of one profiled run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Process count.
+    pub nprocs: usize,
+    /// End-to-end virtual time (with the profiler attached).
+    pub total_time: f64,
+    /// Profiler storage bytes.
+    pub storage_bytes: u64,
+    /// Timer samples taken.
+    pub sample_count: u64,
+    /// Aggregated communication-dependence edges.
+    pub comm_edges: usize,
+}
+
+/// Everything one analysis produces.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The (indirect-call-refined) PSG.
+    pub psg: Arc<Psg>,
+    /// Per-scale run summaries (ascending process counts).
+    pub runs: Vec<RunSummary>,
+    /// Per-scale PPGs.
+    pub ppgs: Vec<Ppg>,
+    /// The detection report.
+    pub report: DetectionReport,
+    /// Wall-clock seconds the post-mortem detection took (Table IV).
+    pub detect_seconds: f64,
+}
+
+/// Run the full pipeline on a program over ascending process counts.
+pub fn analyze(
+    program: &Program,
+    scales: &[usize],
+    config: &ScalAnaConfig,
+) -> Result<Analysis, SimError> {
+    assert!(!scales.is_empty(), "need at least one scale");
+    // Step 1: ScalAna-static.
+    let mut psg = build_psg(program, &config.psg);
+    // Step 2a: indirect-call discovery at the smallest scale.
+    discover_indirect_calls(program, &mut psg, scales[0])?;
+    let psg = Arc::new(psg);
+
+    // Step 2b: profiled runs, one per scale, in parallel (each is an
+    // independent simulation over the now-immutable PSG).
+    let mut profiles: Vec<Option<Result<ProfileData, SimError>>> =
+        (0..scales.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        for (slot, &nprocs) in profiles.iter_mut().zip(scales) {
+            let psg = Arc::clone(&psg);
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let mut sim_config = SimConfig::with_nprocs(nprocs);
+                sim_config.machine = config.machine.clone();
+                sim_config.params = config.params.clone();
+                let mut profiler = ScalAnaProfiler::new(config.profiler.clone());
+                let result = Simulation::new(program, &psg, sim_config)
+                    .with_hook(&mut profiler)
+                    .run()
+                    .map(|_| profiler.take_data());
+                *slot = Some(result);
+            });
+        }
+    })
+    .expect("scale-run threads do not panic");
+
+    let mut runs = Vec::with_capacity(scales.len());
+    let mut ppgs = Vec::with_capacity(scales.len());
+    for (slot, &nprocs) in profiles.into_iter().zip(scales) {
+        let data = slot.expect("thread filled its slot")?;
+        runs.push(RunSummary {
+            nprocs,
+            total_time: data.rank_elapsed.iter().copied().fold(0.0, f64::max),
+            storage_bytes: data.storage_bytes,
+            sample_count: data.sample_count,
+            comm_edges: data.comm_edge_count(),
+        });
+        ppgs.push(data.into_ppg(Arc::clone(&psg)));
+    }
+
+    // Step 3: ScalAna-detect (timed for Table IV).
+    let started = Instant::now();
+    let refs: Vec<&Ppg> = ppgs.iter().collect();
+    let report = detect(&refs, &config.detect);
+    let detect_seconds = started.elapsed().as_secs_f64();
+
+    Ok(Analysis { psg, runs, ppgs, report, detect_seconds })
+}
+
+/// Analyze an [`App`] using its recommended platform model.
+pub fn analyze_app(
+    app: &App,
+    scales: &[usize],
+    config: &ScalAnaConfig,
+) -> Result<Analysis, SimError> {
+    let mut config = config.clone();
+    config.machine = app.machine.clone();
+    analyze(&app.program, scales, &config)
+}
+
+/// Uninstrumented speedups over ascending scales (first scale is the
+/// baseline) — the §VI-D before/after-fix curves.
+pub fn speedup_curve(
+    program: &Program,
+    scales: &[usize],
+    config: &ScalAnaConfig,
+) -> Result<Vec<(usize, f64)>, SimError> {
+    let psg = build_psg(program, &config.psg);
+    let mut times = Vec::with_capacity(scales.len());
+    for &nprocs in scales {
+        let mut sim_config = SimConfig::with_nprocs(nprocs);
+        sim_config.machine = config.machine.clone();
+        sim_config.params = config.params.clone();
+        let total = Simulation::new(program, &psg, sim_config).run()?.total_time();
+        times.push((nprocs, total));
+    }
+    let baseline = times[0].1;
+    Ok(times.into_iter().map(|(p, t)| (p, baseline / t)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_apps::{cg, zeusmp, CgOptions};
+
+    #[test]
+    fn analyze_produces_runs_ppgs_and_report() {
+        let app = cg::build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+        let analysis = analyze_app(&app, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
+        assert_eq!(analysis.runs.len(), 3);
+        assert_eq!(analysis.ppgs.len(), 3);
+        assert!(analysis.runs.iter().all(|r| r.total_time > 0.0));
+        assert!(analysis.runs.iter().all(|r| r.storage_bytes > 0));
+        assert!(analysis.detect_seconds >= 0.0);
+    }
+
+    #[test]
+    fn zeusmp_analysis_finds_paper_root_cause() {
+        let app = zeusmp::build(false);
+        let analysis = analyze_app(&app, &[4, 8, 16, 32], &ScalAnaConfig::default()).unwrap();
+        assert!(
+            analysis.report.found_at("bval3d.F:155"),
+            "expected bval3d.F:155 in:\n{}",
+            analysis.report.render()
+        );
+    }
+
+    #[test]
+    fn speedup_curve_is_baselined_at_one() {
+        let app = cg::build(&CgOptions { na: 30_000, iterations: 3, delay_rank: None });
+        let curve =
+            speedup_curve(&app.program, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
+        assert_eq!(curve[0], (2, 1.0));
+        assert!(curve[2].1 > curve[1].1, "speedup grows: {curve:?}");
+    }
+}

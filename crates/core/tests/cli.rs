@@ -1,0 +1,130 @@
+//! Integration tests for the `scalana` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn scalana(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_scalana"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_demo(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "param N = 500_000;\n\
+         fn main() {{\n\
+             for it in 0 .. 6 {{\n\
+                 comp(cycles = N / nprocs, ins = N / nprocs);\n\
+                 if rank == 0 {{\n\
+                     for s in 0 .. 2 {{ comp(cycles = N / 4, ins = N / 4); }}\n\
+                 }}\n\
+                 barrier();\n\
+             }}\n\
+             allreduce(bytes = 8);\n\
+         }}"
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn static_command_prints_stats() {
+    let path = write_demo("cli_static.mmpi");
+    let (stdout, _, ok) = scalana(&["static", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("#VBC="), "{stdout}");
+    assert!(stdout.contains("#MPI=2"), "{stdout}");
+}
+
+#[test]
+fn static_respects_flags() {
+    let path = write_demo("cli_flags.mmpi");
+    let (with_dot, _, ok) =
+        scalana(&["static", path.to_str().unwrap(), "--max-loop-depth", "0", "--dot"]);
+    assert!(ok);
+    assert!(with_dot.contains("digraph PSG"));
+}
+
+#[test]
+fn analyze_finds_the_serial_loop() {
+    let path = write_demo("cli_analyze.mmpi");
+    let (stdout, _, ok) = scalana(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--scales",
+        "2,4,8",
+        "--top",
+        "3",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Root causes"), "{stdout}");
+    assert!(stdout.contains("Loop"), "{stdout}");
+    assert!(stdout.contains("run @"), "{stdout}");
+}
+
+#[test]
+fn analyze_param_override_changes_runtime() {
+    let path = write_demo("cli_param.mmpi");
+    let run = |n: &str| {
+        let (stdout, _, ok) = scalana(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--scales",
+            "2,4",
+            "--param",
+            &format!("N={n}"),
+        ]);
+        assert!(ok);
+        stdout
+    };
+    let small = run("100000");
+    let large = run("5000000");
+    // Crude but effective: the virtual-seconds figures must differ.
+    assert_ne!(small, large);
+}
+
+#[test]
+fn apps_list_and_run() {
+    let (stdout, _, ok) = scalana(&["apps", "--list"]);
+    assert!(ok);
+    for name in ["BT", "CG", "ZMP", "SST", "NEK"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    let (stdout, _, ok) = scalana(&["apps", "--run", "SST", "--scales", "4,8,16"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("known root cause mirandaCPU.cc:247: FOUND"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let (_, stderr, ok) = scalana(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+
+    let (_, stderr, ok) = scalana(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = scalana(&["analyze", "/nonexistent.mmpi"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+
+    let path = write_demo("cli_badscales.mmpi");
+    let (_, stderr, ok) =
+        scalana(&["analyze", path.to_str().unwrap(), "--scales", "8,4"]);
+    assert!(!ok);
+    assert!(stderr.contains("ascending"));
+
+    let (_, stderr, ok) = scalana(&["apps", "--run", "NOPE"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown app"));
+}

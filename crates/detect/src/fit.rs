@@ -1,0 +1,240 @@
+//! Log-log model fitting and cross-rank aggregation (paper §IV-A).
+//!
+//! Non-scalable vertex detection fits `log T = a + b · log p` per vertex
+//! over the process counts of the collected runs (the paper cites the
+//! regression-based scalability-prediction model of Barnes et al.). The
+//! slope `b` is the vertex's "changing rate": ideally-scaling compute
+//! has `b ≈ -1` under strong scaling, stagnating vertices sit near 0,
+//! and growing communication has `b > 0`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a least-squares fit in log-log space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Slope `b` of `log T = a + b log p`.
+    pub slope: f64,
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl Fit {
+    /// Predicted metric at scale `p`.
+    pub fn predict(&self, p: f64) -> f64 {
+        (self.intercept + self.slope * p.ln()).exp()
+    }
+}
+
+/// Fit `log y = a + b log x`. Pairs with non-positive values are
+/// skipped; returns `None` with fewer than two usable pairs or when all
+/// `x` coincide.
+pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    let points: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot <= 1e-18 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(Fit { slope, intercept, r2 })
+}
+
+/// How to reduce a vertex's per-rank metric to one number per run
+/// (paper §IV-A discusses and the authors "test all strategies").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Use one particular rank.
+    SingleRank(usize),
+    /// Arithmetic mean over ranks.
+    Mean,
+    /// Median over ranks.
+    Median,
+    /// Maximum over ranks (most pessimistic).
+    Max,
+    /// 1-D k-means into `k` clusters, then the mean of cluster means —
+    /// robust when ranks form behaviour groups.
+    Clustered {
+        /// Cluster count.
+        k: usize,
+    },
+}
+
+impl Aggregation {
+    /// Reduce per-rank values.
+    pub fn aggregate(&self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Aggregation::SingleRank(r) => values.get(*r).copied().unwrap_or(0.0),
+            Aggregation::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregation::Median => median(values),
+            Aggregation::Max => values.iter().copied().fold(f64::MIN, f64::max),
+            Aggregation::Clustered { k } => clustered_mean(values, (*k).max(1)),
+        }
+    }
+}
+
+/// Median of a slice (not in-place).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Deterministic 1-D k-means (quantile initialization, 32 iterations),
+/// returning the unweighted mean of cluster centroids.
+fn clustered_mean(values: &[f64], k: usize) -> f64 {
+    let k = k.min(values.len());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Spread initial centroids across the value range (quantiles from
+    // min to max), so distinct groups get distinct seeds.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sorted[(i * (sorted.len() - 1)) / (k - 1).max(1)])
+        .collect();
+    let mut assignment = vec![0usize; values.len()];
+    for _ in 0..32 {
+        let mut changed = false;
+        for (i, v) in values.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    (v - a.1).abs().partial_cmp(&(v - b.1).abs()).unwrap()
+                })
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in values.iter().enumerate() {
+            sums[assignment[i]] += v;
+            counts[assignment[i]] += 1;
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                centroids[j] = sums[j] / counts[j] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let live: Vec<f64> = centroids
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| assignment.iter().any(|a| a == j))
+        .map(|(_, c)| *c)
+        .collect();
+    if live.is_empty() {
+        0.0
+    } else {
+        live.iter().sum::<f64>() / live.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_power_law() {
+        // T = 8 / p  =>  slope -1, intercept ln 8.
+        let ps = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let ts: Vec<f64> = ps.iter().map(|p| 8.0 / p).collect();
+        let fit = loglog_fit(&ps, &ts).unwrap();
+        assert!((fit.slope + 1.0).abs() < 1e-9);
+        assert!((fit.intercept - 8.0f64.ln()).abs() < 1e-9);
+        assert!(fit.r2 > 0.999);
+        assert!((fit.predict(64.0) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_growing_trend() {
+        // T = 0.1 * p^0.5
+        let ps = [4.0, 16.0, 64.0, 256.0];
+        let ts: Vec<f64> = ps.iter().map(|p: &f64| 0.1 * p.sqrt()).collect();
+        let fit = loglog_fit(&ps, &ts).unwrap();
+        assert!((fit.slope - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_points_is_none() {
+        assert!(loglog_fit(&[2.0], &[1.0]).is_none());
+        assert!(loglog_fit(&[2.0, 4.0], &[0.0, 0.0]).is_none());
+        assert!(loglog_fit(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let ps = [2.0, 4.0, 8.0, 16.0];
+        let clean: Vec<f64> = ps.iter().map(|p| 1.0 / p).collect();
+        let noisy = [0.7, 0.2, 0.21, 0.04];
+        let f_clean = loglog_fit(&ps, &clean).unwrap();
+        let f_noisy = loglog_fit(&ps, &noisy).unwrap();
+        assert!(f_clean.r2 > f_noisy.r2);
+    }
+
+    #[test]
+    fn aggregation_strategies() {
+        let values = [1.0, 2.0, 3.0, 10.0];
+        assert_eq!(Aggregation::Mean.aggregate(&values), 4.0);
+        assert_eq!(Aggregation::Median.aggregate(&values), 2.5);
+        assert_eq!(Aggregation::Max.aggregate(&values), 10.0);
+        assert_eq!(Aggregation::SingleRank(2).aggregate(&values), 3.0);
+        assert_eq!(Aggregation::SingleRank(99).aggregate(&values), 0.0);
+        assert_eq!(Aggregation::Mean.aggregate(&[]), 0.0);
+    }
+
+    #[test]
+    fn clustered_mean_separates_groups() {
+        // Two clear groups: {1.0-ish} x 6 and {10.0-ish} x 2. The plain
+        // mean (3.25) over-weights the big group; the clustered mean
+        // ((1 + 10) / 2 = 5.5) treats groups symmetrically.
+        let values = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0];
+        let c = Aggregation::Clustered { k: 2 }.aggregate(&values);
+        assert!((c - 5.5).abs() < 0.5, "clustered mean {c}");
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

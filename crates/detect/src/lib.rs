@@ -1,0 +1,85 @@
+//! # scalana-detect — scaling loss detection (paper §IV)
+//!
+//! The offline analysis module of ScalAna. Given Program Performance
+//! Graphs collected at several process counts, it:
+//!
+//! 1. detects **non-scalable vertices** — vertices whose aggregated
+//!    metric follows an unusual slope as the process count grows, found
+//!    by fitting a log-log model per vertex ([`fit`]) under a choice of
+//!    cross-rank aggregation strategies ([`fit::Aggregation`], §IV-A);
+//! 2. detects **abnormal vertices** — vertices whose execution time
+//!    differs across ranks beyond `AbnormThd` at one scale (§IV-A);
+//! 3. runs **backtracking root-cause detection** (Algorithm 1,
+//!    [`backtrack`]): from each problematic vertex, walk backwards over
+//!    intra-process data/control dependence and inter-process
+//!    communication dependence (pruned to edges with real wait time)
+//!    until a root or collective vertex, yielding causal paths whose
+//!    deepest computation vertex is the root cause;
+//! 4. renders a ScalAna-viewer-style text report ([`report`]).
+
+pub mod backtrack;
+pub mod fit;
+pub mod problematic;
+pub mod report;
+pub mod scaling;
+
+pub use backtrack::{PathStep, RootCause, RootCausePath};
+pub use fit::{loglog_fit, Aggregation, Fit};
+pub use problematic::{AbnormalVertex, NonScalableVertex};
+pub use scaling::{summarize, ScalePoint, ScalingSummary};
+pub use report::DetectionReport;
+
+use scalana_graph::Ppg;
+
+/// Detection knobs (paper §V user parameters).
+#[derive(Debug, Clone)]
+pub struct DetectConfig {
+    /// The paper's `AbnormThd`: a rank is abnormal at a vertex when its
+    /// time exceeds this multiple of the cross-rank median. Paper
+    /// default: 1.3.
+    pub abnorm_thd: f64,
+    /// Cross-rank aggregation for non-scalable detection.
+    pub aggregation: Aggregation,
+    /// Keep at most this many non-scalable vertices.
+    pub top_k: usize,
+    /// Ignore vertices below this fraction of aggregate run time.
+    pub min_time_fraction: f64,
+    /// Flag vertices whose fitted log-log slope is at least this.
+    /// Strong-scaling compute trends to -1, so anything clearly above
+    /// ideal (default -0.85) is a candidate; the paper ranks by slope
+    /// and keeps the top `top_k`, which this floor merely pre-filters.
+    pub slope_threshold: f64,
+    /// Keep a communication-dependence edge during backtracking only if
+    /// its total wait time reaches this many seconds (Algorithm 1's
+    /// pruning of non-waiting edges).
+    pub wait_prune: f64,
+    /// Safety cap on backtracking path length.
+    pub max_path_len: usize,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            abnorm_thd: 1.3,
+            aggregation: Aggregation::Mean,
+            top_k: 5,
+            min_time_fraction: 0.01,
+            slope_threshold: -0.85,
+            wait_prune: 1e-7,
+            max_path_len: 4096,
+        }
+    }
+}
+
+/// Run the full detection pipeline over PPGs collected at ascending
+/// process counts. The last (largest) run hosts abnormal detection and
+/// backtracking.
+pub fn detect(runs: &[&Ppg], config: &DetectConfig) -> DetectionReport {
+    assert!(!runs.is_empty(), "detection needs at least one run");
+    let largest = runs[runs.len() - 1];
+    let non_scalable = problematic::find_non_scalable(runs, config);
+    let abnormal = problematic::find_abnormal(largest, config);
+    let (paths, root_causes) =
+        backtrack::backtrack_all(largest, &non_scalable, &abnormal, config);
+    DetectionReport { non_scalable, abnormal, paths, root_causes }
+}

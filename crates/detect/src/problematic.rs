@@ -1,0 +1,311 @@
+//! Location-aware problematic vertex detection (paper §IV-A).
+//!
+//! The per-process PSG is invariant across job scales, so the same
+//! vertex can be compared (a) across scales — *non-scalable vertex
+//! detection* — and (b) across ranks at one scale — *abnormal vertex
+//! detection*.
+
+use crate::fit::{loglog_fit, median, Fit};
+use crate::DetectConfig;
+use scalana_graph::{Ppg, VertexId, VertexKind};
+use serde::{Deserialize, Serialize};
+
+/// A vertex whose metric scales badly with the process count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonScalableVertex {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Fitted log-log model over process counts.
+    pub fit: Fit,
+    /// Aggregated metric per run (ascending process counts).
+    pub times: Vec<f64>,
+    /// Fraction of aggregate time at the largest scale.
+    pub time_fraction: f64,
+    /// `file:line` of the vertex.
+    pub location: String,
+}
+
+/// A vertex whose time is imbalanced across ranks at one scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbnormalVertex {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Ranks exceeding `AbnormThd` × median.
+    pub ranks: Vec<usize>,
+    /// Max-over-median severity ratio.
+    pub ratio: f64,
+    /// Cross-rank median time.
+    pub median_time: f64,
+    /// `file:line` of the vertex.
+    pub location: String,
+}
+
+/// Non-scalable vertex detection: fit each vertex's aggregated metric
+/// over process counts, rank by slope, keep impactful top-`k`.
+pub fn find_non_scalable(runs: &[&Ppg], config: &DetectConfig) -> Vec<NonScalableVertex> {
+    if runs.len() < 2 {
+        return Vec::new();
+    }
+    let largest = runs[runs.len() - 1];
+    let scales: Vec<f64> = runs.iter().map(|r| r.nprocs as f64).collect();
+    let vertex_count = runs.iter().map(|r| r.psg.vertex_count()).min().unwrap_or(0);
+
+    let mut found = Vec::new();
+    for v in 0..vertex_count as VertexId {
+        if matches!(largest.psg.vertex(v).kind, VertexKind::Root) {
+            continue;
+        }
+        let times: Vec<f64> = runs
+            .iter()
+            .map(|r| config.aggregation.aggregate(&r.times_across_ranks(v)))
+            .collect();
+        let Some(fit) = loglog_fit(&scales, &times) else { continue };
+        let time_fraction = largest.time_fraction(v);
+        if time_fraction < config.min_time_fraction {
+            continue;
+        }
+        if fit.slope < config.slope_threshold {
+            continue;
+        }
+        found.push(NonScalableVertex {
+            vertex: v,
+            fit,
+            times,
+            time_fraction,
+            location: largest.psg.vertex(v).location(),
+        });
+    }
+    // Worst scaling first; ties by impact.
+    found.sort_by(|a, b| {
+        b.fit
+            .slope
+            .partial_cmp(&a.fit.slope)
+            .unwrap()
+            .then(b.time_fraction.partial_cmp(&a.time_fraction).unwrap())
+    });
+    found.truncate(config.top_k);
+    found
+}
+
+/// Abnormal vertex detection at one scale: ranks whose time exceeds
+/// `AbnormThd` × cross-rank median.
+pub fn find_abnormal(ppg: &Ppg, config: &DetectConfig) -> Vec<AbnormalVertex> {
+    let mut found = Vec::new();
+    for v in 0..ppg.psg.vertex_count() as VertexId {
+        if matches!(ppg.psg.vertex(v).kind, VertexKind::Root) {
+            continue;
+        }
+        let times = ppg.times_across_ranks(v);
+        // Compare only ranks that actually executed the vertex: a
+        // rank-dependent branch arm runs on a subset of ranks, and
+        // imbalance is meaningful among the executing ones.
+        let active: Vec<f64> = times.iter().copied().filter(|t| *t > 0.0).collect();
+        if active.is_empty() {
+            continue;
+        }
+        let med = median(&active);
+        let max = active.iter().copied().fold(f64::MIN, f64::max);
+        if active.len() >= 2 && max > config.abnorm_thd * med && significant(ppg, max) {
+            let ranks = collect_ranks(&times, config.abnorm_thd * med);
+            found.push(AbnormalVertex {
+                vertex: v,
+                ranks,
+                ratio: max / med,
+                median_time: med,
+                location: ppg.psg.vertex(v).location(),
+            });
+        } else if active.len() * 4 <= ppg.nprocs && max_is_substantial(ppg, max) {
+            // SPMD asymmetry: substantial work executed by a small
+            // subset of ranks (e.g. an injected straggler, a serial
+            // section). Equal *within* the subset, so the ratio rule
+            // misses it; the concentration itself is the anomaly.
+            let ranks = collect_ranks(&times, 0.0);
+            let mean_over_all = times.iter().sum::<f64>() / ppg.nprocs as f64;
+            found.push(AbnormalVertex {
+                vertex: v,
+                ranks,
+                ratio: if mean_over_all > 0.0 { max / mean_over_all } else { 1.0 },
+                median_time: med,
+                location: ppg.psg.vertex(v).location(),
+            });
+        }
+    }
+    found.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).unwrap());
+    found
+}
+
+/// Ignore imbalance on vertices too small to matter (< 0.1% of the
+/// average rank's runtime).
+fn significant(ppg: &Ppg, time: f64) -> bool {
+    let avg_elapsed =
+        ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
+    time > avg_elapsed * 1e-3
+}
+
+/// Concentration anomalies need a higher bar: at least 2% of a rank's
+/// runtime (root-only bookkeeping stays under it).
+fn max_is_substantial(ppg: &Ppg, time: f64) -> bool {
+    let avg_elapsed =
+        ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
+    time > avg_elapsed * 0.02
+}
+
+fn collect_ranks(times: &[f64], threshold: f64) -> Vec<usize> {
+    times
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| **t > threshold)
+        .map(|(r, _)| r)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_lang::parse_program;
+    use std::sync::Arc;
+
+    /// Build a tiny PSG with known vertices: Comp(0..), Sendrecv, Allreduce.
+    fn test_psg() -> Arc<scalana_graph::Psg> {
+        let src = "fn main() { comp(cycles = 1); sendrecv(dst = (rank + 1) % nprocs, \
+                    src = (rank + nprocs - 1) % nprocs, sendtag = 0, recvtag = 0, bytes = 8); \
+                    allreduce(bytes = 8); }";
+        let program = parse_program("app.mmpi", src).unwrap();
+        Arc::new(build_psg(&program, &PsgOptions::default()))
+    }
+
+    fn comp_vertex(psg: &scalana_graph::Psg) -> VertexId {
+        psg.vertices
+            .iter()
+            .find(|v| v.kind == VertexKind::Comp)
+            .unwrap()
+            .id
+    }
+
+    fn allreduce_vertex(psg: &scalana_graph::Psg) -> VertexId {
+        psg.vertices
+            .iter()
+            .find(|v| matches!(v.kind, VertexKind::Mpi(scalana_graph::MpiKind::Allreduce)))
+            .unwrap()
+            .id
+    }
+
+    /// Synthesize a PPG where `comp` scales as work/p and `allreduce`
+    /// grows as log2(p).
+    fn make_run(psg: &Arc<scalana_graph::Psg>, p: usize, comp_scales: bool) -> Ppg {
+        let mut ppg = Ppg::new(Arc::clone(psg), p);
+        let comp = comp_vertex(psg);
+        let coll = allreduce_vertex(psg);
+        let comp_time = if comp_scales { 64.0 / p as f64 } else { 8.0 };
+        let coll_time = 0.05 * (p as f64).log2();
+        for r in 0..p {
+            ppg.perf_mut(comp, r).time = comp_time;
+            ppg.perf_mut(comp, r).count = 1;
+            ppg.perf_mut(coll, r).time = coll_time;
+            ppg.perf_mut(coll, r).wait_time = coll_time * 0.8;
+            ppg.rank_elapsed[r] = comp_time + coll_time;
+        }
+        ppg
+    }
+
+    #[test]
+    fn scaling_compute_is_not_flagged_but_growing_collective_is() {
+        let psg = test_psg();
+        let runs: Vec<Ppg> = [4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| make_run(&psg, p, true))
+            .collect();
+        let refs: Vec<&Ppg> = runs.iter().collect();
+        let config = DetectConfig::default();
+        let found = find_non_scalable(&refs, &config);
+        let coll = allreduce_vertex(&psg);
+        let comp = comp_vertex(&psg);
+        assert!(found.iter().any(|n| n.vertex == coll), "allreduce flagged: {found:?}");
+        assert!(found.iter().all(|n| n.vertex != comp), "scaling comp not flagged");
+        let flagged = found.iter().find(|n| n.vertex == coll).unwrap();
+        assert!(flagged.fit.slope > 0.0);
+    }
+
+    #[test]
+    fn stagnating_compute_is_flagged() {
+        let psg = test_psg();
+        let runs: Vec<Ppg> = [4, 8, 16, 32]
+            .iter()
+            .map(|&p| make_run(&psg, p, false))
+            .collect();
+        let refs: Vec<&Ppg> = runs.iter().collect();
+        let found = find_non_scalable(&refs, &DetectConfig::default());
+        let comp = comp_vertex(&psg);
+        let flagged = found.iter().find(|n| n.vertex == comp).expect("comp flagged");
+        assert!(flagged.fit.slope.abs() < 0.1, "flat trend: {}", flagged.fit.slope);
+        assert!(flagged.time_fraction > 0.5);
+    }
+
+    #[test]
+    fn single_run_yields_no_non_scalable() {
+        let psg = test_psg();
+        let run = make_run(&psg, 8, true);
+        assert!(find_non_scalable(&[&run], &DetectConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn abnormal_detection_flags_straggler_rank() {
+        let psg = test_psg();
+        let mut ppg = make_run(&psg, 8, true);
+        let comp = comp_vertex(&psg);
+        // Rank 4 takes 3x the median (paper Fig. 7b shape).
+        ppg.perf_mut(comp, 4).time *= 3.0;
+        let found = find_abnormal(&ppg, &DetectConfig::default());
+        let ab = found.iter().find(|a| a.vertex == comp).expect("comp abnormal");
+        assert_eq!(ab.ranks, vec![4]);
+        assert!(ab.ratio > 2.9 && ab.ratio < 3.1);
+    }
+
+    #[test]
+    fn abnormal_threshold_is_respected() {
+        let psg = test_psg();
+        let mut ppg = make_run(&psg, 8, true);
+        let comp = comp_vertex(&psg);
+        // 1.2x the median stays under AbnormThd = 1.3.
+        ppg.perf_mut(comp, 2).time *= 1.2;
+        let found = find_abnormal(&ppg, &DetectConfig::default());
+        assert!(found.iter().all(|a| a.vertex != comp));
+        // But a lower threshold catches it.
+        let strict = DetectConfig { abnorm_thd: 1.1, ..Default::default() };
+        let found = find_abnormal(&ppg, &strict);
+        assert!(found.iter().any(|a| a.vertex == comp));
+    }
+
+    #[test]
+    fn partially_executed_vertices_use_active_median() {
+        let psg = test_psg();
+        let mut ppg = make_run(&psg, 8, true);
+        let comp = comp_vertex(&psg);
+        // Only ranks 0..3 execute; rank 3 is 4x slower than peers.
+        for r in 0..8 {
+            ppg.perf_mut(comp, r).time = 0.0;
+        }
+        for r in 0..3 {
+            ppg.perf_mut(comp, r).time = 1.0;
+        }
+        ppg.perf_mut(comp, 3).time = 4.0;
+        let found = find_abnormal(&ppg, &DetectConfig::default());
+        let ab = found.iter().find(|a| a.vertex == comp).expect("flagged");
+        assert_eq!(ab.ranks, vec![3]);
+    }
+
+    #[test]
+    fn insignificant_vertices_ignored() {
+        let psg = test_psg();
+        let mut ppg = make_run(&psg, 8, true);
+        let comp = comp_vertex(&psg);
+        // Huge relative imbalance on a vanishing absolute time.
+        for r in 0..8 {
+            ppg.perf_mut(comp, r).time = 1e-9;
+        }
+        ppg.perf_mut(comp, 0).time = 1e-8;
+        let found = find_abnormal(&ppg, &DetectConfig::default());
+        assert!(found.iter().all(|a| a.vertex != comp));
+    }
+}

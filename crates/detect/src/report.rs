@@ -1,0 +1,192 @@
+//! Text rendering of detection results — the `ScalAna-viewer` stand-in.
+//!
+//! The paper's GUI lists root-cause vertices with their calling paths in
+//! an upper pane and the corresponding code snippets below. This module
+//! renders the same content as text: ranked root causes with locations,
+//! the causal paths that reached them, and the problematic-vertex lists.
+
+use crate::backtrack::{RootCause, RootCausePath};
+use crate::problematic::{AbnormalVertex, NonScalableVertex};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Full output of one detection run.
+#[derive(Debug, Clone)]
+pub struct DetectionReport {
+    /// Non-scalable vertices (paper Fig. 7a).
+    pub non_scalable: Vec<NonScalableVertex>,
+    /// Abnormal vertices at the largest scale (paper Fig. 7b).
+    pub abnormal: Vec<AbnormalVertex>,
+    /// Backtracking paths (paper Fig. 8/12).
+    pub paths: Vec<RootCausePath>,
+    /// Deduplicated root causes, ranked by impact.
+    pub root_causes: Vec<RootCause>,
+}
+
+impl DetectionReport {
+    /// The top root cause, if any.
+    pub fn top_root_cause(&self) -> Option<&RootCause> {
+        self.root_causes.first()
+    }
+
+    /// True when a root cause at `file:line` was identified.
+    pub fn found_at(&self, location: &str) -> bool {
+        self.root_causes.iter().any(|c| c.location == location)
+    }
+
+    /// Render the viewer-style text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== ScalAna detection report ===");
+        let _ = writeln!(out, "\n-- Non-scalable vertices ({}) --", self.non_scalable.len());
+        for n in &self.non_scalable {
+            let _ = writeln!(
+                out,
+                "  {:<22} slope {:+.2} (R2 {:.2})  {:>5.1}% of time  [{}]",
+                n.location,
+                n.fit.slope,
+                n.fit.r2,
+                n.time_fraction * 100.0,
+                series(&n.times),
+            );
+        }
+        let _ = writeln!(out, "\n-- Abnormal vertices ({}) --", self.abnormal.len());
+        for a in self.abnormal.iter().take(12) {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:.2}x median on ranks {:?}",
+                a.location, a.ratio, a.ranks
+            );
+        }
+        let _ = writeln!(out, "\n-- Root causes ({}) --", self.root_causes.len());
+        for (i, c) in self.root_causes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{:<2} {:<8} {:<22} in {:<14} score {:.3e}  paths {}  \
+                 time imb {:.2}x  TOT_INS imb {:.2}x",
+                i + 1,
+                c.kind,
+                c.location,
+                c.func,
+                c.score,
+                c.path_count,
+                c.time_imbalance,
+                c.ins_imbalance,
+            );
+        }
+        let _ = writeln!(out, "\n-- Causal paths ({}) --", self.paths.len());
+        for (i, p) in self.paths.iter().enumerate().take(8) {
+            let _ = writeln!(out, "  path {}:", i + 1);
+            for (j, s) in p.steps.iter().enumerate() {
+                let marker = if j == p.root_cause_idx { " <== root cause" } else { "" };
+                let hop = if s.via_comm { "~>" } else { "->" };
+                let _ = writeln!(
+                    out,
+                    "    {} rank {:<4} {:<14} {:<22} time {:.3e} wait {:.3e}{}",
+                    hop, s.rank, s.kind, s.location, s.time, s.wait_time, marker
+                );
+            }
+        }
+        out
+    }
+}
+
+fn series(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:.2e}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::PathStep;
+    use crate::fit::Fit;
+
+    fn sample_report() -> DetectionReport {
+        DetectionReport {
+            non_scalable: vec![NonScalableVertex {
+                vertex: 5,
+                fit: Fit { slope: 0.4, intercept: -2.0, r2: 0.97 },
+                times: vec![0.01, 0.02, 0.04],
+                time_fraction: 0.31,
+                location: "nudt.F:361".into(),
+            }],
+            abnormal: vec![AbnormalVertex {
+                vertex: 2,
+                ranks: vec![4, 6],
+                ratio: 2.4,
+                median_time: 0.05,
+                location: "bval3d.F:155".into(),
+            }],
+            paths: vec![RootCausePath {
+                steps: vec![
+                    PathStep {
+                        rank: 1,
+                        vertex: 5,
+                        kind: "MPI_Allreduce".into(),
+                        location: "nudt.F:361".into(),
+                        time: 0.04,
+                        wait_time: 0.03,
+                        via_comm: false,
+                    },
+                    PathStep {
+                        rank: 0,
+                        vertex: 2,
+                        kind: "Loop".into(),
+                        location: "bval3d.F:155".into(),
+                        time: 0.12,
+                        wait_time: 0.0,
+                        via_comm: true,
+                    },
+                ],
+                root_cause_idx: 1,
+                confident: true,
+            }],
+            root_causes: vec![RootCause {
+                vertex: 2,
+                kind: "Loop".into(),
+                location: "bval3d.F:155".into(),
+                func: "bval3d".into(),
+                path_count: 3,
+                score: 0.36,
+                mean_time: 0.06,
+                time_imbalance: 2.0,
+                ins_imbalance: 2.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_key_facts() {
+        let report = sample_report();
+        let text = report.render();
+        assert!(text.contains("nudt.F:361"));
+        assert!(text.contains("bval3d.F:155"));
+        assert!(text.contains("root cause"));
+        assert!(text.contains("Loop"));
+        assert!(text.contains("ranks [4, 6]"));
+    }
+
+    #[test]
+    fn found_at_and_top() {
+        let report = sample_report();
+        assert!(report.found_at("bval3d.F:155"));
+        assert!(!report.found_at("elsewhere.c:1"));
+        assert_eq!(report.top_root_cause().unwrap().location, "bval3d.F:155");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let report = sample_report();
+        assert_eq!(report.to_string(), report.render());
+    }
+}

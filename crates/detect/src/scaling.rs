@@ -1,0 +1,172 @@
+//! Whole-program scaling metrics derived from multi-scale runs.
+//!
+//! The paper frames scaling loss through speedup curves ("the speedup is
+//! only 55.53× on 128 processes"). This module computes the summary
+//! numbers a report leads with: speedups, parallel efficiencies, and an
+//! Amdahl/USL-style decomposition of the measured curve into serial and
+//! scaling components — context for the per-vertex detection results.
+
+use crate::fit::loglog_fit;
+use serde::{Deserialize, Serialize};
+
+/// One point of a scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Process count.
+    pub nprocs: usize,
+    /// End-to-end runtime at that scale.
+    pub time: f64,
+    /// Speedup vs the smallest scale (scaled by the rank ratio, so an
+    /// ideal program doubles speedup when ranks double).
+    pub speedup: f64,
+    /// Parallel efficiency vs the smallest scale (1.0 = ideal).
+    pub efficiency: f64,
+}
+
+/// Summary of a speedup curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSummary {
+    /// The per-scale points (ascending process counts).
+    pub points: Vec<ScalePoint>,
+    /// Fitted log-log slope of runtime vs ranks (−1 = ideal strong
+    /// scaling, 0 = no scaling).
+    pub time_slope: f64,
+    /// Estimated serial fraction per Amdahl's law (least-squares over
+    /// all scale pairs); `None` when the curve is super-linear or too
+    /// short to fit.
+    pub serial_fraction: Option<f64>,
+    /// The scale with the best efficiency-per-rank trade-off (knee of
+    /// the curve): the largest scale whose efficiency is still ≥ 50 %.
+    pub efficient_scale: Option<usize>,
+}
+
+/// Compute scaling metrics from `(nprocs, time)` measurements (ascending
+/// process counts, at least one point).
+pub fn summarize(measurements: &[(usize, f64)]) -> ScalingSummary {
+    assert!(!measurements.is_empty(), "need at least one measurement");
+    let (p0, t0) = measurements[0];
+    let points: Vec<ScalePoint> = measurements
+        .iter()
+        .map(|&(p, t)| {
+            let speedup = if t > 0.0 { t0 / t } else { 0.0 };
+            let rank_ratio = p as f64 / p0 as f64;
+            ScalePoint {
+                nprocs: p,
+                time: t,
+                speedup,
+                efficiency: if rank_ratio > 0.0 { speedup / rank_ratio } else { 0.0 },
+            }
+        })
+        .collect();
+
+    let xs: Vec<f64> = measurements.iter().map(|(p, _)| *p as f64).collect();
+    let ys: Vec<f64> = measurements.iter().map(|(_, t)| *t).collect();
+    let time_slope = loglog_fit(&xs, &ys).map(|f| f.slope).unwrap_or(0.0);
+
+    let serial_fraction = estimate_serial_fraction(&points);
+    let efficient_scale = points
+        .iter()
+        .filter(|pt| pt.efficiency >= 0.5)
+        .map(|pt| pt.nprocs)
+        .max();
+
+    ScalingSummary { points, time_slope, serial_fraction, efficient_scale }
+}
+
+/// Amdahl: `S(n) = 1 / (f + (1-f)/n)` with `n` the rank ratio. Solve `f`
+/// per point and average, clamped to [0, 1]; `None` when every point is
+/// at the baseline or super-linear.
+fn estimate_serial_fraction(points: &[ScalePoint]) -> Option<f64> {
+    let base = points.first()?.nprocs as f64;
+    let mut estimates = Vec::new();
+    for pt in points.iter().skip(1) {
+        let n = pt.nprocs as f64 / base;
+        let s = pt.speedup;
+        if s <= 0.0 || n <= 1.0 {
+            continue;
+        }
+        // f = (n/s - 1) / (n - 1)
+        let f = (n / s - 1.0) / (n - 1.0);
+        if f.is_finite() {
+            estimates.push(f.clamp(0.0, 1.0));
+        }
+    }
+    if estimates.is_empty() {
+        None
+    } else {
+        Some(estimates.iter().sum::<f64>() / estimates.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_scaling_has_unit_efficiency_and_zero_serial() {
+        let m: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&p| (p, 16.0 / p as f64))
+            .collect();
+        let s = summarize(&m);
+        assert!((s.time_slope + 1.0).abs() < 1e-9);
+        for pt in &s.points {
+            assert!((pt.efficiency - 1.0).abs() < 1e-9);
+        }
+        assert!(s.serial_fraction.unwrap() < 1e-9);
+        assert_eq!(s.efficient_scale, Some(16));
+    }
+
+    #[test]
+    fn pure_serial_program_never_speeds_up() {
+        let m: Vec<(usize, f64)> = [1usize, 2, 4, 8].iter().map(|&p| (p, 10.0)).collect();
+        let s = summarize(&m);
+        assert!(s.time_slope.abs() < 1e-9);
+        assert!((s.serial_fraction.unwrap() - 1.0).abs() < 1e-9);
+        // Efficiency halves each doubling; 2 ranks sits exactly at 50%.
+        assert_eq!(s.efficient_scale, Some(2));
+    }
+
+    #[test]
+    fn amdahl_curve_recovers_planted_fraction() {
+        let f = 0.1;
+        let m: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| (p, f + (1.0 - f) / p as f64))
+            .collect();
+        let s = summarize(&m);
+        let est = s.serial_fraction.unwrap();
+        assert!((est - f).abs() < 1e-6, "estimated {est}, planted {f}");
+        // Efficiency degrades but the early points are fine.
+        assert!(s.points[1].efficiency > 0.9);
+        assert!(s.points[5].efficiency < 0.3);
+    }
+
+    #[test]
+    fn superlinear_curve_yields_no_serial_fraction_above_zero() {
+        let m = vec![(1usize, 10.0), (2, 4.0), (4, 1.8)];
+        let s = summarize(&m);
+        // Clamped at zero: no serial component explains super-linear.
+        assert_eq!(s.serial_fraction, Some(0.0));
+    }
+
+    #[test]
+    fn baselines_other_than_one_rank_work() {
+        // The paper baselines Nekbone at 64 ranks.
+        let m: Vec<(usize, f64)> = [64usize, 128, 256]
+            .iter()
+            .map(|&p| (p, 64.0 * 4.0 / p as f64))
+            .collect();
+        let s = summarize(&m);
+        assert!((s.points[1].speedup - 2.0).abs() < 1e-9);
+        assert!((s.points[1].efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_summary_is_degenerate_but_valid() {
+        let s = summarize(&[(8, 1.0)]);
+        assert_eq!(s.points.len(), 1);
+        assert_eq!(s.points[0].speedup, 1.0);
+        assert_eq!(s.serial_fraction, None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the detection math.
+
+use proptest::prelude::*;
+use scalana_detect::{loglog_fit, Aggregation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Planted power laws are recovered to high precision.
+    #[test]
+    fn fit_recovers_planted_slope(
+        slope in -2.0f64..2.0,
+        coeff in 0.001f64..1000.0,
+        npoints in 3usize..10,
+    ) {
+        let xs: Vec<f64> = (0..npoints).map(|i| 2f64.powi(i as i32 + 1)).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| coeff * x.powf(slope)).collect();
+        let fit = loglog_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!(fit.r2 > 0.999999);
+        // Prediction interpolates exactly on a clean power law.
+        let mid = (xs[0] * xs[1]).sqrt();
+        prop_assert!((fit.predict(mid) - coeff * mid.powf(slope)).abs()
+            / (coeff * mid.powf(slope)) < 1e-6);
+    }
+
+    /// Bounded multiplicative noise keeps the slope within the noise
+    /// band (robustness property used by non-scalable detection).
+    #[test]
+    fn fit_is_robust_to_bounded_noise(
+        slope in -1.5f64..1.5,
+        seed in 0u64..1000,
+    ) {
+        let xs: Vec<f64> = (1..8).map(|i| 2f64.powi(i)).collect();
+        // Deterministic pseudo-noise in [0.95, 1.05].
+        let noise = |i: usize| {
+            let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64 * 0x517c_c1b7);
+            0.95 + (h % 1000) as f64 / 10_000.0
+        };
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x.powf(slope) * noise(i))
+            .collect();
+        let fit = loglog_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 0.1, "slope {} vs {}", fit.slope, slope);
+    }
+
+    /// Aggregations are bounded by the data range and exact on constant
+    /// vectors.
+    #[test]
+    fn aggregations_are_sane(values in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Median,
+            Aggregation::Max,
+            Aggregation::Clustered { k: 2 },
+            Aggregation::Clustered { k: 4 },
+        ] {
+            let v = agg.aggregate(&values);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{agg:?} gave {v} outside [{min},{max}]");
+        }
+    }
+
+    #[test]
+    fn aggregations_exact_on_constant(c in 0.0f64..1e6, n in 1usize..32) {
+        let values = vec![c; n];
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Median,
+            Aggregation::Max,
+            Aggregation::SingleRank(0),
+            Aggregation::Clustered { k: 3 },
+        ] {
+            prop_assert!((agg.aggregate(&values) - c).abs() < 1e-9);
+        }
+    }
+
+    /// Max dominates mean dominates nothing-below-median ordering.
+    #[test]
+    fn aggregation_ordering(values in proptest::collection::vec(0.0f64..1e6, 2..64)) {
+        let mean = Aggregation::Mean.aggregate(&values);
+        let max = Aggregation::Max.aggregate(&values);
+        prop_assert!(max >= mean - 1e-9);
+    }
+}

@@ -1,0 +1,515 @@
+//! Graph contraction (paper §III-A, Fig. 4).
+//!
+//! The expanded PSG has one vertex per statement, which is too fine for
+//! profiling: attributing samples to thousands of tiny vertices costs
+//! overhead without analytical benefit. Contraction applies the paper's
+//! rules:
+//!
+//! 1. **All MPI invocations and the control structures containing them
+//!    are preserved** — communication is the usual scalability bottleneck.
+//! 2. MPI-free branches are folded into computation.
+//! 3. MPI-free loops are preserved only up to `MaxLoopDepth` nesting
+//!    (loop iterations may dominate compute time, so shallow loops keep
+//!    their own vertices); deeper loops fold into their parent.
+//! 4. Consecutive foldable statements merge into a single `Comp` vertex.
+//!
+//! Unresolved `CallSite`s are conservatively preserved (their targets may
+//! perform MPI); `RecursiveCall`s are preserved exactly when the function
+//! they re-enter transitively performs MPI.
+
+use crate::vertex::{Children, Vertex, VertexId, VertexKind};
+use scalana_lang::ast::NodeId;
+use scalana_lang::span::Span;
+use std::collections::HashMap;
+
+/// Output of contraction: a fresh vertex table (ids offset by `base`) and
+/// the old→new id mapping covering *every* old vertex (merged vertices
+/// map onto the `Comp` that absorbed them).
+#[derive(Debug)]
+pub struct Contracted {
+    /// Contracted vertex table. `vertices[i].id == base + i`.
+    pub vertices: Vec<Vertex>,
+    /// Old id → new id, total over the input region.
+    pub map: HashMap<VertexId, VertexId>,
+    /// New id of the region root.
+    pub root: VertexId,
+}
+
+/// Contract the expanded region rooted at `root`.
+///
+/// - `mpi_flags`: per-function transitive does-MPI flags (for
+///   `RecursiveCall` preservation).
+/// - `max_loop_depth`: the paper's `MaxLoopDepth` knob.
+/// - `base`: id offset for the output table (non-zero when splicing a
+///   resolved indirect call into an existing PSG).
+pub fn contract(
+    expanded: &[Vertex],
+    root: VertexId,
+    mpi_flags: &HashMap<String, bool>,
+    max_loop_depth: u32,
+    base: VertexId,
+) -> Contracted {
+    let mut ctx = Ctx {
+        expanded,
+        mpi_flags,
+        max_loop_depth,
+        subtree_mpi: vec![None; expanded.len()],
+        out: Vec::new(),
+        map: HashMap::with_capacity(expanded.len()),
+        base,
+    };
+    // The root is always kept.
+    let new_root = ctx.alloc_from(&expanded[root as usize], None);
+    ctx.map.insert(root, new_root);
+    let pieces = ctx.contract_seq(&expanded[root as usize].children.all(), new_root);
+    let children = ctx.seal_pieces(pieces, new_root);
+    ctx.out[(new_root - base) as usize].children = Children::Seq(children);
+    ctx.fixup_recursive_targets();
+    Contracted { vertices: ctx.out, map: ctx.map, root: new_root }
+}
+
+struct Ctx<'a> {
+    expanded: &'a [Vertex],
+    mpi_flags: &'a HashMap<String, bool>,
+    max_loop_depth: u32,
+    subtree_mpi: Vec<Option<bool>>,
+    out: Vec<Vertex>,
+    map: HashMap<VertexId, VertexId>,
+    base: VertexId,
+}
+
+/// A contracted child: either a kept vertex or foldable material awaiting
+/// coalescing with its neighbours.
+enum Piece {
+    Keep(VertexId),
+    Fold(FoldGroup),
+}
+
+/// Foldable statements accumulated from one or more old vertices.
+struct FoldGroup {
+    old_ids: Vec<VertexId>,
+    stmt_ids: Vec<NodeId>,
+    span: Span,
+    func: String,
+    loop_depth: u32,
+}
+
+impl<'a> Ctx<'a> {
+    fn alloc_from(&mut self, old: &Vertex, parent: Option<VertexId>) -> VertexId {
+        let id = self.base + self.out.len() as VertexId;
+        self.out.push(Vertex {
+            id,
+            kind: old.kind,
+            span: old.span.clone(),
+            func: old.func.clone(),
+            stmt_ids: old.stmt_ids.clone(),
+            parent,
+            children: Children::none(),
+            loop_depth: old.loop_depth,
+        });
+        id
+    }
+
+    /// Does the subtree rooted at `v` contain MPI (or an unresolved call
+    /// that might)?
+    fn subtree_mpi(&mut self, v: VertexId) -> bool {
+        if let Some(flag) = self.subtree_mpi[v as usize] {
+            return flag;
+        }
+        let vertex = &self.expanded[v as usize];
+        let flag = match vertex.kind {
+            VertexKind::Mpi(_) | VertexKind::CallSite => true,
+            VertexKind::RecursiveCall(target) => {
+                let callee = &self.expanded[target as usize].func;
+                self.mpi_flags.get(callee).copied().unwrap_or(false)
+            }
+            _ => {
+                let children = vertex.children.all();
+                children.into_iter().any(|c| self.subtree_mpi(c))
+            }
+        };
+        self.subtree_mpi[v as usize] = Some(flag);
+        flag
+    }
+
+    fn contract_seq(&mut self, old_ids: &[VertexId], new_parent: VertexId) -> Vec<Piece> {
+        old_ids
+            .iter()
+            .flat_map(|&id| self.contract_vertex(id, new_parent))
+            .collect()
+    }
+
+    /// Contract one vertex. A dissolved MPI-free branch yields multiple
+    /// pieces (its own statement plus the contracted arm contents), so
+    /// the result is a list.
+    fn contract_vertex(&mut self, old_id: VertexId, new_parent: VertexId) -> Vec<Piece> {
+        let old = &self.expanded[old_id as usize];
+        match old.kind {
+            VertexKind::Root => unreachable!("root handled by `contract`"),
+            VertexKind::Mpi(_) | VertexKind::CallSite => {
+                let old = old.clone();
+                let id = self.alloc_from(&old, Some(new_parent));
+                self.map.insert(old_id, id);
+                vec![Piece::Keep(id)]
+            }
+            VertexKind::RecursiveCall(_) => {
+                if self.subtree_mpi(old_id) {
+                    let old = old.clone();
+                    let id = self.alloc_from(&old, Some(new_parent));
+                    self.map.insert(old_id, id);
+                    vec![Piece::Keep(id)]
+                } else {
+                    vec![Piece::Fold(self.fold_subtree(old_id))]
+                }
+            }
+            VertexKind::Comp => vec![Piece::Fold(self.fold_subtree(old_id))],
+            VertexKind::Branch => {
+                if self.subtree_mpi(old_id) {
+                    let old = old.clone();
+                    let id = self.alloc_from(&old, Some(new_parent));
+                    self.map.insert(old_id, id);
+                    let Children::Arms { then_arm, else_arm } = &old.children else {
+                        unreachable!("branch children are arms")
+                    };
+                    let t_pieces = self.contract_seq(then_arm, id);
+                    let t = self.seal_pieces(t_pieces, id);
+                    let e_pieces = self.contract_seq(else_arm, id);
+                    let e = self.seal_pieces(e_pieces, id);
+                    self.out[(id - self.base) as usize].children =
+                        Children::Arms { then_arm: t, else_arm: e };
+                    vec![Piece::Keep(id)]
+                } else if self.has_keepable_loop(old_id) {
+                    // Paper rule: among MPI-free structures only loops
+                    // are preserved. The branch dissolves, but loops in
+                    // its arms keep their own vertices.
+                    let old = old.clone();
+                    let mut pieces = vec![Piece::Fold(FoldGroup {
+                        old_ids: vec![old_id],
+                        stmt_ids: old.stmt_ids.clone(),
+                        span: old.span.clone(),
+                        func: old.func.clone(),
+                        loop_depth: old.loop_depth,
+                    })];
+                    pieces.extend(self.contract_seq(&old.children.all(), new_parent));
+                    pieces
+                } else {
+                    vec![Piece::Fold(self.fold_subtree(old_id))]
+                }
+            }
+            VertexKind::Loop => {
+                let keep = self.subtree_mpi(old_id)
+                    || old.loop_depth < self.max_loop_depth;
+                if keep {
+                    let old = old.clone();
+                    let id = self.alloc_from(&old, Some(new_parent));
+                    self.map.insert(old_id, id);
+                    let kids = old.children.all();
+                    let pieces = self.contract_seq(&kids, id);
+                    let children = self.seal_pieces(pieces, id);
+                    self.out[(id - self.base) as usize].children = Children::Seq(children);
+                    vec![Piece::Keep(id)]
+                } else {
+                    vec![Piece::Fold(self.fold_subtree(old_id))]
+                }
+            }
+        }
+    }
+
+    /// Whether an MPI-free subtree contains a loop that the depth rule
+    /// would preserve.
+    fn has_keepable_loop(&self, old_id: VertexId) -> bool {
+        let mut stack = self.expanded[old_id as usize].children.all();
+        while let Some(v) = stack.pop() {
+            let vertex = &self.expanded[v as usize];
+            if vertex.kind == VertexKind::Loop && vertex.loop_depth < self.max_loop_depth {
+                return true;
+            }
+            stack.extend(vertex.children.all());
+        }
+        false
+    }
+
+    /// Collect an entire MPI-free subtree into one fold group.
+    fn fold_subtree(&mut self, old_id: VertexId) -> FoldGroup {
+        let old = &self.expanded[old_id as usize];
+        let mut group = FoldGroup {
+            old_ids: vec![old_id],
+            stmt_ids: old.stmt_ids.clone(),
+            span: old.span.clone(),
+            func: old.func.clone(),
+            loop_depth: old.loop_depth,
+        };
+        let mut stack = old.children.all();
+        stack.reverse();
+        while let Some(v) = stack.pop() {
+            let vertex = &self.expanded[v as usize];
+            debug_assert!(
+                !matches!(vertex.kind, VertexKind::Mpi(_) | VertexKind::CallSite),
+                "folded subtrees must be MPI-free"
+            );
+            group.old_ids.push(v);
+            group.stmt_ids.extend_from_slice(&vertex.stmt_ids);
+            let mut kids = vertex.children.all();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        group
+    }
+
+    /// Turn a piece list into a child-id list, coalescing consecutive
+    /// fold groups into single `Comp` vertices.
+    fn seal_pieces(&mut self, pieces: Vec<Piece>, new_parent: VertexId) -> Vec<VertexId> {
+        let mut children = Vec::with_capacity(pieces.len());
+        let mut pending: Option<FoldGroup> = None;
+        for piece in pieces {
+            match piece {
+                Piece::Keep(id) => {
+                    if let Some(group) = pending.take() {
+                        children.push(self.emit_comp(group, new_parent));
+                    }
+                    children.push(id);
+                }
+                Piece::Fold(group) => match &mut pending {
+                    Some(acc) => {
+                        acc.old_ids.extend(group.old_ids);
+                        acc.stmt_ids.extend(group.stmt_ids);
+                    }
+                    None => pending = Some(group),
+                },
+            }
+        }
+        if let Some(group) = pending.take() {
+            children.push(self.emit_comp(group, new_parent));
+        }
+        children
+    }
+
+    fn emit_comp(&mut self, group: FoldGroup, new_parent: VertexId) -> VertexId {
+        let id = self.base + self.out.len() as VertexId;
+        self.out.push(Vertex {
+            id,
+            kind: VertexKind::Comp,
+            span: group.span,
+            func: group.func,
+            stmt_ids: group.stmt_ids,
+            parent: Some(new_parent),
+            children: Children::none(),
+            loop_depth: group.loop_depth,
+        });
+        for old in group.old_ids {
+            self.map.insert(old, id);
+        }
+        id
+    }
+
+    /// Repoint `RecursiveCall` targets at the contracted ids.
+    fn fixup_recursive_targets(&mut self) {
+        for v in &mut self.out {
+            if let VertexKind::RecursiveCall(target) = v.kind {
+                if let Some(new_target) = self.map.get(&target) {
+                    v.kind = VertexKind::RecursiveCall(*new_target);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inter::Expander;
+    use crate::intra::{build_local, LocalPsg};
+    use crate::vertex::MpiKind;
+    use scalana_lang::parse_program;
+
+    fn contract_src(src: &str, max_loop_depth: u32) -> (Vec<Vertex>, Contracted) {
+        let program = parse_program("t.mmpi", src).unwrap();
+        let locals: HashMap<String, LocalPsg> = program
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), build_local(f)))
+            .collect();
+        let flags = crate::inter::mpi_closure(&locals);
+        let mut contexts = Vec::new();
+        let ex = Expander::expand_program(&locals, &mut contexts);
+        let contracted = contract(&ex.vertices, ex.root, &flags, max_loop_depth, 0);
+        (ex.vertices, contracted)
+    }
+
+    fn kinds(c: &Contracted, ids: &[VertexId]) -> Vec<VertexKind> {
+        ids.iter().map(|&i| c.vertices[i as usize].kind).collect()
+    }
+
+    /// Paper Fig. 3/4: with MaxLoopDepth=1, Loop1 (contains MPI) stays;
+    /// Loop1.1 and Loop1.2 fold with the preceding `let` into one Comp.
+    #[test]
+    fn fig4_contraction() {
+        let src = r#"
+            param N = 16;
+            fn main() {
+                for i in 0 .. N {
+                    let a = i;
+                    for j in 0 .. i { comp(cycles = j); }
+                    for k in 0 .. i { comp(cycles = k); }
+                    foo();
+                    bcast(root = 0, bytes = 8);
+                }
+            }
+            fn foo() {
+                if rank % 2 == 0 { send(dst = rank + 1, tag = 0, bytes = 8); }
+                else { recv(src = rank - 1, tag = 0); }
+            }
+        "#;
+        let (_, c) = contract_src(src, 1);
+        let root = &c.vertices[c.root as usize];
+        let Children::Seq(top) = &root.children else { panic!() };
+        assert_eq!(kinds(&c, top), vec![VertexKind::Loop]);
+        let loop1 = &c.vertices[top[0] as usize];
+        let Children::Seq(body) = &loop1.children else { panic!() };
+        // [Comp(let + Loop1.1 + Loop1.2), Branch, Bcast] — matching Fig 4(c).
+        assert_eq!(
+            kinds(&c, body),
+            vec![
+                VertexKind::Comp,
+                VertexKind::Branch,
+                VertexKind::Mpi(MpiKind::Bcast)
+            ]
+        );
+        // The merged Comp absorbed five statements: let, 2 loops, 2 comps.
+        let comp = &c.vertices[body[0] as usize];
+        assert_eq!(comp.stmt_ids.len(), 5);
+    }
+
+    #[test]
+    fn mpi_free_loops_kept_up_to_max_depth() {
+        let src = "fn main() { for i in 0 .. 2 { for j in 0 .. 2 { for k in 0 .. 2 { \
+                    comp(cycles = 1); } } } barrier(); }";
+        // Depth 2: keep i and j loops, fold the k loop.
+        let (_, c) = contract_src(src, 2);
+        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        assert_eq!(loops, 2);
+        // Depth 10: keep everything.
+        let (_, c) = contract_src(src, 10);
+        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        assert_eq!(loops, 3);
+        // Depth 0: fold all MPI-free loops.
+        let (_, c) = contract_src(src, 0);
+        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        assert_eq!(loops, 0);
+    }
+
+    #[test]
+    fn mpi_loops_kept_regardless_of_depth() {
+        let src = "fn main() { for i in 0 .. 2 { for j in 0 .. 2 { for k in 0 .. 2 { \
+                    barrier(); } } } }";
+        let (_, c) = contract_src(src, 0);
+        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        assert_eq!(loops, 3, "MPI-bearing loops survive MaxLoopDepth=0");
+    }
+
+    #[test]
+    fn mpi_free_branch_folds() {
+        let src = "fn main() { if rank == 0 { comp(cycles = 5); } else { comp(cycles = 9); } \
+                    barrier(); }";
+        let (_, c) = contract_src(src, 10);
+        assert!(c.vertices.iter().all(|v| v.kind != VertexKind::Branch));
+        // But an MPI-bearing branch is kept.
+        let src = "fn main() { if rank == 0 { barrier(); } else { comp(cycles = 9); } }";
+        let (_, c) = contract_src(src, 10);
+        assert!(c.vertices.iter().any(|v| v.kind == VertexKind::Branch));
+    }
+
+    #[test]
+    fn consecutive_comp_statements_merge() {
+        let src = "fn main() { let a = 1; let b = 2; comp(cycles = 3); barrier(); \
+                    let c = 4; comp(cycles = 5); }";
+        let (_, c) = contract_src(src, 10);
+        let comps: Vec<_> =
+            c.vertices.iter().filter(|v| v.kind == VertexKind::Comp).collect();
+        assert_eq!(comps.len(), 2, "one Comp before the barrier, one after");
+        assert_eq!(comps[0].stmt_ids.len(), 3);
+        assert_eq!(comps[1].stmt_ids.len(), 2);
+    }
+
+    #[test]
+    fn map_covers_every_old_vertex() {
+        let src = r#"
+            fn main() {
+                for i in 0 .. 4 {
+                    let x = i;
+                    if x % 2 == 0 { comp(cycles = x); } else { comp(cycles = 1); }
+                }
+                work();
+            }
+            fn work() { for j in 0 .. 2 { comp(cycles = j); } allreduce(bytes = 8); }
+        "#;
+        let (expanded, c) = contract_src(src, 1);
+        for v in &expanded {
+            let new = c.map.get(&v.id).copied().unwrap_or_else(|| {
+                panic!("old vertex {} ({:?}) missing from map", v.id, v.kind)
+            });
+            assert!((new as usize) < c.vertices.len());
+        }
+    }
+
+    #[test]
+    fn contraction_reduces_vertex_count_substantially() {
+        // Table II reports ~68% average reduction; assert the direction.
+        let src = r#"
+            fn main() {
+                for i in 0 .. 8 {
+                    let a = i; let b = a + 1; let c = b * 2;
+                    for j in 0 .. 4 { let t = j; comp(cycles = t); }
+                    if a % 2 == 0 { let u = 1; comp(cycles = u); } else { let w = 2; comp(cycles = w); }
+                    sendrecv(dst = (rank + 1) % nprocs, src = (rank + nprocs - 1) % nprocs,
+                             sendtag = 0, recvtag = 0, bytes = 8);
+                }
+                allreduce(bytes = 8);
+            }
+        "#;
+        let (expanded, c) = contract_src(src, 1);
+        assert!(
+            c.vertices.len() * 2 < expanded.len(),
+            "contraction should reduce vertices by >50% here: {} -> {}",
+            expanded.len(),
+            c.vertices.len()
+        );
+    }
+
+    #[test]
+    fn recursive_call_without_mpi_folds() {
+        let src = "fn main() { quiet(3); barrier(); } \
+                    fn quiet(n) { if n > 0 { quiet(n - 1); } comp(cycles = n); }";
+        let (_, c) = contract_src(src, 10);
+        assert!(
+            c.vertices.iter().all(|v| !matches!(v.kind, VertexKind::RecursiveCall(_))),
+            "MPI-free recursion folds into Comp"
+        );
+    }
+
+    #[test]
+    fn recursive_call_with_mpi_is_kept_and_retargeted() {
+        let src = "fn main() { noisy(3); } \
+                    fn noisy(n) { if n > 0 { noisy(n - 1); } barrier(); }";
+        let (_, c) = contract_src(src, 10);
+        let rec = c
+            .vertices
+            .iter()
+            .find(|v| matches!(v.kind, VertexKind::RecursiveCall(_)))
+            .expect("recursive call kept");
+        let VertexKind::RecursiveCall(target) = rec.kind else { unreachable!() };
+        assert!((target as usize) < c.vertices.len(), "target remapped into new table");
+    }
+
+    #[test]
+    fn parent_links_hold_after_contraction() {
+        let src = "fn main() { for i in 0 .. 2 { if rank == 0 { barrier(); } \
+                    comp(cycles = 1); } }";
+        let (_, c) = contract_src(src, 10);
+        for v in &c.vertices {
+            for child in v.children.all() {
+                assert_eq!(c.vertices[child as usize].parent, Some(v.id));
+            }
+        }
+    }
+}

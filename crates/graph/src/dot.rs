@@ -1,0 +1,95 @@
+//! Graphviz DOT export for PSGs (debugging aid and the Fig. 4 harness).
+
+use crate::intra::{LocalChildren, LocalPsg};
+use crate::psg::Psg;
+use crate::vertex::Children;
+use std::fmt::Write;
+
+/// Render the contracted PSG as a DOT digraph: structural (tree) edges
+/// solid, execution-order edges dashed.
+pub fn psg_to_dot(psg: &Psg) -> String {
+    let mut out = String::from("digraph PSG {\n  node [shape=box, fontsize=10];\n");
+    for v in &psg.vertices {
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{} @{}\"];",
+            v.id,
+            v.kind.label(),
+            v.span.file_line()
+        );
+    }
+    for v in &psg.vertices {
+        let kids = match &v.children {
+            Children::Seq(kids) => kids.clone(),
+            Children::Arms { then_arm, else_arm } => {
+                let mut all = then_arm.clone();
+                all.extend_from_slice(else_arm);
+                all
+            }
+        };
+        for k in &kids {
+            let _ = writeln!(out, "  v{} -> v{};", v.id, k);
+        }
+        // Execution-order edges between consecutive siblings.
+        for pair in kids.windows(2) {
+            let _ = writeln!(out, "  v{} -> v{} [style=dashed, constraint=false];", pair[0], pair[1]);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a local (per-function) PSG as DOT, for the Fig. 4(a) stage.
+pub fn local_to_dot(psg: &LocalPsg) -> String {
+    let mut out = format!("digraph local_{} {{\n  node [shape=box, fontsize=10];\n", psg.func);
+    for v in &psg.vertices {
+        let label = match &v.kind {
+            crate::intra::LocalKind::Entry => format!("fn {}", psg.func),
+            crate::intra::LocalKind::Loop => "Loop".to_string(),
+            crate::intra::LocalKind::Branch => "Branch".to_string(),
+            crate::intra::LocalKind::CompStmt => "Comp".to_string(),
+            crate::intra::LocalKind::Mpi(k) => k.mpi_name().to_string(),
+            crate::intra::LocalKind::DirectCall { callee } => format!("call {callee}"),
+            crate::intra::LocalKind::IndirectCall => "call (indirect)".to_string(),
+        };
+        let _ = writeln!(out, "  v{} [label=\"{} @{}\"];", v.id, label, v.span.file_line());
+    }
+    for v in &psg.vertices {
+        let kids = match &v.children {
+            LocalChildren::Seq(kids) => kids.clone(),
+            LocalChildren::Arms { then_arm, else_arm } => {
+                let mut all = then_arm.clone();
+                all.extend_from_slice(else_arm);
+                all
+            }
+        };
+        for k in kids {
+            let _ = writeln!(out, "  v{} -> v{};", v.id, k);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::intra::build_local;
+    use crate::psg::{build, PsgOptions};
+    use scalana_lang::parse_program;
+
+    #[test]
+    fn dot_outputs_are_well_formed() {
+        let src = "fn main() { for i in 0 .. 2 { if rank == 0 { barrier(); } } }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build(&program, &PsgOptions::default());
+        let dot = super::psg_to_dot(&psg);
+        assert!(dot.starts_with("digraph PSG {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("MPI_Barrier"));
+
+        let local = build_local(program.function("main").unwrap());
+        let ldot = super::local_to_dot(&local);
+        assert!(ldot.contains("digraph local_main"));
+        assert!(ldot.contains("Loop"));
+    }
+}

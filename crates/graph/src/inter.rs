@@ -1,0 +1,511 @@
+//! Inter-procedural analysis: combine local PSGs into a whole-program
+//! graph (paper §III-A).
+//!
+//! The expander performs a top-down traversal of the program call graph
+//! from `main`, replacing every direct call with a fresh *instantiation*
+//! of the callee's local PSG. Each instantiation gets its own **calling
+//! context** ([`CtxId`]) so performance data collected under different
+//! call paths lands on different vertices — the paper attaches "extra
+//! call-stack information" for the same reason.
+//!
+//! - **Recursive calls** are not expanded a second time: a
+//!   [`VertexKind::RecursiveCall`] vertex closes the cycle and the context
+//!   transition points back at the active frame, so runtime attribution of
+//!   deeper recursion folds onto the first expansion.
+//! - **Indirect calls** become [`VertexKind::CallSite`] placeholders; the
+//!   runtime reports resolved targets and [`crate::psg::Psg::resolve_indirect`]
+//!   expands them post-hoc (paper §III-B3).
+
+use crate::intra::{LocalChildren, LocalKind, LocalPsg, LocalVertexId};
+use crate::vertex::{Children, Vertex, VertexId, VertexKind};
+use scalana_lang::ast::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned calling-context id; `ROOT_CTX` is `main`'s context.
+pub type CtxId = u32;
+
+/// `main`'s calling context.
+pub const ROOT_CTX: CtxId = 0;
+
+/// One node of the calling-context tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtxNode {
+    /// Parent context (`None` for `main`).
+    pub parent: Option<CtxId>,
+    /// The call statement that opened this context (`None` for `main`).
+    pub call_site: Option<NodeId>,
+    /// Function executing in this context.
+    pub func: String,
+}
+
+/// Result of expanding a region: vertices (pre-contraction), the
+/// attribution map, and context transitions.
+#[derive(Debug)]
+pub struct Expansion {
+    /// Expanded vertex table (tree, ids are table indices).
+    pub vertices: Vec<Vertex>,
+    /// Root of the expanded region.
+    pub root: VertexId,
+    /// `(context, statement) → vertex` attribution map.
+    pub stmt_map: HashMap<(CtxId, NodeId), VertexId>,
+    /// `(caller context, call statement) → callee context` transitions
+    /// for direct calls (recursive calls map back to the active frame).
+    pub transitions: HashMap<(CtxId, NodeId), CtxId>,
+}
+
+/// Compute, for every function, whether it transitively performs MPI
+/// (through direct calls). Indirect targets are *not* included — call
+/// sites are conservatively preserved by contraction instead.
+pub fn mpi_closure(locals: &HashMap<String, LocalPsg>) -> HashMap<String, bool> {
+    let mut flags: HashMap<String, bool> =
+        locals.iter().map(|(name, lp)| (name.clone(), lp.has_direct_mpi())).collect();
+    loop {
+        let mut changed = false;
+        for (name, lp) in locals {
+            if flags[name] {
+                continue;
+            }
+            if lp.direct_callees().iter().any(|c| flags.get(*c).copied().unwrap_or(false)) {
+                flags.insert(name.clone(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            return flags;
+        }
+    }
+}
+
+/// An active call frame during expansion (for cycle detection).
+struct Frame {
+    func: String,
+    ctx: CtxId,
+    /// Vertex id the first vertex of this frame's expansion receives.
+    entry_vertex: VertexId,
+}
+
+/// Expands local PSGs into a whole-program vertex tree. The context table
+/// is borrowed mutably so post-hoc indirect-call resolution can extend an
+/// existing PSG's contexts.
+pub struct Expander<'a> {
+    locals: &'a HashMap<String, LocalPsg>,
+    contexts: &'a mut Vec<CtxNode>,
+    vertices: Vec<Vertex>,
+    stmt_map: HashMap<(CtxId, NodeId), VertexId>,
+    transitions: HashMap<(CtxId, NodeId), CtxId>,
+}
+
+impl<'a> Expander<'a> {
+    /// Expand the whole program from `main`. Context 0 is created for
+    /// `main`; the returned root vertex has kind [`VertexKind::Root`].
+    pub fn expand_program(
+        locals: &'a HashMap<String, LocalPsg>,
+        contexts: &'a mut Vec<CtxNode>,
+    ) -> Expansion {
+        assert!(contexts.is_empty(), "expand_program requires a fresh context table");
+        contexts.push(CtxNode { parent: None, call_site: None, func: "main".to_string() });
+        let mut ex = Expander {
+            locals,
+            contexts,
+            vertices: Vec::new(),
+            stmt_map: HashMap::new(),
+            transitions: HashMap::new(),
+        };
+        let main = &ex.locals["main"];
+        let root = ex.alloc(
+            VertexKind::Root,
+            main.vertex(main.root).span.clone(),
+            "main".to_string(),
+            vec![],
+            None,
+            0,
+        );
+        let mut active = vec![Frame {
+            func: "main".to_string(),
+            ctx: ROOT_CTX,
+            entry_vertex: root,
+        }];
+        let children = ex.expand_seq(main, &seq_ids(main, main.root), ROOT_CTX, root, 0, &mut active);
+        ex.vertices[root as usize].children = Children::Seq(children);
+        Expansion {
+            vertices: ex.vertices,
+            root,
+            stmt_map: ex.stmt_map,
+            transitions: ex.transitions,
+        }
+    }
+
+    /// Expand one function body as a detached region (used for runtime
+    /// resolution of indirect calls). `ctx` must already exist in the
+    /// context table and name the callee.
+    pub fn expand_function_region(
+        locals: &'a HashMap<String, LocalPsg>,
+        contexts: &'a mut Vec<CtxNode>,
+        func: &str,
+        ctx: CtxId,
+        base_loop_depth: u32,
+    ) -> Expansion {
+        let mut ex = Expander {
+            locals,
+            contexts,
+            vertices: Vec::new(),
+            stmt_map: HashMap::new(),
+            transitions: HashMap::new(),
+        };
+        let lp = &ex.locals[func];
+        let root = ex.alloc(
+            VertexKind::Root,
+            lp.vertex(lp.root).span.clone(),
+            func.to_string(),
+            vec![],
+            None,
+            base_loop_depth,
+        );
+        let mut active =
+            vec![Frame { func: func.to_string(), ctx, entry_vertex: root }];
+        let children =
+            ex.expand_seq(lp, &seq_ids(lp, lp.root), ctx, root, base_loop_depth, &mut active);
+        ex.vertices[root as usize].children = Children::Seq(children);
+        Expansion {
+            vertices: ex.vertices,
+            root,
+            stmt_map: ex.stmt_map,
+            transitions: ex.transitions,
+        }
+    }
+
+    fn alloc(
+        &mut self,
+        kind: VertexKind,
+        span: scalana_lang::span::Span,
+        func: String,
+        stmt_ids: Vec<NodeId>,
+        parent: Option<VertexId>,
+        loop_depth: u32,
+    ) -> VertexId {
+        let id = self.vertices.len() as VertexId;
+        self.vertices.push(Vertex {
+            id,
+            kind,
+            span,
+            func,
+            stmt_ids,
+            parent,
+            children: Children::none(),
+            loop_depth,
+        });
+        id
+    }
+
+    fn expand_seq(
+        &mut self,
+        lp: &LocalPsg,
+        ids: &[LocalVertexId],
+        ctx: CtxId,
+        parent: VertexId,
+        loop_depth: u32,
+        active: &mut Vec<Frame>,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &lid in ids {
+            out.extend(self.expand_vertex(lp, lid, ctx, parent, loop_depth, active));
+        }
+        out
+    }
+
+    /// Expand one local vertex; a direct call splices the callee body, so
+    /// the result may be zero or more global vertices.
+    fn expand_vertex(
+        &mut self,
+        lp: &LocalPsg,
+        lid: LocalVertexId,
+        ctx: CtxId,
+        parent: VertexId,
+        loop_depth: u32,
+        active: &mut Vec<Frame>,
+    ) -> Vec<VertexId> {
+        let lv = lp.vertex(lid).clone();
+        let stmt = lv.stmt_id.expect("non-entry local vertices carry a statement");
+        match &lv.kind {
+            LocalKind::Entry => unreachable!("entry vertices are not expanded directly"),
+            LocalKind::CompStmt => {
+                let v = self.alloc(
+                    VertexKind::Comp,
+                    lv.span,
+                    lp.func.clone(),
+                    vec![stmt],
+                    Some(parent),
+                    loop_depth,
+                );
+                self.stmt_map.insert((ctx, stmt), v);
+                vec![v]
+            }
+            LocalKind::Mpi(kind) => {
+                let v = self.alloc(
+                    VertexKind::Mpi(*kind),
+                    lv.span,
+                    lp.func.clone(),
+                    vec![stmt],
+                    Some(parent),
+                    loop_depth,
+                );
+                self.stmt_map.insert((ctx, stmt), v);
+                vec![v]
+            }
+            LocalKind::Loop => {
+                let v = self.alloc(
+                    VertexKind::Loop,
+                    lv.span,
+                    lp.func.clone(),
+                    vec![stmt],
+                    Some(parent),
+                    loop_depth,
+                );
+                self.stmt_map.insert((ctx, stmt), v);
+                let LocalChildren::Seq(kids) = &lv.children else {
+                    unreachable!("loop children are a sequence")
+                };
+                let children = self.expand_seq(lp, kids, ctx, v, loop_depth + 1, active);
+                self.vertices[v as usize].children = Children::Seq(children);
+                vec![v]
+            }
+            LocalKind::Branch => {
+                let v = self.alloc(
+                    VertexKind::Branch,
+                    lv.span,
+                    lp.func.clone(),
+                    vec![stmt],
+                    Some(parent),
+                    loop_depth,
+                );
+                self.stmt_map.insert((ctx, stmt), v);
+                let LocalChildren::Arms { then_arm, else_arm } = &lv.children else {
+                    unreachable!("branch children are arms")
+                };
+                let t = self.expand_seq(lp, then_arm, ctx, v, loop_depth, active);
+                let e = self.expand_seq(lp, else_arm, ctx, v, loop_depth, active);
+                self.vertices[v as usize].children =
+                    Children::Arms { then_arm: t, else_arm: e };
+                vec![v]
+            }
+            LocalKind::IndirectCall => {
+                let v = self.alloc(
+                    VertexKind::CallSite,
+                    lv.span,
+                    lp.func.clone(),
+                    vec![stmt],
+                    Some(parent),
+                    loop_depth,
+                );
+                self.stmt_map.insert((ctx, stmt), v);
+                vec![v]
+            }
+            LocalKind::DirectCall { callee } => {
+                if let Some(frame) = active.iter().find(|f| &f.func == callee) {
+                    // Cycle: point back at the active expansion, as the
+                    // paper's PCG-derived recursive edges do.
+                    let target_ctx = frame.ctx;
+                    let entry = frame.entry_vertex;
+                    let v = self.alloc(
+                        VertexKind::RecursiveCall(entry),
+                        lv.span,
+                        lp.func.clone(),
+                        vec![stmt],
+                        Some(parent),
+                        loop_depth,
+                    );
+                    self.stmt_map.insert((ctx, stmt), v);
+                    self.transitions.insert((ctx, stmt), target_ctx);
+                    return vec![v];
+                }
+                let callee_lp = &self.locals[callee];
+                let new_ctx = self.contexts.len() as CtxId;
+                self.contexts.push(CtxNode {
+                    parent: Some(ctx),
+                    call_site: Some(stmt),
+                    func: callee.clone(),
+                });
+                self.transitions.insert((ctx, stmt), new_ctx);
+                active.push(Frame {
+                    func: callee.clone(),
+                    ctx: new_ctx,
+                    entry_vertex: self.vertices.len() as VertexId,
+                });
+                let spliced = self.expand_seq(
+                    callee_lp,
+                    &seq_ids(callee_lp, callee_lp.root),
+                    new_ctx,
+                    parent,
+                    loop_depth,
+                    active,
+                );
+                active.pop();
+                spliced
+            }
+        }
+    }
+}
+
+fn seq_ids(lp: &LocalPsg, id: LocalVertexId) -> Vec<LocalVertexId> {
+    match &lp.vertex(id).children {
+        LocalChildren::Seq(v) => v.clone(),
+        LocalChildren::Arms { .. } => unreachable!("entry is a sequence"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::build_local;
+    use crate::vertex::MpiKind;
+    use scalana_lang::parse_program;
+
+    fn expand(src: &str) -> (Expansion, Vec<CtxNode>) {
+        let program = parse_program("t.mmpi", src).unwrap();
+        let locals: HashMap<String, LocalPsg> = program
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), build_local(f)))
+            .collect();
+        let mut contexts = Vec::new();
+        let expansion = Expander::expand_program(&locals, &mut contexts);
+        (expansion, contexts)
+    }
+
+    fn kinds_of(ex: &Expansion, ids: &[VertexId]) -> Vec<VertexKind> {
+        ids.iter().map(|&i| ex.vertices[i as usize].kind).collect()
+    }
+
+    #[test]
+    fn inlines_direct_calls() {
+        let (ex, ctxs) = expand(
+            "fn main() { helper(); barrier(); } fn helper() { comp(cycles = 1); }",
+        );
+        let root = &ex.vertices[ex.root as usize];
+        let Children::Seq(top) = &root.children else { panic!() };
+        // helper's body spliced in place of the call, then the barrier.
+        assert_eq!(
+            kinds_of(&ex, top),
+            vec![VertexKind::Comp, VertexKind::Mpi(MpiKind::Barrier)]
+        );
+        // Contexts: main + one instantiation of helper.
+        assert_eq!(ctxs.len(), 2);
+        assert_eq!(ctxs[1].func, "helper");
+        assert_eq!(ctxs[1].parent, Some(ROOT_CTX));
+    }
+
+    #[test]
+    fn distinct_call_sites_get_distinct_contexts_and_vertices() {
+        let (ex, ctxs) = expand(
+            "fn main() { work(); work(); } fn work() { comp(cycles = 1); }",
+        );
+        let Children::Seq(top) = &ex.vertices[ex.root as usize].children else { panic!() };
+        assert_eq!(top.len(), 2);
+        assert_ne!(top[0], top[1], "two instantiations are distinct vertices");
+        assert_eq!(ctxs.len(), 3);
+        // Both comp statements have the same NodeId but different contexts.
+        let comp_stmt = ex.vertices[top[0] as usize].stmt_ids[0];
+        assert_eq!(ex.stmt_map[&(1, comp_stmt)], top[0]);
+        assert_eq!(ex.stmt_map[&(2, comp_stmt)], top[1]);
+    }
+
+    #[test]
+    fn recursion_forms_cycle_vertex() {
+        let (ex, ctxs) = expand(
+            "fn main() { rec(3); } fn rec(n) { if n > 0 { rec(n - 1); } barrier(); }",
+        );
+        // rec expanded once; the inner call is a RecursiveCall vertex.
+        let rec_vertices: Vec<_> = ex
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, VertexKind::RecursiveCall(_)))
+            .collect();
+        assert_eq!(rec_vertices.len(), 1);
+        // The recursive transition maps back to the active context.
+        assert_eq!(ctxs.len(), 2);
+        let (key, target) = ex
+            .transitions
+            .iter()
+            .find(|((c, _), _)| *c == 1)
+            .map(|(k, v)| (*k, *v))
+            .unwrap();
+        assert_eq!(key.0, 1);
+        assert_eq!(target, 1, "recursive call re-enters its own context");
+    }
+
+    #[test]
+    fn mutual_recursion_cycles_back_to_first_frame() {
+        let (ex, ctxs) = expand(
+            "fn main() { ping(2); } fn ping(n) { if n > 0 { pong(n); } } \
+             fn pong(n) { ping(n - 1); }",
+        );
+        assert_eq!(ctxs.len(), 3); // main, ping, pong
+        let cycles: Vec<_> = ex
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, VertexKind::RecursiveCall(_)))
+            .collect();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].func, "pong", "cycle closes inside pong");
+    }
+
+    #[test]
+    fn indirect_calls_stay_as_callsites() {
+        let (ex, _) = expand(
+            "fn main() { let f = &leaf; call f(); } fn leaf() { comp(cycles = 1); }",
+        );
+        let callsites: Vec<_> = ex
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::CallSite)
+            .collect();
+        assert_eq!(callsites.len(), 1);
+        assert!(callsites[0].children.is_empty(), "unresolved until runtime");
+        // leaf was never statically expanded.
+        assert!(ex.vertices.iter().all(|v| v.func != "leaf"));
+    }
+
+    #[test]
+    fn loop_depth_tracks_nesting_across_inlining() {
+        let (ex, _) = expand(
+            "fn main() { for i in 0 .. 2 { f(); } } \
+             fn f() { for j in 0 .. 2 { comp(cycles = 1); } }",
+        );
+        let inner_comp = ex
+            .vertices
+            .iter()
+            .find(|v| v.kind == VertexKind::Comp)
+            .unwrap();
+        assert_eq!(inner_comp.loop_depth, 2, "comp under two nested loops");
+    }
+
+    #[test]
+    fn mpi_closure_is_transitive() {
+        let program = parse_program(
+            "t.mmpi",
+            "fn main() { a(); } fn a() { b(); } fn b() { barrier(); } fn c() { }",
+        )
+        .unwrap();
+        let locals: HashMap<String, LocalPsg> = program
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), build_local(f)))
+            .collect();
+        let flags = mpi_closure(&locals);
+        assert!(flags["main"] && flags["a"] && flags["b"]);
+        assert!(!flags["c"]);
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let (ex, _) = expand(
+            "fn main() { for i in 0 .. 2 { if rank == 0 { barrier(); } } }",
+        );
+        for v in &ex.vertices {
+            for child in v.children.all() {
+                assert_eq!(ex.vertices[child as usize].parent, Some(v.id));
+            }
+        }
+    }
+}

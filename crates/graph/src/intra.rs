@@ -1,0 +1,290 @@
+//! Intra-procedural analysis: build a *local PSG* for each function.
+//!
+//! Mirrors the paper's first phase (§III-A): traverse the function's
+//! control flow at IR level, identify loops, branches, and calls, and
+//! connect them in execution order. Every non-MPI simple statement becomes
+//! its own `CompStmt` vertex at this stage — contraction later merges them
+//! — so the before-contraction vertex counts (`#VBC` in Table II) reflect
+//! raw program structure.
+
+use crate::vertex::MpiKind;
+use scalana_lang::ast::{Block, Function, NodeId, StmtKind};
+use scalana_lang::span::Span;
+
+/// Index of a vertex within one [`LocalPsg`].
+pub type LocalVertexId = u32;
+
+/// Vertex classification in a local (per-function) PSG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalKind {
+    /// Synthetic function-entry vertex (owns the body sequence).
+    Entry,
+    /// `for` / `while` loop.
+    Loop,
+    /// `if` / `else`.
+    Branch,
+    /// One non-MPI simple statement (`let`, assignment, `comp`, `return`).
+    CompStmt,
+    /// One MPI invocation.
+    Mpi(MpiKind),
+    /// Direct call to a user function (replaced during inter-procedural
+    /// expansion).
+    DirectCall {
+        /// Callee name.
+        callee: String,
+    },
+    /// Indirect call; target resolved at runtime.
+    IndirectCall,
+}
+
+/// Ordered children of a local vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalChildren {
+    /// Execution-ordered sequence.
+    Seq(Vec<LocalVertexId>),
+    /// Branch arms.
+    Arms {
+        /// Then-arm vertices.
+        then_arm: Vec<LocalVertexId>,
+        /// Else-arm vertices (empty without `else`).
+        else_arm: Vec<LocalVertexId>,
+    },
+}
+
+/// A vertex of a local PSG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalVertex {
+    /// Id within the local PSG.
+    pub id: LocalVertexId,
+    /// Classification.
+    pub kind: LocalKind,
+    /// Source location.
+    pub span: Span,
+    /// The AST statement this vertex represents (`None` for `Entry`).
+    pub stmt_id: Option<NodeId>,
+    /// Children in execution order.
+    pub children: LocalChildren,
+}
+
+/// The local PSG of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalPsg {
+    /// Function name.
+    pub func: String,
+    /// Vertex table; index = id.
+    pub vertices: Vec<LocalVertex>,
+    /// The `Entry` vertex (always 0).
+    pub root: LocalVertexId,
+}
+
+impl LocalPsg {
+    /// Vertex lookup.
+    pub fn vertex(&self, id: LocalVertexId) -> &LocalVertex {
+        &self.vertices[id as usize]
+    }
+
+    /// Number of vertices, excluding the synthetic entry.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// True if this function *directly* performs MPI operations
+    /// (transitivity is computed over the call graph in [`crate::inter`]).
+    pub fn has_direct_mpi(&self) -> bool {
+        self.vertices.iter().any(|v| matches!(v.kind, LocalKind::Mpi(_)))
+    }
+
+    /// Names of functions this one calls directly.
+    pub fn direct_callees(&self) -> Vec<&str> {
+        self.vertices
+            .iter()
+            .filter_map(|v| match &v.kind {
+                LocalKind::DirectCall { callee } => Some(callee.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Build the local PSG for one function.
+pub fn build_local(func: &Function) -> LocalPsg {
+    let mut builder = LocalBuilder { vertices: Vec::new() };
+    let root = builder.push(LocalKind::Entry, func.span.clone(), None, LocalChildren::Seq(vec![]));
+    let body = builder.block(&func.body);
+    builder.vertices[root as usize].children = LocalChildren::Seq(body);
+    LocalPsg { func: func.name.clone(), vertices: builder.vertices, root }
+}
+
+struct LocalBuilder {
+    vertices: Vec<LocalVertex>,
+}
+
+impl LocalBuilder {
+    fn push(
+        &mut self,
+        kind: LocalKind,
+        span: Span,
+        stmt_id: Option<NodeId>,
+        children: LocalChildren,
+    ) -> LocalVertexId {
+        let id = self.vertices.len() as LocalVertexId;
+        self.vertices.push(LocalVertex { id, kind, span, stmt_id, children });
+        id
+    }
+
+    fn block(&mut self, block: &Block) -> Vec<LocalVertexId> {
+        let mut out = Vec::with_capacity(block.stmts.len());
+        for stmt in &block.stmts {
+            let span = stmt.span.clone();
+            let sid = Some(stmt.id);
+            let id = match &stmt.kind {
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                    let children = self.block(body);
+                    self.push(LocalKind::Loop, span, sid, LocalChildren::Seq(children))
+                }
+                StmtKind::If { then_block, else_block, .. } => {
+                    let then_arm = self.block(then_block);
+                    let else_arm =
+                        else_block.as_ref().map(|b| self.block(b)).unwrap_or_default();
+                    self.push(
+                        LocalKind::Branch,
+                        span,
+                        sid,
+                        LocalChildren::Arms { then_arm, else_arm },
+                    )
+                }
+                StmtKind::Call { callee, .. } => self.push(
+                    LocalKind::DirectCall { callee: callee.clone() },
+                    span,
+                    sid,
+                    LocalChildren::Seq(vec![]),
+                ),
+                StmtKind::CallIndirect { .. } => {
+                    self.push(LocalKind::IndirectCall, span, sid, LocalChildren::Seq(vec![]))
+                }
+                StmtKind::Mpi(op) => self.push(
+                    LocalKind::Mpi(MpiKind::of(op)),
+                    span,
+                    sid,
+                    LocalChildren::Seq(vec![]),
+                ),
+                StmtKind::Let { .. }
+                | StmtKind::Assign { .. }
+                | StmtKind::Comp(_)
+                | StmtKind::Return => {
+                    self.push(LocalKind::CompStmt, span, sid, LocalChildren::Seq(vec![]))
+                }
+            };
+            out.push(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_lang::parse_program;
+
+    fn local(src: &str, func: &str) -> LocalPsg {
+        let program = parse_program("t.mmpi", src).unwrap();
+        build_local(program.function(func).unwrap())
+    }
+
+    /// The paper's Fig. 3 example program, transcribed to MiniMPI.
+    const FIG3: &str = r#"
+        param N = 16;
+        fn main() {
+            for i in 0 .. N {              // Loop 1
+                let a = i;
+                for j in 0 .. i {          // Loop 1.1
+                    comp(cycles = j);
+                }
+                for k in 0 .. i {          // Loop 1.2
+                    comp(cycles = k);
+                }
+                foo();
+                bcast(root = 0, bytes = 8);
+            }
+        }
+        fn foo() {
+            if rank % 2 == 0 {
+                send(dst = rank + 1, tag = 0, bytes = 8);
+            } else {
+                recv(src = rank - 1, tag = 0);
+            }
+        }
+    "#;
+
+    #[test]
+    fn fig3_main_local_psg_shape() {
+        let psg = local(FIG3, "main");
+        // Entry -> Loop1 -> [let, Loop1.1, Loop1.2, call foo, bcast]
+        let entry = psg.vertex(psg.root);
+        let LocalChildren::Seq(top) = &entry.children else { panic!() };
+        assert_eq!(top.len(), 1);
+        let loop1 = psg.vertex(top[0]);
+        assert_eq!(loop1.kind, LocalKind::Loop);
+        let LocalChildren::Seq(body) = &loop1.children else { panic!() };
+        assert_eq!(body.len(), 5);
+        assert_eq!(psg.vertex(body[0]).kind, LocalKind::CompStmt);
+        assert_eq!(psg.vertex(body[1]).kind, LocalKind::Loop);
+        assert_eq!(psg.vertex(body[2]).kind, LocalKind::Loop);
+        assert_eq!(
+            psg.vertex(body[3]).kind,
+            LocalKind::DirectCall { callee: "foo".into() }
+        );
+        assert_eq!(psg.vertex(body[4]).kind, LocalKind::Mpi(MpiKind::Bcast));
+    }
+
+    #[test]
+    fn fig3_foo_local_psg_shape() {
+        let psg = local(FIG3, "foo");
+        let entry = psg.vertex(psg.root);
+        let LocalChildren::Seq(top) = &entry.children else { panic!() };
+        let branch = psg.vertex(top[0]);
+        assert_eq!(branch.kind, LocalKind::Branch);
+        let LocalChildren::Arms { then_arm, else_arm } = &branch.children else { panic!() };
+        assert_eq!(psg.vertex(then_arm[0]).kind, LocalKind::Mpi(MpiKind::Send));
+        assert_eq!(psg.vertex(else_arm[0]).kind, LocalKind::Mpi(MpiKind::Recv));
+        assert!(psg.has_direct_mpi());
+    }
+
+    #[test]
+    fn direct_callees_listed() {
+        let psg = local(FIG3, "main");
+        assert_eq!(psg.direct_callees(), vec!["foo"]);
+        assert!(psg.has_direct_mpi(), "main has bcast -> direct MPI");
+    }
+
+    #[test]
+    fn vertex_count_excludes_entry() {
+        let psg = local("fn main() { barrier(); barrier(); }", "main");
+        assert_eq!(psg.vertex_count(), 2);
+    }
+
+    #[test]
+    fn while_is_a_loop_vertex() {
+        let psg = local("fn main() { let x = 4; while x > 0 { x = x - 1; } }", "main");
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        assert_eq!(psg.vertex(top[1]).kind, LocalKind::Loop);
+    }
+
+    #[test]
+    fn indirect_call_vertex() {
+        let psg = local(
+            "fn main() { let f = &leaf; call f(); } fn leaf() { }",
+            "main",
+        );
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        assert_eq!(psg.vertex(top[1]).kind, LocalKind::IndirectCall);
+    }
+
+    #[test]
+    fn spans_point_at_source_lines() {
+        let psg = local(FIG3, "main");
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let loop1 = psg.vertex(top[0]);
+        assert_eq!(loop1.span.line, 4); // `for i in 0 .. N` line in FIG3
+    }
+}

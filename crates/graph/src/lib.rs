@@ -1,0 +1,45 @@
+//! # scalana-graph — Program Structure Graph and Program Performance Graph
+//!
+//! Implements the paper's graph-generation module (§III):
+//!
+//! - **Intra-procedural analysis** ([`intra`]): walk each function's AST
+//!   (the stand-in for LLVM IR) and build a *local PSG* whose vertices are
+//!   `Loop`, `Branch`, `Comp`, MPI invocations, and call sites.
+//! - **Inter-procedural analysis** ([`inter`]): traverse the program call
+//!   graph top-down from `main`, replacing every direct call with an
+//!   instantiated copy of the callee's local PSG. Recursive calls form
+//!   cycles (a `RecursiveCall` vertex pointing back at the active
+//!   expansion); indirect calls stay as `CallSite` placeholders that the
+//!   runtime resolves (paper §III-B3).
+//! - **Graph contraction** ([`contract`]): preserve all MPI vertices and
+//!   the control structures containing them, merge MPI-free computation
+//!   into `Comp` vertices, and bound MPI-free loop nesting with
+//!   `MaxLoopDepth` (paper Fig. 4).
+//! - **PPG construction** ([`ppg`]): replicate the per-process PSG across
+//!   ranks, attach per-vertex performance vectors, and add inter-process
+//!   communication-dependence edges collected at runtime (paper §III-C).
+//!
+//! The contracted PSG also carries the *attribution map* used at runtime:
+//! interned calling contexts plus a `(context, statement) → vertex`
+//! mapping, which is how profiling data lands on the right vertex — the
+//! role call-stack unwinding plays in the paper's PAPI-based profiler.
+
+pub mod contract;
+pub mod dot;
+pub mod inter;
+pub mod intra;
+pub mod ppg;
+pub mod psg;
+pub mod stats;
+pub mod vertex;
+
+pub use ppg::{CommDep, Ppg, VertexPerf};
+pub use psg::{CtxId, Psg, PsgOptions};
+pub use stats::PsgStats;
+pub use vertex::{Children, MpiKind, Vertex, VertexId, VertexKind};
+
+/// Build the contracted PSG (plus pre-contraction statistics) for a
+/// checked program. This is the `ScalAna-static` entry point.
+pub fn build_psg(program: &scalana_lang::Program, opts: &PsgOptions) -> Psg {
+    psg::build(program, opts)
+}

@@ -1,0 +1,109 @@
+//! PSG vertex statistics (paper Table II).
+
+use crate::vertex::{Vertex, VertexKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Vertex counts before/after contraction and the per-kind breakdown of
+/// the final graph — the columns of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PsgStats {
+    /// Vertices before contraction (`#VBC`).
+    pub vbc: usize,
+    /// Vertices after contraction (`#VAC`).
+    pub vac: usize,
+    /// `Loop` vertices in the final graph.
+    pub loops: usize,
+    /// `Branch` vertices.
+    pub branches: usize,
+    /// `Comp` vertices.
+    pub comps: usize,
+    /// MPI vertices.
+    pub mpis: usize,
+    /// Unresolved indirect call sites.
+    pub callsites: usize,
+    /// Recursive-call cycle vertices.
+    pub recursive: usize,
+}
+
+impl PsgStats {
+    /// Count kinds over a final vertex table.
+    pub fn compute(vbc: usize, vertices: &[Vertex]) -> PsgStats {
+        let mut stats = PsgStats { vbc, vac: vertices.len(), ..Default::default() };
+        for v in vertices {
+            match v.kind {
+                VertexKind::Root => {}
+                VertexKind::Loop => stats.loops += 1,
+                VertexKind::Branch => stats.branches += 1,
+                VertexKind::Comp => stats.comps += 1,
+                VertexKind::Mpi(_) => stats.mpis += 1,
+                VertexKind::CallSite => stats.callsites += 1,
+                VertexKind::RecursiveCall(_) => stats.recursive += 1,
+            }
+        }
+        stats
+    }
+
+    /// Fraction of vertices removed by contraction (paper: 68% average).
+    pub fn reduction(&self) -> f64 {
+        if self.vbc == 0 {
+            0.0
+        } else {
+            1.0 - self.vac as f64 / self.vbc as f64
+        }
+    }
+
+    /// Fraction of final vertices that are `Comp` or MPI (paper: >73%).
+    pub fn comp_mpi_fraction(&self) -> f64 {
+        if self.vac == 0 {
+            0.0
+        } else {
+            (self.comps + self.mpis) as f64 / self.vac as f64
+        }
+    }
+}
+
+impl fmt::Display for PsgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#VBC={} #VAC={} #Loop={} #Branch={} #Comp={} #MPI={}",
+            self.vbc, self.vac, self.loops, self.branches, self.comps, self.mpis
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psg::{build, PsgOptions};
+    use scalana_lang::parse_program;
+
+    #[test]
+    fn stats_count_kinds() {
+        let src = "fn main() { let a = 1; for i in 0 .. 2 { barrier(); } \
+                    if rank == 0 { allreduce(bytes = 8); } }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build(&program, &PsgOptions::default());
+        assert_eq!(psg.stats.loops, 1);
+        assert_eq!(psg.stats.branches, 1);
+        assert_eq!(psg.stats.mpis, 2);
+        assert!(psg.stats.comps >= 1);
+        assert!(psg.stats.reduction() >= 0.0);
+        assert!(psg.stats.comp_mpi_fraction() > 0.0);
+    }
+
+    #[test]
+    fn display_matches_table_headers() {
+        let s = PsgStats { vbc: 10, vac: 4, loops: 1, branches: 0, comps: 2, mpis: 1, ..Default::default() };
+        assert_eq!(s.to_string(), "#VBC=10 #VAC=4 #Loop=1 #Branch=0 #Comp=2 #MPI=1");
+        assert!((s.reduction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = PsgStats::default();
+        assert_eq!(s.reduction(), 0.0);
+        assert_eq!(s.comp_mpi_fraction(), 0.0);
+    }
+}

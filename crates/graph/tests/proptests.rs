@@ -1,0 +1,189 @@
+//! Property-based tests for PSG construction and contraction.
+
+use proptest::prelude::*;
+use scalana_graph::{build_psg, Children, PsgOptions, VertexKind};
+use scalana_lang::builder::*;
+use scalana_lang::Program;
+
+/// Strategy: a random nesting of loops/branches/comps/MPI, deadlock-free
+/// by construction (only collectives + self-consistent ring sendrecv).
+#[derive(Debug, Clone)]
+enum Node {
+    Comp(i64),
+    Barrier,
+    Allreduce,
+    Ring,
+    Loop(Vec<Node>),
+    Branch(Vec<Node>, Vec<Node>),
+}
+
+fn arb_node(depth: u32) -> BoxedStrategy<Node> {
+    let leaf = prop_oneof![
+        (1i64..10_000).prop_map(Node::Comp),
+        Just(Node::Barrier),
+        Just(Node::Allreduce),
+        Just(Node::Ring),
+    ];
+    leaf.prop_recursive(depth, 48, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Node::Loop),
+            (
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(t, e)| Node::Branch(t, e)),
+        ]
+    })
+    .boxed()
+}
+
+fn emit(nodes: &[Node], f: &mut scalana_lang::builder::BlockBuilder<'_>, salt: &mut i64) {
+    for node in nodes {
+        *salt += 1;
+        match node {
+            Node::Comp(c) => f.comp_cycles(int(*c)),
+            Node::Barrier => f.barrier(),
+            Node::Allreduce => f.allreduce(int(8)),
+            Node::Ring => f.sendrecv(
+                (rank() + int(1)) % nprocs(),
+                (rank() + nprocs() - int(1)) % nprocs(),
+                int(*salt % 1000),
+                int(256),
+            ),
+            Node::Loop(body) => {
+                let body = body.clone();
+                let mut inner_salt = *salt;
+                f.for_("i", int(0), int(2), |f| emit(&body, f, &mut inner_salt));
+                *salt = inner_salt;
+            }
+            Node::Branch(t, e) => {
+                // Condition must be rank-uniform so collectives inside
+                // arms stay deadlock-free.
+                let (t, e) = (t.clone(), e.clone());
+                let mut s1 = *salt;
+                let mut s2 = *salt + 500;
+                f.if_else(
+                    eq(nprocs() % int(2), int(0)),
+                    |f| emit(&t, f, &mut s1),
+                    |f| emit(&e, f, &mut s2),
+                );
+                *salt = s2;
+            }
+        }
+    }
+}
+
+fn build(nodes: &[Node]) -> Program {
+    let mut b = ProgramBuilder::new("prop.mmpi");
+    b.function("main", &[], |f| {
+        let mut salt = 0;
+        emit(nodes, f, &mut salt);
+    });
+    b.finish().expect("generated program is valid")
+}
+
+fn count_kind(psg: &scalana_graph::Psg, pred: impl Fn(&VertexKind) -> bool) -> usize {
+    psg.vertices.iter().filter(|v| pred(&v.kind)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Contraction never loses MPI vertices, never grows the graph, and
+    /// the attribution map covers every statement.
+    #[test]
+    fn contraction_invariants(nodes in proptest::collection::vec(arb_node(3), 1..6),
+                              depth in 0u32..5) {
+        let program = build(&nodes);
+        let raw = build_psg(&program, &PsgOptions { contract: false, ..Default::default() });
+        let contracted =
+            build_psg(&program, &PsgOptions { contract: true, max_loop_depth: depth });
+        prop_assert_eq!(
+            count_kind(&raw, |k| matches!(k, VertexKind::Mpi(_))),
+            count_kind(&contracted, |k| matches!(k, VertexKind::Mpi(_)))
+        );
+        prop_assert!(contracted.vertex_count() <= raw.vertex_count());
+        // Every statement attributes to a live vertex in both graphs.
+        program.for_each_stmt(|stmt| {
+            for psg in [&raw, &contracted] {
+                if let Some(v) = psg.vertex_of(psg.root_ctx(), stmt.id) {
+                    assert!((v as usize) < psg.vertex_count());
+                }
+            }
+        });
+    }
+
+    /// Tree integrity: parents and children agree, ids are table
+    /// indices, the root is unique.
+    #[test]
+    fn tree_integrity(nodes in proptest::collection::vec(arb_node(3), 1..6)) {
+        let program = build(&nodes);
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut roots = 0;
+        for (i, v) in psg.vertices.iter().enumerate() {
+            prop_assert_eq!(v.id as usize, i);
+            if v.parent.is_none() {
+                roots += 1;
+            }
+            for child in v.children.all() {
+                prop_assert_eq!(psg.vertex(child).parent, Some(v.id));
+            }
+        }
+        prop_assert_eq!(roots, 1);
+        // Preorder reaches every vertex exactly once.
+        let order = psg.iter_preorder();
+        prop_assert_eq!(order.len(), psg.vertex_count());
+    }
+
+    /// Structural navigation is self-consistent: seq_pred of the n-th
+    /// child is the (n-1)-th, loop_end is the last child.
+    #[test]
+    fn navigation_consistency(nodes in proptest::collection::vec(arb_node(3), 1..6)) {
+        let program = build(&nodes);
+        let psg = build_psg(&program, &PsgOptions::default());
+        for v in &psg.vertices {
+            if let Children::Seq(kids) = &v.children {
+                for pair in kids.windows(2) {
+                    prop_assert_eq!(psg.seq_pred(pair[1]), Some(pair[0]));
+                }
+                if let Some(&first) = kids.first() {
+                    prop_assert_eq!(psg.seq_pred(first), None);
+                }
+                if v.kind == VertexKind::Loop {
+                    prop_assert_eq!(psg.loop_end(v.id), kids.last().copied());
+                }
+            }
+        }
+    }
+
+    /// Depth bound: MPI-free loops deeper than MaxLoopDepth never
+    /// survive contraction.
+    #[test]
+    fn max_loop_depth_is_respected(nodes in proptest::collection::vec(arb_node(3), 1..5),
+                                   depth in 0u32..4) {
+        let program = build(&nodes);
+        let psg = build_psg(&program, &PsgOptions { contract: true, max_loop_depth: depth });
+        for v in &psg.vertices {
+            if v.kind == VertexKind::Loop && v.loop_depth + 1 > depth {
+                // Such a loop may only survive because its subtree
+                // contains MPI.
+                let mut stack = v.children.all();
+                let mut has_mpi = false;
+                while let Some(c) = stack.pop() {
+                    let cv = psg.vertex(c);
+                    if cv.is_mpi() || cv.kind == VertexKind::CallSite {
+                        has_mpi = true;
+                        break;
+                    }
+                    stack.extend(cv.children.all());
+                }
+                prop_assert!(
+                    has_mpi,
+                    "MPI-free loop at depth {} survived MaxLoopDepth {}",
+                    v.loop_depth,
+                    depth
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the MiniMPI front-end.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Result alias used across the front-end.
+pub type LangResult<T> = Result<T, LangError>;
+
+/// A lexing, parsing, or semantic error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Which stage produced the error.
+    pub kind: ErrorKind,
+    /// Human-readable message.
+    pub message: String,
+    /// Location of the offending token/statement, if known.
+    pub span: Option<Span>,
+}
+
+/// The front-end stage an error originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Invalid character or malformed literal.
+    Lex,
+    /// Unexpected token / malformed syntax.
+    Parse,
+    /// Name resolution, arity, or intrinsic-argument violation.
+    Semantic,
+}
+
+impl LangError {
+    /// Construct a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError { kind: ErrorKind::Lex, message: message.into(), span: Some(span) }
+    }
+
+    /// Construct a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError { kind: ErrorKind::Parse, message: message.into(), span: Some(span) }
+    }
+
+    /// Construct a semantic error.
+    pub fn semantic(message: impl Into<String>, span: Option<Span>) -> Self {
+        LangError { kind: ErrorKind::Semantic, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Semantic => "semantic error",
+        };
+        match &self.span {
+            Some(span) => write!(f, "{stage} at {span}: {}", self.message),
+            None => write!(f, "{stage}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SourceFile, Span};
+
+    #[test]
+    fn display_includes_stage_and_location() {
+        let err = LangError::parse("expected `{`", Span::new(SourceFile::new("x.mmpi"), 4, 2));
+        assert_eq!(err.to_string(), "parse error at x.mmpi:4:2: expected `{`");
+    }
+
+    #[test]
+    fn display_without_span() {
+        let err = LangError::semantic("missing `main`", None);
+        assert_eq!(err.to_string(), "semantic error: missing `main`");
+    }
+}

@@ -1,0 +1,84 @@
+//! Source locations.
+//!
+//! Every statement in a MiniMPI program carries a [`Span`] so that the
+//! detection pipeline can report root causes as `file:line`, mirroring the
+//! paper's reports ("the LOOP at bval3d.F:155").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned source file name shared by all spans of one parse.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// File name as given to [`crate::parse_program`], e.g. `"nudt.F"`.
+    pub name: Arc<str>,
+}
+
+impl SourceFile {
+    /// Create a new source-file handle.
+    pub fn new(name: &str) -> Self {
+        SourceFile { name: Arc::from(name) }
+    }
+}
+
+/// A location in a source file: 1-based line and column plus the file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// The file this span belongs to.
+    pub file: SourceFile,
+    /// 1-based line number of the first token.
+    pub line: u32,
+    /// 1-based column number of the first token.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(file: SourceFile, line: u32, col: u32) -> Self {
+        Span { file, line, col }
+    }
+
+    /// A placeholder span for synthesized nodes (e.g. from the builder).
+    pub fn synthetic(file_name: &str, line: u32) -> Self {
+        Span { file: SourceFile::new(file_name), line, col: 0 }
+    }
+
+    /// Render as `file:line`, the format used in root-cause reports.
+    pub fn file_line(&self) -> String {
+        format!("{}:{}", self.file.name, self.line)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file.name, self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_line_formats_like_paper_reports() {
+        let span = Span::new(SourceFile::new("bval3d.F"), 155, 9);
+        assert_eq!(span.file_line(), "bval3d.F:155");
+        assert_eq!(span.to_string(), "bval3d.F:155:9");
+    }
+
+    #[test]
+    fn synthetic_spans_have_zero_column() {
+        let span = Span::synthetic("gen.mmpi", 3);
+        assert_eq!(span.col, 0);
+        assert_eq!(span.line, 3);
+    }
+
+    #[test]
+    fn spans_share_file_name_storage() {
+        let file = SourceFile::new("a.mmpi");
+        let s1 = Span::new(file.clone(), 1, 1);
+        let s2 = Span::new(file, 2, 1);
+        assert!(Arc::ptr_eq(&s1.file.name, &s2.file.name));
+    }
+}

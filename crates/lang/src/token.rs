@@ -1,0 +1,171 @@
+//! Token definitions for the MiniMPI lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// The kinds of tokens MiniMPI knows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or intrinsic name.
+    Ident(String),
+    /// Integer literal (supports `_` separators and `k`/`m`/`g` suffixes).
+    Int(i64),
+    /// `fn`
+    KwFn,
+    /// `let`
+    KwLet,
+    /// `for`
+    KwFor,
+    /// `in`
+    KwIn,
+    /// `while`
+    KwWhile,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `return`
+    KwReturn,
+    /// `param`
+    KwParam,
+    /// `call`
+    KwCall,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Map a word to a keyword, if it is one.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "fn" => TokenKind::KwFn,
+            "let" => TokenKind::KwLet,
+            "for" => TokenKind::KwFor,
+            "in" => TokenKind::KwIn,
+            "while" => TokenKind::KwWhile,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "return" => TokenKind::KwReturn,
+            "param" => TokenKind::KwParam,
+            "call" => TokenKind::KwCall,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::KwFn => write!(f, "`fn`"),
+            TokenKind::KwLet => write!(f, "`let`"),
+            TokenKind::KwFor => write!(f, "`for`"),
+            TokenKind::KwIn => write!(f, "`in`"),
+            TokenKind::KwWhile => write!(f, "`while`"),
+            TokenKind::KwIf => write!(f, "`if`"),
+            TokenKind::KwElse => write!(f, "`else`"),
+            TokenKind::KwReturn => write!(f, "`return`"),
+            TokenKind::KwParam => write!(f, "`param`"),
+            TokenKind::KwCall => write!(f, "`call`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("fn"), Some(TokenKind::KwFn));
+        assert_eq!(TokenKind::keyword("call"), Some(TokenKind::KwCall));
+        assert_eq!(TokenKind::keyword("rank"), None);
+    }
+
+    #[test]
+    fn display_is_reader_friendly() {
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::DotDot.to_string(), "`..`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

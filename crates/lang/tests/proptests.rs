@@ -1,0 +1,215 @@
+//! Property-based tests for the MiniMPI front-end.
+//!
+//! - the lexer never panics on arbitrary input,
+//! - the parser never panics on arbitrary token-shaped text,
+//! - pretty-printing a generated program re-parses to a structurally
+//!   identical AST (the front-end's core invariant).
+
+use proptest::prelude::*;
+use scalana_lang::ast::*;
+use scalana_lang::pretty::{normalize_spans, print_program};
+use scalana_lang::span::Span;
+use scalana_lang::{lexer, parse_program};
+
+// ----- strategies -----
+
+/// Variable names guaranteed to be in scope in generated bodies.
+const SCOPE_VARS: &[&str] = &["rank", "nprocs", "n0", "n1"];
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i64..10_000).prop_map(Expr::Int),
+        proptest::sample::select(SCOPE_VARS).prop_map(|v| Expr::Var(v.to_string())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Builtin {
+                func: BuiltinFn::Max,
+                args: vec![a, b],
+            }),
+            inner.prop_map(|e| Expr::Builtin { func: BuiltinFn::Abs, args: vec![e] }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_mpi(expr_depth: u32) -> BoxedStrategy<MpiOp> {
+    let e = move || arb_expr(expr_depth);
+    prop_oneof![
+        (e(), e(), e()).prop_map(|(dst, tag, bytes)| MpiOp::Send { dst, tag, bytes }),
+        (e(), e()).prop_map(|(src, tag)| MpiOp::Recv { src, tag }),
+        (e(), e(), e(), e(), e()).prop_map(|(dst, sendtag, src, recvtag, bytes)| {
+            MpiOp::Sendrecv { dst, sendtag, src, recvtag, bytes }
+        }),
+        Just(MpiOp::Waitall),
+        Just(MpiOp::Barrier),
+        (e(), e()).prop_map(|(root, bytes)| MpiOp::Bcast { root, bytes }),
+        (e(), e()).prop_map(|(root, bytes)| MpiOp::Reduce { root, bytes }),
+        e().prop_map(|bytes| MpiOp::Allreduce { bytes }),
+        e().prop_map(|bytes| MpiOp::Alltoall { bytes }),
+        e().prop_map(|bytes| MpiOp::Allgather { bytes }),
+    ]
+    .boxed()
+}
+
+fn arb_stmt_kind(depth: u32) -> BoxedStrategy<StmtKind> {
+    let e = move || arb_expr(2);
+    let leaf = prop_oneof![
+        e().prop_map(|cycles| StmtKind::Comp(CompAttrs {
+            cycles,
+            ins: None,
+            lst: None,
+            l2_miss: None,
+            br_miss: None,
+        })),
+        arb_mpi(2).prop_map(StmtKind::Mpi),
+        Just(StmtKind::Return),
+    ];
+    leaf.prop_recursive(depth, 24, 3, move |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            (e(), e(), block.clone()).prop_map(|(start, end, kinds)| StmtKind::For {
+                var: "i".to_string(),
+                start,
+                end,
+                body: kinds_to_block(kinds),
+            }),
+            (e(), block.clone(), block).prop_map(|(cond, t, f)| StmtKind::If {
+                cond,
+                then_block: kinds_to_block(t),
+                else_block: Some(kinds_to_block(f)),
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn kinds_to_block(kinds: Vec<StmtKind>) -> Block {
+    Block {
+        stmts: kinds
+            .into_iter()
+            .map(|kind| Stmt { id: 0, span: Span::synthetic("gen.mmpi", 1), kind })
+            .collect(),
+    }
+}
+
+fn renumber(program: &mut Program) {
+    // Give statements fresh pre-order ids, matching what a parse assigns.
+    fn walk(block: &mut Block, next: &mut NodeId) {
+        for stmt in &mut block.stmts {
+            stmt.id = *next;
+            *next += 1;
+            match &mut stmt.kind {
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(body, next),
+                StmtKind::If { then_block, else_block, .. } => {
+                    walk(then_block, next);
+                    if let Some(e) = else_block {
+                        walk(e, next);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut next = 0;
+    for func in &mut program.functions {
+        walk(&mut func.body, &mut next);
+    }
+    program.next_node_id = next;
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt_kind(3), 1..6).prop_map(|kinds| {
+        let body = {
+            let mut b = kinds_to_block(kinds);
+            // Define the scope variables the expressions may reference.
+            let mut stmts = vec![
+                Stmt {
+                    id: 0,
+                    span: Span::synthetic("gen.mmpi", 1),
+                    kind: StmtKind::Let { name: "n0".into(), value: Expr::Int(4) },
+                },
+                Stmt {
+                    id: 0,
+                    span: Span::synthetic("gen.mmpi", 2),
+                    kind: StmtKind::Let { name: "n1".into(), value: Expr::Int(7) },
+                },
+            ];
+            stmts.append(&mut b.stmts);
+            Block { stmts }
+        };
+        let mut program = Program {
+            file_name: "gen.mmpi".into(),
+            params: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                body,
+                span: Span::synthetic("gen.mmpi", 1),
+            }],
+            next_node_id: 0,
+        };
+        renumber(&mut program);
+        program
+    })
+}
+
+// ----- properties -----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lexer::lex("fuzz.mmpi", &input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(input in "[a-z0-9(){};=+*/%<>&|!., \n]{0,200}") {
+        let _ = parse_program("fuzz.mmpi", &input);
+    }
+
+    #[test]
+    fn pretty_print_round_trips(program in arb_program()) {
+        let printed = print_program(&program);
+        let reparsed = parse_program("gen.mmpi", &printed)
+            .expect("pretty output must parse");
+        prop_assert_eq!(normalize_spans(&program), normalize_spans(&reparsed));
+    }
+
+    #[test]
+    fn lexer_accepts_all_integer_forms(v in 0i64..1_000_000, sep in proptest::bool::ANY) {
+        let text = if sep {
+            // Insert a `_` separator in the middle of the digits.
+            let s = v.to_string();
+            let mid = s.len() / 2;
+            if mid == 0 { s } else { format!("{}_{}", &s[..mid], &s[mid..]) }
+        } else {
+            v.to_string()
+        };
+        let toks = lexer::lex("n.mmpi", &text).unwrap();
+        prop_assert_eq!(&toks[0].kind, &scalana_lang::token::TokenKind::Int(v));
+    }
+}

@@ -1,0 +1,1393 @@
+//! The discrete-event scheduler and MPI semantics.
+//!
+//! Ranks execute independently on their own virtual clocks and interact
+//! only through MPI. The engine runs every runnable rank until it blocks
+//! (or finishes), then performs a *quiescence matching phase*: complete
+//! collectives whose participants all arrived, match posted receives
+//! against deposited messages, and re-check blocked waits. The cycle
+//! repeats until all ranks finish; no progress with live ranks is a
+//! deadlock (reported with per-rank state).
+//!
+//! Correctness notes:
+//! - Matching is **time-based and deterministic**: a specific-source
+//!   receive takes the sender's earliest unconsumed matching message (by
+//!   per-sender send sequence); a wildcard receive takes the candidate
+//!   with the smallest (arrival, source, sequence). Wildcards are only
+//!   matched at quiescence, when every potential sender is blocked or
+//!   done, so no earlier message can still appear.
+//! - Receives of one rank match in post order (MPI ordering rule); a
+//!   wildcard receive at the head of the queue blocks later receives
+//!   until quiescence resolves it.
+//! - Point-to-point timing: eager messages (≤ threshold) let the sender
+//!   proceed after overhead + serialization; rendezvous messages block
+//!   the sender until the receiver posts, then both complete after the
+//!   transfer. `MPI_Sendrecv` uses buffered sends (deadlock-free, as
+//!   real implementations guarantee).
+//! - Collectives match by per-rank sequence number; mismatched kinds are
+//!   reported as errors. Completion uses the cost models in
+//!   [`crate::machine`] and emits straggler → waiter dependence edges so
+//!   detection can see who delayed a collective.
+
+use crate::hook::{CommDepEvent, Hook, MpiEnterEvent, MpiExitEvent, NullHook};
+use crate::interp::{EvaluatedOp, MpiCall, Pmu, RankState, StepCtx, StepOutcome, StmtCosts};
+use crate::machine::{CollectiveModel, MachineConfig};
+use crate::value::Value;
+use scalana_graph::{MpiKind, Psg, VertexId};
+use scalana_lang::Program;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Program-parameter overrides (merged over the declared defaults).
+    pub params: HashMap<String, i64>,
+    /// Platform model.
+    pub machine: MachineConfig,
+    /// Per-rank statement budget (runaway-loop guard).
+    pub max_steps_per_rank: u64,
+    /// Interpreter micro-cost table.
+    pub costs: StmtCosts,
+}
+
+impl SimConfig {
+    /// Default configuration at a given scale.
+    pub fn with_nprocs(nprocs: usize) -> SimConfig {
+        SimConfig {
+            nprocs,
+            params: HashMap::new(),
+            machine: MachineConfig::default(),
+            max_steps_per_rank: 200_000_000,
+            costs: StmtCosts::default(),
+        }
+    }
+
+    /// Builder-style parameter override.
+    pub fn with_param(mut self, name: &str, value: i64) -> SimConfig {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Rank count.
+    pub nprocs: usize,
+    /// Per-rank end-to-end virtual time.
+    pub rank_elapsed: Vec<f64>,
+    /// Per-rank cumulative PMU counters.
+    pub rank_pmu: Vec<Pmu>,
+}
+
+impl SimResult {
+    /// End-to-end runtime (slowest rank).
+    pub fn total_time(&self) -> f64 {
+        self.rank_elapsed.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No rank can make progress.
+    Deadlock {
+        /// Human-readable per-rank state dump.
+        detail: String,
+    },
+    /// Ranks disagreed on the next collective.
+    CollectiveMismatch {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// A rank exceeded its statement budget.
+    StepLimit {
+        /// The offending rank.
+        rank: usize,
+    },
+    /// An MPI operation addressed a rank outside the communicator.
+    InvalidRank {
+        /// The executing rank.
+        rank: usize,
+        /// The operation name.
+        op: &'static str,
+        /// The bad value.
+        value: i64,
+    },
+    /// `wait` on an unknown (or already-completed) request id.
+    UnknownRequest {
+        /// The executing rank.
+        rank: usize,
+        /// The request id.
+        req: i64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            SimError::CollectiveMismatch { detail } => {
+                write!(f, "collective mismatch: {detail}")
+            }
+            SimError::StepLimit { rank } => write!(f, "rank {rank} exceeded step budget"),
+            SimError::InvalidRank { rank, op, value } => {
+                write!(f, "rank {rank}: `{op}` addressed invalid rank {value}")
+            }
+            SimError::UnknownRequest { rank, req } => {
+                write!(f, "rank {rank}: wait on unknown request {req}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Entry point: couple a program, its PSG, and a config; optionally
+/// attach a [`Hook`]; then [`run`](Simulation::run).
+pub struct Simulation<'p, 'g, 'h> {
+    program: &'p Program,
+    psg: &'g Psg,
+    config: SimConfig,
+    hook: Option<&'h mut dyn Hook>,
+}
+
+impl<'p, 'g, 'h> Simulation<'p, 'g, 'h> {
+    /// Create an uninstrumented simulation.
+    pub fn new(program: &'p Program, psg: &'g Psg, config: SimConfig) -> Self {
+        Simulation { program, psg, config, hook: None }
+    }
+
+    /// Attach a performance tool.
+    pub fn with_hook(mut self, hook: &'h mut dyn Hook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        let mut null = NullHook;
+        let hook: &mut dyn Hook = match self.hook {
+            Some(h) => h,
+            None => &mut null,
+        };
+        let mut params: HashMap<String, i64> = self
+            .program
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect();
+        for (k, v) in &self.config.params {
+            params.insert(k.clone(), *v);
+        }
+        Engine::new(self.program, self.psg, self.config, params, hook).run()
+    }
+}
+
+// ----- internal machinery -----
+
+#[derive(Debug, Clone)]
+struct Message {
+    src_rank: usize,
+    src_vertex: VertexId,
+    tag: i64,
+    bytes: u64,
+    /// Sender clock when the payload left (after overhead).
+    send_time: f64,
+    /// Per-sender monotonically increasing sequence (matching order).
+    send_seq: u64,
+    /// Earliest receiver availability (eager only; rendezvous computed
+    /// at match time).
+    arrival: f64,
+    rendezvous: bool,
+    consumed: bool,
+    /// For rendezvous: who to release when matched. `req` is `Some` for
+    /// `isend`, `None` for a blocked blocking-send.
+    rdv_sender: Option<(usize, Option<i64>)>,
+}
+
+#[derive(Debug, Clone)]
+struct DepInfo {
+    src_rank: usize,
+    src_vertex: VertexId,
+    tag: i64,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Request {
+    RecvPending { src: i64, tag: i64, posted: f64 },
+    SendPending,
+    Complete { t: f64, dep: Option<DepInfo> },
+}
+
+#[derive(Debug, Clone)]
+enum Blocked {
+    /// Waiting until all listed requests complete (covers blocking recv,
+    /// sendrecv, wait, waitall).
+    OnRequests {
+        reqs: Vec<i64>,
+        kind: MpiKind,
+        vertex: VertexId,
+        enter: f64,
+        ready: f64,
+        /// Requests to drop from the outstanding set on completion.
+        drop_outstanding: bool,
+    },
+    /// Rendezvous blocking send waiting for its receiver.
+    RdvSend { kind: MpiKind, vertex: VertexId, enter: f64 },
+    /// Arrived at a collective, waiting for the others.
+    Collective { seq: u64, enter: f64 },
+}
+
+#[derive(Debug)]
+enum Status {
+    Running,
+    Blocked(Blocked),
+    Done,
+}
+
+struct CollArrival {
+    arrive: f64,
+    vertex: VertexId,
+    kind: MpiKind,
+    bytes: u64,
+    root: i64,
+}
+
+#[derive(Default)]
+struct CollInstance {
+    arrivals: HashMap<usize, CollArrival>,
+}
+
+struct Engine<'p, 'g, 'h> {
+    psg: &'g Psg,
+    config: SimConfig,
+    params: HashMap<String, i64>,
+    hook: &'h mut dyn Hook,
+    ranks: Vec<RankState<'p>>,
+    status: Vec<Status>,
+    runnable: VecDeque<usize>,
+    mailboxes: Vec<Vec<Message>>,
+    send_seq: Vec<u64>,
+    requests: Vec<HashMap<i64, Request>>,
+    next_req: Vec<i64>,
+    /// Pending receive requests per rank, in post order.
+    recv_order: Vec<VecDeque<i64>>,
+    /// Un-waited non-blocking requests per rank (for `waitall`).
+    outstanding: Vec<Vec<i64>>,
+    coll_seq: Vec<u64>,
+    collectives: HashMap<u64, CollInstance>,
+}
+
+enum MpiOutcome {
+    Completed,
+    BlockedNow,
+}
+
+impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
+    fn new(
+        program: &'p Program,
+        psg: &'g Psg,
+        config: SimConfig,
+        params: HashMap<String, i64>,
+        hook: &'h mut dyn Hook,
+    ) -> Self {
+        let n = config.nprocs;
+        let ranks = (0..n)
+            .map(|r| RankState::new(r, program, psg, &config.machine, config.max_steps_per_rank))
+            .collect();
+        Engine {
+            psg,
+            config,
+            params,
+            hook,
+            ranks,
+            status: (0..n).map(|_| Status::Running).collect(),
+            runnable: (0..n).collect(),
+            mailboxes: vec![Vec::new(); n],
+            send_seq: vec![0; n],
+            requests: vec![HashMap::new(); n],
+            next_req: vec![1; n],
+            recv_order: vec![VecDeque::new(); n],
+            outstanding: vec![Vec::new(); n],
+            coll_seq: vec![0; n],
+            collectives: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        self.hook.on_run_start(self.config.nprocs);
+        loop {
+            // Phase 1: drain runnable ranks.
+            while let Some(r) = self.runnable.pop_front() {
+                if !matches!(self.status[r], Status::Running) {
+                    continue;
+                }
+                self.run_rank(r)?;
+            }
+            // Phase 2: quiescence matching.
+            let mut progress = false;
+            progress |= self.complete_collectives()?;
+            progress |= self.match_phase();
+            if !progress {
+                if self.status.iter().all(|s| matches!(s, Status::Done)) {
+                    break;
+                }
+                return Err(SimError::Deadlock { detail: self.deadlock_detail() });
+            }
+        }
+        let rank_elapsed: Vec<f64> = self.ranks.iter().map(|r| r.clock).collect();
+        self.hook.on_run_end(&rank_elapsed);
+        Ok(SimResult {
+            nprocs: self.config.nprocs,
+            rank_elapsed,
+            rank_pmu: self.ranks.iter().map(|r| r.pmu).collect(),
+        })
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut lines = Vec::new();
+        for (r, s) in self.status.iter().enumerate() {
+            let desc = match s {
+                Status::Running => continue,
+                Status::Done => continue,
+                Status::Blocked(Blocked::OnRequests { kind, reqs, .. }) => {
+                    format!("rank {r}: blocked in {} on requests {reqs:?}", kind.mpi_name())
+                }
+                Status::Blocked(Blocked::RdvSend { .. }) => {
+                    format!("rank {r}: blocked in rendezvous send")
+                }
+                Status::Blocked(Blocked::Collective { seq, .. }) => {
+                    format!("rank {r}: blocked in collective #{seq}")
+                }
+            };
+            lines.push(desc);
+            if lines.len() >= 8 {
+                lines.push("...".to_string());
+                break;
+            }
+        }
+        lines.join("; ")
+    }
+
+    fn step_ctx(&mut self) -> (&mut Vec<RankState<'p>>, StepCtx<'_>) {
+        let ctx = StepCtx {
+            psg: self.psg,
+            machine: &self.config.machine,
+            hook: self.hook,
+            params: &self.params,
+            nprocs: self.config.nprocs,
+            costs: self.config.costs,
+        };
+        (&mut self.ranks, ctx)
+    }
+
+    fn run_rank(&mut self, r: usize) -> Result<(), SimError> {
+        loop {
+            let outcome = {
+                let (ranks, mut ctx) = self.step_ctx();
+                ranks[r].step(&mut ctx)
+            };
+            match outcome {
+                StepOutcome::Done => {
+                    self.status[r] = Status::Done;
+                    return Ok(());
+                }
+                StepOutcome::BudgetExhausted => return Err(SimError::StepLimit { rank: r }),
+                StepOutcome::Mpi(call) => match self.handle_mpi(r, call)? {
+                    MpiOutcome::Completed => continue,
+                    MpiOutcome::BlockedNow => return Ok(()),
+                },
+            }
+        }
+    }
+
+    fn wake(&mut self, r: usize) {
+        self.status[r] = Status::Running;
+        self.runnable.push_back(r);
+    }
+
+    fn validate_rank(&self, r: usize, op: &'static str, value: i64) -> Result<usize, SimError> {
+        if value >= 0 && (value as usize) < self.config.nprocs {
+            Ok(value as usize)
+        } else {
+            Err(SimError::InvalidRank { rank: r, op, value })
+        }
+    }
+
+    fn alloc_req(&mut self, r: usize, req: Request) -> i64 {
+        let id = self.next_req[r];
+        self.next_req[r] += 1;
+        self.requests[r].insert(id, req);
+        id
+    }
+
+    fn enter_event(&mut self, r: usize, call: &MpiCall) -> f64 {
+        let (dst, src, tag, bytes) = match &call.op {
+            EvaluatedOp::Send { dst, tag, bytes } | EvaluatedOp::Isend { dst, tag, bytes, .. } => {
+                (Some(*dst), None, Some(*tag), Some(*bytes))
+            }
+            EvaluatedOp::Recv { src, tag } | EvaluatedOp::Irecv { src, tag, .. } => {
+                (None, Some(*src), Some(*tag), None)
+            }
+            EvaluatedOp::Sendrecv { dst, sendtag, src, .. } => {
+                (Some(*dst), Some(*src), Some(*sendtag), None)
+            }
+            EvaluatedOp::Wait { .. } | EvaluatedOp::Waitall => (None, None, None, None),
+            EvaluatedOp::Collective { root, bytes } => {
+                (Some(*root), None, None, Some(*bytes))
+            }
+        };
+        let ev = MpiEnterEvent {
+            rank: r,
+            vertex: call.vertex,
+            kind: call.kind,
+            dst,
+            src,
+            tag,
+            bytes,
+            time: self.ranks[r].clock,
+        };
+        let cost = self.hook.on_mpi_enter(&ev);
+        self.ranks[r].clock += cost;
+        self.ranks[r].clock
+    }
+
+    fn exit_event(&mut self, r: usize, vertex: VertexId, kind: MpiKind, enter: f64, wait: f64) {
+        let now = self.ranks[r].clock;
+        let ev = MpiExitEvent {
+            rank: r,
+            vertex,
+            kind,
+            time: now,
+            elapsed: now - enter,
+            wait_time: wait,
+        };
+        let cost = self.hook.on_mpi_exit(&ev);
+        self.ranks[r].clock += cost;
+    }
+
+    #[allow(clippy::too_many_arguments)] // protocol parameters are clearest flat
+    fn deposit(
+        &mut self,
+        src: usize,
+        dst: usize,
+        src_vertex: VertexId,
+        tag: i64,
+        bytes: u64,
+        send_time: f64,
+        rendezvous: bool,
+        rdv_sender: Option<(usize, Option<i64>)>,
+    ) {
+        let seq = self.send_seq[src];
+        self.send_seq[src] += 1;
+        let arrival = send_time + self.config.machine.transfer_seconds(bytes);
+        self.mailboxes[dst].push(Message {
+            src_rank: src,
+            src_vertex,
+            tag,
+            bytes,
+            send_time,
+            send_seq: seq,
+            arrival,
+            rendezvous,
+            consumed: false,
+            rdv_sender,
+        });
+    }
+
+    fn handle_mpi(&mut self, r: usize, call: MpiCall) -> Result<MpiOutcome, SimError> {
+        let enter = self.enter_event(r, &call);
+        let o = self.config.machine.mpi_overhead;
+        let m = self.config.machine.clone();
+        match call.op {
+            EvaluatedOp::Send { dst, tag, bytes } => {
+                let dst = self.validate_rank(r, "send", dst)?;
+                let send_time = enter + o;
+                if m.is_eager(bytes) {
+                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, false, None);
+                    self.ranks[r].clock = send_time + bytes as f64 / m.net_bandwidth;
+                    self.exit_event(r, call.vertex, call.kind, enter, 0.0);
+                    Ok(MpiOutcome::Completed)
+                } else {
+                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, true, Some((r, None)));
+                    self.ranks[r].clock = send_time;
+                    self.status[r] = Status::Blocked(Blocked::RdvSend {
+                        kind: call.kind,
+                        vertex: call.vertex,
+                        enter,
+                    });
+                    Ok(MpiOutcome::BlockedNow)
+                }
+            }
+            EvaluatedOp::Isend { dst, tag, bytes, req_name } => {
+                let dst = self.validate_rank(r, "isend", dst)?;
+                let send_time = enter + o;
+                let req = if m.is_eager(bytes) {
+                    let local_done = send_time + bytes as f64 / m.net_bandwidth;
+                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, false, None);
+                    self.alloc_req(r, Request::Complete { t: local_done, dep: None })
+                } else {
+                    let id = self.alloc_req(r, Request::SendPending);
+                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, true, Some((r, Some(id))));
+                    id
+                };
+                self.outstanding[r].push(req);
+                self.ranks[r].define_var(&req_name, Value::Int(req));
+                self.ranks[r].clock = send_time;
+                self.exit_event(r, call.vertex, call.kind, enter, 0.0);
+                Ok(MpiOutcome::Completed)
+            }
+            EvaluatedOp::Irecv { src, tag, req_name } => {
+                if src >= 0 {
+                    self.validate_rank(r, "irecv", src)?;
+                }
+                let posted = enter + o;
+                let req = self.alloc_req(r, Request::RecvPending { src, tag, posted });
+                self.recv_order[r].push_back(req);
+                self.outstanding[r].push(req);
+                self.ranks[r].define_var(&req_name, Value::Int(req));
+                self.ranks[r].clock = posted;
+                self.exit_event(r, call.vertex, call.kind, enter, 0.0);
+                Ok(MpiOutcome::Completed)
+            }
+            EvaluatedOp::Recv { src, tag } => {
+                if src >= 0 {
+                    self.validate_rank(r, "recv", src)?;
+                }
+                let posted = enter + o;
+                self.ranks[r].clock = posted;
+                let req = self.alloc_req(r, Request::RecvPending { src, tag, posted });
+                self.recv_order[r].push_back(req);
+                self.match_rank_recvs(r, false);
+                self.finish_or_block(
+                    r,
+                    vec![req],
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    false,
+                )
+            }
+            EvaluatedOp::Sendrecv { dst, sendtag, src, recvtag, bytes } => {
+                let dst = self.validate_rank(r, "sendrecv", dst)?;
+                if src >= 0 {
+                    self.validate_rank(r, "sendrecv", src)?;
+                }
+                let send_time = enter + o;
+                // Sendrecv is deadlock-free: the send half is buffered.
+                self.deposit(r, dst, call.vertex, sendtag, bytes, send_time, false, None);
+                let posted = send_time + bytes as f64 / m.net_bandwidth;
+                self.ranks[r].clock = posted;
+                let req = self.alloc_req(r, Request::RecvPending { src, tag: recvtag, posted });
+                self.recv_order[r].push_back(req);
+                self.match_rank_recvs(r, false);
+                self.finish_or_block(
+                    r,
+                    vec![req],
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    false,
+                )
+            }
+            EvaluatedOp::Wait { req } => {
+                let posted = enter + o;
+                self.ranks[r].clock = posted;
+                if !self.requests[r].contains_key(&req) {
+                    return Err(SimError::UnknownRequest { rank: r, req });
+                }
+                self.match_rank_recvs(r, false);
+                self.finish_or_block(
+                    r,
+                    vec![req],
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    true,
+                )
+            }
+            EvaluatedOp::Waitall => {
+                let posted = enter + o;
+                self.ranks[r].clock = posted;
+                let reqs = self.outstanding[r].clone();
+                if reqs.is_empty() {
+                    self.exit_event(r, call.vertex, call.kind, enter, 0.0);
+                    return Ok(MpiOutcome::Completed);
+                }
+                self.match_rank_recvs(r, false);
+                self.finish_or_block(r, reqs, call.kind, call.vertex, enter, posted, true)
+            }
+            EvaluatedOp::Collective { root, bytes } => {
+                if matches!(call.kind, MpiKind::Bcast | MpiKind::Reduce) {
+                    self.validate_rank(r, "collective root", root)?;
+                }
+                let arrive = enter + o;
+                self.ranks[r].clock = arrive;
+                let seq = self.coll_seq[r];
+                self.coll_seq[r] += 1;
+                self.collectives.entry(seq).or_default().arrivals.insert(
+                    r,
+                    CollArrival { arrive, vertex: call.vertex, kind: call.kind, bytes, root },
+                );
+                self.status[r] = Status::Blocked(Blocked::Collective { seq, enter });
+                Ok(MpiOutcome::BlockedNow)
+            }
+        }
+    }
+
+    /// If all `reqs` are complete, finish the operation now; otherwise
+    /// block on them.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_or_block(
+        &mut self,
+        r: usize,
+        reqs: Vec<i64>,
+        kind: MpiKind,
+        vertex: VertexId,
+        enter: f64,
+        ready: f64,
+        drop_outstanding: bool,
+    ) -> Result<MpiOutcome, SimError> {
+        if self.requests_complete(r, &reqs) {
+            self.complete_on_requests(r, &reqs, kind, vertex, enter, ready, drop_outstanding);
+            Ok(MpiOutcome::Completed)
+        } else {
+            self.status[r] = Status::Blocked(Blocked::OnRequests {
+                reqs,
+                kind,
+                vertex,
+                enter,
+                ready,
+                drop_outstanding,
+            });
+            Ok(MpiOutcome::BlockedNow)
+        }
+    }
+
+    fn requests_complete(&self, r: usize, reqs: &[i64]) -> bool {
+        reqs.iter().all(|id| {
+            matches!(self.requests[r].get(id), Some(Request::Complete { .. }))
+        })
+    }
+
+    /// All requests complete: advance the clock, emit dependence and exit
+    /// events, drop the requests.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_on_requests(
+        &mut self,
+        r: usize,
+        reqs: &[i64],
+        kind: MpiKind,
+        vertex: VertexId,
+        enter: f64,
+        ready: f64,
+        drop_outstanding: bool,
+    ) {
+        let mut done = ready;
+        for id in reqs {
+            if let Some(Request::Complete { t, .. }) = self.requests[r].get(id) {
+                done = done.max(*t);
+            }
+        }
+        self.ranks[r].clock = self.ranks[r].clock.max(done);
+        let wait = (done - ready).max(0.0);
+        // Emit one dependence edge per request that carried a message.
+        for id in reqs {
+            if let Some(Request::Complete { t, dep: Some(dep) }) = self.requests[r].remove(id) {
+                let ev = CommDepEvent {
+                    src_rank: dep.src_rank,
+                    src_vertex: dep.src_vertex,
+                    dst_rank: r,
+                    dst_vertex: vertex,
+                    tag: dep.tag,
+                    bytes: dep.bytes,
+                    wait_time: (t - ready).max(0.0),
+                    time: self.ranks[r].clock,
+                };
+                let cost = self.hook.on_comm_dep(&ev);
+                self.ranks[r].clock += cost;
+            } else {
+                self.requests[r].remove(id);
+            }
+        }
+        if drop_outstanding {
+            self.outstanding[r].retain(|id| !reqs.contains(id));
+        }
+        self.exit_event(r, vertex, kind, enter, wait);
+    }
+
+    /// Match rank `r`'s pending receives against its mailbox, in post
+    /// order. Wildcard receives only match at quiescence.
+    fn match_rank_recvs(&mut self, r: usize, at_quiescence: bool) -> bool {
+        let mut progressed = false;
+        #[allow(clippy::while_let_loop)] // the loop has three exits; keep them explicit
+        loop {
+            let Some(&req_id) = self.recv_order[r].front() else { break };
+            let Some(Request::RecvPending { src, tag, posted }) =
+                self.requests[r].get(&req_id).cloned()
+            else {
+                // Stale entry; drop it.
+                self.recv_order[r].pop_front();
+                continue;
+            };
+            let wildcard = src < 0 || tag < 0;
+            if wildcard && !at_quiescence {
+                break;
+            }
+            let Some(msg_idx) = self.find_match(r, src, tag) else { break };
+            let msg = self.mailboxes[r][msg_idx].clone();
+            self.mailboxes[r][msg_idx].consumed = true;
+            let t = if msg.rendezvous {
+                // Transfer starts when both sides are ready.
+                let start = msg.send_time.max(posted);
+                let finish = start + self.config.machine.transfer_seconds(msg.bytes);
+                if let Some((sender, sreq)) = msg.rdv_sender {
+                    self.release_rdv_sender(sender, sreq, finish);
+                }
+                finish
+            } else {
+                msg.arrival.max(posted)
+            };
+            self.requests[r].insert(
+                req_id,
+                Request::Complete {
+                    t,
+                    dep: Some(DepInfo {
+                        src_rank: msg.src_rank,
+                        src_vertex: msg.src_vertex,
+                        tag: msg.tag,
+                        bytes: msg.bytes,
+                    }),
+                },
+            );
+            self.recv_order[r].pop_front();
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Deterministic candidate selection (see module docs).
+    fn find_match(&self, r: usize, src: i64, tag: i64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, msg) in self.mailboxes[r].iter().enumerate() {
+            if msg.consumed {
+                continue;
+            }
+            if src >= 0 && msg.src_rank != src as usize {
+                continue;
+            }
+            if tag >= 0 && msg.tag != tag {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(j) => {
+                    let cur = &self.mailboxes[r][j];
+                    let better = if msg.src_rank == cur.src_rank {
+                        msg.send_seq < cur.send_seq
+                    } else {
+                        (msg.arrival, msg.src_rank, msg.send_seq)
+                            < (cur.arrival, cur.src_rank, cur.send_seq)
+                    };
+                    if better {
+                        Some(i)
+                    } else {
+                        Some(j)
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    fn release_rdv_sender(&mut self, sender: usize, sreq: Option<i64>, finish: f64) {
+        match sreq {
+            Some(id) => {
+                self.requests[sender].insert(id, Request::Complete { t: finish, dep: None });
+            }
+            None => {
+                if let Status::Blocked(Blocked::RdvSend { kind, vertex, enter }) =
+                    &self.status[sender]
+                {
+                    let (kind, vertex, enter) = (*kind, *vertex, *enter);
+                    let before = self.ranks[sender].clock;
+                    self.ranks[sender].clock = before.max(finish);
+                    let wait = (finish - before).max(0.0);
+                    self.exit_event(sender, vertex, kind, enter, wait);
+                    self.wake(sender);
+                }
+            }
+        }
+    }
+
+    /// Quiescence matching: receives (incl. wildcards), then blocked
+    /// request waits.
+    fn match_phase(&mut self) -> bool {
+        let mut progress = false;
+        for r in 0..self.config.nprocs {
+            progress |= self.match_rank_recvs(r, true);
+        }
+        for r in 0..self.config.nprocs {
+            let Status::Blocked(Blocked::OnRequests {
+                reqs,
+                kind,
+                vertex,
+                enter,
+                ready,
+                drop_outstanding,
+            }) = &self.status[r]
+            else {
+                continue;
+            };
+            let (reqs, kind, vertex, enter, ready, drop_outstanding) = (
+                reqs.clone(),
+                *kind,
+                *vertex,
+                *enter,
+                *ready,
+                *drop_outstanding,
+            );
+            if self.requests_complete(r, &reqs) {
+                self.complete_on_requests(r, &reqs, kind, vertex, enter, ready, drop_outstanding);
+                self.wake(r);
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Complete every collective instance whose participants all arrived.
+    fn complete_collectives(&mut self) -> Result<bool, SimError> {
+        let ready: Vec<u64> = self
+            .collectives
+            .iter()
+            .filter(|(_, inst)| inst.arrivals.len() == self.config.nprocs)
+            .map(|(seq, _)| *seq)
+            .collect();
+        let mut progress = false;
+        for seq in ready {
+            self.complete_collective(seq)?;
+            progress = true;
+        }
+        Ok(progress)
+    }
+
+    fn complete_collective(&mut self, seq: u64) -> Result<(), SimError> {
+        let inst = self.collectives.remove(&seq).expect("instance exists");
+        let n = self.config.nprocs;
+        // Validate agreement on the operation kind.
+        let kind0 = inst.arrivals[&0].kind;
+        for (r, a) in &inst.arrivals {
+            if a.kind != kind0 {
+                return Err(SimError::CollectiveMismatch {
+                    detail: format!(
+                        "collective #{seq}: rank 0 called {}, rank {r} called {}",
+                        kind0.mpi_name(),
+                        a.kind.mpi_name()
+                    ),
+                });
+            }
+        }
+        let bytes = inst.arrivals.values().map(|a| a.bytes).max().unwrap_or(0);
+        let root = inst.arrivals[&0].root;
+        let max_arrival = inst
+            .arrivals
+            .values()
+            .map(|a| a.arrive)
+            .fold(0.0, f64::max);
+        let straggler = inst
+            .arrivals
+            .iter()
+            .max_by(|a, b| {
+                a.1.arrive
+                    .partial_cmp(&b.1.arrive)
+                    .unwrap()
+                    .then(a.0.cmp(b.0))
+            })
+            .map(|(r, _)| *r)
+            .expect("non-empty");
+
+        let model = match kind0 {
+            MpiKind::Barrier => CollectiveModel::Barrier,
+            MpiKind::Bcast => CollectiveModel::Bcast,
+            MpiKind::Reduce => CollectiveModel::Reduce,
+            MpiKind::Allreduce => CollectiveModel::Allreduce,
+            MpiKind::Alltoall => CollectiveModel::Alltoall,
+            MpiKind::Allgather => CollectiveModel::Allgather,
+            other => {
+                return Err(SimError::CollectiveMismatch {
+                    detail: format!("non-collective {} in collective slot", other.mpi_name()),
+                })
+            }
+        };
+        let cost = self.config.machine.collective_seconds(model, n, bytes);
+        let o = self.config.machine.mpi_overhead;
+        let root_arrive = inst
+            .arrivals
+            .get(&(root.max(0) as usize))
+            .map(|a| a.arrive)
+            .unwrap_or(max_arrival);
+
+        for r in 0..n {
+            let a = &inst.arrivals[&r];
+            let release = match kind0 {
+                MpiKind::Bcast => {
+                    if r as i64 == root {
+                        a.arrive + o
+                    } else {
+                        a.arrive.max(root_arrive + cost)
+                    }
+                }
+                MpiKind::Reduce => {
+                    if r as i64 == root {
+                        max_arrival + cost
+                    } else {
+                        a.arrive + o
+                    }
+                }
+                _ => max_arrival + cost,
+            };
+            let wait = (release - a.arrive).max(0.0);
+            self.ranks[r].clock = release;
+            // Straggler → waiter dependence edges let detection see who
+            // delayed the collective.
+            if r != straggler && wait > 0.0 {
+                let sv = inst.arrivals[&straggler].vertex;
+                let ev = CommDepEvent {
+                    src_rank: straggler,
+                    src_vertex: sv,
+                    dst_rank: r,
+                    dst_vertex: a.vertex,
+                    tag: -1,
+                    bytes,
+                    wait_time: wait,
+                    time: release,
+                };
+                let c = self.hook.on_comm_dep(&ev);
+                self.ranks[r].clock += c;
+            }
+            let enter = match &self.status[r] {
+                Status::Blocked(Blocked::Collective { enter, .. }) => *enter,
+                _ => a.arrive,
+            };
+            self.exit_event(r, a.vertex, kind0, enter, wait);
+            self.wake(r);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::CountingHook;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_lang::parse_program;
+
+    fn run(src: &str, nprocs: usize) -> SimResult {
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs))
+            .run()
+            .unwrap()
+    }
+
+    fn run_counting(src: &str, nprocs: usize) -> (SimResult, CountingHook) {
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut hook = CountingHook::default();
+        let result = Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        (result, hook)
+    }
+
+    #[test]
+    fn compute_only_program() {
+        let res = run("fn main() { comp(cycles = 2_300_000); }", 4);
+        assert_eq!(res.nprocs, 4);
+        for t in &res.rank_elapsed {
+            assert!(*t >= 0.001, "1ms of compute, got {t}");
+        }
+    }
+
+    #[test]
+    fn ping_pong_blocking() {
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    send(dst = 1, tag = 5, bytes = 1024);
+                    recv(src = 1, tag = 6);
+                } else {
+                    recv(src = 0, tag = 5);
+                    send(dst = 0, tag = 6, bytes = 1024);
+                }
+            }
+        "#;
+        let (res, hook) = run_counting(src, 2);
+        assert_eq!(hook.comm_deps, 2);
+        assert_eq!(hook.mpi_enters, 4);
+        assert_eq!(hook.mpi_exits, 4);
+        assert!(res.total_time() > 0.0);
+    }
+
+    #[test]
+    fn ring_sendrecv_all_ranks() {
+        let src = r#"
+            fn main() {
+                for it in 0 .. 5 {
+                    sendrecv(dst = (rank + 1) % nprocs,
+                             src = (rank + nprocs - 1) % nprocs,
+                             sendtag = it, recvtag = it, bytes = 4k);
+                }
+            }
+        "#;
+        let (_, hook) = run_counting(src, 8);
+        // 5 iterations x 8 ranks, one matched message each.
+        assert_eq!(hook.comm_deps, 40);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_receiver() {
+        // 1 MB > eager threshold: sender must wait for the receiver, who
+        // is busy computing first.
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    send(dst = 1, tag = 0, bytes = 1m);
+                } else {
+                    comp(cycles = 23_000_000); // 10 ms
+                    recv(src = 0, tag = 0);
+                }
+            }
+        "#;
+        let res = run(src, 2);
+        // Sender finishes only after receiver posted (~10ms) + transfer.
+        assert!(
+            res.rank_elapsed[0] >= 0.01,
+            "rendezvous sender waited: {}",
+            res.rank_elapsed[0]
+        );
+    }
+
+    #[test]
+    fn eager_send_does_not_block() {
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    send(dst = 1, tag = 0, bytes = 1024);
+                } else {
+                    comp(cycles = 23_000_000); // 10 ms
+                    recv(src = 0, tag = 0);
+                }
+            }
+        "#;
+        let res = run(src, 2);
+        assert!(
+            res.rank_elapsed[0] < 0.001,
+            "eager sender should finish early: {}",
+            res.rank_elapsed[0]
+        );
+    }
+
+    #[test]
+    fn nonblocking_pipeline_with_waitall() {
+        let src = r#"
+            fn main() {
+                let right = (rank + 1) % nprocs;
+                let left = (rank + nprocs - 1) % nprocs;
+                let s = isend(dst = right, tag = 1, bytes = 8k);
+                let q = irecv(src = left, tag = 1);
+                comp(cycles = 100_000);
+                waitall();
+            }
+        "#;
+        let (res, hook) = run_counting(src, 16);
+        assert_eq!(hook.comm_deps, 16);
+        assert!(res.total_time() > 0.0);
+    }
+
+    #[test]
+    fn wait_on_single_request() {
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    let q = irecv(src = 1, tag = 3);
+                    comp(cycles = 1000);
+                    wait(q);
+                } else {
+                    send(dst = 0, tag = 3, bytes = 64);
+                }
+            }
+        "#;
+        let (_, hook) = run_counting(src, 2);
+        assert_eq!(hook.comm_deps, 1);
+    }
+
+    #[test]
+    fn wildcard_recv_matches_earliest_arrival() {
+        // Rank 2 sends later than rank 1; wildcard recv must take rank 1.
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    recv(src = any, tag = any);
+                    recv(src = any, tag = any);
+                } else if rank == 1 {
+                    send(dst = 0, tag = 7, bytes = 64);
+                } else {
+                    comp(cycles = 23_000_000);
+                    send(dst = 0, tag = 9, bytes = 64);
+                }
+            }
+        "#;
+        struct DepOrder(Vec<usize>);
+        impl Hook for DepOrder {
+            fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+                self.0.push(ev.src_rank);
+                0.0
+            }
+        }
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut hook = DepOrder(Vec::new());
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(3))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        assert_eq!(hook.0, vec![1, 2], "earliest arrival must match first");
+    }
+
+    #[test]
+    fn collectives_synchronize_all_ranks() {
+        let src = r#"
+            fn main() {
+                comp(cycles = rank * 1_000_000);
+                barrier();
+                allreduce(bytes = 8);
+            }
+        "#;
+        let res = run(src, 8);
+        let t0 = res.rank_elapsed[0];
+        for t in &res.rank_elapsed {
+            assert!((t - t0).abs() < 1e-6, "collective exit times align: {t} vs {t0}");
+        }
+    }
+
+    #[test]
+    fn bcast_root_leaves_early() {
+        let src = "fn main() { bcast(root = 0, bytes = 1k); comp(cycles = 1); }";
+        let res = run(src, 8);
+        assert!(res.rank_elapsed[0] < res.rank_elapsed[1]);
+    }
+
+    #[test]
+    fn reduce_root_waits_for_all() {
+        let src = r#"
+            fn main() {
+                comp(cycles = rank * 1_000_000);
+                reduce(root = 0, bytes = 1k);
+            }
+        "#;
+        let res = run(src, 8);
+        // Root must wait for rank 7's arrival.
+        assert!(res.rank_elapsed[0] > res.rank_elapsed[1]);
+    }
+
+    #[test]
+    fn collective_straggler_dep_edges_point_at_late_rank() {
+        let src = r#"
+            fn main() {
+                if rank == 3 { comp(cycles = 23_000_000); }
+                allreduce(bytes = 8);
+            }
+        "#;
+        struct Stragglers(Vec<usize>);
+        impl Hook for Stragglers {
+            fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+                self.0.push(ev.src_rank);
+                0.0
+            }
+        }
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut hook = Stragglers(Vec::new());
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(8))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        assert!(!hook.0.is_empty());
+        assert!(hook.0.iter().all(|&s| s == 3), "all waits trace to rank 3");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let src = "fn main() { recv(src = (rank + 1) % nprocs, tag = 0); }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let err = Simulation::new(&program, &psg, SimConfig::with_nprocs(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn collective_mismatch_is_detected() {
+        let src = r#"
+            fn main() {
+                if rank == 0 { barrier(); } else { allreduce(bytes = 8); }
+            }
+        "#;
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let err = Simulation::new(&program, &psg, SimConfig::with_nprocs(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_rank_is_reported() {
+        let src = "fn main() { send(dst = nprocs, tag = 0, bytes = 8); }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let err = Simulation::new(&program, &psg, SimConfig::with_nprocs(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidRank { .. }));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let src = r#"
+            fn main() {
+                for i in 0 .. 10 {
+                    comp(cycles = 100_000 + rank * 1000);
+                    sendrecv(dst = (rank + 1) % nprocs,
+                             src = (rank + nprocs - 1) % nprocs,
+                             sendtag = i, recvtag = i, bytes = 2k);
+                }
+                allreduce(bytes = 8);
+            }
+        "#;
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mk = || {
+            let mut cfg = SimConfig::with_nprocs(8);
+            cfg.machine.noise = crate::machine::NoiseConfig { amplitude: 0.05, seed: 99 };
+            cfg
+        };
+        let a = Simulation::new(&program, &psg, mk()).run().unwrap();
+        let b = Simulation::new(&program, &psg, mk()).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let src = r#"
+            fn main() {
+                let q = irecv(src = rank, tag = 1);
+                send(dst = rank, tag = 1, bytes = 64);
+                wait(q);
+            }
+        "#;
+        let (_, hook) = run_counting(src, 2);
+        assert_eq!(hook.comm_deps, 2);
+    }
+
+    #[test]
+    fn param_overrides_apply() {
+        let src = "param N = 1; fn main() { for i in 0 .. N { comp(cycles = 1_000_000); } }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let small = Simulation::new(&program, &psg, SimConfig::with_nprocs(1))
+            .run()
+            .unwrap();
+        let big = Simulation::new(
+            &program,
+            &psg,
+            SimConfig::with_nprocs(1).with_param("N", 10),
+        )
+        .run()
+        .unwrap();
+        assert!(big.total_time() > 5.0 * small.total_time());
+    }
+
+    #[test]
+    fn wait_time_reflects_late_sender() {
+        let src = r#"
+            fn main() {
+                if rank == 0 {
+                    recv(src = 1, tag = 0);
+                } else {
+                    comp(cycles = 23_000_000); // 10 ms
+                    send(dst = 0, tag = 0, bytes = 8);
+                }
+            }
+        "#;
+        struct WaitCap(f64);
+        impl Hook for WaitCap {
+            fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+                self.0 = self.0.max(ev.wait_time);
+                0.0
+            }
+        }
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut hook = WaitCap(0.0);
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(2))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        assert!(hook.0 >= 0.009, "receiver waited ~10ms, saw {}", hook.0);
+    }
+
+    #[test]
+    fn hook_costs_inflate_runtime() {
+        struct Costly;
+        impl Hook for Costly {
+            fn on_comp(&mut self, _ev: &crate::hook::CompEvent) -> f64 {
+                1e-3
+            }
+        }
+        let src = "fn main() { for i in 0 .. 10 { comp(cycles = 1000); } }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let base = Simulation::new(&program, &psg, SimConfig::with_nprocs(1))
+            .run()
+            .unwrap();
+        let mut hook = Costly;
+        let tooled = Simulation::new(&program, &psg, SimConfig::with_nprocs(1))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        assert!(tooled.total_time() > base.total_time() + 5e-3);
+    }
+
+    #[test]
+    fn larger_scale_collective_costs_more() {
+        let src = "fn main() { for i in 0 .. 50 { allreduce(bytes = 8); } }";
+        let t64 = run(src, 64).total_time();
+        let t256 = run(src, 256).total_time();
+        assert!(t256 > t64, "allreduce chain should slow with scale");
+    }
+
+    #[test]
+    fn two_thousand_ranks_complete() {
+        let src = r#"
+            fn main() {
+                comp(cycles = 1_000_000 / nprocs);
+                allreduce(bytes = 8);
+            }
+        "#;
+        let res = run(src, 2048);
+        assert_eq!(res.rank_elapsed.len(), 2048);
+    }
+}

@@ -1,0 +1,291 @@
+//! Edge-case integration tests for the MPI engine: protocol corners,
+//! ordering semantics, and failure modes.
+
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_lang::parse_program;
+use scalana_mpisim::hook::{CommDepEvent, Hook};
+use scalana_mpisim::{SimConfig, SimError, Simulation};
+
+fn run(src: &str, nprocs: usize) -> Result<scalana_mpisim::SimResult, SimError> {
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs)).run()
+}
+
+/// Hook capturing the source-rank order of matched messages.
+struct DepOrder(Vec<(usize, i64)>);
+impl Hook for DepOrder {
+    fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+        self.0.push((ev.src_rank, ev.tag));
+        0.0
+    }
+}
+
+fn run_deps(src: &str, nprocs: usize) -> Vec<(usize, i64)> {
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    let mut hook = DepOrder(Vec::new());
+    Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs))
+        .with_hook(&mut hook)
+        .run()
+        .unwrap();
+    hook.0
+}
+
+#[test]
+fn fifo_per_sender_and_tag() {
+    // Two same-tag sends from one rank must match two receives in order.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                send(dst = 1, tag = 7, bytes = 64);
+                send(dst = 1, tag = 7, bytes = 128);
+            } else {
+                recv(src = 0, tag = 7);
+                recv(src = 0, tag = 7);
+            }
+        }
+    "#;
+    struct Bytes(Vec<u64>);
+    impl Hook for Bytes {
+        fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+            self.0.push(ev.bytes);
+            0.0
+        }
+    }
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    let mut hook = Bytes(Vec::new());
+    Simulation::new(&program, &psg, SimConfig::with_nprocs(2))
+        .with_hook(&mut hook)
+        .run()
+        .unwrap();
+    assert_eq!(hook.0, vec![64, 128], "FIFO per (src, tag)");
+}
+
+#[test]
+fn tag_selectivity_reorders_matches() {
+    // The receiver asks for tag 2 first even though tag 1 was sent first.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                send(dst = 1, tag = 1, bytes = 64);
+                send(dst = 1, tag = 2, bytes = 64);
+            } else {
+                recv(src = 0, tag = 2);
+                recv(src = 0, tag = 1);
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert_eq!(deps, vec![(0, 2), (0, 1)]);
+}
+
+#[test]
+fn wildcard_tag_with_specific_source() {
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                send(dst = 1, tag = 42, bytes = 64);
+            } else {
+                recv(src = 0, tag = any);
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert_eq!(deps, vec![(0, 42)]);
+}
+
+#[test]
+fn wildcard_recv_ordering_blocks_later_specific_recv() {
+    // A wildcard at the head of the queue must claim the first message;
+    // the later specific recv takes the second. No crossover.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                send(dst = 1, tag = 5, bytes = 64);
+                send(dst = 1, tag = 6, bytes = 64);
+            } else {
+                let a = irecv(src = any, tag = any);
+                let b = irecv(src = 0, tag = 6);
+                waitall();
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert_eq!(deps.len(), 2);
+    assert_eq!(deps[0], (0, 5), "wildcard gets the earlier message");
+    assert_eq!(deps[1], (0, 6));
+}
+
+#[test]
+fn rendezvous_isend_completes_at_wait() {
+    // A large isend's request isn't complete until the receiver posts.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                let s = isend(dst = 1, tag = 0, bytes = 1m);
+                wait(s);
+            } else {
+                comp(cycles = 23_000_000); // 10 ms before posting
+                recv(src = 0, tag = 0);
+            }
+        }
+    "#;
+    let res = run(src, 2).unwrap();
+    assert!(
+        res.rank_elapsed[0] >= 0.01,
+        "sender's wait() blocked on the rendezvous: {}",
+        res.rank_elapsed[0]
+    );
+}
+
+#[test]
+fn waitall_with_no_outstanding_requests_is_a_noop() {
+    let res = run("fn main() { waitall(); comp(cycles = 100); }", 4).unwrap();
+    assert!(res.total_time() > 0.0);
+}
+
+#[test]
+fn wait_on_completed_then_reuse_is_error() {
+    // Waiting twice on the same request id: second wait targets a
+    // request that no longer exists.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                let q = irecv(src = 1, tag = 0);
+                wait(q);
+                wait(q);
+            } else {
+                send(dst = 0, tag = 0, bytes = 8);
+            }
+        }
+    "#;
+    let err = run(src, 2).unwrap_err();
+    assert!(matches!(err, SimError::UnknownRequest { rank: 0, .. }));
+}
+
+#[test]
+fn mismatched_p2p_deadlocks_with_detail() {
+    let src = "fn main() { if rank == 0 { recv(src = 1, tag = 3); } \
+                else { send(dst = 0, tag = 4, bytes = 8); } }";
+    let err = run(src, 2).unwrap_err();
+    let SimError::Deadlock { detail } = err else { panic!("expected deadlock") };
+    assert!(detail.contains("rank 0"), "detail names the stuck rank: {detail}");
+}
+
+#[test]
+fn collective_count_mismatch_is_deadlock_not_hang() {
+    // Rank 0 performs one extra barrier.
+    let src = "fn main() { barrier(); if rank == 0 { barrier(); } }";
+    let err = run(src, 2).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }));
+}
+
+#[test]
+fn single_rank_collectives_complete_instantly() {
+    let res = run(
+        "fn main() { barrier(); allreduce(bytes = 8); bcast(root = 0, bytes = 64); \
+         alltoall(bytes = 8); allgather(bytes = 8); reduce(root = 0, bytes = 8); }",
+        1,
+    )
+    .unwrap();
+    assert!(res.total_time() < 1e-3);
+}
+
+#[test]
+fn zero_byte_messages_work() {
+    let src = r#"
+        fn main() {
+            if rank == 0 { send(dst = 1, tag = 0, bytes = 0); }
+            else { recv(src = 0, tag = 0); }
+        }
+    "#;
+    run(src, 2).unwrap();
+}
+
+#[test]
+fn interleaved_nonblocking_streams_keep_tags_apart() {
+    // Two independent request streams with different tags; waits in
+    // reverse posting order.
+    let src = r#"
+        fn main() {
+            let right = (rank + 1) % nprocs;
+            let left = (rank + nprocs - 1) % nprocs;
+            let a = irecv(src = left, tag = 1);
+            let b = irecv(src = left, tag = 2);
+            send(dst = right, tag = 2, bytes = 32);
+            send(dst = right, tag = 1, bytes = 16);
+            wait(b);
+            wait(a);
+        }
+    "#;
+    let deps = run_deps(src, 4);
+    assert_eq!(deps.len(), 8, "two matched messages per rank");
+}
+
+#[test]
+fn noise_changes_results_but_not_correctness() {
+    let src = r#"
+        fn main() {
+            for i in 0 .. 5 {
+                comp(cycles = 100_000);
+                sendrecv(dst = (rank + 1) % nprocs, src = (rank + nprocs - 1) % nprocs,
+                         sendtag = i, recvtag = i, bytes = 1k);
+            }
+        }
+    "#;
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    let mut quiet = SimConfig::with_nprocs(4);
+    quiet.machine.noise.amplitude = 0.0;
+    let mut noisy = SimConfig::with_nprocs(4);
+    noisy.machine.noise.amplitude = 0.10;
+    noisy.machine.noise.seed = 7;
+    let a = Simulation::new(&program, &psg, quiet).run().unwrap();
+    let b = Simulation::new(&program, &psg, noisy).run().unwrap();
+    assert_ne!(a.rank_elapsed, b.rank_elapsed, "noise perturbs timing");
+    // Perturbation is bounded by the amplitude (plus wait coupling).
+    for (x, y) in a.rank_elapsed.iter().zip(&b.rank_elapsed) {
+        assert!((x - y).abs() / x < 0.25, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn heterogeneous_cores_slow_selected_ranks() {
+    let src = "fn main() { comp(cycles = 1_000_000); barrier(); }";
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    let mut config = SimConfig::with_nprocs(4);
+    config.machine.core_speed =
+        scalana_mpisim::CoreSpeed::PerRank(vec![1.0, 1.0, 0.5, 1.0]);
+    let res = Simulation::new(&program, &psg, config).run().unwrap();
+    // All exit the barrier together, but PMU cycles are equal while the
+    // slow core took twice the time to accrue them (same work).
+    assert_eq!(res.rank_pmu[0].tot_cyc, res.rank_pmu[2].tot_cyc);
+}
+
+#[test]
+fn deep_recursion_is_bounded_by_step_budget() {
+    let src = "fn main() { spin(0); } fn spin(n) { spin(n + 1); }";
+    let program = parse_program("t.mmpi", src).unwrap();
+    let psg = build_psg(&program, &PsgOptions::default());
+    let mut config = SimConfig::with_nprocs(1);
+    config.max_steps_per_rank = 10_000;
+    let err = Simulation::new(&program, &psg, config).run().unwrap_err();
+    assert!(matches!(err, SimError::StepLimit { rank: 0 }));
+}
+
+#[test]
+fn bcast_from_nonzero_root() {
+    let src = r#"
+        fn main() {
+            comp(cycles = rank * 100_000);
+            bcast(root = 3, bytes = 1k);
+        }
+    "#;
+    let res = run(src, 8).unwrap();
+    // Root 3 leaves at its own arrival; later-arriving ranks gate on
+    // themselves, earlier ones on the root's send tree.
+    assert!(res.rank_elapsed[3] <= res.rank_elapsed[7]);
+}

@@ -1,0 +1,189 @@
+//! Tool overhead and storage measurement (paper Table I, Fig. 10/11/13).
+//!
+//! Runs the same workload uninstrumented (baseline) and under each tool,
+//! on identical configurations (same seeds, so identical workloads), and
+//! reports runtime overhead percentages and storage bytes.
+
+use crate::flat::{FlatConfig, FlatProfilerHook};
+use crate::scalana::{ProfilerConfig, ScalAnaProfiler};
+use crate::tracer::{TracerConfig, TracerHook};
+use scalana_graph::Psg;
+use scalana_lang::Program;
+use scalana_mpisim::{SimConfig, SimError, Simulation};
+
+/// Which tool to attach.
+#[derive(Debug, Clone)]
+pub enum ToolKind {
+    /// ScalAna profiler.
+    ScalAna(ProfilerConfig),
+    /// Scalasca-like tracer.
+    Tracer(TracerConfig),
+    /// HPCToolkit-like flat profiler.
+    Flat(FlatConfig),
+}
+
+impl ToolKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ToolKind::ScalAna(_) => "ScalAna",
+            ToolKind::Tracer(_) => "Scalasca-like tracer",
+            ToolKind::Flat(_) => "HPCToolkit-like profiler",
+        }
+    }
+}
+
+/// One tool's measured run.
+#[derive(Debug, Clone)]
+pub struct ToolRun {
+    /// Tool name.
+    pub name: &'static str,
+    /// End-to-end runtime with the tool attached.
+    pub elapsed: f64,
+    /// Runtime overhead vs baseline, percent.
+    pub overhead_pct: f64,
+    /// Bytes the tool persists.
+    pub storage_bytes: u64,
+}
+
+/// Baseline plus per-tool measurements.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Uninstrumented runtime.
+    pub baseline: f64,
+    /// Per-tool rows.
+    pub tools: Vec<ToolRun>,
+}
+
+impl OverheadReport {
+    /// Row by tool name.
+    pub fn tool(&self, name: &str) -> Option<&ToolRun> {
+        self.tools.iter().find(|t| t.name == name)
+    }
+}
+
+/// Measure baseline and tool runs. Deterministic: the same `config`
+/// (seeds included) is used for every run.
+pub fn measure_overhead(
+    program: &Program,
+    psg: &Psg,
+    config: &SimConfig,
+    tools: &[ToolKind],
+) -> Result<OverheadReport, SimError> {
+    let baseline = Simulation::new(program, psg, config.clone())
+        .run()?
+        .total_time();
+    let mut rows = Vec::with_capacity(tools.len());
+    for tool in tools {
+        let (elapsed, storage) = match tool {
+            ToolKind::ScalAna(cfg) => {
+                let mut hook = ScalAnaProfiler::new(cfg.clone());
+                let res = Simulation::new(program, psg, config.clone())
+                    .with_hook(&mut hook)
+                    .run()?;
+                let data = hook.take_data();
+                (res.total_time(), data.storage_bytes)
+            }
+            ToolKind::Tracer(cfg) => {
+                let mut hook = TracerHook::new(cfg.clone());
+                let res = Simulation::new(program, psg, config.clone())
+                    .with_hook(&mut hook)
+                    .run()?;
+                (res.total_time(), hook.storage_bytes())
+            }
+            ToolKind::Flat(cfg) => {
+                let mut hook = FlatProfilerHook::new(cfg.clone());
+                let res = Simulation::new(program, psg, config.clone())
+                    .with_hook(&mut hook)
+                    .run()?;
+                (res.total_time(), hook.storage_bytes())
+            }
+        };
+        rows.push(ToolRun {
+            name: tool.name(),
+            elapsed,
+            overhead_pct: if baseline > 0.0 {
+                (elapsed - baseline) / baseline * 100.0
+            } else {
+                0.0
+            },
+            storage_bytes: storage,
+        });
+    }
+    Ok(OverheadReport { baseline, tools: rows })
+}
+
+/// Human-readable byte size (KB/MB/GB), for harness tables.
+pub fn human_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_lang::parse_program;
+
+    /// A CG-flavoured kernel: iterative compute + ring exchange +
+    /// reduction, enough events for tool costs to differentiate.
+    const KERNEL: &str = r#"
+        fn main() {
+            for it in 0 .. 1000 {
+                comp(cycles = 2_300_000); // 1 ms
+                sendrecv(dst = (rank + 1) % nprocs,
+                         src = (rank + nprocs - 1) % nprocs,
+                         sendtag = it, recvtag = it, bytes = 16k);
+                allreduce(bytes = 8);
+            }
+        }
+    "#;
+
+    #[test]
+    fn tool_overhead_ordering_matches_paper() {
+        let program = parse_program("t.mmpi", KERNEL).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let report = measure_overhead(
+            &program,
+            &psg,
+            &SimConfig::with_nprocs(8),
+            &[
+                ToolKind::ScalAna(ProfilerConfig::default()),
+                ToolKind::Tracer(TracerConfig::default()),
+                ToolKind::Flat(FlatConfig::default()),
+            ],
+        )
+        .unwrap();
+        let scalana = report.tool("ScalAna").unwrap();
+        let tracer = report.tool("Scalasca-like tracer").unwrap();
+        let flat = report.tool("HPCToolkit-like profiler").unwrap();
+        // Paper Table I shape: tracing ≫ profiling ≥ ScalAna (overhead),
+        // tracing ≫ profiling ≫ ScalAna (storage).
+        assert!(
+            tracer.overhead_pct > scalana.overhead_pct,
+            "tracer {ativ} vs scalana {b}",
+            ativ = tracer.overhead_pct,
+            b = scalana.overhead_pct
+        );
+        assert!(tracer.storage_bytes > flat.storage_bytes);
+        assert!(flat.storage_bytes > scalana.storage_bytes);
+        assert!(scalana.overhead_pct >= 0.0);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.00 GB");
+    }
+}

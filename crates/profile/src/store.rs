@@ -1,0 +1,273 @@
+//! Persistence of profile data (paper §V workflow).
+//!
+//! `ScalAna-prof` runs write one profile file per job scale;
+//! `ScalAna-detect` loads them post-mortem. This module serializes
+//! [`ProfileData`] to a self-contained binary image and back, so the two
+//! stages can run in separate processes — as the real tool's do.
+
+use crate::data::{CommAgg, ProfileData};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scalana_graph::VertexPerf;
+
+const MAGIC: u32 = 0x5ca1_a701;
+const VERSION: u16 = 1;
+
+/// Serialize a profile to bytes.
+pub fn save(data: &ProfileData) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(data.nprocs as u64);
+    buf.put_u64_le(data.storage_bytes);
+    buf.put_u64_le(data.sample_count);
+
+    buf.put_u64_le(data.rank_elapsed.len() as u64);
+    for t in &data.rank_elapsed {
+        buf.put_f64_le(*t);
+    }
+
+    // Perf entries in deterministic order.
+    let mut perf: Vec<_> = data.perf.iter().collect();
+    perf.sort_by_key(|((v, r), _)| (*v, *r));
+    buf.put_u64_le(perf.len() as u64);
+    for ((vertex, rank), p) in perf {
+        buf.put_u32_le(*vertex);
+        buf.put_u64_le(*rank as u64);
+        buf.put_f64_le(p.time);
+        buf.put_u64_le(p.count);
+        buf.put_f64_le(p.tot_ins);
+        buf.put_f64_le(p.tot_cyc);
+        buf.put_f64_le(p.lst_ins);
+        buf.put_f64_le(p.l2_miss);
+        buf.put_f64_le(p.br_miss);
+        buf.put_f64_le(p.wait_time);
+        buf.put_f64_le(p.bytes);
+    }
+
+    let mut comm: Vec<_> = data.comm.iter().collect();
+    comm.sort_by_key(|((sr, sv, dr, dv), _)| (*dr, *dv, *sr, *sv));
+    buf.put_u64_le(comm.len() as u64);
+    for ((src_rank, src_vertex, dst_rank, dst_vertex), agg) in comm {
+        buf.put_u64_le(*src_rank as u64);
+        buf.put_u32_le(*src_vertex);
+        buf.put_u64_le(*dst_rank as u64);
+        buf.put_u32_le(*dst_vertex);
+        buf.put_u64_le(agg.count);
+        buf.put_u64_le(agg.bytes);
+        buf.put_f64_le(agg.wait_time);
+    }
+
+    buf.put_u64_le(data.indirect_calls.len() as u64);
+    for (ctx, stmt, callee) in &data.indirect_calls {
+        buf.put_u32_le(*ctx);
+        buf.put_u32_le(*stmt);
+        buf.put_u16_le(callee.len() as u16);
+        buf.put_slice(callee.as_bytes());
+    }
+    buf.freeze()
+}
+
+/// Deserialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Not a profile image.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Truncated or corrupt payload.
+    Truncated,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not a ScalAna profile image"),
+            LoadError::BadVersion(v) => write!(f, "unsupported profile version {v}"),
+            LoadError::Truncated => write!(f, "truncated profile image"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), LoadError> {
+    if buf.remaining() < n {
+        Err(LoadError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserialize a profile image.
+pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
+    need(&buf, 4 + 2)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    need(&buf, 8 * 3)?;
+    let nprocs = buf.get_u64_le() as usize;
+    let mut data = ProfileData::new(nprocs);
+    data.storage_bytes = buf.get_u64_le();
+    data.sample_count = buf.get_u64_le();
+
+    need(&buf, 8)?;
+    let n_elapsed = buf.get_u64_le() as usize;
+    need(&buf, n_elapsed * 8)?;
+    data.rank_elapsed = (0..n_elapsed).map(|_| buf.get_f64_le()).collect();
+
+    need(&buf, 8)?;
+    let n_perf = buf.get_u64_le() as usize;
+    for _ in 0..n_perf {
+        need(&buf, 4 + 8 + 9 * 8 - 8)?;
+        let vertex = buf.get_u32_le();
+        let rank = buf.get_u64_le() as usize;
+        let perf = VertexPerf {
+            time: buf.get_f64_le(),
+            count: buf.get_u64_le(),
+            tot_ins: buf.get_f64_le(),
+            tot_cyc: buf.get_f64_le(),
+            lst_ins: buf.get_f64_le(),
+            l2_miss: buf.get_f64_le(),
+            br_miss: buf.get_f64_le(),
+            wait_time: buf.get_f64_le(),
+            bytes: buf.get_f64_le(),
+        };
+        data.perf.insert((vertex, rank), perf);
+    }
+
+    need(&buf, 8)?;
+    let n_comm = buf.get_u64_le() as usize;
+    for _ in 0..n_comm {
+        need(&buf, 8 + 4 + 8 + 4 + 8 + 8 + 8)?;
+        let src_rank = buf.get_u64_le() as usize;
+        let src_vertex = buf.get_u32_le();
+        let dst_rank = buf.get_u64_le() as usize;
+        let dst_vertex = buf.get_u32_le();
+        let agg = CommAgg {
+            count: buf.get_u64_le(),
+            bytes: buf.get_u64_le(),
+            wait_time: buf.get_f64_le(),
+        };
+        data.comm.insert((src_rank, src_vertex, dst_rank, dst_vertex), agg);
+    }
+
+    need(&buf, 8)?;
+    let n_indirect = buf.get_u64_le() as usize;
+    for _ in 0..n_indirect {
+        need(&buf, 4 + 4 + 2)?;
+        let ctx = buf.get_u32_le();
+        let stmt = buf.get_u32_le();
+        let len = buf.get_u16_le() as usize;
+        need(&buf, len)?;
+        let name = buf.copy_to_bytes(len);
+        data.indirect_calls.push((
+            ctx,
+            stmt,
+            String::from_utf8_lossy(&name).into_owned(),
+        ));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScalAnaProfiler;
+    use scalana_graph::{build_psg, PsgOptions};
+    use scalana_lang::parse_program;
+    use scalana_mpisim::{SimConfig, Simulation};
+
+    fn collected_profile() -> ProfileData {
+        let src = r#"
+            fn main() {
+                let f = &work;
+                for it in 0 .. 6 {
+                    comp(cycles = 100_000);
+                    call f(it);
+                    sendrecv(dst = (rank + 1) % nprocs, src = (rank + nprocs - 1) % nprocs,
+                             sendtag = it, recvtag = it, bytes = 2k);
+                }
+                allreduce(bytes = 8);
+            }
+            fn work(n) { comp(cycles = n * 1000); }
+        "#;
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut profiler = ScalAnaProfiler::with_defaults();
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(6))
+            .with_hook(&mut profiler)
+            .run()
+            .unwrap();
+        profiler.take_data()
+    }
+
+    #[test]
+    fn save_load_round_trip_is_lossless() {
+        let original = collected_profile();
+        let image = save(&original);
+        let loaded = load(image).unwrap();
+        assert_eq!(loaded.nprocs, original.nprocs);
+        assert_eq!(loaded.rank_elapsed, original.rank_elapsed);
+        assert_eq!(loaded.perf, original.perf);
+        assert_eq!(loaded.comm, original.comm);
+        assert_eq!(loaded.sample_count, original.sample_count);
+        assert_eq!(loaded.storage_bytes, original.storage_bytes);
+        assert_eq!(loaded.indirect_calls, original.indirect_calls);
+    }
+
+    #[test]
+    fn image_size_matches_storage_accounting_order() {
+        let data = collected_profile();
+        let image = save(&data);
+        // The image is the real serialized size; the in-run accounting
+        // (compressed comm + final dump) should be the same order.
+        assert!(image.len() as u64 >= data.storage_bytes / 4);
+        assert!((image.len() as u64) <= data.storage_bytes * 8);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(load(Bytes::from_static(b"nope")), Err(LoadError::Truncated)));
+        assert!(matches!(
+            load(Bytes::from_static(&[0u8; 16])),
+            Err(LoadError::BadMagic)
+        ));
+        let data = collected_profile();
+        let image = save(&data);
+        let truncated = image.slice(0..image.len() / 2);
+        assert!(matches!(load(truncated), Err(LoadError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let data = collected_profile();
+        let mut image = BytesMut::from(&save(&data)[..]);
+        image[4] = 99; // bump version field
+        assert!(matches!(load(image.freeze()), Err(LoadError::BadVersion(99))));
+    }
+
+    #[test]
+    fn loaded_profile_builds_equivalent_ppg() {
+        let src = "fn main() { comp(cycles = 50_000); allreduce(bytes = 8); }";
+        let program = parse_program("t.mmpi", src).unwrap();
+        let psg = std::sync::Arc::new(build_psg(&program, &PsgOptions::default()));
+        let mut profiler = ScalAnaProfiler::with_defaults();
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(4))
+            .with_hook(&mut profiler)
+            .run()
+            .unwrap();
+        let data = profiler.take_data();
+        let reloaded = load(save(&data)).unwrap();
+        let a = data.into_ppg(std::sync::Arc::clone(&psg));
+        let b = reloaded.into_ppg(psg);
+        assert_eq!(a.total_time(), b.total_time());
+        for v in 0..a.psg.vertex_count() as u32 {
+            assert_eq!(a.times_across_ranks(v), b.times_across_ranks(v));
+        }
+        assert_eq!(a.comm, b.comm);
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ScalAna reproduction workspace.
+//!
+//! Hosts the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`). Re-exports the member crates under one roof so
+//! examples can use a single dependency.
+
+pub use scalana_apps as apps;
+pub use scalana_core as core;
+pub use scalana_detect as detect;
+pub use scalana_graph as graph;
+pub use scalana_lang as lang;
+pub use scalana_mpisim as mpisim;
+pub use scalana_profile as profile;

@@ -1,0 +1,136 @@
+//! End-to-end pipeline integration tests: source → PSG → simulation →
+//! PPG → detection, across all workloads.
+
+use scalana_core::{analyze_app, ScalAnaConfig};
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_mpisim::{SimConfig, Simulation};
+
+/// Every registered app builds, simulates at multiple scales (including
+/// a non-power-of-two), and produces a non-empty analysis.
+#[test]
+fn all_apps_run_through_the_full_pipeline() {
+    for app in scalana_apps::all_apps() {
+        let analysis = analyze_app(&app, &[4, 6, 16], &ScalAnaConfig::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", app.name));
+        assert_eq!(analysis.runs.len(), 3, "{}", app.name);
+        assert!(
+            analysis.runs.iter().all(|r| r.total_time > 0.0),
+            "{} has empty runs",
+            app.name
+        );
+        assert!(
+            analysis.runs.windows(2).all(|w| w[0].nprocs < w[1].nprocs),
+            "{} scales ascend",
+            app.name
+        );
+        // Profile storage grows with rank count (more perf vectors).
+        assert!(analysis.runs[2].storage_bytes >= analysis.runs[0].storage_bytes);
+    }
+}
+
+/// The three case studies identify the paper's root-cause locations.
+#[test]
+fn case_studies_find_their_root_causes() {
+    let cases = [
+        (scalana_apps::zeusmp::build(false), vec![4, 8, 16, 32]),
+        (scalana_apps::sst::build(false), vec![4, 8, 16, 32]),
+        (scalana_apps::nekbone::build(false), vec![4, 8, 16, 32]),
+    ];
+    for (app, scales) in cases {
+        let expected = app.expected_root_cause.clone().unwrap();
+        let analysis = analyze_app(&app, &scales, &ScalAnaConfig::default()).unwrap();
+        assert!(
+            analysis.report.found_at(&expected),
+            "{}: {expected} missing from report:\n{}",
+            app.name,
+            analysis.report.render()
+        );
+    }
+}
+
+/// The injected CG delay (Fig. 2) is found and attributed to rank 4.
+#[test]
+fn cg_injected_delay_is_diagnosed() {
+    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 60_000,
+        iterations: 5,
+        delay_rank: Some(4),
+    });
+    let analysis = analyze_app(&app, &[8, 16, 32], &ScalAnaConfig::default()).unwrap();
+    assert!(analysis.report.found_at("cg.f:441"));
+    // The winning path must end on rank 4.
+    let path = analysis
+        .report
+        .paths
+        .iter()
+        .find(|p| p.root_cause().location == "cg.f:441")
+        .expect("a path reaches the injected delay");
+    assert_eq!(path.root_cause().rank, 4);
+    assert!(path.steps.iter().any(|s| s.via_comm), "path crosses ranks");
+}
+
+/// A clean (delay-free) CG produces no high-imbalance root cause at the
+/// injection site — no false positive.
+#[test]
+fn clean_cg_has_no_injected_root_cause() {
+    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 60_000,
+        iterations: 5,
+        delay_rank: None,
+    });
+    let analysis = analyze_app(&app, &[8, 16, 32], &ScalAnaConfig::default()).unwrap();
+    assert!(!analysis.report.found_at("cg.f:441"));
+    for cause in &analysis.report.root_causes {
+        assert!(
+            cause.time_imbalance < 2.0,
+            "clean run should have no heavy imbalance: {cause:?}"
+        );
+    }
+}
+
+/// Whole-pipeline determinism: two identical analyses produce identical
+/// reports.
+#[test]
+fn analysis_is_deterministic() {
+    let app = scalana_apps::by_name("MG").unwrap();
+    let a = analyze_app(&app, &[4, 8], &ScalAnaConfig::default()).unwrap();
+    let b = analyze_app(&app, &[4, 8], &ScalAnaConfig::default()).unwrap();
+    assert_eq!(a.report.render(), b.report.render());
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.total_time, rb.total_time);
+        assert_eq!(ra.storage_bytes, rb.storage_bytes);
+    }
+}
+
+/// The simulator handles the full workload suite at 256 ranks (a scaled
+/// version of the paper's 2,048-rank Tianhe-2 runs; CG alone is also
+/// exercised at 1,024 below).
+#[test]
+fn apps_run_at_large_scale() {
+    for name in ["CG", "EP", "IS"] {
+        let app = scalana_apps::by_name(name).unwrap();
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let mut config = SimConfig::with_nprocs(256);
+        config.machine = app.machine.clone();
+        let res = Simulation::new(&app.program, &psg, config)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} failed at 256 ranks: {e}"));
+        assert_eq!(res.rank_elapsed.len(), 256);
+    }
+}
+
+/// CG completes at 1,024 ranks — the order of the paper's largest runs.
+#[test]
+fn cg_completes_at_1024_ranks() {
+    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 150_000,
+        iterations: 3,
+        delay_rank: None,
+    });
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let res = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(1024))
+        .run()
+        .unwrap();
+    assert_eq!(res.nprocs, 1024);
+    assert!(res.total_time() > 0.0);
+}

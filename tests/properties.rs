@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests: invariants of the whole stack on
+//! generated ring/stencil workloads.
+
+use proptest::prelude::*;
+use scalana_graph::{build_psg, PsgOptions, VertexKind};
+use scalana_lang::builder::*;
+use scalana_lang::Program;
+use scalana_mpisim::hook::{CommDepEvent, Hook, MpiEnterEvent, MpiExitEvent};
+use scalana_mpisim::{NoiseConfig, SimConfig, Simulation};
+
+/// A randomized but deadlock-free SPMD workload: iterations of compute,
+/// a ring sendrecv, optional nonblocking exchange, and a collective.
+fn build_workload(
+    iters: i64,
+    cycles: i64,
+    bytes: i64,
+    use_nonblocking: bool,
+    collective: u8,
+) -> Program {
+    let mut b = ProgramBuilder::new("prop.mmpi");
+    b.function("main", &[], |f| {
+        f.for_("it", int(0), int(iters), |f| {
+            f.comp_cycles(int(cycles) + var("it") * int(7));
+            f.sendrecv(
+                (rank() + int(1)) % nprocs(),
+                (rank() + nprocs() - int(1)) % nprocs(),
+                var("it"),
+                int(bytes),
+            );
+            if use_nonblocking {
+                f.isend("s", (rank() + int(2)) % nprocs(), var("it") + int(100), int(256));
+                f.irecv("q", (rank() + nprocs() - int(2)) % nprocs(), var("it") + int(100));
+                f.waitall();
+            }
+            match collective {
+                0 => f.barrier(),
+                1 => f.allreduce(int(8)),
+                _ => f.bcast(int(0), int(64)),
+            }
+        });
+    });
+    b.finish().expect("workload builds")
+}
+
+/// Counts messages sent vs dependence events (each matched message
+/// yields exactly one dependence on the receiving side).
+#[derive(Default)]
+struct Conservation {
+    sends: u64,
+    deps_p2p: u64,
+    enters: u64,
+    exits: u64,
+}
+
+impl Hook for Conservation {
+    fn on_mpi_enter(&mut self, ev: &MpiEnterEvent) -> f64 {
+        self.enters += 1;
+        if matches!(
+            ev.kind,
+            scalana_graph::MpiKind::Send
+                | scalana_graph::MpiKind::Isend
+                | scalana_graph::MpiKind::Sendrecv
+        ) {
+            self.sends += 1;
+        }
+        0.0
+    }
+    fn on_mpi_exit(&mut self, _ev: &MpiExitEvent) -> f64 {
+        self.exits += 1;
+        0.0
+    }
+    fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+        if ev.tag >= 0 {
+            self.deps_p2p += 1;
+        }
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Message conservation: every point-to-point send is matched by
+    /// exactly one receive-side dependence, at any scale.
+    #[test]
+    fn message_conservation(
+        iters in 1i64..6,
+        cycles in 1_000i64..200_000,
+        bytes in 8i64..32_768,
+        nb in proptest::bool::ANY,
+        coll in 0u8..3,
+        nprocs in 2usize..17,
+    ) {
+        let program = build_workload(iters, cycles, bytes, nb, coll);
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mut hook = Conservation::default();
+        Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        prop_assert_eq!(hook.sends, hook.deps_p2p, "every send matched exactly once");
+        prop_assert_eq!(hook.enters, hook.exits, "every MPI enter has an exit");
+    }
+
+    /// Determinism: identical seeds give bit-identical timelines even
+    /// with noise enabled.
+    #[test]
+    fn simulation_is_deterministic(
+        iters in 1i64..5,
+        cycles in 1_000i64..100_000,
+        nprocs in 2usize..13,
+        seed in 0u64..1000,
+    ) {
+        let program = build_workload(iters, cycles, 1024, false, 1);
+        let psg = build_psg(&program, &PsgOptions::default());
+        let mk = || {
+            let mut c = SimConfig::with_nprocs(nprocs);
+            c.machine.noise = NoiseConfig { amplitude: 0.05, seed };
+            c
+        };
+        let a = Simulation::new(&program, &psg, mk()).run().unwrap();
+        let b = Simulation::new(&program, &psg, mk()).run().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Contraction safety: every MPI vertex of the raw PSG survives into
+    /// the contracted one, and the contracted graph is never larger.
+    #[test]
+    fn contraction_preserves_mpi_vertices(
+        iters in 1i64..4,
+        nb in proptest::bool::ANY,
+        coll in 0u8..3,
+        depth in 0u32..4,
+    ) {
+        let program = build_workload(iters, 10_000, 512, nb, coll);
+        let raw = build_psg(&program, &PsgOptions { contract: false, ..Default::default() });
+        let contracted = build_psg(
+            &program,
+            &PsgOptions { contract: true, max_loop_depth: depth },
+        );
+        let count_mpi = |psg: &scalana_graph::Psg| {
+            psg.vertices
+                .iter()
+                .filter(|v| matches!(v.kind, VertexKind::Mpi(_)))
+                .count()
+        };
+        prop_assert_eq!(count_mpi(&raw), count_mpi(&contracted));
+        prop_assert!(contracted.vertex_count() <= raw.vertex_count());
+    }
+
+    /// Virtual time sanity: elapsed time is positive and at least the
+    /// pure compute lower bound on every rank.
+    #[test]
+    fn elapsed_time_bounds(
+        iters in 1i64..5,
+        cycles in 10_000i64..500_000,
+        nprocs in 2usize..9,
+    ) {
+        let program = build_workload(iters, cycles, 1024, false, 1);
+        let psg = build_psg(&program, &PsgOptions::default());
+        let res = Simulation::new(&program, &psg, SimConfig::with_nprocs(nprocs))
+            .run()
+            .unwrap();
+        // Lower bound: the comp cycles alone at nominal frequency.
+        let comp_secs = (0..iters).map(|it| (cycles + it * 7) as f64).sum::<f64>() / 2.3e9;
+        for t in &res.rank_elapsed {
+            prop_assert!(*t >= comp_secs, "elapsed {t} < compute bound {comp_secs}");
+            prop_assert!(t.is_finite());
+        }
+    }
+}

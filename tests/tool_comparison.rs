@@ -1,0 +1,131 @@
+//! Integration tests of the tool-comparison machinery (Table I,
+//! Fig. 10/11 claims) and baseline tool behaviour.
+
+use scalana_graph::{build_psg, PsgOptions, VertexKind};
+use scalana_mpisim::{SimConfig, Simulation};
+use scalana_profile::overhead::ToolKind;
+use scalana_profile::{
+    measure_overhead, FlatConfig, FlatProfilerHook, ProfilerConfig, TracerConfig,
+};
+
+fn cg_app() -> scalana_apps::App {
+    scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 60_000,
+        iterations: 10,
+        delay_rank: None,
+    })
+}
+
+/// Table I shape on CG: storage ordering tracing > profiling > ScalAna
+/// and overhead ordering tracing > ScalAna.
+#[test]
+fn table1_shape_holds_on_cg() {
+    let app = cg_app();
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let tools = vec![
+        ToolKind::Tracer(TracerConfig::default()),
+        ToolKind::Flat(FlatConfig { per_rank_metadata: 2048, ..FlatConfig::default() }),
+        ToolKind::ScalAna(ProfilerConfig::default()),
+    ];
+    let report =
+        measure_overhead(&app.program, &psg, &SimConfig::with_nprocs(64), &tools).unwrap();
+    let tracer = report.tool("Scalasca-like tracer").unwrap();
+    let flat = report.tool("HPCToolkit-like profiler").unwrap();
+    let scalana = report.tool("ScalAna").unwrap();
+    assert!(tracer.storage_bytes > flat.storage_bytes);
+    assert!(flat.storage_bytes > scalana.storage_bytes);
+    assert!(tracer.overhead_pct > scalana.overhead_pct);
+}
+
+/// ScalAna's storage scales with vertices × ranks, not with events:
+/// doubling the iteration count must not double the profile.
+#[test]
+fn scalana_storage_independent_of_run_length() {
+    let measure = |iterations| {
+        let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+            na: 60_000,
+            iterations,
+            delay_rank: None,
+        });
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let mut hook = scalana_profile::ScalAnaProfiler::with_defaults();
+        Simulation::new(&app.program, &psg, SimConfig::with_nprocs(16))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        hook.take_data().storage_bytes
+    };
+    let short = measure(5);
+    let long = measure(20);
+    assert!(
+        (long as f64) < (short as f64) * 1.3,
+        "4x iterations should barely grow the profile: {short} -> {long}"
+    );
+}
+
+/// The tracer's storage, in contrast, grows linearly with run length.
+#[test]
+fn tracer_storage_grows_with_run_length() {
+    let measure = |iterations| {
+        let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+            na: 60_000,
+            iterations,
+            delay_rank: None,
+        });
+        let psg = build_psg(&app.program, &PsgOptions::default());
+        let mut hook = scalana_profile::TracerHook::with_defaults();
+        Simulation::new(&app.program, &psg, SimConfig::with_nprocs(16))
+            .with_hook(&mut hook)
+            .run()
+            .unwrap();
+        hook.storage_bytes()
+    };
+    let short = measure(5);
+    let long = measure(20);
+    assert!(
+        long as f64 > short as f64 * 3.0,
+        "4x iterations ≈ 4x trace: {short} -> {long}"
+    );
+}
+
+/// The flat profiler localizes the hot MPI symptom but (structurally)
+/// cannot produce the causal chain — its output has no dependence
+/// information at all.
+#[test]
+fn flat_profiler_sees_symptom_without_causality() {
+    let app = scalana_apps::zeusmp::build(false);
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let mut flat = FlatProfilerHook::new(FlatConfig {
+        sampling_hz: 50_000.0,
+        ..FlatConfig::default()
+    });
+    Simulation::new(&app.program, &psg, SimConfig::with_nprocs(16))
+        .with_hook(&mut flat)
+        .run()
+        .unwrap();
+    let spots = flat.hot_spots(8);
+    // The waitall/allreduce symptoms and the hsmoc loops are hot...
+    assert!(
+        spots.iter().any(|s| psg.vertex(s.vertex).is_mpi()),
+        "MPI wait shows up as hot: {spots:?}"
+    );
+    assert!(
+        spots.iter().any(|s| psg.vertex(s.vertex).kind == VertexKind::Comp),
+        "compute shows up as hot"
+    );
+    // ...but nothing in the output connects them (no edges, no paths) —
+    // the "significant human effort" gap the paper describes.
+}
+
+/// Deterministic workloads: measuring twice gives identical numbers.
+#[test]
+fn overhead_measurement_is_deterministic() {
+    let app = cg_app();
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let tools = vec![ToolKind::ScalAna(ProfilerConfig::default())];
+    let a = measure_overhead(&app.program, &psg, &SimConfig::with_nprocs(8), &tools).unwrap();
+    let b = measure_overhead(&app.program, &psg, &SimConfig::with_nprocs(8), &tools).unwrap();
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.tools[0].elapsed, b.tools[0].elapsed);
+    assert_eq!(a.tools[0].storage_bytes, b.tools[0].storage_bytes);
+}
