@@ -88,12 +88,20 @@ fn build_grid(spec: GridSolver) -> App {
                 .lst(var("local") * (var("WORK") / int(3) + int(1)))
                 .miss(var("local") / int(35)),
         );
-        f.let_("east", var("row") * var("q") + (var("col") + int(1)) % var("q"));
+        f.let_(
+            "east",
+            var("row") * var("q") + (var("col") + int(1)) % var("q"),
+        );
         f.let_(
             "west",
             var("row") * var("q") + (var("col") + var("q") - int(1)) % var("q"),
         );
-        f.sendrecv(var("east"), var("west"), int(11), face(var("local"), var("q")));
+        f.sendrecv(
+            var("east"),
+            var("west"),
+            int(11),
+            face(var("local"), var("q")),
+        );
     });
 
     // Column exchange.
@@ -106,12 +114,20 @@ fn build_grid(spec: GridSolver) -> App {
                 .lst(var("local") * (var("WORK") / int(3) + int(1)))
                 .miss(var("local") / int(35)),
         );
-        f.let_("south", ((var("row") + int(1)) % var("q")) * var("q") + var("col"));
+        f.let_(
+            "south",
+            ((var("row") + int(1)) % var("q")) * var("q") + var("col"),
+        );
         f.let_(
             "north",
             ((var("row") + var("q") - int(1)) % var("q")) * var("q") + var("col"),
         );
-        f.sendrecv(var("south"), var("north"), int(12), face(var("local"), var("q")));
+        f.sendrecv(
+            var("south"),
+            var("north"),
+            int(12),
+            face(var("local"), var("q")),
+        );
     });
 
     // The z sweep is local per pencil but still trades faces diagonally.
@@ -124,8 +140,16 @@ fn build_grid(spec: GridSolver) -> App {
         );
         f.let_("active", var("q") * var("q"));
         f.let_("fwd", (rank() + var("q") + int(1)) % var("active"));
-        f.let_("bwd", (rank() + var("active") - var("q") - int(1)) % var("active"));
-        f.sendrecv(var("fwd"), var("bwd"), int(13), face(var("local"), var("q")));
+        f.let_(
+            "bwd",
+            (rank() + var("active") - var("q") - int(1)) % var("active"),
+        );
+        f.sendrecv(
+            var("fwd"),
+            var("bwd"),
+            int(13),
+            face(var("local"), var("q")),
+        );
     });
 
     App {

@@ -28,7 +28,11 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { na: 150_000, iterations: 25, delay_rank: None }
+        CgOptions {
+            na: 150_000,
+            iterations: 25,
+            delay_rank: None,
+        }
     }
 }
 
@@ -150,7 +154,11 @@ mod tests {
 
     #[test]
     fn cg_runs_at_multiple_scales() {
-        let app = build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+        let app = build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
         let psg = build_psg(&app.program, &PsgOptions::default());
         for p in [2usize, 4, 8, 16] {
             let res = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
@@ -162,7 +170,11 @@ mod tests {
 
     #[test]
     fn cg_compute_strong_scales() {
-        let app = build(&CgOptions { na: 100_000, iterations: 4, delay_rank: None });
+        let app = build(&CgOptions {
+            na: 100_000,
+            iterations: 4,
+            delay_rank: None,
+        });
         let psg = build_psg(&app.program, &PsgOptions::default());
         let t4 = Simulation::new(&app.program, &psg, SimConfig::with_nprocs(4))
             .run()
@@ -172,16 +184,21 @@ mod tests {
             .run()
             .unwrap()
             .total_time();
-        assert!(
-            t32 < t4,
-            "CG should speed up 4→32 ranks: {t4} vs {t32}"
-        );
+        assert!(t32 < t4, "CG should speed up 4→32 ranks: {t4} vs {t32}");
     }
 
     #[test]
     fn delayed_rank_slows_whole_run() {
-        let clean = build(&CgOptions { na: 50_000, iterations: 3, delay_rank: None });
-        let delayed = build(&CgOptions { na: 50_000, iterations: 3, delay_rank: Some(4) });
+        let clean = build(&CgOptions {
+            na: 50_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let delayed = build(&CgOptions {
+            na: 50_000,
+            iterations: 3,
+            delay_rank: Some(4),
+        });
         let psg_c = build_psg(&clean.program, &PsgOptions::default());
         let psg_d = build_psg(&delayed.program, &PsgOptions::default());
         let tc = Simulation::new(&clean.program, &psg_c, SimConfig::with_nprocs(8))
@@ -200,7 +217,11 @@ mod tests {
     fn hypercube_partners_stay_in_range() {
         // Partner arithmetic must never address out-of-range ranks
         // (power-of-two scales).
-        let app = build(&CgOptions { na: 10_000, iterations: 2, delay_rank: None });
+        let app = build(&CgOptions {
+            na: 10_000,
+            iterations: 2,
+            delay_rank: None,
+        });
         let psg = build_psg(&app.program, &PsgOptions::default());
         for p in [2usize, 8, 64] {
             Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))

@@ -44,8 +44,7 @@ pub fn build() -> App {
         program: b.finish().expect("EP builds"),
         machine: MachineConfig::default(),
         expected_root_cause: None,
-        description: "NPB EP-like: embarrassingly parallel compute + final reductions"
-            .to_string(),
+        description: "NPB EP-like: embarrassingly parallel compute + final reductions".to_string(),
     }
 }
 

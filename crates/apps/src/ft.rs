@@ -63,8 +63,7 @@ pub fn build() -> App {
         program: b.finish().expect("FT builds"),
         machine: MachineConfig::default(),
         expected_root_cause: None,
-        description: "NPB FT-like: local FFTs + all-to-all transpose + checksum reduce"
-            .to_string(),
+        description: "NPB FT-like: local FFTs + all-to-all transpose + checksum reduce".to_string(),
     }
 }
 

@@ -27,7 +27,10 @@ pub fn build() -> App {
             // Bucket-size agreement.
             f.allreduce(int(4096));
             // Key redistribution.
-            f.alltoall(max(var("my_keys") * int(4) / max(nprocs(), int(1)), int(64)));
+            f.alltoall(max(
+                var("my_keys") * int(4) / max(nprocs(), int(1)),
+                int(64),
+            ));
             // Local ranking of received keys.
             f.comp(
                 comp_cycles(var("my_keys") * int(3))

@@ -117,6 +117,9 @@ mod tests {
             .unwrap()
             .total_time();
         let speedup = t2 / t32;
-        assert!(speedup > 1.0 && speedup < 16.0, "LU speedup 2→32: {speedup:.1}x");
+        assert!(
+            speedup > 1.0 && speedup < 16.0,
+            "LU speedup 2→32: {speedup:.1}x"
+        );
     }
 }

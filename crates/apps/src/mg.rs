@@ -44,7 +44,10 @@ pub fn build() -> App {
             });
             f.let_("pts", max(var("local") / var("grow"), int(32)));
             f.call("smooth", vec![var("pts")]);
-            f.call("halo", vec![max(var("pts") / int(16), int(8)), var("lvl") + int(16)]);
+            f.call(
+                "halo",
+                vec![max(var("pts") / int(16), int(8)), var("lvl") + int(16)],
+            );
         });
     });
 
@@ -68,7 +71,12 @@ pub fn build() -> App {
             f.irecv("r_left", rank() - int(1), var("tag"));
         });
         f.if_(lt(rank(), nprocs() - int(1)), |f| {
-            f.isend("s_right", rank() + int(1), var("tag"), var("bytes") * int(8));
+            f.isend(
+                "s_right",
+                rank() + int(1),
+                var("tag"),
+                var("bytes") * int(8),
+            );
             f.irecv("r_right", rank() + int(1), var("tag"));
         });
         f.waitall();
@@ -79,8 +87,7 @@ pub fn build() -> App {
         program: b.finish().expect("MG builds"),
         machine: MachineConfig::default(),
         expected_root_cause: None,
-        description: "NPB MG-like: V-cycle smoothing with per-level neighbour halos"
-            .to_string(),
+        description: "NPB MG-like: V-cycle smoothing with per-level neighbour halos".to_string(),
     }
 }
 

@@ -105,7 +105,10 @@ mod tests {
             let min = v.iter().copied().fold(f64::MAX, f64::min);
             max / min
         };
-        assert!(spread(&lst) < 1.05, "TOT_LST_INS equal across ranks: {lst:?}");
+        assert!(
+            spread(&lst) < 1.05,
+            "TOT_LST_INS equal across ranks: {lst:?}"
+        );
         assert!(spread(&cyc) > 1.3, "TOT_CYC diverges across ranks: {cyc:?}");
     }
 

@@ -37,7 +37,10 @@ pub fn build(fixed: bool) -> App {
     // simulated components are distributed unevenly).
     b.function("handle_events", &["w"], |f| {
         // pending ∈ [400, 3500]-ish, rank-dependent and static.
-        f.let_("pending", int(400) + (rank() * int(977) % int(31)) * int(100));
+        f.let_(
+            "pending",
+            int(400) + (rank() * int(977) % int(31)) * int(100),
+        );
         f.if_else(
             eq(var("FIXED"), int(0)),
             |f| {
@@ -114,7 +117,10 @@ mod tests {
         let rf = Simulation::new(&fixed.program, &psg_f, SimConfig::with_nprocs(16))
             .run()
             .unwrap();
-        assert!(rf.total_time() < rb.total_time() * 0.7, "large speedup expected");
+        assert!(
+            rf.total_time() < rb.total_time() * 0.7,
+            "large speedup expected"
+        );
 
         let imbalance = |pmu: &[scalana_mpisim::interp::Pmu]| {
             let ins: Vec<f64> = pmu.iter().map(|p| p.tot_ins).collect();
@@ -147,6 +153,9 @@ mod tests {
             .unwrap()
             .total_time();
         let speedup = t4 / t32;
-        assert!(speedup < 4.0, "SST scales poorly: {speedup:.2}x for 8x ranks");
+        assert!(
+            speedup < 4.0,
+            "SST scales poorly: {speedup:.2}x for 8x ranks"
+        );
     }
 }

@@ -141,11 +141,9 @@ mod tests {
     fn boundary_loop_has_its_own_vertex_at_paper_location() {
         let app = build(false);
         let psg = build_psg(&app.program, &PsgOptions::default());
-        let found = psg
-            .vertices
-            .iter()
-            .any(|v| v.span.file_line() == "bval3d.F:155"
-                && v.kind == scalana_graph::VertexKind::Loop);
+        let found = psg.vertices.iter().any(|v| {
+            v.span.file_line() == "bval3d.F:155" && v.kind == scalana_graph::VertexKind::Loop
+        });
         assert!(found, "bval3d.F:155 loop vertex must exist");
     }
 

@@ -15,11 +15,23 @@ fn bench_psg(c: &mut Criterion) {
             b.iter(|| parse_program("bench.mmpi", src).unwrap());
         });
         let program = parse_program("bench.mmpi", &source).unwrap();
-        group.bench_with_input(BenchmarkId::new("build_contracted", name), &program, |b, p| {
-            b.iter(|| build_psg(p, &PsgOptions::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_contracted", name),
+            &program,
+            |b, p| {
+                b.iter(|| build_psg(p, &PsgOptions::default()));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("build_raw", name), &program, |b, p| {
-            b.iter(|| build_psg(p, &PsgOptions { contract: false, ..Default::default() }));
+            b.iter(|| {
+                build_psg(
+                    p,
+                    &PsgOptions {
+                        contract: false,
+                        ..Default::default()
+                    },
+                )
+            });
         });
     }
     group.finish();

@@ -25,10 +25,22 @@ fn main() {
 
 fn ablate_contraction() {
     println!("== Ablation 1: graph contraction ==\n");
-    let mut table = Table::new(&["Program", "#V raw", "#V contracted", "detect raw", "detect contr."]);
+    let mut table = Table::new(&[
+        "Program",
+        "#V raw",
+        "#V contracted",
+        "detect raw",
+        "detect contr.",
+    ]);
     for name in ["CG", "MG", "ZMP"] {
         let app = scalana_apps::by_name(name).unwrap();
-        let raw = build_psg(&app.program, &PsgOptions { contract: false, ..Default::default() });
+        let raw = build_psg(
+            &app.program,
+            &PsgOptions {
+                contract: false,
+                ..Default::default()
+            },
+        );
         let contracted = build_psg(&app.program, &PsgOptions::default());
 
         let time_detect = |contract: bool| {
@@ -134,7 +146,11 @@ fn ablate_wait_prune() {
     println!("== Ablation 5: wait-time pruning of dependence edges ==\n");
     let app = scalana_apps::zeusmp::build(false);
     let mut table = Table::new(&["prune threshold", "total path steps", "detect time"]);
-    for (label, prune) in [("off (0)", 0.0), ("1e-7 s (default)", 1e-7), ("1e-4 s", 1e-4)] {
+    for (label, prune) in [
+        ("off (0)", 0.0),
+        ("1e-7 s (default)", 1e-7),
+        ("1e-4 s", 1e-4),
+    ] {
         let mut config = ScalAnaConfig::default();
         config.detect.wait_prune = prune;
         config.machine = app.machine.clone();

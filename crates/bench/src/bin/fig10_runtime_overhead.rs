@@ -24,7 +24,10 @@ fn main() {
         for &p in &scales {
             let report = measure_app(&app, p);
             sums[0] += report.tool("Scalasca-like tracer").unwrap().overhead_pct;
-            sums[1] += report.tool("HPCToolkit-like profiler").unwrap().overhead_pct;
+            sums[1] += report
+                .tool("HPCToolkit-like profiler")
+                .unwrap()
+                .overhead_pct;
             sums[2] += report.tool("ScalAna").unwrap().overhead_pct;
         }
         let n = scales.len() as f64;

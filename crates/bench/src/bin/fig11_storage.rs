@@ -16,7 +16,10 @@ fn main() {
         let app = scalana_apps::by_name(name).unwrap();
         let report = measure_app(&app, nprocs);
         let tracer = report.tool("Scalasca-like tracer").unwrap().storage_bytes;
-        let flat = report.tool("HPCToolkit-like profiler").unwrap().storage_bytes;
+        let flat = report
+            .tool("HPCToolkit-like profiler")
+            .unwrap()
+            .storage_bytes;
         let scalana = report.tool("ScalAna").unwrap().storage_bytes;
         if tracer > flat && flat > scalana {
             ordered += 1;
@@ -37,7 +40,10 @@ fn main() {
     println!("exceptions, EP and IS, emit so few events that the flat profiler's");
     println!("fixed per-rank metadata outweighs the short trace — consistent with");
     println!("the paper, where EP has the smallest trace by far).");
-    assert_eq!(scalana_smallest, 8, "ScalAna storage is always the smallest");
+    assert_eq!(
+        scalana_smallest, 8,
+        "ScalAna storage is always the smallest"
+    );
     assert!(ordered >= 6, "full ordering holds for event-dense kernels");
     println!("shape check PASSED");
 }

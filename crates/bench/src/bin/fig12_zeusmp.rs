@@ -7,10 +7,12 @@ use scalana_core::{analyze_app, viewer, ScalAnaConfig};
 fn main() {
     let app = scalana_apps::zeusmp::build(false);
     println!("Fig. 12 — Zeus-MP scaling-loss diagnosis (4..128 ranks)\n");
-    let analysis =
-        analyze_app(&app, &[4, 8, 16, 32, 64, 128], &ScalAnaConfig::default()).unwrap();
+    let analysis = analyze_app(&app, &[4, 8, 16, 32, 64, 128], &ScalAnaConfig::default()).unwrap();
 
-    println!("{}", viewer::render_with_snippets(&app.program, &analysis.report, 2));
+    println!(
+        "{}",
+        viewer::render_with_snippets(&app.program, &analysis.report, 2)
+    );
 
     // Paper chain: allreduce symptom, waitall hops, bval3d loop cause.
     let report = &analysis.report;
@@ -21,7 +23,10 @@ fn main() {
             .any(|n| n.location == "nudt.F:361"),
         "the allreduce at nudt.F:361 is the detected scaling issue"
     );
-    assert!(report.found_at("bval3d.F:155"), "root cause at bval3d.F:155");
+    assert!(
+        report.found_at("bval3d.F:155"),
+        "root cause at bval3d.F:155"
+    );
     let chain_path = report
         .paths
         .iter()

@@ -24,8 +24,15 @@ fn main() {
     for path in analysis.report.paths.iter().take(3) {
         for (j, s) in path.steps.iter().enumerate() {
             let hop = if s.via_comm { "~>" } else { "->" };
-            let mark = if j == path.root_cause_idx { "  <== root cause" } else { "" };
-            println!("  {hop} rank {:<3} {:<14} {:<26}{mark}", s.rank, s.kind, s.location);
+            let mark = if j == path.root_cause_idx {
+                "  <== root cause"
+            } else {
+                ""
+            };
+            println!(
+                "  {hop} rank {:<3} {:<14} {:<26}{mark}",
+                s.rank, s.kind, s.location
+            );
         }
         println!();
     }

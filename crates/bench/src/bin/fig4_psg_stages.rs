@@ -44,12 +44,28 @@ fn main() {
     }
 
     println!("=== Fig. 4(b): complete PSG (inter-procedural, uncontracted) ===\n");
-    let full = build_psg(&program, &PsgOptions { contract: false, max_loop_depth: 1 });
+    let full = build_psg(
+        &program,
+        &PsgOptions {
+            contract: false,
+            max_loop_depth: 1,
+        },
+    );
     println!("{} vertices\n{}", full.vertex_count(), psg_to_dot(&full));
 
     println!("=== Fig. 4(c): contracted PSG (MaxLoopDepth = 1) ===\n");
-    let contracted = build_psg(&program, &PsgOptions { contract: true, max_loop_depth: 1 });
-    println!("{} vertices\n{}", contracted.vertex_count(), psg_to_dot(&contracted));
+    let contracted = build_psg(
+        &program,
+        &PsgOptions {
+            contract: true,
+            max_loop_depth: 1,
+        },
+    );
+    println!(
+        "{} vertices\n{}",
+        contracted.vertex_count(),
+        psg_to_dot(&contracted)
+    );
     println!("stats: {}", contracted.stats);
 
     // Paper shape: Loop1 kept (contains MPI); Loop1.1/1.2 folded into

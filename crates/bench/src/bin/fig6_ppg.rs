@@ -52,7 +52,12 @@ fn main() {
     for dep in &ppg.comm {
         println!(
             "  rank {} v{} -> rank {} v{}  msgs {:>3}  bytes {:>7}  wait {:.2e}s",
-            dep.src_rank, dep.src_vertex, dep.dst_rank, dep.dst_vertex, dep.count, dep.bytes,
+            dep.src_rank,
+            dep.src_vertex,
+            dep.dst_rank,
+            dep.dst_vertex,
+            dep.count,
+            dep.bytes,
             dep.wait_time
         );
         shown += 1;

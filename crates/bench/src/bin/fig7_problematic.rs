@@ -66,6 +66,9 @@ fn main() {
     );
 
     assert!(!analysis.report.non_scalable.is_empty());
-    assert!(ab.ranks.contains(&4) && ab.ranks.contains(&6), "ranks 4 & 6 stick out");
+    assert!(
+        ab.ranks.contains(&4) && ab.ranks.contains(&6),
+        "ranks 4 & 6 stick out"
+    );
     println!("\nshape check PASSED: both problematic-vertex kinds reproduced");
 }

@@ -31,7 +31,11 @@ fn main() {
         println!("path {}:", i + 1);
         for (j, step) in path.steps.iter().enumerate() {
             let hop = if step.via_comm { "~>" } else { "->" };
-            let mark = if j == path.root_cause_idx { "  <== root cause" } else { "" };
+            let mark = if j == path.root_cause_idx {
+                "  <== root cause"
+            } else {
+                ""
+            };
             println!(
                 "  {hop} rank {:<3} {:<14} {:<14} wait {:.2e}{mark}",
                 step.rank, step.kind, step.location, step.wait_time
@@ -44,9 +48,7 @@ fn main() {
         .report
         .paths
         .iter()
-        .filter(|p| {
-            p.steps.windows(2).any(|w| w[0].rank != w[1].rank)
-        })
+        .filter(|p| p.steps.windows(2).any(|w| w[0].rank != w[1].rank))
         .count();
     assert!(cross_rank_paths >= 1, "at least one path crosses ranks");
     let top = analysis.report.top_root_cause().unwrap();

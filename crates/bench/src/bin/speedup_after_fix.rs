@@ -34,7 +34,10 @@ fn main() {
     ];
 
     for (name, broken, fixed, scales) in cases {
-        let config = ScalAnaConfig { machine: broken.machine.clone(), ..Default::default() };
+        let config = ScalAnaConfig {
+            machine: broken.machine.clone(),
+            ..Default::default()
+        };
         let before = speedup_curve(&broken.program, &scales, &config).unwrap();
         let after = speedup_curve(&fixed.program, &scales, &config).unwrap();
         let (p, sb) = *before.last().unwrap();

@@ -30,7 +30,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nbaseline (uninstrumented): {:.4} virtual seconds", report.baseline);
+    println!(
+        "\nbaseline (uninstrumented): {:.4} virtual seconds",
+        report.baseline
+    );
 
     let tracer = report.tool("Scalasca-like tracer").unwrap();
     let flat = report.tool("HPCToolkit-like profiler").unwrap();

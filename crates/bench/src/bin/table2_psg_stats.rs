@@ -8,7 +8,15 @@ use scalana_graph::{build_psg, PsgOptions};
 fn main() {
     println!("Table II — PSG statistics (MaxLoopDepth = 10, paper setting)\n");
     let mut table = Table::new(&[
-        "Program", "LoC", "#VBC", "#VAC", "#Loop", "#Branch", "#Comp", "#MPI", "reduction",
+        "Program",
+        "LoC",
+        "#VBC",
+        "#VAC",
+        "#Loop",
+        "#Branch",
+        "#Comp",
+        "#MPI",
+        "reduction",
     ]);
 
     let mut total_reduction = 0.0;
@@ -45,7 +53,10 @@ fn main() {
          fold; the folding machinery itself is exercised by the unit tests\n\
          on statement-dense programs (see scalana-graph::contract)."
     );
-    assert!(avg_reduction > 8.0, "contraction still removes a visible fraction");
+    assert!(
+        avg_reduction > 8.0,
+        "contraction still removes a visible fraction"
+    );
     assert!(avg_comp_mpi > 60.0, "Comp+MPI dominate the final PSG");
     println!("\nshape check PASSED");
 }

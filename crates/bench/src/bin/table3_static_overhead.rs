@@ -21,8 +21,13 @@ fn time_n<F: FnMut()>(n: usize, mut f: F) -> f64 {
 
 fn main() {
     println!("Table III — static-analysis overhead vs compilation\n");
-    let mut table =
-        Table::new(&["Program", "compile (µs)", "PSG build (µs)", "overhead", "PSG mem (KB)"]);
+    let mut table = Table::new(&[
+        "Program",
+        "compile (µs)",
+        "PSG build (µs)",
+        "overhead",
+        "PSG mem (KB)",
+    ]);
 
     let reps = 50;
     for app in scalana_apps::all_apps() {

@@ -8,7 +8,11 @@ use scalana_core::{analyze_app, ScalAnaConfig};
 fn main() {
     println!("Table IV — post-mortem detection cost (scales 4..128)\n");
     let mut table = Table::new(&[
-        "Program", "detect (ms)", "PPG vertices", "dep edges @128", "root causes",
+        "Program",
+        "detect (ms)",
+        "PPG vertices",
+        "dep edges @128",
+        "root causes",
     ]);
 
     for app in scalana_apps::all_apps() {

@@ -30,10 +30,8 @@
 
 use scalana_apps::App;
 use scalana_mpisim::SimConfig;
-use scalana_profile::{
-    measure_overhead, FlatConfig, OverheadReport, ProfilerConfig, TracerConfig,
-};
 use scalana_profile::overhead::ToolKind;
+use scalana_profile::{measure_overhead, FlatConfig, OverheadReport, ProfilerConfig, TracerConfig};
 
 /// Simulated workloads run ~10⁴× less virtual time than the paper's
 /// real executions (milliseconds instead of minutes), so tool costs are
@@ -47,7 +45,9 @@ pub const BENCH_SAMPLING_HZ: f64 = 20_000.0;
 /// calibrated for the compressed timescale (see [`BENCH_SAMPLING_HZ`]).
 pub fn standard_tools() -> Vec<ToolKind> {
     vec![
-        ToolKind::Tracer(TracerConfig { record_cost: 0.3e-6 }),
+        ToolKind::Tracer(TracerConfig {
+            record_cost: 0.3e-6,
+        }),
         ToolKind::Flat(FlatConfig {
             sampling_hz: BENCH_SAMPLING_HZ,
             per_rank_metadata: 2048,

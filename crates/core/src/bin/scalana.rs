@@ -50,12 +50,14 @@ fn parse_scales(spec: &str) -> Result<Vec<usize>, String> {
     if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
         return Err("--scales must be a strictly ascending list".to_string());
     }
+    if scales[0] == 0 {
+        return Err("--scales: process counts must be positive".to_string());
+    }
     Ok(scales)
 }
 
 fn load_program(path: &str) -> Result<scalana_lang::Program, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(path, &source).map_err(|e| e.to_string())
 }
 
@@ -68,8 +70,9 @@ fn cmd_static(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--max-loop-depth" => {
                 let v = it.next().ok_or("--max-loop-depth needs a value")?;
-                opts.max_loop_depth =
-                    v.parse().map_err(|e| format!("bad --max-loop-depth: {e}"))?;
+                opts.max_loop_depth = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-loop-depth: {e}"))?;
             }
             "--no-contract" => opts.contract = false,
             "--dot" => dot = true,
@@ -112,18 +115,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             }
             "--param" => {
                 let v = it.next().ok_or("--param needs NAME=VALUE")?;
-                let (name, value) =
-                    v.split_once('=').ok_or_else(|| format!("bad --param `{v}`"))?;
-                let value: i64 =
-                    value.parse().map_err(|e| format!("bad --param value: {e}"))?;
+                let (name, value) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --param `{v}`"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|e| format!("bad --param value: {e}"))?;
                 config.params.insert(name.to_string(), value);
             }
             other => return Err(format!("analyze: unknown flag `{other}`")),
         }
     }
     let program = load_program(file)?;
-    let analysis =
-        pipeline::analyze(&program, &scales, &config).map_err(|e| e.to_string())?;
+    let analysis = pipeline::analyze(&program, &scales, &config).map_err(|e| e.to_string())?;
     println!("PSG: {}", analysis.psg.stats);
     for run in &analysis.runs {
         println!(
@@ -132,8 +136,48 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         );
     }
     println!("detection took {:.2} ms\n", analysis.detect_seconds * 1e3);
-    println!("{}", viewer::render_with_snippets(&program, &analysis.report, 3));
+    print!("{}", render_speedup_table(&analysis.runs));
+    println!(
+        "{}",
+        viewer::render_with_snippets(&program, &analysis.report, 3)
+    );
     Ok(())
+}
+
+/// Speedup of each run against the smallest scale, with the ideal linear
+/// speedup and the resulting parallel efficiency alongside (the math
+/// lives in `scalana_detect::summarize`, shared with the scaling report).
+fn render_speedup_table(runs: &[pipeline::RunSummary]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let Some(base) = runs.first() else {
+        return out;
+    };
+    let measurements: Vec<(usize, f64)> = runs.iter().map(|r| (r.nprocs, r.total_time)).collect();
+    let summary = scalana_detect::summarize(&measurements);
+    writeln!(out, "-- Speedup (baseline {} ranks) --", base.nprocs).unwrap();
+    for point in &summary.points {
+        let ideal = point.nprocs as f64 / base.nprocs as f64;
+        writeln!(
+            out,
+            "  {:>5} ranks  x{:<8.2} (ideal x{:<8.2} efficiency {:>5.1}%)",
+            point.nprocs,
+            point.speedup,
+            ideal,
+            100.0 * point.efficiency
+        )
+        .unwrap();
+    }
+    if let Some(serial) = summary.serial_fraction {
+        writeln!(
+            out,
+            "  est. serial fraction {:.1}% (Amdahl)",
+            100.0 * serial
+        )
+        .unwrap();
+    }
+    out.push('\n');
+    out
 }
 
 fn cmd_apps(args: &[String]) -> Result<(), String> {
@@ -153,11 +197,15 @@ fn cmd_apps(args: &[String]) -> Result<(), String> {
                 let v = args.get(pos + 1).ok_or("--scales needs a value")?;
                 scales = parse_scales(v)?;
             }
-            let analysis = analyze_app(&app, &scales, &ScalAnaConfig::default())
-                .map_err(|e| e.to_string())?;
+            let analysis =
+                analyze_app(&app, &scales, &ScalAnaConfig::default()).map_err(|e| e.to_string())?;
             println!("{}", analysis.report.render());
             if let Some(expected) = &app.expected_root_cause {
-                let verdict = if analysis.report.found_at(expected) { "FOUND" } else { "MISSED" };
+                let verdict = if analysis.report.found_at(expected) {
+                    "FOUND"
+                } else {
+                    "MISSED"
+                };
                 println!("known root cause {expected}: {verdict}");
             }
             Ok(())

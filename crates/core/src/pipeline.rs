@@ -113,7 +113,13 @@ pub fn analyze(
     let report = detect(&refs, &config.detect);
     let detect_seconds = started.elapsed().as_secs_f64();
 
-    Ok(Analysis { psg, runs, ppgs, report, detect_seconds })
+    Ok(Analysis {
+        psg,
+        runs,
+        ppgs,
+        report,
+        detect_seconds,
+    })
 }
 
 /// Analyze an [`App`] using its recommended platform model.
@@ -140,7 +146,9 @@ pub fn speedup_curve(
         let mut sim_config = SimConfig::with_nprocs(nprocs);
         sim_config.machine = config.machine.clone();
         sim_config.params = config.params.clone();
-        let total = Simulation::new(program, &psg, sim_config).run()?.total_time();
+        let total = Simulation::new(program, &psg, sim_config)
+            .run()?
+            .total_time();
         times.push((nprocs, total));
     }
     let baseline = times[0].1;
@@ -154,7 +162,11 @@ mod tests {
 
     #[test]
     fn analyze_produces_runs_ppgs_and_report() {
-        let app = cg::build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+        let app = cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
         let analysis = analyze_app(&app, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
         assert_eq!(analysis.runs.len(), 3);
         assert_eq!(analysis.ppgs.len(), 3);
@@ -176,9 +188,12 @@ mod tests {
 
     #[test]
     fn speedup_curve_is_baselined_at_one() {
-        let app = cg::build(&CgOptions { na: 30_000, iterations: 3, delay_rank: None });
-        let curve =
-            speedup_curve(&app.program, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
+        let app = cg::build(&CgOptions {
+            na: 30_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let curve = speedup_curve(&app.program, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
         assert_eq!(curve[0], (2, 1.0));
         assert!(curve[2].1 > curve[1].1, "speedup grows: {curve:?}");
     }

@@ -19,10 +19,12 @@ pub fn find_stmt<'p>(program: &'p Program, location: &str) -> Option<&'p Stmt> {
                 return Some(stmt);
             }
             let found = match &stmt.kind {
-                StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
-                    walk(body, location)
-                }
-                StmtKind::If { then_block, else_block, .. } => walk(then_block, location)
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(body, location),
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => walk(then_block, location)
                     .or_else(|| else_block.as_ref().and_then(|b| walk(b, location))),
                 _ => None,
             };
@@ -32,7 +34,10 @@ pub fn find_stmt<'p>(program: &'p Program, location: &str) -> Option<&'p Stmt> {
         }
         None
     }
-    program.functions.iter().find_map(|f| walk(&f.body, location))
+    program
+        .functions
+        .iter()
+        .find_map(|f| walk(&f.body, location))
 }
 
 /// Pretty-print the statement at a location, if it exists.
@@ -40,7 +45,9 @@ pub fn code_snippet(program: &Program, location: &str) -> Option<String> {
     let stmt = find_stmt(program, location)?;
     // Render via a one-statement block, then strip the braces.
     let mut out = String::new();
-    let block = Block { stmts: vec![stmt.clone()] };
+    let block = Block {
+        stmts: vec![stmt.clone()],
+    };
     let func = scalana_lang::ast::Function {
         name: "__snippet".to_string(),
         params: vec![],

@@ -48,8 +48,13 @@ fn static_command_prints_stats() {
 #[test]
 fn static_respects_flags() {
     let path = write_demo("cli_flags.mmpi");
-    let (with_dot, _, ok) =
-        scalana(&["static", path.to_str().unwrap(), "--max-loop-depth", "0", "--dot"]);
+    let (with_dot, _, ok) = scalana(&[
+        "static",
+        path.to_str().unwrap(),
+        "--max-loop-depth",
+        "0",
+        "--dot",
+    ]);
     assert!(ok);
     assert!(with_dot.contains("digraph PSG"));
 }
@@ -101,7 +106,10 @@ fn apps_list_and_run() {
     }
     let (stdout, _, ok) = scalana(&["apps", "--run", "SST", "--scales", "4,8,16"]);
     assert!(ok, "{stdout}");
-    assert!(stdout.contains("known root cause mirandaCPU.cc:247: FOUND"), "{stdout}");
+    assert!(
+        stdout.contains("known root cause mirandaCPU.cc:247: FOUND"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -119,8 +127,7 @@ fn bad_usage_reports_errors() {
     assert!(stderr.contains("cannot read"));
 
     let path = write_demo("cli_badscales.mmpi");
-    let (_, stderr, ok) =
-        scalana(&["analyze", path.to_str().unwrap(), "--scales", "8,4"]);
+    let (_, stderr, ok) = scalana(&["analyze", path.to_str().unwrap(), "--scales", "8,4"]);
     assert!(!ok);
     assert!(stderr.contains("ascending"));
 

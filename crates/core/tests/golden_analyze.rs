@@ -1,0 +1,141 @@
+//! Golden-output test for `scalana analyze` on the quickstart demo.
+//!
+//! The quickstart program (examples/quickstart.rs and README) plants an
+//! Amdahl bug: a serial loop on rank 0 that does not shrink with the
+//! process count. This test pins the report surface the viewer promises —
+//! if a refactor drops a section, renames a heading, or stops finding the
+//! planted root cause, it fails here rather than in a user's terminal.
+
+use std::io::Write;
+use std::process::Command;
+use std::sync::OnceLock;
+
+/// The same source examples/quickstart.rs embeds, as a standalone `.mmpi`
+/// file. The serial loop sits on line 9 of this file.
+const QUICKSTART: &str = "\
+// A deliberately non-scalable program.
+param WORK = 6_000_000;
+
+fn main() {
+    for it in 0 .. 10 {
+        comp(cycles = WORK / nprocs, ins = WORK / nprocs,
+             lst = WORK / (nprocs * 4), miss = WORK / (nprocs * 400));
+        if rank == 0 {
+            for s in 0 .. 4 {
+                comp(cycles = WORK / 8, ins = WORK / 8, lst = WORK / 32);
+            }
+        }
+        barrier();
+    }
+    allreduce(bytes = 8);
+}
+";
+
+/// One shared `scalana analyze` run: the three tests below inspect the
+/// same report, and a per-test temp file would race (tests run on
+/// parallel threads; one thread's `File::create` truncates the source
+/// while another's subprocess reads it).
+fn run_analyze() -> &'static str {
+    static REPORT: OnceLock<String> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let path = std::env::temp_dir().join("golden_quickstart.mmpi");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(QUICKSTART.as_bytes()).unwrap();
+        drop(f);
+        let out = Command::new(env!("CARGO_BIN_EXE_scalana"))
+            .args([
+                "analyze",
+                path.to_str().unwrap(),
+                "--scales",
+                "4,8,16,32",
+                "--top",
+                "3",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "analyze failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("report is UTF-8")
+    })
+}
+
+#[test]
+fn report_contains_every_promised_section() {
+    let stdout = run_analyze();
+    // One run line per requested scale, plus the static stats up front.
+    assert!(stdout.contains("PSG: #VBC="), "{stdout}");
+    for scale in [
+        "@    4 ranks",
+        "@    8 ranks",
+        "@   16 ranks",
+        "@   32 ranks",
+    ] {
+        assert!(
+            stdout.contains(scale),
+            "missing run line for {scale}:\n{stdout}"
+        );
+    }
+    // Viewer sections, in report order.
+    let sections = [
+        "-- Speedup (baseline 4 ranks) --",
+        "-- Non-scalable vertices (",
+        "-- Abnormal vertices (",
+        "-- Root causes (",
+        "-- Causal paths (",
+        "-- Code snippets --",
+    ];
+    let mut last = 0;
+    for section in sections {
+        let at = stdout[last..]
+            .find(section)
+            .unwrap_or_else(|| panic!("section `{section}` missing or out of order:\n{stdout}"));
+        last += at;
+    }
+}
+
+#[test]
+fn report_backtracks_to_the_planted_serial_loop() {
+    let stdout = run_analyze();
+    // The non-scalable symptom is the barrier (line 13), attributed 90%+.
+    assert!(
+        stdout.contains("golden_quickstart.mmpi:13 slope"),
+        "barrier not flagged non-scalable:\n{stdout}"
+    );
+    // Backtracking lands on the serial loop on line 9, tagged as the root
+    // cause with its rank-0 imbalance.
+    assert!(
+        stdout.contains("Loop     ") && stdout.contains("golden_quickstart.mmpi:9 in main"),
+        "serial loop not reported as root cause:\n{stdout}"
+    );
+    assert!(stdout.contains("<== root cause"), "{stdout}");
+    assert!(stdout.contains("time imb 32.00x"), "{stdout}");
+}
+
+#[test]
+fn speedup_table_shows_the_amdahl_ceiling() {
+    let stdout = run_analyze();
+    // Baseline row is exactly x1.00 at 100% efficiency.
+    assert!(
+        stdout.contains("4 ranks  x1.00") && stdout.contains("efficiency 100.0%"),
+        "{stdout}"
+    );
+    // The serial section caps the curve: by 32 ranks the measured speedup
+    // must fall far short of the ideal x8 over the 4-rank baseline.
+    let row = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("32 ranks"))
+        .unwrap_or_else(|| panic!("no 32-rank speedup row:\n{stdout}"));
+    let speedup: f64 = row
+        .split('x')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable speedup row `{row}`"));
+    assert!(
+        speedup < 4.0,
+        "Amdahl bug should cap speedup well below ideal x8, got x{speedup}: {row}"
+    );
+}

@@ -107,8 +107,9 @@ pub fn backtrack_all(
     // Non-scalable seeds: start on the rank where the delay manifests —
     // the one waiting longest, falling back to the slowest.
     for n in non_scalable {
-        let waits: Vec<f64> =
-            (0..ppg.nprocs).map(|r| ppg.perf(n.vertex, r).wait_time).collect();
+        let waits: Vec<f64> = (0..ppg.nprocs)
+            .map(|r| ppg.perf(n.vertex, r).wait_time)
+            .collect();
         let rank = if waits.iter().any(|w| *w > 0.0) {
             argmax(&waits)
         } else {
@@ -211,14 +212,12 @@ fn backtrack_one(
             }
             VertexKind::Branch if first_visit_structure(scanned, rank, vertex, psg) => {
                 // Continue from the hotter arm's end on this rank.
-                psg.branch_arm_ends(vertex)
-                    .into_iter()
-                    .max_by(|a, b| {
-                        ppg.perf(*a, rank)
-                            .time
-                            .partial_cmp(&ppg.perf(*b, rank).time)
-                            .unwrap()
-                    })
+                psg.branch_arm_ends(vertex).into_iter().max_by(|a, b| {
+                    ppg.perf(*a, rank)
+                        .time
+                        .partial_cmp(&ppg.perf(*b, rank).time)
+                        .unwrap()
+                })
             }
             _ => None,
         };
@@ -232,9 +231,7 @@ fn backtrack_one(
             let parent = psg.parent(vertex)?;
             if psg.vertex(parent).kind == VertexKind::Loop {
                 match psg.loop_end(parent) {
-                    Some(end) if end != vertex && !in_path.contains(&(rank, end)) => {
-                        Some(end)
-                    }
+                    Some(end) if end != vertex && !in_path.contains(&(rank, end)) => Some(end),
                     _ => Some(parent),
                 }
             } else {
@@ -269,7 +266,11 @@ fn backtrack_one(
         return None;
     }
     let (root_cause_idx, confident) = pick_root_cause(&steps, ppg);
-    Some(RootCausePath { steps, root_cause_idx, confident })
+    Some(RootCausePath {
+        steps,
+        root_cause_idx,
+        confident,
+    })
 }
 
 /// A structure counts as unscanned until its body has been entered —
@@ -280,8 +281,7 @@ fn first_visit_structure(
     vertex: VertexId,
     psg: &scalana_graph::Psg,
 ) -> bool {
-    !psg
-        .vertex(vertex)
+    !psg.vertex(vertex)
         .children
         .all()
         .iter()
@@ -303,7 +303,10 @@ fn pick_root_cause(steps: &[PathStep], ppg: &Ppg) -> (usize, bool) {
         .iter()
         .enumerate()
         .filter(|(_, s)| {
-            matches!(psg.vertex(s.vertex).kind, VertexKind::Comp | VertexKind::Loop)
+            matches!(
+                psg.vertex(s.vertex).kind,
+                VertexKind::Comp | VertexKind::Loop
+            )
         })
         .map(|(i, _)| i)
         .collect();
@@ -354,7 +357,11 @@ fn merge_root_causes(ppg: &Ppg, paths: &[RootCausePath]) -> Vec<RootCause> {
             continue;
         }
         let seed = &path.steps[0];
-        let explained = if seed.wait_time > 0.0 { seed.wait_time } else { seed.time };
+        let explained = if seed.wait_time > 0.0 {
+            seed.wait_time
+        } else {
+            seed.time
+        };
         let entry = groups.entry(path.root_cause().vertex).or_default();
         entry.0 += 1;
         entry.1 += explained;
@@ -366,13 +373,21 @@ fn merge_root_causes(ppg: &Ppg, paths: &[RootCausePath]) -> Vec<RootCause> {
             let times = ppg.times_across_ranks(vertex);
             let mean_time = times.iter().sum::<f64>() / times.len().max(1) as f64;
             let max_time = times.iter().copied().fold(0.0, f64::max);
-            let time_imbalance = if mean_time > 0.0 { max_time / mean_time } else { 1.0 };
+            let time_imbalance = if mean_time > 0.0 {
+                max_time / mean_time
+            } else {
+                1.0
+            };
             let ins: Vec<f64> = (0..ppg.nprocs)
                 .map(|r| ppg.perf(vertex, r).tot_ins)
                 .collect();
             let mean_ins = ins.iter().sum::<f64>() / ins.len().max(1) as f64;
             let max_ins = ins.iter().copied().fold(0.0, f64::max);
-            let ins_imbalance = if mean_ins > 0.0 { max_ins / mean_ins } else { 1.0 };
+            let ins_imbalance = if mean_ins > 0.0 {
+                max_ins / mean_ins
+            } else {
+                1.0
+            };
             RootCause {
                 vertex,
                 kind: v.kind.label(),
@@ -422,7 +437,11 @@ mod tests {
         let mut ppg = Ppg::new(Arc::clone(&psg), nprocs);
 
         let find = |kind: VertexKind| {
-            psg.vertices.iter().find(|v| v.kind == kind).map(|v| v.id).unwrap()
+            psg.vertices
+                .iter()
+                .find(|v| v.kind == kind)
+                .map(|v| v.id)
+                .unwrap()
         };
         let loop_v = find(VertexKind::Loop);
         let isend = find(VertexKind::Mpi(MpiKind::Isend));
@@ -469,24 +488,33 @@ mod tests {
             .id;
         let seed = NonScalableVertex {
             vertex: allreduce,
-            fit: crate::fit::Fit { slope: 0.3, intercept: 0.0, r2: 0.9 },
+            fit: crate::fit::Fit {
+                slope: 0.3,
+                intercept: 0.0,
+                r2: 0.9,
+            },
             times: vec![0.01, 0.02],
             time_fraction: 0.2,
             location: psg.vertex(allreduce).location(),
         };
-        let (paths, causes) =
-            backtrack_all(&ppg, &[seed], &[], &DetectConfig::default());
+        let (paths, causes) = backtrack_all(&ppg, &[seed], &[], &DetectConfig::default());
         assert!(!paths.is_empty());
         // The top root cause is the boundary loop.
         let top = &causes[0];
-        assert_eq!(top.kind, "Loop", "root cause should be the loop: {causes:?}");
+        assert_eq!(
+            top.kind, "Loop",
+            "root cause should be the loop: {causes:?}"
+        );
         // The winning path crossed ranks through the waitall dependence.
         let loop_path = paths
             .iter()
             .find(|p| p.root_cause().kind == "Loop")
             .expect("a path reaches the loop");
         assert!(
-            loop_path.steps.iter().any(|s| s.via_comm && s.kind.contains("Isend")),
+            loop_path
+                .steps
+                .iter()
+                .any(|s| s.via_comm && s.kind.contains("Isend")),
             "path crosses ranks at the isend: {:?}",
             loop_path.steps
         );
@@ -531,7 +559,11 @@ mod tests {
         };
         let (paths, _) = backtrack_all(&ppg, &[], &[seed], &DetectConfig::default());
         let path = &paths[0];
-        assert_eq!(path.steps.last().unwrap().vertex, allreduce, "stops at collective");
+        assert_eq!(
+            path.steps.last().unwrap().vertex,
+            allreduce,
+            "stops at collective"
+        );
     }
 
     #[test]
@@ -557,7 +589,10 @@ mod tests {
         };
         let (paths, _) = backtrack_all(&ppg, &[], &[seed], &DetectConfig::default());
         // Without waits, the walk must not cross ranks.
-        assert!(paths[0].steps.iter().all(|s| s.rank == 1 || !s.via_comm || s.vertex == waitall));
+        assert!(paths[0]
+            .steps
+            .iter()
+            .all(|s| s.rank == 1 || !s.via_comm || s.vertex == waitall));
         assert!(paths[0].steps.iter().skip(1).all(|s| !s.via_comm));
     }
 
@@ -578,8 +613,12 @@ mod tests {
             location: String::new(),
         };
         // Same seed twice: second pass adds nothing new.
-        let (paths_once, _) =
-            backtrack_all(&ppg, &[], std::slice::from_ref(&seed), &DetectConfig::default());
+        let (paths_once, _) = backtrack_all(
+            &ppg,
+            &[],
+            std::slice::from_ref(&seed),
+            &DetectConfig::default(),
+        );
         let (paths_twice, _) =
             backtrack_all(&ppg, &[], &[seed.clone(), seed], &DetectConfig::default());
         assert_eq!(paths_once.len(), paths_twice.len());
@@ -601,7 +640,10 @@ mod tests {
             median_time: 0.01,
             location: String::new(),
         };
-        let config = DetectConfig { max_path_len: 2, ..Default::default() };
+        let config = DetectConfig {
+            max_path_len: 2,
+            ..Default::default()
+        };
         let (paths, _) = backtrack_all(&ppg, &[], &[seed], &config);
         assert!(paths[0].steps.len() <= 2);
     }

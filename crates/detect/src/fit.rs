@@ -57,8 +57,16 @@ pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
         .iter()
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
-    let r2 = if ss_tot <= 1e-18 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(Fit { slope, intercept, r2 })
+    let r2 = if ss_tot <= 1e-18 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(Fit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// How to reduce a vertex's per-rank metric to one number per run
@@ -130,9 +138,7 @@ fn clustered_mean(values: &[f64], k: usize) -> f64 {
             let best = centroids
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    (v - a.1).abs().partial_cmp(&(v - b.1).abs()).unwrap()
-                })
+                .min_by(|a, b| (v - a.1).abs().partial_cmp(&(v - b.1).abs()).unwrap())
                 .map(|(j, _)| j)
                 .unwrap_or(0);
             if assignment[i] != best {

@@ -26,8 +26,8 @@ pub mod scaling;
 pub use backtrack::{PathStep, RootCause, RootCausePath};
 pub use fit::{loglog_fit, Aggregation, Fit};
 pub use problematic::{AbnormalVertex, NonScalableVertex};
-pub use scaling::{summarize, ScalePoint, ScalingSummary};
 pub use report::DetectionReport;
+pub use scaling::{summarize, ScalePoint, ScalingSummary};
 
 use scalana_graph::Ppg;
 
@@ -79,7 +79,11 @@ pub fn detect(runs: &[&Ppg], config: &DetectConfig) -> DetectionReport {
     let largest = runs[runs.len() - 1];
     let non_scalable = problematic::find_non_scalable(runs, config);
     let abnormal = problematic::find_abnormal(largest, config);
-    let (paths, root_causes) =
-        backtrack::backtrack_all(largest, &non_scalable, &abnormal, config);
-    DetectionReport { non_scalable, abnormal, paths, root_causes }
+    let (paths, root_causes) = backtrack::backtrack_all(largest, &non_scalable, &abnormal, config);
+    DetectionReport {
+        non_scalable,
+        abnormal,
+        paths,
+        root_causes,
+    }
 }

@@ -59,7 +59,9 @@ pub fn find_non_scalable(runs: &[&Ppg], config: &DetectConfig) -> Vec<NonScalabl
             .iter()
             .map(|r| config.aggregation.aggregate(&r.times_across_ranks(v)))
             .collect();
-        let Some(fit) = loglog_fit(&scales, &times) else { continue };
+        let Some(fit) = loglog_fit(&scales, &times) else {
+            continue;
+        };
         let time_fraction = largest.time_fraction(v);
         if time_fraction < config.min_time_fraction {
             continue;
@@ -124,7 +126,11 @@ pub fn find_abnormal(ppg: &Ppg, config: &DetectConfig) -> Vec<AbnormalVertex> {
             found.push(AbnormalVertex {
                 vertex: v,
                 ranks,
-                ratio: if mean_over_all > 0.0 { max / mean_over_all } else { 1.0 },
+                ratio: if mean_over_all > 0.0 {
+                    max / mean_over_all
+                } else {
+                    1.0
+                },
                 median_time: med,
                 location: ppg.psg.vertex(v).location(),
             });
@@ -137,16 +143,14 @@ pub fn find_abnormal(ppg: &Ppg, config: &DetectConfig) -> Vec<AbnormalVertex> {
 /// Ignore imbalance on vertices too small to matter (< 0.1% of the
 /// average rank's runtime).
 fn significant(ppg: &Ppg, time: f64) -> bool {
-    let avg_elapsed =
-        ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
+    let avg_elapsed = ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
     time > avg_elapsed * 1e-3
 }
 
 /// Concentration anomalies need a higher bar: at least 2% of a rank's
 /// runtime (root-only bookkeeping stays under it).
 fn max_is_substantial(ppg: &Ppg, time: f64) -> bool {
-    let avg_elapsed =
-        ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
+    let avg_elapsed = ppg.rank_elapsed.iter().sum::<f64>() / ppg.rank_elapsed.len().max(1) as f64;
     time > avg_elapsed * 0.02
 }
 
@@ -221,8 +225,14 @@ mod tests {
         let found = find_non_scalable(&refs, &config);
         let coll = allreduce_vertex(&psg);
         let comp = comp_vertex(&psg);
-        assert!(found.iter().any(|n| n.vertex == coll), "allreduce flagged: {found:?}");
-        assert!(found.iter().all(|n| n.vertex != comp), "scaling comp not flagged");
+        assert!(
+            found.iter().any(|n| n.vertex == coll),
+            "allreduce flagged: {found:?}"
+        );
+        assert!(
+            found.iter().all(|n| n.vertex != comp),
+            "scaling comp not flagged"
+        );
         let flagged = found.iter().find(|n| n.vertex == coll).unwrap();
         assert!(flagged.fit.slope > 0.0);
     }
@@ -237,8 +247,15 @@ mod tests {
         let refs: Vec<&Ppg> = runs.iter().collect();
         let found = find_non_scalable(&refs, &DetectConfig::default());
         let comp = comp_vertex(&psg);
-        let flagged = found.iter().find(|n| n.vertex == comp).expect("comp flagged");
-        assert!(flagged.fit.slope.abs() < 0.1, "flat trend: {}", flagged.fit.slope);
+        let flagged = found
+            .iter()
+            .find(|n| n.vertex == comp)
+            .expect("comp flagged");
+        assert!(
+            flagged.fit.slope.abs() < 0.1,
+            "flat trend: {}",
+            flagged.fit.slope
+        );
         assert!(flagged.time_fraction > 0.5);
     }
 
@@ -257,7 +274,10 @@ mod tests {
         // Rank 4 takes 3x the median (paper Fig. 7b shape).
         ppg.perf_mut(comp, 4).time *= 3.0;
         let found = find_abnormal(&ppg, &DetectConfig::default());
-        let ab = found.iter().find(|a| a.vertex == comp).expect("comp abnormal");
+        let ab = found
+            .iter()
+            .find(|a| a.vertex == comp)
+            .expect("comp abnormal");
         assert_eq!(ab.ranks, vec![4]);
         assert!(ab.ratio > 2.9 && ab.ratio < 3.1);
     }
@@ -272,7 +292,10 @@ mod tests {
         let found = find_abnormal(&ppg, &DetectConfig::default());
         assert!(found.iter().all(|a| a.vertex != comp));
         // But a lower threshold catches it.
-        let strict = DetectConfig { abnorm_thd: 1.1, ..Default::default() };
+        let strict = DetectConfig {
+            abnorm_thd: 1.1,
+            ..Default::default()
+        };
         let found = find_abnormal(&ppg, &strict);
         assert!(found.iter().any(|a| a.vertex == comp));
     }

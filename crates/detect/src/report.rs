@@ -38,7 +38,11 @@ impl DetectionReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== ScalAna detection report ===");
-        let _ = writeln!(out, "\n-- Non-scalable vertices ({}) --", self.non_scalable.len());
+        let _ = writeln!(
+            out,
+            "\n-- Non-scalable vertices ({}) --",
+            self.non_scalable.len()
+        );
         for n in &self.non_scalable {
             let _ = writeln!(
                 out,
@@ -78,7 +82,11 @@ impl DetectionReport {
         for (i, p) in self.paths.iter().enumerate().take(8) {
             let _ = writeln!(out, "  path {}:", i + 1);
             for (j, s) in p.steps.iter().enumerate() {
-                let marker = if j == p.root_cause_idx { " <== root cause" } else { "" };
+                let marker = if j == p.root_cause_idx {
+                    " <== root cause"
+                } else {
+                    ""
+                };
                 let hop = if s.via_comm { "~>" } else { "->" };
                 let _ = writeln!(
                     out,
@@ -115,7 +123,11 @@ mod tests {
         DetectionReport {
             non_scalable: vec![NonScalableVertex {
                 vertex: 5,
-                fit: Fit { slope: 0.4, intercept: -2.0, r2: 0.97 },
+                fit: Fit {
+                    slope: 0.4,
+                    intercept: -2.0,
+                    r2: 0.97,
+                },
                 times: vec![0.01, 0.02, 0.04],
                 time_fraction: 0.31,
                 location: "nudt.F:361".into(),

@@ -54,7 +54,11 @@ pub fn summarize(measurements: &[(usize, f64)]) -> ScalingSummary {
                 nprocs: p,
                 time: t,
                 speedup,
-                efficiency: if rank_ratio > 0.0 { speedup / rank_ratio } else { 0.0 },
+                efficiency: if rank_ratio > 0.0 {
+                    speedup / rank_ratio
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
@@ -70,7 +74,12 @@ pub fn summarize(measurements: &[(usize, f64)]) -> ScalingSummary {
         .map(|pt| pt.nprocs)
         .max();
 
-    ScalingSummary { points, time_slope, serial_fraction, efficient_scale }
+    ScalingSummary {
+        points,
+        time_slope,
+        serial_fraction,
+        efficient_scale,
+    }
 }
 
 /// Amdahl: `S(n) = 1 / (f + (1-f)/n)` with `n` the rank ratio. Solve `f`

@@ -65,7 +65,11 @@ pub fn contract(
     let children = ctx.seal_pieces(pieces, new_root);
     ctx.out[(new_root - base) as usize].children = Children::Seq(children);
     ctx.fixup_recursive_targets();
-    Contracted { vertices: ctx.out, map: ctx.map, root: new_root }
+    Contracted {
+        vertices: ctx.out,
+        map: ctx.map,
+        root: new_root,
+    }
 }
 
 struct Ctx<'a> {
@@ -175,8 +179,10 @@ impl<'a> Ctx<'a> {
                     let t = self.seal_pieces(t_pieces, id);
                     let e_pieces = self.contract_seq(else_arm, id);
                     let e = self.seal_pieces(e_pieces, id);
-                    self.out[(id - self.base) as usize].children =
-                        Children::Arms { then_arm: t, else_arm: e };
+                    self.out[(id - self.base) as usize].children = Children::Arms {
+                        then_arm: t,
+                        else_arm: e,
+                    };
                     vec![Piece::Keep(id)]
                 } else if self.has_keepable_loop(old_id) {
                     // Paper rule: among MPI-free structures only loops
@@ -197,8 +203,7 @@ impl<'a> Ctx<'a> {
                 }
             }
             VertexKind::Loop => {
-                let keep = self.subtree_mpi(old_id)
-                    || old.loop_depth < self.max_loop_depth;
+                let keep = self.subtree_mpi(old_id) || old.loop_depth < self.max_loop_depth;
                 if keep {
                     let old = old.clone();
                     let id = self.alloc_from(&old, Some(new_parent));
@@ -362,10 +367,14 @@ mod tests {
         "#;
         let (_, c) = contract_src(src, 1);
         let root = &c.vertices[c.root as usize];
-        let Children::Seq(top) = &root.children else { panic!() };
+        let Children::Seq(top) = &root.children else {
+            panic!()
+        };
         assert_eq!(kinds(&c, top), vec![VertexKind::Loop]);
         let loop1 = &c.vertices[top[0] as usize];
-        let Children::Seq(body) = &loop1.children else { panic!() };
+        let Children::Seq(body) = &loop1.children else {
+            panic!()
+        };
         // [Comp(let + Loop1.1 + Loop1.2), Branch, Bcast] — matching Fig 4(c).
         assert_eq!(
             kinds(&c, body),
@@ -386,15 +395,27 @@ mod tests {
                     comp(cycles = 1); } } } barrier(); }";
         // Depth 2: keep i and j loops, fold the k loop.
         let (_, c) = contract_src(src, 2);
-        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        let loops = c
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::Loop)
+            .count();
         assert_eq!(loops, 2);
         // Depth 10: keep everything.
         let (_, c) = contract_src(src, 10);
-        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        let loops = c
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::Loop)
+            .count();
         assert_eq!(loops, 3);
         // Depth 0: fold all MPI-free loops.
         let (_, c) = contract_src(src, 0);
-        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        let loops = c
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::Loop)
+            .count();
         assert_eq!(loops, 0);
     }
 
@@ -403,7 +424,11 @@ mod tests {
         let src = "fn main() { for i in 0 .. 2 { for j in 0 .. 2 { for k in 0 .. 2 { \
                     barrier(); } } } }";
         let (_, c) = contract_src(src, 0);
-        let loops = c.vertices.iter().filter(|v| v.kind == VertexKind::Loop).count();
+        let loops = c
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::Loop)
+            .count();
         assert_eq!(loops, 3, "MPI-bearing loops survive MaxLoopDepth=0");
     }
 
@@ -424,8 +449,11 @@ mod tests {
         let src = "fn main() { let a = 1; let b = 2; comp(cycles = 3); barrier(); \
                     let c = 4; comp(cycles = 5); }";
         let (_, c) = contract_src(src, 10);
-        let comps: Vec<_> =
-            c.vertices.iter().filter(|v| v.kind == VertexKind::Comp).collect();
+        let comps: Vec<_> = c
+            .vertices
+            .iter()
+            .filter(|v| v.kind == VertexKind::Comp)
+            .collect();
         assert_eq!(comps.len(), 2, "one Comp before the barrier, one after");
         assert_eq!(comps[0].stmt_ids.len(), 3);
         assert_eq!(comps[1].stmt_ids.len(), 2);
@@ -445,9 +473,10 @@ mod tests {
         "#;
         let (expanded, c) = contract_src(src, 1);
         for v in &expanded {
-            let new = c.map.get(&v.id).copied().unwrap_or_else(|| {
-                panic!("old vertex {} ({:?}) missing from map", v.id, v.kind)
-            });
+            let new =
+                c.map.get(&v.id).copied().unwrap_or_else(|| {
+                    panic!("old vertex {} ({:?}) missing from map", v.id, v.kind)
+                });
             assert!((new as usize) < c.vertices.len());
         }
     }
@@ -482,7 +511,9 @@ mod tests {
                     fn quiet(n) { if n > 0 { quiet(n - 1); } comp(cycles = n); }";
         let (_, c) = contract_src(src, 10);
         assert!(
-            c.vertices.iter().all(|v| !matches!(v.kind, VertexKind::RecursiveCall(_))),
+            c.vertices
+                .iter()
+                .all(|v| !matches!(v.kind, VertexKind::RecursiveCall(_))),
             "MPI-free recursion folds into Comp"
         );
     }
@@ -497,8 +528,13 @@ mod tests {
             .iter()
             .find(|v| matches!(v.kind, VertexKind::RecursiveCall(_)))
             .expect("recursive call kept");
-        let VertexKind::RecursiveCall(target) = rec.kind else { unreachable!() };
-        assert!((target as usize) < c.vertices.len(), "target remapped into new table");
+        let VertexKind::RecursiveCall(target) = rec.kind else {
+            unreachable!()
+        };
+        assert!(
+            (target as usize) < c.vertices.len(),
+            "target remapped into new table"
+        );
     }
 
     #[test]

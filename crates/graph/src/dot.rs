@@ -32,7 +32,11 @@ pub fn psg_to_dot(psg: &Psg) -> String {
         }
         // Execution-order edges between consecutive siblings.
         for pair in kids.windows(2) {
-            let _ = writeln!(out, "  v{} -> v{} [style=dashed, constraint=false];", pair[0], pair[1]);
+            let _ = writeln!(
+                out,
+                "  v{} -> v{} [style=dashed, constraint=false];",
+                pair[0], pair[1]
+            );
         }
     }
     out.push_str("}\n");
@@ -41,7 +45,10 @@ pub fn psg_to_dot(psg: &Psg) -> String {
 
 /// Render a local (per-function) PSG as DOT, for the Fig. 4(a) stage.
 pub fn local_to_dot(psg: &LocalPsg) -> String {
-    let mut out = format!("digraph local_{} {{\n  node [shape=box, fontsize=10];\n", psg.func);
+    let mut out = format!(
+        "digraph local_{} {{\n  node [shape=box, fontsize=10];\n",
+        psg.func
+    );
     for v in &psg.vertices {
         let label = match &v.kind {
             crate::intra::LocalKind::Entry => format!("fn {}", psg.func),
@@ -52,7 +59,13 @@ pub fn local_to_dot(psg: &LocalPsg) -> String {
             crate::intra::LocalKind::DirectCall { callee } => format!("call {callee}"),
             crate::intra::LocalKind::IndirectCall => "call (indirect)".to_string(),
         };
-        let _ = writeln!(out, "  v{} [label=\"{} @{}\"];", v.id, label, v.span.file_line());
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{} @{}\"];",
+            v.id,
+            label,
+            v.span.file_line()
+        );
     }
     for v in &psg.vertices {
         let kids = match &v.children {

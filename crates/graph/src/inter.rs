@@ -58,15 +58,21 @@ pub struct Expansion {
 /// (through direct calls). Indirect targets are *not* included — call
 /// sites are conservatively preserved by contraction instead.
 pub fn mpi_closure(locals: &HashMap<String, LocalPsg>) -> HashMap<String, bool> {
-    let mut flags: HashMap<String, bool> =
-        locals.iter().map(|(name, lp)| (name.clone(), lp.has_direct_mpi())).collect();
+    let mut flags: HashMap<String, bool> = locals
+        .iter()
+        .map(|(name, lp)| (name.clone(), lp.has_direct_mpi()))
+        .collect();
     loop {
         let mut changed = false;
         for (name, lp) in locals {
             if flags[name] {
                 continue;
             }
-            if lp.direct_callees().iter().any(|c| flags.get(*c).copied().unwrap_or(false)) {
+            if lp
+                .direct_callees()
+                .iter()
+                .any(|c| flags.get(*c).copied().unwrap_or(false))
+            {
                 flags.insert(name.clone(), true);
                 changed = true;
             }
@@ -103,8 +109,15 @@ impl<'a> Expander<'a> {
         locals: &'a HashMap<String, LocalPsg>,
         contexts: &'a mut Vec<CtxNode>,
     ) -> Expansion {
-        assert!(contexts.is_empty(), "expand_program requires a fresh context table");
-        contexts.push(CtxNode { parent: None, call_site: None, func: "main".to_string() });
+        assert!(
+            contexts.is_empty(),
+            "expand_program requires a fresh context table"
+        );
+        contexts.push(CtxNode {
+            parent: None,
+            call_site: None,
+            func: "main".to_string(),
+        });
         let mut ex = Expander {
             locals,
             contexts,
@@ -126,7 +139,14 @@ impl<'a> Expander<'a> {
             ctx: ROOT_CTX,
             entry_vertex: root,
         }];
-        let children = ex.expand_seq(main, &seq_ids(main, main.root), ROOT_CTX, root, 0, &mut active);
+        let children = ex.expand_seq(
+            main,
+            &seq_ids(main, main.root),
+            ROOT_CTX,
+            root,
+            0,
+            &mut active,
+        );
         ex.vertices[root as usize].children = Children::Seq(children);
         Expansion {
             vertices: ex.vertices,
@@ -162,10 +182,19 @@ impl<'a> Expander<'a> {
             None,
             base_loop_depth,
         );
-        let mut active =
-            vec![Frame { func: func.to_string(), ctx, entry_vertex: root }];
-        let children =
-            ex.expand_seq(lp, &seq_ids(lp, lp.root), ctx, root, base_loop_depth, &mut active);
+        let mut active = vec![Frame {
+            func: func.to_string(),
+            ctx,
+            entry_vertex: root,
+        }];
+        let children = ex.expand_seq(
+            lp,
+            &seq_ids(lp, lp.root),
+            ctx,
+            root,
+            base_loop_depth,
+            &mut active,
+        );
         ex.vertices[root as usize].children = Children::Seq(children);
         Expansion {
             vertices: ex.vertices,
@@ -226,7 +255,9 @@ impl<'a> Expander<'a> {
         active: &mut Vec<Frame>,
     ) -> Vec<VertexId> {
         let lv = lp.vertex(lid).clone();
-        let stmt = lv.stmt_id.expect("non-entry local vertices carry a statement");
+        let stmt = lv
+            .stmt_id
+            .expect("non-entry local vertices carry a statement");
         match &lv.kind {
             LocalKind::Entry => unreachable!("entry vertices are not expanded directly"),
             LocalKind::CompStmt => {
@@ -285,8 +316,10 @@ impl<'a> Expander<'a> {
                 };
                 let t = self.expand_seq(lp, then_arm, ctx, v, loop_depth, active);
                 let e = self.expand_seq(lp, else_arm, ctx, v, loop_depth, active);
-                self.vertices[v as usize].children =
-                    Children::Arms { then_arm: t, else_arm: e };
+                self.vertices[v as usize].children = Children::Arms {
+                    then_arm: t,
+                    else_arm: e,
+                };
                 vec![v]
             }
             LocalKind::IndirectCall => {
@@ -379,11 +412,12 @@ mod tests {
 
     #[test]
     fn inlines_direct_calls() {
-        let (ex, ctxs) = expand(
-            "fn main() { helper(); barrier(); } fn helper() { comp(cycles = 1); }",
-        );
+        let (ex, ctxs) =
+            expand("fn main() { helper(); barrier(); } fn helper() { comp(cycles = 1); }");
         let root = &ex.vertices[ex.root as usize];
-        let Children::Seq(top) = &root.children else { panic!() };
+        let Children::Seq(top) = &root.children else {
+            panic!()
+        };
         // helper's body spliced in place of the call, then the barrier.
         assert_eq!(
             kinds_of(&ex, top),
@@ -397,10 +431,10 @@ mod tests {
 
     #[test]
     fn distinct_call_sites_get_distinct_contexts_and_vertices() {
-        let (ex, ctxs) = expand(
-            "fn main() { work(); work(); } fn work() { comp(cycles = 1); }",
-        );
-        let Children::Seq(top) = &ex.vertices[ex.root as usize].children else { panic!() };
+        let (ex, ctxs) = expand("fn main() { work(); work(); } fn work() { comp(cycles = 1); }");
+        let Children::Seq(top) = &ex.vertices[ex.root as usize].children else {
+            panic!()
+        };
         assert_eq!(top.len(), 2);
         assert_ne!(top[0], top[1], "two instantiations are distinct vertices");
         assert_eq!(ctxs.len(), 3);
@@ -412,9 +446,8 @@ mod tests {
 
     #[test]
     fn recursion_forms_cycle_vertex() {
-        let (ex, ctxs) = expand(
-            "fn main() { rec(3); } fn rec(n) { if n > 0 { rec(n - 1); } barrier(); }",
-        );
+        let (ex, ctxs) =
+            expand("fn main() { rec(3); } fn rec(n) { if n > 0 { rec(n - 1); } barrier(); }");
         // rec expanded once; the inner call is a RecursiveCall vertex.
         let rec_vertices: Vec<_> = ex
             .vertices
@@ -452,9 +485,8 @@ mod tests {
 
     #[test]
     fn indirect_calls_stay_as_callsites() {
-        let (ex, _) = expand(
-            "fn main() { let f = &leaf; call f(); } fn leaf() { comp(cycles = 1); }",
-        );
+        let (ex, _) =
+            expand("fn main() { let f = &leaf; call f(); } fn leaf() { comp(cycles = 1); }");
         let callsites: Vec<_> = ex
             .vertices
             .iter()
@@ -499,9 +531,7 @@ mod tests {
 
     #[test]
     fn parents_are_consistent() {
-        let (ex, _) = expand(
-            "fn main() { for i in 0 .. 2 { if rank == 0 { barrier(); } } }",
-        );
+        let (ex, _) = expand("fn main() { for i in 0 .. 2 { if rank == 0 { barrier(); } } }");
         for v in &ex.vertices {
             for child in v.children.all() {
                 assert_eq!(ex.vertices[child as usize].parent, Some(v.id));

@@ -91,7 +91,9 @@ impl LocalPsg {
     /// True if this function *directly* performs MPI operations
     /// (transitivity is computed over the call graph in [`crate::inter`]).
     pub fn has_direct_mpi(&self) -> bool {
-        self.vertices.iter().any(|v| matches!(v.kind, LocalKind::Mpi(_)))
+        self.vertices
+            .iter()
+            .any(|v| matches!(v.kind, LocalKind::Mpi(_)))
     }
 
     /// Names of functions this one calls directly.
@@ -108,11 +110,22 @@ impl LocalPsg {
 
 /// Build the local PSG for one function.
 pub fn build_local(func: &Function) -> LocalPsg {
-    let mut builder = LocalBuilder { vertices: Vec::new() };
-    let root = builder.push(LocalKind::Entry, func.span.clone(), None, LocalChildren::Seq(vec![]));
+    let mut builder = LocalBuilder {
+        vertices: Vec::new(),
+    };
+    let root = builder.push(
+        LocalKind::Entry,
+        func.span.clone(),
+        None,
+        LocalChildren::Seq(vec![]),
+    );
     let body = builder.block(&func.body);
     builder.vertices[root as usize].children = LocalChildren::Seq(body);
-    LocalPsg { func: func.name.clone(), vertices: builder.vertices, root }
+    LocalPsg {
+        func: func.name.clone(),
+        vertices: builder.vertices,
+        root,
+    }
 }
 
 struct LocalBuilder {
@@ -128,7 +141,13 @@ impl LocalBuilder {
         children: LocalChildren,
     ) -> LocalVertexId {
         let id = self.vertices.len() as LocalVertexId;
-        self.vertices.push(LocalVertex { id, kind, span, stmt_id, children });
+        self.vertices.push(LocalVertex {
+            id,
+            kind,
+            span,
+            stmt_id,
+            children,
+        });
         id
     }
 
@@ -142,10 +161,16 @@ impl LocalBuilder {
                     let children = self.block(body);
                     self.push(LocalKind::Loop, span, sid, LocalChildren::Seq(children))
                 }
-                StmtKind::If { then_block, else_block, .. } => {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
                     let then_arm = self.block(then_block);
-                    let else_arm =
-                        else_block.as_ref().map(|b| self.block(b)).unwrap_or_default();
+                    let else_arm = else_block
+                        .as_ref()
+                        .map(|b| self.block(b))
+                        .unwrap_or_default();
                     self.push(
                         LocalKind::Branch,
                         span,
@@ -154,14 +179,19 @@ impl LocalBuilder {
                     )
                 }
                 StmtKind::Call { callee, .. } => self.push(
-                    LocalKind::DirectCall { callee: callee.clone() },
+                    LocalKind::DirectCall {
+                        callee: callee.clone(),
+                    },
                     span,
                     sid,
                     LocalChildren::Seq(vec![]),
                 ),
-                StmtKind::CallIndirect { .. } => {
-                    self.push(LocalKind::IndirectCall, span, sid, LocalChildren::Seq(vec![]))
-                }
+                StmtKind::CallIndirect { .. } => self.push(
+                    LocalKind::IndirectCall,
+                    span,
+                    sid,
+                    LocalChildren::Seq(vec![]),
+                ),
                 StmtKind::Mpi(op) => self.push(
                     LocalKind::Mpi(MpiKind::of(op)),
                     span,
@@ -221,18 +251,24 @@ mod tests {
         let psg = local(FIG3, "main");
         // Entry -> Loop1 -> [let, Loop1.1, Loop1.2, call foo, bcast]
         let entry = psg.vertex(psg.root);
-        let LocalChildren::Seq(top) = &entry.children else { panic!() };
+        let LocalChildren::Seq(top) = &entry.children else {
+            panic!()
+        };
         assert_eq!(top.len(), 1);
         let loop1 = psg.vertex(top[0]);
         assert_eq!(loop1.kind, LocalKind::Loop);
-        let LocalChildren::Seq(body) = &loop1.children else { panic!() };
+        let LocalChildren::Seq(body) = &loop1.children else {
+            panic!()
+        };
         assert_eq!(body.len(), 5);
         assert_eq!(psg.vertex(body[0]).kind, LocalKind::CompStmt);
         assert_eq!(psg.vertex(body[1]).kind, LocalKind::Loop);
         assert_eq!(psg.vertex(body[2]).kind, LocalKind::Loop);
         assert_eq!(
             psg.vertex(body[3]).kind,
-            LocalKind::DirectCall { callee: "foo".into() }
+            LocalKind::DirectCall {
+                callee: "foo".into()
+            }
         );
         assert_eq!(psg.vertex(body[4]).kind, LocalKind::Mpi(MpiKind::Bcast));
     }
@@ -241,10 +277,14 @@ mod tests {
     fn fig3_foo_local_psg_shape() {
         let psg = local(FIG3, "foo");
         let entry = psg.vertex(psg.root);
-        let LocalChildren::Seq(top) = &entry.children else { panic!() };
+        let LocalChildren::Seq(top) = &entry.children else {
+            panic!()
+        };
         let branch = psg.vertex(top[0]);
         assert_eq!(branch.kind, LocalKind::Branch);
-        let LocalChildren::Arms { then_arm, else_arm } = &branch.children else { panic!() };
+        let LocalChildren::Arms { then_arm, else_arm } = &branch.children else {
+            panic!()
+        };
         assert_eq!(psg.vertex(then_arm[0]).kind, LocalKind::Mpi(MpiKind::Send));
         assert_eq!(psg.vertex(else_arm[0]).kind, LocalKind::Mpi(MpiKind::Recv));
         assert!(psg.has_direct_mpi());
@@ -265,8 +305,13 @@ mod tests {
 
     #[test]
     fn while_is_a_loop_vertex() {
-        let psg = local("fn main() { let x = 4; while x > 0 { x = x - 1; } }", "main");
-        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let psg = local(
+            "fn main() { let x = 4; while x > 0 { x = x - 1; } }",
+            "main",
+        );
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         assert_eq!(psg.vertex(top[1]).kind, LocalKind::Loop);
     }
 
@@ -276,14 +321,18 @@ mod tests {
             "fn main() { let f = &leaf; call f(); } fn leaf() { }",
             "main",
         );
-        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         assert_eq!(psg.vertex(top[1]).kind, LocalKind::IndirectCall);
     }
 
     #[test]
     fn spans_point_at_source_lines() {
         let psg = local(FIG3, "main");
-        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let LocalChildren::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         let loop1 = psg.vertex(top[0]);
         assert_eq!(loop1.span.line, 4); // `for i in 0 .. N` line in FIG3
     }

@@ -247,7 +247,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let mut a = VertexPerf { time: 1.0, count: 1, tot_ins: 10.0, ..Default::default() };
+        let mut a = VertexPerf {
+            time: 1.0,
+            count: 1,
+            tot_ins: 10.0,
+            ..Default::default()
+        };
         let b = VertexPerf {
             time: 0.5,
             count: 2,

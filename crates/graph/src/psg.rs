@@ -30,7 +30,10 @@ pub struct PsgOptions {
 
 impl Default for PsgOptions {
     fn default() -> Self {
-        PsgOptions { max_loop_depth: 10, contract: true }
+        PsgOptions {
+            max_loop_depth: 10,
+            contract: true,
+        }
     }
 }
 
@@ -70,7 +73,13 @@ pub fn build(program: &Program, opts: &PsgOptions) -> Psg {
     let vbc = expansion.vertices.len();
 
     let (vertices, root, stmt_map) = if opts.contract {
-        let contracted = contract(&expansion.vertices, expansion.root, &mpi_flags, opts.max_loop_depth, 0);
+        let contracted = contract(
+            &expansion.vertices,
+            expansion.root,
+            &mpi_flags,
+            opts.max_loop_depth,
+            0,
+        );
         let stmt_map = expansion
             .stmt_map
             .iter()
@@ -166,7 +175,10 @@ impl Psg {
         let mut cursor = Some(ctx);
         while let Some(c) = cursor {
             if self.ctx_func(c) == callee {
-                self.indirect.entry((ctx, stmt)).or_default().push((callee.to_string(), c));
+                self.indirect
+                    .entry((ctx, stmt))
+                    .or_default()
+                    .push((callee.to_string(), c));
                 return Some(c);
             }
             cursor = self.ctx_parent(c);
@@ -189,7 +201,13 @@ impl Psg {
 
         let base = self.vertices.len() as VertexId;
         let (mut region, region_root, region_map) = if self.opts.contract {
-            let c = contract(&expansion.vertices, expansion.root, &self.mpi_flags, self.opts.max_loop_depth, base);
+            let c = contract(
+                &expansion.vertices,
+                expansion.root,
+                &self.mpi_flags,
+                self.opts.max_loop_depth,
+                base,
+            );
             (c.vertices, c.root, c.map)
         } else {
             // Raw splice: offset ids without contraction.
@@ -230,7 +248,10 @@ impl Psg {
         for (key, target) in &expansion.transitions {
             self.transitions.insert(*key, *target);
         }
-        self.indirect.entry((ctx, stmt)).or_default().push((callee.to_string(), new_ctx));
+        self.indirect
+            .entry((ctx, stmt))
+            .or_default()
+            .push((callee.to_string(), new_ctx));
         self.stats = PsgStats::compute(self.stats.vbc + expansion.vertices.len(), &self.vertices);
         Some(new_ctx)
     }
@@ -350,7 +371,9 @@ mod tests {
     #[test]
     fn seq_pred_and_parent_navigation() {
         let psg = psg_of("fn main() { comp(cycles = 1); barrier(); allreduce(bytes = 8); }");
-        let Children::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let Children::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         assert_eq!(psg.seq_pred(top[2]), Some(top[1]));
         assert_eq!(psg.seq_pred(top[1]), Some(top[0]));
         assert_eq!(psg.seq_pred(top[0]), None);
@@ -359,9 +382,13 @@ mod tests {
 
     #[test]
     fn loop_end_is_last_body_vertex() {
-        let psg = psg_of("fn main() { for i in 0 .. 2 { barrier(); comp(cycles = 1); \
-                          allreduce(bytes = 8); } }");
-        let Children::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let psg = psg_of(
+            "fn main() { for i in 0 .. 2 { barrier(); comp(cycles = 1); \
+                          allreduce(bytes = 8); } }",
+        );
+        let Children::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         let end = psg.loop_end(top[0]).unwrap();
         assert_eq!(psg.vertex(end).kind, VertexKind::Mpi(MpiKind::Allreduce));
     }
@@ -372,11 +399,16 @@ mod tests {
             "fn main() { if rank == 0 { barrier(); } else { comp(cycles = 1); \
              allreduce(bytes = 8); } }",
         );
-        let Children::Seq(top) = &psg.vertex(psg.root).children else { panic!() };
+        let Children::Seq(top) = &psg.vertex(psg.root).children else {
+            panic!()
+        };
         let ends = psg.branch_arm_ends(top[0]);
         assert_eq!(ends.len(), 2);
         assert_eq!(psg.vertex(ends[0]).kind, VertexKind::Mpi(MpiKind::Barrier));
-        assert_eq!(psg.vertex(ends[1]).kind, VertexKind::Mpi(MpiKind::Allreduce));
+        assert_eq!(
+            psg.vertex(ends[1]).kind,
+            VertexKind::Mpi(MpiKind::Allreduce)
+        );
     }
 
     #[test]
@@ -395,12 +427,18 @@ mod tests {
             found.unwrap()
         };
         let before = psg.vertex_count();
-        assert!(psg.enter_indirect(ROOT_CTX, callsite_stmt, "leaf").is_none());
-        let ctx = psg.resolve_indirect(ROOT_CTX, callsite_stmt, "leaf").unwrap();
+        assert!(psg
+            .enter_indirect(ROOT_CTX, callsite_stmt, "leaf")
+            .is_none());
+        let ctx = psg
+            .resolve_indirect(ROOT_CTX, callsite_stmt, "leaf")
+            .unwrap();
         assert!(psg.vertex_count() > before);
         assert_eq!(psg.ctx_func(ctx), "leaf");
         // Second resolution is idempotent.
-        let ctx2 = psg.resolve_indirect(ROOT_CTX, callsite_stmt, "leaf").unwrap();
+        let ctx2 = psg
+            .resolve_indirect(ROOT_CTX, callsite_stmt, "leaf")
+            .unwrap();
         assert_eq!(ctx, ctx2);
         // The callee's barrier is now attributable.
         let barrier_stmt = {
@@ -435,7 +473,13 @@ mod tests {
         let src = "fn main() { let a = 1; let b = 2; let c = 3; barrier(); }";
         let program = parse_program("t.mmpi", src).unwrap();
         let contracted = build(&program, &PsgOptions::default());
-        let raw = build(&program, &PsgOptions { contract: false, ..Default::default() });
+        let raw = build(
+            &program,
+            &PsgOptions {
+                contract: false,
+                ..Default::default()
+            },
+        );
         assert!(raw.vertex_count() > contracted.vertex_count());
         assert_eq!(raw.stats.vbc, raw.stats.vac);
     }

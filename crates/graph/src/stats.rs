@@ -29,7 +29,11 @@ pub struct PsgStats {
 impl PsgStats {
     /// Count kinds over a final vertex table.
     pub fn compute(vbc: usize, vertices: &[Vertex]) -> PsgStats {
-        let mut stats = PsgStats { vbc, vac: vertices.len(), ..Default::default() };
+        let mut stats = PsgStats {
+            vbc,
+            vac: vertices.len(),
+            ..Default::default()
+        };
         for v in vertices {
             match v.kind {
                 VertexKind::Root => {}
@@ -95,8 +99,19 @@ mod tests {
 
     #[test]
     fn display_matches_table_headers() {
-        let s = PsgStats { vbc: 10, vac: 4, loops: 1, branches: 0, comps: 2, mpis: 1, ..Default::default() };
-        assert_eq!(s.to_string(), "#VBC=10 #VAC=4 #Loop=1 #Branch=0 #Comp=2 #MPI=1");
+        let s = PsgStats {
+            vbc: 10,
+            vac: 4,
+            loops: 1,
+            branches: 0,
+            comps: 2,
+            mpis: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.to_string(),
+            "#VBC=10 #VAC=4 #Loop=1 #Branch=0 #Comp=2 #MPI=1"
+        );
         assert!((s.reduction() - 0.6).abs() < 1e-9);
     }
 

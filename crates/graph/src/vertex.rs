@@ -239,7 +239,9 @@ mod tests {
 
     #[test]
     fn mpi_kind_classification() {
-        let op = MpiOp::Allreduce { bytes: Expr::Int(8) };
+        let op = MpiOp::Allreduce {
+            bytes: Expr::Int(8),
+        };
         assert_eq!(MpiKind::of(&op), MpiKind::Allreduce);
         assert!(MpiKind::Allreduce.is_collective());
         assert!(!MpiKind::Sendrecv.is_collective());
@@ -249,7 +251,10 @@ mod tests {
 
     #[test]
     fn children_all_concatenates_arms() {
-        let c = Children::Arms { then_arm: vec![1, 2], else_arm: vec![3] };
+        let c = Children::Arms {
+            then_arm: vec![1, 2],
+            else_arm: vec![3],
+        };
         assert_eq!(c.all(), vec![1, 2, 3]);
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());

@@ -41,7 +41,8 @@ impl Program {
 
     /// The entry function. Panics if semantic checking did not run.
     pub fn main(&self) -> &Function {
-        self.function("main").expect("checked program must have `main`")
+        self.function("main")
+            .expect("checked program must have `main`")
     }
 
     /// Index of a function by name (used as the runtime function id for
@@ -57,7 +58,11 @@ impl Program {
                 f(stmt);
                 match &stmt.kind {
                     StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(body, f),
-                    StmtKind::If { then_block, else_block, .. } => {
+                    StmtKind::If {
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
                         walk(then_block, f);
                         if let Some(e) = else_block {
                             walk(e, f);
@@ -382,7 +387,11 @@ pub enum Expr {
 impl Expr {
     /// Convenience: binary op constructor.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience: variable reference.
@@ -503,25 +512,35 @@ mod tests {
     use crate::span::Span;
 
     fn stmt(id: NodeId, kind: StmtKind) -> Stmt {
-        Stmt { id, span: Span::synthetic("t.mmpi", id), kind }
+        Stmt {
+            id,
+            span: Span::synthetic("t.mmpi", id),
+            kind,
+        }
     }
 
     #[test]
     fn for_each_stmt_visits_nested_bodies() {
-        let inner = stmt(2, StmtKind::Comp(CompAttrs {
-            cycles: Expr::Int(1),
-            ins: None,
-            lst: None,
-            l2_miss: None,
-            br_miss: None,
-        }));
+        let inner = stmt(
+            2,
+            StmtKind::Comp(CompAttrs {
+                cycles: Expr::Int(1),
+                ins: None,
+                lst: None,
+                l2_miss: None,
+                br_miss: None,
+            }),
+        );
         let body = Block { stmts: vec![inner] };
-        let outer = stmt(1, StmtKind::For {
-            var: "i".into(),
-            start: Expr::Int(0),
-            end: Expr::Int(4),
-            body,
-        });
+        let outer = stmt(
+            1,
+            StmtKind::For {
+                var: "i".into(),
+                start: Expr::Int(0),
+                end: Expr::Int(4),
+                body,
+            },
+        );
         let program = Program {
             file_name: "t.mmpi".into(),
             params: vec![],
@@ -541,7 +560,10 @@ mod tests {
 
     #[test]
     fn collective_classification_matches_paper() {
-        assert!(MpiOp::Allreduce { bytes: Expr::Int(8) }.is_collective());
+        assert!(MpiOp::Allreduce {
+            bytes: Expr::Int(8)
+        }
+        .is_collective());
         assert!(MpiOp::Barrier.is_collective());
         assert!(!MpiOp::Send {
             dst: Expr::Int(0),
@@ -549,7 +571,10 @@ mod tests {
             bytes: Expr::Int(1)
         }
         .is_collective());
-        assert!(!MpiOp::Wait { req: Expr::var("r") }.is_collective());
+        assert!(!MpiOp::Wait {
+            req: Expr::var("r")
+        }
+        .is_collective());
     }
 
     #[test]
@@ -566,7 +591,12 @@ mod tests {
 
     #[test]
     fn builtin_round_trip() {
-        for b in [BuiltinFn::Min, BuiltinFn::Max, BuiltinFn::Log2, BuiltinFn::Abs] {
+        for b in [
+            BuiltinFn::Min,
+            BuiltinFn::Max,
+            BuiltinFn::Log2,
+            BuiltinFn::Abs,
+        ] {
             assert_eq!(BuiltinFn::from_name(b.name()), Some(b));
         }
         assert_eq!(BuiltinFn::from_name("sin"), None);

@@ -68,22 +68,34 @@ pub fn func_ref(name: &str) -> Expr {
 
 /// Two-argument maximum.
 pub fn max(a: Expr, b: Expr) -> Expr {
-    Expr::Builtin { func: BuiltinFn::Max, args: vec![a, b] }
+    Expr::Builtin {
+        func: BuiltinFn::Max,
+        args: vec![a, b],
+    }
 }
 
 /// Two-argument minimum.
 pub fn min(a: Expr, b: Expr) -> Expr {
-    Expr::Builtin { func: BuiltinFn::Min, args: vec![a, b] }
+    Expr::Builtin {
+        func: BuiltinFn::Min,
+        args: vec![a, b],
+    }
 }
 
 /// Floor log2 (0 for inputs <= 1).
 pub fn log2(a: Expr) -> Expr {
-    Expr::Builtin { func: BuiltinFn::Log2, args: vec![a] }
+    Expr::Builtin {
+        func: BuiltinFn::Log2,
+        args: vec![a],
+    }
 }
 
 /// Absolute value.
 pub fn abs(a: Expr) -> Expr {
-    Expr::Builtin { func: BuiltinFn::Abs, args: vec![a] }
+    Expr::Builtin {
+        func: BuiltinFn::Abs,
+        args: vec![a],
+    }
 }
 
 /// Comparison: `a == b`.
@@ -164,7 +176,10 @@ impl std::ops::Rem for Expr {
 impl std::ops::Neg for Expr {
     type Output = Expr;
     fn neg(self) -> Expr {
-        Expr::Unary { op: UnOp::Neg, expr: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(self),
+        }
     }
 }
 
@@ -179,7 +194,13 @@ pub struct CompSpec {
 /// Start a comp spec from its (required) cycle cost.
 pub fn comp_cycles(cycles: Expr) -> CompSpec {
     CompSpec {
-        attrs: CompAttrs { cycles, ins: None, lst: None, l2_miss: None, br_miss: None },
+        attrs: CompAttrs {
+            cycles,
+            ins: None,
+            lst: None,
+            l2_miss: None,
+            br_miss: None,
+        },
     }
 }
 
@@ -233,7 +254,11 @@ impl Gen {
     fn next_stmt(&mut self, kind: StmtKind) -> Stmt {
         let id = self.next_id;
         self.next_id += 1;
-        Stmt { id, span: self.next_span(), kind }
+        Stmt {
+            id,
+            span: self.next_span(),
+            kind,
+        }
     }
 }
 
@@ -266,9 +291,17 @@ impl ProgramBuilder {
 
     /// Declare a tunable parameter with its default.
     pub fn param(&mut self, name: &str, default: i64) -> &mut Self {
-        let span = Span::new(self.generator.default_file.clone(), self.generator.next_line, 0);
+        let span = Span::new(
+            self.generator.default_file.clone(),
+            self.generator.next_line,
+            0,
+        );
         self.generator.next_line += 1;
-        self.params.push(ParamDecl { name: name.to_string(), default, span });
+        self.params.push(ParamDecl {
+            name: name.to_string(),
+            default,
+            span,
+        });
         self
     }
 
@@ -279,9 +312,16 @@ impl ProgramBuilder {
         params: &[&str],
         build: impl FnOnce(&mut BlockBuilder<'_>),
     ) -> &mut Self {
-        let span = Span::new(self.generator.default_file.clone(), self.generator.next_line, 0);
+        let span = Span::new(
+            self.generator.default_file.clone(),
+            self.generator.next_line,
+            0,
+        );
         self.generator.next_line += 1;
-        let mut block = BlockBuilder { generator: &mut self.generator, stmts: Vec::new() };
+        let mut block = BlockBuilder {
+            generator: &mut self.generator,
+            stmts: Vec::new(),
+        };
         build(&mut block);
         let body = Block { stmts: block.stmts };
         self.functions.push(Function {
@@ -319,7 +359,10 @@ impl<'a> BlockBuilder<'a> {
     }
 
     fn child(&mut self, build: impl FnOnce(&mut BlockBuilder<'_>)) -> Block {
-        let mut block = BlockBuilder { generator: self.generator, stmts: Vec::new() };
+        let mut block = BlockBuilder {
+            generator: self.generator,
+            stmts: Vec::new(),
+        };
         build(&mut block);
         Block { stmts: block.stmts }
     }
@@ -333,12 +376,18 @@ impl<'a> BlockBuilder<'a> {
 
     /// `let name = value;`
     pub fn let_(&mut self, name: &str, value: Expr) {
-        self.push(StmtKind::Let { name: name.to_string(), value });
+        self.push(StmtKind::Let {
+            name: name.to_string(),
+            value,
+        });
     }
 
     /// `name = value;`
     pub fn assign(&mut self, name: &str, value: Expr) {
-        self.push(StmtKind::Assign { name: name.to_string(), value });
+        self.push(StmtKind::Assign {
+            name: name.to_string(),
+            value,
+        });
     }
 
     /// `for var in start .. end { .. }`
@@ -358,7 +407,12 @@ impl<'a> BlockBuilder<'a> {
         self.stmts.push(Stmt {
             id,
             span,
-            kind: StmtKind::For { var: var.to_string(), start, end, body },
+            kind: StmtKind::For {
+                var: var.to_string(),
+                start,
+                end,
+                body,
+            },
         });
     }
 
@@ -368,7 +422,11 @@ impl<'a> BlockBuilder<'a> {
         let id = self.generator.next_id;
         self.generator.next_id += 1;
         let body = self.child(build);
-        self.stmts.push(Stmt { id, span, kind: StmtKind::While { cond, body } });
+        self.stmts.push(Stmt {
+            id,
+            span,
+            kind: StmtKind::While { cond, body },
+        });
     }
 
     /// `if cond { .. }`
@@ -380,7 +438,11 @@ impl<'a> BlockBuilder<'a> {
         self.stmts.push(Stmt {
             id,
             span,
-            kind: StmtKind::If { cond, then_block, else_block: None },
+            kind: StmtKind::If {
+                cond,
+                then_block,
+                else_block: None,
+            },
         });
     }
 
@@ -396,12 +458,23 @@ impl<'a> BlockBuilder<'a> {
         self.generator.next_id += 1;
         let then_block = self.child(build_then);
         let else_block = Some(self.child(build_else));
-        self.stmts.push(Stmt { id, span, kind: StmtKind::If { cond, then_block, else_block } });
+        self.stmts.push(Stmt {
+            id,
+            span,
+            kind: StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            },
+        });
     }
 
     /// `callee(args..);`
     pub fn call(&mut self, callee: &str, args: Vec<Expr>) {
-        self.push(StmtKind::Call { callee: callee.to_string(), args });
+        self.push(StmtKind::Call {
+            callee: callee.to_string(),
+            args,
+        });
     }
 
     /// `call target(args..);`
@@ -442,12 +515,21 @@ impl<'a> BlockBuilder<'a> {
 
     /// `let req = isend(dst, tag, bytes);`
     pub fn isend(&mut self, req: &str, dst: Expr, tag: Expr, bytes: Expr) {
-        self.push(StmtKind::Mpi(MpiOp::Isend { dst, tag, bytes, req: req.to_string() }));
+        self.push(StmtKind::Mpi(MpiOp::Isend {
+            dst,
+            tag,
+            bytes,
+            req: req.to_string(),
+        }));
     }
 
     /// `let req = irecv(src, tag);`
     pub fn irecv(&mut self, req: &str, src: Expr, tag: Expr) {
-        self.push(StmtKind::Mpi(MpiOp::Irecv { src, tag, req: req.to_string() }));
+        self.push(StmtKind::Mpi(MpiOp::Irecv {
+            src,
+            tag,
+            req: req.to_string(),
+        }));
     }
 
     /// `wait(req);`

@@ -18,8 +18,24 @@ use std::collections::HashSet;
 
 /// Names that cannot be used for functions (intrinsics would shadow them).
 const INTRINSIC_NAMES: &[&str] = &[
-    "comp", "send", "recv", "sendrecv", "isend", "irecv", "wait", "waitall", "barrier", "bcast",
-    "reduce", "allreduce", "alltoall", "allgather", "min", "max", "log2", "abs",
+    "comp",
+    "send",
+    "recv",
+    "sendrecv",
+    "isend",
+    "irecv",
+    "wait",
+    "waitall",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "alltoall",
+    "allgather",
+    "min",
+    "max",
+    "log2",
+    "abs",
 ];
 
 /// Reserved variable names provided by the runtime.
@@ -113,7 +129,10 @@ impl Scopes {
     }
 
     fn define(&mut self, name: &str) {
-        self.stack.last_mut().expect("scope stack non-empty").insert(name.to_string());
+        self.stack
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.to_string());
     }
 
     fn is_defined(&self, name: &str) -> bool {
@@ -161,13 +180,21 @@ fn check_stmt(
         StmtKind::Assign { name, value } => {
             if !scopes.is_defined(name) {
                 return Err(LangError::semantic(
-                    format!("assignment to undefined variable `{name}` in `{}`", func.name),
+                    format!(
+                        "assignment to undefined variable `{name}` in `{}`",
+                        func.name
+                    ),
                     Some(span.clone()),
                 ));
             }
             check_expr(program, value, scopes, span)?;
         }
-        StmtKind::For { var, start, end, body } => {
+        StmtKind::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
             check_expr(program, start, scopes, span)?;
             check_expr(program, end, scopes, span)?;
             scopes.push();
@@ -179,7 +206,11 @@ fn check_stmt(
             check_expr(program, cond, scopes, span)?;
             check_block(program, func, body, scopes)?;
         }
-        StmtKind::If { cond, then_block, else_block } => {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             check_expr(program, cond, scopes, span)?;
             check_block(program, func, then_block, scopes)?;
             if let Some(e) = else_block {
@@ -215,7 +246,10 @@ fn check_stmt(
         }
         StmtKind::Comp(attrs) => {
             check_expr(program, &attrs.cycles, scopes, span)?;
-            for e in [&attrs.ins, &attrs.lst, &attrs.l2_miss, &attrs.br_miss].into_iter().flatten() {
+            for e in [&attrs.ins, &attrs.lst, &attrs.l2_miss, &attrs.br_miss]
+                .into_iter()
+                .flatten()
+            {
                 check_expr(program, e, scopes, span)?;
             }
         }
@@ -232,10 +266,21 @@ fn check_mpi(program: &Program, op: &MpiOp, scopes: &mut Scopes, span: &Span) ->
     match op {
         MpiOp::Send { dst, tag, bytes } => exprs.extend([dst, tag, bytes]),
         MpiOp::Recv { src, tag } => exprs.extend([src, tag]),
-        MpiOp::Sendrecv { dst, sendtag, src, recvtag, bytes } => {
+        MpiOp::Sendrecv {
+            dst,
+            sendtag,
+            src,
+            recvtag,
+            bytes,
+        } => {
             exprs.extend([dst, sendtag, src, recvtag, bytes]);
         }
-        MpiOp::Isend { dst, tag, bytes, req } => {
+        MpiOp::Isend {
+            dst,
+            tag,
+            bytes,
+            req,
+        } => {
             exprs.extend([dst, tag, bytes]);
             scopes.define(req);
         }
@@ -364,8 +409,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_arity() {
-        let err =
-            parse_program("t.mmpi", "fn main() { f(1, 2); } fn f(a) { }").unwrap_err();
+        let err = parse_program("t.mmpi", "fn main() { f(1, 2); } fn f(a) { }").unwrap_err();
         assert!(err.message.contains("takes 1 argument(s), got 2"));
     }
 

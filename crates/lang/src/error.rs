@@ -31,17 +31,29 @@ pub enum ErrorKind {
 impl LangError {
     /// Construct a lexer error.
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        LangError { kind: ErrorKind::Lex, message: message.into(), span: Some(span) }
+        LangError {
+            kind: ErrorKind::Lex,
+            message: message.into(),
+            span: Some(span),
+        }
     }
 
     /// Construct a parser error.
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        LangError { kind: ErrorKind::Parse, message: message.into(), span: Some(span) }
+        LangError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+            span: Some(span),
+        }
     }
 
     /// Construct a semantic error.
     pub fn semantic(message: impl Into<String>, span: Option<Span>) -> Self {
-        LangError { kind: ErrorKind::Semantic, message: message.into(), span }
+        LangError {
+            kind: ErrorKind::Semantic,
+            message: message.into(),
+            span,
+        }
     }
 }
 

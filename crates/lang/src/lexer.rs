@@ -61,7 +61,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span = self.span();
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -121,7 +124,9 @@ impl<'a> Lexer<'a> {
                     value = value
                         .checked_mul(10)
                         .and_then(|v| v.checked_add(digit))
-                        .ok_or_else(|| LangError::lex("integer literal overflows i64", span.clone()))?;
+                        .ok_or_else(|| {
+                            LangError::lex("integer literal overflows i64", span.clone())
+                        })?;
                     self.bump();
                 }
                 b'_' => {
@@ -254,7 +259,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex("t.mmpi", src).unwrap().into_iter().map(|t| t.kind).collect()
+        lex("t.mmpi", src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -291,7 +300,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = kinds("// hello\n1 /* mid */ 2");
-        assert_eq!(toks, vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]);
+        assert_eq!(
+            toks,
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
     }
 
     #[test]

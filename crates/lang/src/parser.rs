@@ -93,7 +93,10 @@ impl Parser {
                 self.bump();
                 Ok((name, span))
             }
-            other => Err(LangError::parse(format!("expected identifier, found {other}"), span)),
+            other => Err(LangError::parse(
+                format!("expected identifier, found {other}"),
+                span,
+            )),
         }
     }
 
@@ -156,7 +159,11 @@ impl Parser {
             }
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(ParamDecl { name, default, span })
+        Ok(ParamDecl {
+            name,
+            default,
+            span,
+        })
     }
 
     fn function(&mut self) -> LangResult<Function> {
@@ -178,7 +185,12 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen)?;
         let body = self.block()?;
-        Ok(Function { name, params, body, span })
+        Ok(Function {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> LangResult<Block> {
@@ -186,7 +198,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while *self.peek() != TokenKind::RBrace {
             if *self.peek() == TokenKind::Eof {
-                return Err(LangError::parse("unexpected end of input in block", self.span()));
+                return Err(LangError::parse(
+                    "unexpected end of input in block",
+                    self.span(),
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -210,7 +225,10 @@ impl Parser {
             TokenKind::KwCall => self.call_indirect_stmt()?,
             TokenKind::Ident(name) => self.ident_stmt(name)?,
             other => {
-                return Err(LangError::parse(format!("expected statement, found {other}"), span));
+                return Err(LangError::parse(
+                    format!("expected statement, found {other}"),
+                    span,
+                ));
             }
         };
         Ok(Stmt { id, span, kind })
@@ -244,7 +262,12 @@ impl Parser {
         self.expect(&TokenKind::DotDot)?;
         let end = self.expr()?;
         let body = self.block()?;
-        Ok(StmtKind::For { var, start, end, body })
+        Ok(StmtKind::For {
+            var,
+            start,
+            end,
+            body,
+        })
     }
 
     fn while_stmt(&mut self) -> LangResult<StmtKind> {
@@ -265,14 +288,20 @@ impl Parser {
                 let span = self.span();
                 let id = self.fresh_id();
                 let kind = self.if_stmt()?;
-                Some(Block { stmts: vec![Stmt { id, span, kind }] })
+                Some(Block {
+                    stmts: vec![Stmt { id, span, kind }],
+                })
             } else {
                 Some(self.block()?)
             }
         } else {
             None
         };
-        Ok(StmtKind::If { cond, then_block, else_block })
+        Ok(StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        })
     }
 
     fn call_indirect_stmt(&mut self) -> LangResult<StmtKind> {
@@ -354,7 +383,10 @@ impl Parser {
             }
             positional.push(arg.value);
         }
-        Ok(StmtKind::Call { callee: name, args: positional })
+        Ok(StmtKind::Call {
+            callee: name,
+            args: positional,
+        })
     }
 
     fn arg_list(&mut self) -> LangResult<Vec<Arg>> {
@@ -466,12 +498,18 @@ impl Parser {
             TokenKind::Minus => {
                 self.bump();
                 let expr = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                })
             }
             TokenKind::Bang => {
                 self.bump();
                 let expr = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                })
             }
             _ => self.primary(),
         }
@@ -500,8 +538,10 @@ impl Parser {
                 if *self.peek() == TokenKind::LParen {
                     let func = BuiltinFn::from_name(&name).ok_or_else(|| {
                         LangError::parse(
-                            format!("unknown builtin `{name}` in expression (user functions \
-                                     cannot be called in expressions)"),
+                            format!(
+                                "unknown builtin `{name}` in expression (user functions \
+                                     cannot be called in expressions)"
+                            ),
                             span.clone(),
                         )
                     })?;
@@ -534,7 +574,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(LangError::parse(format!("expected expression, found {other}"), span)),
+            other => Err(LangError::parse(
+                format!("expected expression, found {other}"),
+                span,
+            )),
         }
     }
 }
@@ -615,7 +658,13 @@ fn build_nonblocking(callee: &str, req: String, args: Vec<Arg>, span: &Span) -> 
 fn build_intrinsic(name: &str, args: &[Arg], span: &Span) -> LangResult<Option<StmtKind>> {
     let kind = match name {
         "comp" => {
-            validate_names(args, &["cycles", "ins", "lst", "miss", "brmiss"], name, span, false)?;
+            validate_names(
+                args,
+                &["cycles", "ins", "lst", "miss", "brmiss"],
+                name,
+                span,
+                false,
+            )?;
             StmtKind::Comp(CompAttrs {
                 cycles: required(args, "cycles", name, span)?,
                 ins: find_arg(args, "ins"),
@@ -640,7 +689,13 @@ fn build_intrinsic(name: &str, args: &[Arg], span: &Span) -> LangResult<Option<S
             })
         }
         "sendrecv" => {
-            validate_names(args, &["dst", "sendtag", "src", "recvtag", "bytes"], name, span, false)?;
+            validate_names(
+                args,
+                &["dst", "sendtag", "src", "recvtag", "bytes"],
+                name,
+                span,
+                false,
+            )?;
             StmtKind::Mpi(MpiOp::Sendrecv {
                 dst: required(args, "dst", name, span)?,
                 sendtag: optional(args, "sendtag", 0),
@@ -671,13 +726,19 @@ fn build_intrinsic(name: &str, args: &[Arg], span: &Span) -> LangResult<Option<S
         }
         "waitall" => {
             if !args.is_empty() {
-                return Err(LangError::parse("intrinsic `waitall` takes no arguments", span.clone()));
+                return Err(LangError::parse(
+                    "intrinsic `waitall` takes no arguments",
+                    span.clone(),
+                ));
             }
             StmtKind::Mpi(MpiOp::Waitall)
         }
         "barrier" => {
             if !args.is_empty() {
-                return Err(LangError::parse("intrinsic `barrier` takes no arguments", span.clone()));
+                return Err(LangError::parse(
+                    "intrinsic `barrier` takes no arguments",
+                    span.clone(),
+                ));
             }
             StmtKind::Mpi(MpiOp::Barrier)
         }
@@ -697,15 +758,21 @@ fn build_intrinsic(name: &str, args: &[Arg], span: &Span) -> LangResult<Option<S
         }
         "allreduce" => {
             validate_names(args, &["bytes"], name, span, false)?;
-            StmtKind::Mpi(MpiOp::Allreduce { bytes: optional(args, "bytes", 8) })
+            StmtKind::Mpi(MpiOp::Allreduce {
+                bytes: optional(args, "bytes", 8),
+            })
         }
         "alltoall" => {
             validate_names(args, &["bytes"], name, span, false)?;
-            StmtKind::Mpi(MpiOp::Alltoall { bytes: optional(args, "bytes", 8) })
+            StmtKind::Mpi(MpiOp::Alltoall {
+                bytes: optional(args, "bytes", 8),
+            })
         }
         "allgather" => {
             validate_names(args, &["bytes"], name, span, false)?;
-            StmtKind::Mpi(MpiOp::Allgather { bytes: optional(args, "bytes", 8) })
+            StmtKind::Mpi(MpiOp::Allgather {
+                bytes: optional(args, "bytes", 8),
+            })
         }
         _ => return Ok(None),
     };
@@ -760,7 +827,11 @@ mod tests {
             "fn main() { if rank == 0 { barrier(); } else if rank == 1 { barrier(); } \
              else { barrier(); } }",
         );
-        let StmtKind::If { else_block: Some(eb), .. } = &stmts[0].kind else {
+        let StmtKind::If {
+            else_block: Some(eb),
+            ..
+        } = &stmts[0].kind
+        else {
             panic!("expected if");
         };
         assert!(matches!(eb.stmts[0].kind, StmtKind::If { .. }));
@@ -778,9 +849,8 @@ mod tests {
 
     #[test]
     fn parses_nonblocking_binding() {
-        let stmts = main_stmts(
-            "fn main() { let r = irecv(src = any, tag = 3); wait(r); waitall(); }",
-        );
+        let stmts =
+            main_stmts("fn main() { let r = irecv(src = any, tag = 3); wait(r); waitall(); }");
         let StmtKind::Mpi(MpiOp::Irecv { req, src, .. }) = &stmts[0].kind else {
             panic!("expected irecv");
         };
@@ -798,10 +868,11 @@ mod tests {
 
     #[test]
     fn parses_direct_and_indirect_calls() {
-        let stmts = main_stmts(
-            "fn main() { foo(1, rank); let f = &foo; call f(2); } fn foo(a, b) { }",
+        let stmts =
+            main_stmts("fn main() { foo(1, rank); let f = &foo; call f(2); } fn foo(a, b) { }");
+        assert!(
+            matches!(&stmts[0].kind, StmtKind::Call { callee, args } if callee == "foo" && args.len() == 2)
         );
-        assert!(matches!(&stmts[0].kind, StmtKind::Call { callee, args } if callee == "foo" && args.len() == 2));
         assert!(matches!(&stmts[1].kind, StmtKind::Let { .. }));
         assert!(matches!(&stmts[2].kind, StmtKind::CallIndirect { .. }));
     }
@@ -815,18 +886,26 @@ mod tests {
     #[test]
     fn expression_precedence() {
         let stmts = main_stmts("fn main() { let x = 1 + 2 * 3; }");
-        let StmtKind::Let { value, .. } = &stmts[0].kind else { panic!() };
+        let StmtKind::Let { value, .. } = &stmts[0].kind else {
+            panic!()
+        };
         // 1 + (2 * 3)
         assert_eq!(
             *value,
-            Expr::bin(BinOp::Add, Expr::Int(1), Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
+            Expr::bin(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
         );
     }
 
     #[test]
     fn logical_and_comparison_precedence() {
         let stmts = main_stmts("fn main() { let x = rank < 2 && nprocs > 4 || 0; }");
-        let StmtKind::Let { value, .. } = &stmts[0].kind else { panic!() };
+        let StmtKind::Let { value, .. } = &stmts[0].kind else {
+            panic!()
+        };
         let Expr::Binary { op: BinOp::Or, .. } = value else {
             panic!("|| should be outermost: {value:?}");
         };
@@ -842,10 +921,9 @@ mod tests {
 
     #[test]
     fn node_ids_are_unique_and_dense() {
-        let program = parse_src(
-            "fn main() { let a = 1; for i in 0 .. 2 { comp(cycles = 1); } barrier(); }",
-        )
-        .unwrap();
+        let program =
+            parse_src("fn main() { let a = 1; for i in 0 .. 2 { comp(cycles = 1); } barrier(); }")
+                .unwrap();
         let mut ids = vec![];
         program.for_each_stmt(|s| ids.push(s.id));
         let mut sorted = ids.clone();
@@ -885,6 +963,9 @@ mod tests {
             "fn main() { sendrecv(dst = (rank + 1) % nprocs, src = (rank + nprocs - 1) % nprocs, \
              sendtag = 1, recvtag = 1, bytes = 64k); }",
         );
-        assert!(matches!(&stmts[0].kind, StmtKind::Mpi(MpiOp::Sendrecv { .. })));
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::Mpi(MpiOp::Sendrecv { .. })
+        ));
     }
 }

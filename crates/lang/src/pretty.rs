@@ -64,7 +64,12 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
         StmtKind::Assign { name, value } => {
             let _ = write!(out, "{name} = {};", expr(value));
         }
-        StmtKind::For { var, start, end, body } => {
+        StmtKind::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
             let _ = write!(out, "for {var} in {} .. {} ", expr(start), expr(end));
             print_block(out, body, level);
         }
@@ -72,7 +77,11 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             let _ = write!(out, "while {} ", expr(cond));
             print_block(out, body, level);
         }
-        StmtKind::If { cond, then_block, else_block } => {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             let _ = write!(out, "if {} ", expr(cond));
             print_block(out, then_block, level);
             if let Some(e) = else_block {
@@ -135,7 +144,13 @@ fn print_mpi(out: &mut String, op: &MpiOp) {
         MpiOp::Recv { src, tag } => {
             let _ = write!(out, "recv(src = {}, tag = {});", expr(src), expr(tag));
         }
-        MpiOp::Sendrecv { dst, sendtag, src, recvtag, bytes } => {
+        MpiOp::Sendrecv {
+            dst,
+            sendtag,
+            src,
+            recvtag,
+            bytes,
+        } => {
             let _ = write!(
                 out,
                 "sendrecv(dst = {}, sendtag = {}, src = {}, recvtag = {}, bytes = {});",
@@ -146,7 +161,12 @@ fn print_mpi(out: &mut String, op: &MpiOp) {
                 expr(bytes)
             );
         }
-        MpiOp::Isend { dst, tag, bytes, req } => {
+        MpiOp::Isend {
+            dst,
+            tag,
+            bytes,
+            req,
+        } => {
             let _ = write!(
                 out,
                 "let {req} = isend(dst = {}, tag = {}, bytes = {});",
@@ -156,7 +176,12 @@ fn print_mpi(out: &mut String, op: &MpiOp) {
             );
         }
         MpiOp::Irecv { src, tag, req } => {
-            let _ = write!(out, "let {req} = irecv(src = {}, tag = {});", expr(src), expr(tag));
+            let _ = write!(
+                out,
+                "let {req} = irecv(src = {}, tag = {});",
+                expr(src),
+                expr(tag)
+            );
         }
         MpiOp::Wait { req } => {
             let _ = write!(out, "wait({});", expr(req));
@@ -164,10 +189,20 @@ fn print_mpi(out: &mut String, op: &MpiOp) {
         MpiOp::Waitall => out.push_str("waitall();"),
         MpiOp::Barrier => out.push_str("barrier();"),
         MpiOp::Bcast { root, bytes } => {
-            let _ = write!(out, "bcast(root = {}, bytes = {});", expr(root), expr(bytes));
+            let _ = write!(
+                out,
+                "bcast(root = {}, bytes = {});",
+                expr(root),
+                expr(bytes)
+            );
         }
         MpiOp::Reduce { root, bytes } => {
-            let _ = write!(out, "reduce(root = {}, bytes = {});", expr(root), expr(bytes));
+            let _ = write!(
+                out,
+                "reduce(root = {}, bytes = {});",
+                expr(root),
+                expr(bytes)
+            );
         }
         MpiOp::Allreduce { bytes } => {
             let _ = write!(out, "allreduce(bytes = {});", expr(bytes));
@@ -246,7 +281,11 @@ fn normalize_block(block: &mut Block, fixed: &Span) {
             StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
                 normalize_block(body, fixed);
             }
-            StmtKind::If { then_block, else_block, .. } => {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 normalize_block(then_block, fixed);
                 if let Some(e) = else_block {
                     normalize_block(e, fixed);

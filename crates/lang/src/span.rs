@@ -18,7 +18,9 @@ pub struct SourceFile {
 impl SourceFile {
     /// Create a new source-file handle.
     pub fn new(name: &str) -> Self {
-        SourceFile { name: Arc::from(name) }
+        SourceFile {
+            name: Arc::from(name),
+        }
     }
 }
 
@@ -41,7 +43,11 @@ impl Span {
 
     /// A placeholder span for synthesized nodes (e.g. from the builder).
     pub fn synthetic(file_name: &str, line: u32) -> Self {
-        Span { file: SourceFile::new(file_name), line, col: 0 }
+        Span {
+            file: SourceFile::new(file_name),
+            line,
+            col: 0,
+        }
     }
 
     /// Render as `file:line`, the format used in root-cause reports.

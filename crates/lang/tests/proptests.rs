@@ -23,15 +23,23 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(depth, 32, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Builtin {
                 func: BuiltinFn::Max,
                 args: vec![a, b],
             }),
-            inner.prop_map(|e| Expr::Builtin { func: BuiltinFn::Abs, args: vec![e] }),
+            inner.prop_map(|e| Expr::Builtin {
+                func: BuiltinFn::Abs,
+                args: vec![e]
+            }),
         ]
     })
     .boxed()
@@ -61,7 +69,13 @@ fn arb_mpi(expr_depth: u32) -> BoxedStrategy<MpiOp> {
         (e(), e(), e()).prop_map(|(dst, tag, bytes)| MpiOp::Send { dst, tag, bytes }),
         (e(), e()).prop_map(|(src, tag)| MpiOp::Recv { src, tag }),
         (e(), e(), e(), e(), e()).prop_map(|(dst, sendtag, src, recvtag, bytes)| {
-            MpiOp::Sendrecv { dst, sendtag, src, recvtag, bytes }
+            MpiOp::Sendrecv {
+                dst,
+                sendtag,
+                src,
+                recvtag,
+                bytes,
+            }
         }),
         Just(MpiOp::Waitall),
         Just(MpiOp::Barrier),
@@ -110,7 +124,11 @@ fn kinds_to_block(kinds: Vec<StmtKind>) -> Block {
     Block {
         stmts: kinds
             .into_iter()
-            .map(|kind| Stmt { id: 0, span: Span::synthetic("gen.mmpi", 1), kind })
+            .map(|kind| Stmt {
+                id: 0,
+                span: Span::synthetic("gen.mmpi", 1),
+                kind,
+            })
             .collect(),
     }
 }
@@ -123,7 +141,11 @@ fn renumber(program: &mut Program) {
             *next += 1;
             match &mut stmt.kind {
                 StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(body, next),
-                StmtKind::If { then_block, else_block, .. } => {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
                     walk(then_block, next);
                     if let Some(e) = else_block {
                         walk(e, next);
@@ -149,12 +171,18 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 Stmt {
                     id: 0,
                     span: Span::synthetic("gen.mmpi", 1),
-                    kind: StmtKind::Let { name: "n0".into(), value: Expr::Int(4) },
+                    kind: StmtKind::Let {
+                        name: "n0".into(),
+                        value: Expr::Int(4),
+                    },
                 },
                 Stmt {
                     id: 0,
                     span: Span::synthetic("gen.mmpi", 2),
-                    kind: StmtKind::Let { name: "n1".into(), value: Expr::Int(7) },
+                    kind: StmtKind::Let {
+                        name: "n1".into(),
+                        value: Expr::Int(7),
+                    },
                 },
             ];
             stmts.append(&mut b.stmts);

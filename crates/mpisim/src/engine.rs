@@ -157,7 +157,12 @@ pub struct Simulation<'p, 'g, 'h> {
 impl<'p, 'g, 'h> Simulation<'p, 'g, 'h> {
     /// Create an uninstrumented simulation.
     pub fn new(program: &'p Program, psg: &'g Psg, config: SimConfig) -> Self {
-        Simulation { program, psg, config, hook: None }
+        Simulation {
+            program,
+            psg,
+            config,
+            hook: None,
+        }
     }
 
     /// Attach a performance tool.
@@ -237,7 +242,11 @@ enum Blocked {
         drop_outstanding: bool,
     },
     /// Rendezvous blocking send waiting for its receiver.
-    RdvSend { kind: MpiKind, vertex: VertexId, enter: f64 },
+    RdvSend {
+        kind: MpiKind,
+        vertex: VertexId,
+        enter: f64,
+    },
     /// Arrived at a collective, waiting for the others.
     Collective { seq: u64, enter: f64 },
 }
@@ -336,7 +345,9 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 if self.status.iter().all(|s| matches!(s, Status::Done)) {
                     break;
                 }
-                return Err(SimError::Deadlock { detail: self.deadlock_detail() });
+                return Err(SimError::Deadlock {
+                    detail: self.deadlock_detail(),
+                });
             }
         }
         let rank_elapsed: Vec<f64> = self.ranks.iter().map(|r| r.clock).collect();
@@ -355,7 +366,10 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 Status::Running => continue,
                 Status::Done => continue,
                 Status::Blocked(Blocked::OnRequests { kind, reqs, .. }) => {
-                    format!("rank {r}: blocked in {} on requests {reqs:?}", kind.mpi_name())
+                    format!(
+                        "rank {r}: blocked in {} on requests {reqs:?}",
+                        kind.mpi_name()
+                    )
                 }
                 Status::Blocked(Blocked::RdvSend { .. }) => {
                     format!("rank {r}: blocked in rendezvous send")
@@ -427,19 +441,18 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
 
     fn enter_event(&mut self, r: usize, call: &MpiCall) -> f64 {
         let (dst, src, tag, bytes) = match &call.op {
-            EvaluatedOp::Send { dst, tag, bytes } | EvaluatedOp::Isend { dst, tag, bytes, .. } => {
-                (Some(*dst), None, Some(*tag), Some(*bytes))
-            }
+            EvaluatedOp::Send { dst, tag, bytes }
+            | EvaluatedOp::Isend {
+                dst, tag, bytes, ..
+            } => (Some(*dst), None, Some(*tag), Some(*bytes)),
             EvaluatedOp::Recv { src, tag } | EvaluatedOp::Irecv { src, tag, .. } => {
                 (None, Some(*src), Some(*tag), None)
             }
-            EvaluatedOp::Sendrecv { dst, sendtag, src, .. } => {
-                (Some(*dst), Some(*src), Some(*sendtag), None)
-            }
+            EvaluatedOp::Sendrecv {
+                dst, sendtag, src, ..
+            } => (Some(*dst), Some(*src), Some(*sendtag), None),
             EvaluatedOp::Wait { .. } | EvaluatedOp::Waitall => (None, None, None, None),
-            EvaluatedOp::Collective { root, bytes } => {
-                (Some(*root), None, None, Some(*bytes))
-            }
+            EvaluatedOp::Collective { root, bytes } => (Some(*root), None, None, Some(*bytes)),
         };
         let ev = MpiEnterEvent {
             rank: r,
@@ -513,7 +526,16 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     self.exit_event(r, call.vertex, call.kind, enter, 0.0);
                     Ok(MpiOutcome::Completed)
                 } else {
-                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, true, Some((r, None)));
+                    self.deposit(
+                        r,
+                        dst,
+                        call.vertex,
+                        tag,
+                        bytes,
+                        send_time,
+                        true,
+                        Some((r, None)),
+                    );
                     self.ranks[r].clock = send_time;
                     self.status[r] = Status::Blocked(Blocked::RdvSend {
                         kind: call.kind,
@@ -523,16 +545,36 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     Ok(MpiOutcome::BlockedNow)
                 }
             }
-            EvaluatedOp::Isend { dst, tag, bytes, req_name } => {
+            EvaluatedOp::Isend {
+                dst,
+                tag,
+                bytes,
+                req_name,
+            } => {
                 let dst = self.validate_rank(r, "isend", dst)?;
                 let send_time = enter + o;
                 let req = if m.is_eager(bytes) {
                     let local_done = send_time + bytes as f64 / m.net_bandwidth;
                     self.deposit(r, dst, call.vertex, tag, bytes, send_time, false, None);
-                    self.alloc_req(r, Request::Complete { t: local_done, dep: None })
+                    self.alloc_req(
+                        r,
+                        Request::Complete {
+                            t: local_done,
+                            dep: None,
+                        },
+                    )
                 } else {
                     let id = self.alloc_req(r, Request::SendPending);
-                    self.deposit(r, dst, call.vertex, tag, bytes, send_time, true, Some((r, Some(id))));
+                    self.deposit(
+                        r,
+                        dst,
+                        call.vertex,
+                        tag,
+                        bytes,
+                        send_time,
+                        true,
+                        Some((r, Some(id))),
+                    );
                     id
                 };
                 self.outstanding[r].push(req);
@@ -563,17 +605,15 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 let req = self.alloc_req(r, Request::RecvPending { src, tag, posted });
                 self.recv_order[r].push_back(req);
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(
-                    r,
-                    vec![req],
-                    call.kind,
-                    call.vertex,
-                    enter,
-                    posted,
-                    false,
-                )
+                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, false)
             }
-            EvaluatedOp::Sendrecv { dst, sendtag, src, recvtag, bytes } => {
+            EvaluatedOp::Sendrecv {
+                dst,
+                sendtag,
+                src,
+                recvtag,
+                bytes,
+            } => {
                 let dst = self.validate_rank(r, "sendrecv", dst)?;
                 if src >= 0 {
                     self.validate_rank(r, "sendrecv", src)?;
@@ -583,18 +623,17 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 self.deposit(r, dst, call.vertex, sendtag, bytes, send_time, false, None);
                 let posted = send_time + bytes as f64 / m.net_bandwidth;
                 self.ranks[r].clock = posted;
-                let req = self.alloc_req(r, Request::RecvPending { src, tag: recvtag, posted });
+                let req = self.alloc_req(
+                    r,
+                    Request::RecvPending {
+                        src,
+                        tag: recvtag,
+                        posted,
+                    },
+                );
                 self.recv_order[r].push_back(req);
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(
-                    r,
-                    vec![req],
-                    call.kind,
-                    call.vertex,
-                    enter,
-                    posted,
-                    false,
-                )
+                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, false)
             }
             EvaluatedOp::Wait { req } => {
                 let posted = enter + o;
@@ -603,15 +642,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     return Err(SimError::UnknownRequest { rank: r, req });
                 }
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(
-                    r,
-                    vec![req],
-                    call.kind,
-                    call.vertex,
-                    enter,
-                    posted,
-                    true,
-                )
+                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, true)
             }
             EvaluatedOp::Waitall => {
                 let posted = enter + o;
@@ -634,7 +665,13 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 self.coll_seq[r] += 1;
                 self.collectives.entry(seq).or_default().arrivals.insert(
                     r,
-                    CollArrival { arrive, vertex: call.vertex, kind: call.kind, bytes, root },
+                    CollArrival {
+                        arrive,
+                        vertex: call.vertex,
+                        kind: call.kind,
+                        bytes,
+                        root,
+                    },
                 );
                 self.status[r] = Status::Blocked(Blocked::Collective { seq, enter });
                 Ok(MpiOutcome::BlockedNow)
@@ -672,9 +709,8 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
     }
 
     fn requests_complete(&self, r: usize, reqs: &[i64]) -> bool {
-        reqs.iter().all(|id| {
-            matches!(self.requests[r].get(id), Some(Request::Complete { .. }))
-        })
+        reqs.iter()
+            .all(|id| matches!(self.requests[r].get(id), Some(Request::Complete { .. })))
     }
 
     /// All requests complete: advance the clock, emit dependence and exit
@@ -729,7 +765,9 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         let mut progressed = false;
         #[allow(clippy::while_let_loop)] // the loop has three exits; keep them explicit
         loop {
-            let Some(&req_id) = self.recv_order[r].front() else { break };
+            let Some(&req_id) = self.recv_order[r].front() else {
+                break;
+            };
             let Some(Request::RecvPending { src, tag, posted }) =
                 self.requests[r].get(&req_id).cloned()
             else {
@@ -741,7 +779,9 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             if wildcard && !at_quiescence {
                 break;
             }
-            let Some(msg_idx) = self.find_match(r, src, tag) else { break };
+            let Some(msg_idx) = self.find_match(r, src, tag) else {
+                break;
+            };
             let msg = self.mailboxes[r][msg_idx].clone();
             self.mailboxes[r][msg_idx].consumed = true;
             let t = if msg.rendezvous {
@@ -810,11 +850,20 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
     fn release_rdv_sender(&mut self, sender: usize, sreq: Option<i64>, finish: f64) {
         match sreq {
             Some(id) => {
-                self.requests[sender].insert(id, Request::Complete { t: finish, dep: None });
+                self.requests[sender].insert(
+                    id,
+                    Request::Complete {
+                        t: finish,
+                        dep: None,
+                    },
+                );
             }
             None => {
-                if let Status::Blocked(Blocked::RdvSend { kind, vertex, enter }) =
-                    &self.status[sender]
+                if let Status::Blocked(Blocked::RdvSend {
+                    kind,
+                    vertex,
+                    enter,
+                }) = &self.status[sender]
                 {
                     let (kind, vertex, enter) = (*kind, *vertex, *enter);
                     let before = self.ranks[sender].clock;
@@ -897,11 +946,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         }
         let bytes = inst.arrivals.values().map(|a| a.bytes).max().unwrap_or(0);
         let root = inst.arrivals[&0].root;
-        let max_arrival = inst
-            .arrivals
-            .values()
-            .map(|a| a.arrive)
-            .fold(0.0, f64::max);
+        let max_arrival = inst.arrivals.values().map(|a| a.arrive).fold(0.0, f64::max);
         let straggler = inst
             .arrivals
             .iter()
@@ -1177,7 +1222,10 @@ mod tests {
         let res = run(src, 8);
         let t0 = res.rank_elapsed[0];
         for t in &res.rank_elapsed {
-            assert!((t - t0).abs() < 1e-6, "collective exit times align: {t} vs {t0}");
+            assert!(
+                (t - t0).abs() < 1e-6,
+                "collective exit times align: {t} vs {t0}"
+            );
         }
     }
 
@@ -1281,7 +1329,10 @@ mod tests {
         let psg = build_psg(&program, &PsgOptions::default());
         let mk = || {
             let mut cfg = SimConfig::with_nprocs(8);
-            cfg.machine.noise = crate::machine::NoiseConfig { amplitude: 0.05, seed: 99 };
+            cfg.machine.noise = crate::machine::NoiseConfig {
+                amplitude: 0.05,
+                seed: 99,
+            };
             cfg
         };
         let a = Simulation::new(&program, &psg, mk()).run().unwrap();

@@ -130,7 +130,11 @@ mod tests {
     use scalana_lang::builder::*;
 
     fn ctx(params: &HashMap<String, i64>) -> EvalCtx<'_> {
-        EvalCtx { rank: 3, nprocs: 8, params }
+        EvalCtx {
+            rank: 3,
+            nprocs: 8,
+            params,
+        }
     }
 
     #[test]

@@ -37,7 +37,12 @@ pub struct StmtCosts {
 
 impl Default for StmtCosts {
     fn default() -> Self {
-        StmtCosts { simple: 4.0, loop_iter: 4.0, branch: 4.0, call: 20.0 }
+        StmtCosts {
+            simple: 4.0,
+            loop_iter: 4.0,
+            branch: 4.0,
+            call: 20.0,
+        }
     }
 }
 
@@ -163,9 +168,22 @@ pub enum StepOutcome {
 }
 
 enum Ctl<'p> {
-    Seq { block: &'p Block, idx: usize },
-    For { var: String, next: i64, end: i64, body: &'p Block, stmt_id: scalana_lang::NodeId },
-    While { cond: &'p Expr, body: &'p Block, stmt_id: scalana_lang::NodeId },
+    Seq {
+        block: &'p Block,
+        idx: usize,
+    },
+    For {
+        var: String,
+        next: i64,
+        end: i64,
+        body: &'p Block,
+        stmt_id: scalana_lang::NodeId,
+    },
+    While {
+        cond: &'p Expr,
+        body: &'p Block,
+        stmt_id: scalana_lang::NodeId,
+    },
 }
 
 struct Frame<'p> {
@@ -209,7 +227,10 @@ impl<'p> RankState<'p> {
             ctx: psg.root_ctx(),
             attr_override: None,
             env,
-            control: vec![Ctl::Seq { block: &main.body, idx: 0 }],
+            control: vec![Ctl::Seq {
+                block: &main.body,
+                idx: 0,
+            }],
         };
         RankState {
             rank,
@@ -237,7 +258,11 @@ impl<'p> RankState<'p> {
     }
 
     fn eval_ctx<'e>(&self, params: &'e HashMap<String, i64>, nprocs: usize) -> EvalCtx<'e> {
-        EvalCtx { rank: self.rank as i64, nprocs: nprocs as i64, params }
+        EvalCtx {
+            rank: self.rank as i64,
+            nprocs: nprocs as i64,
+            params,
+        }
     }
 
     /// The vertex to attribute `stmt` to in the current frame.
@@ -263,7 +288,9 @@ impl<'p> RankState<'p> {
 
     /// Emit the pending micro-cost batch as a computation event.
     pub fn flush_pending(&mut self, ctx: &mut StepCtx<'_>) {
-        let Some((vertex, cycles)) = self.pending.take() else { return };
+        let Some((vertex, cycles)) = self.pending.take() else {
+            return;
+        };
         let duration = ctx.machine.comp_seconds(self.rank, cycles, 0.0);
         let ev = CompEvent {
             rank: self.rank,
@@ -314,7 +341,13 @@ impl<'p> RankState<'p> {
                         return StepOutcome::Mpi(call);
                     }
                 }
-                Ctl::For { var, next, end, body, stmt_id } => {
+                Ctl::For {
+                    var,
+                    next,
+                    end,
+                    body,
+                    stmt_id,
+                } => {
                     if *next < *end {
                         let value = *next;
                         *next += 1;
@@ -323,7 +356,10 @@ impl<'p> RankState<'p> {
                         let stmt_id = *stmt_id;
                         frame.env.assign(&var, Value::Int(value));
                         frame.env.push_scope();
-                        frame.control.push(Ctl::Seq { block: body, idx: 0 });
+                        frame.control.push(Ctl::Seq {
+                            block: body,
+                            idx: 0,
+                        });
                         self.steps_left = self.steps_left.saturating_sub(1);
                         let vertex = self.attr_vertex(ctx.psg, stmt_id);
                         self.charge_micro(ctx, vertex, ctx.costs.loop_iter);
@@ -332,7 +368,11 @@ impl<'p> RankState<'p> {
                         frame.control.pop();
                     }
                 }
-                Ctl::While { cond, body, stmt_id } => {
+                Ctl::While {
+                    cond,
+                    body,
+                    stmt_id,
+                } => {
                     let cond: &'p Expr = cond;
                     let body: &'p Block = body;
                     let stmt_id = *stmt_id;
@@ -341,7 +381,10 @@ impl<'p> RankState<'p> {
                     let take = eval(cond, &frame.env, &ec).truthy();
                     if take {
                         frame.env.push_scope();
-                        frame.control.push(Ctl::Seq { block: body, idx: 0 });
+                        frame.control.push(Ctl::Seq {
+                            block: body,
+                            idx: 0,
+                        });
                     } else {
                         frame.control.pop();
                     }
@@ -377,7 +420,12 @@ impl<'p> RankState<'p> {
                 self.exec_comp(stmt, attrs, vertex, ctx);
                 None
             }
-            StmtKind::For { var, start, end, body } => {
+            StmtKind::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 let ec = self.eval_ctx(ctx.params, ctx.nprocs);
                 let frame = self.frames.last_mut().expect("frame");
                 let s = eval_int(start, &frame.env, &ec);
@@ -396,15 +444,27 @@ impl<'p> RankState<'p> {
             }
             StmtKind::While { cond, body } => {
                 let frame = self.frames.last_mut().expect("frame");
-                frame.control.push(Ctl::While { cond, body, stmt_id: stmt.id });
+                frame.control.push(Ctl::While {
+                    cond,
+                    body,
+                    stmt_id: stmt.id,
+                });
                 self.charge_micro(ctx, vertex, ctx.costs.simple);
                 None
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let ec = self.eval_ctx(ctx.params, ctx.nprocs);
                 let frame = self.frames.last_mut().expect("frame");
                 let take = eval(cond, &frame.env, &ec).truthy();
-                let block = if take { Some(then_block) } else { else_block.as_ref() };
+                let block = if take {
+                    Some(then_block)
+                } else {
+                    else_block.as_ref()
+                };
                 if let Some(block) = block {
                     frame.env.push_scope();
                     frame.control.push(Ctl::Seq { block, idx: 0 });
@@ -450,17 +510,9 @@ impl<'p> RankState<'p> {
                     None => {
                         // Unresolved: attribute the whole callee to the
                         // CallSite vertex until the PSG is refined.
-                        let override_vertex = ctx
-                            .psg
-                            .vertex_of(caller_ctx, stmt.id)
-                            .or(caller_override);
-                        self.push_call_frame(
-                            ctx,
-                            &callee,
-                            arg_values,
-                            caller_ctx,
-                            override_vertex,
-                        );
+                        let override_vertex =
+                            ctx.psg.vertex_of(caller_ctx, stmt.id).or(caller_override);
+                        self.push_call_frame(ctx, &callee, arg_values, caller_ctx, override_vertex);
                     }
                 }
                 self.charge_micro(ctx, vertex, ctx.costs.call);
@@ -499,7 +551,10 @@ impl<'p> RankState<'p> {
             ctx: new_ctx,
             attr_override,
             env,
-            control: vec![Ctl::Seq { block: &func.body, idx: 0 }],
+            control: vec![Ctl::Seq {
+                block: &func.body,
+                idx: 0,
+            }],
         });
     }
 
@@ -573,14 +628,25 @@ impl<'p> RankState<'p> {
                 src: eval_int(src, env, &ec),
                 tag: eval_int(tag, env, &ec),
             },
-            MpiOp::Sendrecv { dst, sendtag, src, recvtag, bytes } => EvaluatedOp::Sendrecv {
+            MpiOp::Sendrecv {
+                dst,
+                sendtag,
+                src,
+                recvtag,
+                bytes,
+            } => EvaluatedOp::Sendrecv {
                 dst: eval_int(dst, env, &ec),
                 sendtag: eval_int(sendtag, env, &ec),
                 src: eval_int(src, env, &ec),
                 recvtag: eval_int(recvtag, env, &ec),
                 bytes: eval_int(bytes, env, &ec).max(0) as u64,
             },
-            MpiOp::Isend { dst, tag, bytes, req } => EvaluatedOp::Isend {
+            MpiOp::Isend {
+                dst,
+                tag,
+                bytes,
+                req,
+            } => EvaluatedOp::Isend {
                 dst: eval_int(dst, env, &ec),
                 tag: eval_int(tag, env, &ec),
                 bytes: eval_int(bytes, env, &ec).max(0) as u64,
@@ -591,7 +657,9 @@ impl<'p> RankState<'p> {
                 tag: eval_int(tag, env, &ec),
                 req_name: req.clone(),
             },
-            MpiOp::Wait { req } => EvaluatedOp::Wait { req: eval_int(req, env, &ec) },
+            MpiOp::Wait { req } => EvaluatedOp::Wait {
+                req: eval_int(req, env, &ec),
+            },
             MpiOp::Waitall => EvaluatedOp::Waitall,
             MpiOp::Barrier => EvaluatedOp::Collective { root: 0, bytes: 0 },
             MpiOp::Bcast { root, bytes } | MpiOp::Reduce { root, bytes } => {
@@ -600,14 +668,18 @@ impl<'p> RankState<'p> {
                     bytes: eval_int(bytes, env, &ec).max(0) as u64,
                 }
             }
-            MpiOp::Allreduce { bytes }
-            | MpiOp::Alltoall { bytes }
-            | MpiOp::Allgather { bytes } => EvaluatedOp::Collective {
-                root: 0,
-                bytes: eval_int(bytes, env, &ec).max(0) as u64,
-            },
+            MpiOp::Allreduce { bytes } | MpiOp::Alltoall { bytes } | MpiOp::Allgather { bytes } => {
+                EvaluatedOp::Collective {
+                    root: 0,
+                    bytes: eval_int(bytes, env, &ec).max(0) as u64,
+                }
+            }
         };
-        MpiCall { vertex, kind, op: evaluated }
+        MpiCall {
+            vertex,
+            kind,
+            op: evaluated,
+        }
     }
 }
 
@@ -622,8 +694,11 @@ mod tests {
         let program = parse_program("t.mmpi", src).unwrap();
         let psg = build_psg(&program, &PsgOptions::default());
         let machine = MachineConfig::default();
-        let params: HashMap<String, i64> =
-            program.params.iter().map(|p| (p.name.clone(), p.default)).collect();
+        let params: HashMap<String, i64> = program
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect();
         let mut hook = NullHook;
         let mut ctx = StepCtx {
             psg: &psg,
@@ -643,8 +718,10 @@ mod tests {
 
     #[test]
     fn comp_advances_clock_and_pmu() {
-        let (clock, pmu) = run_single("fn main() { comp(cycles = 2_300_000, ins = 1000, \
-                                        lst = 100, miss = 0, brmiss = 1); }");
+        let (clock, pmu) = run_single(
+            "fn main() { comp(cycles = 2_300_000, ins = 1000, \
+                                        lst = 100, miss = 0, brmiss = 1); }",
+        );
         assert!(clock >= 0.001, "2.3M cycles at 2.3GHz >= 1ms, got {clock}");
         assert_eq!(pmu.tot_ins, 1000.0);
         assert_eq!(pmu.lst_ins, 100.0);
@@ -668,7 +745,11 @@ mod tests {
         );
         // 10 iterations * 100 ins of comp, plus interpreter micro-costs.
         assert!(pmu.tot_ins >= 1000.0);
-        assert!(pmu.tot_ins < 1400.0, "micro-costs should stay small: {}", pmu.tot_ins);
+        assert!(
+            pmu.tot_ins < 1400.0,
+            "micro-costs should stay small: {}",
+            pmu.tot_ins
+        );
     }
 
     #[test]
@@ -711,14 +792,22 @@ mod tests {
             costs: StmtCosts::default(),
         };
         let mut rank = RankState::new(2, &program, &psg, &machine, 1000);
-        let StepOutcome::Mpi(call) = rank.step(&mut ctx) else { panic!() };
+        let StepOutcome::Mpi(call) = rank.step(&mut ctx) else {
+            panic!()
+        };
         assert_eq!(call.kind, MpiKind::Send);
         assert_eq!(
             call.op,
-            EvaluatedOp::Send { dst: 3, tag: 7, bytes: 4096 }
+            EvaluatedOp::Send {
+                dst: 3,
+                tag: 7,
+                bytes: 4096
+            }
         );
         // Resuming after the engine would handle the send finishes main.
-        let StepOutcome::Done = rank.step(&mut ctx) else { panic!() };
+        let StepOutcome::Done = rank.step(&mut ctx) else {
+            panic!()
+        };
         assert!(rank.is_finished());
     }
 
@@ -763,8 +852,12 @@ mod tests {
         };
         let mut r0 = RankState::new(0, &program, &psg, &machine, 1000);
         let mut r1 = RankState::new(1, &program, &psg, &machine, 1000);
-        let StepOutcome::Done = r0.step(&mut ctx) else { panic!() };
-        let StepOutcome::Done = r1.step(&mut ctx) else { panic!() };
+        let StepOutcome::Done = r0.step(&mut ctx) else {
+            panic!()
+        };
+        let StepOutcome::Done = r1.step(&mut ctx) else {
+            panic!()
+        };
         assert!(r0.pmu.tot_ins > r1.pmu.tot_ins);
     }
 }

@@ -48,7 +48,10 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        NoiseConfig { amplitude: 0.0, seed: 0x5ca1ab1e }
+        NoiseConfig {
+            amplitude: 0.0,
+            seed: 0x5ca1ab1e,
+        }
     }
 }
 
@@ -161,7 +164,10 @@ impl NoiseStream {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(rank as u64);
-        NoiseStream { rng: SmallRng::seed_from_u64(seed), amplitude: config.amplitude }
+        NoiseStream {
+            rng: SmallRng::seed_from_u64(seed),
+            amplitude: config.amplitude,
+        }
     }
 
     /// Multiplicative factor for the next computation interval
@@ -245,7 +251,10 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic_per_seed_and_rank() {
-        let cfg = NoiseConfig { amplitude: 0.05, seed: 42 };
+        let cfg = NoiseConfig {
+            amplitude: 0.05,
+            seed: 42,
+        };
         let mut a = NoiseStream::new(&cfg, 3);
         let mut b = NoiseStream::new(&cfg, 3);
         let mut c = NoiseStream::new(&cfg, 4);
@@ -261,7 +270,13 @@ mod tests {
 
     #[test]
     fn zero_amplitude_noise_is_identity() {
-        let mut s = NoiseStream::new(&NoiseConfig { amplitude: 0.0, seed: 1 }, 0);
+        let mut s = NoiseStream::new(
+            &NoiseConfig {
+                amplitude: 0.0,
+                seed: 1,
+            },
+            0,
+        );
         assert_eq!(s.next_factor(), 1.0);
     }
 }

@@ -49,7 +49,9 @@ pub struct Env {
 impl Env {
     /// Fresh environment with one root scope.
     pub fn new() -> Env {
-        Env { scopes: vec![HashMap::new()] }
+        Env {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     /// Enter a nested block scope.
@@ -65,7 +67,10 @@ impl Env {
 
     /// Define (or shadow) a variable in the innermost scope.
     pub fn define(&mut self, name: &str, value: Value) {
-        self.scopes.last_mut().expect("root scope").insert(name.to_string(), value);
+        self.scopes
+            .last_mut()
+            .expect("root scope")
+            .insert(name.to_string(), value);
     }
 
     /// Reassign the nearest definition of `name`. Semantic checking

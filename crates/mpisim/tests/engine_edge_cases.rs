@@ -170,8 +170,13 @@ fn mismatched_p2p_deadlocks_with_detail() {
     let src = "fn main() { if rank == 0 { recv(src = 1, tag = 3); } \
                 else { send(dst = 0, tag = 4, bytes = 8); } }";
     let err = run(src, 2).unwrap_err();
-    let SimError::Deadlock { detail } = err else { panic!("expected deadlock") };
-    assert!(detail.contains("rank 0"), "detail names the stuck rank: {detail}");
+    let SimError::Deadlock { detail } = err else {
+        panic!("expected deadlock")
+    };
+    assert!(
+        detail.contains("rank 0"),
+        "detail names the stuck rank: {detail}"
+    );
 }
 
 #[test]
@@ -257,8 +262,7 @@ fn heterogeneous_cores_slow_selected_ranks() {
     let program = parse_program("t.mmpi", src).unwrap();
     let psg = build_psg(&program, &PsgOptions::default());
     let mut config = SimConfig::with_nprocs(4);
-    config.machine.core_speed =
-        scalana_mpisim::CoreSpeed::PerRank(vec![1.0, 1.0, 0.5, 1.0]);
+    config.machine.core_speed = scalana_mpisim::CoreSpeed::PerRank(vec![1.0, 1.0, 0.5, 1.0]);
     let res = Simulation::new(&program, &psg, config).run().unwrap();
     // All exit the barrier together, but PMU cycles are equal while the
     // slow core took twice the time to accrue them (same work).

@@ -80,7 +80,14 @@ impl RecordWriter {
     }
 
     /// Communication-dependence record: 1 + 4*4 + 8 + 8 = 33 bytes.
-    pub fn comm_dep(&mut self, src_rank: u32, src_vertex: u32, dst_vertex: u32, tag: i32, bytes: u64) {
+    pub fn comm_dep(
+        &mut self,
+        src_rank: u32,
+        src_vertex: u32,
+        dst_vertex: u32,
+        tag: i32,
+        bytes: u64,
+    ) {
         self.header(RecordTag::CommDep);
         self.buf.put_u32_le(src_rank);
         self.buf.put_u32_le(src_vertex);
@@ -236,7 +243,13 @@ impl RecordReader {
                 let time = self.buf.get_f64_le();
                 // Path length is recoverable only by convention in tests;
                 // decode zero frames here (tests use fixed lengths).
-                Record::SampleEntry { rank, vertex, count, time, path: Vec::new() }
+                Record::SampleEntry {
+                    rank,
+                    vertex,
+                    count,
+                    time,
+                    path: Vec::new(),
+                }
             }
             RecordTag::IndirectCall => {
                 let ctx = self.buf.get_u32_le();
@@ -266,7 +279,13 @@ mod tests {
         let mut r = RecordReader::new(w.freeze());
         assert_eq!(
             r.next(),
-            Some(Record::VertexPerf { vertex: 7, rank: 3, time: 1.5, tot_ins: 1000.0, wait: 0.25 })
+            Some(Record::VertexPerf {
+                vertex: 7,
+                rank: 3,
+                time: 1.5,
+                tot_ins: 1000.0,
+                wait: 0.25
+            })
         );
         assert_eq!(r.next(), None);
     }
@@ -278,7 +297,13 @@ mod tests {
         let mut r = RecordReader::new(w.freeze());
         assert_eq!(
             r.next(),
-            Some(Record::CommDep { src_rank: 1, src_vertex: 2, dst_vertex: 3, tag: -1, bytes: 4096 })
+            Some(Record::CommDep {
+                src_rank: 1,
+                src_vertex: 2,
+                dst_vertex: 3,
+                tag: -1,
+                bytes: 4096
+            })
         );
     }
 
@@ -298,7 +323,11 @@ mod tests {
         let mut r = RecordReader::new(w.freeze());
         assert_eq!(
             r.next(),
-            Some(Record::IndirectCall { ctx: 4, stmt: 17, callee: "handle_event".into() })
+            Some(Record::IndirectCall {
+                ctx: 4,
+                stmt: 17,
+                callee: "handle_event".into()
+            })
         );
     }
 

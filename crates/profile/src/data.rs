@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn perf_accumulates() {
         let mut data = ProfileData::new(2);
-        let delta = VertexPerf { time: 0.5, count: 1, ..Default::default() };
+        let delta = VertexPerf {
+            time: 0.5,
+            count: 1,
+            ..Default::default()
+        };
         data.add_perf(1, 0, &delta);
         data.add_perf(1, 0, &delta);
         assert_eq!(data.perf[&(1, 0)].time, 1.0);
@@ -147,7 +151,15 @@ mod tests {
         let psg = psg();
         let mut data = ProfileData::new(2);
         data.rank_elapsed = vec![1.0, 2.0];
-        data.add_perf(1, 0, &VertexPerf { time: 0.5, count: 3, ..Default::default() });
+        data.add_perf(
+            1,
+            0,
+            &VertexPerf {
+                time: 0.5,
+                count: 3,
+                ..Default::default()
+            },
+        );
         data.add_comm(0, 1, 1, 2, 64, 0.25);
         let ppg = data.into_ppg(psg);
         assert_eq!(ppg.total_time(), 2.0);

@@ -103,9 +103,18 @@ impl FlatProfilerHook {
         }
         let mut spots: Vec<HotSpot> = agg
             .into_iter()
-            .map(|(vertex, (samples, time))| HotSpot { vertex, time, samples })
+            .map(|(vertex, (samples, time))| HotSpot {
+                vertex,
+                time,
+                samples,
+            })
             .collect();
-        spots.sort_by(|a, b| b.time.partial_cmp(&a.time).unwrap().then(a.vertex.cmp(&b.vertex)));
+        spots.sort_by(|a, b| {
+            b.time
+                .partial_cmp(&a.time)
+                .unwrap()
+                .then(a.vertex.cmp(&b.vertex))
+        });
         spots.truncate(n);
         spots
     }

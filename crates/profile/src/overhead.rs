@@ -110,7 +110,10 @@ pub fn measure_overhead(
             storage_bytes: storage,
         });
     }
-    Ok(OverheadReport { baseline, tools: rows })
+    Ok(OverheadReport {
+        baseline,
+        tools: rows,
+    })
 }
 
 /// Human-readable byte size (KB/MB/GB), for harness tables.

@@ -106,7 +106,10 @@ mod tests {
         let before = psg.vertex_count();
         assert!(psg.vertices.iter().any(|v| v.kind == VertexKind::CallSite));
         let rounds = discover_indirect_calls(&program, &mut psg, 2).unwrap();
-        assert!(rounds >= 2, "one discovery round plus one fixed-point check");
+        assert!(
+            rounds >= 2,
+            "one discovery round plus one fixed-point check"
+        );
         assert!(psg.vertex_count() > before, "callee expanded into the PSG");
     }
 

@@ -96,8 +96,13 @@ impl ScalAnaProfiler {
         let mut entries: Vec<_> = self.data.perf.iter().collect();
         entries.sort_by_key(|((v, r), _)| (*v, *r));
         for ((vertex, rank), perf) in entries {
-            self.writer
-                .vertex_perf(*vertex, *rank as u32, perf.time, perf.tot_ins, perf.wait_time);
+            self.writer.vertex_perf(
+                *vertex,
+                *rank as u32,
+                perf.time,
+                perf.tot_ins,
+                perf.wait_time,
+            );
         }
         self.data.storage_bytes = self.writer.bytes_written();
         self.data
@@ -148,7 +153,11 @@ impl Hook for ScalAnaProfiler {
         } else {
             // Timer-quantized attribution: whole periods only.
             let seen = n as f64 * self.period();
-            let scale = if ev.duration > 0.0 { seen / ev.duration } else { 0.0 };
+            let scale = if ev.duration > 0.0 {
+                seen / ev.duration
+            } else {
+                0.0
+            };
             VertexPerf {
                 time: seen,
                 count: 1,
@@ -225,7 +234,9 @@ impl Hook for ScalAnaProfiler {
     fn on_indirect_call(&mut self, ev: &IndirectCallEvent) -> f64 {
         let key = (ev.ctx, ev.stmt, ev.callee.clone());
         if self.recorded_indirect.insert(key) {
-            self.data.indirect_calls.push((ev.ctx, ev.stmt, ev.callee.clone()));
+            self.data
+                .indirect_calls
+                .push((ev.ctx, ev.stmt, ev.callee.clone()));
             self.writer.indirect_call(ev.ctx, ev.stmt, &ev.callee);
             self.config.comm_record_cost
         } else {
@@ -285,12 +296,18 @@ mod tests {
         let lo = profile(
             RING,
             2,
-            ProfilerConfig { sampling_hz: 100.0, ..Default::default() },
+            ProfilerConfig {
+                sampling_hz: 100.0,
+                ..Default::default()
+            },
         );
         let hi = profile(
             RING,
             2,
-            ProfilerConfig { sampling_hz: 10_000.0, ..Default::default() },
+            ProfilerConfig {
+                sampling_hz: 10_000.0,
+                ..Default::default()
+            },
         );
         assert!(hi.sample_count > lo.sample_count * 10);
     }
@@ -302,7 +319,10 @@ mod tests {
         let raw = profile(
             &many_iters,
             4,
-            ProfilerConfig { graph_compression: false, ..Default::default() },
+            ProfilerConfig {
+                graph_compression: false,
+                ..Default::default()
+            },
         );
         // Without compression every matched message is persisted; with
         // compression repeats collapse onto the first record.
@@ -322,10 +342,15 @@ mod tests {
         let sampled = profile(
             RING,
             4,
-            ProfilerConfig { comm_check_probability: 0.1, ..Default::default() },
+            ProfilerConfig {
+                comm_check_probability: 0.1,
+                ..Default::default()
+            },
         );
-        assert!(sampled.comm.values().map(|a| a.count).sum::<u64>()
-            < full.comm.values().map(|a| a.count).sum::<u64>());
+        assert!(
+            sampled.comm.values().map(|a| a.count).sum::<u64>()
+                < full.comm.values().map(|a| a.count).sum::<u64>()
+        );
     }
 
     #[test]
@@ -335,7 +360,10 @@ mod tests {
         let quantized = profile(
             src,
             1,
-            ProfilerConfig { exact_attribution: false, ..Default::default() },
+            ProfilerConfig {
+                exact_attribution: false,
+                ..Default::default()
+            },
         );
         let sum_t = |d: &ProfileData| d.perf.values().map(|p| p.time).sum::<f64>();
         assert!(sum_t(&exact) > 0.0);
@@ -352,7 +380,10 @@ mod tests {
         "#;
         let data = profile(src, 4, ProfilerConfig::default());
         let total_wait: f64 = data.perf.values().map(|p| p.wait_time).sum();
-        assert!(total_wait > 0.02, "three ranks wait ~10ms each: {total_wait}");
+        assert!(
+            total_wait > 0.02,
+            "three ranks wait ~10ms each: {total_wait}"
+        );
     }
 
     #[test]
@@ -365,7 +396,11 @@ mod tests {
             fn leaf() { comp(cycles = 100); }
         "#;
         let data = profile(src, 2, ProfilerConfig::default());
-        assert_eq!(data.indirect_calls.len(), 1, "deduplicated across iterations and ranks");
+        assert_eq!(
+            data.indirect_calls.len(),
+            1,
+            "deduplicated across iterations and ranks"
+        );
         assert_eq!(data.indirect_calls[0].2, "leaf");
     }
 }

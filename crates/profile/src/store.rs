@@ -152,7 +152,8 @@ pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
             bytes: buf.get_u64_le(),
             wait_time: buf.get_f64_le(),
         };
-        data.comm.insert((src_rank, src_vertex, dst_rank, dst_vertex), agg);
+        data.comm
+            .insert((src_rank, src_vertex, dst_rank, dst_vertex), agg);
     }
 
     need(&buf, 8)?;
@@ -164,11 +165,8 @@ pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
         let len = buf.get_u16_le() as usize;
         need(&buf, len)?;
         let name = buf.copy_to_bytes(len);
-        data.indirect_calls.push((
-            ctx,
-            stmt,
-            String::from_utf8_lossy(&name).into_owned(),
-        ));
+        data.indirect_calls
+            .push((ctx, stmt, String::from_utf8_lossy(&name).into_owned()));
     }
     Ok(data)
 }
@@ -231,7 +229,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_truncation() {
-        assert!(matches!(load(Bytes::from_static(b"nope")), Err(LoadError::Truncated)));
+        assert!(matches!(
+            load(Bytes::from_static(b"nope")),
+            Err(LoadError::Truncated)
+        ));
         assert!(matches!(
             load(Bytes::from_static(&[0u8; 16])),
             Err(LoadError::BadMagic)
@@ -247,7 +248,10 @@ mod tests {
         let data = collected_profile();
         let mut image = BytesMut::from(&save(&data)[..]);
         image[4] = 99; // bump version field
-        assert!(matches!(load(image.freeze()), Err(LoadError::BadVersion(99))));
+        assert!(matches!(
+            load(image.freeze()),
+            Err(LoadError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct TracerConfig {
 
 impl Default for TracerConfig {
     fn default() -> Self {
-        TracerConfig { record_cost: 1.2e-6 }
+        TracerConfig {
+            record_cost: 1.2e-6,
+        }
     }
 }
 

@@ -53,7 +53,10 @@ fn main() {
     println!("runtime at 32 ranks: {t_b:.4} s -> {t_f:.4} s");
 
     let scales = [1, 2, 4, 8, 16, 32, 64];
-    let cfg = ScalAnaConfig { machine: broken.machine.clone(), ..Default::default() };
+    let cfg = ScalAnaConfig {
+        machine: broken.machine.clone(),
+        ..Default::default()
+    };
     let before = speedup_curve(&broken.program, &scales, &cfg).expect("before");
     let after = speedup_curve(&fixed.program, &scales, &cfg).expect("after");
     let (p, sb) = before.last().unwrap();

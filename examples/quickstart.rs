@@ -41,8 +41,7 @@ fn main() {
     // execute in the deterministic MPI simulator with the ScalAna
     // profiler attached, and detection compares vertices across scales.
     let scales = [4, 8, 16, 32];
-    let analysis =
-        analyze(&program, &scales, &ScalAnaConfig::default()).expect("analysis runs");
+    let analysis = analyze(&program, &scales, &ScalAnaConfig::default()).expect("analysis runs");
 
     println!("PSG: {}", analysis.psg.stats);
     for run in &analysis.runs {
@@ -52,7 +51,10 @@ fn main() {
         );
     }
     println!();
-    println!("{}", viewer::render_with_snippets(&program, &analysis.report, 3));
+    println!(
+        "{}",
+        viewer::render_with_snippets(&program, &analysis.report, 3)
+    );
 
     // The serial loop lives on line 14 of the embedded source.
     let found = analysis

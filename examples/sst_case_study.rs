@@ -23,8 +23,10 @@ fn main() {
         analysis.report.found_at(expected),
         "SST root cause {expected} must be identified"
     );
-    println!("OK: root cause found at {expected} (paper: LOOP in \
-              RequestGenCPU::handleEvent at mirandaCPU.cc:247).\n");
+    println!(
+        "OK: root cause found at {expected} (paper: LOOP in \
+              RequestGenCPU::handleEvent at mirandaCPU.cc:247).\n"
+    );
 
     // Fig. 15: per-rank TOT_INS before and after the fix.
     let show_pmu = |name: &str, app: &scalana_apps::App| -> (f64, f64) {
@@ -54,5 +56,8 @@ fn main() {
         (t_before / t_after - 1.0) * 100.0
     );
     assert!(t_after < t_before);
-    assert!(ins_after < ins_before * 0.2, "order-of-magnitude TOT_INS drop");
+    assert!(
+        ins_after < ins_before * 0.2,
+        "order-of-magnitude TOT_INS drop"
+    );
 }

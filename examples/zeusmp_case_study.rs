@@ -26,7 +26,10 @@ fn main() {
     println!("OK: root cause found at {expected} (paper: LOOP at bval3d.F:155).\n");
 
     // Fix applied: hybrid MPI+OpenMP boundary loop + tiled hsmoc loops.
-    let cfg = ScalAnaConfig { machine: broken.machine.clone(), ..Default::default() };
+    let cfg = ScalAnaConfig {
+        machine: broken.machine.clone(),
+        ..Default::default()
+    };
     let before = speedup_curve(&broken.program, &scales, &cfg).expect("before");
     let after = speedup_curve(&fixed.program, &scales, &cfg).expect("after");
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 smoke: everything CI enforces, runnable locally in one shot.
+#
+#   scripts/smoke.sh          # full check
+#   PROPTEST_CASES=16 scripts/smoke.sh   # faster property-test pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --quiet
+
+echo "smoke: all green"

@@ -28,8 +28,17 @@ fn build_workload(
                 int(bytes),
             );
             if use_nonblocking {
-                f.isend("s", (rank() + int(2)) % nprocs(), var("it") + int(100), int(256));
-                f.irecv("q", (rank() + nprocs() - int(2)) % nprocs(), var("it") + int(100));
+                f.isend(
+                    "s",
+                    (rank() + int(2)) % nprocs(),
+                    var("it") + int(100),
+                    int(256),
+                );
+                f.irecv(
+                    "q",
+                    (rank() + nprocs() - int(2)) % nprocs(),
+                    var("it") + int(100),
+                );
                 f.waitall();
             }
             match collective {

@@ -24,11 +24,13 @@ fn table1_shape_holds_on_cg() {
     let psg = build_psg(&app.program, &PsgOptions::default());
     let tools = vec![
         ToolKind::Tracer(TracerConfig::default()),
-        ToolKind::Flat(FlatConfig { per_rank_metadata: 2048, ..FlatConfig::default() }),
+        ToolKind::Flat(FlatConfig {
+            per_rank_metadata: 2048,
+            ..FlatConfig::default()
+        }),
         ToolKind::ScalAna(ProfilerConfig::default()),
     ];
-    let report =
-        measure_overhead(&app.program, &psg, &SimConfig::with_nprocs(64), &tools).unwrap();
+    let report = measure_overhead(&app.program, &psg, &SimConfig::with_nprocs(64), &tools).unwrap();
     let tracer = report.tool("Scalasca-like tracer").unwrap();
     let flat = report.tool("HPCToolkit-like profiler").unwrap();
     let scalana = report.tool("ScalAna").unwrap();
@@ -110,7 +112,9 @@ fn flat_profiler_sees_symptom_without_causality() {
         "MPI wait shows up as hot: {spots:?}"
     );
     assert!(
-        spots.iter().any(|s| psg.vertex(s.vertex).kind == VertexKind::Comp),
+        spots
+            .iter()
+            .any(|s| psg.vertex(s.vertex).kind == VertexKind::Comp),
         "compute shows up as hot"
     );
     // ...but nothing in the output connects them (no edges, no paths) —

@@ -1,0 +1,171 @@
+//! Vendored miniature benchmarking harness (offline build environment),
+//! API-compatible with the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, and `black_box`.
+//!
+//! Methodology is deliberately simple — warm up, run `sample_size`
+//! samples, report min/median/mean per iteration — enough to compare hot
+//! paths locally. Swap in the real crate for publication-grade numbers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples of one iteration
+    /// each (plus one warm-up iteration whose result is discarded).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: R) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples);
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep the default modest: these benches simulate thousands of
+        // ranks and the real criterion's 100 samples would take minutes.
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: R) {
+        let sample_size = self.default_sample_size;
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        report(id, &mut b.samples);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

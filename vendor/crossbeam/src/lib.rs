@@ -1,0 +1,53 @@
+//! Vendored stand-in for the `crossbeam` scoped-thread API, implemented on
+//! top of `std::thread::scope` (the build environment is offline).
+//!
+//! Covers the subset the workspace uses: `thread::scope(|s| { s.spawn(...) })`
+//! returning a `Result`, with spawned threads joined when the scope ends.
+
+pub mod thread {
+    /// Result of a scope: `Err` carries a panic payload from the closure.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder
+        /// argument (crossbeam passes a nested scope; the workspace
+        /// ignores it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; dropping it detaches (the scope still
+    /// joins the thread before returning).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which threads may borrow from the caller.
+    /// All spawned threads are joined before this returns. A panic on a
+    /// spawned thread propagates (std semantics) rather than returning
+    /// `Err`, which is strictly stricter than crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,653 @@
+//! Vendored miniature property-testing harness (offline build environment).
+//!
+//! API-compatible with the subset of `proptest` this workspace uses:
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` macros, `Strategy`
+//! with `prop_map` / `prop_recursive` / `boxed`, range and tuple and
+//! string-pattern strategies, `collection::vec`, `sample::select`, and
+//! `bool::ANY`.
+//!
+//! Differences from the real crate, on purpose:
+//! - **No shrinking.** A failing case reports its case index and seed;
+//!   re-run with `PROPTEST_SEED`/`PROPTEST_CASES` to reproduce.
+//! - **Deterministic by default.** The RNG seed is derived from the test's
+//!   file and name, so CI runs are reproducible without a regressions file.
+//!   Set `PROPTEST_SEED=<u64>` to explore a different stream.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange, SeedableRng};
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property (produced by the `prop_assert*!` macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+            }
+        }
+
+        pub fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+            self.inner.gen_range(range)
+        }
+
+        pub fn gen_bool(&mut self) -> bool {
+            self.inner.gen()
+        }
+
+        pub fn gen_index(&mut self, len: usize) -> usize {
+            assert!(len > 0, "gen_index on empty collection");
+            self.inner.gen_range(0..len)
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn env_u64(var: &str) -> Option<u64> {
+        std::env::var(var).ok().and_then(|s| s.trim().parse().ok())
+    }
+
+    /// Drive one property: generate and check `cases` inputs.
+    ///
+    /// Case `i` uses seed `base_seed ⊕ fnv1a(i)`, so a failure can be
+    /// replayed in isolation (the panic message carries everything needed).
+    pub fn execute<F>(config: ProptestConfig, file: &str, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|c| c as u32)
+            .unwrap_or(config.cases);
+        let base_seed =
+            env_u64("PROPTEST_SEED").unwrap_or_else(|| fnv1a(format!("{file}::{name}").as_bytes()));
+        for i in 0..cases {
+            let mut rng = TestRng::from_seed(base_seed ^ fnv1a(&i.to_le_bytes()));
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "[proptest] {name} failed at case {i}/{cases} \
+                     (PROPTEST_SEED={base_seed} to replay the stream): {e}"
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build a recursive strategy: `depth` levels deep at most, with the
+        /// `recurse` closure producing the non-leaf alternatives. The size
+        /// hints of the real API are accepted and ignored (no shrinking).
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased strategy; clones share the underlying recipe.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    impl<T> Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !arms.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let arm = rng.gen_index(self.arms.len());
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String patterns: a `&str` is a strategy generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-pattern generator covering the patterns used in tests:
+    //! `.`, character classes `[a-z0-9...]` (with ranges and escapes), and
+    //! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` over single atoms.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '\\' => Atom::Literal(unescape(chars.next().expect("dangling escape"))),
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        let c = chars.next().expect("unterminated character class");
+                        match c {
+                            ']' => break,
+                            '\\' => set.push(unescape(chars.next().expect("dangling escape"))),
+                            lo if chars.peek() == Some(&'-') => {
+                                chars.next();
+                                match chars.peek() {
+                                    // Trailing `-` before `]` is a literal.
+                                    Some(']') | None => {
+                                        set.push(lo);
+                                        set.push('-');
+                                    }
+                                    Some(_) => {
+                                        let hi = chars.next().unwrap();
+                                        assert!(lo <= hi, "bad class range {lo}-{hi}");
+                                        set.extend(lo..=hi);
+                                    }
+                                }
+                            }
+                            other => set.push(other),
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class");
+                    Atom::Class(set)
+                }
+                other => Atom::Literal(other),
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad repeat lower bound"),
+                            n.trim().parse().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "bad repeat range {min}..{max}");
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    fn sample_any(rng: &mut TestRng) -> char {
+        // Printable ASCII most of the time, with whitespace/control/unicode
+        // salt so "never panics" properties see hostile input.
+        match rng.gen_index(20) {
+            0 => '\n',
+            1 => '\t',
+            2 => char::from_u32(rng.gen_range(0x80u32..0x2000)).unwrap_or('\u{fffd}'),
+            _ => char::from(rng.gen_range(0x20u8..0x7f)),
+        }
+    }
+
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse(pattern) {
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                out.push(match &atom {
+                    Atom::Any => sample_any(rng),
+                    Atom::Literal(c) => *c,
+                    Atom::Class(set) => set[rng.gen_index(set.len())],
+                });
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// Uniform choice from a fixed slice.
+    pub fn select<T: Clone + Debug>(items: &'static [T]) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty slice");
+        Select { items }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: 'static> {
+        items: &'static [T],
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_index(self.items.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding arbitrary booleans (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::execute($config, file!(), stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            let t = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&t.len()));
+            assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v));
+                    0
+                }
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_seed(99);
+        for _ in 0..500 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_plumbing_works(a in 0i64..100, b in prop_oneof![Just(1i64), Just(2i64)]) {
+            prop_assert!(a >= 0);
+            prop_assert_eq!(b * 2 / 2, b);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

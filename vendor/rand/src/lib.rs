@@ -1,0 +1,215 @@
+//! Vendored stand-in for `rand` (offline build environment).
+//!
+//! Provides `SmallRng` (xoshiro256++ seeded via SplitMix64), the
+//! `Rng`/`SeedableRng` traits, and uniform `gen`/`gen_range`/`gen_bool`
+//! over the integer and float ranges the workspace draws from.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling a value of `Self` uniformly from an RNG (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// A range that can be sampled uniformly (`rng.gen_range(range)`).
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift with rejection of the biased zone.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(uniform_u64(rng, span) as $wide) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $wide as $t;
+                }
+                (lo as $wide).wrapping_add(uniform_u64(rng, span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range! {
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast PRNG: xoshiro256++ (the same family the real `SmallRng`
+    /// uses on 64-bit targets), seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&v));
+            let i = rng.gen_range(3i64..10);
+            assert!((3..10).contains(&i));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment is offline; this crate provides the names the
+//! workspace imports (`Serialize`/`Deserialize` derive macros and traits).
+//! The derives are no-ops — see `vendor/serde_derive`. If a future change
+//! starts bounding generics on these traits, replace this stub with the
+//! real crate (or implement the traits for the types involved).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s name for imports and bounds.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name for imports and bounds.
+pub trait Deserialize<'de> {}

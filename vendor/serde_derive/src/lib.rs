@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds offline, so the real `serde_derive` cannot be
+//! fetched. Nothing in the workspace serializes through serde's trait
+//! machinery (the profile store uses its own binary codec), so the derives
+//! only need to exist and accept `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
