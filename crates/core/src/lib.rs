@@ -27,4 +27,7 @@
 pub mod pipeline;
 pub mod viewer;
 
-pub use pipeline::{analyze, analyze_app, speedup_curve, Analysis, RunSummary, ScalAnaConfig};
+pub use pipeline::{
+    analyze, analyze_app, assemble, profile_runs, speedup_curve, Analysis, ProfiledRuns,
+    RunSummary, ScalAnaConfig,
+};

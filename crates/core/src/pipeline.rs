@@ -42,6 +42,36 @@ pub struct RunSummary {
     pub comm_edges: usize,
 }
 
+impl RunSummary {
+    /// Summarize one collected profile.
+    pub fn of_profile(nprocs: usize, data: &ProfileData) -> RunSummary {
+        RunSummary {
+            nprocs,
+            total_time: data.rank_elapsed.iter().copied().fold(0.0, f64::max),
+            storage_bytes: data.storage_bytes,
+            sample_count: data.sample_count,
+            comm_edges: data.comm_edge_count(),
+        }
+    }
+}
+
+/// Output of the profiling stage (`ScalAna-prof`, workflow steps 1–2):
+/// the indirect-call-refined PSG plus one collected profile per scale.
+///
+/// This is the artifact the real tool persists between its profiling and
+/// detection processes (`scalana_profile::store` serializes each profile
+/// to a self-contained image); `scalana-service` keeps the images in its
+/// content-addressed cache and serves them per job.
+#[derive(Debug)]
+pub struct ProfiledRuns {
+    /// The (indirect-call-refined) PSG.
+    pub psg: Arc<Psg>,
+    /// Ascending process counts, parallel to `profiles`.
+    pub scales: Vec<usize>,
+    /// One collected profile per scale.
+    pub profiles: Vec<ProfileData>,
+}
+
 /// Everything one analysis produces.
 #[derive(Debug)]
 pub struct Analysis {
@@ -57,12 +87,14 @@ pub struct Analysis {
     pub detect_seconds: f64,
 }
 
-/// Run the full pipeline on a program over ascending process counts.
-pub fn analyze(
+/// Profiling stage (`ScalAna-prof`): build the PSG, resolve indirect
+/// calls at the smallest scale, then run one instrumented simulation per
+/// scale in parallel over the now-immutable PSG.
+pub fn profile_runs(
     program: &Program,
     scales: &[usize],
     config: &ScalAnaConfig,
-) -> Result<Analysis, SimError> {
+) -> Result<ProfiledRuns, SimError> {
     assert!(!scales.is_empty(), "need at least one scale");
     // Step 1: ScalAna-static.
     let mut psg = build_psg(program, &config.psg);
@@ -93,17 +125,31 @@ pub fn analyze(
     })
     .expect("scale-run threads do not panic");
 
-    let mut runs = Vec::with_capacity(scales.len());
+    let profiles = profiles
+        .into_iter()
+        .map(|slot| slot.expect("thread filled its slot"))
+        .collect::<Result<Vec<ProfileData>, SimError>>()?;
+    Ok(ProfiledRuns {
+        psg,
+        scales: scales.to_vec(),
+        profiles,
+    })
+}
+
+/// Detection stage (`ScalAna-detect`): assemble one PPG per profiled
+/// scale and run non-scalable/abnormal detection plus backtracking.
+/// Runs post-mortem — the profiles may come straight from
+/// [`profile_runs`] or be reloaded from persisted images.
+pub fn assemble(runs: ProfiledRuns, config: &ScalAnaConfig) -> Analysis {
+    let ProfiledRuns {
+        psg,
+        scales,
+        profiles,
+    } = runs;
+    let mut summaries = Vec::with_capacity(scales.len());
     let mut ppgs = Vec::with_capacity(scales.len());
-    for (slot, &nprocs) in profiles.into_iter().zip(scales) {
-        let data = slot.expect("thread filled its slot")?;
-        runs.push(RunSummary {
-            nprocs,
-            total_time: data.rank_elapsed.iter().copied().fold(0.0, f64::max),
-            storage_bytes: data.storage_bytes,
-            sample_count: data.sample_count,
-            comm_edges: data.comm_edge_count(),
-        });
+    for (data, &nprocs) in profiles.into_iter().zip(&scales) {
+        summaries.push(RunSummary::of_profile(nprocs, &data));
         ppgs.push(data.into_ppg(Arc::clone(&psg)));
     }
 
@@ -113,13 +159,22 @@ pub fn analyze(
     let report = detect(&refs, &config.detect);
     let detect_seconds = started.elapsed().as_secs_f64();
 
-    Ok(Analysis {
+    Analysis {
         psg,
-        runs,
+        runs: summaries,
         ppgs,
         report,
         detect_seconds,
-    })
+    }
+}
+
+/// Run the full pipeline on a program over ascending process counts.
+pub fn analyze(
+    program: &Program,
+    scales: &[usize],
+    config: &ScalAnaConfig,
+) -> Result<Analysis, SimError> {
+    Ok(assemble(profile_runs(program, scales, config)?, config))
 }
 
 /// Analyze an [`App`] using its recommended platform model.
@@ -184,6 +239,26 @@ mod tests {
             "expected bval3d.F:155 in:\n{}",
             analysis.report.render()
         );
+    }
+
+    #[test]
+    fn staged_profile_then_assemble_matches_analyze() {
+        let app = cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let config = ScalAnaConfig {
+            machine: app.machine.clone(),
+            ..ScalAnaConfig::default()
+        };
+        let runs = profile_runs(&app.program, &[2, 4], &config).unwrap();
+        assert_eq!(runs.scales, vec![2, 4]);
+        assert_eq!(runs.profiles.len(), 2);
+        let staged = assemble(runs, &config);
+        let direct = analyze(&app.program, &[2, 4], &config).unwrap();
+        assert_eq!(staged.report.render(), direct.report.render());
+        assert_eq!(staged.runs.len(), direct.runs.len());
     }
 
     #[test]

@@ -401,7 +401,16 @@ fn merge_root_causes(ppg: &Ppg, paths: &[RootCausePath]) -> Vec<RootCause> {
             }
         })
         .collect();
-    causes.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    // Ties broken by vertex id: `groups` is a HashMap, whose iteration
+    // order differs between processes, and downstream consumers (the
+    // service's content-addressed result cache) rely on identical inputs
+    // producing byte-identical reports.
+    causes.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.vertex.cmp(&b.vertex))
+    });
     causes
 }
 

@@ -106,14 +106,17 @@ impl RecordWriter {
         self.buf.put_f64_le(payload);
     }
 
-    /// Call-path sample histogram entry: 1 + 4 + 4 + 8 + 8 = 25 bytes,
-    /// plus the modeled unwound-call-path cost (`path_len` frames × 8).
+    /// Call-path sample histogram entry: 1 + 4 + 4 + 8 + 8 + 4 = 29
+    /// bytes, plus the modeled unwound-call-path cost (`path_len` frames
+    /// × 8). The frame count is part of the record so a reader can
+    /// decode past it — the format is self-describing end to end.
     pub fn sample_entry(&mut self, rank: u32, vertex: u32, count: u64, time: f64, path_len: u32) {
         self.header(RecordTag::SampleEntry);
         self.buf.put_u32_le(rank);
         self.buf.put_u32_le(vertex);
         self.buf.put_u64_le(count);
         self.buf.put_f64_le(time);
+        self.buf.put_u32_le(path_len);
         // Call-path frames (modeled as 8 bytes each).
         for i in 0..path_len {
             self.buf.put_u64_le(u64::from(i));
@@ -207,62 +210,86 @@ impl RecordReader {
         RecordReader { buf }
     }
 
-    /// Decode the next record; `None` at end of buffer or on corruption.
+    /// Bytes left to decode.
+    fn check(&self, n: usize) -> Option<()> {
+        if self.buf.remaining() >= n {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Decode the next record; `None` at end of buffer or on corruption
+    /// (unknown tag, or a record truncated mid-field — the reader never
+    /// panics on short input).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Record> {
         if !self.buf.has_remaining() {
             return None;
         }
         let tag = RecordTag::from_u8(self.buf.get_u8())?;
-        Some(match tag {
-            RecordTag::VertexPerf => Record::VertexPerf {
-                vertex: self.buf.get_u32_le(),
-                rank: self.buf.get_u32_le(),
-                time: self.buf.get_f64_le(),
-                tot_ins: self.buf.get_f64_le(),
-                wait: self.buf.get_f64_le(),
-            },
-            RecordTag::CommDep => Record::CommDep {
-                src_rank: self.buf.get_u32_le(),
-                src_vertex: self.buf.get_u32_le(),
-                dst_vertex: self.buf.get_u32_le(),
-                tag: self.buf.get_i32_le(),
-                bytes: self.buf.get_u64_le(),
-            },
-            RecordTag::TraceEvent => Record::TraceEvent {
-                rank: self.buf.get_u32_le(),
-                vertex: self.buf.get_u32_le(),
-                kind: self.buf.get_u8(),
-                time: self.buf.get_f64_le(),
-                payload: self.buf.get_f64_le(),
-            },
+        match tag {
+            RecordTag::VertexPerf => {
+                self.check(4 + 4 + 3 * 8)?;
+                Some(Record::VertexPerf {
+                    vertex: self.buf.get_u32_le(),
+                    rank: self.buf.get_u32_le(),
+                    time: self.buf.get_f64_le(),
+                    tot_ins: self.buf.get_f64_le(),
+                    wait: self.buf.get_f64_le(),
+                })
+            }
+            RecordTag::CommDep => {
+                self.check(4 * 4 + 8)?;
+                Some(Record::CommDep {
+                    src_rank: self.buf.get_u32_le(),
+                    src_vertex: self.buf.get_u32_le(),
+                    dst_vertex: self.buf.get_u32_le(),
+                    tag: self.buf.get_i32_le(),
+                    bytes: self.buf.get_u64_le(),
+                })
+            }
+            RecordTag::TraceEvent => {
+                self.check(4 + 4 + 1 + 8 + 8)?;
+                Some(Record::TraceEvent {
+                    rank: self.buf.get_u32_le(),
+                    vertex: self.buf.get_u32_le(),
+                    kind: self.buf.get_u8(),
+                    time: self.buf.get_f64_le(),
+                    payload: self.buf.get_f64_le(),
+                })
+            }
             RecordTag::SampleEntry => {
+                self.check(4 + 4 + 8 + 8 + 4)?;
                 let rank = self.buf.get_u32_le();
                 let vertex = self.buf.get_u32_le();
                 let count = self.buf.get_u64_le();
                 let time = self.buf.get_f64_le();
-                // Path length is recoverable only by convention in tests;
-                // decode zero frames here (tests use fixed lengths).
-                Record::SampleEntry {
+                let path_len = self.buf.get_u32_le() as usize;
+                self.check(path_len.checked_mul(8)?)?;
+                let path = (0..path_len).map(|_| self.buf.get_u64_le()).collect();
+                Some(Record::SampleEntry {
                     rank,
                     vertex,
                     count,
                     time,
-                    path: Vec::new(),
-                }
+                    path,
+                })
             }
             RecordTag::IndirectCall => {
+                self.check(4 + 4 + 2)?;
                 let ctx = self.buf.get_u32_le();
                 let stmt = self.buf.get_u32_le();
                 let len = self.buf.get_u16_le() as usize;
+                self.check(len)?;
                 let name = self.buf.copy_to_bytes(len);
-                Record::IndirectCall {
+                Some(Record::IndirectCall {
                     ctx,
                     stmt,
                     callee: String::from_utf8_lossy(&name).into_owned(),
-                }
+                })
             }
-        })
+        }
     }
 }
 
@@ -335,9 +362,46 @@ mod tests {
     fn sample_entry_grows_with_path_len() {
         let mut w1 = RecordWriter::new();
         w1.sample_entry(0, 1, 10, 0.5, 0);
+        assert_eq!(w1.bytes_written(), 29);
         let mut w2 = RecordWriter::new();
         w2.sample_entry(0, 1, 10, 0.5, 8);
         assert_eq!(w2.bytes_written() - w1.bytes_written(), 64);
+    }
+
+    #[test]
+    fn sample_entry_round_trips_with_path() {
+        let mut w = RecordWriter::new();
+        w.sample_entry(3, 9, 17, 0.25, 4);
+        w.comm_dep(0, 1, 2, 5, 64);
+        let mut r = RecordReader::new(w.freeze());
+        assert_eq!(
+            r.next(),
+            Some(Record::SampleEntry {
+                rank: 3,
+                vertex: 9,
+                count: 17,
+                time: 0.25,
+                path: vec![0, 1, 2, 3],
+            })
+        );
+        // The reader resynchronizes exactly on the next record.
+        assert!(matches!(r.next(), Some(Record::CommDep { bytes: 64, .. })));
+        assert_eq!(r.next(), None);
+    }
+
+    #[test]
+    fn truncated_buffers_yield_none_not_panic() {
+        let mut w = RecordWriter::new();
+        w.vertex_perf(7, 3, 1.5, 1000.0, 0.25);
+        w.indirect_call(4, 17, "handle_event");
+        w.sample_entry(0, 1, 10, 0.5, 8);
+        let full = w.freeze();
+        for cut in 0..full.len() {
+            let mut r = RecordReader::new(full.slice(0..cut));
+            // Drain: complete prefix records decode, the torn one stops
+            // the stream. No cut position may panic.
+            while r.next().is_some() {}
+        }
     }
 
     #[test]

@@ -98,6 +98,26 @@ fn need(buf: &Bytes, n: usize) -> Result<(), LoadError> {
     }
 }
 
+/// Bounds-check a length-prefixed section: `count` elements of at least
+/// `elem_size` bytes each must fit in the remaining buffer. Uses checked
+/// arithmetic so a hostile 2⁶⁴-ish count cannot overflow the product
+/// (which would otherwise panic in debug builds or pass the check and
+/// panic inside the vendored `Bytes` accessors in release builds).
+fn need_counted(buf: &Bytes, count: usize, elem_size: usize) -> Result<(), LoadError> {
+    match count.checked_mul(elem_size) {
+        Some(total) if buf.remaining() >= total => Ok(()),
+        _ => Err(LoadError::Truncated),
+    }
+}
+
+/// Exact byte size of one serialized perf entry:
+/// vertex u32 + rank u64 + 9 × 8-byte metric fields.
+const PERF_ENTRY_BYTES: usize = 4 + 8 + 9 * 8;
+/// Exact byte size of one serialized comm edge.
+const COMM_ENTRY_BYTES: usize = 8 + 4 + 8 + 4 + 8 + 8 + 8;
+/// Minimum byte size of one indirect-call record (empty callee name).
+const INDIRECT_MIN_BYTES: usize = 4 + 4 + 2;
+
 /// Deserialize a profile image.
 pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
     need(&buf, 4 + 2)?;
@@ -116,13 +136,13 @@ pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
 
     need(&buf, 8)?;
     let n_elapsed = buf.get_u64_le() as usize;
-    need(&buf, n_elapsed * 8)?;
+    need_counted(&buf, n_elapsed, 8)?;
     data.rank_elapsed = (0..n_elapsed).map(|_| buf.get_f64_le()).collect();
 
     need(&buf, 8)?;
     let n_perf = buf.get_u64_le() as usize;
+    need_counted(&buf, n_perf, PERF_ENTRY_BYTES)?;
     for _ in 0..n_perf {
-        need(&buf, 4 + 8 + 9 * 8 - 8)?;
         let vertex = buf.get_u32_le();
         let rank = buf.get_u64_le() as usize;
         let perf = VertexPerf {
@@ -141,8 +161,8 @@ pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
 
     need(&buf, 8)?;
     let n_comm = buf.get_u64_le() as usize;
+    need_counted(&buf, n_comm, COMM_ENTRY_BYTES)?;
     for _ in 0..n_comm {
-        need(&buf, 8 + 4 + 8 + 4 + 8 + 8 + 8)?;
         let src_rank = buf.get_u64_le() as usize;
         let src_vertex = buf.get_u32_le();
         let dst_rank = buf.get_u64_le() as usize;
@@ -158,8 +178,11 @@ pub fn load(mut buf: Bytes) -> Result<ProfileData, LoadError> {
 
     need(&buf, 8)?;
     let n_indirect = buf.get_u64_le() as usize;
+    // Names are variable-length: the upfront check bounds the count by
+    // the minimum record size, the per-record checks do the rest.
+    need_counted(&buf, n_indirect, INDIRECT_MIN_BYTES)?;
     for _ in 0..n_indirect {
-        need(&buf, 4 + 4 + 2)?;
+        need(&buf, INDIRECT_MIN_BYTES)?;
         let ctx = buf.get_u32_le();
         let stmt = buf.get_u32_le();
         let len = buf.get_u16_le() as usize;
@@ -240,6 +263,34 @@ mod tests {
         let data = collected_profile();
         let image = save(&data);
         let truncated = image.slice(0..image.len() / 2);
+        assert!(matches!(load(truncated), Err(LoadError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_hostile_element_counts_without_panicking() {
+        // A valid header followed by a u64::MAX element count: the
+        // count × size product must not overflow into a passing check.
+        let mut image = BytesMut::new();
+        image.put_u32_le(MAGIC);
+        image.put_u16_le(VERSION);
+        image.put_u64_le(4); // nprocs
+        image.put_u64_le(0); // storage_bytes
+        image.put_u64_le(0); // sample_count
+        image.put_u64_le(u64::MAX); // hostile rank_elapsed count
+        assert!(matches!(load(image.freeze()), Err(LoadError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_truncation_inside_the_last_perf_field() {
+        // Regression: the perf-entry bounds check used to be 8 bytes
+        // short, so a buffer cut inside an entry's final field panicked
+        // in the byte accessors instead of returning `Truncated`.
+        let data = collected_profile();
+        assert!(!data.perf.is_empty());
+        let image = save(&data);
+        let elapsed_end = 4 + 2 + 3 * 8 + 8 + data.rank_elapsed.len() * 8;
+        let first_perf_end = elapsed_end + 8 + PERF_ENTRY_BYTES;
+        let truncated = image.slice(0..first_perf_end - 4);
         assert!(matches!(load(truncated), Err(LoadError::Truncated)));
     }
 

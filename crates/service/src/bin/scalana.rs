@@ -1,0 +1,422 @@
+//! `scalana` — the command-line front-end (paper §V workflow plus the
+//! serving layer).
+//!
+//! ```text
+//! scalana static   <file.mmpi> [--max-loop-depth N] [--no-contract] [--dot]
+//! scalana analyze  <file.mmpi> [--scales 4,8,16,32] [--abnorm-thd X] [--top K]
+//!                              [--param NAME=V]... [--json]
+//! scalana apps     [--list | --run NAME [--scales ...]]
+//! scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+//! scalana submit   (<file.mmpi> | --app NAME) [--addr A] [--scales ...]
+//!                  [--abnorm-thd X] [--top K] [--param NAME=V]... [--wait]
+//! scalana status   [--addr A] [JOB]
+//! scalana result   [--addr A] JOB
+//! scalana shutdown [--addr A]
+//! ```
+//!
+//! `static` corresponds to `ScalAna-static` (PSG construction + stats),
+//! `analyze` chains `ScalAna-prof` and `ScalAna-detect` over the given
+//! scales and renders the `ScalAna-viewer` report with code snippets
+//! (or, with `--json`, the machine-readable document the service also
+//! serves). `serve` starts the analysis daemon; `submit`/`status`/
+//! `result` are its client, printing the daemon's JSON responses.
+
+use scalana_core::{analyze_app, pipeline, viewer, ScalAnaConfig};
+use scalana_graph::{build_psg, PsgOptions};
+use scalana_lang::parse_program;
+use scalana_service::json::Json;
+use scalana_service::{client, jsonify, Server, ServiceConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  scalana static   <file.mmpi> [--max-loop-depth N] [--no-contract] [--dot]
+  scalana analyze  <file.mmpi> [--scales 4,8,16,32] [--abnorm-thd X]
+                               [--top K] [--param NAME=VALUE]... [--json]
+  scalana apps     [--list | --run NAME [--scales 4,8,16,32]]
+  scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+  scalana submit   (<file.mmpi> | --app NAME) [--addr ADDR] [--scales ...]
+                   [--abnorm-thd X] [--top K] [--param NAME=VALUE]... [--wait]
+  scalana status   [--addr ADDR] [JOB]
+  scalana result   [--addr ADDR] JOB
+  scalana shutdown [--addr ADDR]";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("static") => cmd_static(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("apps") => cmd_apps(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("result") => cmd_result(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+fn parse_scales(spec: &str) -> Result<Vec<usize>, String> {
+    let scales: Result<Vec<usize>, _> = spec.split(',').map(|s| s.trim().parse()).collect();
+    let scales = scales.map_err(|e| format!("bad --scales `{spec}`: {e}"))?;
+    if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("--scales must be a strictly ascending list".to_string());
+    }
+    if scales[0] == 0 {
+        return Err("--scales: process counts must be positive".to_string());
+    }
+    Ok(scales)
+}
+
+fn load_program(path: &str) -> Result<scalana_lang::Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(path, &source).map_err(|e| e.to_string())
+}
+
+fn cmd_static(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("static: missing <file.mmpi>")?;
+    let mut opts = PsgOptions::default();
+    let mut dot = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--max-loop-depth" => {
+                let v = it.next().ok_or("--max-loop-depth needs a value")?;
+                opts.max_loop_depth = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-loop-depth: {e}"))?;
+            }
+            "--no-contract" => opts.contract = false,
+            "--dot" => dot = true,
+            other => return Err(format!("static: unknown flag `{other}`")),
+        }
+    }
+    let program = load_program(file)?;
+    let psg = build_psg(&program, &opts);
+    println!("{file}: {}", psg.stats);
+    println!(
+        "contraction reduction {:.0}%, Comp+MPI fraction {:.0}%",
+        psg.stats.reduction() * 100.0,
+        psg.stats.comp_mpi_fraction() * 100.0
+    );
+    if dot {
+        println!("\n{}", scalana_graph::dot::psg_to_dot(&psg));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("analyze: missing <file.mmpi>")?;
+    let mut scales = vec![4, 8, 16, 32];
+    let mut config = ScalAnaConfig::default();
+    let mut json = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs a value")?;
+                scales = parse_scales(v)?;
+            }
+            "--abnorm-thd" => {
+                let v = it.next().ok_or("--abnorm-thd needs a value")?;
+                config.detect.abnorm_thd =
+                    v.parse().map_err(|e| format!("bad --abnorm-thd: {e}"))?;
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                config.detect.top_k = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--param" => {
+                let v = it.next().ok_or("--param needs NAME=VALUE")?;
+                let (name, value) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --param `{v}`"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|e| format!("bad --param value: {e}"))?;
+                config.params.insert(name.to_string(), value);
+            }
+            "--json" => json = true,
+            other => return Err(format!("analyze: unknown flag `{other}`")),
+        }
+    }
+    let program = load_program(file)?;
+    let analysis = pipeline::analyze(&program, &scales, &config).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", jsonify::analysis_to_json(&analysis).render());
+        return Ok(());
+    }
+    println!("PSG: {}", analysis.psg.stats);
+    for run in &analysis.runs {
+        println!(
+            "run @ {:>4} ranks: {:.4}s virtual, {} profile bytes, {} dep edges",
+            run.nprocs, run.total_time, run.storage_bytes, run.comm_edges
+        );
+    }
+    println!("detection took {:.2} ms\n", analysis.detect_seconds * 1e3);
+    print!("{}", render_speedup_table(&analysis.runs));
+    println!(
+        "{}",
+        viewer::render_with_snippets(&program, &analysis.report, 3)
+    );
+    Ok(())
+}
+
+/// Speedup of each run against the smallest scale, with the ideal linear
+/// speedup and the resulting parallel efficiency alongside (the math
+/// lives in `scalana_detect::summarize`, shared with the scaling report).
+fn render_speedup_table(runs: &[pipeline::RunSummary]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let Some(base) = runs.first() else {
+        return out;
+    };
+    let measurements: Vec<(usize, f64)> = runs.iter().map(|r| (r.nprocs, r.total_time)).collect();
+    let summary = scalana_detect::summarize(&measurements);
+    writeln!(out, "-- Speedup (baseline {} ranks) --", base.nprocs).unwrap();
+    for point in &summary.points {
+        let ideal = point.nprocs as f64 / base.nprocs as f64;
+        writeln!(
+            out,
+            "  {:>5} ranks  x{:<8.2} (ideal x{:<8.2} efficiency {:>5.1}%)",
+            point.nprocs,
+            point.speedup,
+            ideal,
+            100.0 * point.efficiency
+        )
+        .unwrap();
+    }
+    if let Some(serial) = summary.serial_fraction {
+        writeln!(
+            out,
+            "  est. serial fraction {:.1}% (Amdahl)",
+            100.0 * serial
+        )
+        .unwrap();
+    }
+    out.push('\n');
+    out
+}
+
+fn cmd_apps(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("--list") | None => {
+            for app in scalana_apps::all_apps() {
+                println!("{:<6} {}", app.name, app.description);
+            }
+            Ok(())
+        }
+        Some("--run") => {
+            let name = args.get(1).ok_or("apps --run: missing NAME")?;
+            let app = scalana_apps::by_name(name)
+                .ok_or_else(|| format!("unknown app `{name}` (see --list)"))?;
+            let mut scales = vec![4, 8, 16, 32];
+            if let Some(pos) = args.iter().position(|a| a == "--scales") {
+                let v = args.get(pos + 1).ok_or("--scales needs a value")?;
+                scales = parse_scales(v)?;
+            }
+            let analysis =
+                analyze_app(&app, &scales, &ScalAnaConfig::default()).map_err(|e| e.to_string())?;
+            println!("{}", analysis.report.render());
+            if let Some(expected) = &app.expected_root_cause {
+                let verdict = if analysis.report.found_at(expected) {
+                    "FOUND"
+                } else {
+                    "MISSED"
+                };
+                println!("known root cause {expected}: {verdict}");
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("apps: unknown flag `{other}`")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServiceConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                config.workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--queue-capacity" => {
+                let v = it.next().ok_or("--queue-capacity needs a value")?;
+                config.queue_capacity = v
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+            }
+            other => return Err(format!("serve: unknown flag `{other}`")),
+        }
+    }
+    let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    println!(
+        "scalana-service listening on {} ({} workers, queue capacity {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    // The smoke script and tests scrape the address from this line; make
+    // sure it is out before the (long-lived) accept loop starts.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Split client args into `(addr, rest)`.
+fn take_addr(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            addr = it.next().ok_or("--addr needs a value")?.clone();
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((addr, rest))
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let mut file: Option<String> = None;
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    let mut params: Vec<(String, Json)> = Vec::new();
+    let mut wait = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--app" => {
+                let name = it.next().ok_or("--app needs a NAME")?;
+                pairs.push(("app", name.as_str().into()));
+            }
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs a value")?;
+                pairs.push(("scales", parse_scales(v)?.into()));
+            }
+            "--abnorm-thd" => {
+                let v = it.next().ok_or("--abnorm-thd needs a value")?;
+                let thd: f64 = v.parse().map_err(|e| format!("bad --abnorm-thd: {e}"))?;
+                pairs.push(("abnorm_thd", thd.into()));
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                let top: i64 = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+                pairs.push(("top", top.into()));
+            }
+            "--param" => {
+                let v = it.next().ok_or("--param needs NAME=VALUE")?;
+                let (name, value) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --param `{v}`"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|e| format!("bad --param value: {e}"))?;
+                params.push((name.to_string(), value.into()));
+            }
+            "--wait" => wait = true,
+            other if other.starts_with("--") => {
+                return Err(format!("submit: unknown flag `{other}`"));
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err("submit: more than one <file.mmpi>".to_string());
+                }
+            }
+        }
+    }
+    if let Some(path) = &file {
+        if pairs.iter().any(|(k, _)| *k == "app") {
+            return Err("submit: give either <file.mmpi> or --app, not both".to_string());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("inline.mmpi");
+        pairs.push(("source", text.into()));
+        pairs.push(("name", name.into()));
+    } else if !pairs.iter().any(|(k, _)| *k == "app") {
+        return Err("submit: need <file.mmpi> or --app NAME".to_string());
+    }
+    if !params.is_empty() {
+        pairs.push(("params", Json::Obj(params)));
+    }
+    let body = Json::obj(pairs).render();
+    let response = client::request_json(&addr, "POST", "/jobs", &body)?;
+    println!("{}", response.render());
+    if wait {
+        let key = response
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("submit response missing `job`")?;
+        let last = client::wait_for_job(&addr, key, Duration::from_secs(600))?;
+        println!("{}", last.render());
+        if last.get("status").and_then(Json::as_str) == Some("failed") {
+            return Err(last
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("job failed")
+                .to_string());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let path = match rest.as_slice() {
+        [] => "/stats".to_string(),
+        [job] => format!("/jobs/{job}"),
+        _ => return Err("status: at most one JOB".to_string()),
+    };
+    let response = client::request_json(&addr, "GET", &path, "")?;
+    println!("{}", response.render());
+    Ok(())
+}
+
+fn cmd_result(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let [job] = rest.as_slice() else {
+        return Err("result: need exactly one JOB".to_string());
+    };
+    let response = client::request_json(&addr, "GET", &format!("/jobs/{job}/result"), "")?;
+    println!("{}", response.render());
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    if !rest.is_empty() {
+        return Err("shutdown: unexpected arguments".to_string());
+    }
+    let response = client::request_json(&addr, "POST", "/shutdown", "")?;
+    println!("{}", response.render());
+    Ok(())
+}

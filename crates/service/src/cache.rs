@@ -1,0 +1,404 @@
+//! Content-addressed job registry and result cache.
+//!
+//! One map keyed by [`JobSpec::key`] holds every job the daemon has
+//! seen, in whatever state. Because the key is a content address,
+//! the registry *is* the cache: re-submitting an identical job finds
+//! the existing record — completed (served from cache), or still in
+//! flight (coalesced onto the running job) — and never re-runs the
+//! simulator. Hit/miss counters are exported via `/stats`.
+
+use crate::job::{JobOutput, JobSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; result cached.
+    Done,
+    /// Execution failed; kept for inspection, replaced on re-submit.
+    Failed,
+}
+
+impl JobStatus {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One registry entry.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// The spec (kept so workers and status endpoints can read it).
+    pub spec: JobSpec,
+    /// Current status.
+    pub status: JobStatus,
+    /// Failure message, when `Failed`.
+    pub error: Option<String>,
+    /// Cached result, when `Done`.
+    pub result: Option<Arc<JobOutput>>,
+}
+
+/// Status view returned to HTTP handlers (no lock held).
+#[derive(Debug, Clone)]
+pub struct StatusView {
+    /// Job key.
+    pub key: String,
+    /// Program label.
+    pub label: String,
+    /// Scales.
+    pub scales: Vec<usize>,
+    /// Status.
+    pub status: JobStatus,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+    /// Cached result, when done.
+    pub result: Option<Arc<JobOutput>>,
+}
+
+/// Outcome of a submission.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// New work: the job was registered and enqueued.
+    Fresh(String),
+    /// The job already exists — a cache hit (done or coalesced).
+    Existing(StatusView),
+    /// The queue refused the job; nothing was registered.
+    Rejected,
+}
+
+/// Monotonic service counters, exported at `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Submissions accepted (fresh + hits; not queue-full rejections).
+    pub submitted: u64,
+    /// Submissions answered from an existing record.
+    pub cache_hits: u64,
+    /// Submissions that created a new job.
+    pub cache_misses: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: u64,
+    /// Pipeline executions actually started by workers.
+    pub executed: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Completed results evicted to respect the capacity bound.
+    pub evicted: u64,
+}
+
+/// Map plus completion order, guarded by one mutex so eviction sees a
+/// consistent view.
+#[derive(Debug, Default)]
+struct JobsInner {
+    map: HashMap<String, JobRecord>,
+    /// Keys in completion order — the FIFO eviction candidates.
+    done_order: VecDeque<String>,
+}
+
+/// The shared registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    jobs: Mutex<JobsInner>,
+    /// Retain at most this many completed results (0 = unbounded). The
+    /// daemon must bound it: each `JobOutput` holds per-scale profile
+    /// images and each spec its full source text, so an unbounded map
+    /// grows monotonically under a stream of distinct jobs until OOM.
+    max_results: usize,
+    submitted: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    executed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    evicted: AtomicU64,
+}
+
+fn view(key: &str, record: &JobRecord) -> StatusView {
+    StatusView {
+        key: key.to_string(),
+        label: record.spec.label(),
+        scales: record.spec.scales.clone(),
+        status: record.status,
+        error: record.error.clone(),
+        result: record.result.clone(),
+    }
+}
+
+impl Registry {
+    /// Empty, unbounded registry (tests; the daemon uses
+    /// [`Registry::with_result_capacity`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Empty registry retaining at most `max_results` completed results
+    /// (oldest evicted first; 0 means unbounded).
+    pub fn with_result_capacity(max_results: usize) -> Registry {
+        Registry {
+            max_results,
+            ..Registry::default()
+        }
+    }
+
+    /// Register a submission. Failed jobs are retried (their record is
+    /// replaced and the submission counts as a miss).
+    ///
+    /// `enqueue` is called *inside* the registry lock for fresh jobs and
+    /// must be non-blocking (the bounded [`crate::queue::JobQueue::push`]
+    /// is). Holding the lock makes lookup → register → enqueue atomic:
+    /// without it, a concurrent identical submission could coalesce onto
+    /// a record that a failed enqueue is about to roll back, leaving that
+    /// client acknowledged for a job that no longer exists. When
+    /// `enqueue` refuses, nothing is registered and no accepted-submission
+    /// counter moves — only `rejected`.
+    pub fn submit<F>(&self, spec: JobSpec, enqueue: F) -> SubmitOutcome
+    where
+        F: FnOnce(&str) -> bool,
+    {
+        let key = spec.key();
+        let mut jobs = self.jobs.lock().unwrap();
+        match jobs.map.get(&key) {
+            Some(record) if record.status != JobStatus::Failed => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Existing(view(&key, record))
+            }
+            _ => {
+                if !enqueue(&key) {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return SubmitOutcome::Rejected;
+                }
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                jobs.map.insert(
+                    key.clone(),
+                    JobRecord {
+                        spec,
+                        status: JobStatus::Queued,
+                        error: None,
+                        result: None,
+                    },
+                );
+                SubmitOutcome::Fresh(key)
+            }
+        }
+    }
+
+    /// Worker claims a queued job; returns its spec.
+    pub fn start(&self, key: &str) -> Option<JobSpec> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let record = jobs.map.get_mut(key)?;
+        if record.status != JobStatus::Queued {
+            return None;
+        }
+        record.status = JobStatus::Running;
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        Some(record.spec.clone())
+    }
+
+    /// Worker finished successfully. When a result capacity is set,
+    /// the oldest completed results are evicted to make room — an
+    /// evicted job simply re-runs on its next submission.
+    pub fn complete(&self, key: &str, output: JobOutput) {
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(record) = jobs.map.get_mut(key) {
+            record.status = JobStatus::Done;
+            record.result = Some(Arc::new(output));
+            record.error = None;
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            jobs.done_order.push_back(key.to_string());
+        }
+        while self.max_results > 0 && jobs.done_order.len() > self.max_results {
+            let Some(oldest) = jobs.done_order.pop_front() else {
+                break;
+            };
+            // Entries in done_order are Done for as long as they exist
+            // (Done is terminal); a stale key — evicted earlier, then
+            // resubmitted and completed again — is simply skipped.
+            if jobs
+                .map
+                .get(&oldest)
+                .is_some_and(|r| r.status == JobStatus::Done)
+            {
+                jobs.map.remove(&oldest);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Worker failed.
+    pub fn fail(&self, key: &str, error: String) {
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(record) = jobs.map.get_mut(key) {
+            record.status = JobStatus::Failed;
+            record.error = Some(error);
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Status of one job.
+    pub fn status(&self, key: &str) -> Option<StatusView> {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.map.get(key).map(|record| view(key, record))
+    }
+
+    /// Completed results currently held in the cache.
+    pub fn results_cached(&self) -> usize {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.map
+            .values()
+            .filter(|r| r.status == JobStatus::Done)
+            .count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobProgram;
+    use scalana_core::ScalAnaConfig;
+
+    fn spec(text: &str) -> JobSpec {
+        JobSpec {
+            program: JobProgram::Source {
+                name: "t.mmpi".to_string(),
+                text: text.to_string(),
+            },
+            scales: vec![2],
+            config: ScalAnaConfig::default(),
+        }
+    }
+
+    const SRC: &str = "fn main() { comp(cycles = 10_000); allreduce(bytes = 8); }";
+
+    fn accept(registry: &Registry, spec: JobSpec) -> SubmitOutcome {
+        registry.submit(spec, |_| true)
+    }
+
+    #[test]
+    fn resubmission_hits_whether_pending_or_done() {
+        let registry = Registry::new();
+        let key = match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Fresh(key) => key,
+            other => panic!("first submit must be fresh, got {other:?}"),
+        };
+        // Second submit while queued: coalesced, counted as a hit.
+        match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Existing(v) => assert_eq!(v.status, JobStatus::Queued),
+            other => panic!("identical job must coalesce, got {other:?}"),
+        }
+        // Execute and complete; third submit is served from cache.
+        let job = registry.start(&key).unwrap();
+        let output = job.execute().unwrap();
+        registry.complete(&key, output);
+        match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Existing(v) => {
+                assert_eq!(v.status, JobStatus::Done);
+                assert!(v.result.is_some());
+            }
+            other => panic!("completed job must hit the cache, got {other:?}"),
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(registry.results_cached(), 1);
+    }
+
+    #[test]
+    fn failed_jobs_are_retried_on_resubmit() {
+        let registry = Registry::new();
+        let key = match accept(&registry, spec("fn main( {")) {
+            SubmitOutcome::Fresh(key) => key,
+            other => panic!("{other:?}"),
+        };
+        registry.start(&key).unwrap();
+        registry.fail(&key, "parse error".to_string());
+        assert_eq!(registry.status(&key).unwrap().status, JobStatus::Failed);
+        match accept(&registry, spec("fn main( {")) {
+            SubmitOutcome::Fresh(k) => assert_eq!(k, key),
+            other => panic!("failed job must be retried, got {other:?}"),
+        }
+        assert_eq!(registry.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn result_capacity_evicts_oldest_completed() {
+        let registry = Registry::with_result_capacity(2);
+        let texts = [
+            "fn main() { comp(cycles = 10_000); }",
+            "fn main() { comp(cycles = 20_000); }",
+            "fn main() { comp(cycles = 30_000); }",
+        ];
+        let mut keys = Vec::new();
+        for text in texts {
+            let key = match accept(&registry, spec(text)) {
+                SubmitOutcome::Fresh(key) => key,
+                other => panic!("{other:?}"),
+            };
+            let job = registry.start(&key).unwrap();
+            registry.complete(&key, job.execute().unwrap());
+            keys.push(key);
+        }
+        // Capacity 2: the first completion was evicted, the rest serve.
+        assert_eq!(registry.results_cached(), 2);
+        assert!(registry.status(&keys[0]).is_none(), "oldest evicted");
+        assert!(registry.status(&keys[1]).is_some());
+        assert!(registry.status(&keys[2]).is_some());
+        assert_eq!(registry.stats().evicted, 1);
+        // An evicted job is simply fresh work again.
+        assert!(matches!(
+            accept(&registry, spec(texts[0])),
+            SubmitOutcome::Fresh(_)
+        ));
+    }
+
+    #[test]
+    fn rejected_enqueue_registers_nothing() {
+        let registry = Registry::new();
+        assert!(matches!(
+            registry.submit(spec(SRC), |_| false),
+            SubmitOutcome::Rejected
+        ));
+        let stats = registry.stats();
+        assert_eq!(stats.rejected, 1);
+        // Only accepted submissions count — and no phantom record exists
+        // for a later identical submission to coalesce onto.
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert!(matches!(
+            registry.submit(spec(SRC), |_| true),
+            SubmitOutcome::Fresh(_)
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Tiny blocking HTTP client for the daemon.
+//!
+//! Used by the `scalana submit`/`status`/`result` subcommands, the
+//! integration tests, and the benches — the same framing code as the
+//! server ([`crate::http`]), so both ends agree by construction.
+
+use crate::json::{parse, Json};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One request; returns `(status code, raw body)`.
+pub fn request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, Vec<u8>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    crate::http::write_request(&stream, method, path, body.as_bytes())
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    crate::http::read_response(&stream).map_err(|e| format!("response from {addr} failed: {e}"))
+}
+
+/// One request with a UTF-8 body.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let (code, bytes) = request_raw(addr, method, path, body)?;
+    let text = String::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+    Ok((code, text))
+}
+
+/// One request, parsed as JSON; non-2xx responses become errors carrying
+/// the server's `error` message.
+pub fn request_json(addr: &str, method: &str, path: &str, body: &str) -> Result<Json, String> {
+    let (code, text) = request(addr, method, path, body)?;
+    let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
+    if !(200..300).contains(&code) {
+        let message = doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed");
+        return Err(format!("{method} {path}: {code} {message}"));
+    }
+    Ok(doc)
+}
+
+/// Poll `GET /jobs/<key>` until the job leaves the queue/running states
+/// or `timeout` elapses. Returns the final status document.
+pub fn wait_for_job(addr: &str, key: &str, timeout: Duration) -> Result<Json, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let doc = request_json(addr, "GET", &format!("/jobs/{key}"), "")?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("queued") | Some("running") => {}
+            Some(_) => return Ok(doc),
+            None => return Err("status response missing `status`".to_string()),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {key} still pending after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

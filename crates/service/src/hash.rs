@@ -1,0 +1,221 @@
+//! Stable content hashing for the job cache.
+//!
+//! Job identity is *content-addressed*: the key is a hash of everything
+//! that determines the analysis output — the program (app name or inline
+//! source), the scales, and the full [`ScalAnaConfig`]. Rust's
+//! `DefaultHasher` is seeded per process, so this module carries its own
+//! fixed-parameter FNV-1a implementation: the same job hashes to the
+//! same key across daemon restarts and client machines.
+
+use scalana_core::ScalAnaConfig;
+use scalana_mpisim::CoreSpeed;
+
+/// Incremental 64-bit FNV-1a with length-prefixed field framing.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// Standard FNV-1a offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feed one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feed a 64-bit integer (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a `usize` (as 64-bit).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feed a signed 64-bit integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a float by bit pattern (canonicalizing -0.0 and NaN).
+    pub fn write_f64(&mut self, v: f64) {
+        let canonical = if v == 0.0 {
+            0.0f64
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.write_u64(canonical.to_bits());
+    }
+
+    /// Feed a bool.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Feed a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Final hash as 16 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// Hash every analysis-relevant field of a [`ScalAnaConfig`] in a fixed
+/// order. Adding a config field without extending this function keeps the
+/// cache *correct* only if the field does not affect results — extend it
+/// whenever the pipeline grows a knob.
+pub fn hash_config(h: &mut StableHasher, config: &ScalAnaConfig) {
+    // PSG options.
+    h.write_u64(u64::from(config.psg.max_loop_depth));
+    h.write_bool(config.psg.contract);
+    // Profiler.
+    let p = &config.profiler;
+    h.write_f64(p.sampling_hz);
+    h.write_f64(p.sample_cost);
+    h.write_f64(p.mpi_event_cost);
+    h.write_f64(p.comm_record_cost);
+    h.write_f64(p.comm_check_probability);
+    h.write_bool(p.graph_compression);
+    h.write_bool(p.exact_attribution);
+    h.write_u64(p.seed);
+    // Detection.
+    let d = &config.detect;
+    h.write_f64(d.abnorm_thd);
+    hash_aggregation(h, &d.aggregation);
+    h.write_usize(d.top_k);
+    h.write_f64(d.min_time_fraction);
+    h.write_f64(d.slope_threshold);
+    h.write_f64(d.wait_prune);
+    h.write_usize(d.max_path_len);
+    // Machine model.
+    let m = &config.machine;
+    h.write_f64(m.freq_hz);
+    match &m.core_speed {
+        CoreSpeed::Uniform => h.write_u8(0),
+        CoreSpeed::PerRank(factors) => {
+            h.write_u8(1);
+            h.write_usize(factors.len());
+            for f in factors {
+                h.write_f64(*f);
+            }
+        }
+    }
+    h.write_f64(m.net_latency);
+    h.write_f64(m.net_bandwidth);
+    h.write_f64(m.mpi_overhead);
+    h.write_u64(m.eager_threshold);
+    h.write_f64(m.miss_penalty_cycles);
+    h.write_f64(m.noise.amplitude);
+    h.write_u64(m.noise.seed);
+    // Parameter overrides, in sorted order (HashMap iteration order is
+    // process-local).
+    let mut params: Vec<(&String, &i64)> = config.params.iter().collect();
+    params.sort();
+    h.write_usize(params.len());
+    for (name, value) in params {
+        h.write_str(name);
+        h.write_i64(*value);
+    }
+}
+
+fn hash_aggregation(h: &mut StableHasher, agg: &scalana_detect::Aggregation) {
+    use scalana_detect::Aggregation;
+    match agg {
+        Aggregation::SingleRank(r) => {
+            h.write_u8(0);
+            h.write_usize(*r);
+        }
+        Aggregation::Mean => h.write_u8(1),
+        Aggregation::Median => h.write_u8(2),
+        Aggregation::Max => h.write_u8(3),
+        Aggregation::Clustered { k } => {
+            h.write_u8(4);
+            h.write_usize(*k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn field_framing_distinguishes_splits() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let base = ScalAnaConfig::default();
+        let hash = |c: &ScalAnaConfig| {
+            let mut h = StableHasher::new();
+            hash_config(&mut h, c);
+            h.finish()
+        };
+        assert_eq!(hash(&base), hash(&base.clone()));
+
+        let mut tweaked = base.clone();
+        tweaked.detect.abnorm_thd += 0.1;
+        assert_ne!(hash(&base), hash(&tweaked));
+
+        let mut with_param = base.clone();
+        with_param.params.insert("N".to_string(), 7);
+        assert_ne!(hash(&base), hash(&with_param));
+
+        // Param insertion order must not matter.
+        let mut ab = base.clone();
+        ab.params.insert("A".to_string(), 1);
+        ab.params.insert("B".to_string(), 2);
+        let mut ba = base.clone();
+        ba.params.insert("B".to_string(), 2);
+        ba.params.insert("A".to_string(), 1);
+        assert_eq!(hash(&ab), hash(&ba));
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! The service speaks a deliberately small subset: one request per
+//! connection (`Connection: close`), `Content-Length` bodies only, no
+//! chunked encoding, no keep-alive. Both the server and the bundled
+//! client use these helpers, so the two ends agree by construction.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Largest accepted request body (1 MiB) — inline programs are small.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Largest accepted *response* body (256 MiB). Results and profile
+/// images can legitimately dwarf any request — a profile at hundreds of
+/// ranks is tens of MiB — so the client's bound is separate from (and
+/// far above) the server's request cap.
+pub const MAX_RESPONSE_BODY: usize = 256 << 20;
+
+/// Largest accepted head (request/status line + headers, 16 KiB). The
+/// whole stream is clamped to head + body budget before buffering, so a
+/// peer streaming endless header lines exhausts its allowance instead
+/// of the process heap.
+const MAX_HEAD: usize = 16 << 10;
+
+/// A parsed request (or response) head plus body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request target, e.g. `/jobs/abc/result`.
+    pub path: String,
+    /// Decoded body.
+    pub body: String,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one request from a stream.
+pub fn read_request<S: Read>(stream: S) -> io::Result<Request> {
+    // Hard byte budget: a request can never usefully exceed its head
+    // plus the body cap, so clamp the stream itself. Past the budget,
+    // reads see EOF and the framing below turns that into an error.
+    let mut reader = BufReader::new(stream.take((MAX_HEAD + MAX_BODY) as u64));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("missing request path"))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let content_length = read_headers(&mut reader, MAX_BODY)?;
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Read headers until the blank line; returns `Content-Length` (0 when
+/// absent), rejecting bodies above `max_body`. Bounded: at most
+/// [`MAX_HEAD`] header bytes and one `read_line` allocation at a time.
+fn read_headers<R: BufRead>(reader: &mut R, max_body: usize) -> io::Result<usize> {
+    let mut content_length = 0usize;
+    let mut head_bytes = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD {
+            return Err(invalid("header section too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad Content-Length"))?;
+                if content_length > max_body {
+                    return Err(invalid("body too large"));
+                }
+            }
+        }
+    }
+}
+
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> io::Result<String> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))
+}
+
+/// Standard reason phrases for the codes the service uses.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response and flush.
+pub fn write_response<S: Write>(
+    mut stream: S,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        code,
+        status_text(code),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Parse a response (client side): returns `(status, body)`. Responses
+/// get their own, much larger body budget ([`MAX_RESPONSE_BODY`]):
+/// results and profile images legitimately exceed the request cap.
+pub fn read_response<S: Read>(stream: S) -> io::Result<(u16, Vec<u8>)> {
+    let mut reader = BufReader::new(stream.take((MAX_HEAD + MAX_RESPONSE_BODY) as u64));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let code: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let content_length = read_headers(&mut reader, MAX_RESPONSE_BODY)?;
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((code, body))
+}
+
+/// Write a request (client side).
+pub fn write_request<S: Write>(
+    mut stream: S,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: scalana\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/jobs", b"{\"app\":\"CG\"}").unwrap();
+        let req = read_request(&wire[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "{\"app\":\"CG\"}");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 404, "application/json", b"{\"error\":\"nope\"}").unwrap();
+        let (code, body) = read_response(&wire[..]).unwrap();
+        assert_eq!(code, 404);
+        assert_eq!(body, b"{\"error\":\"nope\"}");
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(read_request(wire.as_bytes()).is_err());
+        assert!(read_request(&b"NOT-HTTP\r\n\r\n"[..]).is_err());
+        assert!(read_request(&b"GET /x SPDY/3\r\n\r\n"[..]).is_err());
+        // Truncated body.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&wire[..]).is_err());
+    }
+
+    #[test]
+    fn responses_above_the_request_cap_are_readable() {
+        // Results / profile images can exceed MAX_BODY; the client's
+        // budget is separate.
+        let big = vec![b'x'; MAX_BODY + 1];
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/octet-stream", &big).unwrap();
+        let (code, body) = read_response(&wire[..]).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body.len(), MAX_BODY + 1);
+    }
+
+    #[test]
+    fn unbounded_header_streams_are_rejected() {
+        // A peer streaming endless headers must hit a bound, not grow
+        // the heap until the read timeout.
+        let mut wire = b"POST / HTTP/1.1\r\n".to_vec();
+        for _ in 0..4096 {
+            wire.extend_from_slice(b"X-Spam: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(read_request(&wire[..]).is_err());
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let wire = b"POST / HTTP/1.0\r\ncOnTeNt-LeNgTh: 2\r\nX-Other: 1\r\n\r\nok";
+        let req = read_request(&wire[..]).unwrap();
+        assert_eq!(req.body, "ok");
+    }
+}

@@ -1,0 +1,187 @@
+//! Job specification, content addressing, and execution.
+
+use crate::hash::{hash_config, StableHasher};
+use crate::json::Json;
+use crate::jsonify::{report_to_json, run_summary_to_json};
+use bytes::Bytes;
+use scalana_core::{assemble, pipeline, ScalAnaConfig};
+use scalana_lang::parse_program;
+
+/// What program a job analyzes.
+#[derive(Debug, Clone)]
+pub enum JobProgram {
+    /// A built-in workload by Table II name (`CG`, `ZMP`, ...); runs
+    /// with the app's recommended machine model.
+    App(String),
+    /// Inline MiniMPI source shipped by the client.
+    Source {
+        /// File name used in `file:line` locations.
+        name: String,
+        /// The program text.
+        text: String,
+    },
+}
+
+/// One analysis request: program + scales + full configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The program.
+    pub program: JobProgram,
+    /// Ascending process counts.
+    pub scales: Vec<usize>,
+    /// Pipeline configuration (machine model is replaced by the app's
+    /// when `program` is [`JobProgram::App`]).
+    pub config: ScalAnaConfig,
+}
+
+impl JobSpec {
+    /// The content address: a stable hash of everything that determines
+    /// the analysis output. Identical jobs — byte-identical program,
+    /// scales, and config — share a key and therefore a cache slot.
+    pub fn key(&self) -> String {
+        let mut h = StableHasher::new();
+        match &self.program {
+            JobProgram::App(name) => {
+                h.write_u8(0);
+                h.write_str(name);
+            }
+            JobProgram::Source { name, text } => {
+                h.write_u8(1);
+                h.write_str(name);
+                h.write_str(text);
+            }
+        }
+        h.write_usize(self.scales.len());
+        for &s in &self.scales {
+            h.write_usize(s);
+        }
+        hash_config(&mut h, &self.config);
+        h.hex()
+    }
+
+    /// Human-readable program label for status lines.
+    pub fn label(&self) -> String {
+        match &self.program {
+            JobProgram::App(name) => format!("app:{name}"),
+            JobProgram::Source { name, .. } => name.clone(),
+        }
+    }
+
+    /// Run the full pipeline for this spec. Returns a rendered result
+    /// plus one persisted profile image per scale (`ScalAna-prof`'s
+    /// post-mortem artifact, served by `/jobs/<id>/profile/<nprocs>`).
+    pub fn execute(&self) -> Result<JobOutput, String> {
+        let (program, config) = match &self.program {
+            JobProgram::App(name) => {
+                let app =
+                    scalana_apps::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
+                let config = ScalAnaConfig {
+                    machine: app.machine.clone(),
+                    ..self.config.clone()
+                };
+                (app.program, config)
+            }
+            JobProgram::Source { name, text } => {
+                let program = parse_program(name, text).map_err(|e| e.to_string())?;
+                (program, self.config.clone())
+            }
+        };
+        let runs =
+            pipeline::profile_runs(&program, &self.scales, &config).map_err(|e| e.to_string())?;
+        // Persist each profile before detection consumes it — the same
+        // image `ScalAna-prof` would leave on disk for `ScalAna-detect`.
+        let profiles: Vec<(usize, Bytes)> = runs
+            .scales
+            .iter()
+            .zip(&runs.profiles)
+            .map(|(&nprocs, data)| (nprocs, scalana_profile::store::save(data)))
+            .collect();
+        let analysis = assemble(runs, &config);
+        Ok(JobOutput {
+            report_json: report_to_json(&analysis.report).render(),
+            runs_json: Json::Arr(analysis.runs.iter().map(run_summary_to_json).collect()).render(),
+            detect_seconds: analysis.detect_seconds,
+            profiles,
+        })
+    }
+}
+
+/// A completed job's cached artifacts. The JSON parts are stored
+/// pre-rendered: results are served many times (polling clients, cache
+/// hits), so the serialization happens once at completion and each
+/// request splices the canonical fragments instead of cloning and
+/// re-rendering a document tree.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// Canonical JSON of the detection report (deterministic bytes).
+    pub report_json: String,
+    /// Canonical JSON array of per-scale run summaries (deterministic).
+    pub runs_json: String,
+    /// Wall-clock detection seconds (not deterministic).
+    pub detect_seconds: f64,
+    /// `(nprocs, profile image)` per scale, via `scalana_profile::store`.
+    pub profiles: Vec<(usize, Bytes)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec(text: &str) -> JobSpec {
+        JobSpec {
+            program: JobProgram::Source {
+                name: "demo.mmpi".to_string(),
+                text: text.to_string(),
+            },
+            scales: vec![2, 4],
+            config: ScalAnaConfig::default(),
+        }
+    }
+
+    const DEMO: &str = "fn main() { comp(cycles = 100_000); allreduce(bytes = 8); }";
+
+    #[test]
+    fn key_is_content_addressed() {
+        let spec = demo_spec(DEMO);
+        assert_eq!(spec.key(), demo_spec(DEMO).key());
+        assert_eq!(spec.key().len(), 16);
+
+        let mut other_scales = demo_spec(DEMO);
+        other_scales.scales = vec![2, 4, 8];
+        assert_ne!(spec.key(), other_scales.key());
+
+        let other_text = demo_spec("fn main() { comp(cycles = 1); }");
+        assert_ne!(spec.key(), other_text.key());
+
+        let app = JobSpec {
+            program: JobProgram::App("CG".to_string()),
+            scales: vec![2, 4],
+            config: ScalAnaConfig::default(),
+        };
+        assert_ne!(spec.key(), app.key());
+    }
+
+    #[test]
+    fn execute_produces_report_and_profiles() {
+        let out = demo_spec(DEMO).execute().unwrap();
+        let report = crate::json::parse(&out.report_json).unwrap();
+        assert!(report.get("root_causes").is_some());
+        let runs = crate::json::parse(&out.runs_json).unwrap();
+        assert_eq!(runs.as_array().unwrap().len(), 2);
+        assert_eq!(out.profiles.len(), 2);
+        let (nprocs, image) = &out.profiles[0];
+        assert_eq!(*nprocs, 2);
+        let loaded = scalana_profile::store::load(image.clone()).unwrap();
+        assert_eq!(loaded.nprocs, 2);
+    }
+
+    #[test]
+    fn execute_rejects_unknown_app_and_bad_source() {
+        let mut spec = demo_spec(DEMO);
+        spec.program = JobProgram::App("NOPE".to_string());
+        assert!(spec.execute().unwrap_err().contains("unknown app"));
+
+        let bad = demo_spec("fn main( {");
+        assert!(bad.execute().is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Canonical JSON views of the analysis data model.
+//!
+//! Shared between `scalana analyze --json` and the daemon's result
+//! endpoint, so a client comparing a served report against a local run
+//! compares identical bytes. Field order is fixed here; floats render
+//! through the canonical form in [`crate::json`].
+
+use crate::json::Json;
+use scalana_core::{Analysis, RunSummary};
+use scalana_detect::{
+    summarize, AbnormalVertex, DetectionReport, NonScalableVertex, PathStep, RootCause,
+    RootCausePath, ScalingSummary,
+};
+use scalana_graph::PsgStats;
+
+/// One run summary.
+pub fn run_summary_to_json(run: &RunSummary) -> Json {
+    Json::obj(vec![
+        ("nprocs", run.nprocs.into()),
+        ("total_time", run.total_time.into()),
+        ("storage_bytes", run.storage_bytes.into()),
+        ("sample_count", run.sample_count.into()),
+        ("comm_edges", run.comm_edges.into()),
+    ])
+}
+
+/// PSG statistics (the Table II columns).
+pub fn psg_stats_to_json(stats: &PsgStats) -> Json {
+    Json::obj(vec![
+        ("vbc", stats.vbc.into()),
+        ("vac", stats.vac.into()),
+        ("loops", stats.loops.into()),
+        ("branches", stats.branches.into()),
+        ("comps", stats.comps.into()),
+        ("mpis", stats.mpis.into()),
+        ("callsites", stats.callsites.into()),
+        ("recursive", stats.recursive.into()),
+        ("reduction", stats.reduction().into()),
+        ("comp_mpi_fraction", stats.comp_mpi_fraction().into()),
+    ])
+}
+
+/// Whole-program scaling summary (speedup curve).
+pub fn scaling_to_json(summary: &ScalingSummary) -> Json {
+    let points: Vec<Json> = summary
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("nprocs", p.nprocs.into()),
+                ("time", p.time.into()),
+                ("speedup", p.speedup.into()),
+                ("efficiency", p.efficiency.into()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("points", Json::Arr(points)),
+        ("time_slope", summary.time_slope.into()),
+        (
+            "serial_fraction",
+            summary.serial_fraction.map_or(Json::Null, Json::from),
+        ),
+        (
+            "efficient_scale",
+            summary.efficient_scale.map_or(Json::Null, Json::from),
+        ),
+    ])
+}
+
+fn non_scalable_to_json(n: &NonScalableVertex) -> Json {
+    Json::obj(vec![
+        ("vertex", n.vertex.into()),
+        ("location", n.location.as_str().into()),
+        ("slope", n.fit.slope.into()),
+        ("intercept", n.fit.intercept.into()),
+        ("r2", n.fit.r2.into()),
+        ("times", n.times.clone().into()),
+        ("time_fraction", n.time_fraction.into()),
+    ])
+}
+
+fn abnormal_to_json(a: &AbnormalVertex) -> Json {
+    Json::obj(vec![
+        ("vertex", a.vertex.into()),
+        ("location", a.location.as_str().into()),
+        ("ranks", a.ranks.clone().into()),
+        ("ratio", a.ratio.into()),
+        ("median_time", a.median_time.into()),
+    ])
+}
+
+fn step_to_json(s: &PathStep) -> Json {
+    Json::obj(vec![
+        ("rank", s.rank.into()),
+        ("vertex", s.vertex.into()),
+        ("kind", s.kind.as_str().into()),
+        ("location", s.location.as_str().into()),
+        ("time", s.time.into()),
+        ("wait_time", s.wait_time.into()),
+        ("via_comm", s.via_comm.into()),
+    ])
+}
+
+fn path_to_json(p: &RootCausePath) -> Json {
+    Json::obj(vec![
+        (
+            "steps",
+            Json::Arr(p.steps.iter().map(step_to_json).collect()),
+        ),
+        ("root_cause_idx", p.root_cause_idx.into()),
+        ("confident", p.confident.into()),
+    ])
+}
+
+fn root_cause_to_json(c: &RootCause) -> Json {
+    Json::obj(vec![
+        ("vertex", c.vertex.into()),
+        ("kind", c.kind.as_str().into()),
+        ("location", c.location.as_str().into()),
+        ("func", c.func.as_str().into()),
+        ("path_count", c.path_count.into()),
+        ("score", c.score.into()),
+        ("mean_time", c.mean_time.into()),
+        ("time_imbalance", c.time_imbalance.into()),
+        ("ins_imbalance", c.ins_imbalance.into()),
+    ])
+}
+
+/// The full detection report.
+pub fn report_to_json(report: &DetectionReport) -> Json {
+    Json::obj(vec![
+        (
+            "non_scalable",
+            Json::Arr(
+                report
+                    .non_scalable
+                    .iter()
+                    .map(non_scalable_to_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "abnormal",
+            Json::Arr(report.abnormal.iter().map(abnormal_to_json).collect()),
+        ),
+        (
+            "root_causes",
+            Json::Arr(report.root_causes.iter().map(root_cause_to_json).collect()),
+        ),
+        (
+            "paths",
+            Json::Arr(report.paths.iter().map(path_to_json).collect()),
+        ),
+    ])
+}
+
+/// Everything `scalana analyze --json` emits: PSG stats, per-scale run
+/// summaries, the speedup curve, and the detection report.
+///
+/// `detect_seconds` is wall-clock and therefore the one non-deterministic
+/// field; consumers wanting byte-stable output compare the `report` and
+/// `runs` members.
+pub fn analysis_to_json(analysis: &Analysis) -> Json {
+    let measurements: Vec<(usize, f64)> = analysis
+        .runs
+        .iter()
+        .map(|r| (r.nprocs, r.total_time))
+        .collect();
+    Json::obj(vec![
+        ("psg", psg_stats_to_json(&analysis.psg.stats)),
+        (
+            "runs",
+            Json::Arr(analysis.runs.iter().map(run_summary_to_json).collect()),
+        ),
+        ("speedup", scaling_to_json(&summarize(&measurements))),
+        ("report", report_to_json(&analysis.report)),
+        ("detect_seconds", analysis.detect_seconds.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalana_apps::{cg, CgOptions};
+    use scalana_core::{analyze_app, ScalAnaConfig};
+
+    #[test]
+    fn analysis_json_has_every_section_and_reparses() {
+        let app = cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let analysis = analyze_app(&app, &[2, 4], &ScalAnaConfig::default()).unwrap();
+        let json = analysis_to_json(&analysis);
+        let text = json.render();
+        let reparsed = crate::json::parse(&text).unwrap();
+        assert_eq!(reparsed.render(), text, "parse∘render is the identity");
+        for key in ["psg", "runs", "speedup", "report", "detect_seconds"] {
+            assert!(reparsed.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(reparsed.get("runs").unwrap().as_array().unwrap().len(), 2);
+        let report = reparsed.get("report").unwrap();
+        for key in ["non_scalable", "abnormal", "root_causes", "paths"] {
+            assert!(report.get(key).is_some(), "missing report.{key}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_across_runs() {
+        let app = cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let a = analyze_app(&app, &[2, 4], &ScalAnaConfig::default()).unwrap();
+        let b = analyze_app(&app, &[2, 4], &ScalAnaConfig::default()).unwrap();
+        assert_eq!(
+            report_to_json(&a.report).render(),
+            report_to_json(&b.report).render()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # scalana-service — the concurrent analysis daemon
+//!
+//! The paper's workflow decouples `ScalAna-prof` from `ScalAna-detect`
+//! so detection runs post-mortem over persisted profiles; this crate
+//! adds the serving layer on top: a long-lived daemon that accepts many
+//! analysis requests concurrently, reuses work across them, and exposes
+//! machine-readable results.
+//!
+//! Pieces:
+//!
+//! - [`json`] — hand-rolled JSON value model with canonical (byte-stable)
+//!   serialization, plus a parser for requests;
+//! - [`jsonify`] — JSON views of [`scalana_core`]'s analysis types,
+//!   shared with `scalana analyze --json`;
+//! - [`hash`] — process-independent FNV-1a hashing for content addresses;
+//! - [`job`] — job specs, their content-addressed keys, and execution
+//!   (profiles are persisted via `scalana_profile::store`, the way the
+//!   real tool hands images from its profiler to its detector);
+//! - [`queue`] / [`cache`] — bounded job queue and the content-addressed
+//!   registry/result cache with hit/miss counters;
+//! - [`http`] / [`server`] / [`client`] — minimal HTTP/1.1 framing over
+//!   `std::net`, the daemon itself, and the blocking client the CLI and
+//!   tests use.
+//!
+//! The `scalana` binary lives here too: the classic `static`/`analyze`/
+//! `apps` one-shot commands plus `serve`, `submit`, `status`, `result`,
+//! and `shutdown`.
+//!
+//! ```no_run
+//! use scalana_service::{client, Server, ServiceConfig};
+//!
+//! let server = Server::bind(&ServiceConfig {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//! let addr = server.local_addr().to_string();
+//! std::thread::spawn(move || server.run());
+//!
+//! let response =
+//!     client::request_json(&addr, "POST", "/jobs", r#"{"app":"CG","scales":[2,4]}"#).unwrap();
+//! println!("job {}", response.get("job").unwrap());
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod jsonify;
+pub mod queue;
+pub mod server;
+
+pub use cache::{JobStatus, Registry, StatsSnapshot};
+pub use job::{JobProgram, JobSpec};
+pub use json::Json;
+pub use jsonify::{analysis_to_json, report_to_json};
+pub use queue::JobQueue;
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,126 @@
+//! Bounded multi-producer multi-consumer job queue.
+//!
+//! Connection handlers push job keys; worker threads block on [`pop`]
+//! until work or shutdown. The queue is deliberately *non-blocking on
+//! push*: when full, the submitter gets [`QueueFull`] and the server
+//! answers `503` — backpressure surfaces to clients instead of tying up
+//! connection threads.
+//!
+//! [`pop`]: JobQueue::pop
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Push rejection: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Inner {
+    items: VecDeque<String>,
+    shutdown: bool,
+}
+
+/// The bounded queue.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl JobQueue {
+    /// Queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a job key; fails fast when full or shut down.
+    pub fn push(&self, key: String) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown || inner.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        inner.items.push_back(key);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available; `None` once shut down and drained.
+    pub fn pop(&self) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(key) = inner.items.pop_front() {
+                return Some(key);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Pending jobs.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Stop accepting pushes and wake every blocked worker. Already
+    /// queued jobs are still drained.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = JobQueue::new(2);
+        q.push("a".into()).unwrap();
+        q.push("b".into()).unwrap();
+        assert_eq!(q.push("c".into()), Err(QueueFull));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop().as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers_and_drains() {
+        let q = Arc::new(JobQueue::new(4));
+        q.push("last".into()).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give workers a moment to block, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        let results: Vec<Option<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Exactly one worker got the queued job; the rest observed shutdown.
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 1);
+        assert_eq!(q.push("late".into()), Err(QueueFull));
+        assert_eq!(q.pop(), None);
+    }
+}

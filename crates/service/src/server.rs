@@ -1,0 +1,554 @@
+//! The analysis daemon: TCP accept loop, worker pool, HTTP routing.
+//!
+//! ```text
+//! POST /jobs                    submit a job (JSON body)
+//! GET  /jobs/<id>               job status
+//! GET  /jobs/<id>/result        cached analysis result (JSON)
+//! GET  /jobs/<id>/profile/<p>   persisted profile image at scale <p>
+//! GET  /stats                   counters: cache hits/misses, queue, ...
+//! GET  /healthz                 liveness probe
+//! POST /shutdown                graceful stop
+//! ```
+//!
+//! Connections are short-lived (one request each); submissions land in
+//! the bounded [`JobQueue`] and a pool of worker threads drains it,
+//! running the `scalana_core::pipeline` per job. Results live in the
+//! content-addressed [`Registry`], so identical re-submissions are
+//! answered without re-simulating.
+
+use crate::cache::{JobStatus, Registry, StatusView, SubmitOutcome};
+use crate::http::{read_request, write_response, Request};
+use crate::job::{JobProgram, JobSpec};
+use crate::json::{parse, Json};
+use crate::queue::JobQueue;
+use scalana_core::ScalAnaConfig;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing analyses.
+    pub workers: usize,
+    /// Bounded queue capacity (submissions beyond it get `503`).
+    pub queue_capacity: usize,
+    /// Completed results retained in the cache (oldest evicted first;
+    /// 0 = unbounded). Results hold profile images, so a long-lived
+    /// daemon must bound them.
+    pub max_cached_results: usize,
+    /// Base analysis configuration; per-request knobs override it.
+    pub default_config: ScalAnaConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        ServiceConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers,
+            queue_capacity: 64,
+            max_cached_results: 256,
+            default_config: ScalAnaConfig::default(),
+        }
+    }
+}
+
+/// Most connection-handler threads alive at once. The job queue and
+/// worker pool are bounded; without this, connection concurrency would
+/// be the one unbounded resource (a burst of idle sockets = one thread
+/// + stack each for up to the 30 s read timeout).
+const MAX_CONNECTIONS: usize = 256;
+
+struct State {
+    registry: Registry,
+    queue: JobQueue,
+    workers: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    connections: AtomicUsize,
+    default_config: ScalAnaConfig,
+}
+
+/// Decrements the live-connection count when a handler exits, however
+/// it exits.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl State {
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.shutdown();
+            // Wake the blocked accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A bound (not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.state.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind the listener (the returned server is not serving yet).
+    pub fn bind(config: &ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                registry: Registry::with_result_capacity(config.max_cached_results),
+                queue: JobQueue::new(config.queue_capacity),
+                workers: config.workers.max(1),
+                shutdown: AtomicBool::new(false),
+                addr,
+                connections: AtomicUsize::new(0),
+                default_config: config.default_config.clone(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serve until `POST /shutdown`. Blocks; spawns the worker pool and
+    /// one short-lived thread per connection.
+    pub fn run(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.state.workers)
+            .map(|i| {
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("scalana-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Overload shedding: answer 503 from the accept thread
+            // rather than spawn an unbounded number of handlers.
+            if self.state.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                self.state.connections.fetch_sub(1, Ordering::SeqCst);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = write_response(
+                    &stream,
+                    503,
+                    "application/json",
+                    b"{\"error\":\"too many connections\"}",
+                );
+                continue;
+            }
+            let state = Arc::clone(&self.state);
+            // Detached: handlers are short-lived, time-limited, and
+            // counted (the guard in handle_connection releases the slot).
+            if std::thread::Builder::new()
+                .name("scalana-conn".to_string())
+                .spawn(move || handle_connection(stream, &state))
+                .is_err()
+            {
+                self.state.connections.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        self.state.queue.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(state: &State) {
+    // Runs until `pop` returns `None`: after shutdown the queue stops
+    // accepting pushes but still hands out already-accepted jobs, so
+    // every submission the daemon acknowledged gets executed (its record
+    // would otherwise sit `queued` forever) — graceful, not abrupt.
+    while let Some(key) = state.queue.pop() {
+        let Some(spec) = state.registry.start(&key) else {
+            continue;
+        };
+        // Isolate panics: execute() runs parser/simulator/detector over
+        // client-supplied programs. An escaped panic would kill this
+        // worker thread for good AND strand the record in `Running` —
+        // unretryable, since only Failed records are resubmittable.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.execute()));
+        match result {
+            Ok(Ok(output)) => state.registry.complete(&key, output),
+            Ok(Err(error)) => state.registry.fail(&key, error),
+            Err(panic) => state
+                .registry
+                .fail(&key, format!("job panicked: {}", panic_message(&panic))),
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("unknown panic")
+}
+
+fn handle_connection(stream: TcpStream, state: &State) {
+    let _guard = ConnGuard(&state.connections);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match stream.try_clone().and_then(read_request) {
+        Ok(request) => request,
+        Err(_) => {
+            let _ = respond_json(
+                &stream,
+                400,
+                &Json::obj(vec![("error", "malformed request".into())]),
+            );
+            return;
+        }
+    };
+    let (response, action) = route(&request, state);
+    let (code, content_type, body) = response;
+    let _ = write_response(&stream, code, &content_type, &body);
+    // The routing decision (not a re-match on the raw path, which would
+    // miss normalized forms like `//shutdown`) drives post-response
+    // actions, after the acknowledgment is on the wire.
+    if action == Action::Shutdown {
+        state.trigger_shutdown();
+    }
+}
+
+fn respond_json(stream: &TcpStream, code: u16, body: &Json) -> io::Result<()> {
+    write_response(stream, code, "application/json", body.render().as_bytes())
+}
+
+/// What to do after the response is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    None,
+    Shutdown,
+}
+
+/// Bodies are `Bytes` so a cached profile image is served by refcount
+/// bump, not a per-request deep copy.
+type Response = (u16, String, bytes::Bytes);
+
+fn json_response(code: u16, body: Json) -> Response {
+    (
+        code,
+        "application/json".to_string(),
+        bytes::Bytes::from(body.render().into_bytes()),
+    )
+}
+
+fn error_response(code: u16, message: &str) -> Response {
+    json_response(code, Json::obj(vec![("error", message.into())]))
+}
+
+fn route(request: &Request, state: &State) -> (Response, Action) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let response = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => json_response(200, Json::obj(vec![("ok", true.into())])),
+        ("GET", ["stats"]) => json_response(200, stats_json(state)),
+        ("POST", ["shutdown"]) => {
+            return (
+                json_response(200, Json::obj(vec![("ok", true.into())])),
+                Action::Shutdown,
+            );
+        }
+        ("POST", ["jobs"]) => submit(request, state),
+        ("GET", ["jobs", key]) => match state.registry.status(key) {
+            Some(view) => json_response(200, status_json(&view)),
+            None => error_response(404, "unknown job"),
+        },
+        ("GET", ["jobs", key, "result"]) => result(key, state),
+        ("GET", ["jobs", key, "profile", nprocs]) => profile(key, nprocs, state),
+        ("GET" | "POST", _) => error_response(404, "no such endpoint"),
+        _ => error_response(405, "unsupported method"),
+    };
+    (response, Action::None)
+}
+
+fn stats_json(state: &State) -> Json {
+    let stats = state.registry.stats();
+    Json::obj(vec![
+        ("workers", state.workers.into()),
+        ("queue_depth", state.queue.depth().into()),
+        ("results_cached", state.registry.results_cached().into()),
+        ("submitted", stats.submitted.into()),
+        ("cache_hits", stats.cache_hits.into()),
+        ("cache_misses", stats.cache_misses.into()),
+        ("rejected", stats.rejected.into()),
+        ("executed", stats.executed.into()),
+        ("completed", stats.completed.into()),
+        ("failed", stats.failed.into()),
+        ("evicted", stats.evicted.into()),
+    ])
+}
+
+fn status_json(view: &StatusView) -> Json {
+    let mut pairs = vec![
+        ("job", Json::from(view.key.as_str())),
+        ("program", view.label.as_str().into()),
+        ("scales", view.scales.clone().into()),
+        ("status", view.status.as_str().into()),
+    ];
+    if let Some(error) = &view.error {
+        pairs.push(("error", error.as_str().into()));
+    }
+    Json::obj(pairs)
+}
+
+fn submit(request: &Request, state: &State) -> Response {
+    let spec = match parse_submit(&request.body, &state.default_config) {
+        Ok(spec) => spec,
+        Err(message) => return error_response(400, &message),
+    };
+    let outcome = state
+        .registry
+        .submit(spec, |key| state.queue.push(key.to_string()).is_ok());
+    match outcome {
+        SubmitOutcome::Existing(view) => {
+            let mut body = status_json(&view);
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("cached".to_string(), Json::Bool(true)));
+            }
+            json_response(200, body)
+        }
+        SubmitOutcome::Fresh(key) => json_response(
+            200,
+            Json::obj(vec![
+                ("job", key.as_str().into()),
+                ("status", "queued".into()),
+                ("cached", false.into()),
+            ]),
+        ),
+        SubmitOutcome::Rejected => error_response(503, "job queue is full, retry later"),
+    }
+}
+
+fn result(key: &str, state: &State) -> Response {
+    let Some(view) = state.registry.status(key) else {
+        return error_response(404, "unknown job");
+    };
+    match (view.status, &view.result) {
+        (JobStatus::Done, Some(output)) => {
+            // Splice the pre-rendered canonical fragments — results are
+            // fetched repeatedly, and cloning + re-rendering the whole
+            // report tree per request is the expensive way to say the
+            // same bytes. Field syntax stays valid because every
+            // fragment is itself canonical JSON.
+            let mut body =
+                String::with_capacity(output.report_json.len() + output.runs_json.len() + 96);
+            body.push_str("{\"job\":");
+            body.push_str(&Json::from(key).render());
+            body.push_str(",\"report\":");
+            body.push_str(&output.report_json);
+            body.push_str(",\"runs\":");
+            body.push_str(&output.runs_json);
+            body.push_str(",\"detect_seconds\":");
+            body.push_str(&Json::Num(output.detect_seconds).render());
+            body.push('}');
+            (
+                200,
+                "application/json".to_string(),
+                bytes::Bytes::from(body.into_bytes()),
+            )
+        }
+        (JobStatus::Failed, _) => {
+            error_response(500, view.error.as_deref().unwrap_or("job failed"))
+        }
+        _ => error_response(409, "job still pending"),
+    }
+}
+
+fn profile(key: &str, nprocs: &str, state: &State) -> Response {
+    let Ok(nprocs) = nprocs.parse::<usize>() else {
+        return error_response(400, "bad process count");
+    };
+    let Some(view) = state.registry.status(key) else {
+        return error_response(404, "unknown job");
+    };
+    match (view.status, &view.result) {
+        (JobStatus::Done, Some(output)) => {
+            match output.profiles.iter().find(|(p, _)| *p == nprocs) {
+                // A `Bytes` clone shares the allocation — no per-request
+                // copy of a potentially tens-of-MiB image.
+                Some((_, image)) => (200, "application/octet-stream".to_string(), image.clone()),
+                None => error_response(404, "no profile at that scale"),
+            }
+        }
+        (JobStatus::Failed, _) => {
+            error_response(500, view.error.as_deref().unwrap_or("job failed"))
+        }
+        _ => error_response(409, "job still pending"),
+    }
+}
+
+/// Largest accepted process count per scale. The simulator allocates
+/// per-rank state, so an unbounded request (`"scales":[1000000000]`)
+/// would OOM a worker; the paper's largest runs are a few thousand
+/// ranks, so this guardrail costs nothing real.
+pub const MAX_SCALE: usize = 65_536;
+
+/// Decode a submission body into a [`JobSpec`].
+///
+/// ```json
+/// {"app": "CG", "scales": [4, 8], "top": 3}
+/// {"source": "fn main() { ... }", "name": "demo.mmpi",
+///  "scales": [2, 4], "abnorm_thd": 1.5, "max_loop_depth": 6,
+///  "params": {"N": 100000}}
+/// ```
+pub fn parse_submit(body: &str, defaults: &ScalAnaConfig) -> Result<JobSpec, String> {
+    let doc = parse(body).map_err(|e| format!("bad JSON: {e}"))?;
+    let program = match (doc.get("app"), doc.get("source")) {
+        (Some(app), None) => {
+            let name = app.as_str().ok_or("`app` must be a string")?;
+            if scalana_apps::by_name(name).is_none() {
+                return Err(format!("unknown app `{name}`"));
+            }
+            JobProgram::App(name.to_string())
+        }
+        (None, Some(source)) => JobProgram::Source {
+            name: doc
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("inline.mmpi")
+                .to_string(),
+            text: source
+                .as_str()
+                .ok_or("`source` must be a string")?
+                .to_string(),
+        },
+        _ => return Err("exactly one of `app` or `source` is required".to_string()),
+    };
+
+    let scales = match doc.get("scales") {
+        None => vec![4, 8, 16, 32],
+        Some(value) => {
+            let items = value.as_array().ok_or("`scales` must be an array")?;
+            let scales: Vec<usize> = items
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .filter(|n| (1..=MAX_SCALE as i64).contains(n))
+                        .map(|n| n as usize)
+                        .ok_or_else(|| {
+                            format!("`scales` entries must be integers in 1..={MAX_SCALE}")
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("`scales` must be a strictly ascending list".to_string());
+            }
+            scales
+        }
+    };
+
+    let mut config = defaults.clone();
+    if let Some(v) = doc.get("abnorm_thd") {
+        config.detect.abnorm_thd = v.as_f64().ok_or("`abnorm_thd` must be a number")?;
+    }
+    if let Some(v) = doc.get("top") {
+        config.detect.top_k = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or("`top` must be a non-negative integer")? as usize;
+    }
+    if let Some(v) = doc.get("max_loop_depth") {
+        config.psg.max_loop_depth = v
+            .as_i64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or("`max_loop_depth` must be a non-negative 32-bit integer")?;
+    }
+    if let Some(v) = doc.get("params") {
+        match v {
+            Json::Obj(pairs) => {
+                for (name, value) in pairs {
+                    let value = value
+                        .as_i64()
+                        .ok_or_else(|| format!("param `{name}` must be an integer"))?;
+                    config.params.insert(name.clone(), value);
+                }
+            }
+            _ => return Err("`params` must be an object".to_string()),
+        }
+    }
+    Ok(JobSpec {
+        program,
+        scales,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_submit_accepts_app_and_source_forms() {
+        let defaults = ScalAnaConfig::default();
+        let spec = parse_submit(r#"{"app":"CG","scales":[2,4],"top":3}"#, &defaults).unwrap();
+        assert!(matches!(&spec.program, JobProgram::App(n) if n == "CG"));
+        assert_eq!(spec.scales, vec![2, 4]);
+        assert_eq!(spec.config.detect.top_k, 3);
+
+        let spec = parse_submit(
+            r#"{"source":"fn main() { }","name":"x.mmpi","params":{"N":5},"abnorm_thd":1.5}"#,
+            &defaults,
+        )
+        .unwrap();
+        assert!(matches!(&spec.program, JobProgram::Source { name, .. } if name == "x.mmpi"));
+        assert_eq!(spec.scales, vec![4, 8, 16, 32], "default scales");
+        assert_eq!(spec.config.params["N"], 5);
+        assert!((spec.config.detect.abnorm_thd - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_submit_rejects_bad_requests() {
+        let defaults = ScalAnaConfig::default();
+        for (body, needle) in [
+            ("{}", "exactly one"),
+            (r#"{"app":"CG","source":"x"}"#, "exactly one"),
+            (r#"{"app":"NOPE"}"#, "unknown app"),
+            (r#"{"app":"CG","scales":[8,4]}"#, "ascending"),
+            (r#"{"app":"CG","scales":[0]}"#, "1..="),
+            (r#"{"app":"CG","scales":[1000000000]}"#, "1..="),
+            (r#"{"app":"CG","max_loop_depth":4294967296}"#, "32-bit"),
+            (r#"{"app":"CG","scales":"4"}"#, "array"),
+            (r#"{"app":"CG","params":{"N":"x"}}"#, "integer"),
+            ("not json", "bad JSON"),
+        ] {
+            let err = parse_submit(body, &defaults).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Golden test for `scalana analyze --json` — the machine-readable twin
+//! of `golden_analyze.rs`.
+//!
+//! Pins two things: the document *shape* (every promised section with
+//! its fields) and the *bytes* of the deterministic parts — the `report`
+//! and `runs` sub-documents must equal a direct in-process pipeline run
+//! serialized through the same code path. A CLI/service divergence or a
+//! canonicalization change fails here rather than in a downstream
+//! consumer's diff.
+
+use scalana_core::{pipeline, ScalAnaConfig};
+use scalana_lang::parse_program;
+use scalana_service::json::{parse, Json};
+use scalana_service::jsonify::{report_to_json, run_summary_to_json};
+use std::io::Write;
+use std::process::Command;
+use std::sync::OnceLock;
+
+/// The quickstart program with its planted Amdahl bug (serial loop on
+/// line 9).
+const QUICKSTART: &str = "\
+// A deliberately non-scalable program.
+param WORK = 6_000_000;
+
+fn main() {
+    for it in 0 .. 10 {
+        comp(cycles = WORK / nprocs, ins = WORK / nprocs,
+             lst = WORK / (nprocs * 4), miss = WORK / (nprocs * 400));
+        if rank == 0 {
+            for s in 0 .. 4 {
+                comp(cycles = WORK / 8, ins = WORK / 8, lst = WORK / 32);
+            }
+        }
+        barrier();
+    }
+    allreduce(bytes = 8);
+}
+";
+
+const SCALES: [usize; 4] = [4, 8, 16, 32];
+
+fn tmp_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("golden_json_quickstart.mmpi")
+}
+
+/// One shared CLI run (see golden_analyze.rs for why per-test temp
+/// files would race).
+fn run_analyze_json() -> &'static str {
+    static OUTPUT: OnceLock<String> = OnceLock::new();
+    OUTPUT.get_or_init(|| {
+        let path = tmp_path();
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(QUICKSTART.as_bytes()).unwrap();
+        drop(f);
+        let out = Command::new(env!("CARGO_BIN_EXE_scalana"))
+            .args([
+                "analyze",
+                path.to_str().unwrap(),
+                "--scales",
+                "4,8,16,32",
+                "--top",
+                "3",
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "analyze --json failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    })
+}
+
+#[test]
+fn json_document_has_every_promised_section() {
+    let doc = parse(run_analyze_json().trim()).unwrap();
+    for key in ["psg", "runs", "speedup", "report", "detect_seconds"] {
+        assert!(doc.get(key).is_some(), "missing `{key}`");
+    }
+    let psg = doc.get("psg").unwrap();
+    assert!(psg.get("vbc").unwrap().as_i64().unwrap() > 0);
+    assert!(psg.get("vac").unwrap().as_i64().unwrap() > 0);
+
+    let runs = doc.get("runs").unwrap().as_array().unwrap();
+    assert_eq!(runs.len(), SCALES.len());
+    for (run, &nprocs) in runs.iter().zip(&SCALES) {
+        assert_eq!(run.get("nprocs").unwrap().as_i64(), Some(nprocs as i64));
+        assert!(run.get("total_time").unwrap().as_f64().unwrap() > 0.0);
+        assert!(run.get("storage_bytes").unwrap().as_i64().unwrap() > 0);
+    }
+
+    let speedup = doc.get("speedup").unwrap();
+    let points = speedup.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), SCALES.len());
+    assert_eq!(points[0].get("speedup").unwrap().as_f64(), Some(1.0));
+    assert!(
+        speedup.get("serial_fraction").unwrap().as_f64().unwrap() > 0.05,
+        "the planted serial section must show up in the Amdahl fit"
+    );
+}
+
+#[test]
+fn json_report_backtracks_to_the_planted_serial_loop() {
+    let doc = parse(run_analyze_json().trim()).unwrap();
+    let report = doc.get("report").unwrap();
+    let causes = report.get("root_causes").unwrap().as_array().unwrap();
+    assert!(!causes.is_empty());
+    let top = &causes[0];
+    let location = top.get("location").unwrap().as_str().unwrap();
+    assert!(
+        location.ends_with("golden_json_quickstart.mmpi:9"),
+        "top root cause at {location}"
+    );
+    assert_eq!(top.get("kind").unwrap().as_str(), Some("Loop"));
+    let imbalance = top.get("time_imbalance").unwrap().as_f64().unwrap();
+    assert!(
+        (imbalance - 32.0).abs() < 1e-6,
+        "rank-0 serial loop: expected ~32x imbalance, got {imbalance}"
+    );
+}
+
+#[test]
+fn report_and_runs_bytes_match_a_direct_pipeline_run() {
+    let stdout = run_analyze_json();
+    let doc = parse(stdout.trim()).unwrap();
+
+    // Same config the CLI used (only --top differs from defaults).
+    let mut config = ScalAnaConfig::default();
+    config.detect.top_k = 3;
+    let path = tmp_path();
+    let program = parse_program(path.to_str().unwrap(), QUICKSTART).unwrap();
+    let analysis = pipeline::analyze(&program, &SCALES, &config).unwrap();
+
+    assert_eq!(
+        doc.get("report").unwrap().render(),
+        report_to_json(&analysis.report).render(),
+        "CLI report bytes diverge from the library serialization"
+    );
+    assert_eq!(
+        doc.get("runs").unwrap().render(),
+        Json::Arr(analysis.runs.iter().map(run_summary_to_json).collect()).render(),
+        "CLI run summaries diverge from the library serialization"
+    );
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Service smoke: boot `scalana serve` on an ephemeral port, submit the
+# same job twice, and assert the second submission is answered from the
+# content-addressed cache (via the response's `cached` flag AND the
+# /stats hit counter) without re-running the simulator.
+#
+#   scripts/service_smoke.sh [path/to/scalana]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/scalana}"
+if [ ! -x "$BIN" ]; then
+    echo "service smoke: $BIN not built (run cargo build --release first)" >&2
+    exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+SERVE_LOG="$WORKDIR/serve.log"
+cleanup() {
+    [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+cat > "$WORKDIR/demo.mmpi" <<'EOF'
+param N = 500_000;
+fn main() {
+    for it in 0 .. 6 {
+        comp(cycles = N / nprocs, ins = N / nprocs);
+        if rank == 0 {
+            for s in 0 .. 2 { comp(cycles = N / 4, ins = N / 4); }
+        }
+        barrier();
+    }
+    allreduce(bytes = 8);
+}
+EOF
+
+echo "==> scalana serve --addr 127.0.0.1:0 (ephemeral port)"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "service smoke: daemon never announced its address" >&2; exit 1; }
+echo "    daemon at $ADDR"
+
+echo "==> first submission (must run the pipeline)"
+FIRST="$("$BIN" submit --addr "$ADDR" "$WORKDIR/demo.mmpi" --scales 2,4 --wait)"
+echo "$FIRST" | grep -q '"cached":false' || { echo "first submit unexpectedly cached: $FIRST" >&2; exit 1; }
+echo "$FIRST" | grep -q '"status":"done"' || { echo "first job did not finish: $FIRST" >&2; exit 1; }
+
+echo "==> second identical submission (must be a cache hit)"
+SECOND="$("$BIN" submit --addr "$ADDR" "$WORKDIR/demo.mmpi" --scales 2,4)"
+echo "$SECOND" | grep -q '"cached":true' || { echo "second submit missed the cache: $SECOND" >&2; exit 1; }
+
+STATS="$("$BIN" status --addr "$ADDR")"
+echo "$STATS" | grep -q '"cache_hits":1' || { echo "stats disagree about the hit: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -q '"executed":1' || { echo "cache hit re-ran the simulator: $STATS" >&2; exit 1; }
+
+JOB="$(echo "$SECOND" | sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p')"
+"$BIN" result --addr "$ADDR" "$JOB" | grep -q '"report"' \
+    || { echo "result endpoint did not serve the cached report" >&2; exit 1; }
+
+echo "==> shutdown"
+"$BIN" shutdown --addr "$ADDR" > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "service smoke: all green"

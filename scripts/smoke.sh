@@ -21,4 +21,7 @@ cargo test --workspace --quiet
 echo "==> cargo bench --no-run"
 cargo bench --no-run --quiet
 
+echo "==> service smoke (serve / submit twice / cache hit)"
+scripts/service_smoke.sh target/release/scalana
+
 echo "smoke: all green"
