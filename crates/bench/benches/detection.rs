@@ -1,25 +1,10 @@
-//! Criterion bench: post-mortem detection cost (Table IV, measured
-//! precisely) — problematic-vertex detection plus backtracking over
-//! pre-built PPGs.
+//! Criterion bench: post-mortem detection cost (see
+//! [`scalana_bench::suites::detection`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scalana_core::{analyze_app, ScalAnaConfig};
-use scalana_detect::{detect, DetectConfig};
-use scalana_graph::Ppg;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection");
-    group.sample_size(20);
-    for name in ["CG", "ZMP"] {
-        let app = scalana_apps::by_name(name).unwrap();
-        // Build the PPGs once; bench only the offline analysis.
-        let analysis = analyze_app(&app, &[4, 8, 16, 32], &ScalAnaConfig::default()).unwrap();
-        let refs: Vec<&Ppg> = analysis.ppgs.iter().collect();
-        group.bench_with_input(BenchmarkId::new("detect", name), &refs, |b, refs| {
-            b.iter(|| detect(refs, &DetectConfig::default()));
-        });
-    }
-    group.finish();
+    scalana_bench::suites::detection(c);
 }
 
 criterion_group!(benches, bench_detection);

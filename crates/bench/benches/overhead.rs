@@ -1,62 +1,10 @@
-//! Criterion bench: the hook layer itself — how much wall-clock time
-//! each tool's instrumentation adds to the simulation loop (separate
-//! from the modeled *virtual-time* overheads of Table I).
+//! Criterion bench: hook-layer wall-clock overhead (see
+//! [`scalana_bench::suites::overhead`]).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scalana_graph::{build_psg, PsgOptions};
-use scalana_mpisim::{SimConfig, Simulation};
-use scalana_profile::{FlatProfilerHook, ProfilerConfig, ScalAnaProfiler, TracerHook};
 
 fn bench_hooks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hook_layer");
-    group.sample_size(10);
-
-    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
-        na: 30_000,
-        iterations: 5,
-        delay_rank: None,
-    });
-    let psg = build_psg(&app.program, &PsgOptions::default());
-    let config = SimConfig::with_nprocs(32);
-
-    group.bench_function("baseline_no_hook", |b| {
-        b.iter(|| {
-            Simulation::new(&app.program, &psg, config.clone())
-                .run()
-                .unwrap()
-        });
-    });
-    group.bench_function("scalana_profiler", |b| {
-        b.iter(|| {
-            let mut hook = ScalAnaProfiler::new(ProfilerConfig::default());
-            Simulation::new(&app.program, &psg, config.clone())
-                .with_hook(&mut hook)
-                .run()
-                .unwrap();
-            hook.take_data()
-        });
-    });
-    group.bench_function("tracer", |b| {
-        b.iter(|| {
-            let mut hook = TracerHook::with_defaults();
-            Simulation::new(&app.program, &psg, config.clone())
-                .with_hook(&mut hook)
-                .run()
-                .unwrap();
-            hook.storage_bytes()
-        });
-    });
-    group.bench_function("flat_profiler", |b| {
-        b.iter(|| {
-            let mut hook = FlatProfilerHook::with_defaults();
-            Simulation::new(&app.program, &psg, config.clone())
-                .with_hook(&mut hook)
-                .run()
-                .unwrap();
-            hook.storage_bytes()
-        });
-    });
-    group.finish();
+    scalana_bench::suites::overhead(c);
 }
 
 criterion_group!(benches, bench_hooks);

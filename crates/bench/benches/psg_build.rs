@@ -1,40 +1,10 @@
-//! Criterion bench: PSG construction (Table III's static-analysis cost,
-//! measured precisely) — parsing, full build, contraction on/off.
+//! Criterion bench: PSG construction cost (see
+//! [`scalana_bench::suites::psg_build`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scalana_graph::{build_psg, PsgOptions};
-use scalana_lang::parse_program;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_psg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("psg_build");
-    group.sample_size(20);
-    for name in ["CG", "MG", "ZMP"] {
-        let app = scalana_apps::by_name(name).unwrap();
-        let source = app.source();
-        group.bench_with_input(BenchmarkId::new("parse", name), &source, |b, src| {
-            b.iter(|| parse_program("bench.mmpi", src).unwrap());
-        });
-        let program = parse_program("bench.mmpi", &source).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("build_contracted", name),
-            &program,
-            |b, p| {
-                b.iter(|| build_psg(p, &PsgOptions::default()));
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("build_raw", name), &program, |b, p| {
-            b.iter(|| {
-                build_psg(
-                    p,
-                    &PsgOptions {
-                        contract: false,
-                        ..Default::default()
-                    },
-                )
-            });
-        });
-    }
-    group.finish();
+    scalana_bench::suites::psg_build(c);
 }
 
 criterion_group!(benches, bench_psg);

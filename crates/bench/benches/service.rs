@@ -1,87 +1,10 @@
-//! Criterion bench: daemon submission latency, cached vs uncached.
-//!
-//! Starts the real `scalana-service` daemon on an ephemeral port and
-//! measures the full client round trip (submit → poll → result). The
-//! uncached case forces a distinct content address per iteration (a
-//! fresh `WORK` parameter), so every submission runs the simulator; the
-//! cached case re-submits one fixed job and is answered from the
-//! content-addressed result cache. The gap between the two is the
-//! service's work-reuse win — the start of the serving-layer perf
-//! trajectory.
+//! Criterion bench: daemon submission latency, cached vs uncached (see
+//! [`scalana_bench::suites::service`]).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scalana_service::json::Json;
-use scalana_service::{client, Server, ServiceConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-fn program(work: u64) -> String {
-    format!(
-        "param WORK = {work};\n\
-         fn main() {{\n\
-             for it in 0 .. 4 {{\n\
-                 comp(cycles = WORK / nprocs, ins = WORK / nprocs);\n\
-                 if rank == 0 {{ comp(cycles = WORK / 8, ins = WORK / 8); }}\n\
-                 barrier();\n\
-             }}\n\
-             allreduce(bytes = 8);\n\
-         }}"
-    )
-}
-
-/// Full client round trip; returns once the result is served.
-fn submit_and_wait(addr: &str, work: u64) {
-    let body = Json::obj(vec![
-        ("source", program(work).into()),
-        ("name", "bench.mmpi".into()),
-        ("scales", vec![2usize, 4].into()),
-    ])
-    .render();
-    let response = client::request_json(addr, "POST", "/jobs", &body).unwrap();
-    let key = response.get("job").unwrap().as_str().unwrap().to_string();
-    let status = client::wait_for_job(addr, &key, Duration::from_secs(120)).unwrap();
-    assert_eq!(status.get("status").and_then(Json::as_str), Some("done"));
-    let result = client::request_json(addr, "GET", &format!("/jobs/{key}/result"), "").unwrap();
-    assert!(result.get("report").is_some());
-}
 
 fn bench_service(c: &mut Criterion) {
-    let server = Server::bind(&ServiceConfig {
-        addr: "127.0.0.1:0".to_string(),
-        workers: 2,
-        queue_capacity: 64,
-        ..ServiceConfig::default()
-    })
-    .unwrap();
-    let addr = server.local_addr().to_string();
-    std::thread::spawn(move || server.run());
-
-    let mut group = c.benchmark_group("service");
-    group.sample_size(10);
-
-    // Every iteration submits a never-seen job: full pipeline each time.
-    let unique = AtomicU64::new(0);
-    {
-        let addr = addr.clone();
-        group.bench_function("submit_uncached", move |b| {
-            b.iter(|| {
-                let work = 400_000 + unique.fetch_add(1, Ordering::Relaxed);
-                submit_and_wait(&addr, work);
-            });
-        });
-    }
-
-    // One warmed job, re-submitted: served from the result cache.
-    submit_and_wait(&addr, 777_777);
-    {
-        let addr = addr.clone();
-        group.bench_function("submit_cached", move |b| {
-            b.iter(|| submit_and_wait(&addr, 777_777));
-        });
-    }
-    group.finish();
-
-    let _ = client::request(&addr, "POST", "/shutdown", "");
+    scalana_bench::suites::service(c);
 }
 
 criterion_group!(benches, bench_service);

@@ -1,47 +1,10 @@
-//! Criterion bench: discrete-event simulator throughput — how fast the
-//! substrate executes rank-scaled workloads (CG at several scales, and
-//! the collective-heavy path).
+//! Criterion bench: discrete-event simulator throughput (see
+//! [`scalana_bench::suites::simulation`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scalana_graph::{build_psg, PsgOptions};
-use scalana_mpisim::{SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-
-    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
-        na: 30_000,
-        iterations: 5,
-        delay_rank: None,
-    });
-    let psg = build_psg(&app.program, &PsgOptions::default());
-    for p in [8usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("cg", p), &p, |b, &p| {
-            b.iter(|| {
-                Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
-                    .run()
-                    .unwrap()
-            });
-        });
-    }
-
-    let coll = scalana_lang::parse_program(
-        "coll.mmpi",
-        "fn main() { for i in 0 .. 50 { comp(cycles = 10_000); allreduce(bytes = 8); } }",
-    )
-    .unwrap();
-    let coll_psg = build_psg(&coll, &PsgOptions::default());
-    for p in [64usize, 512] {
-        group.bench_with_input(BenchmarkId::new("allreduce_chain", p), &p, |b, &p| {
-            b.iter(|| {
-                Simulation::new(&coll, &coll_psg, SimConfig::with_nprocs(p))
-                    .run()
-                    .unwrap()
-            });
-        });
-    }
-    group.finish();
+    scalana_bench::suites::simulation(c);
 }
 
 criterion_group!(benches, bench_simulation);

@@ -1,0 +1,269 @@
+//! `perfgate` — the machine-readable perf trajectory runner and
+//! regression gate.
+//!
+//! Executes every Criterion suite ([`scalana_bench::suites`])
+//! in-process, collects per-benchmark medians, and writes one
+//! `BENCH_*.json` trajectory point: current medians for all five suites,
+//! the cache hit/miss submission latencies, and speedups against the
+//! committed pre-refactor baseline. CI runs it in `--quick` mode gated
+//! against the committed `BENCH_pr3.json`, so a panicking bench or a
+//! wild regression (default: >10× the recorded median, tunable with
+//! `PERFGATE_FACTOR`, machine differences included) fails the build.
+//!
+//! ```sh
+//! # full run, refresh the committed trajectory point
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr3.json
+//! # CI: few samples, gate against the committed medians
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr3.json --out target/perfgate.json
+//! ```
+
+use criterion::{take_results, BenchResult, Criterion};
+use scalana_service::json::{parse, Json};
+use std::process::ExitCode;
+
+/// Pre-refactor medians (nanoseconds) of PR 3's seed engine, measured
+/// with the same suites on the machine that produced the committed
+/// `BENCH_pr3.json`. Recorded in the output so every trajectory point
+/// carries its own comparison base.
+const BASELINE_PRE_REFACTOR: &[(&str, u64)] = &[
+    ("simulation/cg/8", 327_020),
+    ("simulation/cg/32", 2_053_321),
+    ("simulation/cg/128", 10_640_518),
+    ("simulation/allreduce_chain/64", 770_880),
+    ("simulation/allreduce_chain/512", 5_874_740),
+    ("hook_layer/baseline_no_hook", 1_905_767),
+    ("hook_layer/scalana_profiler", 2_485_677),
+    ("hook_layer/tracer", 2_045_524),
+    ("hook_layer/flat_profiler", 2_231_634),
+    ("detection/detect/CG", 52_118),
+    ("detection/detect/ZMP", 214_135),
+    ("psg_build/parse/CG", 46_137),
+    ("psg_build/build_contracted/CG", 16_094),
+    ("psg_build/build_raw/CG", 7_806),
+    ("psg_build/parse/MG", 40_575),
+    ("psg_build/build_contracted/MG", 20_727),
+    ("psg_build/build_raw/MG", 10_308),
+    ("psg_build/parse/ZMP", 42_243),
+    ("psg_build/build_contracted/ZMP", 21_867),
+    ("psg_build/build_raw/ZMP", 10_200),
+    ("service/submit_uncached", 730_742),
+    ("service/submit_cached", 390_280),
+];
+
+/// A suite entry point.
+type Suite = fn(&mut Criterion);
+
+/// The five suites, in trajectory order.
+const SUITES: &[(&str, Suite)] = &[
+    ("simulation", scalana_bench::suites::simulation),
+    ("overhead", scalana_bench::suites::overhead),
+    ("detection", scalana_bench::suites::detection),
+    ("psg_build", scalana_bench::suites::psg_build),
+    ("service", scalana_bench::suites::service),
+];
+
+struct Args {
+    quick: bool,
+    out: String,
+    gate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_pr3.json".to_string(),
+        gate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--gate" => args.gate = Some(it.next().ok_or("--gate needs a path")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn result_json(r: &BenchResult) -> Json {
+    Json::obj(vec![
+        ("id", r.id.as_str().into()),
+        ("median_ns", (r.median_ns as u64).into()),
+        ("min_ns", (r.min_ns as u64).into()),
+        ("mean_ns", (r.mean_ns as u64).into()),
+        ("samples", r.samples.into()),
+    ])
+}
+
+fn median_of(results: &[BenchResult], id: &str) -> Option<u64> {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.median_ns as u64)
+}
+
+/// Recorded medians of a previous trajectory point, flattened by id.
+fn gate_medians(doc: &Json) -> Vec<(String, u64)> {
+    let mut medians = Vec::new();
+    let Some(Json::Obj(suites)) = doc.get("suites") else {
+        return medians;
+    };
+    for (_, results) in suites {
+        let Some(results) = results.as_array() else {
+            continue;
+        };
+        for r in results {
+            if let (Some(id), Some(m)) = (
+                r.get("id").and_then(Json::as_str),
+                r.get("median_ns").and_then(Json::as_i64),
+            ) {
+                medians.push((id.to_string(), m.max(0) as u64));
+            }
+        }
+    }
+    medians
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            eprintln!("usage: perfgate [--quick] [--out FILE] [--gate FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.quick && std::env::var("CRITERION_SAMPLE_SIZE").is_err() {
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "3");
+    }
+
+    // Run every suite in-process and drain the collected results.
+    let mut all: Vec<(&str, Vec<BenchResult>)> = Vec::new();
+    for (name, suite) in SUITES {
+        eprintln!("perfgate: running suite `{name}`");
+        let mut criterion = Criterion::default();
+        suite(&mut criterion);
+        let results = take_results();
+        if results.is_empty() {
+            eprintln!("perfgate: suite `{name}` produced no results");
+            return ExitCode::FAILURE;
+        }
+        all.push((name, results));
+    }
+    let flat: Vec<&BenchResult> = all.iter().flat_map(|(_, rs)| rs).collect();
+
+    // Speedups against the recorded pre-refactor baseline.
+    let mut speedups: Vec<(String, Json)> = Vec::new();
+    for (id, base) in BASELINE_PRE_REFACTOR {
+        let Some(current) = flat.iter().find(|r| r.id == *id) else {
+            continue;
+        };
+        if current.median_ns > 0 {
+            let speedup = *base as f64 / current.median_ns as f64;
+            speedups.push((id.to_string(), ((speedup * 100.0).round() / 100.0).into()));
+        }
+    }
+
+    // Cache hit/miss latency from the service suite.
+    let service_results = &all
+        .iter()
+        .find(|(name, _)| *name == "service")
+        .expect("service suite ran")
+        .1;
+    let hit = median_of(service_results, "service/submit_cached");
+    let miss = median_of(service_results, "service/submit_uncached");
+
+    let doc = Json::obj(vec![
+        ("pr", "pr3".into()),
+        ("mode", if args.quick { "quick" } else { "full" }.into()),
+        (
+            "baseline_pre_refactor",
+            Json::Obj(
+                BASELINE_PRE_REFACTOR
+                    .iter()
+                    .map(|(id, ns)| (id.to_string(), (*ns).into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "suites",
+            Json::Obj(
+                all.iter()
+                    .map(|(name, results)| {
+                        (
+                            name.to_string(),
+                            Json::Arr(results.iter().map(result_json).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hit_median_ns", hit.map_or(Json::Null, Json::from)),
+                ("miss_median_ns", miss.map_or(Json::Null, Json::from)),
+            ]),
+        ),
+        ("speedup_vs_baseline", Json::Obj(speedups)),
+    ]);
+    let rendered = doc.render();
+    if let Err(e) = std::fs::write(&args.out, rendered + "\n") {
+        eprintln!("perfgate: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perfgate: wrote {}", args.out);
+
+    // Gate: every current median must stay within FACTOR× of the
+    // recorded one (generous by default — the gate exists to catch
+    // panics and order-of-magnitude regressions, not machine variance).
+    if let Some(gate_path) = &args.gate {
+        let factor: f64 = std::env::var("PERFGATE_FACTOR")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10.0);
+        let recorded = match std::fs::read_to_string(gate_path) {
+            Ok(text) => match parse(text.trim()) {
+                Ok(doc) => gate_medians(&doc),
+                Err(e) => {
+                    eprintln!("perfgate: cannot parse {gate_path}: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("perfgate: cannot read {gate_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if recorded.is_empty() {
+            eprintln!("perfgate: {gate_path} contains no recorded medians — refusing to gate");
+            return ExitCode::FAILURE;
+        }
+        let mut violations = 0;
+        for (id, base) in &recorded {
+            let Some(current) = flat.iter().find(|r| r.id == *id) else {
+                eprintln!("perfgate: GATE: `{id}` recorded in {gate_path} but not measured");
+                violations += 1;
+                continue;
+            };
+            let limit = *base as f64 * factor;
+            if current.median_ns as f64 > limit {
+                eprintln!(
+                    "perfgate: GATE: `{id}` median {}ns exceeds {:.0}ns ({base}ns × {factor})",
+                    current.median_ns, limit
+                );
+                violations += 1;
+            }
+        }
+        if violations > 0 {
+            eprintln!("perfgate: {violations} gate violation(s) against {gate_path}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perfgate: gate OK ({} benchmarks within {factor}x of {gate_path})",
+            recorded.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

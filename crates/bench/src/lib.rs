@@ -33,6 +33,8 @@ use scalana_mpisim::SimConfig;
 use scalana_profile::overhead::ToolKind;
 use scalana_profile::{measure_overhead, FlatConfig, OverheadReport, ProfilerConfig, TracerConfig};
 
+pub mod suites;
+
 /// Simulated workloads run ~10⁴× less virtual time than the paper's
 /// real executions (milliseconds instead of minutes), so tool costs are
 /// rescaled to keep *per-run event and sample counts* comparable:
@@ -64,7 +66,7 @@ pub fn standard_tools() -> Vec<ToolKind> {
 pub fn measure_app(app: &App, nprocs: usize) -> OverheadReport {
     let psg = scalana_graph::build_psg(&app.program, &scalana_graph::PsgOptions::default());
     let mut config = SimConfig::with_nprocs(nprocs);
-    config.machine = app.machine.clone();
+    config.machine = std::sync::Arc::new(app.machine.clone());
     measure_overhead(&app.program, &psg, &config, &standard_tools())
         .unwrap_or_else(|e| panic!("{} failed at {nprocs} ranks: {e}", app.name))
 }

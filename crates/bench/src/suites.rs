@@ -1,0 +1,244 @@
+//! The Criterion benchmark suites, as plain functions.
+//!
+//! Each `benches/*.rs` harness delegates here, and the `perfgate` runner
+//! calls the same functions in-process to collect machine-readable
+//! medians — one definition, two consumers, so the committed
+//! `BENCH_*.json` trajectory always measures exactly what `cargo bench`
+//! runs.
+
+use criterion::{BenchmarkId, Criterion};
+use scalana_core::{analyze_app, ScalAnaConfig};
+use scalana_detect::{detect, DetectConfig};
+use scalana_graph::{build_psg, Ppg, PsgOptions};
+use scalana_lang::parse_program;
+use scalana_mpisim::{SimConfig, Simulation};
+use scalana_profile::{FlatProfilerHook, ProfilerConfig, ScalAnaProfiler, TracerHook};
+use scalana_service::json::Json;
+use scalana_service::{client, Server, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Discrete-event simulator throughput — how fast the substrate
+/// executes rank-scaled workloads (CG at several scales, and the
+/// collective-heavy path).
+pub fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+
+    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 30_000,
+        iterations: 5,
+        delay_rank: None,
+    });
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    for p in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("cg", p), &p, |b, &p| {
+            b.iter(|| {
+                Simulation::new(&app.program, &psg, SimConfig::with_nprocs(p))
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+
+    let coll = parse_program(
+        "coll.mmpi",
+        "fn main() { for i in 0 .. 50 { comp(cycles = 10_000); allreduce(bytes = 8); } }",
+    )
+    .unwrap();
+    let coll_psg = build_psg(&coll, &PsgOptions::default());
+    for p in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("allreduce_chain", p), &p, |b, &p| {
+            b.iter(|| {
+                Simulation::new(&coll, &coll_psg, SimConfig::with_nprocs(p))
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The hook layer itself — how much wall-clock time each tool's
+/// instrumentation adds to the simulation loop (separate from the
+/// modeled *virtual-time* overheads of Table I).
+pub fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hook_layer");
+    group.sample_size(10);
+
+    let app = scalana_apps::cg::build(&scalana_apps::CgOptions {
+        na: 30_000,
+        iterations: 5,
+        delay_rank: None,
+    });
+    let psg = build_psg(&app.program, &PsgOptions::default());
+    let config = SimConfig::with_nprocs(32);
+
+    group.bench_function("baseline_no_hook", |b| {
+        b.iter(|| {
+            Simulation::new(&app.program, &psg, config.clone())
+                .run()
+                .unwrap()
+        });
+    });
+    group.bench_function("scalana_profiler", |b| {
+        b.iter(|| {
+            let mut hook = ScalAnaProfiler::new(ProfilerConfig::default());
+            Simulation::new(&app.program, &psg, config.clone())
+                .with_hook(&mut hook)
+                .run()
+                .unwrap();
+            hook.take_data()
+        });
+    });
+    group.bench_function("tracer", |b| {
+        b.iter(|| {
+            let mut hook = TracerHook::with_defaults();
+            Simulation::new(&app.program, &psg, config.clone())
+                .with_hook(&mut hook)
+                .run()
+                .unwrap();
+            hook.storage_bytes()
+        });
+    });
+    group.bench_function("flat_profiler", |b| {
+        b.iter(|| {
+            let mut hook = FlatProfilerHook::with_defaults();
+            Simulation::new(&app.program, &psg, config.clone())
+                .with_hook(&mut hook)
+                .run()
+                .unwrap();
+            hook.storage_bytes()
+        });
+    });
+    group.finish();
+}
+
+/// Post-mortem detection cost (Table IV, measured precisely) —
+/// problematic-vertex detection plus backtracking over pre-built PPGs.
+pub fn detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(20);
+    for name in ["CG", "ZMP"] {
+        let app = scalana_apps::by_name(name).unwrap();
+        // Build the PPGs once; bench only the offline analysis.
+        let analysis = analyze_app(&app, &[4, 8, 16, 32], &ScalAnaConfig::default()).unwrap();
+        let refs: Vec<&Ppg> = analysis.ppgs.iter().collect();
+        group.bench_with_input(BenchmarkId::new("detect", name), &refs, |b, refs| {
+            b.iter(|| detect(refs, &DetectConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+/// PSG construction (Table III's static-analysis cost, measured
+/// precisely) — parsing, full build, contraction on/off.
+pub fn psg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psg_build");
+    group.sample_size(20);
+    for name in ["CG", "MG", "ZMP"] {
+        let app = scalana_apps::by_name(name).unwrap();
+        let source = app.source();
+        group.bench_with_input(BenchmarkId::new("parse", name), &source, |b, src| {
+            b.iter(|| parse_program("bench.mmpi", src).unwrap());
+        });
+        let program = parse_program("bench.mmpi", &source).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("build_contracted", name),
+            &program,
+            |b, p| {
+                b.iter(|| build_psg(p, &PsgOptions::default()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("build_raw", name), &program, |b, p| {
+            b.iter(|| {
+                build_psg(
+                    p,
+                    &PsgOptions {
+                        contract: false,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn service_program(work: u64) -> String {
+    format!(
+        "param WORK = {work};\n\
+         fn main() {{\n\
+             for it in 0 .. 4 {{\n\
+                 comp(cycles = WORK / nprocs, ins = WORK / nprocs);\n\
+                 if rank == 0 {{ comp(cycles = WORK / 8, ins = WORK / 8); }}\n\
+                 barrier();\n\
+             }}\n\
+             allreduce(bytes = 8);\n\
+         }}"
+    )
+}
+
+/// Full client round trip; returns once the result is served.
+fn submit_and_wait(addr: &str, work: u64) {
+    let body = Json::obj(vec![
+        ("source", service_program(work).into()),
+        ("name", "bench.mmpi".into()),
+        ("scales", vec![2usize, 4].into()),
+    ])
+    .render();
+    let response = client::request_json(addr, "POST", "/jobs", &body).unwrap();
+    let key = response.get("job").unwrap().as_str().unwrap().to_string();
+    let status = client::wait_for_job(addr, &key, Duration::from_secs(120)).unwrap();
+    assert_eq!(status.get("status").and_then(Json::as_str), Some("done"));
+    let result = client::request_json(addr, "GET", &format!("/jobs/{key}/result"), "").unwrap();
+    assert!(result.get("report").is_some());
+}
+
+/// Daemon submission latency, cached vs uncached.
+///
+/// Starts the real `scalana-service` daemon on an ephemeral port and
+/// measures the full client round trip (submit → poll → result). The
+/// uncached case forces a distinct content address per iteration (a
+/// fresh `WORK` parameter), so every submission runs the simulator; the
+/// cached case re-submits one fixed job and is answered from the
+/// content-addressed result cache. The gap between the two is the
+/// service's work-reuse win.
+pub fn service(c: &mut Criterion) {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 64,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    // Every iteration submits a never-seen job: full pipeline each time.
+    let unique = AtomicU64::new(0);
+    {
+        let addr = addr.clone();
+        group.bench_function("submit_uncached", move |b| {
+            b.iter(|| {
+                let work = 400_000 + unique.fetch_add(1, Ordering::Relaxed);
+                submit_and_wait(&addr, work);
+            });
+        });
+    }
+
+    // One warmed job, re-submitted: served from the result cache.
+    submit_and_wait(&addr, 777_777);
+    {
+        let addr = addr.clone();
+        group.bench_function("submit_cached", move |b| {
+            b.iter(|| submit_and_wait(&addr, 777_777));
+        });
+    }
+    group.finish();
+
+    let _ = client::request(&addr, "POST", "/shutdown", "");
+}

@@ -103,18 +103,20 @@ pub fn profile_runs(
     let psg = Arc::new(psg);
 
     // Step 2b: profiled runs, one per scale, in parallel (each is an
-    // independent simulation over the now-immutable PSG).
+    // independent simulation over the now-immutable PSG). The platform
+    // model is shared behind one `Arc` — no per-run deep copy.
+    let machine = Arc::new(config.machine.clone());
     let mut profiles: Vec<Option<Result<ProfileData, SimError>>> =
         (0..scales.len()).map(|_| None).collect();
     thread::scope(|scope| {
         for (slot, &nprocs) in profiles.iter_mut().zip(scales) {
             let psg = Arc::clone(&psg);
-            let config = config.clone();
+            let mut sim_config = SimConfig::with_nprocs(nprocs);
+            sim_config.machine = Arc::clone(&machine);
+            sim_config.params = config.params.clone();
+            let profiler_config = config.profiler.clone();
             scope.spawn(move |_| {
-                let mut sim_config = SimConfig::with_nprocs(nprocs);
-                sim_config.machine = config.machine.clone();
-                sim_config.params = config.params.clone();
-                let mut profiler = ScalAnaProfiler::new(config.profiler.clone());
+                let mut profiler = ScalAnaProfiler::new(profiler_config);
                 let result = Simulation::new(program, &psg, sim_config)
                     .with_hook(&mut profiler)
                     .run()
@@ -146,12 +148,28 @@ pub fn assemble(runs: ProfiledRuns, config: &ScalAnaConfig) -> Analysis {
         scales,
         profiles,
     } = runs;
-    let mut summaries = Vec::with_capacity(scales.len());
-    let mut ppgs = Vec::with_capacity(scales.len());
-    for (data, &nprocs) in profiles.into_iter().zip(&scales) {
-        summaries.push(RunSummary::of_profile(nprocs, &data));
-        ppgs.push(data.into_ppg(Arc::clone(&psg)));
-    }
+    let summaries: Vec<RunSummary> = profiles
+        .iter()
+        .zip(&scales)
+        .map(|(data, &nprocs)| RunSummary::of_profile(nprocs, data))
+        .collect();
+
+    // Per-scale PPG assembly is independent; fan out the same way
+    // `profile_runs` does instead of folding scale-by-scale.
+    let mut slots: Vec<Option<Ppg>> = (0..profiles.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        for (slot, data) in slots.iter_mut().zip(profiles) {
+            let psg = Arc::clone(&psg);
+            scope.spawn(move |_| {
+                *slot = Some(data.into_ppg(psg));
+            });
+        }
+    })
+    .expect("ppg-assembly threads do not panic");
+    let ppgs: Vec<Ppg> = slots
+        .into_iter()
+        .map(|slot| slot.expect("thread filled its slot"))
+        .collect();
 
     // Step 3: ScalAna-detect (timed for Table IV).
     let started = Instant::now();
@@ -190,16 +208,23 @@ pub fn analyze_app(
 
 /// Uninstrumented speedups over ascending scales (first scale is the
 /// baseline) — the §VI-D before/after-fix curves.
+///
+/// Indirect calls are resolved first (at the smallest scale, exactly as
+/// [`profile_runs`] does), so the curves simulate over the same refined
+/// PSG as the analysis they are compared against.
 pub fn speedup_curve(
     program: &Program,
     scales: &[usize],
     config: &ScalAnaConfig,
 ) -> Result<Vec<(usize, f64)>, SimError> {
-    let psg = build_psg(program, &config.psg);
+    assert!(!scales.is_empty(), "need at least one scale");
+    let mut psg = build_psg(program, &config.psg);
+    discover_indirect_calls(program, &mut psg, scales[0])?;
+    let machine = Arc::new(config.machine.clone());
     let mut times = Vec::with_capacity(scales.len());
     for &nprocs in scales {
         let mut sim_config = SimConfig::with_nprocs(nprocs);
-        sim_config.machine = config.machine.clone();
+        sim_config.machine = Arc::clone(&machine);
         sim_config.params = config.params.clone();
         let total = Simulation::new(program, &psg, sim_config)
             .run()?

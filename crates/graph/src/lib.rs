@@ -26,6 +26,7 @@
 
 pub mod contract;
 pub mod dot;
+pub mod index;
 pub mod inter;
 pub mod intra;
 pub mod ppg;
@@ -33,6 +34,7 @@ pub mod psg;
 pub mod stats;
 pub mod vertex;
 
+pub use index::AttrIndex;
 pub use ppg::{CommDep, Ppg, VertexPerf};
 pub use psg::{CtxId, Psg, PsgOptions};
 pub use stats::PsgStats;

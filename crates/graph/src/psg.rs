@@ -152,6 +152,17 @@ impl Psg {
         self.stmt_map.get(&(ctx, stmt)).copied()
     }
 
+    /// Every `(context, statement) → vertex` attribution entry (for
+    /// building dense snapshots such as [`crate::index::AttrIndex`]).
+    pub fn attribution_entries(&self) -> impl Iterator<Item = (&(CtxId, NodeId), &VertexId)> {
+        self.stmt_map.iter()
+    }
+
+    /// Every direct-call `(context, statement) → callee context` entry.
+    pub fn transition_entries(&self) -> impl Iterator<Item = (&(CtxId, NodeId), &CtxId)> {
+        self.transitions.iter()
+    }
+
     /// Resolve an indirect call observed at runtime: expand (and
     /// contract) the callee under the `CallSite` vertex and register the
     /// context transition. Idempotent per `(ctx, stmt, callee)`.

@@ -27,15 +27,27 @@
 //!   reported as errors. Completion uses the cost models in
 //!   [`crate::machine`] and emits straggler → waiter dependence edges so
 //!   detection can see who delayed a collective.
+//!
+//! Hot-path layout: each mailbox is a slab of `Copy` messages indexed by
+//! per-`(source, tag)` FIFO queues, so the common specific receive is a
+//! queue-front pop instead of a scan over every message ever delivered;
+//! wildcard receives fold the (few) queue candidates in deposit order,
+//! reproducing the historical scan's tie-breaks exactly. Blocked waits
+//! record *which* requests they cover ([`ReqWait`]) instead of cloning
+//! request-id vectors, program parameters are interned once per run
+//! ([`ParamTable`]), and statement attribution goes through a dense
+//! [`AttrIndex`] snapshot rather than hash-map lookups per statement.
 
+use crate::eval::ParamTable;
 use crate::hook::{CommDepEvent, Hook, MpiEnterEvent, MpiExitEvent, NullHook};
 use crate::interp::{EvaluatedOp, MpiCall, Pmu, RankState, StepCtx, StepOutcome, StmtCosts};
 use crate::machine::{CollectiveModel, MachineConfig};
 use crate::value::Value;
-use scalana_graph::{MpiKind, Psg, VertexId};
+use scalana_graph::{AttrIndex, MpiKind, Psg, VertexId};
 use scalana_lang::Program;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of one simulated run.
 #[derive(Debug, Clone)]
@@ -44,8 +56,9 @@ pub struct SimConfig {
     pub nprocs: usize,
     /// Program-parameter overrides (merged over the declared defaults).
     pub params: HashMap<String, i64>,
-    /// Platform model.
-    pub machine: MachineConfig,
+    /// Platform model. Shared behind an `Arc` so configuring many runs
+    /// (one per scale, one per tool) never deep-copies the model.
+    pub machine: Arc<MachineConfig>,
     /// Per-rank statement budget (runaway-loop guard).
     pub max_steps_per_rank: u64,
     /// Interpreter micro-cost table.
@@ -58,7 +71,7 @@ impl SimConfig {
         SimConfig {
             nprocs,
             params: HashMap::new(),
-            machine: MachineConfig::default(),
+            machine: Arc::new(MachineConfig::default()),
             max_steps_per_rank: 200_000_000,
             costs: StmtCosts::default(),
         }
@@ -68,6 +81,11 @@ impl SimConfig {
     pub fn with_param(mut self, name: &str, value: i64) -> SimConfig {
         self.params.insert(name.to_string(), value);
         self
+    }
+
+    /// Mutable access to the platform model (clones it if shared).
+    pub fn machine_mut(&mut self) -> &mut MachineConfig {
+        Arc::make_mut(&mut self.machine)
     }
 }
 
@@ -178,22 +196,14 @@ impl<'p, 'g, 'h> Simulation<'p, 'g, 'h> {
             Some(h) => h,
             None => &mut null,
         };
-        let mut params: HashMap<String, i64> = self
-            .program
-            .params
-            .iter()
-            .map(|p| (p.name.clone(), p.default))
-            .collect();
-        for (k, v) in &self.config.params {
-            params.insert(k.clone(), *v);
-        }
+        let params = ParamTable::build(self.program, &self.config.params);
         Engine::new(self.program, self.psg, self.config, params, hook).run()
     }
 }
 
 // ----- internal machinery -----
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Message {
     src_rank: usize,
     src_vertex: VertexId,
@@ -207,13 +217,138 @@ struct Message {
     /// at match time).
     arrival: f64,
     rendezvous: bool,
-    consumed: bool,
     /// For rendezvous: who to release when matched. `req` is `Some` for
     /// `isend`, `None` for a blocked blocking-send.
     rdv_sender: Option<(usize, Option<i64>)>,
+    /// Receiver-side delivery order; wildcard matching folds candidates
+    /// in this order to reproduce the historical scan's tie-breaks.
+    deposit_seq: u64,
 }
 
-#[derive(Debug, Clone)]
+/// One rank's incoming messages: a slab of live messages indexed by
+/// per-`(source, tag)` FIFO queues. Specific receives pop a queue front
+/// in O(1); wildcard receives inspect only queue candidates instead of
+/// every message ever delivered, and consumed slots are recycled instead
+/// of accumulating for the whole run.
+#[derive(Debug, Default)]
+struct Mailbox {
+    slots: Vec<Message>,
+    free: Vec<u32>,
+    /// Sparse queue table; distinct `(source, tag)` pairs per receiver
+    /// are few, so a scanned `Vec` beats hashing and keeps iteration
+    /// order deterministic (insertion order).
+    queues: Vec<((usize, i64), VecDeque<u32>)>,
+    deposits: u64,
+}
+
+impl Mailbox {
+    fn deposit(&mut self, mut msg: Message) {
+        msg.deposit_seq = self.deposits;
+        self.deposits += 1;
+        let key = (msg.src_rank, msg.tag);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = msg;
+                s
+            }
+            None => {
+                self.slots.push(msg);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        match self.queues.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, q)) => q.push_back(slot),
+            None => {
+                let mut q = VecDeque::with_capacity(4);
+                q.push_back(slot);
+                self.queues.push((key, q));
+            }
+        }
+    }
+
+    #[inline]
+    fn msg(&self, slot: u32) -> &Message {
+        &self.slots[slot as usize]
+    }
+
+    /// Deterministic candidate selection (see module docs). Returns the
+    /// slot of the matched message without consuming it.
+    fn find_match(&self, src: i64, tag: i64) -> Option<u32> {
+        if src >= 0 && tag >= 0 {
+            // Fully specific: FIFO per (source, tag); the queue front has
+            // the smallest send sequence.
+            let key = (src as usize, tag);
+            return self
+                .queues
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, q)| q.front().copied());
+        }
+        if src >= 0 {
+            // Any tag from one source: smallest send sequence across the
+            // source's queue fronts (each queue is sequence-ascending).
+            let mut best: Option<u32> = None;
+            for (k, q) in &self.queues {
+                if k.0 != src as usize {
+                    continue;
+                }
+                let Some(&head) = q.front() else { continue };
+                best = match best {
+                    Some(b) if self.msg(b).send_seq <= self.msg(head).send_seq => Some(b),
+                    _ => Some(head),
+                };
+            }
+            return best;
+        }
+        // Wildcard source: fold every candidate in deposit order with the
+        // historical comparator (same-source by sequence, cross-source by
+        // (arrival, source, sequence)), which is order-sensitive.
+        let mut candidates: Vec<u32> = Vec::new();
+        for (k, q) in &self.queues {
+            if tag >= 0 && k.1 != tag {
+                continue;
+            }
+            candidates.extend(q.iter().copied());
+        }
+        candidates.sort_unstable_by_key(|&s| self.msg(s).deposit_seq);
+        let mut best: Option<u32> = None;
+        for s in candidates {
+            best = match best {
+                None => Some(s),
+                Some(b) => {
+                    let (msg, cur) = (self.msg(s), self.msg(b));
+                    let better = if msg.src_rank == cur.src_rank {
+                        msg.send_seq < cur.send_seq
+                    } else {
+                        (msg.arrival, msg.src_rank, msg.send_seq)
+                            < (cur.arrival, cur.src_rank, cur.send_seq)
+                    };
+                    if better {
+                        Some(s)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    /// Remove a matched message and recycle its slot.
+    fn consume(&mut self, slot: u32) -> Message {
+        let msg = self.slots[slot as usize];
+        let key = (msg.src_rank, msg.tag);
+        if let Some((_, q)) = self.queues.iter_mut().find(|(k, _)| *k == key) {
+            if let Some(pos) = q.iter().position(|&s| s == slot) {
+                q.remove(pos);
+            }
+        }
+        self.free.push(slot);
+        msg
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct DepInfo {
     src_rank: usize,
     src_vertex: VertexId,
@@ -221,19 +356,31 @@ struct DepInfo {
     bytes: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Request {
     RecvPending { src: i64, tag: i64, posted: f64 },
     SendPending,
     Complete { t: f64, dep: Option<DepInfo> },
 }
 
-#[derive(Debug, Clone)]
+/// Which requests a blocked operation waits on. `AllOutstanding` lets
+/// `waitall` (and the quiescence re-checks) reference the live
+/// outstanding set instead of cloning an id vector per wait — sound
+/// because a blocked rank cannot post new requests.
+#[derive(Debug, Clone, Copy)]
+enum ReqWait {
+    /// A single request (blocking recv, sendrecv, `wait`).
+    One(i64),
+    /// Every currently-outstanding non-blocking request (`waitall`).
+    AllOutstanding,
+}
+
+#[derive(Debug, Clone, Copy)]
 enum Blocked {
-    /// Waiting until all listed requests complete (covers blocking recv,
-    /// sendrecv, wait, waitall).
+    /// Waiting until the covered requests complete (covers blocking
+    /// recv, sendrecv, wait, waitall).
     OnRequests {
-        reqs: Vec<i64>,
+        reqs: ReqWait,
         kind: MpiKind,
         vertex: VertexId,
         enter: f64,
@@ -251,13 +398,14 @@ enum Blocked {
     Collective { seq: u64, enter: f64 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Status {
     Running,
     Blocked(Blocked),
     Done,
 }
 
+#[derive(Debug, Clone, Copy)]
 struct CollArrival {
     arrive: f64,
     vertex: VertexId,
@@ -266,20 +414,33 @@ struct CollArrival {
     root: i64,
 }
 
-#[derive(Default)]
+#[derive(Debug)]
 struct CollInstance {
-    arrivals: HashMap<usize, CollArrival>,
+    /// Indexed by rank; dense so completion never iterates a hash map.
+    arrivals: Vec<Option<CollArrival>>,
+    arrived: usize,
+}
+
+impl CollInstance {
+    fn new(nprocs: usize) -> CollInstance {
+        CollInstance {
+            arrivals: vec![None; nprocs],
+            arrived: 0,
+        }
+    }
 }
 
 struct Engine<'p, 'g, 'h> {
     psg: &'g Psg,
+    /// Dense `(ctx, stmt)` attribution snapshot of `psg`.
+    attr: AttrIndex,
     config: SimConfig,
-    params: HashMap<String, i64>,
+    params: ParamTable,
     hook: &'h mut dyn Hook,
     ranks: Vec<RankState<'p>>,
     status: Vec<Status>,
     runnable: VecDeque<usize>,
-    mailboxes: Vec<Vec<Message>>,
+    mailboxes: Vec<Mailbox>,
     send_seq: Vec<u64>,
     requests: Vec<HashMap<i64, Request>>,
     next_req: Vec<i64>,
@@ -301,7 +462,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         program: &'p Program,
         psg: &'g Psg,
         config: SimConfig,
-        params: HashMap<String, i64>,
+        params: ParamTable,
         hook: &'h mut dyn Hook,
     ) -> Self {
         let n = config.nprocs;
@@ -310,13 +471,14 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             .collect();
         Engine {
             psg,
+            attr: AttrIndex::build(psg, program.next_node_id),
             config,
             params,
             hook,
             ranks,
-            status: (0..n).map(|_| Status::Running).collect(),
+            status: vec![Status::Running; n],
             runnable: (0..n).collect(),
-            mailboxes: vec![Vec::new(); n],
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             send_seq: vec![0; n],
             requests: vec![HashMap::new(); n],
             next_req: vec![1; n],
@@ -366,10 +528,13 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 Status::Running => continue,
                 Status::Done => continue,
                 Status::Blocked(Blocked::OnRequests { kind, reqs, .. }) => {
-                    format!(
-                        "rank {r}: blocked in {} on requests {reqs:?}",
-                        kind.mpi_name()
-                    )
+                    let what = match reqs {
+                        ReqWait::One(id) => format!("request {id}"),
+                        ReqWait::AllOutstanding => {
+                            format!("requests {:?}", self.outstanding[r])
+                        }
+                    };
+                    format!("rank {r}: blocked in {} on {what}", kind.mpi_name())
                 }
                 Status::Blocked(Blocked::RdvSend { .. }) => {
                     format!("rank {r}: blocked in rendezvous send")
@@ -390,6 +555,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
     fn step_ctx(&mut self) -> (&mut Vec<RankState<'p>>, StepCtx<'_>) {
         let ctx = StepCtx {
             psg: self.psg,
+            attr: &self.attr,
             machine: &self.config.machine,
             hook: self.hook,
             params: &self.params,
@@ -439,7 +605,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         id
     }
 
-    fn enter_event(&mut self, r: usize, call: &MpiCall) -> f64 {
+    fn enter_event(&mut self, r: usize, call: &MpiCall<'_>) -> f64 {
         let (dst, src, tag, bytes) = match &call.op {
             EvaluatedOp::Send { dst, tag, bytes }
             | EvaluatedOp::Isend {
@@ -498,7 +664,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         let seq = self.send_seq[src];
         self.send_seq[src] += 1;
         let arrival = send_time + self.config.machine.transfer_seconds(bytes);
-        self.mailboxes[dst].push(Message {
+        self.mailboxes[dst].deposit(Message {
             src_rank: src,
             src_vertex,
             tag,
@@ -507,22 +673,22 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             send_seq: seq,
             arrival,
             rendezvous,
-            consumed: false,
             rdv_sender,
+            deposit_seq: 0, // assigned by the mailbox
         });
     }
 
-    fn handle_mpi(&mut self, r: usize, call: MpiCall) -> Result<MpiOutcome, SimError> {
+    fn handle_mpi(&mut self, r: usize, call: MpiCall<'_>) -> Result<MpiOutcome, SimError> {
         let enter = self.enter_event(r, &call);
         let o = self.config.machine.mpi_overhead;
-        let m = self.config.machine.clone();
+        let bw = self.config.machine.net_bandwidth;
         match call.op {
             EvaluatedOp::Send { dst, tag, bytes } => {
                 let dst = self.validate_rank(r, "send", dst)?;
                 let send_time = enter + o;
-                if m.is_eager(bytes) {
+                if self.config.machine.is_eager(bytes) {
                     self.deposit(r, dst, call.vertex, tag, bytes, send_time, false, None);
-                    self.ranks[r].clock = send_time + bytes as f64 / m.net_bandwidth;
+                    self.ranks[r].clock = send_time + bytes as f64 / bw;
                     self.exit_event(r, call.vertex, call.kind, enter, 0.0);
                     Ok(MpiOutcome::Completed)
                 } else {
@@ -553,8 +719,8 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             } => {
                 let dst = self.validate_rank(r, "isend", dst)?;
                 let send_time = enter + o;
-                let req = if m.is_eager(bytes) {
-                    let local_done = send_time + bytes as f64 / m.net_bandwidth;
+                let req = if self.config.machine.is_eager(bytes) {
+                    let local_done = send_time + bytes as f64 / bw;
                     self.deposit(r, dst, call.vertex, tag, bytes, send_time, false, None);
                     self.alloc_req(
                         r,
@@ -578,7 +744,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     id
                 };
                 self.outstanding[r].push(req);
-                self.ranks[r].define_var(&req_name, Value::Int(req));
+                self.ranks[r].define_var(req_name, Value::Int(req));
                 self.ranks[r].clock = send_time;
                 self.exit_event(r, call.vertex, call.kind, enter, 0.0);
                 Ok(MpiOutcome::Completed)
@@ -591,7 +757,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 let req = self.alloc_req(r, Request::RecvPending { src, tag, posted });
                 self.recv_order[r].push_back(req);
                 self.outstanding[r].push(req);
-                self.ranks[r].define_var(&req_name, Value::Int(req));
+                self.ranks[r].define_var(req_name, Value::Int(req));
                 self.ranks[r].clock = posted;
                 self.exit_event(r, call.vertex, call.kind, enter, 0.0);
                 Ok(MpiOutcome::Completed)
@@ -605,7 +771,15 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 let req = self.alloc_req(r, Request::RecvPending { src, tag, posted });
                 self.recv_order[r].push_back(req);
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, false)
+                self.finish_or_block(
+                    r,
+                    ReqWait::One(req),
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    false,
+                )
             }
             EvaluatedOp::Sendrecv {
                 dst,
@@ -621,7 +795,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 let send_time = enter + o;
                 // Sendrecv is deadlock-free: the send half is buffered.
                 self.deposit(r, dst, call.vertex, sendtag, bytes, send_time, false, None);
-                let posted = send_time + bytes as f64 / m.net_bandwidth;
+                let posted = send_time + bytes as f64 / bw;
                 self.ranks[r].clock = posted;
                 let req = self.alloc_req(
                     r,
@@ -633,7 +807,15 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 );
                 self.recv_order[r].push_back(req);
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, false)
+                self.finish_or_block(
+                    r,
+                    ReqWait::One(req),
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    false,
+                )
             }
             EvaluatedOp::Wait { req } => {
                 let posted = enter + o;
@@ -642,18 +824,33 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     return Err(SimError::UnknownRequest { rank: r, req });
                 }
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(r, vec![req], call.kind, call.vertex, enter, posted, true)
+                self.finish_or_block(
+                    r,
+                    ReqWait::One(req),
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    true,
+                )
             }
             EvaluatedOp::Waitall => {
                 let posted = enter + o;
                 self.ranks[r].clock = posted;
-                let reqs = self.outstanding[r].clone();
-                if reqs.is_empty() {
+                if self.outstanding[r].is_empty() {
                     self.exit_event(r, call.vertex, call.kind, enter, 0.0);
                     return Ok(MpiOutcome::Completed);
                 }
                 self.match_rank_recvs(r, false);
-                self.finish_or_block(r, reqs, call.kind, call.vertex, enter, posted, true)
+                self.finish_or_block(
+                    r,
+                    ReqWait::AllOutstanding,
+                    call.kind,
+                    call.vertex,
+                    enter,
+                    posted,
+                    true,
+                )
             }
             EvaluatedOp::Collective { root, bytes } => {
                 if matches!(call.kind, MpiKind::Bcast | MpiKind::Reduce) {
@@ -663,37 +860,42 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 self.ranks[r].clock = arrive;
                 let seq = self.coll_seq[r];
                 self.coll_seq[r] += 1;
-                self.collectives.entry(seq).or_default().arrivals.insert(
-                    r,
-                    CollArrival {
-                        arrive,
-                        vertex: call.vertex,
-                        kind: call.kind,
-                        bytes,
-                        root,
-                    },
-                );
+                let n = self.config.nprocs;
+                let inst = self
+                    .collectives
+                    .entry(seq)
+                    .or_insert_with(|| CollInstance::new(n));
+                if inst.arrivals[r].is_none() {
+                    inst.arrived += 1;
+                }
+                inst.arrivals[r] = Some(CollArrival {
+                    arrive,
+                    vertex: call.vertex,
+                    kind: call.kind,
+                    bytes,
+                    root,
+                });
                 self.status[r] = Status::Blocked(Blocked::Collective { seq, enter });
                 Ok(MpiOutcome::BlockedNow)
             }
         }
     }
 
-    /// If all `reqs` are complete, finish the operation now; otherwise
-    /// block on them.
+    /// If the covered requests are all complete, finish the operation
+    /// now; otherwise block on them.
     #[allow(clippy::too_many_arguments)]
     fn finish_or_block(
         &mut self,
         r: usize,
-        reqs: Vec<i64>,
+        reqs: ReqWait,
         kind: MpiKind,
         vertex: VertexId,
         enter: f64,
         ready: f64,
         drop_outstanding: bool,
     ) -> Result<MpiOutcome, SimError> {
-        if self.requests_complete(r, &reqs) {
-            self.complete_on_requests(r, &reqs, kind, vertex, enter, ready, drop_outstanding);
+        if self.requests_complete(r, reqs) {
+            self.complete_on_requests(r, reqs, kind, vertex, enter, ready, drop_outstanding);
             Ok(MpiOutcome::Completed)
         } else {
             self.status[r] = Status::Blocked(Blocked::OnRequests {
@@ -708,34 +910,56 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         }
     }
 
-    fn requests_complete(&self, r: usize, reqs: &[i64]) -> bool {
-        reqs.iter()
-            .all(|id| matches!(self.requests[r].get(id), Some(Request::Complete { .. })))
+    fn requests_complete(&self, r: usize, reqs: ReqWait) -> bool {
+        let complete =
+            |id: &i64| matches!(self.requests[r].get(id), Some(Request::Complete { .. }));
+        match reqs {
+            ReqWait::One(id) => complete(&id),
+            ReqWait::AllOutstanding => self.outstanding[r].iter().all(complete),
+        }
     }
 
-    /// All requests complete: advance the clock, emit dependence and exit
-    /// events, drop the requests.
+    /// All covered requests complete: advance the clock, emit dependence
+    /// and exit events, drop the requests.
     #[allow(clippy::too_many_arguments)]
     fn complete_on_requests(
         &mut self,
         r: usize,
-        reqs: &[i64],
+        reqs: ReqWait,
         kind: MpiKind,
         vertex: VertexId,
         enter: f64,
         ready: f64,
         drop_outstanding: bool,
     ) {
+        let one: [i64; 1];
+        let taken: Vec<i64>;
+        let ids: &[i64] = match reqs {
+            ReqWait::One(id) => {
+                one = [id];
+                if drop_outstanding {
+                    if let Some(pos) = self.outstanding[r].iter().position(|&x| x == id) {
+                        self.outstanding[r].remove(pos);
+                    }
+                }
+                &one
+            }
+            ReqWait::AllOutstanding => {
+                debug_assert!(drop_outstanding, "waitall always drops its requests");
+                taken = std::mem::take(&mut self.outstanding[r]);
+                &taken
+            }
+        };
         let mut done = ready;
-        for id in reqs {
+        for id in ids {
             if let Some(Request::Complete { t, .. }) = self.requests[r].get(id) {
                 done = done.max(*t);
             }
         }
         self.ranks[r].clock = self.ranks[r].clock.max(done);
-        let wait = (done - ready).max(0.0);
+        let waited = (done - ready).max(0.0);
         // Emit one dependence edge per request that carried a message.
-        for id in reqs {
+        for id in ids {
             if let Some(Request::Complete { t, dep: Some(dep) }) = self.requests[r].remove(id) {
                 let ev = CommDepEvent {
                     src_rank: dep.src_rank,
@@ -749,14 +973,9 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 };
                 let cost = self.hook.on_comm_dep(&ev);
                 self.ranks[r].clock += cost;
-            } else {
-                self.requests[r].remove(id);
             }
         }
-        if drop_outstanding {
-            self.outstanding[r].retain(|id| !reqs.contains(id));
-        }
-        self.exit_event(r, vertex, kind, enter, wait);
+        self.exit_event(r, vertex, kind, enter, waited);
     }
 
     /// Match rank `r`'s pending receives against its mailbox, in post
@@ -768,8 +987,7 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             let Some(&req_id) = self.recv_order[r].front() else {
                 break;
             };
-            let Some(Request::RecvPending { src, tag, posted }) =
-                self.requests[r].get(&req_id).cloned()
+            let Some(&Request::RecvPending { src, tag, posted }) = self.requests[r].get(&req_id)
             else {
                 // Stale entry; drop it.
                 self.recv_order[r].pop_front();
@@ -779,11 +997,10 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             if wildcard && !at_quiescence {
                 break;
             }
-            let Some(msg_idx) = self.find_match(r, src, tag) else {
+            let Some(slot) = self.mailboxes[r].find_match(src, tag) else {
                 break;
             };
-            let msg = self.mailboxes[r][msg_idx].clone();
-            self.mailboxes[r][msg_idx].consumed = true;
+            let msg = self.mailboxes[r].consume(slot);
             let t = if msg.rendezvous {
                 // Transfer starts when both sides are ready.
                 let start = msg.send_time.max(posted);
@@ -813,40 +1030,6 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         progressed
     }
 
-    /// Deterministic candidate selection (see module docs).
-    fn find_match(&self, r: usize, src: i64, tag: i64) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, msg) in self.mailboxes[r].iter().enumerate() {
-            if msg.consumed {
-                continue;
-            }
-            if src >= 0 && msg.src_rank != src as usize {
-                continue;
-            }
-            if tag >= 0 && msg.tag != tag {
-                continue;
-            }
-            best = match best {
-                None => Some(i),
-                Some(j) => {
-                    let cur = &self.mailboxes[r][j];
-                    let better = if msg.src_rank == cur.src_rank {
-                        msg.send_seq < cur.send_seq
-                    } else {
-                        (msg.arrival, msg.src_rank, msg.send_seq)
-                            < (cur.arrival, cur.src_rank, cur.send_seq)
-                    };
-                    if better {
-                        Some(i)
-                    } else {
-                        Some(j)
-                    }
-                }
-            };
-        }
-        best
-    }
-
     fn release_rdv_sender(&mut self, sender: usize, sreq: Option<i64>, finish: f64) {
         match sreq {
             Some(id) => {
@@ -863,9 +1046,8 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                     kind,
                     vertex,
                     enter,
-                }) = &self.status[sender]
+                }) = self.status[sender]
                 {
-                    let (kind, vertex, enter) = (*kind, *vertex, *enter);
                     let before = self.ranks[sender].clock;
                     self.ranks[sender].clock = before.max(finish);
                     let wait = (finish - before).max(0.0);
@@ -891,20 +1073,12 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 enter,
                 ready,
                 drop_outstanding,
-            }) = &self.status[r]
+            }) = self.status[r]
             else {
                 continue;
             };
-            let (reqs, kind, vertex, enter, ready, drop_outstanding) = (
-                reqs.clone(),
-                *kind,
-                *vertex,
-                *enter,
-                *ready,
-                *drop_outstanding,
-            );
-            if self.requests_complete(r, &reqs) {
-                self.complete_on_requests(r, &reqs, kind, vertex, enter, ready, drop_outstanding);
+            if self.requests_complete(r, reqs) {
+                self.complete_on_requests(r, reqs, kind, vertex, enter, ready, drop_outstanding);
                 self.wake(r);
                 progress = true;
             }
@@ -914,12 +1088,13 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
 
     /// Complete every collective instance whose participants all arrived.
     fn complete_collectives(&mut self) -> Result<bool, SimError> {
-        let ready: Vec<u64> = self
+        let mut ready: Vec<u64> = self
             .collectives
             .iter()
-            .filter(|(_, inst)| inst.arrivals.len() == self.config.nprocs)
+            .filter(|(_, inst)| inst.arrived == self.config.nprocs)
             .map(|(seq, _)| *seq)
             .collect();
+        ready.sort_unstable();
         let mut progress = false;
         for seq in ready {
             self.complete_collective(seq)?;
@@ -931,9 +1106,11 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
     fn complete_collective(&mut self, seq: u64) -> Result<(), SimError> {
         let inst = self.collectives.remove(&seq).expect("instance exists");
         let n = self.config.nprocs;
+        let arrival = |r: usize| inst.arrivals[r].as_ref().expect("all ranks arrived");
         // Validate agreement on the operation kind.
-        let kind0 = inst.arrivals[&0].kind;
-        for (r, a) in &inst.arrivals {
+        let kind0 = arrival(0).kind;
+        for (r, a) in inst.arrivals.iter().enumerate() {
+            let a = a.as_ref().expect("all ranks arrived");
             if a.kind != kind0 {
                 return Err(SimError::CollectiveMismatch {
                     detail: format!(
@@ -944,20 +1121,27 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 });
             }
         }
-        let bytes = inst.arrivals.values().map(|a| a.bytes).max().unwrap_or(0);
-        let root = inst.arrivals[&0].root;
-        let max_arrival = inst.arrivals.values().map(|a| a.arrive).fold(0.0, f64::max);
-        let straggler = inst
+        let bytes = inst
             .arrivals
             .iter()
-            .max_by(|a, b| {
-                a.1.arrive
-                    .partial_cmp(&b.1.arrive)
-                    .unwrap()
-                    .then(a.0.cmp(b.0))
-            })
-            .map(|(r, _)| *r)
-            .expect("non-empty");
+            .flatten()
+            .map(|a| a.bytes)
+            .max()
+            .unwrap_or(0);
+        let root = arrival(0).root;
+        let max_arrival = inst
+            .arrivals
+            .iter()
+            .flatten()
+            .map(|a| a.arrive)
+            .fold(0.0, f64::max);
+        // Latest arrival; ties go to the larger rank (historical order).
+        let mut straggler = 0usize;
+        for r in 1..n {
+            if arrival(r).arrive >= arrival(straggler).arrive {
+                straggler = r;
+            }
+        }
 
         let model = match kind0 {
             MpiKind::Barrier => CollectiveModel::Barrier,
@@ -976,12 +1160,13 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
         let o = self.config.machine.mpi_overhead;
         let root_arrive = inst
             .arrivals
-            .get(&(root.max(0) as usize))
+            .get(root.max(0) as usize)
+            .and_then(|a| a.as_ref())
             .map(|a| a.arrive)
             .unwrap_or(max_arrival);
 
         for r in 0..n {
-            let a = &inst.arrivals[&r];
+            let a = *arrival(r);
             let release = match kind0 {
                 MpiKind::Bcast => {
                     if r as i64 == root {
@@ -1002,9 +1187,9 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
             let wait = (release - a.arrive).max(0.0);
             self.ranks[r].clock = release;
             // Straggler → waiter dependence edges let detection see who
-            // delayed the collective.
+            // delayed a collective.
             if r != straggler && wait > 0.0 {
-                let sv = inst.arrivals[&straggler].vertex;
+                let sv = arrival(straggler).vertex;
                 let ev = CommDepEvent {
                     src_rank: straggler,
                     src_vertex: sv,
@@ -1018,8 +1203,8 @@ impl<'p, 'g, 'h> Engine<'p, 'g, 'h> {
                 let c = self.hook.on_comm_dep(&ev);
                 self.ranks[r].clock += c;
             }
-            let enter = match &self.status[r] {
-                Status::Blocked(Blocked::Collective { enter, .. }) => *enter,
+            let enter = match self.status[r] {
+                Status::Blocked(Blocked::Collective { enter, .. }) => enter,
                 _ => a.arrive,
             };
             self.exit_event(r, a.vertex, kind0, enter, wait);
@@ -1329,7 +1514,7 @@ mod tests {
         let psg = build_psg(&program, &PsgOptions::default());
         let mk = || {
             let mut cfg = SimConfig::with_nprocs(8);
-            cfg.machine.noise = crate::machine::NoiseConfig {
+            cfg.machine_mut().noise = crate::machine::NoiseConfig {
                 amplitude: 0.05,
                 seed: 99,
             };

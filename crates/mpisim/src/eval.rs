@@ -7,7 +7,77 @@
 
 use crate::value::{Env, Value};
 use scalana_lang::ast::{BinOp, BuiltinFn, Expr, UnOp, ANY_VALUE, VAR_ANY, VAR_NPROCS, VAR_RANK};
+use scalana_lang::Program;
 use std::collections::HashMap;
+
+/// Program parameters interned to dense slots at simulation setup.
+///
+/// The interpreter resolves parameters on every expression evaluation;
+/// going through a `HashMap<String, i64>` put string hashing in the
+/// innermost eval loop. Interning once up front leaves a sorted name
+/// table (binary-searched without hashing or allocation) whose hits read
+/// a plain `Vec<i64>` shared by every rank of the run.
+#[derive(Debug, Clone, Default)]
+pub struct ParamTable {
+    /// Sorted parameter names, parallel to `values`.
+    names: Vec<Box<str>>,
+    /// Dense slot array the eval loop reads.
+    values: Vec<i64>,
+}
+
+impl ParamTable {
+    /// Intern a program's declared parameters merged with run overrides
+    /// (overrides may introduce names the program does not declare,
+    /// matching the historical `HashMap` merge).
+    pub fn build(program: &Program, overrides: &HashMap<String, i64>) -> ParamTable {
+        let mut table =
+            ParamTable::from_pairs(program.params.iter().map(|p| (p.name.as_str(), p.default)));
+        // Deterministic override order (HashMap iteration is not).
+        let mut sorted: Vec<(&str, i64)> =
+            overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        sorted.sort_unstable_by_key(|(k, _)| *k);
+        for (name, value) in sorted {
+            table.set(name, value);
+        }
+        table
+    }
+
+    /// Intern an explicit name/value list (later entries override).
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> ParamTable {
+        let mut table = ParamTable::default();
+        for (name, value) in pairs {
+            table.set(name, value);
+        }
+        table
+    }
+
+    /// Insert or overwrite one parameter.
+    pub fn set(&mut self, name: &str, value: i64) {
+        match self.slot(name) {
+            Ok(i) => self.values[i] = value,
+            Err(i) => {
+                self.names.insert(i, name.into());
+                self.values.insert(i, value);
+            }
+        }
+    }
+
+    /// Resolve a parameter by name.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.slot(name).ok().map(|i| self.values[i])
+    }
+
+    /// The dense value slots (sorted-name order).
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    #[inline]
+    fn slot(&self, name: &str) -> Result<usize, usize> {
+        self.names.binary_search_by(|n| n.as_ref().cmp(name))
+    }
+}
 
 /// Evaluation context: the rank's identity plus run parameters.
 pub struct EvalCtx<'a> {
@@ -15,8 +85,8 @@ pub struct EvalCtx<'a> {
     pub rank: i64,
     /// Total rank count.
     pub nprocs: i64,
-    /// Program parameters (defaults merged with overrides).
-    pub params: &'a HashMap<String, i64>,
+    /// Interned program parameters (defaults merged with overrides).
+    pub params: &'a ParamTable,
 }
 
 /// Evaluate an expression to a [`Value`].
@@ -66,7 +136,7 @@ fn lookup(name: &str, env: &Env, ctx: &EvalCtx<'_>) -> Value {
             if let Some(v) = env.get(name) {
                 v.clone()
             } else if let Some(p) = ctx.params.get(name) {
-                Value::Int(*p)
+                Value::Int(p)
             } else {
                 // Unreachable for checked programs.
                 Value::Int(0)
@@ -129,7 +199,7 @@ mod tests {
     use super::*;
     use scalana_lang::builder::*;
 
-    fn ctx(params: &HashMap<String, i64>) -> EvalCtx<'_> {
+    fn ctx(params: &ParamTable) -> EvalCtx<'_> {
         EvalCtx {
             rank: 3,
             nprocs: 8,
@@ -139,7 +209,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         let e = int(1) + int(2) * int(3);
         assert_eq!(eval_int(&e, &env, &ctx(&params)), 7);
@@ -147,7 +217,7 @@ mod tests {
 
     #[test]
     fn reserved_variables() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         assert_eq!(eval_int(&rank(), &env, &ctx(&params)), 3);
         assert_eq!(eval_int(&nprocs(), &env, &ctx(&params)), 8);
@@ -156,8 +226,8 @@ mod tests {
 
     #[test]
     fn params_resolve_and_locals_shadow() {
-        let mut params = HashMap::new();
-        params.insert("N".to_string(), 100);
+        let mut params = ParamTable::default();
+        params.set("N", 100);
         let mut env = Env::new();
         assert_eq!(eval_int(&var("N"), &env, &ctx(&params)), 100);
         env.define("N", Value::Int(5));
@@ -166,7 +236,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_zero() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         assert_eq!(eval_int(&(int(10) / int(0)), &env, &ctx(&params)), 0);
         assert_eq!(eval_int(&(int(10) % int(0)), &env, &ctx(&params)), 0);
@@ -174,7 +244,7 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         assert_eq!(eval_int(&lt(int(1), int(2)), &env, &ctx(&params)), 1);
         assert_eq!(eval_int(&and(int(1), int(0)), &env, &ctx(&params)), 0);
@@ -188,7 +258,7 @@ mod tests {
 
     #[test]
     fn builtins() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         assert_eq!(eval_int(&max(int(3), int(9)), &env, &ctx(&params)), 9);
         assert_eq!(eval_int(&min(int(3), int(9)), &env, &ctx(&params)), 3);
@@ -201,7 +271,7 @@ mod tests {
 
     #[test]
     fn funcref_value() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         assert_eq!(
             eval(&func_ref("leaf"), &env, &ctx(&params)),
@@ -211,7 +281,7 @@ mod tests {
 
     #[test]
     fn wrapping_no_panic() {
-        let params = HashMap::new();
+        let params = ParamTable::default();
         let env = Env::new();
         let e = int(i64::MAX) + int(1);
         let _ = eval_int(&e, &env, &ctx(&params)); // must not panic

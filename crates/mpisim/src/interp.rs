@@ -12,13 +12,12 @@
 //! (`attr_override`), exactly the coarse attribution the paper has before
 //! runtime refinement fills the graph in.
 
-use crate::eval::{eval, eval_int, EvalCtx};
+use crate::eval::{eval, eval_int, EvalCtx, ParamTable};
 use crate::hook::{CompEvent, Hook, IndirectCallEvent};
 use crate::machine::{MachineConfig, NoiseStream};
 use crate::value::{Env, Value};
-use scalana_graph::{CtxId, MpiKind, Psg, VertexId};
+use scalana_graph::{AttrIndex, CtxId, MpiKind, Psg, VertexId};
 use scalana_lang::ast::{Block, CompAttrs, Expr, MpiOp, Program, Stmt, StmtKind};
-use std::collections::HashMap;
 
 /// Per-statement interpreter micro-costs, in cycles. These model the
 /// instructions a real compiled program spends on bookkeeping and give
@@ -63,14 +62,17 @@ pub struct Pmu {
 
 /// Everything a stepping rank needs from the engine.
 pub struct StepCtx<'e> {
-    /// The contracted PSG (attribution map + context transitions).
+    /// The contracted PSG (indirect-call transitions, root vertex).
     pub psg: &'e Psg,
+    /// Dense attribution/transition snapshot of the PSG (the hot-loop
+    /// replacement for its hash-map lookups).
+    pub attr: &'e AttrIndex,
     /// Platform model.
     pub machine: &'e MachineConfig,
     /// The attached tool.
     pub hook: &'e mut dyn Hook,
-    /// Program parameters (defaults merged with run overrides).
-    pub params: &'e HashMap<String, i64>,
+    /// Interned program parameters (defaults merged with run overrides).
+    pub params: &'e ParamTable,
     /// Rank count.
     pub nprocs: usize,
     /// Micro-cost table.
@@ -78,19 +80,21 @@ pub struct StepCtx<'e> {
 }
 
 /// An MPI operation with all parameters evaluated, yielded to the engine.
+/// Request-variable names are borrowed from the program AST, so yielding
+/// a call never allocates.
 #[derive(Debug, Clone, PartialEq)]
-pub struct MpiCall {
+pub struct MpiCall<'p> {
     /// Attributed vertex.
     pub vertex: VertexId,
     /// Operation kind.
     pub kind: MpiKind,
     /// Evaluated operands.
-    pub op: EvaluatedOp,
+    pub op: EvaluatedOp<'p>,
 }
 
 /// Evaluated MPI operands.
 #[derive(Debug, Clone, PartialEq)]
-pub enum EvaluatedOp {
+pub enum EvaluatedOp<'p> {
     /// Blocking send.
     Send {
         /// Destination rank.
@@ -128,8 +132,8 @@ pub enum EvaluatedOp {
         tag: i64,
         /// Payload bytes.
         bytes: u64,
-        /// Request variable to bind.
-        req_name: String,
+        /// Request variable to bind (borrowed from the AST).
+        req_name: &'p str,
     },
     /// Non-blocking receive; the engine binds `req_name`.
     Irecv {
@@ -137,8 +141,8 @@ pub enum EvaluatedOp {
         src: i64,
         /// Tag or -1.
         tag: i64,
-        /// Request variable to bind.
-        req_name: String,
+        /// Request variable to bind (borrowed from the AST).
+        req_name: &'p str,
     },
     /// Wait on one request.
     Wait {
@@ -158,9 +162,9 @@ pub enum EvaluatedOp {
 
 /// Why a stepping rank returned control to the engine.
 #[derive(Debug)]
-pub enum StepOutcome {
+pub enum StepOutcome<'p> {
     /// Hit an MPI operation; the engine must process it.
-    Mpi(MpiCall),
+    Mpi(MpiCall<'p>),
     /// The program finished on this rank.
     Done,
     /// Exceeded the per-rank step budget (runaway loop guard).
@@ -257,7 +261,7 @@ impl<'p> RankState<'p> {
         }
     }
 
-    fn eval_ctx<'e>(&self, params: &'e HashMap<String, i64>, nprocs: usize) -> EvalCtx<'e> {
+    fn eval_ctx<'e>(&self, params: &'e ParamTable, nprocs: usize) -> EvalCtx<'e> {
         EvalCtx {
             rank: self.rank as i64,
             nprocs: nprocs as i64,
@@ -266,11 +270,12 @@ impl<'p> RankState<'p> {
     }
 
     /// The vertex to attribute `stmt` to in the current frame.
-    fn attr_vertex(&self, psg: &Psg, stmt_id: scalana_lang::NodeId) -> VertexId {
+    fn attr_vertex(&self, ctx: &StepCtx<'_>, stmt_id: scalana_lang::NodeId) -> VertexId {
         let frame = self.frames.last().expect("running rank has a frame");
-        psg.vertex_of(frame.ctx, stmt_id)
+        ctx.attr
+            .vertex_of(frame.ctx, stmt_id)
             .or(frame.attr_override)
-            .unwrap_or(psg.root)
+            .unwrap_or(ctx.psg.root)
     }
 
     /// Accumulate interpreter bookkeeping cycles on a vertex; flushed as
@@ -313,7 +318,7 @@ impl<'p> RankState<'p> {
 
     /// Run until the next MPI operation, completion, or budget
     /// exhaustion.
-    pub fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepOutcome {
+    pub fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepOutcome<'p> {
         loop {
             if self.steps_left == 0 {
                 return StepOutcome::BudgetExhausted;
@@ -361,7 +366,7 @@ impl<'p> RankState<'p> {
                             idx: 0,
                         });
                         self.steps_left = self.steps_left.saturating_sub(1);
-                        let vertex = self.attr_vertex(ctx.psg, stmt_id);
+                        let vertex = self.attr_vertex(ctx, stmt_id);
                         self.charge_micro(ctx, vertex, ctx.costs.loop_iter);
                     } else {
                         frame.env.pop_scope();
@@ -389,7 +394,7 @@ impl<'p> RankState<'p> {
                         frame.control.pop();
                     }
                     self.steps_left = self.steps_left.saturating_sub(1);
-                    let vertex = self.attr_vertex(ctx.psg, stmt_id);
+                    let vertex = self.attr_vertex(ctx, stmt_id);
                     self.charge_micro(ctx, vertex, ctx.costs.loop_iter);
                 }
             }
@@ -397,8 +402,8 @@ impl<'p> RankState<'p> {
     }
 
     /// Execute one statement; `Some` means an MPI operation was reached.
-    fn exec_stmt(&mut self, stmt: &'p Stmt, ctx: &mut StepCtx<'_>) -> Option<MpiCall> {
-        let vertex = self.attr_vertex(ctx.psg, stmt.id);
+    fn exec_stmt(&mut self, stmt: &'p Stmt, ctx: &mut StepCtx<'_>) -> Option<MpiCall<'p>> {
+        let vertex = self.attr_vertex(ctx, stmt.id);
         match &stmt.kind {
             StmtKind::Let { name, value } => {
                 let ec = self.eval_ctx(ctx.params, ctx.nprocs);
@@ -477,7 +482,7 @@ impl<'p> RankState<'p> {
                 let frame = self.frames.last().expect("frame");
                 let arg_values: Vec<Value> =
                     args.iter().map(|a| eval(a, &frame.env, &ec)).collect();
-                let new_ctx = ctx.psg.enter_call(frame.ctx, stmt.id).unwrap_or(frame.ctx);
+                let new_ctx = ctx.attr.enter_call(frame.ctx, stmt.id).unwrap_or(frame.ctx);
                 let attr_override = frame.attr_override;
                 self.push_call_frame(ctx, callee, arg_values, new_ctx, attr_override);
                 self.charge_micro(ctx, vertex, ctx.costs.call);
@@ -613,7 +618,7 @@ impl<'p> RankState<'p> {
         self.clock += cost;
     }
 
-    fn eval_mpi(&mut self, op: &MpiOp, vertex: VertexId, ctx: &mut StepCtx<'_>) -> MpiCall {
+    fn eval_mpi(&mut self, op: &'p MpiOp, vertex: VertexId, ctx: &mut StepCtx<'_>) -> MpiCall<'p> {
         let ec = self.eval_ctx(ctx.params, ctx.nprocs);
         let frame = self.frames.last().expect("frame");
         let env = &frame.env;
@@ -650,12 +655,12 @@ impl<'p> RankState<'p> {
                 dst: eval_int(dst, env, &ec),
                 tag: eval_int(tag, env, &ec),
                 bytes: eval_int(bytes, env, &ec).max(0) as u64,
-                req_name: req.clone(),
+                req_name: req,
             },
             MpiOp::Irecv { src, tag, req } => EvaluatedOp::Irecv {
                 src: eval_int(src, env, &ec),
                 tag: eval_int(tag, env, &ec),
-                req_name: req.clone(),
+                req_name: req,
             },
             MpiOp::Wait { req } => EvaluatedOp::Wait {
                 req: eval_int(req, env, &ec),
@@ -694,14 +699,12 @@ mod tests {
         let program = parse_program("t.mmpi", src).unwrap();
         let psg = build_psg(&program, &PsgOptions::default());
         let machine = MachineConfig::default();
-        let params: HashMap<String, i64> = program
-            .params
-            .iter()
-            .map(|p| (p.name.clone(), p.default))
-            .collect();
+        let params = ParamTable::build(&program, &Default::default());
+        let attr = AttrIndex::build(&psg, program.next_node_id);
         let mut hook = NullHook;
         let mut ctx = StepCtx {
             psg: &psg,
+            attr: &attr,
             machine: &machine,
             hook: &mut hook,
             params: &params,
@@ -781,10 +784,12 @@ mod tests {
         .unwrap();
         let psg = build_psg(&program, &PsgOptions::default());
         let machine = MachineConfig::default();
-        let params = HashMap::new();
+        let params = ParamTable::default();
+        let attr = AttrIndex::build(&psg, program.next_node_id);
         let mut hook = NullHook;
         let mut ctx = StepCtx {
             psg: &psg,
+            attr: &attr,
             machine: &machine,
             hook: &mut hook,
             params: &params,
@@ -817,10 +822,12 @@ mod tests {
             parse_program("t.mmpi", "fn main() { let x = 1; while x > 0 { x = 1; } }").unwrap();
         let psg = build_psg(&program, &PsgOptions::default());
         let machine = MachineConfig::default();
-        let params = HashMap::new();
+        let params = ParamTable::default();
+        let attr = AttrIndex::build(&psg, program.next_node_id);
         let mut hook = NullHook;
         let mut ctx = StepCtx {
             psg: &psg,
+            attr: &attr,
             machine: &machine,
             hook: &mut hook,
             params: &params,
@@ -840,10 +847,12 @@ mod tests {
         let program = parse_program("t.mmpi", src).unwrap();
         let psg = build_psg(&program, &PsgOptions::default());
         let machine = MachineConfig::default();
-        let params = HashMap::new();
+        let params = ParamTable::default();
+        let attr = AttrIndex::build(&psg, program.next_node_id);
         let mut hook = NullHook;
         let mut ctx = StepCtx {
             psg: &psg,
+            attr: &attr,
             machine: &machine,
             hook: &mut hook,
             params: &params,

@@ -1,6 +1,5 @@
 //! Runtime values and lexical environments for the interpreter.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// A MiniMPI runtime value: 64-bit integers (which also serve as request
@@ -41,59 +40,78 @@ impl fmt::Display for Value {
 }
 
 /// A block-scoped variable environment (one per call frame).
+///
+/// Stored as one flat entry stack plus scope start offsets rather than a
+/// stack of hash maps: frames hold a handful of live variables, so a
+/// reverse linear scan over short strings beats hashing every lookup in
+/// the interpreter's hot loop, `push_scope`/`pop_scope` are an integer
+/// push/truncate, and popped entries release no per-scope table.
 #[derive(Debug, Default)]
 pub struct Env {
-    scopes: Vec<HashMap<String, Value>>,
+    entries: Vec<(Box<str>, Value)>,
+    /// Start index of each open scope in `entries`.
+    scope_starts: Vec<usize>,
 }
 
 impl Env {
     /// Fresh environment with one root scope.
     pub fn new() -> Env {
         Env {
-            scopes: vec![HashMap::new()],
+            entries: Vec::new(),
+            scope_starts: vec![0],
         }
     }
 
     /// Enter a nested block scope.
     pub fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scope_starts.push(self.entries.len());
     }
 
     /// Leave the innermost block scope.
     pub fn pop_scope(&mut self) {
-        debug_assert!(self.scopes.len() > 1, "cannot pop the root scope");
-        self.scopes.pop();
+        debug_assert!(self.scope_starts.len() > 1, "cannot pop the root scope");
+        if let Some(start) = self.scope_starts.pop() {
+            self.entries.truncate(start);
+        }
     }
 
     /// Define (or shadow) a variable in the innermost scope.
     pub fn define(&mut self, name: &str, value: Value) {
-        self.scopes
-            .last_mut()
-            .expect("root scope")
-            .insert(name.to_string(), value);
+        let start = *self.scope_starts.last().expect("root scope");
+        for (n, v) in self.entries[start..].iter_mut().rev() {
+            if **n == *name {
+                *v = value;
+                return;
+            }
+        }
+        self.entries.push((name.into(), value));
     }
 
     /// Reassign the nearest definition of `name`. Semantic checking
     /// guarantees it exists.
     pub fn assign(&mut self, name: &str, value: Value) {
-        for scope in self.scopes.iter_mut().rev() {
-            if let Some(slot) = scope.get_mut(name) {
-                *slot = value;
+        for (n, v) in self.entries.iter_mut().rev() {
+            if **n == *name {
+                *v = value;
                 return;
             }
         }
         // Unreachable for checked programs; define defensively.
-        self.define(name, value);
+        self.entries.push((name.into(), value));
     }
 
     /// Look up a variable.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.scopes.iter().rev().find_map(|s| s.get(name))
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| **n == *name)
+            .map(|(_, v)| v)
     }
 
     /// Current scope depth (for tests).
     pub fn depth(&self) -> usize {
-        self.scopes.len()
+        self.scope_starts.len()
     }
 }
 

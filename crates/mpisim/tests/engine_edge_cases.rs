@@ -243,10 +243,10 @@ fn noise_changes_results_but_not_correctness() {
     let program = parse_program("t.mmpi", src).unwrap();
     let psg = build_psg(&program, &PsgOptions::default());
     let mut quiet = SimConfig::with_nprocs(4);
-    quiet.machine.noise.amplitude = 0.0;
+    quiet.machine_mut().noise.amplitude = 0.0;
     let mut noisy = SimConfig::with_nprocs(4);
-    noisy.machine.noise.amplitude = 0.10;
-    noisy.machine.noise.seed = 7;
+    noisy.machine_mut().noise.amplitude = 0.10;
+    noisy.machine_mut().noise.seed = 7;
     let a = Simulation::new(&program, &psg, quiet).run().unwrap();
     let b = Simulation::new(&program, &psg, noisy).run().unwrap();
     assert_ne!(a.rank_elapsed, b.rank_elapsed, "noise perturbs timing");
@@ -262,7 +262,7 @@ fn heterogeneous_cores_slow_selected_ranks() {
     let program = parse_program("t.mmpi", src).unwrap();
     let psg = build_psg(&program, &PsgOptions::default());
     let mut config = SimConfig::with_nprocs(4);
-    config.machine.core_speed = scalana_mpisim::CoreSpeed::PerRank(vec![1.0, 1.0, 0.5, 1.0]);
+    config.machine_mut().core_speed = scalana_mpisim::CoreSpeed::PerRank(vec![1.0, 1.0, 0.5, 1.0]);
     let res = Simulation::new(&program, &psg, config).run().unwrap();
     // All exit the barrier together, but PMU cycles are equal while the
     // slow core took twice the time to accrue them (same work).
@@ -292,4 +292,137 @@ fn bcast_from_nonzero_root() {
     // Root 3 leaves at its own arrival; later-arriving ranks gate on
     // themselves, earlier ones on the root's send tree.
     assert!(res.rank_elapsed[3] <= res.rank_elapsed[7]);
+}
+
+#[test]
+fn zero_count_collectives_complete_and_synchronize() {
+    // Every collective kind with a zero-byte payload: completion must
+    // still synchronize the ranks (cost models degenerate to latency
+    // terms, never to a stall or a division by zero).
+    let src = r#"
+        fn main() {
+            comp(cycles = rank * 10_000);
+            barrier();
+            allreduce(bytes = 0);
+            alltoall(bytes = 0);
+            allgather(bytes = 0);
+            bcast(root = 0, bytes = 0);
+            reduce(root = 0, bytes = 0);
+            allreduce(bytes = 0);
+        }
+    "#;
+    let res = run(src, 8).unwrap();
+    let t0 = res.rank_elapsed[0];
+    for t in &res.rank_elapsed {
+        assert!(t.is_finite() && *t > 0.0);
+        assert!((t - t0).abs() < 1e-6, "zero-count allreduce still syncs");
+    }
+}
+
+#[test]
+fn wildcard_prefers_send_order_within_one_source_across_tags() {
+    // One source, two tags, posted in tag order 9 then 8: per-(src, tag)
+    // queues must not let the tag-8 queue jump ahead — wildcard matching
+    // follows the sender's send sequence within a source.
+    let src = r#"
+        fn main() {
+            if rank == 1 {
+                send(dst = 0, tag = 9, bytes = 64);
+                send(dst = 0, tag = 8, bytes = 64);
+            } else if rank == 2 {
+                comp(cycles = 23_000_000); // 10 ms: arrives last
+                send(dst = 0, tag = 7, bytes = 64);
+            } else if rank == 0 {
+                recv(src = any, tag = any);
+                recv(src = any, tag = any);
+                recv(src = any, tag = any);
+            }
+        }
+    "#;
+    let deps = run_deps(src, 3);
+    assert_eq!(
+        deps,
+        vec![(1, 9), (1, 8), (2, 7)],
+        "send order within rank 1, late rank 2 last"
+    );
+}
+
+#[test]
+fn wildcard_tag_picks_lowest_sequence_across_queues_of_one_source() {
+    // src-specific + wildcard tag: the match must take the source's
+    // earliest send sequence even though a later-sent message sits at
+    // the front of a different (src, tag) queue.
+    let src = r#"
+        fn main() {
+            if rank == 1 {
+                send(dst = 0, tag = 3, bytes = 64);
+                send(dst = 0, tag = 2, bytes = 64);
+                send(dst = 0, tag = 1, bytes = 64);
+            } else if rank == 0 {
+                recv(src = 1, tag = any);
+                recv(src = 1, tag = any);
+                recv(src = 1, tag = any);
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert_eq!(
+        deps,
+        vec![(1, 3), (1, 2), (1, 1)],
+        "sequence order, not tag order"
+    );
+}
+
+#[test]
+fn unmatched_isend_outstanding_at_finalize_is_not_an_error() {
+    // An eager isend whose request is never waited on and whose message
+    // is never received: the rank finishes, the run completes, and no
+    // dependence is emitted for the dangling message.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                let s = isend(dst = 1, tag = 99, bytes = 512);
+                comp(cycles = 1000);
+            } else {
+                comp(cycles = 1000);
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert!(deps.is_empty(), "dangling isend matched nothing: {deps:?}");
+}
+
+#[test]
+fn unmatched_rendezvous_isend_outstanding_at_finalize_completes() {
+    // Rendezvous flavor: the request can never complete (no receiver
+    // ever posts), but nobody waits on it — finalize must not deadlock.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                let s = isend(dst = 1, tag = 99, bytes = 1m);
+                comp(cycles = 1000);
+            } else {
+                comp(cycles = 1000);
+            }
+        }
+    "#;
+    let res = run(src, 2).unwrap();
+    assert_eq!(res.rank_elapsed.len(), 2);
+}
+
+#[test]
+fn waitall_after_unmatched_wildcard_irecv_deadlocks() {
+    // The inverse corner: a wildcard irecv with no sender anywhere must
+    // surface as a deadlock (not an infinite quiescence loop) when the
+    // rank does wait on it.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                let q = irecv(src = any, tag = any);
+                waitall();
+            }
+        }
+    "#;
+    let err = run(src, 2).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }));
 }

@@ -48,8 +48,16 @@ pub fn request_json(addr: &str, method: &str, path: &str, body: &str) -> Result<
 
 /// Poll `GET /jobs/<key>` until the job leaves the queue/running states
 /// or `timeout` elapses. Returns the final status document.
+///
+/// Polling backs off exponentially (200µs doubling to a 25ms cap): fast
+/// jobs — the common cached or small-scale case — are observed within a
+/// poll or two of completion instead of having their latency quantized
+/// to a fixed sleep interval, while long-running jobs converge to the
+/// old 25ms cadence.
 pub fn wait_for_job(addr: &str, key: &str, timeout: Duration) -> Result<Json, String> {
     let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_micros(200);
+    let cap = Duration::from_millis(25);
     loop {
         let doc = request_json(addr, "GET", &format!("/jobs/{key}"), "")?;
         match doc.get("status").and_then(Json::as_str) {
@@ -60,6 +68,7 @@ pub fn wait_for_job(addr: &str, key: &str, timeout: Duration) -> Result<Json, St
         if Instant::now() >= deadline {
             return Err(format!("job {key} still pending after {timeout:?}"));
         }
-        std::thread::sleep(Duration::from_millis(25));
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(cap);
     }
 }

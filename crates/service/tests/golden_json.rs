@@ -121,6 +121,83 @@ fn json_report_backtracks_to_the_planted_serial_loop() {
     );
 }
 
+// ----- second snapshot: the LU app (pipelined wavefront sweeps, a -----
+// ----- p2p-heavy workload unlike quickstart's collective pattern) -----
+
+fn lu_tmp_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("golden_json_lu.mmpi")
+}
+
+const LU_SCALES: [usize; 3] = [4, 8, 16];
+
+/// One shared CLI run over the LU app's rendered source.
+fn run_analyze_json_lu() -> &'static str {
+    static OUTPUT: OnceLock<String> = OnceLock::new();
+    OUTPUT.get_or_init(|| {
+        let app = scalana_apps::by_name("LU").expect("LU app exists");
+        let path = lu_tmp_path();
+        std::fs::write(&path, app.source()).unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_scalana"))
+            .args([
+                "analyze",
+                path.to_str().unwrap(),
+                "--scales",
+                "4,8,16",
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "analyze --json failed on LU: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    })
+}
+
+#[test]
+fn lu_json_document_has_every_promised_section() {
+    let doc = parse(run_analyze_json_lu().trim()).unwrap();
+    for key in ["psg", "runs", "speedup", "report", "detect_seconds"] {
+        assert!(doc.get(key).is_some(), "missing `{key}`");
+    }
+    let runs = doc.get("runs").unwrap().as_array().unwrap();
+    assert_eq!(runs.len(), LU_SCALES.len());
+    for (run, &nprocs) in runs.iter().zip(&LU_SCALES) {
+        assert_eq!(run.get("nprocs").unwrap().as_i64(), Some(nprocs as i64));
+        assert!(run.get("total_time").unwrap().as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn lu_report_and_runs_bytes_match_a_direct_pipeline_run() {
+    // Pins that the CLI/service serialization path and the library
+    // pipeline agree byte-for-byte on a second app — a simulator
+    // hot-path change that altered timing, matching order, or report
+    // content would diverge here even if the quickstart snapshot
+    // happened to survive it.
+    let stdout = run_analyze_json_lu();
+    let doc = parse(stdout.trim()).unwrap();
+
+    let config = ScalAnaConfig::default();
+    let path = lu_tmp_path();
+    let source = std::fs::read_to_string(&path).unwrap();
+    let program = parse_program(path.to_str().unwrap(), &source).unwrap();
+    let analysis = pipeline::analyze(&program, &LU_SCALES, &config).unwrap();
+
+    assert_eq!(
+        doc.get("report").unwrap().render(),
+        report_to_json(&analysis.report).render(),
+        "CLI report bytes diverge from the library serialization on LU"
+    );
+    assert_eq!(
+        doc.get("runs").unwrap().render(),
+        Json::Arr(analysis.runs.iter().map(run_summary_to_json).collect()).render(),
+        "CLI run summaries diverge from the library serialization on LU"
+    );
+}
+
 #[test]
 fn report_and_runs_bytes_match_a_direct_pipeline_run() {
     let stdout = run_analyze_json();

@@ -111,7 +111,7 @@ fn apps_run_at_large_scale() {
         let app = scalana_apps::by_name(name).unwrap();
         let psg = build_psg(&app.program, &PsgOptions::default());
         let mut config = SimConfig::with_nprocs(256);
-        config.machine = app.machine.clone();
+        config.machine = std::sync::Arc::new(app.machine.clone());
         let res = Simulation::new(&app.program, &psg, config)
             .run()
             .unwrap_or_else(|e| panic!("{name} failed at 256 ranks: {e}"));

@@ -124,7 +124,7 @@ proptest! {
         let psg = build_psg(&program, &PsgOptions::default());
         let mk = || {
             let mut c = SimConfig::with_nprocs(nprocs);
-            c.machine.noise = NoiseConfig { amplitude: 0.05, seed };
+            c.machine_mut().noise = NoiseConfig { amplitude: 0.05, seed };
             c
         };
         let a = Simulation::new(&program, &psg, mk()).run().unwrap();
@@ -155,6 +155,42 @@ proptest! {
         };
         prop_assert_eq!(count_mpi(&raw), count_mpi(&contracted));
         prop_assert!(contracted.vertex_count() <= raw.vertex_count());
+    }
+
+    /// End-to-end analysis determinism: the same (program, scales,
+    /// config) analyzed twice yields a byte-identical rendered report
+    /// and byte-identical persisted profile images — the invariant the
+    /// service's content-addressed result cache silently relies on when
+    /// it serves a previous job's artifacts for a repeated submission.
+    #[test]
+    fn analysis_is_byte_deterministic(
+        iters in 1i64..4,
+        cycles in 1_000i64..100_000,
+        nb in proptest::bool::ANY,
+        coll in 0u8..3,
+        seed in 0u64..500,
+    ) {
+        use scalana_core::pipeline::{assemble, profile_runs};
+        use scalana_core::ScalAnaConfig;
+
+        let program = build_workload(iters, cycles, 2048, nb, coll);
+        let mut config = ScalAnaConfig::default();
+        config.machine.noise = NoiseConfig { amplitude: 0.03, seed };
+        let scales = [2usize, 4, 8];
+        let run = || {
+            let runs = profile_runs(&program, &scales, &config).unwrap();
+            let images: Vec<Vec<u8>> = runs
+                .profiles
+                .iter()
+                .map(|data| scalana_profile::store::save(data).to_vec())
+                .collect();
+            let report = assemble(runs, &config).report.render();
+            (images, report)
+        };
+        let (images_a, report_a) = run();
+        let (images_b, report_b) = run();
+        prop_assert_eq!(images_a, images_b, "profile images must be byte-identical");
+        prop_assert_eq!(report_a, report_b, "rendered reports must be byte-identical");
     }
 
     /// Virtual time sanity: elapsed time is positive and at least the

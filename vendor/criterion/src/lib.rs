@@ -9,11 +9,48 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity, like `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// One benchmark's aggregated timings, recorded alongside the printed
+/// report so harnesses (e.g. `perfgate`) can consume results in-process
+/// without scraping stdout.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function[/parameter]`).
+    pub id: String,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds.
+    pub median_ns: u128,
+    /// Mean over all samples, nanoseconds.
+    pub mean_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every [`BenchResult`] recorded since the last call (process
+/// global, in completion order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
+
+/// Sample-size override from `CRITERION_SAMPLE_SIZE`: when set, it
+/// replaces every benchmark's sample count outright, so a harness can
+/// shrink a whole suite for a quick gated run *or* raise it for a
+/// tighter trajectory refresh without touching each benchmark.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Identifier for a parameterized benchmark (`function_name/parameter`).
@@ -68,7 +105,7 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 
@@ -113,6 +150,13 @@ fn report(id: &str, samples: &mut [Duration]) {
         mean,
         samples.len()
     );
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id: id.to_string(),
+        samples: samples.len(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+    });
 }
 
 /// Top-level benchmark driver.
@@ -126,7 +170,7 @@ impl Default for Criterion {
         // Keep the default modest: these benches simulate thousands of
         // ranks and the real criterion's 100 samples would take minutes.
         Criterion {
-            default_sample_size: 20,
+            default_sample_size: sample_size_override().unwrap_or(20),
         }
     }
 }
