@@ -1,0 +1,12 @@
+//! Criterion bench: service throughput — per-scale cache overlap
+//! scenarios and concurrent clients (see
+//! [`scalana_bench::suites::throughput`]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_throughput(c: &mut Criterion) {
+    scalana_bench::suites::throughput(c);
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

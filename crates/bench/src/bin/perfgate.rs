@@ -3,18 +3,21 @@
 //!
 //! Executes every Criterion suite ([`scalana_bench::suites`])
 //! in-process, collects per-benchmark medians, and writes one
-//! `BENCH_*.json` trajectory point: current medians for all five suites,
-//! the cache hit/miss submission latencies, and speedups against the
-//! committed pre-refactor baseline. CI runs it in `--quick` mode gated
-//! against the committed `BENCH_pr3.json`, so a panicking bench or a
-//! wild regression (default: >10× the recorded median, tunable with
-//! `PERFGATE_FACTOR`, machine differences included) fails the build.
+//! `BENCH_*.json` trajectory point: current medians for all six suites,
+//! the cache hit/miss submission latencies, the overlapping-scales
+//! warm/cold speedup, multi-client jobs/sec with p50/p99 latency, and
+//! speedups against the committed pre-refactor baseline. CI runs it in
+//! `--quick` mode gated against the committed `BENCH_pr4.json`
+//! (`BENCH_pr3.json` remains as the previous trajectory point), so a
+//! panicking bench or a wild regression (default: >10× the recorded
+//! median, tunable with `PERFGATE_FACTOR`, machine differences
+//! included) fails the build.
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr3.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr4.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr3.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr4.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -53,13 +56,14 @@ const BASELINE_PRE_REFACTOR: &[(&str, u64)] = &[
 /// A suite entry point.
 type Suite = fn(&mut Criterion);
 
-/// The five suites, in trajectory order.
+/// The six suites, in trajectory order.
 const SUITES: &[(&str, Suite)] = &[
     ("simulation", scalana_bench::suites::simulation),
     ("overhead", scalana_bench::suites::overhead),
     ("detection", scalana_bench::suites::detection),
     ("psg_build", scalana_bench::suites::psg_build),
     ("service", scalana_bench::suites::service),
+    ("throughput", scalana_bench::suites::throughput),
 ];
 
 struct Args {
@@ -71,7 +75,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -174,8 +178,45 @@ fn main() -> ExitCode {
     let hit = median_of(service_results, "service/submit_cached");
     let miss = median_of(service_results, "service/submit_uncached");
 
+    // Per-scale cache overlap: the warm/cold gap is this PR's headline.
+    let throughput_results = &all
+        .iter()
+        .find(|(name, _)| *name == "throughput")
+        .expect("throughput suite ran")
+        .1;
+    let overlap_cold = median_of(throughput_results, "throughput/overlap_cold");
+    let overlap_warm = median_of(throughput_results, "throughput/overlap_warm");
+    let redetect_warm = median_of(throughput_results, "throughput/redetect_warm");
+    let overlap_speedup = match (overlap_cold, overlap_warm) {
+        (Some(cold), Some(warm)) if warm > 0 => {
+            Json::Num((cold as f64 / warm as f64 * 100.0).round() / 100.0)
+        }
+        _ => Json::Null,
+    };
+
+    // Multi-client throughput: jobs/sec and latency percentiles at 1
+    // and 8 concurrent clients (scaling evidence, not just latency).
+    eprintln!("perfgate: measuring multi-client throughput");
+    let client_metrics: Vec<Json> = [(1usize, 4usize), (8, 2)]
+        .iter()
+        .map(|&(clients, jobs_per_client)| {
+            let m = scalana_bench::suites::measure_clients(clients, jobs_per_client);
+            Json::obj(vec![
+                ("clients", m.clients.into()),
+                ("jobs", m.jobs.into()),
+                ("elapsed_ns", m.elapsed_ns.into()),
+                (
+                    "jobs_per_sec",
+                    ((m.jobs_per_sec * 100.0).round() / 100.0).into(),
+                ),
+                ("p50_ns", m.p50_ns.into()),
+                ("p99_ns", m.p99_ns.into()),
+            ])
+        })
+        .collect();
+
     let doc = Json::obj(vec![
-        ("pr", "pr3".into()),
+        ("pr", "pr4".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -206,6 +247,25 @@ fn main() -> ExitCode {
                 ("miss_median_ns", miss.map_or(Json::Null, Json::from)),
             ]),
         ),
+        (
+            "scale_cache",
+            Json::obj(vec![
+                (
+                    "overlap_cold_median_ns",
+                    overlap_cold.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "overlap_warm_median_ns",
+                    overlap_warm.map_or(Json::Null, Json::from),
+                ),
+                (
+                    "redetect_warm_median_ns",
+                    redetect_warm.map_or(Json::Null, Json::from),
+                ),
+                ("overlap_speedup", overlap_speedup),
+            ]),
+        ),
+        ("client_throughput", Json::Arr(client_metrics)),
         ("speedup_vs_baseline", Json::Obj(speedups)),
     ]);
     let rendered = doc.render();

@@ -28,6 +28,6 @@ pub mod pipeline;
 pub mod viewer;
 
 pub use pipeline::{
-    analyze, analyze_app, assemble, profile_runs, speedup_curve, Analysis, ProfiledRuns,
-    RunSummary, ScalAnaConfig,
+    analyze, analyze_app, assemble, profile_one_scale, profile_runs, refined_psg, speedup_curve,
+    Analysis, ProfiledRuns, RunSummary, ScalAnaConfig,
 };

@@ -87,6 +87,66 @@ pub struct Analysis {
     pub detect_seconds: f64,
 }
 
+/// `ScalAna-static` plus indirect-call discovery: build the PSG and
+/// refine it with one small discovery run at `discovery_scale`.
+///
+/// The result depends only on the program, the PSG options, and the
+/// discovery scale (the discovery simulation runs with a default
+/// machine/parameter configuration), which is what makes refined PSGs
+/// reusable across analyses that share a smallest scale.
+pub fn refined_psg(
+    program: &Program,
+    config: &ScalAnaConfig,
+    discovery_scale: usize,
+) -> Result<Psg, SimError> {
+    let mut psg = build_psg(program, &config.psg);
+    discover_indirect_calls(program, &mut psg, discovery_scale)?;
+    Ok(psg)
+}
+
+/// One profiled run (`ScalAna-prof` at a single process count): an
+/// instrumented simulation over an already-refined PSG.
+///
+/// The output is a pure function of `(program, psg, profiler, machine,
+/// params, nprocs)` — it does not depend on which other scales the
+/// surrounding analysis requests — so callers (notably the service's
+/// per-scale profile cache) may profile each scale independently, mix
+/// freshly simulated and previously persisted [`ProfileData`], and still
+/// assemble byte-identical reports.
+pub fn profile_one_scale(
+    program: &Program,
+    psg: &Psg,
+    config: &ScalAnaConfig,
+    nprocs: usize,
+) -> Result<ProfileData, SimError> {
+    profile_one_scale_on(
+        program,
+        psg,
+        config,
+        &Arc::new(config.machine.clone()),
+        nprocs,
+    )
+}
+
+/// [`profile_one_scale`] with the platform model already behind an
+/// `Arc`, so multi-scale callers share one copy across their runs.
+fn profile_one_scale_on(
+    program: &Program,
+    psg: &Psg,
+    config: &ScalAnaConfig,
+    machine: &Arc<MachineConfig>,
+    nprocs: usize,
+) -> Result<ProfileData, SimError> {
+    let mut sim_config = SimConfig::with_nprocs(nprocs);
+    sim_config.machine = Arc::clone(machine);
+    sim_config.params = config.params.clone();
+    let mut profiler = ScalAnaProfiler::new(config.profiler.clone());
+    Simulation::new(program, psg, sim_config)
+        .with_hook(&mut profiler)
+        .run()
+        .map(|_| profiler.take_data())
+}
+
 /// Profiling stage (`ScalAna-prof`): build the PSG, resolve indirect
 /// calls at the smallest scale, then run one instrumented simulation per
 /// scale in parallel over the now-immutable PSG.
@@ -96,32 +156,24 @@ pub fn profile_runs(
     config: &ScalAnaConfig,
 ) -> Result<ProfiledRuns, SimError> {
     assert!(!scales.is_empty(), "need at least one scale");
-    // Step 1: ScalAna-static.
-    let mut psg = build_psg(program, &config.psg);
-    // Step 2a: indirect-call discovery at the smallest scale.
-    discover_indirect_calls(program, &mut psg, scales[0])?;
-    let psg = Arc::new(psg);
+    // Steps 1 + 2a: ScalAna-static, then indirect-call discovery at the
+    // smallest scale.
+    let psg = Arc::new(refined_psg(program, config, scales[0])?);
 
     // Step 2b: profiled runs, one per scale, in parallel (each is an
-    // independent simulation over the now-immutable PSG). The platform
-    // model is shared behind one `Arc` — no per-run deep copy.
+    // independent [`profile_one_scale`] over the now-immutable PSG). The
+    // platform model is shared behind one `Arc` — no per-run deep copy.
     let machine = Arc::new(config.machine.clone());
     let mut profiles: Vec<Option<Result<ProfileData, SimError>>> =
         (0..scales.len()).map(|_| None).collect();
     thread::scope(|scope| {
         for (slot, &nprocs) in profiles.iter_mut().zip(scales) {
             let psg = Arc::clone(&psg);
-            let mut sim_config = SimConfig::with_nprocs(nprocs);
-            sim_config.machine = Arc::clone(&machine);
-            sim_config.params = config.params.clone();
-            let profiler_config = config.profiler.clone();
+            let machine = Arc::clone(&machine);
             scope.spawn(move |_| {
-                let mut profiler = ScalAnaProfiler::new(profiler_config);
-                let result = Simulation::new(program, &psg, sim_config)
-                    .with_hook(&mut profiler)
-                    .run()
-                    .map(|_| profiler.take_data());
-                *slot = Some(result);
+                *slot = Some(profile_one_scale_on(
+                    program, &psg, config, &machine, nprocs,
+                ));
             });
         }
     })
@@ -284,6 +336,42 @@ mod tests {
         let direct = analyze(&app.program, &[2, 4], &config).unwrap();
         assert_eq!(staged.report.render(), direct.report.render());
         assert_eq!(staged.runs.len(), direct.runs.len());
+    }
+
+    #[test]
+    fn independently_profiled_scales_assemble_byte_identical() {
+        // The service's per-scale cache relies on this: profiling each
+        // scale on its own (against the same refined PSG) and assembling
+        // the mix must reproduce the cold `analyze` output exactly.
+        let app = cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        });
+        let config = ScalAnaConfig {
+            machine: app.machine.clone(),
+            ..ScalAnaConfig::default()
+        };
+        let scales = [2usize, 4, 8];
+        let psg = Arc::new(refined_psg(&app.program, &config, scales[0]).unwrap());
+        // Deliberately out of order — each profile is independent.
+        let p8 = profile_one_scale(&app.program, &psg, &config, 8).unwrap();
+        let p2 = profile_one_scale(&app.program, &psg, &config, 2).unwrap();
+        let p4 = profile_one_scale(&app.program, &psg, &config, 4).unwrap();
+        let staged = assemble(
+            ProfiledRuns {
+                psg,
+                scales: scales.to_vec(),
+                profiles: vec![p2, p4, p8],
+            },
+            &config,
+        );
+        let direct = analyze(&app.program, &scales, &config).unwrap();
+        assert_eq!(staged.report.render(), direct.report.render());
+        for (a, b) in staged.ppgs.iter().zip(&direct.ppgs) {
+            assert_eq!(a.nprocs, b.nprocs);
+            assert_eq!(a.rank_elapsed, b.rank_elapsed);
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //!                              [--param NAME=V]... [--json]
 //! scalana apps     [--list | --run NAME [--scales ...]]
 //! scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
-//! scalana submit   (<file.mmpi> | --app NAME) [--addr A] [--scales ...]
-//!                  [--abnorm-thd X] [--top K] [--param NAME=V]... [--wait]
+//! scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH) [--addr A]
+//!                  [--scales ...] [--abnorm-thd X] [--top K]
+//!                  [--param NAME=V]... [--wait]
 //! scalana status   [--addr A] [JOB]
 //! scalana result   [--addr A] JOB
 //! scalana shutdown [--addr A]
@@ -20,6 +21,11 @@
 //! (or, with `--json`, the machine-readable document the service also
 //! serves). `serve` starts the analysis daemon; `submit`/`status`/
 //! `result` are its client, printing the daemon's JSON responses.
+//!
+//! Every submit response carries a `program_hash`; later submissions of
+//! the same program (new scales, new thresholds) can pass `--program-hash
+//! HASH` instead of re-sending the source — the daemon resolves it
+//! against its program index and answers 404 if it has been evicted.
 
 use scalana_core::{analyze_app, pipeline, viewer, ScalAnaConfig};
 use scalana_graph::{build_psg, PsgOptions};
@@ -48,8 +54,9 @@ const USAGE: &str = "usage:
                                [--top K] [--param NAME=VALUE]... [--json]
   scalana apps     [--list | --run NAME [--scales 4,8,16,32]]
   scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
-  scalana submit   (<file.mmpi> | --app NAME) [--addr ADDR] [--scales ...]
-                   [--abnorm-thd X] [--top K] [--param NAME=VALUE]... [--wait]
+  scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH)
+                   [--addr ADDR] [--scales ...] [--abnorm-thd X] [--top K]
+                   [--param NAME=VALUE]... [--wait]
   scalana status   [--addr ADDR] [JOB]
   scalana result   [--addr ADDR] JOB
   scalana shutdown [--addr ADDR]";
@@ -316,6 +323,10 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 let name = it.next().ok_or("--app needs a NAME")?;
                 pairs.push(("app", name.as_str().into()));
             }
+            "--program-hash" => {
+                let hash = it.next().ok_or("--program-hash needs a HASH")?;
+                pairs.push(("program_hash", hash.as_str().into()));
+            }
             "--scales" => {
                 let v = it.next().ok_or("--scales needs a value")?;
                 pairs.push(("scales", parse_scales(v)?.into()));
@@ -351,10 +362,18 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    let program_flags = pairs
+        .iter()
+        .filter(|(k, _)| *k == "app" || *k == "program_hash")
+        .count()
+        + usize::from(file.is_some());
+    if program_flags != 1 {
+        return Err(
+            "submit: need exactly one of <file.mmpi>, --app NAME, or --program-hash HASH"
+                .to_string(),
+        );
+    }
     if let Some(path) = &file {
-        if pairs.iter().any(|(k, _)| *k == "app") {
-            return Err("submit: give either <file.mmpi> or --app, not both".to_string());
-        }
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let name = std::path::Path::new(path)
             .file_name()
@@ -362,8 +381,6 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             .unwrap_or("inline.mmpi");
         pairs.push(("source", text.into()));
         pairs.push(("name", name.into()));
-    } else if !pairs.iter().any(|(k, _)| *k == "app") {
-        return Err("submit: need <file.mmpi> or --app NAME".to_string());
     }
     if !params.is_empty() {
         pairs.push(("params", Json::Obj(params)));

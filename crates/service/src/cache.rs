@@ -1,15 +1,23 @@
 //! Content-addressed job registry and result cache.
 //!
-//! One map keyed by [`JobSpec::key`] holds every job the daemon has
-//! seen, in whatever state. Because the key is a content address,
+//! One logical map keyed by [`JobSpec::key`] holds every job the daemon
+//! has seen, in whatever state. Because the key is a content address,
 //! the registry *is* the cache: re-submitting an identical job finds
 //! the existing record — completed (served from cache), or still in
 //! flight (coalesced onto the running job) — and never re-runs the
 //! simulator. Hit/miss counters are exported via `/stats`.
+//!
+//! The map is sharded N-way by key hash: submissions, status polls, and
+//! worker completions for different jobs touch different locks, so the
+//! registry no longer serializes the daemon under concurrent clients.
+//! Only FIFO eviction coordinates across shards, through a small
+//! completion-order list behind its own lock (taken strictly *after*
+//! any shard lock is released — never while holding one).
 
 use crate::job::{JobOutput, JobSpec};
+use crate::sharded::shard_index;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Lifecycle of a job.
@@ -48,6 +56,12 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Cached result, when `Done`.
     pub result: Option<Arc<JobOutput>>,
+    /// Which execution owns this record. A failed multi-scale job can be
+    /// resubmitted (fresh record, new generation) while late scale tasks
+    /// of the previous attempt are still winding down; their
+    /// [`Registry::fail`]/[`Registry::complete`] calls carry the old
+    /// generation and must not clobber the retry.
+    generation: u64,
 }
 
 /// Status view returned to HTTP handlers (no lock held).
@@ -99,24 +113,28 @@ pub struct StatsSnapshot {
     pub evicted: u64,
 }
 
-/// Map plus completion order, guarded by one mutex so eviction sees a
-/// consistent view.
-#[derive(Debug, Default)]
-struct JobsInner {
-    map: HashMap<String, JobRecord>,
-    /// Keys in completion order — the FIFO eviction candidates.
-    done_order: VecDeque<String>,
-}
+/// Shards of the job map. Keys are uniform content hashes; 16 locks is
+/// plenty to keep the expected contention per lock negligible for the
+/// connection counts the daemon admits.
+const REGISTRY_SHARDS: usize = 16;
 
 /// The shared registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    jobs: Mutex<JobsInner>,
+    shards: Box<[Mutex<HashMap<String, JobRecord>>]>,
+    /// Keys in completion order — the FIFO eviction candidates. Guarded
+    /// by its own lock; never taken while a shard lock is held.
+    done_order: Mutex<VecDeque<String>>,
     /// Retain at most this many completed results (0 = unbounded). The
     /// daemon must bound it: each `JobOutput` holds per-scale profile
     /// images and each spec its full source text, so an unbounded map
     /// grows monotonically under a stream of distinct jobs until OOM.
     max_results: usize,
+    /// Completed results currently held — kept as an atomic so `/stats`
+    /// and `results_cached` never touch the shard locks.
+    results_held: AtomicUsize,
+    /// Generation source for [`JobRecord::generation`].
+    generations: AtomicU64,
     submitted: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -125,6 +143,28 @@ pub struct Registry {
     completed: AtomicU64,
     failed: AtomicU64,
     evicted: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            done_order: Mutex::new(VecDeque::new()),
+            max_results: 0,
+            results_held: AtomicUsize::new(0),
+            generations: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
 }
 
 fn view(key: &str, record: &JobRecord) -> StatusView {
@@ -154,24 +194,30 @@ impl Registry {
         }
     }
 
+    /// The shard holding `key`.
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, JobRecord>> {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
     /// Register a submission. Failed jobs are retried (their record is
     /// replaced and the submission counts as a miss).
     ///
-    /// `enqueue` is called *inside* the registry lock for fresh jobs and
-    /// must be non-blocking (the bounded [`crate::queue::JobQueue::push`]
-    /// is). Holding the lock makes lookup → register → enqueue atomic:
-    /// without it, a concurrent identical submission could coalesce onto
-    /// a record that a failed enqueue is about to roll back, leaving that
-    /// client acknowledged for a job that no longer exists. When
-    /// `enqueue` refuses, nothing is registered and no accepted-submission
-    /// counter moves — only `rejected`.
+    /// `enqueue` is called *inside* the key's shard lock for fresh jobs
+    /// and must be non-blocking (the bounded
+    /// [`crate::queue::JobQueue::push`] is). Holding the lock makes
+    /// lookup → register → enqueue atomic: without it, a concurrent
+    /// identical submission could coalesce onto a record that a failed
+    /// enqueue is about to roll back, leaving that client acknowledged
+    /// for a job that no longer exists. When `enqueue` refuses, nothing
+    /// is registered and no accepted-submission counter moves — only
+    /// `rejected`.
     pub fn submit<F>(&self, spec: JobSpec, enqueue: F) -> SubmitOutcome
     where
         F: FnOnce(&str) -> bool,
     {
         let key = spec.key();
-        let mut jobs = self.jobs.lock().unwrap();
-        match jobs.map.get(&key) {
+        let mut jobs = self.shard(&key).lock().unwrap();
+        match jobs.get(&key) {
             Some(record) if record.status != JobStatus::Failed => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -184,13 +230,14 @@ impl Registry {
                 }
                 self.submitted.fetch_add(1, Ordering::Relaxed);
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
-                jobs.map.insert(
+                jobs.insert(
                     key.clone(),
                     JobRecord {
                         spec,
                         status: JobStatus::Queued,
                         error: None,
                         result: None,
+                        generation: self.generations.fetch_add(1, Ordering::Relaxed),
                     },
                 );
                 SubmitOutcome::Fresh(key)
@@ -198,52 +245,78 @@ impl Registry {
         }
     }
 
-    /// Worker claims a queued job; returns its spec.
-    pub fn start(&self, key: &str) -> Option<JobSpec> {
-        let mut jobs = self.jobs.lock().unwrap();
-        let record = jobs.map.get_mut(key)?;
+    /// Worker claims a queued job; returns its spec plus the record's
+    /// generation, which the execution must echo back to
+    /// [`complete`](Registry::complete)/[`fail`](Registry::fail).
+    pub fn start(&self, key: &str) -> Option<(JobSpec, u64)> {
+        let mut jobs = self.shard(key).lock().unwrap();
+        let record = jobs.get_mut(key)?;
         if record.status != JobStatus::Queued {
             return None;
         }
         record.status = JobStatus::Running;
         self.executed.fetch_add(1, Ordering::Relaxed);
-        Some(record.spec.clone())
+        Some((record.spec.clone(), record.generation))
     }
 
-    /// Worker finished successfully. When a result capacity is set,
-    /// the oldest completed results are evicted to make room — an
-    /// evicted job simply re-runs on its next submission.
-    pub fn complete(&self, key: &str, output: JobOutput) {
-        let mut jobs = self.jobs.lock().unwrap();
-        if let Some(record) = jobs.map.get_mut(key) {
+    /// Worker finished successfully. No-ops unless the record is still
+    /// the `Running` execution identified by `generation` — a late call
+    /// from a superseded attempt must not touch a retry's record.
+    /// When a result capacity is set, the oldest completed results are
+    /// evicted to make room — an evicted job simply re-runs on its next
+    /// submission.
+    pub fn complete(&self, key: &str, generation: u64, output: JobOutput) {
+        {
+            let mut jobs = self.shard(key).lock().unwrap();
+            let Some(record) = jobs.get_mut(key) else {
+                return;
+            };
+            if record.status != JobStatus::Running || record.generation != generation {
+                return;
+            }
             record.status = JobStatus::Done;
             record.result = Some(Arc::new(output));
             record.error = None;
-            self.completed.fetch_add(1, Ordering::Relaxed);
-            jobs.done_order.push_back(key.to_string());
         }
-        while self.max_results > 0 && jobs.done_order.len() > self.max_results {
-            let Some(oldest) = jobs.done_order.pop_front() else {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.results_held.fetch_add(1, Ordering::Relaxed);
+
+        // Eviction holds the completion-order lock and takes one shard
+        // lock per candidate; the shard lock above is already released,
+        // so the done_order → shard order is the only one that exists.
+        let mut done_order = self.done_order.lock().unwrap();
+        done_order.push_back(key.to_string());
+        while self.max_results > 0 && done_order.len() > self.max_results {
+            let Some(oldest) = done_order.pop_front() else {
                 break;
             };
             // Entries in done_order are Done for as long as they exist
             // (Done is terminal); a stale key — evicted earlier, then
             // resubmitted and completed again — is simply skipped.
+            let mut jobs = self.shard(&oldest).lock().unwrap();
             if jobs
-                .map
                 .get(&oldest)
                 .is_some_and(|r| r.status == JobStatus::Done)
             {
-                jobs.map.remove(&oldest);
+                jobs.remove(&oldest);
                 self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.results_held.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Worker failed.
-    pub fn fail(&self, key: &str, error: String) {
-        let mut jobs = self.jobs.lock().unwrap();
-        if let Some(record) = jobs.map.get_mut(key) {
+    /// Worker failed. No-ops unless the record is still the `Running`
+    /// execution identified by `generation`: a multi-scale job calls
+    /// this once per failing scale, and only the first may transition
+    /// the record (and count) — later calls, or calls from an attempt
+    /// that a resubmission has already replaced, must not clobber a
+    /// freshly queued retry with a stale error.
+    pub fn fail(&self, key: &str, generation: u64, error: String) {
+        let mut jobs = self.shard(key).lock().unwrap();
+        if let Some(record) = jobs.get_mut(key) {
+            if record.status != JobStatus::Running || record.generation != generation {
+                return;
+            }
             record.status = JobStatus::Failed;
             record.error = Some(error);
             self.failed.fetch_add(1, Ordering::Relaxed);
@@ -252,17 +325,14 @@ impl Registry {
 
     /// Status of one job.
     pub fn status(&self, key: &str) -> Option<StatusView> {
-        let jobs = self.jobs.lock().unwrap();
-        jobs.map.get(key).map(|record| view(key, record))
+        let jobs = self.shard(key).lock().unwrap();
+        jobs.get(key).map(|record| view(key, record))
     }
 
-    /// Completed results currently held in the cache.
+    /// Completed results currently held in the cache (lock-free — a
+    /// counter, not a scan, so `/stats` never contends with submissions).
     pub fn results_cached(&self) -> usize {
-        let jobs = self.jobs.lock().unwrap();
-        jobs.map
-            .values()
-            .filter(|r| r.status == JobStatus::Done)
-            .count()
+        self.results_held.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot.
@@ -316,9 +386,9 @@ mod tests {
             other => panic!("identical job must coalesce, got {other:?}"),
         }
         // Execute and complete; third submit is served from cache.
-        let job = registry.start(&key).unwrap();
+        let (job, generation) = registry.start(&key).unwrap();
         let output = job.execute().unwrap();
-        registry.complete(&key, output);
+        registry.complete(&key, generation, output);
         match accept(&registry, spec(SRC)) {
             SubmitOutcome::Existing(v) => {
                 assert_eq!(v.status, JobStatus::Done);
@@ -342,14 +412,54 @@ mod tests {
             SubmitOutcome::Fresh(key) => key,
             other => panic!("{other:?}"),
         };
-        registry.start(&key).unwrap();
-        registry.fail(&key, "parse error".to_string());
+        let (_, generation) = registry.start(&key).unwrap();
+        registry.fail(&key, generation, "parse error".to_string());
         assert_eq!(registry.status(&key).unwrap().status, JobStatus::Failed);
         match accept(&registry, spec("fn main( {")) {
             SubmitOutcome::Fresh(k) => assert_eq!(k, key),
             other => panic!("failed job must be retried, got {other:?}"),
         }
         assert_eq!(registry.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn stale_generation_cannot_clobber_a_retry() {
+        // A multi-scale job fails one scale; the client resubmits while
+        // a second failing scale task of the *old* attempt is still
+        // winding down. Its late fail() must not touch the fresh record.
+        let registry = Registry::new();
+        let key = match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Fresh(key) => key,
+            other => panic!("{other:?}"),
+        };
+        let (_, old_generation) = registry.start(&key).unwrap();
+        registry.fail(&key, old_generation, "scale 2: deadlock".to_string());
+        // Retry: fresh record, new generation, status Queued.
+        assert!(matches!(
+            accept(&registry, spec(SRC)),
+            SubmitOutcome::Fresh(_)
+        ));
+
+        // Late duplicate fail from the old attempt: ignored (the retry
+        // stays claimable), and the failed counter moves only once.
+        registry.fail(&key, old_generation, "scale 4: deadlock".to_string());
+        assert_eq!(registry.status(&key).unwrap().status, JobStatus::Queued);
+        assert_eq!(registry.stats().failed, 1);
+
+        // The retry executes normally; a stale complete() from the old
+        // attempt cannot overwrite it either.
+        let (job, new_generation) = registry.start(&key).unwrap();
+        assert_ne!(old_generation, new_generation);
+        let output = job.execute().unwrap();
+        registry.complete(&key, old_generation, output);
+        assert_eq!(
+            registry.status(&key).unwrap().status,
+            JobStatus::Running,
+            "stale complete must not publish a result"
+        );
+        registry.complete(&key, new_generation, job.execute().unwrap());
+        assert_eq!(registry.status(&key).unwrap().status, JobStatus::Done);
+        assert_eq!(registry.results_cached(), 1);
     }
 
     #[test]
@@ -366,8 +476,8 @@ mod tests {
                 SubmitOutcome::Fresh(key) => key,
                 other => panic!("{other:?}"),
             };
-            let job = registry.start(&key).unwrap();
-            registry.complete(&key, job.execute().unwrap());
+            let (job, generation) = registry.start(&key).unwrap();
+            registry.complete(&key, generation, job.execute().unwrap());
             keys.push(key);
         }
         // Capacity 2: the first completion was evicted, the rest serve.

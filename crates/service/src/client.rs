@@ -3,12 +3,143 @@
 //! Used by the `scalana submit`/`status`/`result` subcommands, the
 //! integration tests, and the benches — the same framing code as the
 //! server ([`crate::http`]), so both ends agree by construction.
+//!
+//! [`Conn`] is the primary interface: one TCP connection carrying any
+//! number of sequential requests (HTTP/1.1 keep-alive), so a
+//! submit → poll → result interaction costs one TCP handshake, not one
+//! per round trip. The free functions remain as one-shot conveniences.
 
+use crate::http::MessageReader;
 use crate::json::{parse, Json};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-/// One request; returns `(status code, raw body)`.
+/// A persistent client connection to the daemon.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    reader: MessageReader<TcpStream>,
+    addr: String,
+    /// Cleared when the server announces `Connection: close`.
+    alive: bool,
+}
+
+impl Conn {
+    /// Connect to `addr` with a 60 s read timeout.
+    pub fn connect(addr: &str) -> Result<Conn, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        // Small request/response exchanges; don't let Nagle batch them.
+        let _ = stream.set_nodelay(true);
+        let reader = MessageReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Conn {
+            stream,
+            reader,
+            addr: addr.to_string(),
+            alive: true,
+        })
+    }
+
+    /// The daemon address this connection talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the server has announced it will close the connection.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// One request; returns `(status code, raw body)`. Reuses the
+    /// connection; after the server answers `Connection: close`,
+    /// further requests fail and the caller should reconnect.
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, Vec<u8>), String> {
+        if !self.alive {
+            return Err(format!(
+                "connection to {} was closed by the server",
+                self.addr
+            ));
+        }
+        crate::http::write_request_conn(&self.stream, method, path, body.as_bytes(), true)
+            .map_err(|e| format!("request to {} failed: {e}", self.addr))?;
+        let (code, body, keep_alive) = self
+            .reader
+            .next_response()
+            .map_err(|e| format!("response from {} failed: {e}", self.addr))?;
+        self.alive = keep_alive;
+        Ok((code, body))
+    }
+
+    /// One request with a UTF-8 body.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), String> {
+        let (code, bytes) = self.request_raw(method, path, body)?;
+        let text = String::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+        Ok((code, text))
+    }
+
+    /// One request, parsed as JSON; non-2xx responses become errors
+    /// carrying the server's `error` message.
+    pub fn request_json(&mut self, method: &str, path: &str, body: &str) -> Result<Json, String> {
+        let (code, text) = self.request(method, path, body)?;
+        let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
+        if !(200..300).contains(&code) {
+            let message = doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed");
+            return Err(format!("{method} {path}: {code} {message}"));
+        }
+        Ok(doc)
+    }
+
+    /// Poll `GET /jobs/<key>` on this connection until the job leaves
+    /// the queued/running states or `timeout` elapses. Returns the final
+    /// status document.
+    ///
+    /// Polling backs off exponentially (200µs doubling to a 25ms cap):
+    /// fast jobs — the common cached or small-scale case — are observed
+    /// within a poll or two of completion instead of having their
+    /// latency quantized to a fixed sleep interval, while long-running
+    /// jobs converge to the old 25ms cadence. Every poll rides the same
+    /// keep-alive connection: no TCP handshake per round.
+    pub fn wait_for_job(&mut self, key: &str, timeout: Duration) -> Result<Json, String> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(200);
+        let cap = Duration::from_millis(25);
+        loop {
+            let doc = self.request_json("GET", &format!("/jobs/{key}"), "")?;
+            match doc.get("status").and_then(Json::as_str) {
+                Some("queued") | Some("running") => {}
+                Some(_) => return Ok(doc),
+                None => return Err("status response missing `status`".to_string()),
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job {key} still pending after {timeout:?}"));
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cap);
+        }
+    }
+}
+
+/// One request on a fresh connection; returns `(status code, raw body)`.
 pub fn request_raw(
     addr: &str,
     method: &str,
@@ -19,6 +150,7 @@ pub fn request_raw(
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
     crate::http::write_request(&stream, method, path, body.as_bytes())
         .map_err(|e| format!("request to {addr} failed: {e}"))?;
     crate::http::read_response(&stream).map_err(|e| format!("response from {addr} failed: {e}"))
@@ -47,28 +179,8 @@ pub fn request_json(addr: &str, method: &str, path: &str, body: &str) -> Result<
 }
 
 /// Poll `GET /jobs/<key>` until the job leaves the queue/running states
-/// or `timeout` elapses. Returns the final status document.
-///
-/// Polling backs off exponentially (200µs doubling to a 25ms cap): fast
-/// jobs — the common cached or small-scale case — are observed within a
-/// poll or two of completion instead of having their latency quantized
-/// to a fixed sleep interval, while long-running jobs converge to the
-/// old 25ms cadence.
+/// or `timeout` elapses, reusing one keep-alive connection for every
+/// poll. Returns the final status document.
 pub fn wait_for_job(addr: &str, key: &str, timeout: Duration) -> Result<Json, String> {
-    let deadline = Instant::now() + timeout;
-    let mut backoff = Duration::from_micros(200);
-    let cap = Duration::from_millis(25);
-    loop {
-        let doc = request_json(addr, "GET", &format!("/jobs/{key}"), "")?;
-        match doc.get("status").and_then(Json::as_str) {
-            Some("queued") | Some("running") => {}
-            Some(_) => return Ok(doc),
-            None => return Err("status response missing `status`".to_string()),
-        }
-        if Instant::now() >= deadline {
-            return Err(format!("job {key} still pending after {timeout:?}"));
-        }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(cap);
-    }
+    Conn::connect(addr)?.wait_for_job(key, timeout)
 }

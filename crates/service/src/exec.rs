@@ -1,0 +1,418 @@
+//! Per-scale job execution over the worker pool.
+//!
+//! PR 2's workers executed one *whole job* each: every requested scale
+//! simulated inside a single `JobSpec::execute` call, even when another
+//! job had already profiled most of those scales. This module breaks a
+//! job into its per-scale units so that
+//!
+//! 1. each requested scale is first resolved against the
+//!    content-addressed [`ProfileCache`] and only the misses are
+//!    simulated, and
+//! 2. the misses are fanned out across the *whole worker pool* as
+//!    [`Task::Scale`] items instead of binding one worker per job — a
+//!    single large submission saturates every worker, and a job with one
+//!    cold scale occupies one.
+//!
+//! The worker that finishes a job's last outstanding scale assembles the
+//! report (`ScalAna-detect`) inline and completes the job; a job whose
+//! scales all hit the cache never touches the queue again. Outputs are
+//! byte-identical to a cold run: `scalana_core::profile_one_scale` is a
+//! pure function of (program, refined PSG, profile config, scale), and
+//! cached profiles round-trip losslessly through
+//! `scalana_profile::store`.
+
+use crate::cache::Registry;
+use crate::job::JobOutput;
+use crate::json::Json;
+use crate::jsonify::{report_to_json, run_summary_to_json};
+use crate::profile_cache::{ProfileCache, PsgCache};
+use crate::queue::JobQueue;
+use bytes::Bytes;
+use scalana_core::{assemble, profile_one_scale, refined_psg, ProfiledRuns, ScalAnaConfig};
+use scalana_graph::Psg;
+use scalana_lang::Program;
+use scalana_profile::ProfileData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One unit of worker-pool work.
+pub enum Task {
+    /// A freshly accepted job: resolve its scales against the profile
+    /// cache, then fan the misses out.
+    Job(String),
+    /// Simulate one scale of an in-flight job.
+    Scale {
+        /// The job's shared in-flight state.
+        work: Arc<JobWork>,
+        /// Index into `work.scales`.
+        index: usize,
+    },
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Task::Job(key) => write!(f, "Task::Job({key})"),
+            Task::Scale { work, index } => {
+                write!(
+                    f,
+                    "Task::Scale({}, scale {})",
+                    work.key, work.scales[*index]
+                )
+            }
+        }
+    }
+}
+
+/// Everything task execution touches; the server owns the fields and
+/// hands workers this view.
+pub struct ExecCtx<'a> {
+    /// Job registry / result cache.
+    pub registry: &'a Registry,
+    /// The worker-pool queue (scale tasks go to its priority lane).
+    pub queue: &'a JobQueue<Task>,
+    /// Per-scale profile image cache.
+    pub profiles: &'a ProfileCache,
+    /// Refined-PSG cache.
+    pub psgs: &'a PsgCache,
+}
+
+/// Shared state of one in-flight job, owned jointly by its scale tasks.
+pub struct JobWork {
+    /// Job key ([`crate::job::JobSpec::key`]).
+    pub key: String,
+    /// Registry generation of the execution this work belongs to —
+    /// echoed to `complete`/`fail` so a late task from this attempt can
+    /// never clobber a record a resubmission has since replaced.
+    pub generation: u64,
+    /// The resolved program.
+    pub program: Arc<Program>,
+    /// The refined PSG every scale profiles over.
+    pub psg: Arc<Psg>,
+    /// The resolved config (app machine model substituted).
+    pub config: ScalAnaConfig,
+    /// Requested scales, ascending.
+    pub scales: Vec<usize>,
+    /// Per-scale profile-cache keys, parallel to `scales`.
+    pub profile_keys: Vec<String>,
+    /// Collected per-scale profiles plus their persisted images —
+    /// cache hits pre-filled at resolution, fresh runs as they finish.
+    slots: Mutex<Vec<Option<(ProfileData, Bytes)>>>,
+    /// Scales still outstanding; the worker that decrements it to zero
+    /// assembles and completes the job.
+    remaining: AtomicUsize,
+    /// Set on the first scale failure; later scale tasks skip their
+    /// simulation (the job is already Failed).
+    failed: AtomicBool,
+}
+
+/// Execute one task. Called by the worker loop; never panics outward
+/// (pipeline stages over client-supplied programs run under
+/// `catch_unwind`, and a panic fails the job, not the worker).
+pub fn run_task(ctx: &ExecCtx<'_>, task: Task) {
+    match task {
+        Task::Job(key) => run_job(ctx, &key),
+        Task::Scale { work, index } => run_scale(ctx, &work, index),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("unknown panic")
+}
+
+/// Run `f` with panics converted into `Err` (client programs drive the
+/// parser/simulator/detector; an escaped panic would kill the worker
+/// thread for good and strand the record in `Running`).
+fn guarded<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(panic) => Err(format!("job panicked: {}", panic_message(&panic))),
+    }
+}
+
+/// Claim a queued job, resolve its scales against the profile cache,
+/// and fan out the misses.
+fn run_job(ctx: &ExecCtx<'_>, key: &str) {
+    let Some((spec, generation)) = ctx.registry.start(key) else {
+        return;
+    };
+
+    let prepared = guarded(|| {
+        let (program, config) = spec.resolve()?;
+
+        // Refined PSG: program + PSG options + discovery scale. A hit
+        // skips ScalAna-static *and* the indirect-call discovery run.
+        let psg_key = spec.psg_key(&config);
+        let psg = match ctx.psgs.lookup(&psg_key) {
+            Some(psg) => psg,
+            None => {
+                let psg = Arc::new(
+                    refined_psg(&program, &config, spec.discovery_scale())
+                        .map_err(|e| e.to_string())?,
+                );
+                ctx.psgs.store(psg_key, Arc::clone(&psg));
+                psg
+            }
+        };
+
+        // Resolve each requested scale; a hit reloads the persisted
+        // image (the exact bytes `ScalAna-prof` would leave on disk).
+        let profile_keys: Vec<String> = spec
+            .scales
+            .iter()
+            .map(|&nprocs| spec.profile_key(&config, nprocs))
+            .collect();
+        let mut slots: Vec<Option<(ProfileData, Bytes)>> = Vec::with_capacity(spec.scales.len());
+        for pk in &profile_keys {
+            let slot = ctx.profiles.lookup(pk).and_then(|image| {
+                match scalana_profile::store::load(image.clone()) {
+                    Ok(data) => Some((data, image)),
+                    Err(_) => {
+                        // A corrupt image must not poison the job —
+                        // drop it and re-simulate the scale.
+                        ctx.profiles.invalidate(pk);
+                        None
+                    }
+                }
+            });
+            slots.push(slot);
+        }
+
+        Ok((program, config, psg, profile_keys, slots))
+    });
+    let (program, config, psg, profile_keys, slots) = match prepared {
+        Ok(prepared) => prepared,
+        Err(error) => {
+            ctx.registry.fail(key, generation, error);
+            return;
+        }
+    };
+
+    let misses: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+    let work = Arc::new(JobWork {
+        key: key.to_string(),
+        generation,
+        program: Arc::new(program),
+        psg,
+        config,
+        scales: spec.scales.clone(),
+        profile_keys,
+        slots: Mutex::new(slots),
+        remaining: AtomicUsize::new(misses.len()),
+        failed: AtomicBool::new(false),
+    });
+
+    match misses.split_first() {
+        // Every scale was cached: assemble right here — the queue is
+        // never touched again and no second worker wakes up.
+        None => assemble_and_complete(ctx, &work),
+        Some((&first, rest)) => {
+            // Hand the other misses to the pool *before* simulating one
+            // inline, so peers start immediately.
+            for &index in rest {
+                ctx.queue.push_priority(Task::Scale {
+                    work: Arc::clone(&work),
+                    index,
+                });
+            }
+            run_scale(ctx, &work, first);
+        }
+    }
+}
+
+/// Simulate one scale; the worker that finishes the job's last
+/// outstanding scale assembles and completes it.
+fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
+    // A sibling scale already failed the job — skip the simulation but
+    // still participate in the countdown so the job's state winds down.
+    if !work.failed.load(Ordering::Acquire) {
+        let nprocs = work.scales[index];
+        let result = guarded(|| {
+            profile_one_scale(&work.program, &work.psg, &work.config, nprocs)
+                .map_err(|e| e.to_string())
+        });
+        match result {
+            Ok(data) => {
+                let image = scalana_profile::store::save(&data);
+                ctx.profiles
+                    .store(work.profile_keys[index].clone(), image.clone());
+                work.slots.lock().unwrap()[index] = Some((data, image));
+            }
+            Err(error) => {
+                work.failed.store(true, Ordering::Release);
+                ctx.registry.fail(
+                    &work.key,
+                    work.generation,
+                    format!("scale {nprocs}: {error}"),
+                );
+            }
+        }
+    }
+    if work.remaining.fetch_sub(1, Ordering::AcqRel) == 1 && !work.failed.load(Ordering::Acquire) {
+        assemble_and_complete(ctx, work);
+    }
+}
+
+/// `ScalAna-detect` over the collected profiles, then publish the
+/// result. Profile images are reused as collected/cached — byte-stable,
+/// refcounted, never re-serialized.
+fn assemble_and_complete(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
+    let filled = std::mem::take(&mut *work.slots.lock().unwrap());
+    let mut profiles = Vec::with_capacity(filled.len());
+    let mut images = Vec::with_capacity(filled.len());
+    for (slot, &nprocs) in filled.into_iter().zip(&work.scales) {
+        let Some((data, image)) = slot else {
+            // Unreachable by construction (every miss filled its slot or
+            // failed the job); guard against stranding `Running` anyway.
+            ctx.registry.fail(
+                &work.key,
+                work.generation,
+                format!("scale {nprocs} produced no profile"),
+            );
+            return;
+        };
+        profiles.push(data);
+        images.push((nprocs, image));
+    }
+
+    let result = guarded(|| {
+        let runs = ProfiledRuns {
+            psg: Arc::clone(&work.psg),
+            scales: work.scales.clone(),
+            profiles,
+        };
+        let analysis = assemble(runs, &work.config);
+        Ok(JobOutput {
+            report_json: report_to_json(&analysis.report).render(),
+            runs_json: Json::Arr(analysis.runs.iter().map(run_summary_to_json).collect()).render(),
+            detect_seconds: analysis.detect_seconds,
+            profiles: images,
+        })
+    });
+    match result {
+        Ok(output) => ctx.registry.complete(&work.key, work.generation, output),
+        Err(error) => ctx.registry.fail(&work.key, work.generation, error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::JobStatus;
+    use crate::job::{JobProgram, JobSpec};
+
+    fn ctx_parts() -> (Registry, JobQueue<Task>, ProfileCache, PsgCache) {
+        (
+            Registry::new(),
+            JobQueue::new(16),
+            ProfileCache::new(0),
+            PsgCache::new(0),
+        )
+    }
+
+    fn spec(scales: &[usize], top_k: usize) -> JobSpec {
+        let mut config = ScalAnaConfig::default();
+        config.detect.top_k = top_k;
+        JobSpec {
+            program: JobProgram::Source {
+                name: "exec.mmpi".to_string(),
+                text: "fn main() { for i in 0 .. 3 { comp(cycles = 50_000 / nprocs); \
+                       barrier(); } allreduce(bytes = 8); }"
+                    .to_string(),
+            },
+            scales: scales.to_vec(),
+            config,
+        }
+    }
+
+    /// Drain the queue single-threadedly until empty.
+    fn drain(ctx: &ExecCtx<'_>) {
+        while let Some(task) = ctx.queue.try_pop() {
+            run_task(ctx, task);
+        }
+    }
+
+    fn submit_and_run(ctx: &ExecCtx<'_>, spec: JobSpec) -> String {
+        let key = match ctx.registry.submit(spec, |_| true) {
+            crate::cache::SubmitOutcome::Fresh(key) => key,
+            crate::cache::SubmitOutcome::Existing(view) => return view.key,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        run_task(ctx, Task::Job(key.clone()));
+        drain(ctx);
+        key
+    }
+
+    #[test]
+    fn overlapping_scale_sets_simulate_only_the_new_scale() {
+        let (registry, queue, profiles, psgs) = ctx_parts();
+        let ctx = ExecCtx {
+            registry: &registry,
+            queue: &queue,
+            profiles: &profiles,
+            psgs: &psgs,
+        };
+
+        // Cold job over [2, 4]: both scales miss.
+        let key1 = submit_and_run(&ctx, spec(&[2, 4], 3));
+        assert_eq!(registry.status(&key1).unwrap().status, JobStatus::Done);
+        let stats = profiles.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+
+        // Overlapping job over [2, 4, 8]: exactly one new simulation.
+        let key2 = submit_and_run(&ctx, spec(&[2, 4, 8], 3));
+        assert_ne!(key1, key2);
+        assert_eq!(registry.status(&key2).unwrap().status, JobStatus::Done);
+        let stats = profiles.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+
+        // Same scales, different detection knob: all three scales hit —
+        // detection does not influence the profile key.
+        let key3 = submit_and_run(&ctx, spec(&[2, 4, 8], 1));
+        assert_ne!(key2, key3);
+        assert_eq!(registry.status(&key3).unwrap().status, JobStatus::Done);
+        let stats = profiles.stats();
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 3, "fully overlapped job simulated nothing");
+
+        // And the fully cached job's report is byte-identical to a cold
+        // (direct-execute) run of the same spec.
+        let direct = spec(&[2, 4, 8], 1).execute().unwrap();
+        let served = registry.status(&key3).unwrap().result.unwrap();
+        assert_eq!(served.report_json, direct.report_json);
+        assert_eq!(served.runs_json, direct.runs_json);
+    }
+
+    #[test]
+    fn failing_scale_fails_the_job_without_stranding_it() {
+        let (registry, queue, profiles, psgs) = ctx_parts();
+        let ctx = ExecCtx {
+            registry: &registry,
+            queue: &queue,
+            profiles: &profiles,
+            psgs: &psgs,
+        };
+        // Deadlocks at every scale: rank 0 waits on a recv nobody sends.
+        let bad = JobSpec {
+            program: JobProgram::Source {
+                name: "bad.mmpi".to_string(),
+                text: "fn main() { if rank == 0 { recv(src = 1, tag = 9); } barrier(); }"
+                    .to_string(),
+            },
+            scales: vec![2, 4],
+            config: ScalAnaConfig::default(),
+        };
+        let key = submit_and_run(&ctx, bad);
+        let view = registry.status(&key).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        assert!(view.error.is_some());
+    }
+}

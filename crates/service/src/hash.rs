@@ -97,6 +97,25 @@ impl StableHasher {
 /// cache *correct* only if the field does not affect results — extend it
 /// whenever the pipeline grows a knob.
 pub fn hash_config(h: &mut StableHasher, config: &ScalAnaConfig) {
+    hash_profile_config(h, config);
+    // Detection.
+    let d = &config.detect;
+    h.write_f64(d.abnorm_thd);
+    hash_aggregation(h, &d.aggregation);
+    h.write_usize(d.top_k);
+    h.write_f64(d.min_time_fraction);
+    h.write_f64(d.slope_threshold);
+    h.write_f64(d.wait_prune);
+    h.write_usize(d.max_path_len);
+}
+
+/// Hash only the fields that influence a *collected profile*: PSG
+/// options, profiler knobs, the machine model, and program-parameter
+/// overrides — everything of [`hash_config`] except detection, which
+/// runs post-mortem over already-collected profiles. This is the config
+/// part of the per-scale profile-cache key: two jobs that differ only in
+/// detection knobs share every cached profile.
+pub fn hash_profile_config(h: &mut StableHasher, config: &ScalAnaConfig) {
     // PSG options.
     h.write_u64(u64::from(config.psg.max_loop_depth));
     h.write_bool(config.psg.contract);
@@ -110,15 +129,6 @@ pub fn hash_config(h: &mut StableHasher, config: &ScalAnaConfig) {
     h.write_bool(p.graph_compression);
     h.write_bool(p.exact_attribution);
     h.write_u64(p.seed);
-    // Detection.
-    let d = &config.detect;
-    h.write_f64(d.abnorm_thd);
-    hash_aggregation(h, &d.aggregation);
-    h.write_usize(d.top_k);
-    h.write_f64(d.min_time_fraction);
-    h.write_f64(d.slope_threshold);
-    h.write_f64(d.wait_prune);
-    h.write_usize(d.max_path_len);
     // Machine model.
     let m = &config.machine;
     h.write_f64(m.freq_hz);

@@ -1,11 +1,20 @@
 //! Minimal HTTP/1.1 framing over `std::net` streams.
 //!
-//! The service speaks a deliberately small subset: one request per
-//! connection (`Connection: close`), `Content-Length` bodies only, no
-//! chunked encoding, no keep-alive. Both the server and the bundled
-//! client use these helpers, so the two ends agree by construction.
+//! The service speaks a deliberately small subset: `Content-Length`
+//! bodies only (no chunked encoding), but with real HTTP/1.1
+//! **keep-alive**: a connection carries any number of sequential
+//! requests (pipelining included — requests are answered strictly in
+//! order), and either side can end it with `Connection: close`. Both the
+//! server and the bundled client use these helpers, so the two ends
+//! agree by construction.
+//!
+//! Byte budgets are enforced *per request*: each request may pull at
+//! most [`MAX_HEAD`] + [`MAX_BODY`] fresh bytes off the socket
+//! (responses get the larger [`MAX_RESPONSE_BODY`]), so a peer streaming
+//! endless header lines — or endless pipelined garbage — exhausts its
+//! allowance instead of the process heap.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Take, Write};
 
 /// Largest accepted request body (1 MiB) — inline programs are small.
 pub const MAX_BODY: usize = 1 << 20;
@@ -16,13 +25,10 @@ pub const MAX_BODY: usize = 1 << 20;
 /// far above) the server's request cap.
 pub const MAX_RESPONSE_BODY: usize = 256 << 20;
 
-/// Largest accepted head (request/status line + headers, 16 KiB). The
-/// whole stream is clamped to head + body budget before buffering, so a
-/// peer streaming endless header lines exhausts its allowance instead
-/// of the process heap.
+/// Largest accepted head (request/status line + headers, 16 KiB).
 const MAX_HEAD: usize = 16 << 10;
 
-/// A parsed request (or response) head plus body.
+/// A parsed request head plus body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// `GET`, `POST`, ...
@@ -31,44 +37,101 @@ pub struct Request {
     pub path: String,
     /// Decoded body.
     pub body: String,
+    /// Whether the peer wants the connection kept open afterwards
+    /// (HTTP/1.1 defaults to yes, HTTP/1.0 to no, `Connection:`
+    /// overrides either way).
+    pub keep_alive: bool,
 }
 
 fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Read one request from a stream.
-pub fn read_request<S: Read>(stream: S) -> io::Result<Request> {
-    // Hard byte budget: a request can never usefully exceed its head
-    // plus the body cap, so clamp the stream itself. Past the budget,
-    // reads see EOF and the framing below turns that into an error.
-    let mut reader = BufReader::new(stream.take((MAX_HEAD + MAX_BODY) as u64));
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
-    let path = parts
-        .next()
-        .ok_or_else(|| invalid("missing request path"))?;
-    let version = parts.next().unwrap_or("");
-    if !version.starts_with("HTTP/1.") {
-        return Err(invalid("unsupported HTTP version"));
-    }
-    let content_length = read_headers(&mut reader, MAX_BODY)?;
-    let body = read_body(&mut reader, content_length)?;
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-    })
+/// Parsed `Connection`/`Content-Length` headers of one message.
+struct Head {
+    content_length: usize,
+    /// `Some(true)` = keep-alive, `Some(false)` = close, `None` = unset.
+    connection: Option<bool>,
 }
 
-/// Read headers until the blank line; returns `Content-Length` (0 when
-/// absent), rejecting bodies above `max_body`. Bounded: at most
-/// [`MAX_HEAD`] header bytes and one `read_line` allocation at a time.
-fn read_headers<R: BufRead>(reader: &mut R, max_body: usize) -> io::Result<usize> {
-    let mut content_length = 0usize;
-    let mut head_bytes = 0usize;
+/// Reads a sequence of requests (or responses) off one stream, renewing
+/// the per-request byte budget between messages.
+#[derive(Debug)]
+pub struct MessageReader<S: Read> {
+    reader: BufReader<Take<S>>,
+}
+
+impl<S: Read> MessageReader<S> {
+    /// Wrap a stream. No bytes are read until the first message is
+    /// requested.
+    pub fn new(stream: S) -> MessageReader<S> {
+        MessageReader {
+            reader: BufReader::new(stream.take(0)),
+        }
+    }
+
+    /// Grant the next message its byte budget. Bytes already buffered
+    /// (a pipelined next request) were paid for by the previous grant.
+    fn grant(&mut self, budget: usize) {
+        self.reader.get_mut().set_limit(budget as u64);
+    }
+
+    /// Read one request. `Ok(None)` on clean end-of-stream (the peer
+    /// closed between requests); errors on malformed or truncated input.
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        self.grant(MAX_HEAD + MAX_BODY);
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| invalid("missing request path"))?;
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(invalid("unsupported HTTP version"));
+        }
+        let default_keep_alive = version == "HTTP/1.1";
+        let head = read_headers(&mut self.reader, MAX_BODY, line.len())?;
+        let body = read_body(&mut self.reader, head.content_length)?;
+        let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+        Ok(Some(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body,
+            keep_alive: head.connection.unwrap_or(default_keep_alive),
+        }))
+    }
+
+    /// Read one response: `(status, body, keep_alive)`.
+    pub fn next_response(&mut self) -> io::Result<(u16, Vec<u8>, bool)> {
+        self.grant(MAX_HEAD + MAX_RESPONSE_BODY);
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(invalid("connection closed before response"));
+        }
+        let code: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("bad status line"))?;
+        let head = read_headers(&mut self.reader, MAX_RESPONSE_BODY, line.len())?;
+        let body = read_body(&mut self.reader, head.content_length)?;
+        Ok((code, body, head.connection.unwrap_or(true)))
+    }
+}
+
+/// Read headers until the blank line, rejecting bodies above `max_body`
+/// and heads above [`MAX_HEAD`] (`consumed` counts the already-read
+/// request/status line against the head budget).
+fn read_headers<R: BufRead>(reader: &mut R, max_body: usize, consumed: usize) -> io::Result<Head> {
+    let mut head = Head {
+        content_length: 0,
+        connection: None,
+    };
+    let mut head_bytes = consumed;
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line)?;
@@ -81,26 +144,38 @@ fn read_headers<R: BufRead>(reader: &mut R, max_body: usize) -> io::Result<usize
         }
         let line = line.trim_end();
         if line.is_empty() {
-            return Ok(content_length);
+            return Ok(head);
         }
         if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| invalid("bad Content-Length"))?;
-                if content_length > max_body {
+                head.content_length = value.parse().map_err(|_| invalid("bad Content-Length"))?;
+                if head.content_length > max_body {
                     return Err(invalid("body too large"));
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    head.connection = Some(false);
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    head.connection = Some(true);
                 }
             }
         }
     }
 }
 
-fn read_body<R: BufRead>(reader: &mut R, len: usize) -> io::Result<String> {
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))
+    Ok(body)
+}
+
+/// Read one request from a one-shot stream (compatibility helper; the
+/// server's keep-alive loop uses [`MessageReader`] directly).
+pub fn read_request<S: Read>(stream: S) -> io::Result<Request> {
+    MessageReader::new(stream)
+        .next_request()?
+        .ok_or_else(|| invalid("connection closed before request"))
 }
 
 /// Standard reason phrases for the codes the service uses.
@@ -117,57 +192,77 @@ pub fn status_text(code: u16) -> &'static str {
     }
 }
 
-/// Write one complete response and flush.
-pub fn write_response<S: Write>(
+/// Write one complete response and flush. `keep_alive` picks the
+/// `Connection:` header — the server echoes the client's wish except
+/// when it is about to close (shutdown, protocol error).
+///
+/// Head and body go out as **one** write: a head segment followed by a
+/// tiny body segment would trip the Nagle/delayed-ACK interaction on a
+/// keep-alive connection (tens of milliseconds per exchange), which
+/// would dwarf every cached-path saving this service exists to provide.
+pub fn write_response_conn<S: Write>(
     mut stream: S,
     code: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let mut message = Vec::with_capacity(128 + body.len());
     write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        message,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         code,
         status_text(code),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     )?;
-    stream.write_all(body)?;
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
     stream.flush()
 }
 
-/// Parse a response (client side): returns `(status, body)`. Responses
-/// get their own, much larger body budget ([`MAX_RESPONSE_BODY`]):
-/// results and profile images legitimately exceed the request cap.
+/// [`write_response_conn`] closing the connection (one-shot paths).
+pub fn write_response<S: Write>(
+    stream: S,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write_response_conn(stream, code, content_type, body, false)
+}
+
+/// Parse a response (client side): returns `(status, body)`.
 pub fn read_response<S: Read>(stream: S) -> io::Result<(u16, Vec<u8>)> {
-    let mut reader = BufReader::new(stream.take((MAX_HEAD + MAX_RESPONSE_BODY) as u64));
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let code: u16 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| invalid("bad status line"))?;
-    let content_length = read_headers(&mut reader, MAX_RESPONSE_BODY)?;
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let (code, body, _keep_alive) = MessageReader::new(stream).next_response()?;
     Ok((code, body))
 }
 
-/// Write a request (client side).
-pub fn write_request<S: Write>(
+/// Write a request (client side). `keep_alive` picks the `Connection:`
+/// header. One write per message, for the same Nagle reason as
+/// [`write_response_conn`].
+pub fn write_request_conn<S: Write>(
     mut stream: S,
     method: &str,
     path: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let mut message = Vec::with_capacity(128 + body.len());
     write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: scalana\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        message,
+        "{method} {path} HTTP/1.1\r\nHost: scalana\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     )?;
-    stream.write_all(body)?;
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
     stream.flush()
+}
+
+/// [`write_request_conn`] closing after one exchange.
+pub fn write_request<S: Write>(stream: S, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+    write_request_conn(stream, method, path, body, false)
 }
 
 #[cfg(test)]
@@ -182,6 +277,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
         assert_eq!(req.body, "{\"app\":\"CG\"}");
+        assert!(!req.keep_alive, "write_request closes");
     }
 
     #[test]
@@ -191,6 +287,34 @@ mod tests {
         let (code, body) = read_response(&wire[..]).unwrap();
         assert_eq!(code, 404);
         assert_eq!(body, b"{\"error\":\"nope\"}");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_with_renewed_budgets() {
+        let mut wire = Vec::new();
+        write_request_conn(&mut wire, "GET", "/stats", b"", true).unwrap();
+        write_request_conn(&mut wire, "POST", "/jobs", b"{\"app\":\"CG\"}", true).unwrap();
+        write_request_conn(&mut wire, "GET", "/healthz", b"", false).unwrap();
+        let mut reader = MessageReader::new(&wire[..]);
+        let first = reader.next_request().unwrap().unwrap();
+        assert_eq!((first.method.as_str(), first.keep_alive), ("GET", true));
+        let second = reader.next_request().unwrap().unwrap();
+        assert_eq!(second.body, "{\"app\":\"CG\"}");
+        assert!(second.keep_alive);
+        let third = reader.next_request().unwrap().unwrap();
+        assert_eq!(third.path, "/healthz");
+        assert!(!third.keep_alive, "explicit close honored");
+        assert!(reader.next_request().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_http_version() {
+        let req = read_request(&b"GET /x HTTP/1.1\r\n\r\n"[..]).unwrap();
+        assert!(req.keep_alive, "1.1 defaults to keep-alive");
+        let req = read_request(&b"GET /x HTTP/1.0\r\n\r\n"[..]).unwrap();
+        assert!(!req.keep_alive, "1.0 defaults to close");
+        let req = read_request(&b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"[..]).unwrap();
+        assert!(req.keep_alive, "header overrides the version default");
     }
 
     #[test]
@@ -228,6 +352,19 @@ mod tests {
             wire.extend_from_slice(b"X-Spam: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
         }
         assert!(read_request(&wire[..]).is_err());
+    }
+
+    #[test]
+    fn budget_renews_per_request_not_per_connection() {
+        // Two near-head-limit requests back to back: a per-connection
+        // budget would starve the second, a per-request budget admits
+        // both and still rejects a single oversized head.
+        let filler = "X-Pad: ".to_string() + &"a".repeat(8 << 10) + "\r\n";
+        let one = format!("GET /a HTTP/1.1\r\n{filler}\r\n");
+        let wire = format!("{one}{one}");
+        let mut reader = MessageReader::new(wire.as_bytes());
+        assert_eq!(reader.next_request().unwrap().unwrap().path, "/a");
+        assert_eq!(reader.next_request().unwrap().unwrap().path, "/a");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Job specification, content addressing, and execution.
 
-use crate::hash::{hash_config, StableHasher};
+use crate::hash::{hash_config, hash_profile_config, StableHasher};
 use crate::json::Json;
 use crate::jsonify::{report_to_json, run_summary_to_json};
 use bytes::Bytes;
 use scalana_core::{assemble, pipeline, ScalAnaConfig};
-use scalana_lang::parse_program;
+use scalana_lang::{parse_program, Program};
 
 /// What program a job analyzes.
 #[derive(Debug, Clone)]
@@ -20,6 +20,32 @@ pub enum JobProgram {
         /// The program text.
         text: String,
     },
+}
+
+impl JobProgram {
+    /// Feed the program identity (kind tag + name + text) to a hasher.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        match self {
+            JobProgram::App(name) => {
+                h.write_u8(0);
+                h.write_str(name);
+            }
+            JobProgram::Source { name, text } => {
+                h.write_u8(1);
+                h.write_str(name);
+                h.write_str(text);
+            }
+        }
+    }
+
+    /// Content hash of the program alone — the handle `submit
+    /// --program-hash` uses to re-reference a previously uploaded
+    /// program without re-sending its source.
+    pub fn content_hash(&self) -> String {
+        let mut h = StableHasher::new();
+        self.hash_into(&mut h);
+        h.hex()
+    }
 }
 
 /// One analysis request: program + scales + full configuration.
@@ -40,23 +66,73 @@ impl JobSpec {
     /// scales, and config — share a key and therefore a cache slot.
     pub fn key(&self) -> String {
         let mut h = StableHasher::new();
-        match &self.program {
-            JobProgram::App(name) => {
-                h.write_u8(0);
-                h.write_str(name);
-            }
-            JobProgram::Source { name, text } => {
-                h.write_u8(1);
-                h.write_str(name);
-                h.write_str(text);
-            }
-        }
+        self.program.hash_into(&mut h);
         h.write_usize(self.scales.len());
         for &s in &self.scales {
             h.write_usize(s);
         }
         hash_config(&mut h, &self.config);
         h.hex()
+    }
+
+    /// The scale indirect-call discovery runs at — the smallest
+    /// requested scale, exactly as `scalana_core::profile_runs` picks it.
+    /// Per-scale cache keys include it because the refined PSG (and
+    /// therefore every profile collected over it) depends on which scale
+    /// resolved the indirect calls.
+    pub fn discovery_scale(&self) -> usize {
+        self.scales[0]
+    }
+
+    /// Content address of the *refined PSG* this job profiles over:
+    /// program + PSG options + discovery scale. Discovery simulates with
+    /// a default machine/parameter setup, so nothing else contributes.
+    pub fn psg_key(&self, resolved: &ScalAnaConfig) -> String {
+        let mut h = StableHasher::new();
+        h.write_str("psg");
+        self.program.hash_into(&mut h);
+        h.write_u64(u64::from(resolved.psg.max_loop_depth));
+        h.write_bool(resolved.psg.contract);
+        h.write_usize(self.discovery_scale());
+        h.hex()
+    }
+
+    /// Content address of the profile collected at `nprocs`: program +
+    /// every profile-relevant config field (`hash_profile_config` —
+    /// detection knobs deliberately excluded) + discovery scale + the
+    /// scale itself. Two submissions whose scale sets overlap share the
+    /// cached profile image for every common scale.
+    ///
+    /// `resolved` must be the post-resolution config (app machine model
+    /// substituted), so `App` jobs key on the machine they actually run.
+    pub fn profile_key(&self, resolved: &ScalAnaConfig, nprocs: usize) -> String {
+        let mut h = StableHasher::new();
+        h.write_str("profile");
+        self.program.hash_into(&mut h);
+        hash_profile_config(&mut h, resolved);
+        h.write_usize(self.discovery_scale());
+        h.write_usize(nprocs);
+        h.hex()
+    }
+
+    /// Resolve the program and the effective config (an [`JobProgram::App`]
+    /// substitutes its recommended machine model).
+    pub fn resolve(&self) -> Result<(Program, ScalAnaConfig), String> {
+        match &self.program {
+            JobProgram::App(name) => {
+                let app =
+                    scalana_apps::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
+                let config = ScalAnaConfig {
+                    machine: app.machine.clone(),
+                    ..self.config.clone()
+                };
+                Ok((app.program, config))
+            }
+            JobProgram::Source { name, text } => {
+                let program = parse_program(name, text).map_err(|e| e.to_string())?;
+                Ok((program, self.config.clone()))
+            }
+        }
     }
 
     /// Human-readable program label for status lines.
@@ -71,21 +147,7 @@ impl JobSpec {
     /// plus one persisted profile image per scale (`ScalAna-prof`'s
     /// post-mortem artifact, served by `/jobs/<id>/profile/<nprocs>`).
     pub fn execute(&self) -> Result<JobOutput, String> {
-        let (program, config) = match &self.program {
-            JobProgram::App(name) => {
-                let app =
-                    scalana_apps::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
-                let config = ScalAnaConfig {
-                    machine: app.machine.clone(),
-                    ..self.config.clone()
-                };
-                (app.program, config)
-            }
-            JobProgram::Source { name, text } => {
-                let program = parse_program(name, text).map_err(|e| e.to_string())?;
-                (program, self.config.clone())
-            }
-        };
+        let (program, config) = self.resolve()?;
         let runs =
             pipeline::profile_runs(&program, &self.scales, &config).map_err(|e| e.to_string())?;
         // Persist each profile before detection consumes it — the same
@@ -159,6 +221,64 @@ mod tests {
             config: ScalAnaConfig::default(),
         };
         assert_ne!(spec.key(), app.key());
+    }
+
+    #[test]
+    fn profile_key_ignores_detection_and_other_scales() {
+        let spec = demo_spec(DEMO);
+        let (_, resolved) = spec.resolve().unwrap();
+
+        // Detection knobs change the job key but not any profile key.
+        let mut tweaked = demo_spec(DEMO);
+        tweaked.config.detect.top_k = 99;
+        let (_, tweaked_resolved) = tweaked.resolve().unwrap();
+        assert_ne!(spec.key(), tweaked.key());
+        assert_eq!(
+            spec.profile_key(&resolved, 4),
+            tweaked.profile_key(&tweaked_resolved, 4)
+        );
+        assert_eq!(spec.psg_key(&resolved), tweaked.psg_key(&tweaked_resolved));
+
+        // Adding a larger scale keeps the discovery scale, so existing
+        // profiles stay addressable; changing the smallest scale does not.
+        let mut wider = demo_spec(DEMO);
+        wider.scales = vec![2, 4, 8];
+        assert_eq!(
+            spec.profile_key(&resolved, 4),
+            wider.profile_key(&resolved, 4)
+        );
+        let mut shifted = demo_spec(DEMO);
+        shifted.scales = vec![4, 8];
+        assert_ne!(
+            spec.profile_key(&resolved, 4),
+            shifted.profile_key(&resolved, 4)
+        );
+
+        // Different scales produce different keys; params matter.
+        assert_ne!(
+            spec.profile_key(&resolved, 2),
+            spec.profile_key(&resolved, 4)
+        );
+        let mut with_param = demo_spec(DEMO);
+        with_param.config.params.insert("N".to_string(), 7);
+        let (_, param_resolved) = with_param.resolve().unwrap();
+        assert_ne!(
+            spec.profile_key(&resolved, 4),
+            with_param.profile_key(&param_resolved, 4)
+        );
+    }
+
+    #[test]
+    fn program_content_hash_is_stable() {
+        let a = demo_spec(DEMO).program.content_hash();
+        let b = demo_spec(DEMO).program.content_hash();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(
+            a,
+            JobProgram::App("CG".to_string()).content_hash(),
+            "different programs, different handles"
+        );
     }
 
     #[test]

@@ -13,14 +13,21 @@
 //! - [`jsonify`] — JSON views of [`scalana_core`]'s analysis types,
 //!   shared with `scalana analyze --json`;
 //! - [`hash`] — process-independent FNV-1a hashing for content addresses;
-//! - [`job`] — job specs, their content-addressed keys, and execution
-//!   (profiles are persisted via `scalana_profile::store`, the way the
-//!   real tool hands images from its profiler to its detector);
-//! - [`queue`] / [`cache`] — bounded job queue and the content-addressed
-//!   registry/result cache with hit/miss counters;
-//! - [`http`] / [`server`] / [`client`] — minimal HTTP/1.1 framing over
-//!   `std::net`, the daemon itself, and the blocking client the CLI and
-//!   tests use.
+//! - [`job`] — job specs, their content-addressed keys (whole-job and
+//!   per-scale), and execution (profiles are persisted via
+//!   `scalana_profile::store`, the way the real tool hands images from
+//!   its profiler to its detector);
+//! - [`sharded`] — N-way sharded FIFO-bounded maps, the concurrency
+//!   substrate under every cache below;
+//! - [`queue`] / [`cache`] — bounded two-lane task queue and the
+//!   sharded content-addressed registry/result cache with hit/miss
+//!   counters;
+//! - [`profile_cache`] / [`exec`] — the per-scale profile image cache,
+//!   refined-PSG cache, and program index, plus the per-scale job
+//!   execution that fans simulation misses out across the worker pool;
+//! - [`http`] / [`server`] / [`client`] — HTTP/1.1 framing with
+//!   keep-alive over `std::net`, the daemon itself, and the blocking
+//!   client ([`client::Conn`] reuses one connection per interaction).
 //!
 //! The `scalana` binary lives here too: the classic `static`/`analyze`/
 //! `apps` one-shot commands plus `serve`, `submit`, `status`, `result`,
@@ -44,17 +51,21 @@
 
 pub mod cache;
 pub mod client;
+pub mod exec;
 pub mod hash;
 pub mod http;
 pub mod job;
 pub mod json;
 pub mod jsonify;
+pub mod profile_cache;
 pub mod queue;
 pub mod server;
+pub mod sharded;
 
 pub use cache::{JobStatus, Registry, StatsSnapshot};
 pub use job::{JobProgram, JobSpec};
 pub use json::Json;
 pub use jsonify::{analysis_to_json, report_to_json};
+pub use profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 pub use queue::JobQueue;
 pub use server::{Server, ServiceConfig};

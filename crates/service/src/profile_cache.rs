@@ -1,0 +1,250 @@
+//! Content-addressed caches for the artifacts *inside* a job.
+//!
+//! The paper's workflow splits profiling (one run per scale) from
+//! detection precisely so profiles are reusable artifacts; the whole-job
+//! result cache in [`crate::cache`] cannot exploit that — a submission
+//! whose scale set merely overlaps a previous one re-simulates every
+//! scale. These caches operate one level down:
+//!
+//! - [`ProfileCache`] — per-scale profile images (the exact
+//!   `scalana_profile::store` bytes `ScalAna-prof` persists), keyed by
+//!   FNV(program, profile-relevant config, discovery scale, scale). A
+//!   job resolves each requested scale here first and simulates only the
+//!   misses, so `submit([2,4,8,16])` after `submit([2,4,8])` runs the
+//!   simulator exactly once.
+//! - [`PsgCache`] — refined PSGs (static graph + indirect-call
+//!   discovery), keyed by FNV(program, PSG options, discovery scale).
+//!   Shared by reference; a fully cache-hit job skips even the discovery
+//!   run.
+//! - [`ProgramIndex`] — previously seen programs by content hash, so
+//!   `submit --program-hash` can re-reference an uploaded program
+//!   without re-sending its source.
+//!
+//! All three are sharded ([`crate::sharded`]) and FIFO-bounded; the
+//! per-scale hit/miss/eviction counters feed `/stats`.
+
+use crate::job::JobProgram;
+use crate::sharded::ShardedMap;
+use bytes::Bytes;
+use scalana_graph::Psg;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shard count shared by the daemon's content-addressed maps. Keys are
+/// uniform content hashes, so this just has to exceed the plausible
+/// number of simultaneously contending threads.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Per-scale profile image cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct ProfileCache {
+    images: ShardedMap<Bytes>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evicted: AtomicU64,
+    /// Mirror of the total entry count, so `/stats` reads it without
+    /// touching the shard locks.
+    entries: AtomicU64,
+}
+
+/// `/stats` snapshot of a [`ProfileCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileCacheStats {
+    /// Requested scales answered from the cache (no simulation).
+    pub hits: u64,
+    /// Requested scales that had to be simulated.
+    pub misses: u64,
+    /// Images evicted to respect the capacity bound.
+    pub evicted: u64,
+    /// Images currently held.
+    pub entries: usize,
+}
+
+impl ProfileCache {
+    /// Cache holding at most ~`capacity` profile images (0 = unbounded).
+    pub fn new(capacity: usize) -> ProfileCache {
+        ProfileCache {
+            images: ShardedMap::new(CACHE_SHARDS, capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Look one scale up, counting the outcome. A `Bytes` clone shares
+    /// the underlying image allocation.
+    pub fn lookup(&self, key: &str) -> Option<Bytes> {
+        let image = self.images.get(key);
+        match image {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        image
+    }
+
+    /// Insert a freshly simulated scale's image.
+    pub fn store(&self, key: String, image: Bytes) {
+        let outcome = self.images.insert(key, image);
+        if outcome.added {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.evicted > 0 {
+            self.evicted
+                .fetch_add(outcome.evicted as u64, Ordering::Relaxed);
+            self.entries
+                .fetch_sub(outcome.evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop an image that failed to deserialize (counts as eviction).
+    pub fn invalidate(&self, key: &str) {
+        if self.images.remove(key) {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot for `/stats` — all lock-free.
+    pub fn stats(&self) -> ProfileCacheStats {
+        ProfileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+/// Refined-PSG cache (values shared by `Arc`, never copied).
+#[derive(Debug)]
+pub struct PsgCache {
+    psgs: ShardedMap<Arc<Psg>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PsgCache {
+    /// Cache holding at most ~`capacity` refined PSGs (0 = unbounded).
+    pub fn new(capacity: usize) -> PsgCache {
+        PsgCache {
+            psgs: ShardedMap::new(CACHE_SHARDS, capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look a refined PSG up, counting the outcome.
+    pub fn lookup(&self, key: &str) -> Option<Arc<Psg>> {
+        let psg = self.psgs.get(key);
+        match psg {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        psg
+    }
+
+    /// Insert a freshly refined PSG.
+    pub fn store(&self, key: String, psg: Arc<Psg>) {
+        self.psgs.insert(key, psg);
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Programs previously seen by the daemon, addressable by content hash.
+#[derive(Debug)]
+pub struct ProgramIndex {
+    programs: ShardedMap<JobProgram>,
+    /// Mirror of the entry count (lock-free `/stats`).
+    entries: AtomicU64,
+}
+
+impl ProgramIndex {
+    /// Index retaining at most ~`capacity` programs (0 = unbounded).
+    pub fn new(capacity: usize) -> ProgramIndex {
+        ProgramIndex {
+            programs: ShardedMap::new(CACHE_SHARDS, capacity),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Remember `program` under its content hash; returns the hash (the
+    /// handle echoed back to clients). The key is a content address —
+    /// equal hash means equal program — so an already-indexed program is
+    /// left untouched: no source-sized clone, no shard write, and its
+    /// FIFO eviction position is unchanged (re-insertion would not
+    /// refresh it either).
+    pub fn remember(&self, program: &JobProgram) -> String {
+        let hash = program.content_hash();
+        if self.programs.get(&hash).is_none() {
+            let outcome = self.programs.insert(hash.clone(), program.clone());
+            if outcome.added {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+            if outcome.evicted > 0 {
+                self.entries
+                    .fetch_sub(outcome.evicted as u64, Ordering::Relaxed);
+            }
+        }
+        hash
+    }
+
+    /// Resolve a previously seen program. `None` means never seen or
+    /// since evicted — the server answers 404 and the client must
+    /// re-send the source.
+    pub fn resolve(&self, hash: &str) -> Option<JobProgram> {
+        self.programs.get(hash)
+    }
+
+    /// Programs currently indexed (lock-free).
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed) as usize
+    }
+
+    /// No programs indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_cache_counts_hits_misses_evictions() {
+        let cache = ProfileCache::new(0);
+        assert!(cache.lookup("k").is_none());
+        cache.store("k".to_string(), Bytes::from_static(b"image"));
+        assert_eq!(cache.lookup("k").as_deref(), Some(&b"image"[..]));
+        cache.invalidate("k");
+        assert!(cache.lookup("k").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn program_index_round_trips_by_content_hash() {
+        let index = ProgramIndex::new(0);
+        let program = JobProgram::Source {
+            name: "x.mmpi".to_string(),
+            text: "fn main() { }".to_string(),
+        };
+        let hash = index.remember(&program);
+        assert_eq!(hash, program.content_hash());
+        let resolved = index.resolve(&hash).expect("indexed");
+        assert_eq!(resolved.content_hash(), hash);
+        assert!(index.resolve("0000000000000000").is_none());
+        assert_eq!(index.len(), 1);
+    }
+}

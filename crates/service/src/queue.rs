@@ -1,33 +1,48 @@
-//! Bounded multi-producer multi-consumer job queue.
+//! Bounded multi-producer multi-consumer task queue with a priority
+//! lane.
 //!
-//! Connection handlers push job keys; worker threads block on [`pop`]
-//! until work or shutdown. The queue is deliberately *non-blocking on
-//! push*: when full, the submitter gets [`QueueFull`] and the server
-//! answers `503` — backpressure surfaces to clients instead of tying up
-//! connection threads.
+//! Connection handlers push *job* items into the bounded lane; worker
+//! threads block on [`pop`] until work or shutdown. The bounded lane is
+//! deliberately *non-blocking on push*: when full, the submitter gets
+//! [`QueueFull`] and the server answers `503` — backpressure surfaces to
+//! clients instead of tying up connection threads.
+//!
+//! The second, unbounded *priority* lane carries internally generated
+//! work: per-scale simulation tasks a worker fans out while executing a
+//! job. [`pop`] drains it first, so in-flight jobs finish before new
+//! ones start, and — crucially — a worker can always hand scale tasks to
+//! its peers without blocking or failing, which makes the fan-out
+//! deadlock-free by construction. It stays bounded in practice because
+//! only accepted jobs (themselves bounded by the job lane) generate
+//! priority items.
 //!
 //! [`pop`]: JobQueue::pop
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-/// Push rejection: the queue is at capacity.
+/// Push rejection: the bounded lane is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
-struct Inner {
-    items: VecDeque<String>,
+struct Inner<T> {
+    items: VecDeque<T>,
+    priority: VecDeque<T>,
     shutdown: bool,
 }
 
-/// The bounded queue.
-pub struct JobQueue {
-    inner: Mutex<Inner>,
+/// The two-lane queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     capacity: usize,
+    /// Bounded-lane length, mirrored atomically so `/stats` reads the
+    /// queue depth without touching the queue lock.
+    depth: AtomicUsize,
 }
 
-impl std::fmt::Debug for JobQueue {
+impl<T> std::fmt::Debug for JobQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobQueue")
             .field("capacity", &self.capacity)
@@ -36,37 +51,57 @@ impl std::fmt::Debug for JobQueue {
     }
 }
 
-impl JobQueue {
-    /// Queue holding at most `capacity` pending jobs.
-    pub fn new(capacity: usize) -> JobQueue {
+impl<T> JobQueue<T> {
+    /// Queue holding at most `capacity` pending items in the bounded
+    /// lane (the priority lane is unbounded).
+    pub fn new(capacity: usize) -> JobQueue<T> {
         JobQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
+                priority: VecDeque::new(),
                 shutdown: false,
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
         }
     }
 
-    /// Enqueue a job key; fails fast when full or shut down.
-    pub fn push(&self, key: String) -> Result<(), QueueFull> {
+    /// Enqueue into the bounded lane; fails fast when full or shut down.
+    pub fn push(&self, item: T) -> Result<(), QueueFull> {
         let mut inner = self.inner.lock().unwrap();
         if inner.shutdown || inner.items.len() >= self.capacity {
             return Err(QueueFull);
         }
-        inner.items.push_back(key);
+        inner.items.push_back(item);
+        self.depth.store(inner.items.len(), Ordering::Relaxed);
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Block until a job is available; `None` once shut down and drained.
-    pub fn pop(&self) -> Option<String> {
+    /// Enqueue into the priority lane. Never fails — it is accepted even
+    /// after [`shutdown`](JobQueue::shutdown), because priority items
+    /// belong to jobs the daemon already acknowledged and graceful
+    /// shutdown drains those to completion.
+    pub fn push_priority(&self, item: T) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.priority.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Block until an item is available (priority lane first); `None`
+    /// once shut down and fully drained.
+    pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(key) = inner.items.pop_front() {
-                return Some(key);
+            if let Some(item) = inner.priority.pop_front() {
+                return Some(item);
+            }
+            if let Some(item) = inner.items.pop_front() {
+                self.depth.store(inner.items.len(), Ordering::Relaxed);
+                return Some(item);
             }
             if inner.shutdown {
                 return None;
@@ -75,13 +110,28 @@ impl JobQueue {
         }
     }
 
-    /// Pending jobs.
-    pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+    /// Non-blocking [`pop`](JobQueue::pop): `None` when both lanes are
+    /// empty right now, regardless of shutdown.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(item) = inner.priority.pop_front() {
+            return Some(item);
+        }
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            self.depth.store(inner.items.len(), Ordering::Relaxed);
+        }
+        item
     }
 
-    /// Stop accepting pushes and wake every blocked worker. Already
-    /// queued jobs are still drained.
+    /// Pending bounded-lane items (lock-free; `/stats` reads this on
+    /// every request).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting bounded-lane pushes and wake every blocked worker.
+    /// Already accepted items — both lanes — are still drained.
     pub fn shutdown(&self) {
         self.inner.lock().unwrap().shutdown = true;
         self.not_empty.notify_all();
@@ -95,18 +145,36 @@ mod tests {
 
     #[test]
     fn fifo_order_and_capacity() {
-        let q = JobQueue::new(2);
+        let q: JobQueue<String> = JobQueue::new(2);
         q.push("a".into()).unwrap();
         q.push("b".into()).unwrap();
         assert_eq!(q.push("c".into()), Err(QueueFull));
         assert_eq!(q.depth(), 2);
         assert_eq!(q.pop().as_deref(), Some("a"));
         assert_eq!(q.pop().as_deref(), Some("b"));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn priority_lane_preempts_and_survives_shutdown() {
+        let q: JobQueue<&'static str> = JobQueue::new(4);
+        q.push("job").unwrap();
+        q.push_priority("scale-1");
+        q.push_priority("scale-2");
+        assert_eq!(q.pop(), Some("scale-1"), "priority first");
+        q.shutdown();
+        assert_eq!(q.push("late"), Err(QueueFull));
+        // Internal work is still accepted and drained after shutdown.
+        q.push_priority("scale-3");
+        assert_eq!(q.pop(), Some("scale-2"));
+        assert_eq!(q.pop(), Some("scale-3"));
+        assert_eq!(q.pop(), Some("job"));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn shutdown_wakes_blocked_workers_and_drains() {
-        let q = Arc::new(JobQueue::new(4));
+        let q: Arc<JobQueue<String>> = Arc::new(JobQueue::new(4));
         q.push("last".into()).unwrap();
         let handles: Vec<_> = (0..3)
             .map(|_| {

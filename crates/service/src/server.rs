@@ -1,25 +1,32 @@
 //! The analysis daemon: TCP accept loop, worker pool, HTTP routing.
 //!
 //! ```text
-//! POST /jobs                    submit a job (JSON body)
+//! POST /jobs                    submit a job (JSON object) or a batch (JSON array)
 //! GET  /jobs/<id>               job status
 //! GET  /jobs/<id>/result        cached analysis result (JSON)
 //! GET  /jobs/<id>/profile/<p>   persisted profile image at scale <p>
-//! GET  /stats                   counters: cache hits/misses, queue, ...
+//! GET  /stats                   counters: job + per-scale cache hits/misses, ...
 //! GET  /healthz                 liveness probe
 //! POST /shutdown                graceful stop
 //! ```
 //!
-//! Connections are short-lived (one request each); submissions land in
-//! the bounded [`JobQueue`] and a pool of worker threads drains it,
-//! running the `scalana_core::pipeline` per job. Results live in the
-//! content-addressed [`Registry`], so identical re-submissions are
-//! answered without re-simulating.
+//! Connections speak HTTP/1.1 keep-alive: one socket carries any number
+//! of sequential requests (a poll loop costs one TCP handshake total).
+//! Submissions land in the bounded [`JobQueue`]; a pool of worker
+//! threads executes them *per scale* ([`crate::exec`]): each requested
+//! scale resolves against the content-addressed per-scale
+//! [`ProfileCache`] first, only the misses are simulated — fanned out
+//! across the pool, not one worker per job — and whole-job results live
+//! in the sharded [`Registry`], so identical re-submissions are answered
+//! without touching the queue and overlapping ones re-simulate only
+//! their genuinely new scales.
 
 use crate::cache::{JobStatus, Registry, StatusView, SubmitOutcome};
-use crate::http::{read_request, write_response, Request};
+use crate::exec::{ExecCtx, Task};
+use crate::http::{write_response_conn, MessageReader, Request};
 use crate::job::{JobProgram, JobSpec};
 use crate::json::{parse, Json};
+use crate::profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 use crate::queue::JobQueue;
 use scalana_core::ScalAnaConfig;
 use std::io;
@@ -41,6 +48,16 @@ pub struct ServiceConfig {
     /// 0 = unbounded). Results hold profile images, so a long-lived
     /// daemon must bound them.
     pub max_cached_results: usize,
+    /// Per-scale profile images retained (oldest evicted first;
+    /// 0 = unbounded). The unit of cross-job reuse: one entry per
+    /// (program, profile config, discovery scale, scale).
+    pub max_cached_profiles: usize,
+    /// Refined PSGs retained (0 = unbounded). Small and extremely
+    /// reusable — one per (program, PSG options, discovery scale).
+    pub max_cached_psgs: usize,
+    /// Programs indexed by content hash for `--program-hash` reuse
+    /// (0 = unbounded).
+    pub max_indexed_programs: usize,
     /// Base analysis configuration; per-request knobs override it.
     pub default_config: ScalAnaConfig,
 }
@@ -55,6 +72,9 @@ impl Default for ServiceConfig {
             workers,
             queue_capacity: 64,
             max_cached_results: 256,
+            max_cached_profiles: 1024,
+            max_cached_psgs: 64,
+            max_indexed_programs: 512,
             default_config: ScalAnaConfig::default(),
         }
     }
@@ -68,12 +88,34 @@ const MAX_CONNECTIONS: usize = 256;
 
 struct State {
     registry: Registry,
-    queue: JobQueue,
+    queue: JobQueue<Task>,
+    profiles: ProfileCache,
+    psgs: PsgCache,
+    programs: ProgramIndex,
     workers: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
     connections: AtomicUsize,
     default_config: ScalAnaConfig,
+}
+
+impl State {
+    fn exec_ctx(&self) -> ExecCtx<'_> {
+        ExecCtx {
+            registry: &self.registry,
+            queue: &self.queue,
+            profiles: &self.profiles,
+            psgs: &self.psgs,
+        }
+    }
+
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.shutdown();
+            // Wake the blocked accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
 }
 
 /// Decrements the live-connection count when a handler exits, however
@@ -83,16 +125,6 @@ struct ConnGuard<'a>(&'a AtomicUsize);
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-impl State {
-    fn trigger_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            self.queue.shutdown();
-            // Wake the blocked accept loop with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
-        }
     }
 }
 
@@ -120,6 +152,9 @@ impl Server {
             state: Arc::new(State {
                 registry: Registry::with_result_capacity(config.max_cached_results),
                 queue: JobQueue::new(config.queue_capacity),
+                profiles: ProfileCache::new(config.max_cached_profiles),
+                psgs: PsgCache::new(config.max_cached_psgs),
+                programs: ProgramIndex::new(config.max_indexed_programs),
                 workers: config.workers.max(1),
                 shutdown: AtomicBool::new(false),
                 addr,
@@ -135,7 +170,7 @@ impl Server {
     }
 
     /// Serve until `POST /shutdown`. Blocks; spawns the worker pool and
-    /// one short-lived thread per connection.
+    /// one connection-handler thread per live connection.
     pub fn run(self) -> io::Result<()> {
         let workers: Vec<_> = (0..self.state.workers)
             .map(|i| {
@@ -160,17 +195,19 @@ impl Server {
             if self.state.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
                 self.state.connections.fetch_sub(1, Ordering::SeqCst);
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = write_response(
+                let _ = write_response_conn(
                     &stream,
                     503,
                     "application/json",
                     b"{\"error\":\"too many connections\"}",
+                    false,
                 );
                 continue;
             }
             let state = Arc::clone(&self.state);
-            // Detached: handlers are short-lived, time-limited, and
-            // counted (the guard in handle_connection releases the slot).
+            // Detached: handlers are time-limited (the read timeout
+            // bounds idle keep-alive connections) and counted (the
+            // guard in handle_connection releases the slot).
             if std::thread::Builder::new()
                 .name("scalana-conn".to_string())
                 .spawn(move || handle_connection(stream, &state))
@@ -190,64 +227,73 @@ impl Server {
 
 fn worker_loop(state: &State) {
     // Runs until `pop` returns `None`: after shutdown the queue stops
-    // accepting pushes but still hands out already-accepted jobs, so
-    // every submission the daemon acknowledged gets executed (its record
+    // accepting job pushes but still hands out already-accepted tasks —
+    // both whole jobs and the per-scale work they fan out — so every
+    // submission the daemon acknowledged gets executed (its record
     // would otherwise sit `queued` forever) — graceful, not abrupt.
-    while let Some(key) = state.queue.pop() {
-        let Some(spec) = state.registry.start(&key) else {
-            continue;
-        };
-        // Isolate panics: execute() runs parser/simulator/detector over
-        // client-supplied programs. An escaped panic would kill this
-        // worker thread for good AND strand the record in `Running` —
-        // unretryable, since only Failed records are resubmittable.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.execute()));
-        match result {
-            Ok(Ok(output)) => state.registry.complete(&key, output),
-            Ok(Err(error)) => state.registry.fail(&key, error),
-            Err(panic) => state
-                .registry
-                .fail(&key, format!("job panicked: {}", panic_message(&panic))),
-        }
+    let ctx = state.exec_ctx();
+    while let Some(task) = state.queue.pop() {
+        // Panic isolation lives inside run_task: pipeline stages over
+        // client-supplied programs run under catch_unwind and fail the
+        // job instead of killing this worker.
+        crate::exec::run_task(&ctx, task);
     }
-}
-
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
-    panic
-        .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("unknown panic")
 }
 
 fn handle_connection(stream: TcpStream, state: &State) {
     let _guard = ConnGuard(&state.connections);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let request = match stream.try_clone().and_then(read_request) {
-        Ok(request) => request,
-        Err(_) => {
-            let _ = respond_json(
-                &stream,
-                400,
-                &Json::obj(vec![("error", "malformed request".into())]),
-            );
+    // Keep-alive exchanges are small request/response pairs; Nagle
+    // batching would add delayed-ACK latency to every one of them.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = MessageReader::new(read_half);
+    // Keep-alive loop: one request per iteration, strictly in order
+    // (pipelined requests are answered in sequence).
+    loop {
+        let request = match reader.next_request() {
+            Ok(Some(request)) => request,
+            // Peer closed between requests — a clean end.
+            Ok(None) => return,
+            Err(e) => {
+                // An idle keep-alive connection hitting the read
+                // timeout is normal; only protocol garbage earns a 400.
+                if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut {
+                    let _ = write_response_conn(
+                        &stream,
+                        400,
+                        "application/json",
+                        b"{\"error\":\"malformed request\"}",
+                        false,
+                    );
+                }
+                return;
+            }
+        };
+        let (response, action) = route(&request, state);
+        let (code, content_type, body) = response;
+        // Shutting down (this request or a concurrent one): announce
+        // close so well-behaved clients stop reusing the socket.
+        let keep_alive = request.keep_alive
+            && action != Action::Shutdown
+            && !state.shutdown.load(Ordering::SeqCst);
+        let written = write_response_conn(&stream, code, &content_type, &body, keep_alive).is_ok();
+        // The routing decision (not a re-match on the raw path, which
+        // would miss normalized forms like `//shutdown`) drives
+        // post-response actions, after the acknowledgment is on the
+        // wire. Shutdown happens even when the write failed — a client
+        // that disconnects right after sending `POST /shutdown` must
+        // not leave a zombie daemon behind.
+        if action == Action::Shutdown {
+            state.trigger_shutdown();
+        }
+        if !written || !keep_alive {
             return;
         }
-    };
-    let (response, action) = route(&request, state);
-    let (code, content_type, body) = response;
-    let _ = write_response(&stream, code, &content_type, &body);
-    // The routing decision (not a re-match on the raw path, which would
-    // miss normalized forms like `//shutdown`) drives post-response
-    // actions, after the acknowledgment is on the wire.
-    if action == Action::Shutdown {
-        state.trigger_shutdown();
     }
-}
-
-fn respond_json(stream: &TcpStream, code: u16, body: &Json) -> io::Result<()> {
-    write_response(stream, code, "application/json", body.render().as_bytes())
 }
 
 /// What to do after the response is written.
@@ -299,6 +345,8 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
 
 fn stats_json(state: &State) -> Json {
     let stats = state.registry.stats();
+    let scale = state.profiles.stats();
+    let (psg_hits, psg_misses) = state.psgs.stats();
     Json::obj(vec![
         ("workers", state.workers.into()),
         ("queue_depth", state.queue.depth().into()),
@@ -311,6 +359,14 @@ fn stats_json(state: &State) -> Json {
         ("completed", stats.completed.into()),
         ("failed", stats.failed.into()),
         ("evicted", stats.evicted.into()),
+        // Per-scale profile cache: the unit of cross-job reuse.
+        ("scale_hits", scale.hits.into()),
+        ("scale_misses", scale.misses.into()),
+        ("scale_evicted", scale.evicted.into()),
+        ("profiles_cached", scale.entries.into()),
+        ("psg_hits", psg_hits.into()),
+        ("psg_misses", psg_misses.into()),
+        ("programs_indexed", state.programs.len().into()),
     ])
 }
 
@@ -327,32 +383,203 @@ fn status_json(view: &StatusView) -> Json {
     Json::obj(pairs)
 }
 
+/// `POST /jobs`: a single submission object, or an array of them (the
+/// batched form — one request, many submissions, one array of the same
+/// per-job response objects, answered in order).
 fn submit(request: &Request, state: &State) -> Response {
-    let spec = match parse_submit(&request.body, &state.default_config) {
-        Ok(spec) => spec,
-        Err(message) => return error_response(400, &message),
+    let doc = match parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => return error_response(400, &format!("bad JSON: {e}")),
     };
-    let outcome = state
-        .registry
-        .submit(spec, |key| state.queue.push(key.to_string()).is_ok());
+    match doc {
+        Json::Arr(items) => {
+            if items.is_empty() {
+                return error_response(400, "empty batch");
+            }
+            let responses: Vec<Json> = items
+                .iter()
+                .map(|item| match submit_one(item, state) {
+                    Ok(body) => body,
+                    // Per-item errors are reported in place: one bad
+                    // entry must not void its siblings' acknowledgments.
+                    Err((code, message)) => Json::obj(vec![
+                        ("error", message.as_str().into()),
+                        ("code", i64::from(code).into()),
+                    ]),
+                })
+                .collect();
+            json_response(200, Json::Arr(responses))
+        }
+        doc => match submit_one(&doc, state) {
+            Ok(body) => json_response(200, body),
+            Err((code, message)) => error_response(code, &message),
+        },
+    }
+}
+
+/// Register one submission document; returns the response body.
+fn submit_one(doc: &Json, state: &State) -> Result<Json, (u16, String)> {
+    let spec = spec_from_doc(doc, &state.default_config, &state.programs)?;
+    // Remember the program so later submissions can reference it by
+    // hash instead of re-sending the source.
+    let program_hash = state.programs.remember(&spec.program);
+    let outcome = state.registry.submit(spec, |key| {
+        state.queue.push(Task::Job(key.to_string())).is_ok()
+    });
     match outcome {
         SubmitOutcome::Existing(view) => {
             let mut body = status_json(&view);
             if let Json::Obj(pairs) = &mut body {
                 pairs.push(("cached".to_string(), Json::Bool(true)));
+                pairs.push(("program_hash".to_string(), program_hash.into()));
             }
-            json_response(200, body)
+            Ok(body)
         }
-        SubmitOutcome::Fresh(key) => json_response(
-            200,
-            Json::obj(vec![
-                ("job", key.as_str().into()),
-                ("status", "queued".into()),
-                ("cached", false.into()),
-            ]),
-        ),
-        SubmitOutcome::Rejected => error_response(503, "job queue is full, retry later"),
+        SubmitOutcome::Fresh(key) => Ok(Json::obj(vec![
+            ("job", key.as_str().into()),
+            ("status", "queued".into()),
+            ("cached", false.into()),
+            ("program_hash", program_hash.into()),
+        ])),
+        SubmitOutcome::Rejected => Err((503, "job queue is full, retry later".to_string())),
     }
+}
+
+/// Largest accepted process count per scale. The simulator allocates
+/// per-rank state, so an unbounded request (`"scales":[1000000000]`)
+/// would OOM a worker; the paper's largest runs are a few thousand
+/// ranks, so this guardrail costs nothing real.
+pub const MAX_SCALE: usize = 65_536;
+
+/// Decode a parsed submission document into a [`JobSpec`]. Errors carry
+/// the HTTP status to answer with: `400` for malformed requests, `404`
+/// for a `program_hash` the daemon does not (or no longer does) know.
+///
+/// ```json
+/// {"app": "CG", "scales": [4, 8], "top": 3}
+/// {"source": "fn main() { ... }", "name": "demo.mmpi",
+///  "scales": [2, 4], "abnorm_thd": 1.5, "max_loop_depth": 6,
+///  "params": {"N": 100000}}
+/// {"program_hash": "f00f5ca1a71e57ed", "scales": [2, 4, 8, 16]}
+/// ```
+pub fn spec_from_doc(
+    doc: &Json,
+    defaults: &ScalAnaConfig,
+    programs: &ProgramIndex,
+) -> Result<JobSpec, (u16, String)> {
+    let bad = |message: String| (400u16, message);
+    let program = match (doc.get("app"), doc.get("source"), doc.get("program_hash")) {
+        (Some(app), None, None) => {
+            let name = app
+                .as_str()
+                .ok_or_else(|| bad("`app` must be a string".to_string()))?;
+            if scalana_apps::by_name(name).is_none() {
+                return Err(bad(format!("unknown app `{name}`")));
+            }
+            JobProgram::App(name.to_string())
+        }
+        (None, Some(source), None) => JobProgram::Source {
+            name: doc
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("inline.mmpi")
+                .to_string(),
+            text: source
+                .as_str()
+                .ok_or_else(|| bad("`source` must be a string".to_string()))?
+                .to_string(),
+        },
+        (None, None, Some(hash)) => {
+            let hash = hash
+                .as_str()
+                .ok_or_else(|| bad("`program_hash` must be a string".to_string()))?;
+            programs.resolve(hash).ok_or((
+                404u16,
+                format!(
+                    "unknown program hash `{hash}` (never seen or evicted; re-send the source)"
+                ),
+            ))?
+        }
+        _ => {
+            return Err(bad(
+                "exactly one of `app`, `source`, or `program_hash` is required".to_string(),
+            ))
+        }
+    };
+
+    let scales = match doc.get("scales") {
+        None => vec![4, 8, 16, 32],
+        Some(value) => {
+            let items = value
+                .as_array()
+                .ok_or_else(|| bad("`scales` must be an array".to_string()))?;
+            let scales: Vec<usize> = items
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .filter(|n| (1..=MAX_SCALE as i64).contains(n))
+                        .map(|n| n as usize)
+                        .ok_or_else(|| {
+                            bad(format!(
+                                "`scales` entries must be integers in 1..={MAX_SCALE}"
+                            ))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(bad("`scales` must be a strictly ascending list".to_string()));
+            }
+            scales
+        }
+    };
+
+    let mut config = defaults.clone();
+    if let Some(v) = doc.get("abnorm_thd") {
+        config.detect.abnorm_thd = v
+            .as_f64()
+            .ok_or_else(|| bad("`abnorm_thd` must be a number".to_string()))?;
+    }
+    if let Some(v) = doc.get("top") {
+        config.detect.top_k = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| bad("`top` must be a non-negative integer".to_string()))?
+            as usize;
+    }
+    if let Some(v) = doc.get("max_loop_depth") {
+        config.psg.max_loop_depth =
+            v.as_i64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| {
+                    bad("`max_loop_depth` must be a non-negative 32-bit integer".to_string())
+                })?;
+    }
+    if let Some(v) = doc.get("params") {
+        match v {
+            Json::Obj(pairs) => {
+                for (name, value) in pairs {
+                    let value = value
+                        .as_i64()
+                        .ok_or_else(|| bad(format!("param `{name}` must be an integer")))?;
+                    config.params.insert(name.clone(), value);
+                }
+            }
+            _ => return Err(bad("`params` must be an object".to_string())),
+        }
+    }
+    Ok(JobSpec {
+        program,
+        scales,
+        config,
+    })
+}
+
+/// Decode a submission body into a [`JobSpec`] (compatibility wrapper
+/// over [`spec_from_doc`] without program-hash resolution).
+pub fn parse_submit(body: &str, defaults: &ScalAnaConfig) -> Result<JobSpec, String> {
+    let doc = parse(body).map_err(|e| format!("bad JSON: {e}"))?;
+    let programs = ProgramIndex::new(1);
+    spec_from_doc(&doc, defaults, &programs).map_err(|(_, message)| message)
 }
 
 fn result(key: &str, state: &State) -> Response {
@@ -413,102 +640,6 @@ fn profile(key: &str, nprocs: &str, state: &State) -> Response {
     }
 }
 
-/// Largest accepted process count per scale. The simulator allocates
-/// per-rank state, so an unbounded request (`"scales":[1000000000]`)
-/// would OOM a worker; the paper's largest runs are a few thousand
-/// ranks, so this guardrail costs nothing real.
-pub const MAX_SCALE: usize = 65_536;
-
-/// Decode a submission body into a [`JobSpec`].
-///
-/// ```json
-/// {"app": "CG", "scales": [4, 8], "top": 3}
-/// {"source": "fn main() { ... }", "name": "demo.mmpi",
-///  "scales": [2, 4], "abnorm_thd": 1.5, "max_loop_depth": 6,
-///  "params": {"N": 100000}}
-/// ```
-pub fn parse_submit(body: &str, defaults: &ScalAnaConfig) -> Result<JobSpec, String> {
-    let doc = parse(body).map_err(|e| format!("bad JSON: {e}"))?;
-    let program = match (doc.get("app"), doc.get("source")) {
-        (Some(app), None) => {
-            let name = app.as_str().ok_or("`app` must be a string")?;
-            if scalana_apps::by_name(name).is_none() {
-                return Err(format!("unknown app `{name}`"));
-            }
-            JobProgram::App(name.to_string())
-        }
-        (None, Some(source)) => JobProgram::Source {
-            name: doc
-                .get("name")
-                .and_then(Json::as_str)
-                .unwrap_or("inline.mmpi")
-                .to_string(),
-            text: source
-                .as_str()
-                .ok_or("`source` must be a string")?
-                .to_string(),
-        },
-        _ => return Err("exactly one of `app` or `source` is required".to_string()),
-    };
-
-    let scales = match doc.get("scales") {
-        None => vec![4, 8, 16, 32],
-        Some(value) => {
-            let items = value.as_array().ok_or("`scales` must be an array")?;
-            let scales: Vec<usize> = items
-                .iter()
-                .map(|v| {
-                    v.as_i64()
-                        .filter(|n| (1..=MAX_SCALE as i64).contains(n))
-                        .map(|n| n as usize)
-                        .ok_or_else(|| {
-                            format!("`scales` entries must be integers in 1..={MAX_SCALE}")
-                        })
-                })
-                .collect::<Result<_, _>>()?;
-            if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
-                return Err("`scales` must be a strictly ascending list".to_string());
-            }
-            scales
-        }
-    };
-
-    let mut config = defaults.clone();
-    if let Some(v) = doc.get("abnorm_thd") {
-        config.detect.abnorm_thd = v.as_f64().ok_or("`abnorm_thd` must be a number")?;
-    }
-    if let Some(v) = doc.get("top") {
-        config.detect.top_k = v
-            .as_i64()
-            .filter(|n| *n >= 0)
-            .ok_or("`top` must be a non-negative integer")? as usize;
-    }
-    if let Some(v) = doc.get("max_loop_depth") {
-        config.psg.max_loop_depth = v
-            .as_i64()
-            .and_then(|n| u32::try_from(n).ok())
-            .ok_or("`max_loop_depth` must be a non-negative 32-bit integer")?;
-    }
-    if let Some(v) = doc.get("params") {
-        match v {
-            Json::Obj(pairs) => {
-                for (name, value) in pairs {
-                    let value = value
-                        .as_i64()
-                        .ok_or_else(|| format!("param `{name}` must be an integer"))?;
-                    config.params.insert(name.clone(), value);
-                }
-            }
-            _ => return Err("`params` must be an object".to_string()),
-        }
-    }
-    Ok(JobSpec {
-        program,
-        scales,
-        config,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +669,7 @@ mod tests {
         for (body, needle) in [
             ("{}", "exactly one"),
             (r#"{"app":"CG","source":"x"}"#, "exactly one"),
+            (r#"{"app":"CG","program_hash":"ab"}"#, "exactly one"),
             (r#"{"app":"NOPE"}"#, "unknown app"),
             (r#"{"app":"CG","scales":[8,4]}"#, "ascending"),
             (r#"{"app":"CG","scales":[0]}"#, "1..="),
@@ -550,5 +682,26 @@ mod tests {
             let err = parse_submit(body, &defaults).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");
         }
+    }
+
+    #[test]
+    fn spec_from_doc_resolves_program_hashes() {
+        let defaults = ScalAnaConfig::default();
+        let programs = ProgramIndex::new(0);
+        let original = JobProgram::Source {
+            name: "h.mmpi".to_string(),
+            text: "fn main() { }".to_string(),
+        };
+        let hash = programs.remember(&original);
+
+        let doc = parse(&format!(r#"{{"program_hash":"{hash}","scales":[2,4]}}"#)).unwrap();
+        let spec = spec_from_doc(&doc, &defaults, &programs).unwrap();
+        assert_eq!(spec.program.content_hash(), hash);
+        assert_eq!(spec.scales, vec![2, 4]);
+
+        let doc = parse(r#"{"program_hash":"doesnotexist0000"}"#).unwrap();
+        let (code, message) = spec_from_doc(&doc, &defaults, &programs).unwrap_err();
+        assert_eq!(code, 404, "unknown hash is Not Found, not Bad Request");
+        assert!(message.contains("re-send"), "{message}");
     }
 }

@@ -1,0 +1,218 @@
+//! N-way sharded, FIFO-bounded concurrent string-keyed maps.
+//!
+//! The daemon's hot maps (job registry, per-scale profile cache, refined
+//! PSG cache, program index) are all keyed by content addresses and hit
+//! from many connection/worker threads at once. A single `Mutex<HashMap>`
+//! serializes every one of those touches; sharding by key hash bounds
+//! contention to 1/N of the traffic per lock while keeping the plain
+//! `std::sync` building blocks.
+//!
+//! Keys are already uniform FNV-1a content hashes, so the shard index is
+//! just another FNV pass reduced mod N.
+
+use crate::hash::StableHasher;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Shard index of `key` among `count` shards.
+pub fn shard_index(key: &str, count: usize) -> usize {
+    let mut h = StableHasher::new();
+    h.write_bytes(key.as_bytes());
+    (h.finish() % count as u64) as usize
+}
+
+struct Shard<V> {
+    map: HashMap<String, V>,
+    /// Insertion order — the FIFO eviction candidates.
+    order: VecDeque<String>,
+}
+
+/// What one [`ShardedMap::insert`] did to the shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The key was new (false = an existing value was replaced).
+    pub added: bool,
+    /// Old entries evicted to respect the capacity bound.
+    pub evicted: usize,
+}
+
+/// A sharded map with per-shard FIFO eviction.
+///
+/// The capacity bound is enforced per shard (`ceil(capacity / shards)`),
+/// so the whole map holds at most ~`capacity` entries without any
+/// cross-shard coordination on the insert path.
+pub struct ShardedMap<V> {
+    shards: Box<[Mutex<Shard<V>>]>,
+    per_shard_capacity: usize,
+}
+
+impl<V> std::fmt::Debug for ShardedMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum();
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &len)
+            .finish()
+    }
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// Map with `shards` shards holding at most ~`capacity` entries in
+    /// total (0 = unbounded).
+    pub fn new(shards: usize, capacity: usize) -> ShardedMap<V> {
+        let shards = shards.max(1);
+        let per_shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
+        ShardedMap {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard<V>> {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
+    /// Clone of the value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key).lock().unwrap().map.get(key).cloned()
+    }
+
+    /// Insert (or replace) `key`; reports whether the key was new and
+    /// how many old entries were evicted to respect the capacity bound,
+    /// so callers can maintain lock-free entry counters.
+    pub fn insert(&self, key: String, value: V) -> InsertOutcome {
+        let mut shard = self.shard(&key).lock().unwrap();
+        let added = shard.map.insert(key.clone(), value).is_none();
+        if added {
+            shard.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while self.per_shard_capacity > 0 && shard.map.len() > self.per_shard_capacity {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.map.remove(&oldest).is_some() {
+                evicted += 1;
+            }
+        }
+        InsertOutcome { added, evicted }
+    }
+
+    /// Drop `key`; returns whether it was present.
+    pub fn remove(&self, key: &str) -> bool {
+        // The stale `order` entry is skipped at eviction time.
+        self.shard(key).lock().unwrap().map.remove(key).is_some()
+    }
+
+    /// Total entries across every shard (takes each shard lock briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// No entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let map: ShardedMap<u32> = ShardedMap::new(4, 0);
+        assert!(map.is_empty());
+        assert_eq!(
+            map.insert("a".into(), 1),
+            InsertOutcome {
+                added: true,
+                evicted: 0
+            }
+        );
+        assert!(map.insert("b".into(), 2).added);
+        assert_eq!(map.get("a"), Some(1));
+        assert_eq!(map.get("missing"), None);
+        // Replacement keeps one entry.
+        assert_eq!(
+            map.insert("a".into(), 3),
+            InsertOutcome {
+                added: false,
+                evicted: 0
+            }
+        );
+        assert_eq!(map.get("a"), Some(3));
+        assert_eq!(map.len(), 2);
+        assert!(map.remove("a"));
+        assert!(!map.remove("a"));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_per_shard() {
+        // One shard makes the FIFO order observable.
+        let map: ShardedMap<u32> = ShardedMap::new(1, 2);
+        map.insert("a".into(), 1);
+        map.insert("b".into(), 2);
+        assert_eq!(
+            map.insert("c".into(), 3),
+            InsertOutcome {
+                added: true,
+                evicted: 1
+            }
+        );
+        assert_eq!(map.get("a"), None, "oldest evicted");
+        assert_eq!(map.get("b"), Some(2));
+        assert_eq!(map.get("c"), Some(3));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let map: ShardedMap<usize> = ShardedMap::new(8, 0);
+        for i in 0..256 {
+            map.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(map.len(), 256);
+        let hit_shards: std::collections::HashSet<usize> = (0..256)
+            .map(|i| shard_index(&format!("key-{i}"), 8))
+            .collect();
+        assert!(hit_shards.len() > 1, "content hashes must spread");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let map: std::sync::Arc<ShardedMap<usize>> = std::sync::Arc::new(ShardedMap::new(8, 64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                scope.spawn(move || {
+                    for i in 0..128 {
+                        map.insert(format!("t{t}-{i}"), i);
+                        let _ = map.get(&format!("t{t}-{i}"));
+                    }
+                });
+            }
+        });
+        assert!(map.len() <= 64 + 8, "capacity respected (per-shard ceil)");
+    }
+}

@@ -193,6 +193,13 @@ fn serve_submit_status_result_shutdown() {
     let (stdout, _, ok) = submit(&[]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("\"cached\":true"), "{stdout}");
+    let program_hash = scalana_service::json::parse(stdout.lines().next().unwrap())
+        .unwrap()
+        .get("program_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
 
     // status <job>, status (stats), and result all answer.
     let (stdout, _, ok) = scalana(&["status", "--addr", &addr, &job]);
@@ -203,6 +210,36 @@ fn serve_submit_status_result_shutdown() {
     let (stdout, _, ok) = scalana(&["result", "--addr", &addr, &job]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("\"report\""), "{stdout}");
+
+    // The program is now addressable by content hash: submit new scales
+    // without re-sending the source. The per-scale cache covers 2 and 4,
+    // so only scale 8 is simulated.
+    let (stdout, stderr, ok) = scalana(&[
+        "submit",
+        "--addr",
+        &addr,
+        "--program-hash",
+        &program_hash,
+        "--scales",
+        "2,4,8",
+        "--wait",
+    ]);
+    assert!(ok, "program-hash submit failed: {stdout}{stderr}");
+    assert!(stdout.contains("\"status\":\"done\""), "{stdout}");
+    let (stdout, _, ok) = scalana(&["status", "--addr", &addr]);
+    assert!(ok && stdout.contains("\"scale_hits\":2"), "{stdout}");
+    assert!(stdout.contains("\"scale_misses\":3"), "{stdout}");
+
+    // An unknown hash is a clean 404, not a parse error.
+    let (_, stderr, ok) = scalana(&[
+        "submit",
+        "--addr",
+        &addr,
+        "--program-hash",
+        "ffffffffffffffff",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("404"), "{stderr}");
 
     // Graceful shutdown: the daemon exits on its own.
     let (_, _, ok) = scalana(&["shutdown", "--addr", &addr]);
@@ -236,7 +273,17 @@ fn bad_usage_reports_errors() {
 
     let (_, stderr, ok) = scalana(&["submit"]);
     assert!(!ok);
-    assert!(stderr.contains("need <file.mmpi> or --app"), "{stderr}");
+    assert!(
+        stderr.contains("need exactly one of <file.mmpi>"),
+        "{stderr}"
+    );
+
+    let (_, stderr, ok) = scalana(&["submit", "--app", "CG", "--program-hash", "abcd"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("need exactly one of <file.mmpi>"),
+        "{stderr}"
+    );
 
     let (_, stderr, ok) = scalana(&["result", "--addr", "127.0.0.1:1"]);
     assert!(!ok);

@@ -63,6 +63,14 @@ STATS="$("$BIN" status --addr "$ADDR")"
 echo "$STATS" | grep -q '"cache_hits":1' || { echo "stats disagree about the hit: $STATS" >&2; exit 1; }
 echo "$STATS" | grep -q '"executed":1' || { echo "cache hit re-ran the simulator: $STATS" >&2; exit 1; }
 
+echo "==> overlapping-scales submission (must hit the per-scale cache)"
+# Scales 2 and 4 were profiled by the first job; only 8 may simulate.
+THIRD="$("$BIN" submit --addr "$ADDR" "$WORKDIR/demo.mmpi" --scales 2,4,8 --wait)"
+echo "$THIRD" | grep -q '"status":"done"' || { echo "overlap job did not finish: $THIRD" >&2; exit 1; }
+STATS="$("$BIN" status --addr "$ADDR")"
+echo "$STATS" | grep -q '"scale_hits":2' || { echo "overlap submission missed the per-scale cache: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -q '"scale_misses":3' || { echo "unexpected per-scale miss count: $STATS" >&2; exit 1; }
+
 JOB="$(echo "$SECOND" | sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p')"
 "$BIN" result --addr "$ADDR" "$JOB" | grep -q '"report"' \
     || { echo "result endpoint did not serve the cached report" >&2; exit 1; }

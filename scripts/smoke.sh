@@ -24,12 +24,12 @@ cargo bench --no-run --quiet
 echo "==> service smoke (serve / submit twice / cache hit)"
 scripts/service_smoke.sh target/release/scalana
 
-echo "==> perfgate --quick (all five bench suites, gated vs BENCH_pr3.json)"
+echo "==> perfgate --quick (all six bench suites, gated vs BENCH_pr4.json)"
 mkdir -p target/perfgate
 # Generous factor (matching CI): the committed medians come from one
 # specific machine; the gate is for panics and order-of-magnitude
 # regressions, not machine variance.
 PERFGATE_FACTOR="${PERFGATE_FACTOR:-25}" cargo run --release -q -p scalana-bench --bin perfgate -- \
-  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr3.json
+  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr4.json
 
 echo "smoke: all green"

@@ -92,6 +92,26 @@ impl Bencher {
             self.samples.push(start.elapsed());
         }
     }
+
+    /// Time `routine` only, running `setup` before every sample outside
+    /// the measurement (mirrors real criterion's `iter_with_setup`).
+    /// This is how a benchmark measures a *warm* path: the setup primes
+    /// per-iteration state (e.g. pre-submits the overlapping job) and
+    /// the clock covers just the operation under test.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
 }
 
 /// A named collection of related benchmarks.
