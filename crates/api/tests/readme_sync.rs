@@ -1,0 +1,79 @@
+//! The README's `/v1` API reference must stay in sync with this crate:
+//! every endpoint the contract publishes, every DTO named in it, and
+//! every error code a handler can answer with has to appear in the
+//! repository README — the human-facing mirror of these doc comments.
+
+use scalana_api::{paths, ErrorCode};
+
+const README: &str = include_str!("../../../README.md");
+
+#[test]
+fn readme_documents_every_endpoint() {
+    for path in [
+        paths::JOBS,
+        paths::STATS,
+        paths::HEALTHZ,
+        paths::SHUTDOWN,
+        paths::DIFF,
+    ] {
+        assert!(README.contains(path), "README is missing endpoint `{path}`");
+    }
+    // Parameterized endpoints appear with their `<id>` placeholders.
+    for pattern in [
+        "/v1/jobs/<id>",
+        "/v1/jobs/<id>/wait",
+        "/v1/jobs/<id>/result",
+        "/v1/jobs/<id>/profile/<p>",
+    ] {
+        assert!(README.contains(pattern), "README is missing `{pattern}`");
+    }
+}
+
+#[test]
+fn readme_documents_the_dtos_and_error_codes() {
+    for dto in [
+        "SubmitRequest",
+        "SubmitAck",
+        "JobView",
+        "JobPage",
+        "ListQuery",
+        "WaitQuery",
+        "DiffRequest",
+        "ResultView",
+        "StatsResponse",
+    ] {
+        assert!(README.contains(dto), "README is missing DTO `{dto}`");
+    }
+    // Every code that request handling can produce. (Codes only the
+    // transport layer emits — malformed framing, connection shedding —
+    // are documented in the crate, not the endpoint table.)
+    for code in [
+        ErrorCode::BadJson,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownField,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::NotFound,
+        ErrorCode::UnknownJob,
+        ErrorCode::UnknownApp,
+        ErrorCode::UnknownProgramHash,
+        ErrorCode::JobPending,
+        ErrorCode::JobFailed,
+        ErrorCode::QueueFull,
+        ErrorCode::Timeout,
+        ErrorCode::Evicted,
+    ] {
+        assert!(
+            README.contains(code.as_str()),
+            "README is missing error code `{}`",
+            code.as_str()
+        );
+    }
+    assert!(
+        README.contains("Deprecation"),
+        "README must state the deprecation policy"
+    );
+    assert!(
+        README.contains("308"),
+        "README must mention the unversioned-path redirects"
+    );
+}

@@ -5,19 +5,20 @@
 //! in-process, collects per-benchmark medians, and writes one
 //! `BENCH_*.json` trajectory point: current medians for all six suites,
 //! the cache hit/miss submission latencies, the overlapping-scales
-//! warm/cold speedup, multi-client jobs/sec with p50/p99 latency, and
-//! speedups against the committed pre-refactor baseline. CI runs it in
-//! `--quick` mode gated against the committed `BENCH_pr4.json`
-//! (`BENCH_pr3.json` remains as the previous trajectory point), so a
+//! warm/cold speedup, the long-poll vs polling wait latency,
+//! multi-client jobs/sec with p50/p99 latency, and speedups against the
+//! committed pre-refactor baseline. CI runs it in `--quick` mode gated
+//! against the committed `BENCH_pr5.json` (`BENCH_pr3.json` and
+//! `BENCH_pr4.json` remain as earlier trajectory points), so a
 //! panicking bench or a wild regression (default: >10× the recorded
 //! median, tunable with `PERFGATE_FACTOR`, machine differences
 //! included) fails the build.
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr4.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr5.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr4.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr5.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -75,7 +76,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr4.json".to_string(),
+        out: "BENCH_pr5.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -187,6 +188,21 @@ fn main() -> ExitCode {
     let overlap_cold = median_of(throughput_results, "throughput/overlap_cold");
     let overlap_warm = median_of(throughput_results, "throughput/overlap_warm");
     let redetect_warm = median_of(throughput_results, "throughput/redetect_warm");
+
+    // Wait latency: server-side long-poll vs the PR 4 backoff-polling
+    // client, measured *paired* (the two strategies interleaved against
+    // one daemon) so background-load drift cannot bias one side — the
+    // sequential Criterion cases are kept for eyeballing but job
+    // duration noise across batches can exceed the polling overhead.
+    eprintln!("perfgate: measuring paired wait latency (long-poll vs PR4 backoff polling)");
+    let wait = scalana_bench::suites::measure_wait(if args.quick { 6 } else { 12 });
+    let wait_speedup = if wait.longpoll_median_ns > 0 {
+        Json::Num(
+            (wait.poll_median_ns as f64 / wait.longpoll_median_ns as f64 * 100.0).round() / 100.0,
+        )
+    } else {
+        Json::Null
+    };
     let overlap_speedup = match (overlap_cold, overlap_warm) {
         (Some(cold), Some(warm)) if warm > 0 => {
             Json::Num((cold as f64 / warm as f64 * 100.0).round() / 100.0)
@@ -216,7 +232,7 @@ fn main() -> ExitCode {
         .collect();
 
     let doc = Json::obj(vec![
-        ("pr", "pr4".into()),
+        ("pr", "pr5".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -263,6 +279,15 @@ fn main() -> ExitCode {
                     redetect_warm.map_or(Json::Null, Json::from),
                 ),
                 ("overlap_speedup", overlap_speedup),
+            ]),
+        ),
+        (
+            "wait",
+            Json::obj(vec![
+                ("paired_samples", wait.samples.into()),
+                ("longpoll_median_ns", wait.longpoll_median_ns.into()),
+                ("poll_median_ns", wait.poll_median_ns.into()),
+                ("longpoll_speedup", wait_speedup),
             ]),
         ),
         ("client_throughput", Json::Arr(client_metrics)),

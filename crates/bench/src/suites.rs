@@ -7,6 +7,7 @@
 //! runs.
 
 use criterion::{BenchmarkId, Criterion};
+use scalana_api::paths;
 use scalana_core::{analyze_app, ScalAnaConfig};
 use scalana_detect::{detect, DetectConfig};
 use scalana_graph::{build_psg, Ppg, PsgOptions};
@@ -321,6 +322,12 @@ fn pairs_body(pairs: Vec<(&str, Json)>) -> String {
 /// - `clients_8_round` — 8 concurrent keep-alive clients, one unique
 ///   job each, measured as one round; together with the recorded
 ///   jobs/sec this tracks multi-client scaling.
+/// - `wait_longpoll` vs `wait_poll` — latency from wait start to
+///   observed completion of a fresh fast job, through the server-side
+///   long-poll (`GET /v1/jobs/<id>/wait`) and through the PR 4
+///   client's exponential-backoff status polling (reproduced in
+///   `wait_pr4_backoff`). The gap is the poll-cadence quantization
+///   the long-poll removes.
 pub fn throughput(c: &mut Criterion) {
     let addr = boot_daemon(4);
     let mut group = c.benchmark_group("throughput");
@@ -389,8 +396,162 @@ pub fn throughput(c: &mut Criterion) {
         });
     }
 
+    // Wait-for-completion latency, long-poll vs the polling fallback.
+    // Each iteration submits a unique fast job and measures from wait
+    // start to observed completion: the job finishes *during* the wait,
+    // so the polling client pays its sleep-cadence quantization while
+    // the long-poll server answers at the completion transition.
+    {
+        let addr = addr.clone();
+        let unique = &unique;
+        group.bench_function("wait_longpoll", move |b| {
+            let mut submit_conn = Conn::connect(&addr).unwrap();
+            let mut wait_conn = Conn::connect(&addr).unwrap();
+            b.iter_with_setup(
+                || submit_fast_job(&mut submit_conn, unique),
+                |key| {
+                    let doc = wait_conn
+                        .wait_for_job(&key, Duration::from_secs(60))
+                        .unwrap();
+                    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+                },
+            );
+        });
+    }
+    {
+        let addr = addr.clone();
+        let unique = &unique;
+        group.bench_function("wait_poll", move |b| {
+            let mut submit_conn = Conn::connect(&addr).unwrap();
+            let mut wait_conn = Conn::connect(&addr).unwrap();
+            b.iter_with_setup(
+                || submit_fast_job(&mut submit_conn, unique),
+                |key| {
+                    let doc = wait_pr4_backoff(&mut wait_conn, &key).unwrap();
+                    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+                },
+            );
+        });
+    }
+
     group.finish();
     let _ = client::request(&addr, "POST", "/shutdown", "");
+}
+
+/// The PR 4 client's wait loop, verbatim: status polls with
+/// exponential backoff, 200µs doubling to a 25ms cap, on a keep-alive
+/// connection. Kept here as the honest comparison baseline for
+/// `wait_longpoll` — the shipped client no longer contains it (it
+/// long-polls, with a fixed-cadence fallback for pre-`/v1` servers).
+fn wait_pr4_backoff(conn: &mut Conn, key: &str) -> Result<Json, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut backoff = Duration::from_micros(200);
+    let cap = Duration::from_millis(25);
+    loop {
+        let doc = conn.request_json("GET", &format!("/jobs/{key}"), "")?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("queued") | Some("running") => {}
+            Some(_) => return Ok(doc),
+            None => return Err("status response missing `status`".to_string()),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {key} still pending"));
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(cap);
+    }
+}
+
+/// Submit one never-seen fast job (no wait); returns its key. Sized to
+/// execute in a few milliseconds: long enough that the wait reliably
+/// begins *before* the job completes and that thread-wakeup jitter
+/// (~1 ms on a busy box) does not dominate, short enough that the
+/// backoff poller's late intervals (3–13 ms by then) are the visible
+/// cost on the polling side.
+fn submit_fast_job(conn: &mut Conn, unique: &AtomicU64) -> String {
+    let work = 50_000 + unique.fetch_add(1, Ordering::Relaxed);
+    let body = Json::obj(vec![
+        (
+            "source",
+            format!(
+                "param WORK = {work};\n\
+                 fn main() {{\n\
+                     for it in 0 .. 40 {{\n\
+                         comp(cycles = WORK / nprocs);\n\
+                         barrier();\n\
+                         allreduce(bytes = 8);\n\
+                     }}\n\
+                 }}"
+            )
+            .into(),
+        ),
+        ("name", "wait.mmpi".into()),
+        ("scales", vec![2usize, 384].into()),
+    ])
+    .render();
+    let response = conn.request_json("POST", paths::JOBS, &body).unwrap();
+    response.get("job").unwrap().as_str().unwrap().to_string()
+}
+
+/// Paired wait-latency comparison for the `BENCH_*.json` trajectory.
+#[derive(Debug, Clone)]
+pub struct WaitMetrics {
+    /// Jobs measured per strategy.
+    pub samples: usize,
+    /// Median submit→completion-observed latency via the server-side
+    /// long-poll, nanoseconds.
+    pub longpoll_median_ns: u64,
+    /// Same, via the PR 4 client's exponential-backoff polling.
+    pub poll_median_ns: u64,
+}
+
+/// Measure both wait strategies **interleaved against one daemon** —
+/// one long-poll job, one backoff-poll job, alternating — so that
+/// machine-load drift over the run hits both strategies alike. The
+/// sequential Criterion cases above are kept for `cargo bench`
+/// eyeballing, but job duration varies by milliseconds with background
+/// load, so batch-vs-batch medians can swamp the ~poll-interval effect
+/// this exists to measure; the paired run is the recorded comparison.
+pub fn measure_wait(samples: usize) -> WaitMetrics {
+    let addr = boot_daemon(4);
+    let unique = AtomicU64::new(0);
+    let mut submit_conn = Conn::connect(&addr).unwrap();
+    let mut wait_conn = Conn::connect(&addr).unwrap();
+    // One untimed warmup pair.
+    let key = submit_fast_job(&mut submit_conn, &unique);
+    wait_conn
+        .wait_for_job(&key, Duration::from_secs(60))
+        .unwrap();
+    let key = submit_fast_job(&mut submit_conn, &unique);
+    wait_pr4_backoff(&mut wait_conn, &key).unwrap();
+
+    let mut longpoll = Vec::with_capacity(samples);
+    let mut poll = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let key = submit_fast_job(&mut submit_conn, &unique);
+        let started = Instant::now();
+        let doc = wait_conn
+            .wait_for_job(&key, Duration::from_secs(60))
+            .unwrap();
+        longpoll.push(started.elapsed());
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+
+        let key = submit_fast_job(&mut submit_conn, &unique);
+        let started = Instant::now();
+        let doc = wait_pr4_backoff(&mut wait_conn, &key).unwrap();
+        poll.push(started.elapsed());
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    }
+    let _ = client::request(&addr, "POST", "/shutdown", "");
+    let median = |mut v: Vec<Duration>| -> u64 {
+        v.sort();
+        v[v.len() / 2].as_nanos() as u64
+    };
+    WaitMetrics {
+        samples,
+        longpoll_median_ns: median(longpoll),
+        poll_median_ns: median(poll),
+    }
 }
 
 /// One round: `clients` threads, each submitting `jobs_per_client`

@@ -1,0 +1,255 @@
+//! Fluent construction of analyses — the library-facing facade.
+//!
+//! The positional `analyze(program, scales, config)` family forced
+//! every caller to materialize a full [`ScalAnaConfig`] even to turn a
+//! single knob. The builder reads in the order one thinks:
+//!
+//! ```
+//! use scalana_apps::{cg, CgOptions};
+//! use scalana_core::Analysis;
+//!
+//! let app = cg::build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
+//! let analysis = Analysis::builder(&app)
+//!     .scales([2, 4, 8])
+//!     .abnorm_threshold(1.8)
+//!     .top_k(3)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(analysis.runs.len(), 3);
+//! ```
+//!
+//! A builder targets either a bare [`Program`] or a built-in [`App`];
+//! an app contributes its recommended platform model unless
+//! [`machine`](AnalysisBuilder::machine) pins one explicitly — exactly
+//! the `analyze` vs `analyze_app` split of the old free functions,
+//! which survive as thin wrappers over this builder and therefore
+//! produce byte-identical output.
+
+use crate::pipeline::{assemble, profile_runs, Analysis, ScalAnaConfig};
+use scalana_apps::App;
+use scalana_lang::Program;
+use scalana_mpisim::{MachineConfig, SimError};
+use scalana_profile::ProfilerConfig;
+
+/// What a builder analyzes: a bare program, or a built-in app carrying
+/// its recommended platform model.
+#[derive(Debug, Clone, Copy)]
+pub enum AnalysisTarget<'a> {
+    /// A parsed MiniMPI program (simulated on the configured machine).
+    Program(&'a Program),
+    /// A built-in workload (its machine model applies unless pinned).
+    App(&'a App),
+}
+
+impl<'a> From<&'a Program> for AnalysisTarget<'a> {
+    fn from(program: &'a Program) -> AnalysisTarget<'a> {
+        AnalysisTarget::Program(program)
+    }
+}
+
+impl<'a> From<&'a App> for AnalysisTarget<'a> {
+    fn from(app: &'a App) -> AnalysisTarget<'a> {
+        AnalysisTarget::App(app)
+    }
+}
+
+/// Fluent analysis configuration; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct AnalysisBuilder<'a> {
+    target: AnalysisTarget<'a>,
+    scales: Vec<usize>,
+    config: ScalAnaConfig,
+    /// Set once [`machine`](AnalysisBuilder::machine) is called: an app
+    /// target then no longer substitutes its recommended model.
+    machine_pinned: bool,
+}
+
+impl Analysis {
+    /// Start building an analysis of a [`Program`] or [`App`].
+    pub fn builder<'a>(target: impl Into<AnalysisTarget<'a>>) -> AnalysisBuilder<'a> {
+        AnalysisBuilder {
+            target: target.into(),
+            scales: vec![4, 8, 16, 32],
+            config: ScalAnaConfig::default(),
+            machine_pinned: false,
+        }
+    }
+}
+
+impl<'a> AnalysisBuilder<'a> {
+    /// The process counts to profile at (ascending; default
+    /// `[4, 8, 16, 32]`).
+    pub fn scales(mut self, scales: impl IntoIterator<Item = usize>) -> Self {
+        self.scales = scales.into_iter().collect();
+        self
+    }
+
+    /// Replace the whole configuration (knob methods called afterwards
+    /// still apply on top). An [`App`] target keeps substituting its
+    /// machine model unless [`machine`](AnalysisBuilder::machine) pins
+    /// one.
+    pub fn config(mut self, config: ScalAnaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Pin the platform model, overriding even an app's recommended
+    /// one.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.config.machine = machine;
+        self.machine_pinned = true;
+        self
+    }
+
+    /// Detection threshold `AbnormThd` (paper §IV-C).
+    pub fn abnorm_threshold(mut self, threshold: f64) -> Self {
+        self.config.detect.abnorm_thd = threshold;
+        self
+    }
+
+    /// How many root causes to report.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.config.detect.top_k = top_k;
+        self
+    }
+
+    /// Static-analysis loop unrolling bound `MaxLoopDepth`.
+    pub fn max_loop_depth(mut self, depth: u32) -> Self {
+        self.config.psg.max_loop_depth = depth;
+        self
+    }
+
+    /// Toggle PSG contraction (on by default).
+    pub fn contract(mut self, contract: bool) -> Self {
+        self.config.psg.contract = contract;
+        self
+    }
+
+    /// Replace the profiler configuration (sampling, compression, ...).
+    pub fn profiler(mut self, profiler: ProfilerConfig) -> Self {
+        self.config.profiler = profiler;
+        self
+    }
+
+    /// Override one program parameter for every run.
+    pub fn param(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.config.params.insert(name.into(), value);
+        self
+    }
+
+    /// The effective `(program, config)` pair this builder will run:
+    /// an app target substitutes its recommended machine model unless
+    /// one was pinned.
+    fn resolve(&self) -> (&'a Program, ScalAnaConfig) {
+        match self.target {
+            AnalysisTarget::Program(program) => (program, self.config.clone()),
+            AnalysisTarget::App(app) => {
+                let mut config = self.config.clone();
+                if !self.machine_pinned {
+                    config.machine = app.machine.clone();
+                }
+                (&app.program, config)
+            }
+        }
+    }
+
+    /// Run the full pipeline: `ScalAna-static` + indirect-call
+    /// discovery, one profiled run per scale (in parallel), then
+    /// `ScalAna-detect`.
+    pub fn run(self) -> Result<Analysis, SimError> {
+        let (program, config) = self.resolve();
+        Ok(assemble(
+            profile_runs(program, &self.scales, &config)?,
+            &config,
+        ))
+    }
+
+    /// Uninstrumented speedups over the configured scales (first scale
+    /// is the baseline) — the §VI-D before/after-fix curves.
+    pub fn speedup_curve(self) -> Result<Vec<(usize, f64)>, SimError> {
+        let (program, config) = self.resolve();
+        crate::pipeline::speedup_curve(program, &self.scales, &config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze, analyze_app};
+    use scalana_apps::{cg, CgOptions};
+
+    fn small_cg() -> App {
+        cg::build(&CgOptions {
+            na: 20_000,
+            iterations: 3,
+            delay_rank: None,
+        })
+    }
+
+    #[test]
+    fn builder_matches_free_functions_byte_for_byte() {
+        let app = small_cg();
+        let built = Analysis::builder(&app).scales([2, 4]).run().unwrap();
+        let legacy = analyze_app(&app, &[2, 4], &ScalAnaConfig::default()).unwrap();
+        assert_eq!(built.report.render(), legacy.report.render());
+        assert_eq!(built.runs.len(), legacy.runs.len());
+
+        // Program target: no machine substitution, same as `analyze`.
+        let built = Analysis::builder(&app.program)
+            .scales([2, 4])
+            .run()
+            .unwrap();
+        let legacy = analyze(&app.program, &[2, 4], &ScalAnaConfig::default()).unwrap();
+        assert_eq!(built.report.render(), legacy.report.render());
+    }
+
+    #[test]
+    fn knob_methods_map_onto_the_config() {
+        let app = small_cg();
+        let builder = Analysis::builder(&app)
+            .scales([2, 4, 8])
+            .abnorm_threshold(1.75)
+            .top_k(7)
+            .max_loop_depth(3)
+            .contract(false)
+            .param("N", 42);
+        assert_eq!(builder.scales, vec![2, 4, 8]);
+        assert!((builder.config.detect.abnorm_thd - 1.75).abs() < 1e-12);
+        assert_eq!(builder.config.detect.top_k, 7);
+        assert_eq!(builder.config.psg.max_loop_depth, 3);
+        assert!(!builder.config.psg.contract);
+        assert_eq!(builder.config.params["N"], 42);
+
+        // `config()` replaces wholesale; later knobs still apply.
+        let builder = Analysis::builder(&app.program)
+            .config(ScalAnaConfig::default())
+            .top_k(2);
+        assert_eq!(builder.config.detect.top_k, 2);
+    }
+
+    #[test]
+    fn app_machine_applies_unless_pinned() {
+        let app = small_cg();
+        // Unpinned: the app's machine model, exactly like analyze_app.
+        let (_, config) = Analysis::builder(&app).resolve();
+        assert_eq!(
+            format!("{:?}", config.machine),
+            format!("{:?}", app.machine)
+        );
+        // Pinned: the explicit model wins, even against an app.
+        let custom = MachineConfig::default();
+        let (_, config) = Analysis::builder(&app).machine(custom.clone()).resolve();
+        assert_eq!(format!("{:?}", config.machine), format!("{custom:?}"));
+    }
+
+    #[test]
+    fn speedup_curve_runs_through_the_builder() {
+        let app = small_cg();
+        let curve = Analysis::builder(&app)
+            .scales([2, 4])
+            .speedup_curve()
+            .unwrap();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], (2, 1.0));
+    }
+}

@@ -16,17 +16,23 @@
 //!
 //! ```
 //! use scalana_apps::{cg, CgOptions};
-//! use scalana_core::{analyze_app, ScalAnaConfig};
+//! use scalana_core::Analysis;
 //!
 //! let app = cg::build(&CgOptions { na: 20_000, iterations: 3, delay_rank: None });
-//! let analysis = analyze_app(&app, &[2, 4, 8], &ScalAnaConfig::default()).unwrap();
+//! let analysis = Analysis::builder(&app).scales([2, 4, 8]).run().unwrap();
 //! assert_eq!(analysis.runs.len(), 3);
 //! println!("{}", analysis.report.render());
 //! ```
+//!
+//! [`Analysis::builder`] is the primary entry point; the positional
+//! `analyze`/`analyze_app` free functions remain as thin wrappers over
+//! it (byte-identical output).
 
+pub mod builder;
 pub mod pipeline;
 pub mod viewer;
 
+pub use builder::{AnalysisBuilder, AnalysisTarget};
 pub use pipeline::{
     analyze, analyze_app, assemble, profile_one_scale, profile_runs, refined_psg, speedup_curve,
     Analysis, ProfiledRuns, RunSummary, ScalAnaConfig,

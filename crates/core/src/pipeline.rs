@@ -239,23 +239,35 @@ pub fn assemble(runs: ProfiledRuns, config: &ScalAnaConfig) -> Analysis {
 }
 
 /// Run the full pipeline on a program over ascending process counts.
+///
+/// Thin wrapper over [`Analysis::builder`] — the fluent API is the
+/// primary entry point; this positional form is kept for existing
+/// callers and produces byte-identical output.
 pub fn analyze(
     program: &Program,
     scales: &[usize],
     config: &ScalAnaConfig,
 ) -> Result<Analysis, SimError> {
-    Ok(assemble(profile_runs(program, scales, config)?, config))
+    Analysis::builder(program)
+        .config(config.clone())
+        .scales(scales.iter().copied())
+        .run()
 }
 
 /// Analyze an [`App`] using its recommended platform model.
+///
+/// Thin wrapper over [`Analysis::builder`] with an app target (which
+/// substitutes the app's machine model, exactly as this function
+/// always did).
 pub fn analyze_app(
     app: &App,
     scales: &[usize],
     config: &ScalAnaConfig,
 ) -> Result<Analysis, SimError> {
-    let mut config = config.clone();
-    config.machine = app.machine.clone();
-    analyze(&app.program, scales, &config)
+    Analysis::builder(app)
+        .config(config.clone())
+        .scales(scales.iter().copied())
+        .run()
 }
 
 /// Uninstrumented speedups over ascending scales (first scale is the

@@ -10,7 +10,7 @@
 //!
 //! The flattened tables cost `ctx_count × next_node_id` slots even
 //! though each context only owns one function's statements, so builds
-//! that would exceed [`DENSE_SLOT_LIMIT`] (pathologically large
+//! that would exceed `DENSE_SLOT_LIMIT` (pathologically large
 //! submitted programs) fall back to a hashed snapshot instead of
 //! allocating gigabytes.
 //!

@@ -33,7 +33,7 @@
 //! queue-front pop instead of a scan over every message ever delivered;
 //! wildcard receives fold the (few) queue candidates in deposit order,
 //! reproducing the historical scan's tie-breaks exactly. Blocked waits
-//! record *which* requests they cover ([`ReqWait`]) instead of cloning
+//! record *which* requests they cover (`ReqWait`) instead of cloning
 //! request-id vectors, program parameters are interned once per run
 //! ([`ParamTable`]), and statement attribution goes through a dense
 //! [`AttrIndex`] snapshot rather than hash-map lookups per statement.

@@ -12,22 +12,28 @@
 //!                  [--param NAME=V]... [--wait]
 //! scalana status   [--addr A] [JOB]
 //! scalana result   [--addr A] JOB
+//! scalana diff     <a.mmpi> <b.mmpi> [--addr A] [--scales ...] [--scales-b ...]
 //! scalana shutdown [--addr A]
 //! ```
 //!
 //! `static` corresponds to `ScalAna-static` (PSG construction + stats),
 //! `analyze` chains `ScalAna-prof` and `ScalAna-detect` over the given
-//! scales and renders the `ScalAna-viewer` report with code snippets
-//! (or, with `--json`, the machine-readable document the service also
-//! serves). `serve` starts the analysis daemon; `submit`/`status`/
-//! `result` are its client, printing the daemon's JSON responses.
+//! scales (through [`scalana_core`]'s `AnalysisBuilder`) and renders the
+//! `ScalAna-viewer` report with code snippets (or, with `--json`, the
+//! machine-readable document the service also serves). `serve` starts
+//! the analysis daemon; `submit`/`status`/`result`/`diff` are its
+//! client, speaking the `/v1` protocol from [`scalana_api`] and printing
+//! the daemon's JSON responses. `submit --wait` and `diff` use the
+//! server-side long-poll, so completions are observed at the
+//! transition.
 //!
 //! Every submit response carries a `program_hash`; later submissions of
 //! the same program (new scales, new thresholds) can pass `--program-hash
 //! HASH` instead of re-sending the source — the daemon resolves it
 //! against its program index and answers 404 if it has been evicted.
 
-use scalana_core::{analyze_app, pipeline, viewer, ScalAnaConfig};
+use scalana_api::{paths, DiffRequest, ProgramRef, SubmitRequest};
+use scalana_core::{viewer, Analysis, ScalAnaConfig};
 use scalana_graph::{build_psg, PsgOptions};
 use scalana_lang::parse_program;
 use scalana_service::json::Json;
@@ -59,6 +65,8 @@ const USAGE: &str = "usage:
                    [--param NAME=VALUE]... [--wait]
   scalana status   [--addr ADDR] [JOB]
   scalana result   [--addr ADDR] JOB
+  scalana diff     <a.mmpi> <b.mmpi> [--addr ADDR] [--scales 4,8,16,32]
+                   [--scales-b ...]
   scalana shutdown [--addr ADDR]";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -72,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("result") => cmd_result(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".to_string()),
@@ -163,7 +172,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         }
     }
     let program = load_program(file)?;
-    let analysis = pipeline::analyze(&program, &scales, &config).map_err(|e| e.to_string())?;
+    let analysis = Analysis::builder(&program)
+        .config(config)
+        .scales(scales.iter().copied())
+        .run()
+        .map_err(|e| e.to_string())?;
     if json {
         println!("{}", jsonify::analysis_to_json(&analysis).render());
         return Ok(());
@@ -187,7 +200,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 /// Speedup of each run against the smallest scale, with the ideal linear
 /// speedup and the resulting parallel efficiency alongside (the math
 /// lives in `scalana_detect::summarize`, shared with the scaling report).
-fn render_speedup_table(runs: &[pipeline::RunSummary]) -> String {
+fn render_speedup_table(runs: &[scalana_core::RunSummary]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let Some(base) = runs.first() else {
@@ -237,8 +250,10 @@ fn cmd_apps(args: &[String]) -> Result<(), String> {
                 let v = args.get(pos + 1).ok_or("--scales needs a value")?;
                 scales = parse_scales(v)?;
             }
-            let analysis =
-                analyze_app(&app, &scales, &ScalAnaConfig::default()).map_err(|e| e.to_string())?;
+            let analysis = Analysis::builder(&app)
+                .scales(scales.iter().copied())
+                .run()
+                .map_err(|e| e.to_string())?;
             println!("{}", analysis.report.render());
             if let Some(expected) = &app.expected_root_cause {
                 let verdict = if analysis.report.found_at(expected) {
@@ -310,36 +325,48 @@ fn take_addr(args: &[String]) -> Result<(String, Vec<String>), String> {
     Ok((addr, rest))
 }
 
+/// Load a program file into a [`ProgramRef::Source`] (the basename
+/// becomes the `file:line` prefix in reports).
+fn source_ref(path: &str) -> Result<ProgramRef, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("inline.mmpi");
+    Ok(ProgramRef::Source {
+        name: name.to_string(),
+        text,
+    })
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_addr(args)?;
     let mut file: Option<String> = None;
-    let mut pairs: Vec<(&str, Json)> = Vec::new();
-    let mut params: Vec<(String, Json)> = Vec::new();
+    let mut app: Option<String> = None;
+    let mut hash: Option<String> = None;
+    let mut scales: Option<Vec<usize>> = None;
+    let mut abnorm_thd: Option<f64> = None;
+    let mut top: Option<usize> = None;
+    let mut params: Vec<(String, i64)> = Vec::new();
     let mut wait = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--app" => {
-                let name = it.next().ok_or("--app needs a NAME")?;
-                pairs.push(("app", name.as_str().into()));
-            }
+            "--app" => app = Some(it.next().ok_or("--app needs a NAME")?.clone()),
             "--program-hash" => {
-                let hash = it.next().ok_or("--program-hash needs a HASH")?;
-                pairs.push(("program_hash", hash.as_str().into()));
+                hash = Some(it.next().ok_or("--program-hash needs a HASH")?.clone());
             }
             "--scales" => {
                 let v = it.next().ok_or("--scales needs a value")?;
-                pairs.push(("scales", parse_scales(v)?.into()));
+                scales = Some(parse_scales(v)?);
             }
             "--abnorm-thd" => {
                 let v = it.next().ok_or("--abnorm-thd needs a value")?;
-                let thd: f64 = v.parse().map_err(|e| format!("bad --abnorm-thd: {e}"))?;
-                pairs.push(("abnorm_thd", thd.into()));
+                abnorm_thd = Some(v.parse().map_err(|e| format!("bad --abnorm-thd: {e}"))?);
             }
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
-                let top: i64 = v.parse().map_err(|e| format!("bad --top: {e}"))?;
-                pairs.push(("top", top.into()));
+                top = Some(v.parse().map_err(|e| format!("bad --top: {e}"))?);
             }
             "--param" => {
                 let v = it.next().ok_or("--param needs NAME=VALUE")?;
@@ -349,7 +376,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 let value: i64 = value
                     .parse()
                     .map_err(|e| format!("bad --param value: {e}"))?;
-                params.push((name.to_string(), value.into()));
+                params.push((name.to_string(), value));
             }
             "--wait" => wait = true,
             other if other.starts_with("--") => {
@@ -362,31 +389,26 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let program_flags = pairs
-        .iter()
-        .filter(|(k, _)| *k == "app" || *k == "program_hash")
-        .count()
-        + usize::from(file.is_some());
-    if program_flags != 1 {
-        return Err(
-            "submit: need exactly one of <file.mmpi>, --app NAME, or --program-hash HASH"
-                .to_string(),
-        );
-    }
-    if let Some(path) = &file {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let name = std::path::Path::new(path)
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("inline.mmpi");
-        pairs.push(("source", text.into()));
-        pairs.push(("name", name.into()));
-    }
-    if !params.is_empty() {
-        pairs.push(("params", Json::Obj(params)));
-    }
-    let body = Json::obj(pairs).render();
-    let response = client::request_json(&addr, "POST", "/jobs", &body)?;
+    let program = match (file, app, hash) {
+        (Some(path), None, None) => source_ref(&path)?,
+        (None, Some(name), None) => ProgramRef::App(name),
+        (None, None, Some(hash)) => ProgramRef::Hash(hash),
+        _ => {
+            return Err(
+                "submit: need exactly one of <file.mmpi>, --app NAME, or --program-hash HASH"
+                    .to_string(),
+            )
+        }
+    };
+    let request = SubmitRequest {
+        program,
+        scales,
+        abnorm_thd,
+        top,
+        max_loop_depth: None,
+        params,
+    };
+    let response = client::request_json(&addr, "POST", paths::JOBS, &request.to_json().render())?;
     println!("{}", response.render());
     if wait {
         let key = response
@@ -406,11 +428,57 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `scalana diff a.mmpi b.mmpi`: run (or reuse) both analyses server-side
+/// and print the structured comparison from `POST /v1/diff`.
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let mut files: Vec<String> = Vec::new();
+    let mut scales: Option<Vec<usize>> = None;
+    let mut scales_b: Option<Vec<usize>> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs a value")?;
+                scales = Some(parse_scales(v)?);
+            }
+            "--scales-b" => {
+                let v = it.next().ok_or("--scales-b needs a value")?;
+                scales_b = Some(parse_scales(v)?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("diff: unknown flag `{other}`"));
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    let [file_a, file_b] = files.as_slice() else {
+        return Err("diff: need exactly two program files <a.mmpi> <b.mmpi>".to_string());
+    };
+    let side = |path: &str, scales: Option<Vec<usize>>| -> Result<SubmitRequest, String> {
+        Ok(SubmitRequest {
+            program: source_ref(path)?,
+            scales,
+            abnorm_thd: None,
+            top: None,
+            max_loop_depth: None,
+            params: Vec::new(),
+        })
+    };
+    let request = DiffRequest {
+        a: side(file_a, scales.clone())?,
+        b: side(file_b, scales_b.or(scales))?,
+    };
+    let response = client::request_json(&addr, "POST", paths::DIFF, &request.to_json().render())?;
+    println!("{}", response.render());
+    Ok(())
+}
+
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_addr(args)?;
     let path = match rest.as_slice() {
-        [] => "/stats".to_string(),
-        [job] => format!("/jobs/{job}"),
+        [] => paths::STATS.to_string(),
+        [job] => paths::job(job),
         _ => return Err("status: at most one JOB".to_string()),
     };
     let response = client::request_json(&addr, "GET", &path, "")?;
@@ -423,7 +491,7 @@ fn cmd_result(args: &[String]) -> Result<(), String> {
     let [job] = rest.as_slice() else {
         return Err("result: need exactly one JOB".to_string());
     };
-    let response = client::request_json(&addr, "GET", &format!("/jobs/{job}/result"), "")?;
+    let response = client::request_json(&addr, "GET", &paths::job_result(job), "")?;
     println!("{}", response.render());
     Ok(())
 }
@@ -433,7 +501,7 @@ fn cmd_shutdown(args: &[String]) -> Result<(), String> {
     if !rest.is_empty() {
         return Err("shutdown: unexpected arguments".to_string());
     }
-    let response = client::request_json(&addr, "POST", "/shutdown", "")?;
+    let response = client::request_json(&addr, "POST", paths::SHUTDOWN, "")?;
     println!("{}", response.render());
     Ok(())
 }

@@ -18,7 +18,8 @@ use crate::job::{JobOutput, JobSpec};
 use crate::sharded::shard_index;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,10 +119,32 @@ pub struct StatsSnapshot {
 /// connection counts the daemon admits.
 const REGISTRY_SHARDS: usize = 16;
 
+/// One registry shard: the record map plus the condition variable that
+/// long-poll waiters ([`Registry::wait_terminal`]) park on. Terminal
+/// transitions (`complete`/`fail`) notify it; waiters re-check their
+/// record and go back to sleep on wake-ups for sibling keys (cheap, and
+/// shard-local so unrelated jobs rarely share a condvar).
+#[derive(Debug, Default)]
+struct Shard {
+    records: Mutex<HashMap<String, JobRecord>>,
+    terminal: Condvar,
+}
+
+/// Outcome of a bounded wait for a job to finish.
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// No record under that key (never submitted, or evicted).
+    Unknown,
+    /// The job reached `Done` or `Failed` within the budget.
+    Terminal(StatusView),
+    /// The budget elapsed first; the view is the still-pending state.
+    Pending(StatusView),
+}
+
 /// The shared registry.
 #[derive(Debug)]
 pub struct Registry {
-    shards: Box<[Mutex<HashMap<String, JobRecord>>]>,
+    shards: Box<[Shard]>,
     /// Keys in completion order — the FIFO eviction candidates. Guarded
     /// by its own lock; never taken while a shard lock is held.
     done_order: Mutex<VecDeque<String>>,
@@ -148,9 +171,7 @@ pub struct Registry {
 impl Default for Registry {
     fn default() -> Registry {
         Registry {
-            shards: (0..REGISTRY_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: (0..REGISTRY_SHARDS).map(|_| Shard::default()).collect(),
             done_order: Mutex::new(VecDeque::new()),
             max_results: 0,
             results_held: AtomicUsize::new(0),
@@ -195,7 +216,7 @@ impl Registry {
     }
 
     /// The shard holding `key`.
-    fn shard(&self, key: &str) -> &Mutex<HashMap<String, JobRecord>> {
+    fn shard(&self, key: &str) -> &Shard {
         &self.shards[shard_index(key, self.shards.len())]
     }
 
@@ -216,7 +237,7 @@ impl Registry {
         F: FnOnce(&str) -> bool,
     {
         let key = spec.key();
-        let mut jobs = self.shard(&key).lock().unwrap();
+        let mut jobs = self.shard(&key).records.lock().unwrap();
         match jobs.get(&key) {
             Some(record) if record.status != JobStatus::Failed => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -249,7 +270,7 @@ impl Registry {
     /// generation, which the execution must echo back to
     /// [`complete`](Registry::complete)/[`fail`](Registry::fail).
     pub fn start(&self, key: &str) -> Option<(JobSpec, u64)> {
-        let mut jobs = self.shard(key).lock().unwrap();
+        let mut jobs = self.shard(key).records.lock().unwrap();
         let record = jobs.get_mut(key)?;
         if record.status != JobStatus::Queued {
             return None;
@@ -267,7 +288,8 @@ impl Registry {
     /// submission.
     pub fn complete(&self, key: &str, generation: u64, output: JobOutput) {
         {
-            let mut jobs = self.shard(key).lock().unwrap();
+            let shard = self.shard(key);
+            let mut jobs = shard.records.lock().unwrap();
             let Some(record) = jobs.get_mut(key) else {
                 return;
             };
@@ -277,6 +299,9 @@ impl Registry {
             record.status = JobStatus::Done;
             record.result = Some(Arc::new(output));
             record.error = None;
+            // Wake long-poll waiters while still holding the shard lock
+            // (no waiter can miss the transition).
+            shard.terminal.notify_all();
         }
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.results_held.fetch_add(1, Ordering::Relaxed);
@@ -293,7 +318,7 @@ impl Registry {
             // Entries in done_order are Done for as long as they exist
             // (Done is terminal); a stale key — evicted earlier, then
             // resubmitted and completed again — is simply skipped.
-            let mut jobs = self.shard(&oldest).lock().unwrap();
+            let mut jobs = self.shard(&oldest).records.lock().unwrap();
             if jobs
                 .get(&oldest)
                 .is_some_and(|r| r.status == JobStatus::Done)
@@ -312,7 +337,8 @@ impl Registry {
     /// that a resubmission has already replaced, must not clobber a
     /// freshly queued retry with a stale error.
     pub fn fail(&self, key: &str, generation: u64, error: String) {
-        let mut jobs = self.shard(key).lock().unwrap();
+        let shard = self.shard(key);
+        let mut jobs = shard.records.lock().unwrap();
         if let Some(record) = jobs.get_mut(key) {
             if record.status != JobStatus::Running || record.generation != generation {
                 return;
@@ -320,13 +346,90 @@ impl Registry {
             record.status = JobStatus::Failed;
             record.error = Some(error);
             self.failed.fetch_add(1, Ordering::Relaxed);
+            shard.terminal.notify_all();
         }
     }
 
     /// Status of one job.
     pub fn status(&self, key: &str) -> Option<StatusView> {
-        let jobs = self.shard(key).lock().unwrap();
+        let jobs = self.shard(key).records.lock().unwrap();
         jobs.get(key).map(|record| view(key, record))
+    }
+
+    /// Block until the job reaches a terminal state or `timeout`
+    /// elapses — the server side of `GET /v1/jobs/<id>/wait`. Parks on
+    /// the shard's condvar, so a completing worker wakes the waiter at
+    /// the transition instead of the waiter discovering it a poll
+    /// interval later. Spurious wake-ups (sibling keys on the same
+    /// shard) re-check and go back to sleep with the remaining budget.
+    pub fn wait_terminal(&self, key: &str, timeout: Duration) -> WaitOutcome {
+        let deadline = Instant::now() + timeout;
+        let shard = self.shard(key);
+        let mut jobs = shard.records.lock().unwrap();
+        loop {
+            let Some(record) = jobs.get(key) else {
+                return WaitOutcome::Unknown;
+            };
+            if matches!(record.status, JobStatus::Done | JobStatus::Failed) {
+                return WaitOutcome::Terminal(view(key, record));
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return WaitOutcome::Pending(view(key, record));
+            };
+            let (guard, result) = shard.terminal.wait_timeout(jobs, remaining).unwrap();
+            jobs = guard;
+            if result.timed_out() {
+                return match jobs.get(key) {
+                    None => WaitOutcome::Unknown,
+                    Some(record)
+                        if matches!(record.status, JobStatus::Done | JobStatus::Failed) =>
+                    {
+                        WaitOutcome::Terminal(view(key, record))
+                    }
+                    Some(record) => WaitOutcome::Pending(view(key, record)),
+                };
+            }
+        }
+    }
+
+    /// One page of jobs, ordered by key: jobs in `state` (all states
+    /// when `None`) with keys strictly greater than `after`, at most
+    /// `limit` of them. The second member is the pagination cursor —
+    /// `Some(last key)` when more matching jobs exist past this page.
+    ///
+    /// Keys are content hashes, so the order is stable but arbitrary;
+    /// what matters is that it is *total*, making pagination exact even
+    /// as jobs come and go between pages (a new job either sorts after
+    /// the cursor and appears later, or sorted before it and is missed —
+    /// the standard keyset-pagination contract).
+    pub fn list(
+        &self,
+        state: Option<JobStatus>,
+        after: Option<&str>,
+        limit: usize,
+    ) -> (Vec<StatusView>, Option<String>) {
+        let mut matching: Vec<StatusView> = Vec::new();
+        for shard in self.shards.iter() {
+            let jobs = shard.records.lock().unwrap();
+            for (key, record) in jobs.iter() {
+                if state.is_some_and(|s| s != record.status) {
+                    continue;
+                }
+                if after.is_some_and(|a| key.as_str() <= a) {
+                    continue;
+                }
+                matching.push(view(key, record));
+            }
+        }
+        matching.sort_by(|a, b| a.key.cmp(&b.key));
+        let more = matching.len() > limit;
+        matching.truncate(limit);
+        let next_after = if more {
+            matching.last().map(|v| v.key.clone())
+        } else {
+            None
+        };
+        (matching, next_after)
     }
 
     /// Completed results currently held in the cache (lock-free — a
@@ -491,6 +594,104 @@ mod tests {
             accept(&registry, spec(texts[0])),
             SubmitOutcome::Fresh(_)
         ));
+    }
+
+    #[test]
+    fn wait_terminal_wakes_on_completion_and_times_out_pending() {
+        let registry = Registry::new();
+        // Unknown key: answered immediately.
+        assert!(matches!(
+            registry.wait_terminal("nope", Duration::from_secs(5)),
+            WaitOutcome::Unknown
+        ));
+
+        let key = match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Fresh(key) => key,
+            other => panic!("{other:?}"),
+        };
+        // Still queued: a short wait reports Pending, not a hang.
+        let started = std::time::Instant::now();
+        assert!(matches!(
+            registry.wait_terminal(&key, Duration::from_millis(30)),
+            WaitOutcome::Pending(v) if v.status == JobStatus::Queued
+        ));
+        assert!(started.elapsed() >= Duration::from_millis(30));
+
+        // A waiter parked on a running job is woken by complete().
+        let (job, generation) = registry.start(&key).unwrap();
+        let output = job.execute().unwrap();
+        std::thread::scope(|scope| {
+            let registry = &registry;
+            let waiter_key = key.clone();
+            let waiter = scope.spawn(move || {
+                let started = std::time::Instant::now();
+                let outcome = registry.wait_terminal(&waiter_key, Duration::from_secs(30));
+                (outcome, started.elapsed())
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            registry.complete(&key, generation, output);
+            let (outcome, waited) = waiter.join().unwrap();
+            match outcome {
+                WaitOutcome::Terminal(view) => assert_eq!(view.status, JobStatus::Done),
+                other => panic!("expected terminal, got {other:?}"),
+            }
+            assert!(
+                waited < Duration::from_secs(5),
+                "woke at completion, not at the timeout ({waited:?})"
+            );
+        });
+
+        // Terminal records answer without waiting at all.
+        assert!(matches!(
+            registry.wait_terminal(&key, Duration::ZERO),
+            WaitOutcome::Terminal(_)
+        ));
+    }
+
+    #[test]
+    fn list_paginates_in_key_order_with_state_filter() {
+        let registry = Registry::new();
+        let mut keys = Vec::new();
+        for i in 0..5 {
+            let text = format!("fn main() {{ comp(cycles = {}); }}", 10_000 + i);
+            let key = match accept(&registry, spec(&text)) {
+                SubmitOutcome::Fresh(key) => key,
+                other => panic!("{other:?}"),
+            };
+            // Complete all but the last two (left queued).
+            if i < 3 {
+                let (job, generation) = registry.start(&key).unwrap();
+                registry.complete(&key, generation, job.execute().unwrap());
+            }
+            keys.push(key);
+        }
+        keys.sort();
+
+        // Full listing: every job, ascending by key, no cursor.
+        let (all, next) = registry.list(None, None, 100);
+        assert_eq!(all.iter().map(|v| v.key.clone()).collect::<Vec<_>>(), keys);
+        assert!(next.is_none());
+
+        // Cursor walk with limit 2 covers everything exactly once.
+        let mut walked = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let (page, next) = registry.list(None, after.as_deref(), 2);
+            assert!(page.len() <= 2);
+            walked.extend(page.iter().map(|v| v.key.clone()));
+            match next {
+                Some(cursor) => after = Some(cursor),
+                None => break,
+            }
+        }
+        assert_eq!(walked, keys);
+
+        // State filter: exactly the three completed jobs.
+        let (done, _) = registry.list(Some(JobStatus::Done), None, 100);
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|v| v.status == JobStatus::Done));
+        let (queued, _) = registry.list(Some(JobStatus::Queued), None, 100);
+        assert_eq!(queued.len(), 2);
     }
 
     #[test]

@@ -1,18 +1,34 @@
 //! Tiny blocking HTTP client for the daemon.
 //!
-//! Used by the `scalana submit`/`status`/`result` subcommands, the
-//! integration tests, and the benches — the same framing code as the
-//! server ([`crate::http`]), so both ends agree by construction.
+//! Used by the `scalana submit`/`status`/`result`/`diff` subcommands,
+//! the integration tests, and the benches — the same framing code as
+//! the server ([`crate::http`]) and the same wire contract
+//! ([`scalana_api`]), so both ends agree by construction.
 //!
 //! [`Conn`] is the primary interface: one TCP connection carrying any
 //! number of sequential requests (HTTP/1.1 keep-alive), so a
-//! submit → poll → result interaction costs one TCP handshake, not one
+//! submit → wait → result interaction costs one TCP handshake, not one
 //! per round trip. The free functions remain as one-shot conveniences.
+//!
+//! Waiting for a job uses the server-side long-poll
+//! (`GET /v1/jobs/<id>/wait`): the daemon parks the request until the
+//! job completes, so the client observes completion at the transition
+//! instead of a poll interval later. Against a pre-`/v1` daemon — which
+//! answers 404 *without a structured error code* on the wait path — the
+//! client falls back to one plain fixed-cadence status poll loop.
 
-use crate::http::MessageReader;
+use crate::http::{HttpResponse, MessageReader};
 use crate::json::{parse, Json};
+use scalana_api::{paths, ApiError, ErrorCode, JobState};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// Cadence of the fallback status poll used against servers that do not
+/// serve the long-poll endpoint. One fixed short interval (in place of
+/// PR 4's 200µs→25ms exponential backoff, which the long-poll
+/// obsoleted): fast jobs on a legacy server are observed within ~1ms of
+/// completion, and the poll rides a keep-alive connection either way.
+const FALLBACK_POLL: Duration = Duration::from_millis(1);
 
 /// A persistent client connection to the daemon.
 #[derive(Debug)]
@@ -57,15 +73,16 @@ impl Conn {
         self.alive
     }
 
-    /// One request; returns `(status code, raw body)`. Reuses the
-    /// connection; after the server answers `Connection: close`,
-    /// further requests fail and the caller should reconnect.
-    pub fn request_raw(
+    /// One request; returns the full response (status, headers, body).
+    /// Reuses the connection; after the server answers
+    /// `Connection: close`, further requests fail and the caller should
+    /// reconnect.
+    pub fn request_full(
         &mut self,
         method: &str,
         path: &str,
         body: &str,
-    ) -> Result<(u16, Vec<u8>), String> {
+    ) -> Result<HttpResponse, String> {
         if !self.alive {
             return Err(format!(
                 "connection to {} was closed by the server",
@@ -74,12 +91,23 @@ impl Conn {
         }
         crate::http::write_request_conn(&self.stream, method, path, body.as_bytes(), true)
             .map_err(|e| format!("request to {} failed: {e}", self.addr))?;
-        let (code, body, keep_alive) = self
+        let response = self
             .reader
-            .next_response()
+            .next_response_full()
             .map_err(|e| format!("response from {} failed: {e}", self.addr))?;
-        self.alive = keep_alive;
-        Ok((code, body))
+        self.alive = response.keep_alive;
+        Ok(response)
+    }
+
+    /// One request; returns `(status code, raw body)`.
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let response = self.request_full(method, path, body)?;
+        Ok((response.code, response.body))
     }
 
     /// One request with a UTF-8 body.
@@ -100,29 +128,73 @@ impl Conn {
         let (code, text) = self.request(method, path, body)?;
         let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
         if !(200..300).contains(&code) {
-            let message = doc
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("request failed");
-            return Err(format!("{method} {path}: {code} {message}"));
+            return Err(request_error(method, path, code, &doc));
         }
         Ok(doc)
     }
 
-    /// Poll `GET /jobs/<key>` on this connection until the job leaves
-    /// the queued/running states or `timeout` elapses. Returns the final
-    /// status document.
+    /// Wait until the job reaches a terminal state or `timeout`
+    /// elapses; returns the final status document.
     ///
-    /// Polling backs off exponentially (200µs doubling to a 25ms cap):
-    /// fast jobs — the common cached or small-scale case — are observed
-    /// within a poll or two of completion instead of having their
-    /// latency quantized to a fixed sleep interval, while long-running
-    /// jobs converge to the old 25ms cadence. Every poll rides the same
-    /// keep-alive connection: no TCP handshake per round.
+    /// Primary path: the server-side long-poll
+    /// ([`paths::job_wait`]) — the daemon answers at the completion
+    /// transition, so no client-side sleep quantizes the observed
+    /// latency, and each round trip covers up to
+    /// [`scalana_api::dto::MAX_WAIT_MS`] of waiting. Fallback: a server
+    /// that 404s the wait path *without* a structured
+    /// [`ErrorCode::UnknownJob`] body predates `/v1`; the client drops
+    /// to [`wait_for_job_polling`](Conn::wait_for_job_polling) against
+    /// the legacy status path (forward compatibility with old daemons).
     pub fn wait_for_job(&mut self, key: &str, timeout: Duration) -> Result<Json, String> {
         let deadline = Instant::now() + timeout;
-        let mut backoff = Duration::from_micros(200);
-        let cap = Duration::from_millis(25);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(format!("job {key} still pending after {timeout:?}"));
+            }
+            let budget_ms = (remaining.as_millis() as u64).clamp(1, scalana_api::dto::MAX_WAIT_MS);
+            let path = paths::job_wait(key, budget_ms);
+            let (code, text) = self.request("GET", &path, "")?;
+            let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
+            if (200..300).contains(&code) {
+                match doc.get("status").and_then(Json::as_str) {
+                    Some(status) if JobState::parse(status).is_some_and(JobState::is_terminal) => {
+                        return Ok(doc)
+                    }
+                    // Non-terminal 200: the server's budget elapsed
+                    // first — re-issue with the remaining client budget.
+                    Some(_) => continue,
+                    None => return Err("status response missing `status`".to_string()),
+                }
+            }
+            if code == 404 {
+                match ApiError::from_json(&doc) {
+                    // A /v1 server that genuinely does not know the job.
+                    Some(error) if error.code == ErrorCode::UnknownJob => {
+                        return Err(request_error("GET", &path, code, &doc));
+                    }
+                    Some(error) => return Err(error.to_string()),
+                    // Legacy 404 body — the wait endpoint itself does
+                    // not exist on this server; poll instead.
+                    None => {
+                        return self.wait_for_job_polling(
+                            key,
+                            deadline.saturating_duration_since(Instant::now()),
+                        )
+                    }
+                }
+            }
+            return Err(request_error("GET", &path, code, &doc));
+        }
+    }
+
+    /// Plain status polling at a fixed `FALLBACK_POLL` cadence against
+    /// the *legacy* (unversioned) status path — the compatibility path
+    /// for daemons without the long-poll endpoint, and the comparison
+    /// baseline for the `wait_longpoll` bench. Every poll rides this
+    /// keep-alive connection: no TCP handshake per round.
+    pub fn wait_for_job_polling(&mut self, key: &str, timeout: Duration) -> Result<Json, String> {
+        let deadline = Instant::now() + timeout;
         loop {
             let doc = self.request_json("GET", &format!("/jobs/{key}"), "")?;
             match doc.get("status").and_then(Json::as_str) {
@@ -133,10 +205,20 @@ impl Conn {
             if Instant::now() >= deadline {
                 return Err(format!("job {key} still pending after {timeout:?}"));
             }
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(cap);
+            std::thread::sleep(FALLBACK_POLL);
         }
     }
+}
+
+/// Error message for a non-2xx response: prefers the structured
+/// message, falls back to the legacy `error` member.
+fn request_error(method: &str, path: &str, code: u16, doc: &Json) -> String {
+    let message = doc
+        .get("error")
+        .or_else(|| doc.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("request failed");
+    format!("{method} {path}: {code} {message}")
 }
 
 /// One request on a fresh connection; returns `(status code, raw body)`.
@@ -169,18 +251,13 @@ pub fn request_json(addr: &str, method: &str, path: &str, body: &str) -> Result<
     let (code, text) = request(addr, method, path, body)?;
     let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
     if !(200..300).contains(&code) {
-        let message = doc
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("request failed");
-        return Err(format!("{method} {path}: {code} {message}"));
+        return Err(request_error(method, path, code, &doc));
     }
     Ok(doc)
 }
 
-/// Poll `GET /jobs/<key>` until the job leaves the queue/running states
-/// or `timeout` elapses, reusing one keep-alive connection for every
-/// poll. Returns the final status document.
+/// Wait for a job on a fresh keep-alive connection (long-poll, with the
+/// legacy-server polling fallback). Returns the final status document.
 pub fn wait_for_job(addr: &str, key: &str, timeout: Duration) -> Result<Json, String> {
     Conn::connect(addr)?.wait_for_job(key, timeout)
 }

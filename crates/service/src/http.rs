@@ -26,7 +26,13 @@ pub const MAX_BODY: usize = 1 << 20;
 pub const MAX_RESPONSE_BODY: usize = 256 << 20;
 
 /// Largest accepted head (request/status line + headers, 16 KiB).
-const MAX_HEAD: usize = 16 << 10;
+pub const MAX_HEAD: usize = 16 << 10;
+
+/// Error message of a declared body over the budget. The server's
+/// connection loop matches on it exactly to classify the failure as
+/// `body_too_large` (vs. generic `malformed_request`), so it is a
+/// named constant rather than a literal that could silently drift.
+pub const ERR_BODY_TOO_LARGE: &str = "body too large";
 
 /// A parsed request head plus body.
 #[derive(Debug, Clone)]
@@ -47,11 +53,38 @@ fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Parsed `Connection`/`Content-Length` headers of one message.
+/// Parsed `Connection`/`Content-Length` headers of one message, plus
+/// every header verbatim (the `/v1` protocol carries routing metadata —
+/// `Allow`, `Location`, `Deprecation` — that clients and tests inspect).
 struct Head {
     content_length: usize,
     /// `Some(true)` = keep-alive, `Some(false)` = close, `None` = unset.
     connection: Option<bool>,
+    /// `(name, value)` pairs in wire order.
+    headers: Vec<(String, String)>,
+}
+
+/// A fully parsed response: status, headers, body, keep-alive.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub code: u16,
+    /// Header `(name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl HttpResponse {
+    /// First header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads a sequence of requests (or responses) off one stream, renewing
@@ -107,6 +140,12 @@ impl<S: Read> MessageReader<S> {
 
     /// Read one response: `(status, body, keep_alive)`.
     pub fn next_response(&mut self) -> io::Result<(u16, Vec<u8>, bool)> {
+        let response = self.next_response_full()?;
+        Ok((response.code, response.body, response.keep_alive))
+    }
+
+    /// Read one response with its headers.
+    pub fn next_response_full(&mut self) -> io::Result<HttpResponse> {
         self.grant(MAX_HEAD + MAX_RESPONSE_BODY);
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -119,7 +158,12 @@ impl<S: Read> MessageReader<S> {
             .ok_or_else(|| invalid("bad status line"))?;
         let head = read_headers(&mut self.reader, MAX_RESPONSE_BODY, line.len())?;
         let body = read_body(&mut self.reader, head.content_length)?;
-        Ok((code, body, head.connection.unwrap_or(true)))
+        Ok(HttpResponse {
+            code,
+            keep_alive: head.connection.unwrap_or(true),
+            headers: head.headers,
+            body,
+        })
     }
 }
 
@@ -130,6 +174,7 @@ fn read_headers<R: BufRead>(reader: &mut R, max_body: usize, consumed: usize) ->
     let mut head = Head {
         content_length: 0,
         connection: None,
+        headers: Vec::new(),
     };
     let mut head_bytes = consumed;
     loop {
@@ -148,10 +193,11 @@ fn read_headers<R: BufRead>(reader: &mut R, max_body: usize, consumed: usize) ->
         }
         if let Some((name, value)) = line.split_once(':') {
             let value = value.trim();
+            head.headers.push((name.to_string(), value.to_string()));
             if name.eq_ignore_ascii_case("content-length") {
                 head.content_length = value.parse().map_err(|_| invalid("bad Content-Length"))?;
                 if head.content_length > max_body {
-                    return Err(invalid("body too large"));
+                    return Err(invalid(ERR_BODY_TOO_LARGE));
                 }
             } else if name.eq_ignore_ascii_case("connection") {
                 if value.eq_ignore_ascii_case("close") {
@@ -182,12 +228,14 @@ pub fn read_request<S: Read>(stream: S) -> io::Result<Request> {
 pub fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -201,22 +249,39 @@ pub fn status_text(code: u16) -> &'static str {
 /// keep-alive connection (tens of milliseconds per exchange), which
 /// would dwarf every cached-path saving this service exists to provide.
 pub fn write_response_conn<S: Write>(
-    mut stream: S,
+    stream: S,
     code: u16,
     content_type: &str,
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let mut message = Vec::with_capacity(128 + body.len());
+    write_response_headers(stream, code, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response_conn`] with extra response headers (`Allow:` on a
+/// 405, `Location:` on a 308, `Deprecation:` on legacy aliases).
+pub fn write_response_headers<S: Write>(
+    mut stream: S,
+    code: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut message = Vec::with_capacity(160 + body.len());
     write!(
         message,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         code,
         status_text(code),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(message, "{name}: {value}\r\n")?;
+    }
+    message.extend_from_slice(b"\r\n");
     message.extend_from_slice(body);
     stream.write_all(&message)?;
     stream.flush()
@@ -365,6 +430,27 @@ mod tests {
         let mut reader = MessageReader::new(wire.as_bytes());
         assert_eq!(reader.next_request().unwrap().unwrap().path, "/a");
         assert_eq!(reader.next_request().unwrap().unwrap().path, "/a");
+    }
+
+    #[test]
+    fn extra_headers_are_written_and_read_back() {
+        let mut wire = Vec::new();
+        write_response_headers(
+            &mut wire,
+            405,
+            "application/json",
+            &[("Allow", "GET, POST".to_string())],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let response = MessageReader::new(&wire[..]).next_response_full().unwrap();
+        assert_eq!(response.code, 405);
+        assert_eq!(response.header("allow"), Some("GET, POST"));
+        assert_eq!(response.header("ALLOW"), Some("GET, POST"));
+        assert!(response.header("location").is_none());
+        assert!(response.keep_alive);
+        assert_eq!(response.body, b"{}");
     }
 
     #[test]

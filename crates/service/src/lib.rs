@@ -8,8 +8,10 @@
 //!
 //! Pieces:
 //!
-//! - [`json`] — hand-rolled JSON value model with canonical (byte-stable)
-//!   serialization, plus a parser for requests;
+//! - [`scalana_api`] (re-exported as [`api`] and [`json`]) — the
+//!   versioned wire contract: `/v1` paths, request/response DTOs,
+//!   structured errors, and the canonical JSON layer, shared by the
+//!   server, the client, and the CLI;
 //! - [`jsonify`] — JSON views of [`scalana_core`]'s analysis types,
 //!   shared with `scalana analyze --json`;
 //! - [`hash`] — process-independent FNV-1a hashing for content addresses;
@@ -55,12 +57,15 @@ pub mod exec;
 pub mod hash;
 pub mod http;
 pub mod job;
-pub mod json;
 pub mod jsonify;
 pub mod profile_cache;
 pub mod queue;
 pub mod server;
 pub mod sharded;
+
+/// The canonical JSON layer now lives in [`scalana_api`]; re-exported
+/// here so `scalana_service::json::{parse, Json}` keeps working.
+pub use scalana_api::json;
 
 pub use cache::{JobStatus, Registry, StatsSnapshot};
 pub use job::{JobProgram, JobSpec};
@@ -68,4 +73,5 @@ pub use json::Json;
 pub use jsonify::{analysis_to_json, report_to_json};
 pub use profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 pub use queue::JobQueue;
+pub use scalana_api as api;
 pub use server::{Server, ServiceConfig};

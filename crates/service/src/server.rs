@@ -1,14 +1,29 @@
 //! The analysis daemon: TCP accept loop, worker pool, HTTP routing.
 //!
+//! Every endpoint lives under the versioned prefix and is described by
+//! [`scalana_api`] — paths, request/response DTOs, and structured
+//! errors all come from that crate, so the server, the client, and the
+//! CLI agree by construction:
+//!
 //! ```text
-//! POST /jobs                    submit a job (JSON object) or a batch (JSON array)
-//! GET  /jobs/<id>               job status
-//! GET  /jobs/<id>/result        cached analysis result (JSON)
-//! GET  /jobs/<id>/profile/<p>   persisted profile image at scale <p>
-//! GET  /stats                   counters: job + per-scale cache hits/misses, ...
-//! GET  /healthz                 liveness probe
-//! POST /shutdown                graceful stop
+//! POST /v1/jobs                      submit a job (object) or a batch (array)
+//! GET  /v1/jobs?state=&limit=&after= paginated job listing
+//! GET  /v1/jobs/<id>                 job status
+//! GET  /v1/jobs/<id>/wait?timeout_ms= long-poll until terminal (or budget)
+//! GET  /v1/jobs/<id>/result          cached analysis result (JSON)
+//! GET  /v1/jobs/<id>/profile/<p>     persisted profile image at scale <p>
+//! POST /v1/diff                      run/reuse two analyses and compare them
+//! GET  /v1/stats                     counters: job + per-scale cache hits/misses, ...
+//! GET  /v1/healthz                   liveness probe
+//! POST /v1/shutdown                  graceful stop
 //! ```
+//!
+//! Endpoints that predate versioning are still served at their
+//! unversioned paths as deprecated aliases (byte-identical bodies plus
+//! a `Deprecation:` header); endpoints born under `/v1` (the listing,
+//! `wait`, `diff`) answer their unversioned spelling with a
+//! `308 Permanent Redirect`. Errors are structured
+//! [`ApiError`] bodies whose code pins the HTTP status.
 //!
 //! Connections speak HTTP/1.1 keep-alive: one socket carries any number
 //! of sequential requests (a poll loop costs one TCP handshake total).
@@ -21,19 +36,28 @@
 //! without touching the queue and overlapping ones re-simulate only
 //! their genuinely new scales.
 
-use crate::cache::{JobStatus, Registry, StatusView, SubmitOutcome};
+use crate::cache::{JobStatus, Registry, StatusView, SubmitOutcome, WaitOutcome};
 use crate::exec::{ExecCtx, Task};
-use crate::http::{write_response_conn, MessageReader, Request};
+use crate::http::{write_response_headers, MessageReader, Request};
 use crate::job::{JobProgram, JobSpec};
 use crate::json::{parse, Json};
 use crate::profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 use crate::queue::JobQueue;
+use scalana_api::diff::DiffSide;
+use scalana_api::{
+    dto, paths, ApiError, DiffRequest, ErrorCode, JobPage, JobState, JobView, ListQuery,
+    ProgramRef, StatsResponse, SubmitAck, SubmitRequest, WaitQuery,
+};
 use scalana_core::ScalAnaConfig;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Re-export of the wire contract's scale bound (it predates the
+/// `scalana-api` crate and callers import it from here).
+pub use scalana_api::MAX_SCALE;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -85,6 +109,11 @@ impl Default for ServiceConfig {
 /// be the one unbounded resource (a burst of idle sockets = one thread
 /// + stack each for up to the 30 s read timeout).
 const MAX_CONNECTIONS: usize = 256;
+
+/// How long `POST /v1/diff` waits for each side to finish before
+/// answering `504` (the jobs keep running; retrying the identical diff
+/// resumes the wait against the same records).
+const DIFF_WAIT: Duration = Duration::from_secs(60);
 
 struct State {
     registry: Registry,
@@ -169,8 +198,8 @@ impl Server {
         self.state.addr
     }
 
-    /// Serve until `POST /shutdown`. Blocks; spawns the worker pool and
-    /// one connection-handler thread per live connection.
+    /// Serve until `POST /v1/shutdown`. Blocks; spawns the worker pool
+    /// and one connection-handler thread per live connection.
     pub fn run(self) -> io::Result<()> {
         let workers: Vec<_> = (0..self.state.workers)
             .map(|i| {
@@ -195,11 +224,15 @@ impl Server {
             if self.state.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
                 self.state.connections.fetch_sub(1, Ordering::SeqCst);
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = write_response_conn(
+                let body = ApiError::new(ErrorCode::TooManyConnections, "too many connections")
+                    .to_json()
+                    .render();
+                let _ = write_response_headers(
                     &stream,
                     503,
                     "application/json",
-                    b"{\"error\":\"too many connections\"}",
+                    &[],
+                    body.as_bytes(),
                     false,
                 );
                 continue;
@@ -262,11 +295,23 @@ fn handle_connection(stream: TcpStream, state: &State) {
                 // An idle keep-alive connection hitting the read
                 // timeout is normal; only protocol garbage earns a 400.
                 if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut {
-                    let _ = write_response_conn(
+                    let message = e.to_string();
+                    // Exact message match (`http::read_headers` emits it
+                    // verbatim): only a declared body over budget is
+                    // `body_too_large` — an oversized *head* must not
+                    // tell the client to shrink its body.
+                    let code = if message == crate::http::ERR_BODY_TOO_LARGE {
+                        ErrorCode::BodyTooLarge
+                    } else {
+                        ErrorCode::MalformedRequest
+                    };
+                    let body = ApiError::new(code, message).to_json().render();
+                    let _ = write_response_headers(
                         &stream,
                         400,
                         "application/json",
-                        b"{\"error\":\"malformed request\"}",
+                        &[],
+                        body.as_bytes(),
                         false,
                     );
                 }
@@ -274,13 +319,20 @@ fn handle_connection(stream: TcpStream, state: &State) {
             }
         };
         let (response, action) = route(&request, state);
-        let (code, content_type, body) = response;
         // Shutting down (this request or a concurrent one): announce
         // close so well-behaved clients stop reusing the socket.
         let keep_alive = request.keep_alive
             && action != Action::Shutdown
             && !state.shutdown.load(Ordering::SeqCst);
-        let written = write_response_conn(&stream, code, &content_type, &body, keep_alive).is_ok();
+        let written = write_response_headers(
+            &stream,
+            response.code,
+            &response.content_type,
+            &response.headers,
+            &response.body,
+            keep_alive,
+        )
+        .is_ok();
         // The routing decision (not a re-match on the raw path, which
         // would miss normalized forms like `//shutdown`) drives
         // post-response actions, after the acknowledgment is on the
@@ -303,123 +355,283 @@ enum Action {
     Shutdown,
 }
 
-/// Bodies are `Bytes` so a cached profile image is served by refcount
-/// bump, not a per-request deep copy.
-type Response = (u16, String, bytes::Bytes);
+/// One routed response. Bodies are `Bytes` so a cached profile image is
+/// served by refcount bump, not a per-request deep copy; `headers`
+/// carries endpoint metadata (`Allow:`, `Location:`, `Deprecation:`).
+struct Response {
+    code: u16,
+    content_type: String,
+    body: bytes::Bytes,
+    headers: Vec<(&'static str, String)>,
+}
 
 fn json_response(code: u16, body: Json) -> Response {
-    (
+    Response {
         code,
-        "application/json".to_string(),
-        bytes::Bytes::from(body.render().into_bytes()),
+        content_type: "application/json".to_string(),
+        body: bytes::Bytes::from(body.render().into_bytes()),
+        headers: Vec::new(),
+    }
+}
+
+fn error_response(error: &ApiError) -> Response {
+    json_response(error.http_status(), error.to_json())
+}
+
+/// The wire view of a registry record.
+fn job_view(view: &StatusView) -> JobView {
+    JobView {
+        job: view.key.clone(),
+        program: view.label.clone(),
+        scales: view.scales.clone(),
+        status: job_state(view.status),
+        error: view.error.clone(),
+    }
+}
+
+fn job_state(status: JobStatus) -> JobState {
+    match status {
+        JobStatus::Queued => JobState::Queued,
+        JobStatus::Running => JobState::Running,
+        JobStatus::Done => JobState::Done,
+        JobStatus::Failed => JobState::Failed,
+    }
+}
+
+fn job_status(state: JobState) -> JobStatus {
+    match state {
+        JobState::Queued => JobStatus::Queued,
+        JobState::Running => JobStatus::Running,
+        JobState::Done => JobStatus::Done,
+        JobState::Failed => JobStatus::Failed,
+    }
+}
+
+/// Allowed methods per known path shape — the source of `405` +
+/// `Allow:` answers (an unknown shape is a `404` instead).
+fn allowed_methods(segments: &[&str]) -> Option<&'static str> {
+    Some(match segments {
+        ["healthz"] => "GET",
+        ["stats"] => "GET",
+        ["shutdown"] => "POST",
+        ["jobs"] => "GET, POST",
+        ["jobs", _] => "GET",
+        ["jobs", _, "result"] => "GET",
+        ["jobs", _, "wait"] => "GET",
+        ["jobs", _, "profile", _] => "GET",
+        ["diff"] => "POST",
+        _ => return None,
+    })
+}
+
+/// Whether this endpoint was born under `/v1` (no pre-versioning
+/// clients exist for it): its unversioned spelling answers `308`.
+fn born_in_v1(method: &str, segments: &[&str]) -> bool {
+    matches!(
+        (method, segments),
+        ("GET", ["jobs"]) | ("GET", ["jobs", _, "wait"]) | ("POST", ["diff"])
     )
 }
 
-fn error_response(code: u16, message: &str) -> Response {
-    json_response(code, Json::obj(vec![("error", message.into())]))
-}
-
 fn route(request: &Request, state: &State) -> (Response, Action) {
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    let response = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => json_response(200, Json::obj(vec![("ok", true.into())])),
-        ("GET", ["stats"]) => json_response(200, stats_json(state)),
-        ("POST", ["shutdown"]) => {
+    let (path, query) = paths::split_target(&request.path);
+    let mut segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    // Version handling: strip the served version, reject recognizable
+    // foreign ones, and fall through for legacy (unversioned) paths.
+    let versioned = match segments.first() {
+        Some(&segment) if segment == paths::API_VERSION => {
+            segments.remove(0);
+            true
+        }
+        Some(&segment) if paths::looks_like_version(segment) => {
             return (
-                json_response(200, Json::obj(vec![("ok", true.into())])),
-                Action::Shutdown,
+                error_response(&ApiError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "unsupported API version `{segment}` (this server serves `{}`)",
+                        paths::API_VERSION
+                    ),
+                )),
+                Action::None,
             );
         }
-        ("POST", ["jobs"]) => submit(request, state),
-        ("GET", ["jobs", key]) => match state.registry.status(key) {
-            Some(view) => json_response(200, status_json(&view)),
-            None => error_response(404, "unknown job"),
-        },
-        ("GET", ["jobs", key, "result"]) => result(key, state),
-        ("GET", ["jobs", key, "profile", nprocs]) => profile(key, nprocs, state),
-        ("GET" | "POST", _) => error_response(404, "no such endpoint"),
-        _ => error_response(405, "unsupported method"),
+        _ => false,
     };
-    (response, Action::None)
+
+    let method = request.method.as_str();
+    let Some(allowed) = allowed_methods(&segments) else {
+        return (
+            error_response(&ApiError::new(ErrorCode::NotFound, "no such endpoint")),
+            Action::None,
+        );
+    };
+    if !allowed.split(", ").any(|m| m == method) {
+        let mut response = error_response(&ApiError::new(
+            ErrorCode::MethodNotAllowed,
+            format!("method {method} not allowed (allowed: {allowed})"),
+        ));
+        response.headers.push(("Allow", allowed.to_string()));
+        return (response, Action::None);
+    }
+    if !versioned && born_in_v1(method, &segments) {
+        let location = if query.is_empty() {
+            format!("/v1/{}", segments.join("/"))
+        } else {
+            format!("/v1/{}?{}", segments.join("/"), query)
+        };
+        let mut response =
+            json_response(308, Json::obj(vec![("location", location.as_str().into())]));
+        response.headers.push(("Location", location));
+        return (response, Action::None);
+    }
+
+    let (mut response, action) = match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => (json_response(200, dto::ok_body()), Action::None),
+        ("GET", ["stats"]) => (json_response(200, stats(state).to_json()), Action::None),
+        ("POST", ["shutdown"]) => (json_response(200, dto::ok_body()), Action::Shutdown),
+        ("POST", ["jobs"]) => (submit(request, state), Action::None),
+        ("GET", ["jobs"]) => (list_jobs(query, state), Action::None),
+        ("GET", ["jobs", key]) => (status(key, state), Action::None),
+        ("GET", ["jobs", key, "wait"]) => (wait(key, query, state), Action::None),
+        ("GET", ["jobs", key, "result"]) => (result(key, state), Action::None),
+        ("GET", ["jobs", key, "profile", nprocs]) => (profile(key, nprocs, state), Action::None),
+        ("POST", ["diff"]) => (diff(request, state), Action::None),
+        // Unreachable given the allow-list check, but a 404 beats UB in
+        // a long-lived daemon if the two tables ever drift.
+        _ => (
+            error_response(&ApiError::new(ErrorCode::NotFound, "no such endpoint")),
+            Action::None,
+        ),
+    };
+    if !versioned {
+        // Legacy alias: identical bytes, plus machine-readable notice
+        // of where the endpoint lives now.
+        response.headers.push(("Deprecation", "true".to_string()));
+        response.headers.push((
+            "Link",
+            format!("</v1/{}>; rel=\"successor-version\"", segments.join("/")),
+        ));
+    }
+    (response, action)
 }
 
-fn stats_json(state: &State) -> Json {
-    let stats = state.registry.stats();
+fn stats(state: &State) -> StatsResponse {
+    let job_stats = state.registry.stats();
     let scale = state.profiles.stats();
     let (psg_hits, psg_misses) = state.psgs.stats();
-    Json::obj(vec![
-        ("workers", state.workers.into()),
-        ("queue_depth", state.queue.depth().into()),
-        ("results_cached", state.registry.results_cached().into()),
-        ("submitted", stats.submitted.into()),
-        ("cache_hits", stats.cache_hits.into()),
-        ("cache_misses", stats.cache_misses.into()),
-        ("rejected", stats.rejected.into()),
-        ("executed", stats.executed.into()),
-        ("completed", stats.completed.into()),
-        ("failed", stats.failed.into()),
-        ("evicted", stats.evicted.into()),
-        // Per-scale profile cache: the unit of cross-job reuse.
-        ("scale_hits", scale.hits.into()),
-        ("scale_misses", scale.misses.into()),
-        ("scale_evicted", scale.evicted.into()),
-        ("profiles_cached", scale.entries.into()),
-        ("psg_hits", psg_hits.into()),
-        ("psg_misses", psg_misses.into()),
-        ("programs_indexed", state.programs.len().into()),
-    ])
-}
-
-fn status_json(view: &StatusView) -> Json {
-    let mut pairs = vec![
-        ("job", Json::from(view.key.as_str())),
-        ("program", view.label.as_str().into()),
-        ("scales", view.scales.clone().into()),
-        ("status", view.status.as_str().into()),
-    ];
-    if let Some(error) = &view.error {
-        pairs.push(("error", error.as_str().into()));
+    StatsResponse {
+        workers: state.workers,
+        queue_depth: state.queue.depth(),
+        results_cached: state.registry.results_cached(),
+        submitted: job_stats.submitted,
+        cache_hits: job_stats.cache_hits,
+        cache_misses: job_stats.cache_misses,
+        rejected: job_stats.rejected,
+        executed: job_stats.executed,
+        completed: job_stats.completed,
+        failed: job_stats.failed,
+        evicted: job_stats.evicted,
+        scale_hits: scale.hits,
+        scale_misses: scale.misses,
+        scale_evicted: scale.evicted,
+        profiles_cached: scale.entries,
+        psg_hits,
+        psg_misses,
+        programs_indexed: state.programs.len(),
     }
-    Json::obj(pairs)
 }
 
-/// `POST /jobs`: a single submission object, or an array of them (the
+fn status(key: &str, state: &State) -> Response {
+    match state.registry.status(key) {
+        Some(view) => json_response(200, job_view(&view).to_json()),
+        None => error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job")),
+    }
+}
+
+/// `GET /v1/jobs` — one keyset-paginated page of the registry.
+fn list_jobs(query: &str, state: &State) -> Response {
+    let list = match ListQuery::from_query(&paths::parse_query(query)) {
+        Ok(list) => list,
+        Err(error) => return error_response(&error),
+    };
+    let (views, next_after) = state.registry.list(
+        list.state.map(job_status),
+        list.after.as_deref(),
+        list.limit,
+    );
+    let page = JobPage {
+        jobs: views.iter().map(job_view).collect(),
+        next_after,
+    };
+    json_response(200, page.to_json())
+}
+
+/// `GET /v1/jobs/<id>/wait` — server-side long-poll: parks on the job's
+/// registry shard until a worker completes/fails it or the (clamped)
+/// budget elapses, then answers the job's current status document. The
+/// client decides whether to re-issue — a `200` with a non-terminal
+/// `status` simply means the budget ran out first.
+fn wait(key: &str, query: &str, state: &State) -> Response {
+    let wait = match WaitQuery::from_query(&paths::parse_query(query)) {
+        Ok(wait) => wait,
+        Err(error) => return error_response(&error),
+    };
+    match state
+        .registry
+        .wait_terminal(key, Duration::from_millis(wait.timeout_ms))
+    {
+        WaitOutcome::Unknown => {
+            error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job"))
+        }
+        WaitOutcome::Terminal(view) | WaitOutcome::Pending(view) => {
+            json_response(200, job_view(&view).to_json())
+        }
+    }
+}
+
+/// `POST /v1/jobs`: a single submission object, or an array of them (the
 /// batched form — one request, many submissions, one array of the same
 /// per-job response objects, answered in order).
 fn submit(request: &Request, state: &State) -> Response {
     let doc = match parse(&request.body) {
         Ok(doc) => doc,
-        Err(e) => return error_response(400, &format!("bad JSON: {e}")),
+        Err(e) => {
+            return error_response(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
+        }
     };
     match doc {
         Json::Arr(items) => {
             if items.is_empty() {
-                return error_response(400, "empty batch");
+                return error_response(&ApiError::bad_request("empty batch"));
             }
             let responses: Vec<Json> = items
                 .iter()
                 .map(|item| match submit_one(item, state) {
-                    Ok(body) => body,
+                    Ok(ack) => ack.to_json(),
                     // Per-item errors are reported in place: one bad
                     // entry must not void its siblings' acknowledgments.
-                    Err((code, message)) => Json::obj(vec![
-                        ("error", message.as_str().into()),
-                        ("code", i64::from(code).into()),
-                    ]),
+                    Err(error) => error.to_json(),
                 })
                 .collect();
             json_response(200, Json::Arr(responses))
         }
         doc => match submit_one(&doc, state) {
-            Ok(body) => json_response(200, body),
-            Err((code, message)) => error_response(code, &message),
+            Ok(ack) => json_response(200, ack.to_json()),
+            Err(error) => error_response(&error),
         },
     }
 }
 
-/// Register one submission document; returns the response body.
-fn submit_one(doc: &Json, state: &State) -> Result<Json, (u16, String)> {
-    let spec = spec_from_doc(doc, &state.default_config, &state.programs)?;
+/// Register one submission document; returns the acknowledgment.
+fn submit_one(doc: &Json, state: &State) -> Result<SubmitAck, ApiError> {
+    submit_request(SubmitRequest::from_json(doc)?, state)
+}
+
+/// Register one already-validated submission — the typed core shared by
+/// the JSON submit path and the diff handler (which holds
+/// [`SubmitRequest`]s and must not round-trip them through JSON again).
+fn submit_request(request: SubmitRequest, state: &State) -> Result<SubmitAck, ApiError> {
+    let spec = spec_from_request(request, &state.default_config, &state.programs)?;
     // Remember the program so later submissions can reference it by
     // hash instead of re-sending the source.
     let program_hash = state.programs.remember(&spec.program);
@@ -427,151 +639,87 @@ fn submit_one(doc: &Json, state: &State) -> Result<Json, (u16, String)> {
         state.queue.push(Task::Job(key.to_string())).is_ok()
     });
     match outcome {
-        SubmitOutcome::Existing(view) => {
-            let mut body = status_json(&view);
-            if let Json::Obj(pairs) = &mut body {
-                pairs.push(("cached".to_string(), Json::Bool(true)));
-                pairs.push(("program_hash".to_string(), program_hash.into()));
-            }
-            Ok(body)
-        }
-        SubmitOutcome::Fresh(key) => Ok(Json::obj(vec![
-            ("job", key.as_str().into()),
-            ("status", "queued".into()),
-            ("cached", false.into()),
-            ("program_hash", program_hash.into()),
-        ])),
-        SubmitOutcome::Rejected => Err((503, "job queue is full, retry later".to_string())),
+        SubmitOutcome::Existing(view) => Ok(SubmitAck::Cached {
+            view: job_view(&view),
+            program_hash,
+        }),
+        SubmitOutcome::Fresh(key) => Ok(SubmitAck::Queued {
+            job: key,
+            program_hash,
+        }),
+        SubmitOutcome::Rejected => Err(ApiError::new(
+            ErrorCode::QueueFull,
+            "job queue is full, retry later",
+        )),
     }
 }
 
-/// Largest accepted process count per scale. The simulator allocates
-/// per-rank state, so an unbounded request (`"scales":[1000000000]`)
-/// would OOM a worker; the paper's largest runs are a few thousand
-/// ranks, so this guardrail costs nothing real.
-pub const MAX_SCALE: usize = 65_536;
-
-/// Decode a parsed submission document into a [`JobSpec`]. Errors carry
-/// the HTTP status to answer with: `400` for malformed requests, `404`
-/// for a `program_hash` the daemon does not (or no longer does) know.
-///
-/// ```json
-/// {"app": "CG", "scales": [4, 8], "top": 3}
-/// {"source": "fn main() { ... }", "name": "demo.mmpi",
-///  "scales": [2, 4], "abnorm_thd": 1.5, "max_loop_depth": 6,
-///  "params": {"N": 100000}}
-/// {"program_hash": "f00f5ca1a71e57ed", "scales": [2, 4, 8, 16]}
-/// ```
-pub fn spec_from_doc(
-    doc: &Json,
+/// Resolve a validated [`SubmitRequest`] into an executable [`JobSpec`]:
+/// app names are checked against the built-in table, `program_hash`
+/// against the daemon's program index, and the per-request knobs are
+/// laid over the daemon's default configuration.
+pub fn spec_from_request(
+    request: SubmitRequest,
     defaults: &ScalAnaConfig,
     programs: &ProgramIndex,
-) -> Result<JobSpec, (u16, String)> {
-    let bad = |message: String| (400u16, message);
-    let program = match (doc.get("app"), doc.get("source"), doc.get("program_hash")) {
-        (Some(app), None, None) => {
-            let name = app
-                .as_str()
-                .ok_or_else(|| bad("`app` must be a string".to_string()))?;
-            if scalana_apps::by_name(name).is_none() {
-                return Err(bad(format!("unknown app `{name}`")));
+) -> Result<JobSpec, ApiError> {
+    let program = match request.program {
+        ProgramRef::App(name) => {
+            if scalana_apps::by_name(&name).is_none() {
+                return Err(ApiError::new(
+                    ErrorCode::UnknownApp,
+                    format!("unknown app `{name}`"),
+                ));
             }
-            JobProgram::App(name.to_string())
+            JobProgram::App(name)
         }
-        (None, Some(source), None) => JobProgram::Source {
-            name: doc
-                .get("name")
-                .and_then(Json::as_str)
-                .unwrap_or("inline.mmpi")
-                .to_string(),
-            text: source
-                .as_str()
-                .ok_or_else(|| bad("`source` must be a string".to_string()))?
-                .to_string(),
-        },
-        (None, None, Some(hash)) => {
-            let hash = hash
-                .as_str()
-                .ok_or_else(|| bad("`program_hash` must be a string".to_string()))?;
-            programs.resolve(hash).ok_or((
-                404u16,
+        ProgramRef::Source { name, text } => JobProgram::Source { name, text },
+        ProgramRef::Hash(hash) => programs.resolve(&hash).ok_or_else(|| {
+            ApiError::new(
+                ErrorCode::UnknownProgramHash,
                 format!(
                     "unknown program hash `{hash}` (never seen or evicted; re-send the source)"
                 ),
-            ))?
-        }
-        _ => {
-            return Err(bad(
-                "exactly one of `app`, `source`, or `program_hash` is required".to_string(),
-            ))
-        }
+            )
+        })?,
     };
 
-    let scales = match doc.get("scales") {
-        None => vec![4, 8, 16, 32],
-        Some(value) => {
-            let items = value
-                .as_array()
-                .ok_or_else(|| bad("`scales` must be an array".to_string()))?;
-            let scales: Vec<usize> = items
-                .iter()
-                .map(|v| {
-                    v.as_i64()
-                        .filter(|n| (1..=MAX_SCALE as i64).contains(n))
-                        .map(|n| n as usize)
-                        .ok_or_else(|| {
-                            bad(format!(
-                                "`scales` entries must be integers in 1..={MAX_SCALE}"
-                            ))
-                        })
-                })
-                .collect::<Result<_, _>>()?;
-            if scales.is_empty() || scales.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(bad("`scales` must be a strictly ascending list".to_string()));
-            }
-            scales
-        }
-    };
-
+    let scales = request
+        .scales
+        .unwrap_or_else(|| dto::DEFAULT_SCALES.to_vec());
     let mut config = defaults.clone();
-    if let Some(v) = doc.get("abnorm_thd") {
-        config.detect.abnorm_thd = v
-            .as_f64()
-            .ok_or_else(|| bad("`abnorm_thd` must be a number".to_string()))?;
+    if let Some(thd) = request.abnorm_thd {
+        config.detect.abnorm_thd = thd;
     }
-    if let Some(v) = doc.get("top") {
-        config.detect.top_k = v
-            .as_i64()
-            .filter(|n| *n >= 0)
-            .ok_or_else(|| bad("`top` must be a non-negative integer".to_string()))?
-            as usize;
+    if let Some(top) = request.top {
+        config.detect.top_k = top;
     }
-    if let Some(v) = doc.get("max_loop_depth") {
-        config.psg.max_loop_depth =
-            v.as_i64()
-                .and_then(|n| u32::try_from(n).ok())
-                .ok_or_else(|| {
-                    bad("`max_loop_depth` must be a non-negative 32-bit integer".to_string())
-                })?;
+    if let Some(depth) = request.max_loop_depth {
+        config.psg.max_loop_depth = depth;
     }
-    if let Some(v) = doc.get("params") {
-        match v {
-            Json::Obj(pairs) => {
-                for (name, value) in pairs {
-                    let value = value
-                        .as_i64()
-                        .ok_or_else(|| bad(format!("param `{name}` must be an integer")))?;
-                    config.params.insert(name.clone(), value);
-                }
-            }
-            _ => return Err(bad("`params` must be an object".to_string())),
-        }
+    for (name, value) in request.params {
+        config.params.insert(name, value);
     }
     Ok(JobSpec {
         program,
         scales,
         config,
     })
+}
+
+/// Decode a parsed submission document into a [`JobSpec`]
+/// (compatibility wrapper over [`SubmitRequest::from_json`] +
+/// [`spec_from_request`]). Errors carry the HTTP status to answer with:
+/// `400` for malformed requests, `404` for a `program_hash` the daemon
+/// does not (or no longer does) know.
+pub fn spec_from_doc(
+    doc: &Json,
+    defaults: &ScalAnaConfig,
+    programs: &ProgramIndex,
+) -> Result<JobSpec, (u16, String)> {
+    SubmitRequest::from_json(doc)
+        .and_then(|request| spec_from_request(request, defaults, programs))
+        .map_err(|error| (error.http_status(), error.message))
 }
 
 /// Decode a submission body into a [`JobSpec`] (compatibility wrapper
@@ -584,59 +732,139 @@ pub fn parse_submit(body: &str, defaults: &ScalAnaConfig) -> Result<JobSpec, Str
 
 fn result(key: &str, state: &State) -> Response {
     let Some(view) = state.registry.status(key) else {
-        return error_response(404, "unknown job");
+        return error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job"));
     };
     match (view.status, &view.result) {
-        (JobStatus::Done, Some(output)) => {
-            // Splice the pre-rendered canonical fragments — results are
-            // fetched repeatedly, and cloning + re-rendering the whole
-            // report tree per request is the expensive way to say the
-            // same bytes. Field syntax stays valid because every
-            // fragment is itself canonical JSON.
-            let mut body =
-                String::with_capacity(output.report_json.len() + output.runs_json.len() + 96);
-            body.push_str("{\"job\":");
-            body.push_str(&Json::from(key).render());
-            body.push_str(",\"report\":");
-            body.push_str(&output.report_json);
-            body.push_str(",\"runs\":");
-            body.push_str(&output.runs_json);
-            body.push_str(",\"detect_seconds\":");
-            body.push_str(&Json::Num(output.detect_seconds).render());
-            body.push('}');
-            (
-                200,
-                "application/json".to_string(),
-                bytes::Bytes::from(body.into_bytes()),
-            )
-        }
-        (JobStatus::Failed, _) => {
-            error_response(500, view.error.as_deref().unwrap_or("job failed"))
-        }
-        _ => error_response(409, "job still pending"),
+        (JobStatus::Done, Some(output)) => Response {
+            code: 200,
+            content_type: "application/json".to_string(),
+            body: bytes::Bytes::from(
+                dto::render_result(
+                    key,
+                    &output.report_json,
+                    &output.runs_json,
+                    output.detect_seconds,
+                )
+                .into_bytes(),
+            ),
+            headers: Vec::new(),
+        },
+        (JobStatus::Failed, _) => error_response(&ApiError::new(
+            ErrorCode::JobFailed,
+            view.error.as_deref().unwrap_or("job failed"),
+        )),
+        _ => error_response(&ApiError::new(ErrorCode::JobPending, "job still pending")),
     }
 }
 
 fn profile(key: &str, nprocs: &str, state: &State) -> Response {
     let Ok(nprocs) = nprocs.parse::<usize>() else {
-        return error_response(400, "bad process count");
+        return error_response(&ApiError::bad_request("bad process count"));
     };
     let Some(view) = state.registry.status(key) else {
-        return error_response(404, "unknown job");
+        return error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job"));
     };
     match (view.status, &view.result) {
         (JobStatus::Done, Some(output)) => {
             match output.profiles.iter().find(|(p, _)| *p == nprocs) {
                 // A `Bytes` clone shares the allocation — no per-request
                 // copy of a potentially tens-of-MiB image.
-                Some((_, image)) => (200, "application/octet-stream".to_string(), image.clone()),
-                None => error_response(404, "no profile at that scale"),
+                Some((_, image)) => Response {
+                    code: 200,
+                    content_type: "application/octet-stream".to_string(),
+                    body: image.clone(),
+                    headers: Vec::new(),
+                },
+                None => error_response(&ApiError::new(
+                    ErrorCode::NotFound,
+                    "no profile at that scale",
+                )),
             }
         }
-        (JobStatus::Failed, _) => {
-            error_response(500, view.error.as_deref().unwrap_or("job failed"))
+        (JobStatus::Failed, _) => error_response(&ApiError::new(
+            ErrorCode::JobFailed,
+            view.error.as_deref().unwrap_or("job failed"),
+        )),
+        _ => error_response(&ApiError::new(ErrorCode::JobPending, "job still pending")),
+    }
+}
+
+/// `POST /v1/diff` — submit (or reuse) both sides, wait for them, and
+/// answer the structured comparison. Both sides go through the normal
+/// submission path, so the whole-job cache, the per-scale profile
+/// cache, and the refined-PSG cache all apply: diffing two analyses
+/// that share scales simulates only what no previous job ever ran.
+fn diff(request: &Request, state: &State) -> Response {
+    let doc = match parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return error_response(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
         }
-        _ => error_response(409, "job still pending"),
+    };
+    let diff_request = match DiffRequest::from_json(&doc) {
+        Ok(request) => request,
+        Err(error) => return error_response(&error),
+    };
+    let submit_side = |label: &str, side: SubmitRequest| -> Result<String, ApiError> {
+        submit_request(side, state)
+            .map(|ack| ack.job().to_string())
+            .map_err(|e| ApiError {
+                message: format!("`{label}`: {}", e.message),
+                ..e
+            })
+    };
+    // Submit both before waiting on either, so the sides execute
+    // concurrently across the worker pool.
+    let (key_a, key_b) = match (
+        submit_side("a", diff_request.a),
+        submit_side("b", diff_request.b),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(error), _) | (_, Err(error)) => return error_response(&error),
+    };
+
+    let side = |label: &str, key: String| -> Result<DiffSide, ApiError> {
+        match state.registry.wait_terminal(&key, DIFF_WAIT) {
+            // Not a bug: at result-cache capacity, FIFO eviction can
+            // remove a completed record before this handler re-reads
+            // it. Retrying re-submits the side and will normally win
+            // the race (its profiles are still per-scale cached).
+            WaitOutcome::Unknown => Err(ApiError::new(
+                ErrorCode::Evicted,
+                format!(
+                    "side `{label}` (job {key}) was evicted from the result cache before the \
+                     diff could read it; retry"
+                ),
+            )),
+            WaitOutcome::Pending(_) => Err(ApiError::new(
+                ErrorCode::Timeout,
+                format!("side `{label}` (job {key}) still pending after {DIFF_WAIT:?}"),
+            )),
+            WaitOutcome::Terminal(view) => match (view.status, &view.result) {
+                (JobStatus::Done, Some(output)) => Ok(DiffSide {
+                    job: key,
+                    // Stored fragments are canonical JSON rendered by
+                    // this process; a parse failure is a server bug.
+                    report: parse(&output.report_json).map_err(|e| {
+                        ApiError::new(ErrorCode::Internal, format!("stored report: {e}"))
+                    })?,
+                    runs: parse(&output.runs_json).map_err(|e| {
+                        ApiError::new(ErrorCode::Internal, format!("stored runs: {e}"))
+                    })?,
+                }),
+                _ => Err(ApiError::new(
+                    ErrorCode::JobFailed,
+                    format!(
+                        "side `{label}` (job {key}) failed: {}",
+                        view.error.as_deref().unwrap_or("unknown error")
+                    ),
+                )),
+            },
+        }
+    };
+    match (side("a", key_a), side("b", key_b)) {
+        (Ok(a), Ok(b)) => json_response(200, scalana_api::diff::diff(&a, &b)),
+        (Err(error), _) | (_, Err(error)) => error_response(&error),
     }
 }
 
@@ -677,6 +905,7 @@ mod tests {
             (r#"{"app":"CG","max_loop_depth":4294967296}"#, "32-bit"),
             (r#"{"app":"CG","scales":"4"}"#, "array"),
             (r#"{"app":"CG","params":{"N":"x"}}"#, "integer"),
+            (r#"{"app":"CG","wat":1}"#, "unknown field"),
             ("not json", "bad JSON"),
         ] {
             let err = parse_submit(body, &defaults).unwrap_err();
@@ -703,5 +932,37 @@ mod tests {
         let (code, message) = spec_from_doc(&doc, &defaults, &programs).unwrap_err();
         assert_eq!(code, 404, "unknown hash is Not Found, not Bad Request");
         assert!(message.contains("re-send"), "{message}");
+    }
+
+    #[test]
+    fn routing_tables_cover_every_endpoint_constant() {
+        // The allow-list is the routing contract; every path the api
+        // crate publishes must be known to it (and unknown ones not).
+        for (target, method) in [
+            (paths::HEALTHZ.to_string(), "GET"),
+            (paths::STATS.to_string(), "GET"),
+            (paths::SHUTDOWN.to_string(), "POST"),
+            (paths::JOBS.to_string(), "POST"),
+            (paths::jobs_list(Some("done"), Some(5), None), "GET"),
+            (paths::job("k"), "GET"),
+            (paths::job_result("k"), "GET"),
+            (paths::job_profile("k", 8), "GET"),
+            (paths::job_wait("k", 100), "GET"),
+            (paths::DIFF.to_string(), "POST"),
+        ] {
+            let (path, _) = paths::split_target(&target);
+            let segments: Vec<&str> = path
+                .split('/')
+                .filter(|s| !s.is_empty() && *s != paths::API_VERSION)
+                .collect();
+            let allowed =
+                allowed_methods(&segments).unwrap_or_else(|| panic!("no allow entry for {target}"));
+            assert!(
+                allowed.split(", ").any(|m| m == method),
+                "{method} {target} not allowed by `{allowed}`"
+            );
+        }
+        assert!(allowed_methods(&["nope"]).is_none());
+        assert!(allowed_methods(&["jobs", "k", "nope"]).is_none());
     }
 }

@@ -1,0 +1,532 @@
+//! The `/v1` protocol over real TCP sockets: versioned routing, legacy
+//! alias shims, the job listing, server-side long-poll, and the diff
+//! endpoint.
+//!
+//! Complements `daemon.rs` (which pins the pre-versioning behavior —
+//! those paths must keep working unchanged as aliases).
+
+use scalana_api::{paths, ApiError, ErrorCode, JobPage, JobState, SubmitAck};
+use scalana_service::client::{self, Conn};
+use scalana_service::http::MessageReader;
+use scalana_service::json::Json;
+use scalana_service::{Server, ServiceConfig};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn boot(workers: usize) -> String {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Unique programs per test so cache interactions are test-local.
+fn program_text(work: u64) -> String {
+    format!(
+        "param WORK = {work};\n\
+         fn main() {{\n\
+             for it in 0 .. 3 {{\n\
+                 comp(cycles = WORK / nprocs, ins = WORK / nprocs);\n\
+                 if rank == 0 {{ comp(cycles = WORK / 6, ins = WORK / 6); }}\n\
+                 barrier();\n\
+             }}\n\
+             allreduce(bytes = 8);\n\
+         }}"
+    )
+}
+
+fn submit_body(text: &str, scales: &[usize]) -> String {
+    Json::obj(vec![
+        ("source", text.into()),
+        ("name", "v1.mmpi".into()),
+        ("scales", scales.to_vec().into()),
+    ])
+    .render()
+}
+
+fn stat(conn: &mut Conn, key: &str) -> i64 {
+    let stats = conn.request_json("GET", paths::STATS, "").unwrap();
+    stats.get(key).and_then(Json::as_i64).unwrap()
+}
+
+#[test]
+fn v1_submit_wait_result_and_legacy_aliases_serve_identical_bytes() {
+    let addr = boot(2);
+    let mut conn = Conn::connect(&addr).unwrap();
+    let text = program_text(501_000);
+
+    // Submit under /v1; the ack decodes as the typed DTO.
+    let response = conn
+        .request_json("POST", paths::JOBS, &submit_body(&text, &[2, 4]))
+        .unwrap();
+    let ack = SubmitAck::from_json(&response).expect("typed ack");
+    assert!(!ack.cached());
+    let key = ack.job().to_string();
+
+    // Long-poll until done — a single request parks server-side.
+    let status = conn.wait_for_job(&key, Duration::from_secs(120)).unwrap();
+    assert_eq!(status.get("status").and_then(Json::as_str), Some("done"));
+
+    // The same resources under /v1 and the legacy alias: byte-identical.
+    let (code_v1, result_v1) = conn.request("GET", &paths::job_result(&key), "").unwrap();
+    let (code_legacy, result_legacy) = conn
+        .request("GET", &format!("/jobs/{key}/result"), "")
+        .unwrap();
+    assert_eq!((code_v1, code_legacy), (200, 200));
+    assert_eq!(result_v1, result_legacy, "alias must serve identical bytes");
+
+    let (_, stats_v1) = conn.request("GET", paths::STATS, "").unwrap();
+    let (_, stats_legacy) = conn.request("GET", "/stats", "").unwrap();
+    assert_eq!(stats_v1, stats_legacy);
+
+    // Profile images too.
+    let (code, image_v1) = conn
+        .request_raw("GET", &paths::job_profile(&key, 2), "")
+        .unwrap();
+    assert_eq!(code, 200);
+    let (_, image_legacy) = conn
+        .request_raw("GET", &format!("/jobs/{key}/profile/2"), "")
+        .unwrap();
+    assert_eq!(image_v1, image_legacy);
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+#[test]
+fn legacy_paths_carry_deprecation_headers_and_v1_does_not() {
+    let addr = boot(1);
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    // Pre-versioning endpoints: served, but marked deprecated.
+    let legacy = conn.request_full("GET", "/stats", "").unwrap();
+    assert_eq!(legacy.code, 200);
+    assert_eq!(legacy.header("Deprecation"), Some("true"));
+    assert_eq!(
+        legacy.header("Link"),
+        Some("</v1/stats>; rel=\"successor-version\"")
+    );
+
+    let versioned = conn.request_full("GET", paths::STATS, "").unwrap();
+    assert_eq!(versioned.code, 200);
+    assert!(versioned.header("Deprecation").is_none());
+
+    // Endpoints born under /v1 redirect their unversioned spelling.
+    for (method, target, location) in [
+        ("GET", "/jobs?state=done", "/v1/jobs?state=done"),
+        (
+            "GET",
+            "/jobs/abc/wait?timeout_ms=5",
+            "/v1/jobs/abc/wait?timeout_ms=5",
+        ),
+        ("POST", "/diff", "/v1/diff"),
+    ] {
+        let response = conn.request_full(method, target, "{}").unwrap();
+        assert_eq!(response.code, 308, "{method} {target}");
+        assert_eq!(response.header("Location"), Some(location));
+    }
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+#[test]
+fn wrong_methods_get_405_with_allow_header() {
+    let addr = boot(1);
+    let mut conn = Conn::connect(&addr).unwrap();
+    for (method, target, allow) in [
+        ("DELETE", "/v1/jobs/abc", "GET"),
+        ("POST", "/v1/healthz", "GET"),
+        ("GET", "/v1/shutdown", "POST"),
+        ("PUT", "/v1/jobs", "GET, POST"),
+        ("GET", "/v1/diff", "POST"),
+        ("DELETE", "/jobs/abc", "GET"), // legacy paths get the same contract
+    ] {
+        let response = conn.request_full(method, target, "").unwrap();
+        assert_eq!(response.code, 405, "{method} {target}");
+        assert_eq!(response.header("Allow"), Some(allow), "{method} {target}");
+        let error = ApiError::from_body(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(error.code, ErrorCode::MethodNotAllowed);
+        assert!(!error.retryable);
+    }
+    // Unknown paths stay 404 regardless of method.
+    let response = conn.request_full("DELETE", "/v1/nope", "").unwrap();
+    assert_eq!(response.code, 404);
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+#[test]
+fn job_listing_paginates_and_filters_by_state() {
+    let addr = boot(2);
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    // Three completing jobs plus one that fails to parse.
+    let mut keys: Vec<String> = Vec::new();
+    for i in 0..3u64 {
+        let response = conn
+            .request_json(
+                "POST",
+                paths::JOBS,
+                &submit_body(&program_text(601_000 + i), &[2]),
+            )
+            .unwrap();
+        keys.push(response.get("job").unwrap().as_str().unwrap().to_string());
+    }
+    let bad = Json::obj(vec![
+        ("source", "fn main( {".into()),
+        ("name", "bad.mmpi".into()),
+        ("scales", vec![2usize].into()),
+    ])
+    .render();
+    let response = conn.request_json("POST", paths::JOBS, &bad).unwrap();
+    let bad_key = response.get("job").unwrap().as_str().unwrap().to_string();
+    for key in keys.iter().chain([&bad_key]) {
+        let _ = conn.wait_for_job(key, Duration::from_secs(120)).unwrap();
+    }
+
+    // Full listing decodes as the typed page and contains all four.
+    let doc = conn.request_json("GET", paths::JOBS, "").unwrap();
+    let page = JobPage::from_json(&doc).expect("typed page");
+    assert_eq!(page.jobs.len(), 4);
+    assert!(page.next_after.is_none());
+    let mut listed: Vec<&str> = page.jobs.iter().map(|j| j.job.as_str()).collect();
+    assert!(listed.windows(2).all(|w| w[0] < w[1]), "ascending by key");
+    listed.sort();
+
+    // State filter.
+    let doc = conn
+        .request_json("GET", &paths::jobs_list(Some("failed"), None, None), "")
+        .unwrap();
+    let failed = JobPage::from_json(&doc).unwrap();
+    assert_eq!(failed.jobs.len(), 1);
+    assert_eq!(failed.jobs[0].job, bad_key);
+    assert_eq!(failed.jobs[0].status, JobState::Failed);
+    assert!(failed.jobs[0].error.is_some());
+
+    // Cursor walk with limit 3: two pages, no overlap, full coverage.
+    let doc = conn
+        .request_json("GET", &paths::jobs_list(None, Some(3), None), "")
+        .unwrap();
+    let first = JobPage::from_json(&doc).unwrap();
+    assert_eq!(first.jobs.len(), 3);
+    let cursor = first.next_after.expect("more pages");
+    let doc = conn
+        .request_json("GET", &paths::jobs_list(None, Some(3), Some(&cursor)), "")
+        .unwrap();
+    let second = JobPage::from_json(&doc).unwrap();
+    assert_eq!(second.jobs.len(), 1);
+    assert!(second.next_after.is_none());
+    let mut walked: Vec<String> = first
+        .jobs
+        .iter()
+        .chain(&second.jobs)
+        .map(|j| j.job.clone())
+        .collect();
+    walked.sort();
+    assert_eq!(
+        walked,
+        listed.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    );
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+#[test]
+fn longpoll_wait_parks_until_completion() {
+    let addr = boot(2);
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    // Unknown job: structured 404.
+    let (code, body) = conn
+        .request("GET", &paths::job_wait("doesnotexist", 50), "")
+        .unwrap();
+    assert_eq!(code, 404);
+    assert_eq!(
+        ApiError::from_body(&body).unwrap().code,
+        ErrorCode::UnknownJob
+    );
+
+    // A job with enough simulated ranks to still be running when the
+    // wait starts (wall-clock scales with ranks × statements).
+    let response = conn
+        .request_json(
+            "POST",
+            paths::JOBS,
+            &submit_body(&program_text(9_701_000), &[2, 4, 48]),
+        )
+        .unwrap();
+    let key = response.get("job").unwrap().as_str().unwrap().to_string();
+
+    // A tiny budget elapses first: 200 with a non-terminal status.
+    let doc = conn
+        .request_json("GET", &paths::job_wait(&key, 1), "")
+        .unwrap();
+    let early = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // A generous budget parks until the worker completes the job —
+    // observed as a single round trip whose answer is terminal.
+    let started = Instant::now();
+    let doc = conn
+        .request_json("GET", &paths::job_wait(&key, 20_000), "")
+        .unwrap();
+    let waited = started.elapsed();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    assert!(
+        waited < Duration::from_secs(20),
+        "woke at completion, not at the budget ({waited:?}, first poll saw `{early}`)"
+    );
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+#[test]
+fn diff_reuses_cached_profiles_and_is_deterministic() {
+    let addr = boot(2);
+    let mut conn = Conn::connect(&addr).unwrap();
+    let text = program_text(701_000);
+
+    // Prime scales [2, 4] with a plain submission.
+    let response = conn
+        .request_json("POST", paths::JOBS, &submit_body(&text, &[2, 4]))
+        .unwrap();
+    let primed_key = response.get("job").unwrap().as_str().unwrap().to_string();
+    conn.wait_for_job(&primed_key, Duration::from_secs(120))
+        .unwrap();
+    let (hits_before, misses_before) = (
+        stat(&mut conn, "scale_hits"),
+        stat(&mut conn, "scale_misses"),
+    );
+    assert_eq!(hits_before, 0);
+    assert_eq!(misses_before, 2);
+
+    // Diff the primed scale set against a superset: side `a` is a
+    // whole-job cache hit (per-scale cache untouched), side `b`
+    // overlaps on 2 and 4 (hits) and simulates only scale 6 (miss).
+    let diff_body = Json::obj(vec![
+        (
+            "a",
+            Json::obj(vec![
+                ("source", text.as_str().into()),
+                ("name", "v1.mmpi".into()),
+                ("scales", vec![2usize, 4].into()),
+            ]),
+        ),
+        (
+            "b",
+            Json::obj(vec![
+                ("source", text.as_str().into()),
+                ("name", "v1.mmpi".into()),
+                ("scales", vec![2usize, 4, 6].into()),
+            ]),
+        ),
+    ])
+    .render();
+    let (code, first) = conn.request("POST", paths::DIFF, &diff_body).unwrap();
+    assert_eq!(code, 200, "{first}");
+    assert_eq!(
+        stat(&mut conn, "scale_hits") - hits_before,
+        2,
+        "overlap reused"
+    );
+    assert_eq!(
+        stat(&mut conn, "scale_misses") - misses_before,
+        1,
+        "only scale 6 simulated"
+    );
+
+    let doc = scalana_service::json::parse(&first).unwrap();
+    assert_eq!(
+        doc.get("a").unwrap().get("job").unwrap().as_str(),
+        Some(primed_key.as_str()),
+        "side `a` coalesced onto the primed job"
+    );
+    let runs = doc.get("runs").unwrap().as_array().unwrap();
+    assert_eq!(runs.len(), 3, "union of scales {{2,4,6}}");
+    assert_eq!(runs[2].get("nprocs").unwrap().as_i64(), Some(6));
+    assert_eq!(
+        runs[2].get("total_time_a"),
+        Some(&Json::Null),
+        "a did not run scale 6"
+    );
+    assert!(runs[0].get("ratio").unwrap().as_f64().is_some());
+    // Identical program on both sides: every root cause matches up.
+    for cause in doc.get("root_causes").unwrap().as_array().unwrap() {
+        assert_eq!(cause.get("status").unwrap().as_str(), Some("both"));
+    }
+    assert!(doc.get("summary").unwrap().get("faster").is_some());
+
+    // Determinism: the identical diff again — now fully cached — is
+    // byte-identical and touches no per-scale entries.
+    let (_, second) = conn.request("POST", paths::DIFF, &diff_body).unwrap();
+    assert_eq!(first, second, "diff output must be deterministic");
+    assert_eq!(stat(&mut conn, "scale_hits") - hits_before, 2);
+    assert_eq!(stat(&mut conn, "scale_misses") - misses_before, 1);
+
+    // A failing side surfaces as a structured job_failed error naming it.
+    let bad_diff = Json::obj(vec![
+        (
+            "a",
+            Json::obj(vec![
+                ("source", text.as_str().into()),
+                ("scales", vec![2usize, 4].into()),
+            ]),
+        ),
+        (
+            "b",
+            Json::obj(vec![
+                ("source", "fn main( {".into()),
+                ("scales", vec![2usize].into()),
+            ]),
+        ),
+    ])
+    .render();
+    let (code, body) = conn.request("POST", paths::DIFF, &bad_diff).unwrap();
+    assert_eq!(code, 500);
+    let error = ApiError::from_body(&body).unwrap();
+    assert_eq!(error.code, ErrorCode::JobFailed);
+    assert!(
+        error.message.contains("`b`"),
+        "names the failing side: {error}"
+    );
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+/// Request counters of the [`legacy_stub`] server.
+#[derive(Default)]
+struct StubCounters {
+    wait_requests: AtomicU64,
+    polls: AtomicU64,
+}
+
+/// A minimal pre-`/v1` daemon: 404s the wait endpoint with the legacy
+/// error body (no `code` member) and serves plain status polls —
+/// exactly what PR 4's server did. The modern client must fall back to
+/// polling against it.
+fn legacy_stub() -> (String, Arc<StubCounters>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let counters = Arc::new(StubCounters::default());
+    let shared = Arc::clone(&counters);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let counters = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut reader = MessageReader::new(stream.try_clone().unwrap());
+                while let Ok(Some(request)) = reader.next_request() {
+                    let (code, body): (u16, String) = if request.path.contains("/wait") {
+                        counters.wait_requests.fetch_add(1, Ordering::SeqCst);
+                        (404, r#"{"error":"no such endpoint"}"#.to_string())
+                    } else if request.path.starts_with("/jobs/") {
+                        // Two pending polls, then done.
+                        let polls = counters.polls.fetch_add(1, Ordering::SeqCst);
+                        let status = if polls < 2 { "running" } else { "done" };
+                        (
+                            200,
+                            format!(
+                                r#"{{"job":"stub","program":"stub.mmpi","scales":[2],"status":"{status}"}}"#
+                            ),
+                        )
+                    } else {
+                        (404, r#"{"error":"no such endpoint"}"#.to_string())
+                    };
+                    let _ = scalana_service::http::write_response_conn(
+                        &stream,
+                        code,
+                        "application/json",
+                        body.as_bytes(),
+                        request.keep_alive,
+                    );
+                    if !request.keep_alive {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    (addr, counters)
+}
+
+#[test]
+fn wait_falls_back_to_polling_against_pre_v1_servers() {
+    // Forward-compat: a server answering 404 (legacy body, no error
+    // code) on the wait path gets the plain polling loop instead.
+    let (addr, counters) = legacy_stub();
+    let mut conn = Conn::connect(&addr).unwrap();
+    let doc = conn.wait_for_job("stub", Duration::from_secs(10)).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        counters.wait_requests.load(Ordering::SeqCst),
+        1,
+        "exactly one probe of the wait endpoint"
+    );
+    assert!(
+        counters.polls.load(Ordering::SeqCst) >= 3,
+        "fell back to status polling"
+    );
+}
+
+#[test]
+fn unsupported_versions_are_rejected_up_front() {
+    let addr = boot(1);
+    let mut conn = Conn::connect(&addr).unwrap();
+    for target in ["/v2/jobs", "/v0/stats", "/v99/healthz"] {
+        let (code, body) = conn.request("GET", target, "").unwrap();
+        assert_eq!(code, 400, "{target}");
+        let error = ApiError::from_body(&body).unwrap();
+        assert_eq!(error.code, ErrorCode::UnsupportedVersion, "{target}");
+        assert!(error.message.contains("v1"), "points at the served version");
+    }
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
+/// Raw socket helper for requests the client cannot express (oversized
+/// declared bodies).
+#[test]
+fn over_budget_bodies_answer_a_structured_error() {
+    let addr = boot(1);
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = "POST /v1/jobs HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n";
+    (&stream).write_all(head.as_bytes()).unwrap();
+    let mut reader = MessageReader::new(stream.try_clone().unwrap());
+    let (code, body, keep) = reader.next_response().unwrap();
+    assert_eq!(code, 400);
+    assert!(!keep, "framing errors close the connection");
+    let error = ApiError::from_body(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(error.code, ErrorCode::BodyTooLarge);
+
+    // An oversized *head* is malformed_request, not body_too_large — a
+    // client must not be told to shrink a body that was never at fault.
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let huge = format!(
+        "GET /v1/healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "a".repeat(20 << 10)
+    );
+    (&stream).write_all(huge.as_bytes()).unwrap();
+    let mut reader = MessageReader::new(stream.try_clone().unwrap());
+    let (code, body, _) = reader.next_response().unwrap();
+    assert_eq!(code, 400);
+    let error = ApiError::from_body(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(error.code, ErrorCode::MalformedRequest);
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}

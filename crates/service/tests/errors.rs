@@ -1,0 +1,138 @@
+//! The malformed-request matrix, table-driven: every way a request can
+//! be wrong is pinned to its structured error `code` (and therefore its
+//! HTTP status — [`ErrorCode::http_status`] is part of the contract)
+//! and to its `retryable` flag.
+//!
+//! One daemon serves the whole table; none of these requests register
+//! any work, so the rows are independent.
+
+use scalana_api::{paths, ApiError, ErrorCode};
+use scalana_service::client::{self, Conn};
+use scalana_service::{Server, ServiceConfig};
+
+fn boot() -> String {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+#[test]
+fn malformed_requests_answer_their_pinned_error_codes() {
+    let addr = boot();
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    #[rustfmt::skip]
+    let table: &[(&str, &str, &str, u16, ErrorCode)] = &[
+        // -- body problems on submit ------------------------------------
+        ("POST", "/v1/jobs", "not json",
+            400, ErrorCode::BadJson),
+        ("POST", "/v1/jobs", "{}",
+            400, ErrorCode::BadRequest),
+        ("POST", "/v1/jobs", r#"{"app":"CG","wat":1}"#,
+            400, ErrorCode::UnknownField),
+        ("POST", "/v1/jobs", r#"{"app":"CG","source":"x"}"#,
+            400, ErrorCode::BadRequest),
+        ("POST", "/v1/jobs", r#"{"app":"NOPE","scales":[2]}"#,
+            400, ErrorCode::UnknownApp),
+        ("POST", "/v1/jobs", r#"{"app":"CG","scales":[8,4]}"#,
+            400, ErrorCode::BadRequest),
+        ("POST", "/v1/jobs", r#"{"app":"CG","scales":[0]}"#,
+            400, ErrorCode::BadRequest),
+        ("POST", "/v1/jobs", r#"{"program_hash":"ffffffffffffffff"}"#,
+            404, ErrorCode::UnknownProgramHash),
+        ("POST", "/v1/jobs", "[]",
+            400, ErrorCode::BadRequest),
+        // -- version prefix ---------------------------------------------
+        ("GET", "/v2/stats", "",
+            400, ErrorCode::UnsupportedVersion),
+        ("POST", "/v7/jobs", r#"{"app":"CG"}"#,
+            400, ErrorCode::UnsupportedVersion),
+        // -- paths and methods ------------------------------------------
+        ("GET", "/v1/nope", "",
+            404, ErrorCode::NotFound),
+        ("GET", "/nope", "",
+            404, ErrorCode::NotFound),
+        ("DELETE", "/v1/jobs/abc", "",
+            405, ErrorCode::MethodNotAllowed),
+        // -- job lookups ------------------------------------------------
+        ("GET", "/v1/jobs/doesnotexist", "",
+            404, ErrorCode::UnknownJob),
+        ("GET", "/v1/jobs/doesnotexist/result", "",
+            404, ErrorCode::UnknownJob),
+        ("GET", "/v1/jobs/doesnotexist/wait?timeout_ms=10", "",
+            404, ErrorCode::UnknownJob),
+        ("GET", "/v1/jobs/doesnotexist/profile/4", "",
+            404, ErrorCode::UnknownJob),
+        ("GET", "/v1/jobs/doesnotexist/profile/x", "",
+            400, ErrorCode::BadRequest),
+        // -- query problems ---------------------------------------------
+        ("GET", "/v1/jobs?state=bogus", "",
+            400, ErrorCode::BadRequest),
+        ("GET", "/v1/jobs?limit=0", "",
+            400, ErrorCode::BadRequest),
+        ("GET", "/v1/jobs?wat=1", "",
+            400, ErrorCode::UnknownField),
+        ("GET", "/v1/jobs/abc/wait?timeout_ms=-1", "",
+            400, ErrorCode::BadRequest),
+        ("GET", "/v1/jobs/abc/wait?wat=1", "",
+            400, ErrorCode::UnknownField),
+        // -- diff -------------------------------------------------------
+        ("POST", "/v1/diff", "not json",
+            400, ErrorCode::BadJson),
+        ("POST", "/v1/diff", r#"{"a":{"app":"CG"}}"#,
+            400, ErrorCode::BadRequest),
+        ("POST", "/v1/diff", r#"{"a":{"app":"CG"},"b":{"app":"CG"},"c":1}"#,
+            400, ErrorCode::UnknownField),
+        ("POST", "/v1/diff", r#"{"a":{"app":"CG","wat":1},"b":{"app":"CG"}}"#,
+            400, ErrorCode::UnknownField),
+        ("POST", "/v1/diff", r#"{"a":{"app":"NOPE","scales":[2]},"b":{"app":"CG","scales":[2]}}"#,
+            400, ErrorCode::UnknownApp),
+    ];
+
+    for &(method, target, body, expected_status, expected_code) in table {
+        let (code, text) = conn.request(method, target, body).unwrap();
+        assert_eq!(code, expected_status, "{method} {target} {body} -> {text}");
+        let error = ApiError::from_body(&text)
+            .unwrap_or_else(|| panic!("{method} {target}: unstructured error body {text}"));
+        assert_eq!(
+            error.code, expected_code,
+            "{method} {target} {body} -> {text}"
+        );
+        assert_eq!(
+            error.retryable,
+            expected_code.retryable(),
+            "{method} {target}: retryable flag must follow the code"
+        );
+        assert!(
+            !error.message.is_empty(),
+            "{method} {target}: empty message"
+        );
+    }
+
+    // Batched submissions report per-item errors in place, with the
+    // same structured shape, without voiding their siblings.
+    let batch = r#"[{"app":"CG","scales":[2]},{"app":"NOPE"},{"wat":1}]"#;
+    let (code, text) = conn.request("POST", "/v1/jobs", batch).unwrap();
+    assert_eq!(code, 200, "{text}");
+    let doc = scalana_service::json::parse(&text).unwrap();
+    let items = doc.as_array().unwrap();
+    assert_eq!(items.len(), 3);
+    assert!(items[0].get("job").is_some(), "good item acknowledged");
+    assert_eq!(
+        ApiError::from_json(&items[1]).unwrap().code,
+        ErrorCode::UnknownApp
+    );
+    assert_eq!(
+        ApiError::from_json(&items[2]).unwrap().code,
+        ErrorCode::UnknownField
+    );
+
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}

@@ -75,6 +75,22 @@ JOB="$(echo "$SECOND" | sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p')"
 "$BIN" result --addr "$ADDR" "$JOB" | grep -q '"report"' \
     || { echo "result endpoint did not serve the cached report" >&2; exit 1; }
 
+echo "==> /v1/diff end-to-end (both sides reuse cached profiles)"
+# A second program: the demo with a heavier serial section. Side `a`
+# re-references the fully cached demo job; side `b` is fresh work.
+sed 's/N \/ 4/N \/ 2/' "$WORKDIR/demo.mmpi" > "$WORKDIR/demo_slow.mmpi"
+DIFF="$("$BIN" diff --addr "$ADDR" "$WORKDIR/demo.mmpi" "$WORKDIR/demo_slow.mmpi" --scales 2,4)"
+echo "$DIFF" | grep -q '"summary"' || { echo "diff produced no summary: $DIFF" >&2; exit 1; }
+echo "$DIFF" | grep -q '"root_causes"' || { echo "diff produced no root_causes: $DIFF" >&2; exit 1; }
+# Side `a` hit the whole-job cache, so per-scale counters moved only
+# for side `b`'s two scales (both fresh simulations).
+STATS="$("$BIN" status --addr "$ADDR")"
+echo "$STATS" | grep -q '"scale_hits":2' || { echo "diff disturbed the per-scale cache: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -q '"scale_misses":5' || { echo "unexpected per-scale misses after diff: $STATS" >&2; exit 1; }
+# The identical diff again is fully cached and byte-identical.
+AGAIN="$("$BIN" diff --addr "$ADDR" "$WORKDIR/demo.mmpi" "$WORKDIR/demo_slow.mmpi" --scales 2,4)"
+[ "$DIFF" = "$AGAIN" ] || { echo "diff output is not deterministic" >&2; exit 1; }
+
 echo "==> shutdown"
 "$BIN" shutdown --addr "$ADDR" > /dev/null
 wait "$SERVE_PID"

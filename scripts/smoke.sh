@@ -21,15 +21,18 @@ cargo test --workspace --quiet
 echo "==> cargo bench --no-run"
 cargo bench --no-run --quiet
 
-echo "==> service smoke (serve / submit twice / cache hit)"
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> service smoke (serve / submit twice / cache hit / v1 diff)"
 scripts/service_smoke.sh target/release/scalana
 
-echo "==> perfgate --quick (all six bench suites, gated vs BENCH_pr4.json)"
+echo "==> perfgate --quick (all six bench suites, gated vs BENCH_pr5.json)"
 mkdir -p target/perfgate
 # Generous factor (matching CI): the committed medians come from one
 # specific machine; the gate is for panics and order-of-magnitude
 # regressions, not machine variance.
 PERFGATE_FACTOR="${PERFGATE_FACTOR:-25}" cargo run --release -q -p scalana-bench --bin perfgate -- \
-  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr4.json
+  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr5.json
 
 echo "smoke: all green"
