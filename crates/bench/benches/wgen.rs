@@ -1,0 +1,12 @@
+//! Criterion bench: workload-generator throughput — spec generation,
+//! lowering, and the pretty → re-parse round trip (see
+//! [`scalana_bench::suites::wgen`]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_wgen(c: &mut Criterion) {
+    scalana_bench::suites::wgen(c);
+}
+
+criterion_group!(benches, bench_wgen);
+criterion_main!(benches);

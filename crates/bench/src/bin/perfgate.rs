@@ -3,22 +3,22 @@
 //!
 //! Executes every Criterion suite ([`scalana_bench::suites`])
 //! in-process, collects per-benchmark medians, and writes one
-//! `BENCH_*.json` trajectory point: current medians for all six suites,
-//! the cache hit/miss submission latencies, the overlapping-scales
-//! warm/cold speedup, the long-poll vs polling wait latency,
-//! multi-client jobs/sec with p50/p99 latency, and speedups against the
-//! committed pre-refactor baseline. CI runs it in `--quick` mode gated
-//! against the committed `BENCH_pr5.json` (`BENCH_pr3.json` and
-//! `BENCH_pr4.json` remain as earlier trajectory points), so a
+//! `BENCH_*.json` trajectory point: current medians for all seven
+//! suites, the cache hit/miss submission latencies, the
+//! overlapping-scales warm/cold speedup, the long-poll vs polling wait
+//! latency, multi-client jobs/sec with p50/p99 latency, and speedups
+//! against the committed pre-refactor baseline. CI runs it in `--quick`
+//! mode gated against the committed `BENCH_pr6.json` (`BENCH_pr3.json`
+//! through `BENCH_pr5.json` remain as earlier trajectory points), so a
 //! panicking bench or a wild regression (default: >10× the recorded
 //! median, tunable with `PERFGATE_FACTOR`, machine differences
 //! included) fails the build.
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr5.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr6.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr5.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr6.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -57,7 +57,7 @@ const BASELINE_PRE_REFACTOR: &[(&str, u64)] = &[
 /// A suite entry point.
 type Suite = fn(&mut Criterion);
 
-/// The six suites, in trajectory order.
+/// The seven suites, in trajectory order.
 const SUITES: &[(&str, Suite)] = &[
     ("simulation", scalana_bench::suites::simulation),
     ("overhead", scalana_bench::suites::overhead),
@@ -65,6 +65,7 @@ const SUITES: &[(&str, Suite)] = &[
     ("psg_build", scalana_bench::suites::psg_build),
     ("service", scalana_bench::suites::service),
     ("throughput", scalana_bench::suites::throughput),
+    ("wgen", scalana_bench::suites::wgen),
 ];
 
 struct Args {
@@ -76,7 +77,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr5.json".to_string(),
+        out: "BENCH_pr6.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -232,7 +233,7 @@ fn main() -> ExitCode {
         .collect();
 
     let doc = Json::obj(vec![
-        ("pr", "pr5".into()),
+        ("pr", "pr6".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",

@@ -167,6 +167,52 @@ pub fn psg_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Workload-generator throughput — how fast the fuzzer's front half
+/// (weighted spec generation, lowering to a checked AST, and the
+/// pretty-print → re-parse round trip the differential oracles feed on)
+/// turns seeds into runnable MiniMPI programs. Tracks the cost of
+/// growing the grammar: a heavier template mix shows up here before it
+/// shows up as fuzz wall-clock.
+pub fn wgen(c: &mut Criterion) {
+    const CASES: usize = 100;
+    const SEED: u64 = 0x5ca1_ab1e;
+
+    let mut group = c.benchmark_group("wgen");
+    group.sample_size(20);
+
+    group.bench_function("generate_100", |b| {
+        b.iter(|| {
+            (0..CASES)
+                .map(|case| scalana_wgen::generate(SEED, case).stmt_count())
+                .sum::<usize>()
+        });
+    });
+
+    let specs: Vec<_> = (0..CASES)
+        .map(|case| scalana_wgen::generate(SEED, case))
+        .collect();
+    group.bench_function("lower_100", |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|spec| spec.lower().next_node_id)
+                .sum::<u32>()
+        });
+    });
+
+    let sources: Vec<String> = specs.iter().map(|spec| spec.pretty()).collect();
+    group.bench_function("reparse_100", |b| {
+        b.iter(|| {
+            sources
+                .iter()
+                .map(|src| parse_program("wgen.mmpi", src).unwrap().next_node_id)
+                .sum::<u32>()
+        });
+    });
+
+    group.finish();
+}
+
 fn service_program(work: u64) -> String {
     format!(
         "param WORK = {work};\n\

@@ -101,6 +101,19 @@ fn check_params(program: &Program) -> LangResult<()> {
                 Some(param.span.clone()),
             ));
         }
+        // The param grammar is `[-] INT`, so this is the one default the
+        // pretty-printer cannot render as re-parseable source (the lexer
+        // rejects the bare magnitude). Reject it at build time instead of
+        // emitting unparseable dumps.
+        if param.default == i64::MIN {
+            return Err(LangError::semantic(
+                format!(
+                    "param `{}` default {} is not representable in the grammar",
+                    param.name, param.default
+                ),
+                Some(param.span.clone()),
+            ));
+        }
     }
     Ok(())
 }

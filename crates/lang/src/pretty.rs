@@ -221,10 +221,16 @@ fn print_mpi(out: &mut String, op: &MpiOp) {
 pub fn expr(e: &Expr) -> String {
     match e {
         Expr::Int(v) => {
-            if *v < 0 {
+            if *v == i64::MIN {
+                // `i64::MIN` has no in-range magnitude to negate (the
+                // lexer rejects the bare literal), so print a two-literal
+                // expression with the same value; [`normalize_spans`]
+                // folds the re-parsed shape back to the literal.
+                format!("(-{} - 1)", i64::MAX)
+            } else if *v < 0 {
                 // Negative literals don't exist in the grammar; print as
                 // a parenthesized unary negation so they re-parse.
-                format!("(-{})", -(*v as i128))
+                format!("(-{})", -v)
             } else {
                 v.to_string()
             }
@@ -259,6 +265,15 @@ fn expr_atom(e: &Expr) -> String {
 /// Return a copy of the program with every span replaced by a fixed
 /// synthetic span and integer literal normalization applied.
 ///
+/// Literal normalization canonicalizes the two spellings of a negative
+/// constant: a unary negation of a literal (`-3`, the only shape the
+/// parser can produce) folds to the negative literal itself (`Int(-3)`,
+/// the shape builders produce and the printer renders as `(-3)`), and
+/// the printer's two-literal spelling of `i64::MIN` folds back to that
+/// literal. Both folds are value-preserving under the evaluator's
+/// wrapping semantics, so structural equality of normalized programs is
+/// the round-trip invariant.
+///
 /// Useful for structural comparisons in round-trip tests, where the
 /// re-parsed AST has different source locations.
 pub fn normalize_spans(program: &Program) -> Program {
@@ -278,21 +293,130 @@ fn normalize_block(block: &mut Block, fixed: &Span) {
     for stmt in &mut block.stmts {
         stmt.span = fixed.clone();
         match &mut stmt.kind {
-            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+            StmtKind::Let { value, .. } | StmtKind::Assign { value, .. } => {
+                normalize_expr(value);
+            }
+            StmtKind::For {
+                start, end, body, ..
+            } => {
+                normalize_expr(start);
+                normalize_expr(end);
+                normalize_block(body, fixed);
+            }
+            StmtKind::While { cond, body } => {
+                normalize_expr(cond);
                 normalize_block(body, fixed);
             }
             StmtKind::If {
+                cond,
                 then_block,
                 else_block,
-                ..
             } => {
+                normalize_expr(cond);
                 normalize_block(then_block, fixed);
                 if let Some(e) = else_block {
                     normalize_block(e, fixed);
                 }
             }
-            _ => {}
+            StmtKind::Call { args, .. } => args.iter_mut().for_each(normalize_expr),
+            StmtKind::CallIndirect { target, args } => {
+                normalize_expr(target);
+                args.iter_mut().for_each(normalize_expr);
+            }
+            StmtKind::Comp(attrs) => {
+                normalize_expr(&mut attrs.cycles);
+                for e in [
+                    &mut attrs.ins,
+                    &mut attrs.lst,
+                    &mut attrs.l2_miss,
+                    &mut attrs.br_miss,
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    normalize_expr(e);
+                }
+            }
+            StmtKind::Mpi(op) => normalize_mpi(op),
+            StmtKind::Return => {}
         }
+    }
+}
+
+fn normalize_mpi(op: &mut MpiOp) {
+    match op {
+        MpiOp::Send { dst, tag, bytes } => {
+            normalize_expr(dst);
+            normalize_expr(tag);
+            normalize_expr(bytes);
+        }
+        MpiOp::Recv { src, tag } => {
+            normalize_expr(src);
+            normalize_expr(tag);
+        }
+        MpiOp::Sendrecv {
+            dst,
+            sendtag,
+            src,
+            recvtag,
+            bytes,
+        } => {
+            normalize_expr(dst);
+            normalize_expr(sendtag);
+            normalize_expr(src);
+            normalize_expr(recvtag);
+            normalize_expr(bytes);
+        }
+        MpiOp::Isend {
+            dst, tag, bytes, ..
+        } => {
+            normalize_expr(dst);
+            normalize_expr(tag);
+            normalize_expr(bytes);
+        }
+        MpiOp::Irecv { src, tag, .. } => {
+            normalize_expr(src);
+            normalize_expr(tag);
+        }
+        MpiOp::Wait { req } => normalize_expr(req),
+        MpiOp::Waitall | MpiOp::Barrier => {}
+        MpiOp::Bcast { root, bytes } | MpiOp::Reduce { root, bytes } => {
+            normalize_expr(root);
+            normalize_expr(bytes);
+        }
+        MpiOp::Allreduce { bytes } | MpiOp::Alltoall { bytes } | MpiOp::Allgather { bytes } => {
+            normalize_expr(bytes);
+        }
+    }
+}
+
+fn normalize_expr(e: &mut Expr) {
+    match e {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: inner,
+        } => {
+            normalize_expr(inner);
+            if let Expr::Int(v) = **inner {
+                *e = Expr::Int(v.wrapping_neg());
+            }
+        }
+        Expr::Unary { expr: inner, .. } => normalize_expr(inner),
+        Expr::Binary { op, lhs, rhs } => {
+            normalize_expr(lhs);
+            normalize_expr(rhs);
+            // The printer spells `i64::MIN` as `(-MAX - 1)`; fold that
+            // exact shape (post-negation-fold: `Int(-MAX) - Int(1)`)
+            // back to the literal.
+            if *op == BinOp::Sub
+                && matches!(**lhs, Expr::Int(a) if a == -i64::MAX)
+                && matches!(**rhs, Expr::Int(1))
+            {
+                *e = Expr::Int(i64::MIN);
+            }
+        }
+        Expr::Builtin { args, .. } => args.iter_mut().for_each(normalize_expr),
+        Expr::Int(_) | Expr::Var(_) | Expr::FuncRef(_) => {}
     }
 }
 
@@ -361,6 +485,41 @@ mod tests {
     #[test]
     fn round_trips_negative_and_unary() {
         round_trip("fn main() { let x = -3 + (-(4)) * (!0); let y = abs(x - 7); }");
+    }
+
+    /// A builder-made negative literal and a parsed unary negation are
+    /// different AST shapes that print identically; normalization makes
+    /// the round trip structural for both.
+    #[test]
+    fn negative_literal_round_trips_from_builder() {
+        use crate::builder::*;
+        let mut b = ProgramBuilder::new("neg.mmpi");
+        b.function("main", &[], |f| {
+            f.let_("x", int(-3));
+            f.let_("y", int(-3) * int(-7) + var("x"));
+        });
+        let p = b.finish().unwrap();
+        let printed = print_program(&p);
+        let reparsed = parse_program("neg.mmpi", &printed).unwrap();
+        assert_eq!(normalize_spans(&p), normalize_spans(&reparsed));
+    }
+
+    /// `i64::MIN` has no literal spelling the lexer accepts; the printer
+    /// must still emit parseable, value-identical source for it.
+    #[test]
+    fn i64_min_prints_parseable_and_round_trips() {
+        use crate::builder::*;
+        assert_eq!(expr(&int(i64::MIN)), "(-9223372036854775807 - 1)");
+        let mut b = ProgramBuilder::new("min.mmpi");
+        b.function("main", &[], |f| {
+            f.let_("x", int(i64::MIN));
+            f.comp_cycles(abs(var("x")));
+        });
+        let p = b.finish().unwrap();
+        let printed = print_program(&p);
+        let reparsed = parse_program("min.mmpi", &printed)
+            .unwrap_or_else(|e| panic!("MIN output must parse: {e}\n---\n{printed}"));
+        assert_eq!(normalize_spans(&p), normalize_spans(&reparsed));
     }
 
     #[test]

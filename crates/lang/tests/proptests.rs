@@ -13,12 +13,17 @@ use scalana_lang::{lexer, parse_program};
 
 // ----- strategies -----
 
-/// Variable names guaranteed to be in scope in generated bodies.
-const SCOPE_VARS: &[&str] = &["rank", "nprocs", "n0", "n1"];
+/// Variable names guaranteed to be in scope in generated bodies
+/// (`P0` is a program parameter, usable everywhere).
+const SCOPE_VARS: &[&str] = &["rank", "nprocs", "n0", "n1", "P0"];
 
 fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
         (0i64..10_000).prop_map(Expr::Int),
+        // The full literal range, including i64::MIN — the printer emits
+        // negatives parenthesized and MIN as `(-MAX - 1)`, and
+        // normalization folds both back to plain literals.
+        (i64::MIN..=i64::MAX).prop_map(Expr::Int),
         proptest::sample::select(SCOPE_VARS).prop_map(|v| Expr::Var(v.to_string())),
     ];
     leaf.prop_recursive(depth, 32, 2, |inner| {
@@ -88,16 +93,23 @@ fn arb_mpi(expr_depth: u32) -> BoxedStrategy<MpiOp> {
     .boxed()
 }
 
+fn arb_comp() -> impl Strategy<Value = StmtKind> {
+    let opt = || prop_oneof![Just(None), arb_expr(1).prop_map(Some),];
+    (arb_expr(2), opt(), opt(), opt(), opt()).prop_map(|(cycles, ins, lst, l2_miss, br_miss)| {
+        StmtKind::Comp(CompAttrs {
+            cycles,
+            ins,
+            lst,
+            l2_miss,
+            br_miss,
+        })
+    })
+}
+
 fn arb_stmt_kind(depth: u32) -> BoxedStrategy<StmtKind> {
     let e = move || arb_expr(2);
     let leaf = prop_oneof![
-        e().prop_map(|cycles| StmtKind::Comp(CompAttrs {
-            cycles,
-            ins: None,
-            lst: None,
-            l2_miss: None,
-            br_miss: None,
-        })),
+        arb_comp(),
         arb_mpi(2).prop_map(StmtKind::Mpi),
         Just(StmtKind::Return),
     ];
@@ -108,6 +120,10 @@ fn arb_stmt_kind(depth: u32) -> BoxedStrategy<StmtKind> {
                 var: "i".to_string(),
                 start,
                 end,
+                body: kinds_to_block(kinds),
+            }),
+            (e(), block.clone()).prop_map(|(cond, kinds)| StmtKind::While {
+                cond,
                 body: kinds_to_block(kinds),
             }),
             (e(), block.clone(), block).prop_map(|(cond, t, f)| StmtKind::If {
@@ -162,46 +178,125 @@ fn renumber(program: &mut Program) {
     program.next_node_id = next;
 }
 
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt {
+        id: 0,
+        span: Span::synthetic("gen.mmpi", 1),
+        kind,
+    }
+}
+
+/// The scope-variable prelude every generated function body starts with.
+fn prelude() -> Vec<Stmt> {
+    vec![
+        stmt(StmtKind::Let {
+            name: "n0".into(),
+            value: Expr::Int(4),
+        }),
+        stmt(StmtKind::Let {
+            name: "n1".into(),
+            value: Expr::Int(7),
+        }),
+    ]
+}
+
+/// A scoping-safe non-blocking group: `irecv`/`isend` bind fresh request
+/// variables which the two `wait`s then reference — covering the
+/// `let r = i...(..)` statement forms and `wait(expr)`.
+fn nonblocking_group(src: Expr, dst: Expr, bytes: Expr) -> Vec<Stmt> {
+    vec![
+        stmt(StmtKind::Mpi(MpiOp::Irecv {
+            src,
+            tag: Expr::Int(3),
+            req: "ra".into(),
+        })),
+        stmt(StmtKind::Mpi(MpiOp::Isend {
+            dst,
+            tag: Expr::Int(3),
+            bytes,
+            req: "rb".into(),
+        })),
+        stmt(StmtKind::Mpi(MpiOp::Wait {
+            req: Expr::Var("ra".into()),
+        })),
+        stmt(StmtKind::Mpi(MpiOp::Wait {
+            req: Expr::Var("rb".into()),
+        })),
+    ]
+}
+
+/// A full program: a `P0` parameter with an arbitrary (representable)
+/// default, a `helper(n)` function, and a `main` that may open with a
+/// non-blocking group and always ends with a call to `helper` — direct,
+/// or indirect through a function-reference local.
 fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(arb_stmt_kind(3), 1..6).prop_map(|kinds| {
-        let body = {
-            let mut b = kinds_to_block(kinds);
-            // Define the scope variables the expressions may reference.
-            let mut stmts = vec![
-                Stmt {
-                    id: 0,
-                    span: Span::synthetic("gen.mmpi", 1),
-                    kind: StmtKind::Let {
-                        name: "n0".into(),
-                        value: Expr::Int(4),
-                    },
-                },
-                Stmt {
-                    id: 0,
-                    span: Span::synthetic("gen.mmpi", 2),
-                    kind: StmtKind::Let {
-                        name: "n1".into(),
-                        value: Expr::Int(7),
-                    },
-                },
-            ];
-            stmts.append(&mut b.stmts);
-            Block { stmts }
-        };
-        let mut program = Program {
-            file_name: "gen.mmpi".into(),
-            params: vec![],
-            functions: vec![Function {
-                name: "main".into(),
-                params: vec![],
-                body,
-                span: Span::synthetic("gen.mmpi", 1),
-            }],
-            next_node_id: 0,
-        };
-        renumber(&mut program);
-        program
-    })
+    (
+        proptest::collection::vec(arb_stmt_kind(3), 1..6),
+        proptest::collection::vec(arb_stmt_kind(2), 1..4),
+        // i64::MIN is deliberately unrepresentable as a param default
+        // (the grammar is `[-] INT`); the checker rejects it, so the
+        // strategy stops one short of it.
+        (i64::MIN + 1..=i64::MAX),
+        proptest::bool::ANY,
+        (arb_expr(1), arb_expr(1), arb_expr(1)),
+        arb_expr(1),
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(main_kinds, helper_kinds, p0, group, (src, dst, bytes), arg, indirect)| {
+                let mut main_stmts = prelude();
+                if group {
+                    main_stmts.extend(nonblocking_group(src, dst, bytes));
+                }
+                main_stmts.extend(main_kinds.into_iter().map(stmt));
+                if indirect {
+                    main_stmts.push(stmt(StmtKind::Let {
+                        name: "fp".into(),
+                        value: Expr::FuncRef("helper".into()),
+                    }));
+                    main_stmts.push(stmt(StmtKind::CallIndirect {
+                        target: Expr::Var("fp".into()),
+                        args: vec![arg],
+                    }));
+                } else {
+                    main_stmts.push(stmt(StmtKind::Call {
+                        callee: "helper".into(),
+                        args: vec![arg],
+                    }));
+                }
+
+                let mut helper_stmts = prelude();
+                helper_stmts.extend(helper_kinds.into_iter().map(stmt));
+
+                let mut program = Program {
+                    file_name: "gen.mmpi".into(),
+                    params: vec![ParamDecl {
+                        name: "P0".into(),
+                        default: p0,
+                        span: Span::synthetic("gen.mmpi", 1),
+                    }],
+                    functions: vec![
+                        Function {
+                            name: "main".into(),
+                            params: vec![],
+                            body: Block { stmts: main_stmts },
+                            span: Span::synthetic("gen.mmpi", 1),
+                        },
+                        Function {
+                            name: "helper".into(),
+                            params: vec!["n".into()],
+                            body: Block {
+                                stmts: helper_stmts,
+                            },
+                            span: Span::synthetic("gen.mmpi", 1),
+                        },
+                    ],
+                    next_node_id: 0,
+                };
+                renumber(&mut program);
+                program
+            },
+        )
 }
 
 // ----- properties -----

@@ -411,6 +411,77 @@ fn unmatched_rendezvous_isend_outstanding_at_finalize_completes() {
 }
 
 #[test]
+fn wildcard_tie_break_across_tags_survives_collective_fence() {
+    // Per-source send sequence drives wildcard matching in both phases
+    // of a barrier-fenced exchange: the collective must neither perturb
+    // the sequence counters nor leave stale queue state, so the second
+    // phase re-matches in send order even though the tag order flips.
+    let src = r#"
+        fn main() {
+            if rank == 1 {
+                send(dst = 0, tag = 9, bytes = 64);
+                send(dst = 0, tag = 8, bytes = 64);
+                barrier();
+                send(dst = 0, tag = 8, bytes = 64);
+                send(dst = 0, tag = 9, bytes = 64);
+            } else if rank == 0 {
+                recv(src = any, tag = any);
+                recv(src = any, tag = any);
+                barrier();
+                recv(src = any, tag = any);
+                recv(src = any, tag = any);
+            } else {
+                barrier();
+            }
+        }
+    "#;
+    let deps = run_deps(src, 3);
+    // Collective dependences carry negative tags; keep the p2p stream.
+    let p2p: Vec<_> = deps.iter().copied().filter(|(_, t)| *t >= 0).collect();
+    assert_eq!(
+        p2p,
+        vec![(1, 9), (1, 8), (1, 8), (1, 9)],
+        "send-sequence order in each phase, tags alternating"
+    );
+    assert!(
+        deps.iter().any(|(_, t)| *t < 0),
+        "the barrier contributed collective dependences: {deps:?}"
+    );
+}
+
+#[test]
+fn looped_rendezvous_isends_drain_in_order_at_waitall() {
+    // Rendezvous-sized isends posted in a loop (rebinding the same
+    // request variable) with the matching recvs posted only much later:
+    // the sender's single waitall must block until the receiver drains
+    // every message, and matching follows the send sequence.
+    let src = r#"
+        fn main() {
+            if rank == 0 {
+                for i in 0 .. 3 {
+                    let s = isend(dst = 1, tag = i, bytes = 1m);
+                }
+                waitall();
+            } else {
+                comp(cycles = 23_000_000); // 10 ms before the first recv
+                for i in 0 .. 3 {
+                    recv(src = 0, tag = i);
+                }
+            }
+        }
+    "#;
+    let deps = run_deps(src, 2);
+    assert_eq!(deps, vec![(0, 0), (0, 1), (0, 2)]);
+
+    let res = run(src, 2).unwrap();
+    assert!(
+        res.rank_elapsed[0] >= 0.01,
+        "waitall blocked on the rendezvous handshakes: {}",
+        res.rank_elapsed[0]
+    );
+}
+
+#[test]
 fn waitall_after_unmatched_wildcard_irecv_deadlocks() {
     // The inverse corner: a wildcard irecv with no sender anywhere must
     // surface as a deadlock (not an infinite quiescence loop) when the

@@ -1,0 +1,385 @@
+//! Weighted generation of [`Spec`]s from a seeded [`TestRng`].
+//!
+//! Everything here is a pure function of the RNG stream: the same seed
+//! always yields the same spec, which is what makes fuzzer failures
+//! replayable from the seed printed in the repro dump.
+
+use crate::spec::{CollKind, GExpr, GStmt, Spec};
+use proptest::test_runner::TestRng;
+use scalana_lang::ast::BinOp;
+
+/// Statement-generation context: what is legal at the current position.
+#[derive(Debug, Clone, Copy)]
+struct Ctx {
+    /// Remaining nesting budget for container statements.
+    depth: u32,
+    /// Number of enclosing loop variables ([`GExpr::Loop`] candidates).
+    loops: usize,
+    /// Computation-only position (inside rank-divergent control flow):
+    /// no MPI, no helper calls, but rank-dependent expressions allowed.
+    comp_only: bool,
+    /// Helper calls allowed (false inside `helper` itself).
+    allow_helper: bool,
+    /// Inside the helper body: [`GExpr::HelperArg`] is in scope.
+    in_helper: bool,
+}
+
+/// Deterministically generate one spec. `case_id` is baked into the
+/// program as a parameter so every case's program is content-unique
+/// (the daemon oracles rely on cross-case cache isolation).
+pub fn gen_spec(rng: &mut TestRng, case_id: i64) -> Spec {
+    let mut tags = 10i64;
+    let main_len = 2 + rng.gen_index(3);
+    let main = gen_body(
+        rng,
+        &mut tags,
+        Ctx {
+            depth: 2,
+            loops: 0,
+            comp_only: false,
+            allow_helper: true,
+            in_helper: false,
+        },
+        main_len,
+    );
+    let helper_len = 1 + rng.gen_index(2);
+    let helper = gen_body(
+        rng,
+        &mut tags,
+        Ctx {
+            depth: 1,
+            loops: 0,
+            comp_only: false,
+            allow_helper: false,
+            in_helper: true,
+        },
+        helper_len,
+    );
+    Spec {
+        case_id,
+        p0: rng.gen_range(1i64..=50_000),
+        p1: rng.gen_range(1i64..=50_000),
+        main,
+        helper,
+        helper_ret: rng.gen_bool(),
+    }
+}
+
+fn gen_body(rng: &mut TestRng, tags: &mut i64, ctx: Ctx, len: usize) -> Vec<GStmt> {
+    (0..len).map(|_| gen_stmt(rng, tags, ctx)).collect()
+}
+
+/// A 1-2 statement body (the length roll hoisted out of call sites).
+fn gen_small_body(rng: &mut TestRng, tags: &mut i64, ctx: Ctx) -> Vec<GStmt> {
+    let len = 1 + rng.gen_index(2);
+    gen_body(rng, tags, ctx, len)
+}
+
+/// Weighted statement choice. Weights are relative; container and
+/// template arms are re-rolled to leaves when the context forbids them.
+fn gen_stmt(rng: &mut TestRng, tags: &mut i64, ctx: Ctx) -> GStmt {
+    if ctx.comp_only {
+        return gen_comp_only_stmt(rng, tags, ctx);
+    }
+    // (weight, arm) table for the uniform context.
+    const ARMS: &[(u32, u8)] = &[
+        (14, 0), // Comp
+        (5, 1),  // LetTemp
+        (9, 2),  // For
+        (4, 3),  // RankFor
+        (6, 4),  // While
+        (7, 5),  // IfUniform
+        (5, 6),  // RankIf
+        (14, 7), // Collective
+        (8, 8),  // RingSendrecv
+        (8, 9),  // PairedSendRecv
+        (6, 10), // GatherToRoot
+        (9, 11), // NonblockingRing
+        (5, 12), // CallHelper
+    ];
+    let mut arm = pick(rng, ARMS);
+    if ctx.depth == 0 && matches!(arm, 2..=6) {
+        arm = if rng.gen_bool() { 0 } else { 7 };
+    }
+    if !ctx.allow_helper && arm == 12 {
+        arm = 0;
+    }
+    let inner = Ctx {
+        depth: ctx.depth.saturating_sub(1),
+        ..ctx
+    };
+    match arm {
+        0 => gen_comp(rng, ctx),
+        1 => GStmt::LetTemp {
+            expr: gen_expr(rng, 2, ctx),
+        },
+        2 => GStmt::For {
+            bound: gen_expr(rng, 1, uniform(ctx)),
+            cap: 1 + rng.gen_range(0i64..4),
+            body: gen_small_body(
+                rng,
+                tags,
+                Ctx {
+                    loops: ctx.loops + 1,
+                    ..inner
+                },
+            ),
+        },
+        3 => GStmt::RankFor {
+            modulus: 2 + rng.gen_range(0i64..3),
+            body: gen_small_body(
+                rng,
+                tags,
+                Ctx {
+                    loops: ctx.loops + 1,
+                    comp_only: true,
+                    ..inner
+                },
+            ),
+        },
+        4 => GStmt::While {
+            start: gen_expr(rng, 1, uniform(ctx)),
+            cap: 1 + rng.gen_range(0i64..4),
+            body: gen_small_body(rng, tags, inner),
+        },
+        5 => {
+            let then_body = gen_small_body(rng, tags, inner);
+            let else_body = if rng.gen_bool() {
+                gen_small_body(rng, tags, inner)
+            } else {
+                Vec::new()
+            };
+            GStmt::IfUniform {
+                cond: gen_cond(rng, uniform(ctx)),
+                then_body,
+                else_body,
+            }
+        }
+        6 => GStmt::RankIf {
+            modulus: 2 + rng.gen_range(0i64..3),
+            body: gen_small_body(
+                rng,
+                tags,
+                Ctx {
+                    comp_only: true,
+                    ..inner
+                },
+            ),
+        },
+        7 => GStmt::Collective {
+            kind: [
+                CollKind::Barrier,
+                CollKind::Bcast,
+                CollKind::Reduce,
+                CollKind::Allreduce,
+                CollKind::Alltoall,
+                CollKind::Allgather,
+            ][rng.gen_index(6)],
+            root: gen_expr(rng, 1, uniform(ctx)),
+            bytes: gen_bytes(rng),
+        },
+        8 => GStmt::RingSendrecv {
+            tag: fresh_tag(tags),
+            bytes: gen_bytes(rng),
+        },
+        9 => GStmt::PairedSendRecv {
+            tag: fresh_tag(tags),
+            bytes: gen_bytes(rng),
+            wildcard_src: rng.gen_bool(),
+            wildcard_tag: rng.gen_index(4) == 0,
+        },
+        10 => GStmt::GatherToRoot {
+            tag: fresh_tag(tags),
+            bytes: gen_bytes(rng),
+            wildcard_src: rng.gen_bool(),
+            wildcard_tag: rng.gen_index(4) == 0,
+        },
+        11 => GStmt::NonblockingRing {
+            tag: fresh_tag(tags),
+            bytes: gen_bytes(rng),
+            dist: 1 + rng.gen_range(0i64..2),
+            wildcard_src: rng.gen_index(3) == 0,
+            wait_each: rng.gen_bool(),
+        },
+        _ => GStmt::CallHelper {
+            indirect: rng.gen_bool(),
+            arg: gen_expr(rng, 1, uniform(ctx)),
+        },
+    }
+}
+
+fn gen_comp_only_stmt(rng: &mut TestRng, tags: &mut i64, ctx: Ctx) -> GStmt {
+    const ARMS: &[(u32, u8)] = &[(50, 0), (10, 1), (15, 2), (10, 3), (15, 4)];
+    let mut arm = pick(rng, ARMS);
+    if ctx.depth == 0 && arm >= 2 {
+        arm = 0;
+    }
+    let inner = Ctx {
+        depth: ctx.depth.saturating_sub(1),
+        ..ctx
+    };
+    match arm {
+        0 => gen_comp(rng, ctx),
+        1 => GStmt::LetTemp {
+            expr: gen_expr(rng, 2, ctx),
+        },
+        2 => GStmt::For {
+            bound: gen_expr(rng, 1, ctx),
+            cap: 1 + rng.gen_range(0i64..4),
+            body: gen_small_body(
+                rng,
+                tags,
+                Ctx {
+                    loops: ctx.loops + 1,
+                    ..inner
+                },
+            ),
+        },
+        3 => GStmt::While {
+            start: gen_expr(rng, 1, ctx),
+            cap: 1 + rng.gen_range(0i64..4),
+            body: gen_small_body(rng, tags, inner),
+        },
+        _ => GStmt::IfUniform {
+            cond: gen_cond(rng, ctx),
+            then_body: gen_small_body(rng, tags, inner),
+            else_body: Vec::new(),
+        },
+    }
+}
+
+fn gen_comp(rng: &mut TestRng, ctx: Ctx) -> GStmt {
+    // Comp cycle costs may be rank-dependent anywhere: they shift
+    // timing, never matching.
+    let rank_ok = Ctx {
+        comp_only: true,
+        ..ctx
+    };
+    GStmt::Comp {
+        cycles: gen_expr(rng, 2, rank_ok),
+        ins: rng.gen_bool(),
+        lst: rng.gen_bool(),
+        miss: rng.gen_index(3) == 0,
+        brmiss: rng.gen_index(3) == 0,
+    }
+}
+
+fn fresh_tag(tags: &mut i64) -> i64 {
+    let t = *tags;
+    *tags += 1;
+    t
+}
+
+fn uniform(ctx: Ctx) -> Ctx {
+    Ctx {
+        comp_only: false,
+        ..ctx
+    }
+}
+
+fn pick(rng: &mut TestRng, arms: &[(u32, u8)]) -> u8 {
+    let total: u32 = arms.iter().map(|(w, _)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for (w, arm) in arms {
+        if roll < *w {
+            return *arm;
+        }
+        roll -= w;
+    }
+    arms[arms.len() - 1].1
+}
+
+/// Interesting integer literals: boundaries, small counts, and sizes
+/// around the eager/rendezvous threshold.
+const LITERALS: &[i64] = &[
+    -100_000, -3, -1, 0, 1, 2, 3, 4, 7, 63, 64, 1000, 4096, 65_535, 65_536, 100_000,
+];
+
+/// Generate an arithmetic expression. `ctx.comp_only` gates
+/// rank-dependence; `ctx.loops`/`ctx.in_helper` gate scoped leaves.
+fn gen_expr(rng: &mut TestRng, depth: u32, ctx: Ctx) -> GExpr {
+    if depth == 0 || rng.gen_index(3) == 0 {
+        return gen_leaf(rng, ctx);
+    }
+    let a = Box::new(gen_expr(rng, depth - 1, ctx));
+    let b = Box::new(gen_expr(rng, depth - 1, ctx));
+    match rng.gen_index(9) {
+        0 => GExpr::Bin(BinOp::Add, a, b),
+        1 => GExpr::Bin(BinOp::Sub, a, b),
+        2 => GExpr::Bin(BinOp::Mul, a, b),
+        3 => GExpr::Bin(BinOp::Div, a, b),
+        4 => GExpr::Bin(BinOp::Mod, a, b),
+        5 => GExpr::Min(a, b),
+        6 => GExpr::Max(a, b),
+        7 => GExpr::Abs(a),
+        _ => {
+            if rng.gen_bool() {
+                GExpr::Log2(a)
+            } else {
+                GExpr::Neg(a)
+            }
+        }
+    }
+}
+
+/// Generate a branch condition: usually a comparison, sometimes raw
+/// arithmetic (non-zero is truthy), sometimes a conjunction.
+fn gen_cond(rng: &mut TestRng, ctx: Ctx) -> GExpr {
+    let a = Box::new(gen_expr(rng, 1, ctx));
+    let b = Box::new(gen_expr(rng, 1, ctx));
+    match rng.gen_index(8) {
+        0 => GExpr::Bin(BinOp::Lt, a, b),
+        1 => GExpr::Bin(BinOp::Le, a, b),
+        2 => GExpr::Bin(BinOp::Gt, a, b),
+        3 => GExpr::Bin(BinOp::Ge, a, b),
+        4 => GExpr::Bin(BinOp::Eq, a, b),
+        5 => GExpr::Bin(BinOp::Ne, a, b),
+        6 => GExpr::Bin(
+            BinOp::And,
+            Box::new(GExpr::Bin(BinOp::Lt, a, b.clone())),
+            Box::new(GExpr::Bin(BinOp::Ne, b, Box::new(GExpr::Lit(0)))),
+        ),
+        _ => *a,
+    }
+}
+
+fn gen_leaf(rng: &mut TestRng, ctx: Ctx) -> GExpr {
+    loop {
+        match rng.gen_index(8) {
+            0..=2 => return GExpr::Lit(LITERALS[rng.gen_index(LITERALS.len())]),
+            3 => return GExpr::P0,
+            4 => return GExpr::P1,
+            5 => return GExpr::Nprocs,
+            6 => {
+                if ctx.comp_only {
+                    return GExpr::Rank;
+                }
+                return GExpr::CaseId;
+            }
+            _ => {
+                if ctx.loops > 0 {
+                    return GExpr::Loop(rng.gen_index(ctx.loops));
+                }
+                if ctx.in_helper {
+                    return GExpr::HelperArg;
+                }
+                // Nothing scoped available; re-roll.
+            }
+        }
+    }
+}
+
+/// Payload-size expression: boundary literals around the 64 KiB
+/// eager/rendezvous threshold, plus a parameter-derived size.
+fn gen_bytes(rng: &mut TestRng) -> GExpr {
+    const SIZES: &[i64] = &[0, 1, 512, 4096, 65_535, 65_536, 65_537, 262_144];
+    if rng.gen_index(5) == 0 {
+        GExpr::Bin(
+            BinOp::Mod,
+            Box::new(GExpr::Abs(Box::new(GExpr::P0))),
+            Box::new(GExpr::Lit(131_072)),
+        )
+    } else {
+        GExpr::Lit(SIZES[rng.gen_index(SIZES.len())])
+    }
+}

@@ -1,0 +1,243 @@
+//! Greedy shrinking of failing specs.
+//!
+//! The vendored mini-proptest deliberately has no shrinking, so the
+//! fuzzer carries its own: given a spec and a predicate "does this still
+//! fail the same oracle?", repeatedly try structural reductions (remove
+//! a statement, splice a container's body into its parent) and then
+//! expression simplifications (collapse expressions to literals, clamp
+//! caps), keeping every candidate that still fails. Shrinking operates
+//! on the [`Spec`] level, so every candidate still lowers to a
+//! well-formed, matched-by-construction program — the predicate never
+//! sees garbage, only smaller versions of the same failure.
+
+use crate::spec::{GExpr, GStmt, Spec};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Remove,
+    Splice,
+    Simplify,
+}
+
+/// Shrink `spec` while `still_fails` holds, spending at most `budget`
+/// predicate evaluations. Returns the smallest failing spec found.
+pub fn shrink(spec: &Spec, budget: usize, mut still_fails: impl FnMut(&Spec) -> bool) -> Spec {
+    let mut cur = spec.clone();
+    let mut probes = 0usize;
+    loop {
+        let mut improved = false;
+        'structural: for op in [Op::Remove, Op::Splice] {
+            for target in 0..count_all(&cur) {
+                if probes >= budget {
+                    return cur;
+                }
+                let Some(cand) = apply(&cur, target, op) else {
+                    continue;
+                };
+                probes += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    break 'structural;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+        // No structural reduction holds; flatten expressions. This can
+        // unlock further structural steps (e.g. a simplified loop bound
+        // makes the loop body removable), so loop once more after.
+        let mut simplified = false;
+        for target in 0..count_all(&cur) {
+            if probes >= budget {
+                return cur;
+            }
+            let Some(cand) = apply(&cur, target, Op::Simplify) else {
+                continue;
+            };
+            probes += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                simplified = true;
+            }
+        }
+        if !simplified {
+            return cur;
+        }
+    }
+}
+
+fn count(stmts: &[GStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| {
+            1 + match s {
+                GStmt::For { body, .. }
+                | GStmt::RankFor { body, .. }
+                | GStmt::While { body, .. }
+                | GStmt::RankIf { body, .. } => count(body),
+                GStmt::IfUniform {
+                    then_body,
+                    else_body,
+                    ..
+                } => count(then_body) + count(else_body),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+fn count_all(spec: &Spec) -> usize {
+    // The helper body is always a reduction target, even while unused:
+    // removing dead templates is free (the lowered program is unchanged,
+    // so the predicate trivially holds).
+    count(&spec.main) + count(&spec.helper)
+}
+
+/// Apply `op` to the `target`-th statement in pre-order (main body, then
+/// helper body). `None` when the op does not apply there or is a no-op.
+fn apply(spec: &Spec, target: usize, op: Op) -> Option<Spec> {
+    let mut cand = spec.clone();
+    let mut counter = 0usize;
+    let mut changed = false;
+    let found = apply_block(&mut cand.main, &mut counter, target, op, &mut changed)
+        || apply_block(&mut cand.helper, &mut counter, target, op, &mut changed);
+    (found && changed).then_some(cand)
+}
+
+fn apply_block(
+    stmts: &mut Vec<GStmt>,
+    counter: &mut usize,
+    target: usize,
+    op: Op,
+    changed: &mut bool,
+) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        let idx = *counter;
+        *counter += 1;
+        if idx == target {
+            match op {
+                Op::Remove => {
+                    stmts.remove(i);
+                    *changed = true;
+                }
+                Op::Splice => {
+                    let body = match stmts.remove(i) {
+                        GStmt::For { body, .. }
+                        | GStmt::RankFor { body, .. }
+                        | GStmt::While { body, .. }
+                        | GStmt::RankIf { body, .. } => body,
+                        GStmt::IfUniform {
+                            then_body,
+                            mut else_body,
+                            ..
+                        } => {
+                            let mut b = then_body;
+                            b.append(&mut else_body);
+                            b
+                        }
+                        other => {
+                            // Not a container; restore and report no-op.
+                            stmts.insert(i, other);
+                            return true;
+                        }
+                    };
+                    for (k, st) in body.into_iter().enumerate() {
+                        stmts.insert(i + k, st);
+                    }
+                    *changed = true;
+                }
+                Op::Simplify => {
+                    *changed = simplify_stmt(&mut stmts[i]);
+                }
+            }
+            return true;
+        }
+        let applied_below = match &mut stmts[i] {
+            GStmt::For { body, .. }
+            | GStmt::RankFor { body, .. }
+            | GStmt::While { body, .. }
+            | GStmt::RankIf { body, .. } => apply_block(body, counter, target, op, changed),
+            GStmt::IfUniform {
+                then_body,
+                else_body,
+                ..
+            } => {
+                apply_block(then_body, counter, target, op, changed)
+                    || apply_block(else_body, counter, target, op, changed)
+            }
+            _ => false,
+        };
+        if applied_below {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Collapse a statement's expressions/knobs to their simplest forms.
+/// Returns whether anything changed. Wildcard and waiting flags are kept
+/// — flipping them would change which engine path the repro exercises.
+fn simplify_stmt(s: &mut GStmt) -> bool {
+    let mut changed = false;
+    let mut simp = |e: &mut GExpr| {
+        if *e != GExpr::Lit(1) {
+            *e = GExpr::Lit(1);
+            changed = true;
+        }
+    };
+    match s {
+        GStmt::Comp {
+            cycles,
+            ins,
+            lst,
+            miss,
+            brmiss,
+        } => {
+            simp(cycles);
+            for flag in [ins, lst, miss, brmiss] {
+                if *flag {
+                    *flag = false;
+                    changed = true;
+                }
+            }
+        }
+        GStmt::LetTemp { expr } => simp(expr),
+        GStmt::For { bound, cap, .. }
+        | GStmt::While {
+            start: bound, cap, ..
+        } => {
+            simp(bound);
+            if *cap != 1 {
+                *cap = 1;
+                changed = true;
+            }
+        }
+        GStmt::RankFor { modulus, .. } | GStmt::RankIf { modulus, .. } => {
+            if *modulus != 2 {
+                *modulus = 2;
+                changed = true;
+            }
+        }
+        GStmt::IfUniform { cond, .. } => simp(cond),
+        GStmt::Collective { root, bytes, .. } => {
+            simp(root);
+            simp(bytes);
+        }
+        GStmt::RingSendrecv { bytes, .. }
+        | GStmt::PairedSendRecv { bytes, .. }
+        | GStmt::GatherToRoot { bytes, .. } => simp(bytes),
+        GStmt::NonblockingRing { bytes, dist, .. } => {
+            simp(bytes);
+            if *dist != 1 {
+                *dist = 1;
+                changed = true;
+            }
+        }
+        GStmt::CallHelper { arg, .. } => simp(arg),
+    }
+    changed
+}

@@ -1,0 +1,587 @@
+//! The generator's intermediate representation.
+//!
+//! Programs are not generated directly as MiniMPI ASTs: arbitrary ASTs
+//! deadlock, and a fuzzer whose inputs hang teaches nothing. Instead the
+//! generator emits a [`Spec`] — a tree of [`GStmt`] *templates* that are
+//! **matched by construction**: every point-to-point template pairs each
+//! send with exactly one receive at every process count ≥ 2, every
+//! collective is executed uniformly by all ranks, and rank-dependent
+//! control flow encloses computation only. Lowering a spec through
+//! [`scalana_lang::builder`] therefore yields a program that must
+//! terminate, conserve messages, and simulate deterministically at any
+//! scale — so the differential oracles can assert equalities, and any
+//! violation is a real bug in the stack under test.
+//!
+//! Template soundness notes:
+//! - each point-to-point template owns a unique tag, so a wildcard
+//!   *source* can only match the template's own messages;
+//! - wildcard-*tag* receives could steal other templates' messages, so
+//!   those templates are barrier-fenced at lowering: once every rank has
+//!   entered the barrier, every previously sent message has been consumed
+//!   (template receives precede the barrier in program order), leaving
+//!   only the fenced template's messages in flight inside the fence;
+//! - loop bounds are clamped with `min(_, cap)` (cap ≤ 4) and `while`
+//!   loops lower to uniform countdowns, so every loop terminates;
+//! - non-blocking rings use distance `min(d, nprocs - 1)` so a rank
+//!   never messages itself.
+
+use scalana_lang::ast::{BinOp, Program};
+use scalana_lang::builder::{
+    self, abs, and, eq, func_ref, gt, int, log2, lt, max, min, ne, nprocs, rank, var,
+    ProgramBuilder,
+};
+use scalana_lang::pretty;
+
+/// An expression template. Lowered against a `LowerCtx`, so references
+/// to loop variables or the helper argument degrade to literals when the
+/// shrinker moves them out of scope — a shrunk spec always lowers to a
+/// checkable program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GExpr {
+    /// Integer literal.
+    Lit(i64),
+    /// Program parameter `P0`.
+    P0,
+    /// Program parameter `P1`.
+    P1,
+    /// The per-case uniquifier parameter `CASEID`.
+    CaseId,
+    /// The process count.
+    Nprocs,
+    /// The executing rank (generated only where rank-dependence is safe:
+    /// comp costs and comp-only control flow).
+    Rank,
+    /// The helper function's argument (`n`); a literal outside `helper`.
+    HelperArg,
+    /// The `k`-th enclosing loop variable (modulo what is in scope).
+    Loop(usize),
+    /// Binary operator over two sub-expressions.
+    Bin(BinOp, Box<GExpr>, Box<GExpr>),
+    /// Two-argument minimum.
+    Min(Box<GExpr>, Box<GExpr>),
+    /// Two-argument maximum.
+    Max(Box<GExpr>, Box<GExpr>),
+    /// Absolute value.
+    Abs(Box<GExpr>),
+    /// Floor log2.
+    Log2(Box<GExpr>),
+    /// Arithmetic negation.
+    Neg(Box<GExpr>),
+}
+
+/// Which collective a [`GStmt::Collective`] lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// `barrier();`
+    Barrier,
+    /// `bcast(root = .., bytes = ..);`
+    Bcast,
+    /// `reduce(root = .., bytes = ..);`
+    Reduce,
+    /// `allreduce(bytes = ..);`
+    Allreduce,
+    /// `alltoall(bytes = ..);`
+    Alltoall,
+    /// `allgather(bytes = ..);`
+    Allgather,
+}
+
+/// A statement template. See the module docs for the soundness rules
+/// each variant obeys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GStmt {
+    /// `comp(cycles = .., ..)` — the optional PMU attributes are derived
+    /// from the cycle expression at lowering.
+    Comp {
+        /// Cycle-cost expression (may be rank-dependent).
+        cycles: GExpr,
+        /// Emit `ins = cycles * 2`.
+        ins: bool,
+        /// Emit `lst = cycles / 4`.
+        lst: bool,
+        /// Emit `miss = cycles / 64`.
+        miss: bool,
+        /// Emit `brmiss = cycles / 100`.
+        brmiss: bool,
+    },
+    /// `let t<n> = <expr>;` — scoping/pretty-printer fuzz.
+    LetTemp {
+        /// Bound expression.
+        expr: GExpr,
+    },
+    /// `for i<n> in 0 .. min(bound, cap) { .. }` — uniform body.
+    For {
+        /// Upper-bound expression (uniform).
+        bound: GExpr,
+        /// Iteration clamp, 1..=4.
+        cap: i64,
+        /// Loop body.
+        body: Vec<GStmt>,
+    },
+    /// `for g<n> in 0 .. rank % modulus { .. }` — rank-dependent trip
+    /// count, so the body is computation-only.
+    RankFor {
+        /// Trip-count modulus, 2..=4.
+        modulus: i64,
+        /// Computation-only body.
+        body: Vec<GStmt>,
+    },
+    /// `let w<n> = min(start, cap); while w<n> > 0 { ..; w<n> = w<n> - 1; }`
+    While {
+        /// Countdown start expression.
+        start: GExpr,
+        /// Countdown clamp, 1..=4.
+        cap: i64,
+        /// Loop body.
+        body: Vec<GStmt>,
+    },
+    /// `if <uniform cond> { .. } else { .. }` — both branches uniform,
+    /// so collectives and templates inside stay matched.
+    IfUniform {
+        /// Branch condition (uniform across ranks).
+        cond: GExpr,
+        /// Taken when the condition is non-zero.
+        then_body: Vec<GStmt>,
+        /// Taken otherwise; empty means no `else` block.
+        else_body: Vec<GStmt>,
+    },
+    /// `if rank % modulus == 0 { .. }` — rank-divergent, so the body is
+    /// computation-only.
+    RankIf {
+        /// Rank modulus, 2..=4.
+        modulus: i64,
+        /// Computation-only body.
+        body: Vec<GStmt>,
+    },
+    /// A uniformly executed collective.
+    Collective {
+        /// Which collective.
+        kind: CollKind,
+        /// Root expression for rooted collectives; lowered as
+        /// `abs(root) % nprocs` so it is always a valid uniform rank.
+        root: GExpr,
+        /// Payload expression.
+        bytes: GExpr,
+    },
+    /// `sendrecv` around the ring — deadlock-free at any scale because
+    /// `sendrecv` is buffered.
+    RingSendrecv {
+        /// The template's unique tag.
+        tag: i64,
+        /// Payload expression.
+        bytes: GExpr,
+    },
+    /// Even ranks send to their odd right neighbour, which receives.
+    PairedSendRecv {
+        /// The template's unique tag.
+        tag: i64,
+        /// Payload expression.
+        bytes: GExpr,
+        /// Receive with `src = any` instead of the paired sender.
+        wildcard_src: bool,
+        /// Receive with `tag = any` (template is barrier-fenced).
+        wildcard_tag: bool,
+    },
+    /// Every non-root rank sends to rank 0, which receives `nprocs - 1`
+    /// messages in a loop.
+    GatherToRoot {
+        /// The template's unique tag.
+        tag: i64,
+        /// Payload expression.
+        bytes: GExpr,
+        /// Root receives with `src = any` instead of the loop index.
+        wildcard_src: bool,
+        /// Root receives with `tag = any` (template is barrier-fenced).
+        wildcard_tag: bool,
+    },
+    /// `irecv` from the left neighbour + `isend` to the right, then
+    /// `wait`/`waitall` — the classic non-blocking exchange.
+    NonblockingRing {
+        /// The template's unique tag.
+        tag: i64,
+        /// Payload expression.
+        bytes: GExpr,
+        /// Ring distance before clamping to `nprocs - 1`, 1 or 2.
+        dist: i64,
+        /// Receive with `src = any`.
+        wildcard_src: bool,
+        /// `wait(r); wait(s);` instead of `waitall();`.
+        wait_each: bool,
+    },
+    /// Invoke the helper function, directly or through a function value.
+    CallHelper {
+        /// `let fp<n> = &helper; call fp<n>(arg);` instead of `helper(arg);`.
+        indirect: bool,
+        /// Argument expression (uniform).
+        arg: GExpr,
+    },
+}
+
+/// A complete generated workload: parameters, the `main` body, and an
+/// optional `helper` function body (emitted only when `main` calls it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Per-case uniquifier baked in as a program parameter, so every
+    /// generated program hashes differently in the daemon's caches.
+    pub case_id: i64,
+    /// Default of program parameter `P0`.
+    pub p0: i64,
+    /// Default of program parameter `P1`.
+    pub p1: i64,
+    /// Body of `main`.
+    pub main: Vec<GStmt>,
+    /// Body of `helper` (uniform context; ignored if never called).
+    pub helper: Vec<GStmt>,
+    /// End `helper` with an explicit `return;`.
+    pub helper_ret: bool,
+}
+
+impl Spec {
+    /// Lower to a checked MiniMPI [`Program`]. Panics if lowering ever
+    /// produces an ill-formed program — that would be a generator bug,
+    /// not a finding.
+    pub fn lower(&self) -> Program {
+        lower(self)
+    }
+
+    /// Pretty-printed MiniMPI source of the lowered program.
+    pub fn pretty(&self) -> String {
+        pretty::print_program(&self.lower())
+    }
+
+    /// Number of statement templates (spec-level, pre-lowering).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[GStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| {
+                    1 + match s {
+                        GStmt::For { body, .. }
+                        | GStmt::RankFor { body, .. }
+                        | GStmt::While { body, .. }
+                        | GStmt::RankIf { body, .. } => count(body),
+                        GStmt::IfUniform {
+                            then_body,
+                            else_body,
+                            ..
+                        } => count(then_body) + count(else_body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        count(&self.main)
+            + if uses_helper(&self.main) {
+                count(&self.helper)
+            } else {
+                0
+            }
+    }
+}
+
+/// Does any template in `stmts` (recursively) call the helper?
+pub fn uses_helper(stmts: &[GStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        GStmt::CallHelper { .. } => true,
+        GStmt::For { body, .. }
+        | GStmt::RankFor { body, .. }
+        | GStmt::While { body, .. }
+        | GStmt::RankIf { body, .. } => uses_helper(body),
+        GStmt::IfUniform {
+            then_body,
+            else_body,
+            ..
+        } => uses_helper(then_body) || uses_helper(else_body),
+        _ => false,
+    })
+}
+
+/// Per-function lowering state: loop variables in scope and a counter
+/// for unique local names.
+struct LowerCtx {
+    loop_vars: Vec<String>,
+    tmp: usize,
+    in_helper: bool,
+}
+
+impl LowerCtx {
+    fn fresh(&mut self, prefix: &str) -> String {
+        let name = format!("{prefix}{}", self.tmp);
+        self.tmp += 1;
+        name
+    }
+}
+
+/// Lower a spec to a checked program (see [`Spec::lower`]).
+pub fn lower(spec: &Spec) -> Program {
+    let mut b = ProgramBuilder::new("wgen.mmpi");
+    b.param("CASEID", spec.case_id);
+    b.param("P0", spec.p0);
+    b.param("P1", spec.p1);
+    b.function("main", &[], |f| {
+        let mut ctx = LowerCtx {
+            loop_vars: Vec::new(),
+            tmp: 0,
+            in_helper: false,
+        };
+        lower_block(f, &spec.main, &mut ctx);
+    });
+    if uses_helper(&spec.main) {
+        b.function("helper", &["n"], |f| {
+            let mut ctx = LowerCtx {
+                loop_vars: Vec::new(),
+                tmp: 0,
+                in_helper: true,
+            };
+            lower_block(f, &spec.helper, &mut ctx);
+            if spec.helper_ret {
+                f.ret();
+            }
+        });
+    }
+    b.finish()
+        .unwrap_or_else(|e| panic!("wgen lowered an ill-formed program: {e}\nspec: {spec:?}"))
+}
+
+fn lower_expr(e: &GExpr, ctx: &LowerCtx) -> scalana_lang::ast::Expr {
+    use scalana_lang::ast::Expr;
+    match e {
+        GExpr::Lit(v) => int(*v),
+        GExpr::P0 => var("P0"),
+        GExpr::P1 => var("P1"),
+        GExpr::CaseId => var("CASEID"),
+        GExpr::Nprocs => nprocs(),
+        GExpr::Rank => rank(),
+        GExpr::HelperArg => {
+            if ctx.in_helper {
+                var("n")
+            } else {
+                int(2)
+            }
+        }
+        GExpr::Loop(k) => {
+            if ctx.loop_vars.is_empty() {
+                int(1)
+            } else {
+                var(&ctx.loop_vars[k % ctx.loop_vars.len()])
+            }
+        }
+        GExpr::Bin(op, a, b) => Expr::bin(*op, lower_expr(a, ctx), lower_expr(b, ctx)),
+        GExpr::Min(a, b) => min(lower_expr(a, ctx), lower_expr(b, ctx)),
+        GExpr::Max(a, b) => max(lower_expr(a, ctx), lower_expr(b, ctx)),
+        GExpr::Abs(a) => abs(lower_expr(a, ctx)),
+        GExpr::Log2(a) => log2(lower_expr(a, ctx)),
+        GExpr::Neg(a) => -lower_expr(a, ctx),
+    }
+}
+
+fn lower_block(f: &mut builder::BlockBuilder<'_>, stmts: &[GStmt], ctx: &mut LowerCtx) {
+    for stmt in stmts {
+        lower_stmt(f, stmt, ctx);
+    }
+}
+
+fn lower_stmt(f: &mut builder::BlockBuilder<'_>, stmt: &GStmt, ctx: &mut LowerCtx) {
+    match stmt {
+        GStmt::Comp {
+            cycles,
+            ins,
+            lst,
+            miss,
+            brmiss,
+        } => {
+            let c = lower_expr(cycles, ctx);
+            let mut spec = builder::comp_cycles(c.clone());
+            if *ins {
+                spec = spec.ins(c.clone() * int(2));
+            }
+            if *lst {
+                spec = spec.lst(c.clone() / int(4));
+            }
+            if *miss {
+                spec = spec.miss(c.clone() / int(64));
+            }
+            if *brmiss {
+                spec = spec.brmiss(c / int(100));
+            }
+            f.comp(spec);
+        }
+        GStmt::LetTemp { expr } => {
+            let name = ctx.fresh("t");
+            f.let_(&name, lower_expr(expr, ctx));
+        }
+        GStmt::For { bound, cap, body } => {
+            let name = ctx.fresh("i");
+            let end = min(lower_expr(bound, ctx), int(*cap));
+            ctx.loop_vars.push(name.clone());
+            f.for_(&name, int(0), end, |fb| lower_block(fb, body, ctx));
+            ctx.loop_vars.pop();
+        }
+        GStmt::RankFor { modulus, body } => {
+            let name = ctx.fresh("g");
+            ctx.loop_vars.push(name.clone());
+            f.for_(&name, int(0), rank() % int(*modulus), |fb| {
+                lower_block(fb, body, ctx)
+            });
+            ctx.loop_vars.pop();
+        }
+        GStmt::While { start, cap, body } => {
+            let name = ctx.fresh("w");
+            f.let_(&name, min(lower_expr(start, ctx), int(*cap)));
+            f.while_(gt(var(&name), int(0)), |fb| {
+                lower_block(fb, body, ctx);
+                fb.assign(&name, var(&name) - int(1));
+            });
+        }
+        GStmt::IfUniform {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let c = lower_expr(cond, ctx);
+            if else_body.is_empty() {
+                f.if_(c, |fb| lower_block(fb, then_body, ctx));
+            } else {
+                // Both closures need `ctx` mutably; a RefCell splits the
+                // borrow (they run sequentially inside `if_else`).
+                let ctx_cell = std::cell::RefCell::new(&mut *ctx);
+                f.if_else(
+                    c,
+                    |fb| lower_block(fb, then_body, &mut ctx_cell.borrow_mut()),
+                    |fb| lower_block(fb, else_body, &mut ctx_cell.borrow_mut()),
+                );
+            }
+        }
+        GStmt::RankIf { modulus, body } => {
+            f.if_(eq(rank() % int(*modulus), int(0)), |fb| {
+                lower_block(fb, body, ctx)
+            });
+        }
+        GStmt::Collective { kind, root, bytes } => {
+            let bytes_e = lower_expr(bytes, ctx);
+            match kind {
+                CollKind::Barrier => f.barrier(),
+                CollKind::Bcast => {
+                    f.bcast(abs(lower_expr(root, ctx)) % nprocs(), bytes_e);
+                }
+                CollKind::Reduce => {
+                    f.reduce(abs(lower_expr(root, ctx)) % nprocs(), bytes_e);
+                }
+                CollKind::Allreduce => f.allreduce(bytes_e),
+                CollKind::Alltoall => f.alltoall(bytes_e),
+                CollKind::Allgather => f.allgather(bytes_e),
+            }
+        }
+        GStmt::RingSendrecv { tag, bytes } => {
+            f.sendrecv(
+                (rank() + int(1)) % nprocs(),
+                (rank() + nprocs() - int(1)) % nprocs(),
+                int(*tag),
+                lower_expr(bytes, ctx),
+            );
+        }
+        GStmt::PairedSendRecv {
+            tag,
+            bytes,
+            wildcard_src,
+            wildcard_tag,
+        } => {
+            if *wildcard_tag {
+                f.barrier();
+            }
+            let bytes_e = lower_expr(bytes, ctx);
+            f.if_(
+                and(eq(rank() % int(2), int(0)), lt(rank() + int(1), nprocs())),
+                |fb| fb.send(rank() + int(1), int(*tag), bytes_e),
+            );
+            let src = if *wildcard_src {
+                builder::any()
+            } else {
+                rank() - int(1)
+            };
+            let tag_e = if *wildcard_tag {
+                builder::any()
+            } else {
+                int(*tag)
+            };
+            f.if_(eq(rank() % int(2), int(1)), |fb| fb.recv(src, tag_e));
+            if *wildcard_tag {
+                f.barrier();
+            }
+        }
+        GStmt::GatherToRoot {
+            tag,
+            bytes,
+            wildcard_src,
+            wildcard_tag,
+        } => {
+            if *wildcard_tag {
+                f.barrier();
+            }
+            let bytes_e = lower_expr(bytes, ctx);
+            let g = ctx.fresh("g");
+            let src = if *wildcard_src {
+                builder::any()
+            } else {
+                var(&g)
+            };
+            let tag_e = if *wildcard_tag {
+                builder::any()
+            } else {
+                int(*tag)
+            };
+            let send_tag = int(*tag);
+            f.if_else(
+                ne(rank(), int(0)),
+                |fb| fb.send(int(0), send_tag, bytes_e),
+                |fb| {
+                    fb.for_(&g, int(1), nprocs(), |fb2| fb2.recv(src, tag_e));
+                },
+            );
+            if *wildcard_tag {
+                f.barrier();
+            }
+        }
+        GStmt::NonblockingRing {
+            tag,
+            bytes,
+            dist,
+            wildcard_src,
+            wait_each,
+        } => {
+            // Clamp the ring distance so a rank never messages itself
+            // (distance 2 at nprocs == 2 would).
+            let d = || min(int(*dist), nprocs() - int(1));
+            let r = ctx.fresh("r");
+            let s = ctx.fresh("s");
+            let src = if *wildcard_src {
+                builder::any()
+            } else {
+                (rank() + nprocs() - d()) % nprocs()
+            };
+            f.irecv(&r, src, int(*tag));
+            f.isend(
+                &s,
+                (rank() + d()) % nprocs(),
+                int(*tag),
+                lower_expr(bytes, ctx),
+            );
+            if *wait_each {
+                f.wait(var(&r));
+                f.wait(var(&s));
+            } else {
+                f.waitall();
+            }
+        }
+        GStmt::CallHelper { indirect, arg } => {
+            let arg_e = lower_expr(arg, ctx);
+            if *indirect {
+                let fp = ctx.fresh("fp");
+                f.let_(&fp, func_ref("helper"));
+                f.call_indirect(var(&fp), vec![arg_e]);
+            } else {
+                f.call("helper", vec![arg_e]);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Regression corpus replay.
+//!
+//! Every `tests/corpus/*.mmpi` file — minimized repros from past fuzzer
+//! findings, plus seeded sanity entries — is replayed through the
+//! in-process oracles (determinism and cross-scale invariants) on every
+//! test run, so a fixed bug stays fixed. See `tests/corpus/README.md`
+//! for how to add an entry.
+
+use std::path::PathBuf;
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mmpi"))
+        .collect();
+    entries.sort();
+
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).unwrap();
+        let program = scalana_lang::parse_program(&name, &text)
+            .unwrap_or_else(|e| panic!("corpus entry {name} does not parse: {e}"));
+        scalana_wgen::oracle::check_determinism(&program, &[2, 3, 4])
+            .unwrap_or_else(|e| panic!("corpus entry {name} broke determinism: {e}"));
+        scalana_wgen::oracle::check_invariants(&program, &[2, 3, 4, 5])
+            .unwrap_or_else(|e| panic!("corpus entry {name} broke invariants: {e}"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The fuzzer's CI entry points.
+//!
+//! `generated_workloads_pass_all_oracles` is the real run: `WGEN_CASES`
+//! (default 200) generated programs through all four oracles —
+//! determinism, cross-scale invariants, daemon cache differential over
+//! real TCP `/v1`, and wire fuzz — against one shared daemon.
+//!
+//! The other tests exercise the harness itself: seed determinism of
+//! generation, and the failure path (detection → shrinking → repro
+//! dump) via an injected fault.
+
+use scalana_service::{Server, ServiceConfig};
+use scalana_wgen::{harness, Fault, FuzzConfig};
+use std::sync::OnceLock;
+
+/// One daemon for the whole test binary. Cache capacities are raised so
+/// hundreds of unique programs never evict a live case's entries
+/// between its two submissions (the stats predictions rely on that).
+///
+/// Only `generated_workloads_pass_all_oracles` may touch `/stats` —
+/// the deltas account the whole daemon.
+fn daemon_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = Server::bind(&ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 3,
+            queue_capacity: 64,
+            max_cached_results: 8192,
+            max_cached_profiles: 16384,
+            max_cached_psgs: 8192,
+            ..ServiceConfig::default()
+        })
+        .expect("bind daemon");
+        let addr = server.local_addr().to_string();
+        // Runs until the test process exits; shutdown is not needed.
+        std::thread::spawn(move || server.run());
+        addr
+    })
+}
+
+#[test]
+fn generated_workloads_pass_all_oracles() {
+    let config = FuzzConfig::from_env(Some(daemon_addr().to_string()));
+    match harness::run(&config) {
+        Ok(stats) => {
+            assert_eq!(stats.cases, config.cases);
+            assert_eq!(stats.daemon_cases, config.cases);
+            assert!(
+                stats.stmts >= 2 * stats.cases,
+                "suspiciously small corpus: {stats:?}"
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+#[test]
+fn generation_is_seed_deterministic() {
+    for case in 0..20 {
+        let a = scalana_wgen::generate(42, case);
+        let b = scalana_wgen::generate(42, case);
+        assert_eq!(a, b, "case {case} diverged under the same seed");
+        assert_eq!(a.pretty(), b.pretty());
+    }
+    assert_ne!(
+        scalana_wgen::generate(42, 0),
+        scalana_wgen::generate(43, 0),
+        "different seeds should explore different programs"
+    );
+}
+
+/// The forced-failure smoke: inject a defect (`collectives are
+/// forbidden`), watch the harness find it, and check the shrinker
+/// reduces the repro to a single template statement whose
+/// pretty-printed source still parses.
+#[test]
+fn injected_fault_shrinks_to_minimal_repro() {
+    let mut config = FuzzConfig::from_env(None);
+    config.cases = 50;
+    config.fault = Fault::ForbidCollectives;
+    let failure = harness::run(&config).expect_err("almost every case has a collective");
+
+    assert_eq!(failure.oracle, scalana_wgen::Oracle::Fault);
+    assert_eq!(
+        failure.minimized.stmt_count(),
+        1,
+        "repro not minimal:\n{failure}"
+    );
+    let source = failure.minimized.pretty();
+    scalana_lang::parse_program("repro.mmpi", &source)
+        .unwrap_or_else(|e| panic!("minimized repro does not parse: {e}\n{source}"));
+
+    let dump = failure.to_string();
+    assert!(
+        dump.contains("WGEN_SEED="),
+        "dump lacks replay seed:\n{dump}"
+    );
+    assert!(
+        dump.contains("fault oracle"),
+        "dump lacks oracle name:\n{dump}"
+    );
+    assert!(
+        dump.contains("fn main()"),
+        "dump lacks the program:\n{dump}"
+    );
+}

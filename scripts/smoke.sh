@@ -27,12 +27,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> service smoke (serve / submit twice / cache hit / v1 diff)"
 scripts/service_smoke.sh target/release/scalana
 
-echo "==> perfgate --quick (all six bench suites, gated vs BENCH_pr5.json)"
+echo "==> wgen differential fuzz sweep (30 generated cases, all oracles)"
+# A quick pass through the generative differential tester: 30 programs
+# per oracle set, against a live in-process daemon, with shrinking on
+# failure. The full 200-case run already happened under
+# `cargo test --workspace`; this sweep exercises a second fixed seed.
+WGEN_SEED=1337 WGEN_CASES=30 cargo test --quiet --release -p scalana-wgen
+
+echo "==> perfgate --quick (all seven bench suites, gated vs BENCH_pr6.json)"
 mkdir -p target/perfgate
 # Generous factor (matching CI): the committed medians come from one
 # specific machine; the gate is for panics and order-of-magnitude
 # regressions, not machine variance.
 PERFGATE_FACTOR="${PERFGATE_FACTOR:-25}" cargo run --release -q -p scalana-bench --bin perfgate -- \
-  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr5.json
+  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr6.json
 
 echo "smoke: all green"
