@@ -649,7 +649,7 @@ impl DiffRequest {
 }
 
 /// `GET /v1/stats` response — the daemon's monotonic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Worker threads.
     pub workers: usize,
@@ -687,6 +687,11 @@ pub struct StatsResponse {
     pub psg_misses: u64,
     /// Programs indexed for `program_hash` reuse.
     pub programs_indexed: usize,
+    /// Daemon crate version, so fleet tooling can tell restarts from
+    /// stalls (empty when talking to a pre-version daemon).
+    pub version: String,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
 }
 
 impl StatsResponse {
@@ -711,6 +716,8 @@ impl StatsResponse {
             ("psg_hits", self.psg_hits.into()),
             ("psg_misses", self.psg_misses.into()),
             ("programs_indexed", self.programs_indexed.into()),
+            ("version", self.version.as_str().into()),
+            ("uptime_ms", self.uptime_ms.into()),
         ])
     }
 
@@ -736,6 +743,12 @@ impl StatsResponse {
             psg_hits: n("psg_hits") as u64,
             psg_misses: n("psg_misses") as u64,
             programs_indexed: n("programs_indexed") as usize,
+            version: doc
+                .get("version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            uptime_ms: n("uptime_ms") as u64,
         }
     }
 }
@@ -784,9 +797,20 @@ impl ResultView {
     }
 }
 
-/// The `{"ok":true}` body of `/v1/healthz` and `/v1/shutdown`.
+/// The `{"ok":true}` body of `/v1/shutdown`.
 pub fn ok_body() -> Json {
     Json::obj(vec![("ok", true.into())])
+}
+
+/// The `/v1/healthz` body: liveness plus enough identity for fleet
+/// tooling to distinguish a restart (version change, uptime reset)
+/// from a stall. The contract only grows — `ok` keeps its meaning.
+pub fn health_body(version: &str, uptime_ms: u64) -> Json {
+    Json::obj(vec![
+        ("ok", true.into()),
+        ("version", version.into()),
+        ("uptime_ms", uptime_ms.into()),
+    ])
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub mod dto;
 pub mod error;
 pub mod json;
 pub mod paths;
+pub mod trace;
 
 pub use dto::{
     DiffRequest, JobPage, JobState, JobView, ListQuery, ProgramRef, ResultView, StatsResponse,
@@ -40,3 +41,4 @@ pub use dto::{
 };
 pub use error::{ApiError, ErrorCode};
 pub use json::Json;
+pub use trace::{TraceResponse, TraceSpan};

@@ -30,6 +30,11 @@ pub const SHUTDOWN: &str = "/v1/shutdown";
 /// `POST {DIFF}` — run/reuse two analyses and compare them.
 pub const DIFF: &str = "/v1/diff";
 
+/// `GET {METRICS}` — Prometheus-style text exposition of the daemon's
+/// self-tracing metrics (stage latency histograms, cache tier
+/// counters, queue/connection gauges), deterministically ordered.
+pub const METRICS: &str = "/v1/metrics";
+
 /// `GET` — status of one job.
 pub fn job(key: &str) -> String {
     format!("/v1/jobs/{key}")
@@ -43,6 +48,13 @@ pub fn job_result(key: &str) -> String {
 /// `GET` — persisted profile image of one job at one scale.
 pub fn job_profile(key: &str, nprocs: usize) -> String {
     format!("/v1/jobs/{key}/profile/{nprocs}")
+}
+
+/// `GET` — per-job span timeline ([`crate::trace::TraceResponse`]):
+/// where the submission spent its wall time, stage by stage, with
+/// per-scale spans tagged by which cache tier answered them.
+pub fn job_trace(key: &str) -> String {
+    format!("/v1/jobs/{key}/trace")
 }
 
 /// `GET` — long-poll until the job reaches a terminal state or
@@ -116,6 +128,7 @@ mod tests {
         assert_eq!(job_result("abc"), "/v1/jobs/abc/result");
         assert_eq!(job_profile("abc", 8), "/v1/jobs/abc/profile/8");
         assert_eq!(job_wait("abc", 500), "/v1/jobs/abc/wait?timeout_ms=500");
+        assert_eq!(job_trace("abc"), "/v1/jobs/abc/trace");
         assert_eq!(jobs_list(None, None, None), JOBS);
         assert_eq!(
             jobs_list(Some("done"), Some(10), Some("ff")),
@@ -123,6 +136,7 @@ mod tests {
         );
         assert!(JOBS.starts_with(PREFIX));
         assert!(STATS.starts_with(PREFIX));
+        assert!(METRICS.starts_with(PREFIX));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The per-job span timeline served by `GET /v1/jobs/<id>/trace`.
+//!
+//! A trace is the daemon's answer to "where did my submission spend
+//! its wall time?": a tree of named spans with monotonic offsets from
+//! the submission instant, tagged with what each stage learned (which
+//! cache tier answered a scale, how many processes a simulation ran).
+//! Two identical submissions produce structurally identical traces —
+//! the same span tree in the same order — with only the cache tags
+//! flipping from `miss` to `hit` as the tiers warm up, which is what
+//! makes traces diffable and testable.
+//!
+//! Field order in the canonical JSON is part of the wire contract,
+//! like every other DTO in this crate.
+
+use crate::json::Json;
+
+/// One node of the span tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Stage name (`submit`, `queue_wait`, `run`, `scale`, ...).
+    pub name: String,
+    /// Nanoseconds from the trace start to the span opening.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Ordered `(key, value)` annotations (`cache`: `hit`/`miss`,
+    /// `nprocs`, ...).
+    pub tags: Vec<(String, String)>,
+    /// Child spans, in deterministic order (sorted by name, then by
+    /// the numeric `nprocs` tag where present).
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// A leaf span with no tags.
+    pub fn new(name: &str, start_ns: u64, duration_ns: u64) -> TraceSpan {
+        TraceSpan {
+            name: name.to_string(),
+            start_ns,
+            duration_ns,
+            ..TraceSpan::default()
+        }
+    }
+
+    /// Append a tag (builder style).
+    pub fn with_tag(mut self, key: &str, value: &str) -> TraceSpan {
+        self.tags.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Look up a tag value.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sort `children` (recursively) into the canonical deterministic
+    /// order: by name, then numeric `nprocs` tag, then start offset.
+    /// Scales simulate concurrently on whichever workers are free, so
+    /// arrival order is nondeterministic; the canonical order is what
+    /// makes two traces of identical submissions comparable.
+    pub fn sort_children(&mut self) {
+        for child in &mut self.children {
+            child.sort_children();
+        }
+        self.children.sort_by(|a, b| {
+            let nprocs = |s: &TraceSpan| {
+                s.tag("nprocs")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            };
+            (a.name.as_str(), nprocs(a), a.start_ns).cmp(&(b.name.as_str(), nprocs(b), b.start_ns))
+        });
+    }
+
+    /// Canonical JSON (field order is the contract).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.as_str().into()),
+            ("start_ns", self.start_ns.into()),
+            ("duration_ns", self.duration_ns.into()),
+            (
+                "tags",
+                Json::Obj(
+                    self.tags
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(TraceSpan::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decode one span node.
+    pub fn from_json(doc: &Json) -> Option<TraceSpan> {
+        let tags = match doc.get("tags")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let children = match doc.get("children")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(TraceSpan::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(TraceSpan {
+            name: doc.get("name")?.as_str()?.to_string(),
+            start_ns: doc.get("start_ns")?.as_i64()? as u64,
+            duration_ns: doc.get("duration_ns")?.as_i64()? as u64,
+            tags,
+            children,
+        })
+    }
+
+    /// The span's structural skeleton — names, tree shape, and tags —
+    /// with every timing erased. Two traces of identical submissions
+    /// have equal skeletons up to the predicted cache-tag flips.
+    pub fn skeleton(&self) -> TraceSpan {
+        TraceSpan {
+            name: self.name.clone(),
+            start_ns: 0,
+            duration_ns: 0,
+            tags: self.tags.clone(),
+            children: self.children.iter().map(TraceSpan::skeleton).collect(),
+        }
+    }
+}
+
+/// `GET /v1/jobs/<id>/trace` response: the job's top-level spans,
+/// which tile the interval from the submission's arrival to the job's
+/// terminal transition (their durations sum to `total_ns`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceResponse {
+    /// Job key.
+    pub job: String,
+    /// Nanoseconds from submission arrival to the terminal transition.
+    pub total_ns: u64,
+    /// Top-level spans (`submit`, `queue_wait`, `run`), contiguous.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceResponse {
+    /// Canonical response body (field order is the contract).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("job", self.job.as_str().into()),
+            ("total_ns", self.total_ns.into()),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(TraceSpan::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decode a trace document.
+    pub fn from_json(doc: &Json) -> Option<TraceResponse> {
+        let spans = match doc.get("spans")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(TraceSpan::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(TraceResponse {
+            job: doc.get("job")?.as_str()?.to_string(),
+            total_ns: doc.get("total_ns")?.as_i64()? as u64,
+            spans,
+        })
+    }
+
+    /// Sum of the top-level span durations; equals `total_ns` when the
+    /// spans tile the whole interval (which the daemon guarantees).
+    pub fn accounted_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.duration_ns).sum()
+    }
+
+    /// Every span in the tree, depth-first, for flat scans (e.g. "all
+    /// spans named `scale`").
+    pub fn flatten(&self) -> Vec<&TraceSpan> {
+        fn walk<'a>(span: &'a TraceSpan, out: &mut Vec<&'a TraceSpan>) {
+            out.push(span);
+            for child in &span.children {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        for span in &self.spans {
+            walk(span, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> TraceResponse {
+        let scale2 = TraceSpan::new("scale", 10, 40)
+            .with_tag("nprocs", "2")
+            .with_tag("cache", "miss");
+        let scale4 = TraceSpan::new("scale", 12, 55)
+            .with_tag("nprocs", "4")
+            .with_tag("cache", "hit");
+        let mut run = TraceSpan::new("run", 8, 90);
+        run.children = vec![scale4, scale2];
+        run.sort_children();
+        TraceResponse {
+            job: "abcd1234abcd1234".to_string(),
+            total_ns: 100,
+            spans: vec![
+                TraceSpan::new("submit", 0, 3),
+                TraceSpan::new("queue_wait", 3, 5),
+                run,
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_canonical_json() {
+        let trace = sample();
+        let rendered = trace.to_json().render();
+        let reparsed = TraceResponse::from_json(&parse(&rendered).unwrap()).unwrap();
+        assert_eq!(reparsed, trace);
+        // Canonical: render ∘ parse ∘ render is the identity.
+        assert_eq!(reparsed.to_json().render(), rendered);
+    }
+
+    #[test]
+    fn children_sort_by_name_then_nprocs() {
+        let trace = sample();
+        let run = &trace.spans[2];
+        assert_eq!(run.children[0].tag("nprocs"), Some("2"));
+        assert_eq!(run.children[1].tag("nprocs"), Some("4"));
+    }
+
+    #[test]
+    fn rendered_field_order_is_pinned() {
+        let doc = TraceSpan::new("submit", 0, 3)
+            .with_tag("cache", "hit")
+            .to_json()
+            .render();
+        assert_eq!(
+            doc,
+            r#"{"name":"submit","start_ns":0,"duration_ns":3,"tags":{"cache":"hit"},"children":[]}"#
+        );
+    }
+
+    #[test]
+    fn accounting_and_flattening() {
+        let trace = sample();
+        assert_eq!(trace.accounted_ns(), 98);
+        let scales: Vec<_> = trace
+            .flatten()
+            .into_iter()
+            .filter(|s| s.name == "scale")
+            .collect();
+        assert_eq!(scales.len(), 2);
+        assert_eq!(scales[0].tag("cache"), Some("miss"));
+    }
+
+    #[test]
+    fn skeleton_erases_timings_only() {
+        let trace = sample();
+        let a = trace.spans[2].skeleton();
+        let mut faster = trace.spans[2].clone();
+        faster.duration_ns = 1;
+        faster.children[0].start_ns = 99;
+        assert_eq!(a, faster.skeleton());
+    }
+}

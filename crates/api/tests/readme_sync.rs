@@ -12,6 +12,7 @@ fn readme_documents_every_endpoint() {
     for path in [
         paths::JOBS,
         paths::STATS,
+        paths::METRICS,
         paths::HEALTHZ,
         paths::SHUTDOWN,
         paths::DIFF,
@@ -24,6 +25,7 @@ fn readme_documents_every_endpoint() {
         "/v1/jobs/<id>/wait",
         "/v1/jobs/<id>/result",
         "/v1/jobs/<id>/profile/<p>",
+        "/v1/jobs/<id>/trace",
     ] {
         assert!(README.contains(pattern), "README is missing `{pattern}`");
     }
@@ -41,6 +43,8 @@ fn readme_documents_the_dtos_and_error_codes() {
         "DiffRequest",
         "ResultView",
         "StatsResponse",
+        "TraceResponse",
+        "TraceSpan",
     ] {
         assert!(README.contains(dto), "README is missing DTO `{dto}`");
     }

@@ -1,0 +1,11 @@
+//! Criterion bench: observability overhead, instrumented vs stripped
+//! (see [`scalana_bench::suites::obs`]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_obs(c: &mut Criterion) {
+    scalana_bench::suites::obs(c);
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -3,22 +3,31 @@
 //!
 //! Executes every Criterion suite ([`scalana_bench::suites`])
 //! in-process, collects per-benchmark medians, and writes one
-//! `BENCH_*.json` trajectory point: current medians for all seven
+//! `BENCH_*.json` trajectory point: current medians for all eight
 //! suites, the cache hit/miss submission latencies, the
 //! overlapping-scales warm/cold speedup, the long-poll vs polling wait
-//! latency, multi-client jobs/sec with p50/p99 latency, and speedups
-//! against the committed pre-refactor baseline. CI runs it in `--quick`
-//! mode gated against the committed `BENCH_pr6.json` (`BENCH_pr3.json`
-//! through `BENCH_pr5.json` remain as earlier trajectory points), so a
-//! panicking bench or a wild regression (default: >10× the recorded
-//! median, tunable with `PERFGATE_FACTOR`, machine differences
-//! included) fails the build.
+//! latency, multi-client jobs/sec with p50/p99 latency, the
+//! observability overhead (instrumented vs stripped simulation), and
+//! speedups against the committed pre-refactor baseline. CI runs it in
+//! `--quick` mode gated against the committed `BENCH_pr7.json`
+//! (`BENCH_pr3.json` through `BENCH_pr6.json` remain as earlier
+//! trajectory points), so a panicking bench or a wild regression
+//! (default: >10× the recorded median, tunable with `PERFGATE_FACTOR`,
+//! machine differences included) fails the build.
+//!
+//! The observability overhead is gated *within* the run, not against a
+//! file: the `obs` suite's instrumented/stripped median ratio at each
+//! of [`scalana_bench::suites::OBS_SCALES`] must stay under
+//! `OBS_OVERHEAD_FACTOR` (default 1.05 — the <5% always-on bar — in
+//! full runs; 1.5 under `--quick`, where 3-sample medians on
+//! millisecond runs are too noisy to resolve single-digit percentages
+//! and the gate exists to catch order-of-magnitude mistakes).
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr6.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr7.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr6.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr7.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -57,7 +66,7 @@ const BASELINE_PRE_REFACTOR: &[(&str, u64)] = &[
 /// A suite entry point.
 type Suite = fn(&mut Criterion);
 
-/// The seven suites, in trajectory order.
+/// The eight suites, in trajectory order.
 const SUITES: &[(&str, Suite)] = &[
     ("simulation", scalana_bench::suites::simulation),
     ("overhead", scalana_bench::suites::overhead),
@@ -66,6 +75,7 @@ const SUITES: &[(&str, Suite)] = &[
     ("service", scalana_bench::suites::service),
     ("throughput", scalana_bench::suites::throughput),
     ("wgen", scalana_bench::suites::wgen),
+    ("obs", scalana_bench::suites::obs),
 ];
 
 struct Args {
@@ -77,7 +87,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr6.json".to_string(),
+        out: "BENCH_pr7.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -211,6 +221,32 @@ fn main() -> ExitCode {
         _ => Json::Null,
     };
 
+    // Observability overhead: the production instrumented per-scale
+    // simulation vs the stripped pipeline call, measured *paired*
+    // (interleaved against one process) for the same drift-resistance
+    // reason as the wait comparison above. The sequential `obs` suite
+    // medians stay in the `suites` map for eyeballing.
+    eprintln!("perfgate: measuring paired observability overhead (instrumented vs stripped)");
+    let obs_pairs = scalana_bench::suites::measure_obs_overhead(if args.quick { 10 } else { 40 });
+    let mut obs_sim: Vec<Json> = Vec::new();
+    let mut obs_worst_ratio: Option<f64> = None;
+    for pair in &obs_pairs {
+        let ratio = match pair.ratio() {
+            Some(r) => {
+                obs_worst_ratio = Some(obs_worst_ratio.map_or(r, |w: f64| w.max(r)));
+                Json::Num((r * 1000.0).round() / 1000.0)
+            }
+            None => Json::Null,
+        };
+        obs_sim.push(Json::obj(vec![
+            ("scale", pair.scale.into()),
+            ("paired_samples", pair.samples.into()),
+            ("stripped_median_ns", pair.stripped_median_ns.into()),
+            ("instrumented_median_ns", pair.instrumented_median_ns.into()),
+            ("overhead_ratio", ratio),
+        ]));
+    }
+
     // Multi-client throughput: jobs/sec and latency percentiles at 1
     // and 8 concurrent clients (scaling evidence, not just latency).
     eprintln!("perfgate: measuring multi-client throughput");
@@ -233,7 +269,7 @@ fn main() -> ExitCode {
         .collect();
 
     let doc = Json::obj(vec![
-        ("pr", "pr6".into()),
+        ("pr", "pr7".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -292,6 +328,7 @@ fn main() -> ExitCode {
             ]),
         ),
         ("client_throughput", Json::Arr(client_metrics)),
+        ("obs", Json::obj(vec![("sim", Json::Arr(obs_sim))])),
         ("speedup_vs_baseline", Json::Obj(speedups)),
     ]);
     let rendered = doc.render();
@@ -300,6 +337,30 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("perfgate: wrote {}", args.out);
+
+    // Observability gate: always-on tracing must stay cheap. Checked
+    // within this run (instrumented vs stripped medians), no recorded
+    // file needed; see the module docs for the quick-mode relaxation.
+    let obs_factor: f64 = std::env::var("OBS_OVERHEAD_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if args.quick { 1.5 } else { 1.05 });
+    match obs_worst_ratio {
+        None => {
+            eprintln!("perfgate: obs suite produced no instrumented/stripped pair");
+            return ExitCode::FAILURE;
+        }
+        Some(worst) if worst > obs_factor => {
+            eprintln!(
+                "perfgate: GATE: observability overhead ratio {worst:.3} exceeds {obs_factor} \
+                 (instrumented vs stripped simulation medians)"
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(worst) => {
+            eprintln!("perfgate: obs overhead OK (worst ratio {worst:.3} <= {obs_factor})");
+        }
+    }
 
     // Gate: every current median must stay within FACTOR× of the
     // recorded one (generous by default — the gate exists to catch

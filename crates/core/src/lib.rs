@@ -34,6 +34,6 @@ pub mod viewer;
 
 pub use builder::{AnalysisBuilder, AnalysisTarget};
 pub use pipeline::{
-    analyze, analyze_app, assemble, profile_one_scale, profile_runs, refined_psg, speedup_curve,
-    Analysis, ProfiledRuns, RunSummary, ScalAnaConfig,
+    analyze, analyze_app, assemble, profile_one_scale, profile_one_scale_observed, profile_runs,
+    refined_psg, speedup_curve, Analysis, ProfiledRuns, RunSummary, ScalAnaConfig,
 };

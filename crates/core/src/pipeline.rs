@@ -5,7 +5,7 @@ use scalana_apps::App;
 use scalana_detect::{detect, DetectConfig, DetectionReport};
 use scalana_graph::{build_psg, Ppg, Psg, PsgOptions};
 use scalana_lang::Program;
-use scalana_mpisim::{MachineConfig, SimConfig, SimError, Simulation};
+use scalana_mpisim::{ChainHook, Hook, MachineConfig, SimConfig, SimError, Simulation};
 use scalana_profile::recorder::discover_indirect_calls;
 use scalana_profile::{ProfileData, ProfilerConfig, ScalAnaProfiler};
 use std::collections::HashMap;
@@ -126,6 +126,39 @@ pub fn profile_one_scale(
         &Arc::new(config.machine.clone()),
         nprocs,
     )
+}
+
+/// [`profile_one_scale`] with an extra observer hook chained after the
+/// profiler, for callers that watch the simulation (event rates, wall
+/// time) without participating in it.
+///
+/// The observer's callbacks must return `0.0` virtual-time cost —
+/// anything else would perturb the rank clocks and break the
+/// byte-identical-profiles guarantee documented on
+/// [`profile_one_scale`]. The profile returned is exactly what the
+/// unobserved call produces.
+///
+/// Generic over the observer (not `&mut dyn Hook`) so the whole
+/// profiler + observer chain monomorphizes: the simulator makes one
+/// virtual call per event either way, and the observer's counting
+/// inlines behind it — always-on observation must not add a second
+/// dispatch to every simulated event.
+pub fn profile_one_scale_observed<H: Hook>(
+    program: &Program,
+    psg: &Psg,
+    config: &ScalAnaConfig,
+    nprocs: usize,
+    observer: &mut H,
+) -> Result<ProfileData, SimError> {
+    let mut sim_config = SimConfig::with_nprocs(nprocs);
+    sim_config.machine = Arc::new(config.machine.clone());
+    sim_config.params = config.params.clone();
+    let mut profiler = ScalAnaProfiler::new(config.profiler.clone());
+    let mut chained = ChainHook(&mut profiler, observer);
+    Simulation::new(program, psg, sim_config)
+        .with_hook(&mut chained)
+        .run()
+        .map(|_| profiler.take_data())
 }
 
 /// [`profile_one_scale`] with the platform model already behind an

@@ -157,6 +157,33 @@ pub trait Hook {
     fn on_run_end(&mut self, rank_elapsed: &[f64]) {}
 }
 
+/// Forward through mutable references so callers can chain a borrowed
+/// hook (including a `&mut dyn Hook`) without giving up ownership —
+/// e.g. `ChainHook(&mut profiler, observer)`.
+impl<H: Hook + ?Sized> Hook for &mut H {
+    fn on_run_start(&mut self, nprocs: usize) {
+        (**self).on_run_start(nprocs);
+    }
+    fn on_comp(&mut self, ev: &CompEvent) -> f64 {
+        (**self).on_comp(ev)
+    }
+    fn on_mpi_enter(&mut self, ev: &MpiEnterEvent) -> f64 {
+        (**self).on_mpi_enter(ev)
+    }
+    fn on_mpi_exit(&mut self, ev: &MpiExitEvent) -> f64 {
+        (**self).on_mpi_exit(ev)
+    }
+    fn on_comm_dep(&mut self, ev: &CommDepEvent) -> f64 {
+        (**self).on_comm_dep(ev)
+    }
+    fn on_indirect_call(&mut self, ev: &IndirectCallEvent) -> f64 {
+        (**self).on_indirect_call(ev)
+    }
+    fn on_run_end(&mut self, rank_elapsed: &[f64]) {
+        (**self).on_run_end(rank_elapsed);
+    }
+}
+
 /// The no-op hook: the uninstrumented baseline run.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullHook;

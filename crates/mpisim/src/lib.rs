@@ -59,7 +59,8 @@ pub mod value;
 
 pub use engine::{SimConfig, SimError, SimResult, Simulation};
 pub use hook::{
-    CommDepEvent, CompEvent, Hook, IndirectCallEvent, MpiEnterEvent, MpiExitEvent, NullHook,
+    ChainHook, CommDepEvent, CompEvent, Hook, IndirectCallEvent, MpiEnterEvent, MpiExitEvent,
+    NullHook,
 };
 pub use machine::{CoreSpeed, MachineConfig, NoiseConfig};
 pub use value::Value;

@@ -1,0 +1,383 @@
+//! Counters, gauges, log-bucketed histograms, and the registry that
+//! renders them as deterministic Prometheus-style text.
+//!
+//! Handles are `Arc`-backed clones of the registered atomics, so the
+//! update path after registration is a single atomic RMW — cheap enough
+//! to leave on in production, which is the whole point. Rendering sorts
+//! families by name and emits samples in a fixed order per kind, so the
+//! exposition is byte-deterministic for a given set of values and can
+//! be pinned by golden tests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere — for callers (tests, library
+    /// consumers) that want the increment sites without an exposition.
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a level that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water marks).
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket `b` holds values whose bit width is
+/// `b`, i.e. `[2^(b-1), 2^b)`; bucket 0 holds exactly 0.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// Values land in power-of-two buckets (one atomic increment), so
+/// recording costs two RMWs plus a `fetch_max` regardless of the value
+/// range, and quantiles are estimated from the bucket boundaries —
+/// exactly the resolution needed to tell a 50 µs parse from a 5 ms
+/// simulate, at always-on cost.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// A histogram read at one instant: totals plus estimated quantiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl Histogram {
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation (typically nanoseconds).
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Estimate the `q`-quantile (0 < q <= 1) from the bucket counts:
+    /// the geometric midpoint of the bucket where the cumulative count
+    /// crosses the target, clamped to the observed maximum.
+    fn quantile(&self, counts: &[u64; BUCKETS], total: u64, max: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bucket, &n) in counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                if bucket == 0 {
+                    return 0;
+                }
+                let low = 1u64 << (bucket - 1);
+                let mid = low + low / 2;
+                return mid.min(max);
+            }
+        }
+        max
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.0.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        // Totals re-derived from the bucket reads so the snapshot is
+        // internally consistent even while writers race.
+        let count: u64 = counts.iter().sum();
+        let max = self.0.max.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max,
+            p50: self.quantile(&counts, count, max, 0.50),
+            p90: self.quantile(&counts, count, max, 0.90),
+            p99: self.quantile(&counts, count, max, 0.99),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One exposition family, ready to render: a metric name, its TYPE
+/// line kind, and the `(sample suffix, value)` pairs under it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Family {
+    pub name: String,
+    pub kind: &'static str,
+    /// `(suffix, value)`: the suffix is appended verbatim to the family
+    /// name (empty for plain counters/gauges, `{quantile="0.5"}` or
+    /// `_count` for summaries).
+    pub samples: Vec<(String, u64)>,
+}
+
+impl Family {
+    /// A single-sample counter family computed outside the registry
+    /// (e.g. mirrored from an existing cache's own atomics).
+    pub fn counter(name: &str, value: u64) -> Family {
+        Family {
+            name: name.to_string(),
+            kind: "counter",
+            samples: vec![(String::new(), value)],
+        }
+    }
+
+    /// A single-sample gauge family.
+    pub fn gauge(name: &str, value: u64) -> Family {
+        Family {
+            name: name.to_string(),
+            kind: "gauge",
+            samples: vec![(String::new(), value)],
+        }
+    }
+
+    /// Replace every sample's suffix (e.g. a `{label="..."}` set on an
+    /// info-style gauge such as `build_info 1`).
+    pub fn with_sample_suffix(mut self, suffix: &str) -> Family {
+        for sample in &mut self.samples {
+            sample.0 = suffix.to_string();
+        }
+        self
+    }
+}
+
+fn histogram_family(name: &str, snap: HistogramSnapshot) -> Family {
+    Family {
+        name: name.to_string(),
+        kind: "summary",
+        samples: vec![
+            ("{quantile=\"0.5\"}".to_string(), snap.p50),
+            ("{quantile=\"0.9\"}".to_string(), snap.p90),
+            ("{quantile=\"0.99\"}".to_string(), snap.p99),
+            ("_max".to_string(), snap.max),
+            ("_count".to_string(), snap.count),
+            ("_sum".to_string(), snap.sum),
+        ],
+    }
+}
+
+/// A named collection of metrics with a deterministic text exposition.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes the registry lock
+/// once and hands back an `Arc`-backed handle; every subsequent update
+/// through the handle is lock-free. Asking twice for the same name
+/// returns a handle to the same underlying atomic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::detached()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::detached()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Snapshot every registered metric as render-ready families.
+    pub fn families(&self) -> Vec<Family> {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => Family::counter(name, c.get()),
+                Metric::Gauge(g) => Family::gauge(name, g.get()),
+                Metric::Histogram(h) => histogram_family(name, h.snapshot()),
+            })
+            .collect()
+    }
+
+    /// Render the registry plus caller-supplied extra families (values
+    /// mirrored from elsewhere) as Prometheus-style text, sorted by
+    /// family name — byte-deterministic for a given set of values.
+    pub fn render(&self, extra: Vec<Family>) -> String {
+        let mut families = self.families();
+        families.extend(extra);
+        render_families(families)
+    }
+}
+
+/// Render families as Prometheus-style text exposition, sorted by name.
+pub fn render_families(mut families: Vec<Family>) -> String {
+    families.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for family in &families {
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind);
+        out.push('\n');
+        for (suffix, value) in &family.samples {
+            out.push_str(&family.name);
+            out.push_str(suffix);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 1000, 1000, 1000, 1000, 1000, 50_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.sum, 55_006);
+        assert_eq!(snap.max, 50_000);
+        // p50 lands in the 1000s bucket [512, 1024) -> mid 768.
+        assert_eq!(snap.p50, 768);
+        assert!(snap.p90 >= snap.p50);
+        assert!(snap.p99 >= snap.p90);
+        assert!(snap.p99 <= snap.max);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        assert_eq!(
+            Histogram::detached().snapshot(),
+            HistogramSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn registry_hands_back_the_same_atomic() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x_total");
+        let b = registry.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn render_is_sorted_and_deterministic() {
+        let registry = MetricsRegistry::new();
+        registry.counter("scalana_b_total").add(2);
+        registry.gauge("scalana_a_level").set(7);
+        registry.histogram("scalana_c_ns").record(3);
+        let extra = vec![Family::counter("scalana_aa_total", 1)];
+        let text = registry.render(extra.clone());
+        assert_eq!(text, registry.render(extra));
+        let expected = "# TYPE scalana_a_level gauge\n\
+                        scalana_a_level 7\n\
+                        # TYPE scalana_aa_total counter\n\
+                        scalana_aa_total 1\n\
+                        # TYPE scalana_b_total counter\n\
+                        scalana_b_total 2\n\
+                        # TYPE scalana_c_ns summary\n\
+                        scalana_c_ns{quantile=\"0.5\"} 3\n\
+                        scalana_c_ns{quantile=\"0.9\"} 3\n\
+                        scalana_c_ns{quantile=\"0.99\"} 3\n\
+                        scalana_c_ns_max 3\n\
+                        scalana_c_ns_count 1\n\
+                        scalana_c_ns_sum 3\n";
+        assert_eq!(text, expected);
+    }
+}

@@ -1,0 +1,83 @@
+//! RAII spans: enter on construction, exit on drop, with the duration
+//! recorded both as a ring event (for timeline reconstruction) and,
+//! optionally, into a latency [`Histogram`] (for `/v1/metrics`).
+
+use crate::clock::now_ns;
+use crate::metrics::Histogram;
+use crate::ring::{record, EventKind, LabelId};
+
+/// An open span. Dropping it records the exit event; the duration is
+/// also fed to the attached histogram, if any.
+#[derive(Debug)]
+pub struct Span {
+    label: LabelId,
+    start_ns: u64,
+    histogram: Option<Histogram>,
+}
+
+/// Open a span identified by an interned label.
+pub fn span(label: LabelId) -> Span {
+    record(EventKind::SpanEnter, label, 0);
+    Span {
+        label,
+        start_ns: now_ns(),
+        histogram: None,
+    }
+}
+
+/// Open a span whose duration also lands in `histogram` on exit.
+pub fn span_timed(label: LabelId, histogram: &Histogram) -> Span {
+    record(EventKind::SpanEnter, label, 0);
+    Span {
+        label,
+        start_ns: now_ns(),
+        histogram: Some(histogram.clone()),
+    }
+}
+
+impl Span {
+    /// Nanoseconds since the span opened.
+    pub fn elapsed_ns(&self) -> u64 {
+        now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// The offset of the span's start from the process epoch.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_ns();
+        record(EventKind::SpanExit, self.label, elapsed);
+        if let Some(histogram) = &self.histogram {
+            histogram.record(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{label, merge};
+
+    #[test]
+    fn span_records_enter_exit_and_histogram() {
+        let hist = Histogram::detached();
+        let id = label("span-test-roundtrip");
+        {
+            let _span = span_timed(id, &hist);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        let events: Vec<_> = merge()
+            .into_iter()
+            .filter(|e| e.label == "span-test-roundtrip")
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanEnter);
+        assert_eq!(events[1].kind, EventKind::SpanExit);
+        assert!(events[1].ts_ns >= events[0].ts_ns);
+    }
+}

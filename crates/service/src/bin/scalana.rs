@@ -12,6 +12,8 @@
 //!                  [--param NAME=V]... [--wait]
 //! scalana status   [--addr A] [JOB]
 //! scalana result   [--addr A] JOB
+//! scalana trace    [--addr A] [--json] JOB
+//! scalana top      [--addr A] [--raw] [--interval SECS] [--count N]
 //! scalana diff     <a.mmpi> <b.mmpi> [--addr A] [--scales ...] [--scales-b ...]
 //! scalana shutdown [--addr A]
 //! ```
@@ -65,6 +67,8 @@ const USAGE: &str = "usage:
                    [--param NAME=VALUE]... [--wait]
   scalana status   [--addr ADDR] [JOB]
   scalana result   [--addr ADDR] JOB
+  scalana trace    [--addr ADDR] [--json] JOB
+  scalana top      [--addr ADDR] [--raw] [--interval SECS] [--count N]
   scalana diff     <a.mmpi> <b.mmpi> [--addr ADDR] [--scales 4,8,16,32]
                    [--scales-b ...]
   scalana shutdown [--addr ADDR]";
@@ -80,6 +84,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("result") => cmd_result(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -494,6 +500,196 @@ fn cmd_result(args: &[String]) -> Result<(), String> {
     let response = client::request_json(&addr, "GET", &paths::job_result(job), "")?;
     println!("{}", response.render());
     Ok(())
+}
+
+/// `scalana trace JOB`: fetch the job's span timeline from
+/// `GET /v1/jobs/<id>/trace` and render it as an indented tree (or, with
+/// `--json`, print the wire document verbatim).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let mut json_out = false;
+    let mut job: Option<String> = None;
+    for arg in &rest {
+        match arg.as_str() {
+            "--json" => json_out = true,
+            other if other.starts_with("--") => {
+                return Err(format!("trace: unknown flag `{other}`"));
+            }
+            key => {
+                if job.replace(key.to_string()).is_some() {
+                    return Err("trace: need exactly one JOB".to_string());
+                }
+            }
+        }
+    }
+    let job = job.ok_or("trace: need exactly one JOB")?;
+    let response = client::request_json(&addr, "GET", &paths::job_trace(&job), "")?;
+    if json_out {
+        println!("{}", response.render());
+        return Ok(());
+    }
+    let trace = scalana_api::TraceResponse::from_json(&response)
+        .ok_or("trace: server answered a document that is not a trace")?;
+    println!(
+        "job {}  total {:.3} ms ({} top-level spans)",
+        trace.job,
+        trace.total_ns as f64 / 1e6,
+        trace.spans.len()
+    );
+    fn render(span: &scalana_api::TraceSpan, depth: usize) {
+        let tags: Vec<String> = span.tags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "{:indent$}{:<12} {:>10.3} ms  @ {:>10.3} ms  {}",
+            "",
+            span.name,
+            span.duration_ns as f64 / 1e6,
+            span.start_ns as f64 / 1e6,
+            tags.join(" "),
+            indent = depth * 2
+        );
+        for child in &span.children {
+            render(child, depth + 1);
+        }
+    }
+    for span in &trace.spans {
+        render(span, 1);
+    }
+    Ok(())
+}
+
+/// `scalana top`: scrape `GET /v1/metrics`. `--raw` prints the
+/// exposition verbatim (one scrape — what scripts pipe into grep);
+/// the default renders a compact digest, repeated `--count` times at
+/// `--interval`-second cadence.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let mut raw = false;
+    let mut interval = Duration::from_secs(2);
+    let mut count: u32 = 1;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--raw" => raw = true,
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs SECS")?;
+                let secs: u64 = v.parse().map_err(|e| format!("bad --interval: {e}"))?;
+                interval = Duration::from_secs(secs.max(1));
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs N")?;
+                count = v.parse().map_err(|e| format!("bad --count: {e}"))?;
+                if count == 0 {
+                    return Err("--count must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("top: unknown flag `{other}`")),
+        }
+    }
+    for round in 0..count {
+        if round > 0 {
+            std::thread::sleep(interval);
+            println!();
+        }
+        let (code, text) = client::request(&addr, "GET", paths::METRICS, "")?;
+        if code != 200 {
+            return Err(format!("GET {}: {code} {text}", paths::METRICS));
+        }
+        if raw {
+            print!("{text}");
+            continue;
+        }
+        print_metrics_digest(&text);
+    }
+    Ok(())
+}
+
+/// Compact one-screen rendering of the exposition: plain counters and
+/// gauges as `name value` lines, summaries as `p50/p99/max/count`.
+fn print_metrics_digest(text: &str) {
+    let mut values: Vec<(&str, u64)> = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        values.push((name, value));
+    }
+    let get = |name: &str| values.iter().find(|(n, _)| *n == name).map(|&(_, v)| v);
+    let quantiles = |family: &str| {
+        let p50 = get(&format!("{family}{{quantile=\"0.5\"}}"));
+        let p99 = get(&format!("{family}{{quantile=\"0.99\"}}"));
+        let max = get(&format!("{family}_max"));
+        let count = get(&format!("{family}_count"));
+        (p50, p99, max, count)
+    };
+    for (label, sample) in [
+        ("uptime_ms", "scalana_uptime_ms"),
+        ("requests", "scalana_http_requests_total"),
+        ("queue_depth", "scalana_queue_depth"),
+        ("jobs submitted", "scalana_jobs_submitted_total"),
+        ("jobs completed", "scalana_jobs_completed_total"),
+        ("jobs failed", "scalana_jobs_failed_total"),
+        ("result hits/misses", "scalana_cache_result_hits_total"),
+        ("scale hits/misses", "scalana_cache_scale_hits_total"),
+        ("psg hits/misses", "scalana_cache_psg_hits_total"),
+        ("sim runs", "scalana_sim_runs_total"),
+        ("sim events", "scalana_sim_events_total"),
+        ("sim inflight peak", "scalana_sim_inflight_ops_peak"),
+        ("longpoll parks/wakes", "scalana_longpoll_parks_total"),
+    ] {
+        let Some(value) = get(sample) else { continue };
+        // Paired families render as `hits/misses` on one line.
+        let partner = sample
+            .strip_suffix("hits_total")
+            .map(|prefix| format!("{prefix}misses_total"))
+            .or_else(|| {
+                sample
+                    .strip_suffix("parks_total")
+                    .map(|prefix| format!("{prefix}wakes_total"))
+            })
+            .and_then(|name| get(&name));
+        match partner {
+            Some(other) => println!("{label:<22} {value}/{other}"),
+            None => println!("{label:<22} {value}"),
+        }
+    }
+    println!();
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>8}",
+        "stage (ns)", "p50", "p99", "max", "count"
+    );
+    for family in [
+        "scalana_stage_http_read_ns",
+        "scalana_stage_parse_ns",
+        "scalana_stage_queue_wait_ns",
+        "scalana_stage_resolve_ns",
+        "scalana_stage_simulate_ns",
+        "scalana_stage_assemble_ns",
+        "scalana_stage_render_ns",
+        "scalana_stage_write_ns",
+        "scalana_job_ns",
+        "scalana_sim_run_ns",
+    ] {
+        let (p50, p99, max, count) = quantiles(family);
+        if count.unwrap_or(0) == 0 {
+            continue;
+        }
+        let short = family
+            .strip_prefix("scalana_stage_")
+            .unwrap_or_else(|| family.strip_prefix("scalana_").unwrap_or(family));
+        println!(
+            "{short:<28} {:>10} {:>10} {:>10} {:>8}",
+            p50.unwrap_or(0),
+            p99.unwrap_or(0),
+            max.unwrap_or(0),
+            count.unwrap_or(0)
+        );
+    }
 }
 
 fn cmd_shutdown(args: &[String]) -> Result<(), String> {

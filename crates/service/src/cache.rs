@@ -16,6 +16,8 @@
 
 use crate::job::{JobOutput, JobSpec};
 use crate::sharded::shard_index;
+use scalana_api::trace::{TraceResponse, TraceSpan};
+use scalana_obs as obs;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -63,6 +65,19 @@ pub struct JobRecord {
     /// [`Registry::fail`]/[`Registry::complete`] calls carry the old
     /// generation and must not clobber the retry.
     generation: u64,
+    /// Observability epoch nanoseconds when the submission arrived at
+    /// the server (request parsing began) — the trace's time zero.
+    recv_ns: u64,
+    /// When the fresh record was registered and enqueued.
+    registered_ns: u64,
+    /// When a worker claimed the job (0 until then).
+    started_ns: u64,
+    /// When the job reached `Done`/`Failed` (0 until then).
+    terminal_ns: u64,
+    /// Child spans of the execution (`resolve`, per-`scale`,
+    /// `assemble`), attached by the worker just before the terminal
+    /// transition; offsets are epoch nanoseconds, rebased at read.
+    run_spans: Vec<TraceSpan>,
 }
 
 /// Status view returned to HTTP handlers (no lock held).
@@ -141,10 +156,42 @@ pub enum WaitOutcome {
     Pending(StatusView),
 }
 
+/// Observability handles the registry reports into. Detached (inert)
+/// by default so tests and library callers pay nothing; the daemon
+/// wires them to its [`crate::metrics::ServiceMetrics`] registry via
+/// [`Registry::with_obs`].
+#[derive(Debug)]
+pub struct RegistryObs {
+    /// Long-poll waiters that actually parked on a shard condvar.
+    pub parks: obs::Counter,
+    /// Parked waiters woken by a terminal transition (vs. timing out).
+    pub wakes: obs::Counter,
+    /// Fresh job registered → claimed by a worker.
+    pub queue_wait_ns: obs::Histogram,
+    /// Worker claim → terminal transition.
+    pub job_ns: obs::Histogram,
+    /// Ring label stamped on each result-cache eviction event.
+    pub evict_label: obs::LabelId,
+}
+
+impl Default for RegistryObs {
+    fn default() -> RegistryObs {
+        RegistryObs {
+            parks: obs::Counter::detached(),
+            wakes: obs::Counter::detached(),
+            queue_wait_ns: obs::Histogram::detached(),
+            job_ns: obs::Histogram::detached(),
+            evict_label: obs::label("result_evict"),
+        }
+    }
+}
+
 /// The shared registry.
 #[derive(Debug)]
 pub struct Registry {
     shards: Box<[Shard]>,
+    /// Observability sinks (inert unless wired by the daemon).
+    obs: RegistryObs,
     /// Keys in completion order — the FIFO eviction candidates. Guarded
     /// by its own lock; never taken while a shard lock is held.
     done_order: Mutex<VecDeque<String>>,
@@ -172,6 +219,7 @@ impl Default for Registry {
     fn default() -> Registry {
         Registry {
             shards: (0..REGISTRY_SHARDS).map(|_| Shard::default()).collect(),
+            obs: RegistryObs::default(),
             done_order: Mutex::new(VecDeque::new()),
             max_results: 0,
             results_held: AtomicUsize::new(0),
@@ -215,6 +263,12 @@ impl Registry {
         }
     }
 
+    /// Wire the registry's observability events to live handles.
+    pub fn with_obs(mut self, obs: RegistryObs) -> Registry {
+        self.obs = obs;
+        self
+    }
+
     /// The shard holding `key`.
     fn shard(&self, key: &str) -> &Shard {
         &self.shards[shard_index(key, self.shards.len())]
@@ -233,6 +287,17 @@ impl Registry {
     /// is registered and no accepted-submission counter moves — only
     /// `rejected`.
     pub fn submit<F>(&self, spec: JobSpec, enqueue: F) -> SubmitOutcome
+    where
+        F: FnOnce(&str) -> bool,
+    {
+        self.submit_at(spec, obs::now_ns(), enqueue)
+    }
+
+    /// [`Registry::submit`] with an explicit arrival timestamp (epoch
+    /// nanoseconds): the server stamps a submission when it starts
+    /// parsing the request, so the job's trace accounts for the parse
+    /// stage too. The stamp becomes the trace's time zero.
+    pub fn submit_at<F>(&self, spec: JobSpec, recv_ns: u64, enqueue: F) -> SubmitOutcome
     where
         F: FnOnce(&str) -> bool,
     {
@@ -259,6 +324,11 @@ impl Registry {
                         error: None,
                         result: None,
                         generation: self.generations.fetch_add(1, Ordering::Relaxed),
+                        recv_ns,
+                        registered_ns: obs::now_ns(),
+                        started_ns: 0,
+                        terminal_ns: 0,
+                        run_spans: Vec::new(),
                     },
                 );
                 SubmitOutcome::Fresh(key)
@@ -276,6 +346,10 @@ impl Registry {
             return None;
         }
         record.status = JobStatus::Running;
+        record.started_ns = obs::now_ns();
+        self.obs
+            .queue_wait_ns
+            .record(record.started_ns.saturating_sub(record.registered_ns));
         self.executed.fetch_add(1, Ordering::Relaxed);
         Some((record.spec.clone(), record.generation))
     }
@@ -299,6 +373,10 @@ impl Registry {
             record.status = JobStatus::Done;
             record.result = Some(Arc::new(output));
             record.error = None;
+            record.terminal_ns = obs::now_ns();
+            self.obs
+                .job_ns
+                .record(record.terminal_ns.saturating_sub(record.started_ns));
             // Wake long-poll waiters while still holding the shard lock
             // (no waiter can miss the transition).
             shard.terminal.notify_all();
@@ -326,6 +404,7 @@ impl Registry {
                 jobs.remove(&oldest);
                 self.evicted.fetch_add(1, Ordering::Relaxed);
                 self.results_held.fetch_sub(1, Ordering::Relaxed);
+                obs::record(obs::EventKind::Counter, self.obs.evict_label, 1);
             }
         }
     }
@@ -345,6 +424,10 @@ impl Registry {
             }
             record.status = JobStatus::Failed;
             record.error = Some(error);
+            record.terminal_ns = obs::now_ns();
+            self.obs
+                .job_ns
+                .record(record.terminal_ns.saturating_sub(record.started_ns));
             self.failed.fetch_add(1, Ordering::Relaxed);
             shard.terminal.notify_all();
         }
@@ -356,6 +439,85 @@ impl Registry {
         jobs.get(key).map(|record| view(key, record))
     }
 
+    /// Attach the execution's child spans (epoch-nanosecond offsets)
+    /// to the record, to be rebased and served under the `run` span by
+    /// [`Registry::trace`]. Called by the worker just before the
+    /// terminal transition; like `complete`/`fail`, it no-ops unless
+    /// the record is still the `Running` execution identified by
+    /// `generation`.
+    pub fn attach_run_spans(&self, key: &str, generation: u64, spans: Vec<TraceSpan>) {
+        let mut jobs = self.shard(key).records.lock().unwrap();
+        if let Some(record) = jobs.get_mut(key) {
+            if record.status == JobStatus::Running && record.generation == generation {
+                record.run_spans = spans;
+            }
+        }
+    }
+
+    /// The job's span timeline, built from the record's lifecycle
+    /// timestamps and the worker-attached run spans.
+    ///
+    /// `None` — no record under the key. `Some((status, None))` — the
+    /// job exists but has not reached a terminal state yet.
+    /// `Some((status, Some(trace)))` — the terminal timeline: the
+    /// top-level `submit`/`queue_wait`/`run` spans tile the interval
+    /// from the submission's arrival to the terminal transition, so
+    /// their durations sum exactly to `total_ns`; the `run` children
+    /// carry the per-scale cache verdicts, in canonical order.
+    ///
+    /// Re-submitting an identical job coalesces onto this record, so
+    /// the trace always describes the execution that actually ran.
+    pub fn trace(&self, key: &str) -> Option<(JobStatus, Option<TraceResponse>)> {
+        let jobs = self.shard(key).records.lock().unwrap();
+        let record = jobs.get(key)?;
+        if !matches!(record.status, JobStatus::Done | JobStatus::Failed) || record.terminal_ns == 0
+        {
+            return Some((record.status, None));
+        }
+        let zero = record.recv_ns;
+        let rebase = |ns: u64| ns.saturating_sub(zero);
+        let mut run = TraceSpan::new(
+            "run",
+            rebase(record.started_ns),
+            record.terminal_ns.saturating_sub(record.started_ns),
+        )
+        .with_tag(
+            "outcome",
+            if record.status == JobStatus::Done {
+                "done"
+            } else {
+                "failed"
+            },
+        );
+        run.children = record
+            .run_spans
+            .iter()
+            .map(|span| TraceSpan {
+                start_ns: rebase(span.start_ns),
+                ..span.clone()
+            })
+            .collect();
+        run.sort_children();
+        let trace = TraceResponse {
+            job: key.to_string(),
+            total_ns: record.terminal_ns.saturating_sub(zero),
+            spans: vec![
+                TraceSpan::new(
+                    "submit",
+                    0,
+                    record.registered_ns.saturating_sub(record.recv_ns),
+                ),
+                TraceSpan::new(
+                    "queue_wait",
+                    rebase(record.registered_ns),
+                    record.started_ns.saturating_sub(record.registered_ns),
+                ),
+                run,
+            ],
+        };
+        Some((record.status, Some(trace)))
+    }
+
     /// Block until the job reaches a terminal state or `timeout`
     /// elapses — the server side of `GET /v1/jobs/<id>/wait`. Parks on
     /// the shard's condvar, so a completing worker wakes the waiter at
@@ -365,17 +527,26 @@ impl Registry {
     pub fn wait_terminal(&self, key: &str, timeout: Duration) -> WaitOutcome {
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
+        let mut parked = false;
         let mut jobs = shard.records.lock().unwrap();
         loop {
             let Some(record) = jobs.get(key) else {
                 return WaitOutcome::Unknown;
             };
             if matches!(record.status, JobStatus::Done | JobStatus::Failed) {
+                if parked {
+                    // Woken by the terminal transition, not the budget.
+                    self.obs.wakes.inc();
+                }
                 return WaitOutcome::Terminal(view(key, record));
             }
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return WaitOutcome::Pending(view(key, record));
             };
+            if !parked {
+                parked = true;
+                self.obs.parks.inc();
+            }
             let (guard, result) = shard.terminal.wait_timeout(jobs, remaining).unwrap();
             jobs = guard;
             if result.timed_out() {
@@ -384,6 +555,7 @@ impl Registry {
                     Some(record)
                         if matches!(record.status, JobStatus::Done | JobStatus::Failed) =>
                     {
+                        self.obs.wakes.inc();
                         WaitOutcome::Terminal(view(key, record))
                     }
                     Some(record) => WaitOutcome::Pending(view(key, record)),

@@ -193,19 +193,49 @@ impl Conn {
     /// for daemons without the long-poll endpoint, and the comparison
     /// baseline for the `wait_longpoll` bench. Every poll rides this
     /// keep-alive connection: no TCP handshake per round.
+    ///
+    /// A *retryable* structured error mid-poll (backpressure shed, a
+    /// transient state) is not fatal: the client honors the server's
+    /// `Retry-After` header before the next attempt. Ordinary pending
+    /// responses are 200s and keep the fixed cadence — the backoff
+    /// only engages when the server explicitly asks for it.
     pub fn wait_for_job_polling(&mut self, key: &str, timeout: Duration) -> Result<Json, String> {
         let deadline = Instant::now() + timeout;
+        let path = format!("/jobs/{key}");
         loop {
-            let doc = self.request_json("GET", &format!("/jobs/{key}"), "")?;
-            match doc.get("status").and_then(Json::as_str) {
-                Some("queued") | Some("running") => {}
-                Some(_) => return Ok(doc),
-                None => return Err("status response missing `status`".to_string()),
+            let response = self.request_full("GET", &path, "")?;
+            let backoff = response
+                .header("Retry-After")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_secs);
+            let code = response.code;
+            let text = String::from_utf8(response.body)
+                .map_err(|_| "response is not UTF-8".to_string())?;
+            let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
+            if (200..300).contains(&code) {
+                match doc.get("status").and_then(Json::as_str) {
+                    Some("queued") | Some("running") => {}
+                    Some(_) => return Ok(doc),
+                    None => return Err("status response missing `status`".to_string()),
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!("job {key} still pending after {timeout:?}"));
+                }
+                std::thread::sleep(FALLBACK_POLL);
+                continue;
             }
-            if Instant::now() >= deadline {
-                return Err(format!("job {key} still pending after {timeout:?}"));
+            let retryable = ApiError::from_json(&doc).is_some_and(|e| e.retryable);
+            if !retryable || Instant::now() >= deadline {
+                return Err(request_error("GET", &path, code, &doc));
             }
-            std::thread::sleep(FALLBACK_POLL);
+            let backoff = backoff.unwrap_or(FALLBACK_POLL);
+            std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+            // A shed response announces `Connection: close`; reconnect
+            // so the retry actually reaches the server.
+            if !self.alive {
+                let addr = self.addr.clone();
+                *self = Conn::connect(&addr)?;
+            }
         }
     }
 }

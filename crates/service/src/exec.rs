@@ -25,15 +25,24 @@ use crate::cache::Registry;
 use crate::job::JobOutput;
 use crate::json::Json;
 use crate::jsonify::{report_to_json, run_summary_to_json};
+use crate::metrics::ServiceMetrics;
 use crate::profile_cache::{ProfileCache, PsgCache};
 use crate::queue::JobQueue;
 use bytes::Bytes;
-use scalana_core::{assemble, profile_one_scale, refined_psg, ProfiledRuns, ScalAnaConfig};
+use scalana_api::trace::TraceSpan;
+use scalana_core::{
+    assemble, profile_one_scale_observed, refined_psg, ProfiledRuns, ScalAnaConfig,
+};
 use scalana_graph::Psg;
 use scalana_lang::Program;
+use scalana_mpisim::{
+    CommDepEvent, CompEvent, Hook, IndirectCallEvent, MpiEnterEvent, MpiExitEvent,
+};
+use scalana_obs as obs;
 use scalana_profile::ProfileData;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One unit of worker-pool work.
 pub enum Task {
@@ -75,6 +84,8 @@ pub struct ExecCtx<'a> {
     pub profiles: &'a ProfileCache,
     /// Refined-PSG cache.
     pub psgs: &'a PsgCache,
+    /// Observability handles (stage histograms, simulator counters).
+    pub metrics: &'a ServiceMetrics,
 }
 
 /// Shared state of one in-flight job, owned jointly by its scale tasks.
@@ -104,6 +115,112 @@ pub struct JobWork {
     /// Set on the first scale failure; later scale tasks skip their
     /// simulation (the job is already Failed).
     failed: AtomicBool,
+    /// Execution child spans (`resolve`, per-`scale`, `assemble`),
+    /// collected across the workers that touch this job and attached
+    /// to the registry record just before the terminal transition.
+    /// Offsets are epoch nanoseconds; the registry rebases them.
+    trace_spans: Mutex<Vec<TraceSpan>>,
+}
+
+impl JobWork {
+    fn push_span(&self, span: TraceSpan) {
+        self.trace_spans.lock().unwrap().push(span);
+    }
+}
+
+/// The simulator observer chained after the profiler: counts events,
+/// tracks the high-water of in-flight MPI operations (the hook-layer
+/// proxy for mailbox-slab occupancy), and times the run — publishing
+/// everything to [`ServiceMetrics`] at `on_run_end`. Every callback
+/// returns `0.0` virtual cost, so observed runs stay byte-identical
+/// to unobserved ones.
+struct ObsSimHook<'a> {
+    metrics: &'a ServiceMetrics,
+    events: u64,
+    inflight: u64,
+    inflight_peak: u64,
+    started: Instant,
+}
+
+impl<'a> ObsSimHook<'a> {
+    fn new(metrics: &'a ServiceMetrics) -> ObsSimHook<'a> {
+        ObsSimHook {
+            metrics,
+            events: 0,
+            inflight: 0,
+            inflight_peak: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Hook for ObsSimHook<'_> {
+    fn on_run_start(&mut self, _nprocs: usize) {
+        self.started = Instant::now();
+    }
+    fn on_comp(&mut self, _ev: &CompEvent) -> f64 {
+        self.events += 1;
+        0.0
+    }
+    fn on_mpi_enter(&mut self, _ev: &MpiEnterEvent) -> f64 {
+        self.events += 1;
+        self.inflight += 1;
+        self.inflight_peak = self.inflight_peak.max(self.inflight);
+        0.0
+    }
+    fn on_mpi_exit(&mut self, _ev: &MpiExitEvent) -> f64 {
+        self.events += 1;
+        self.inflight = self.inflight.saturating_sub(1);
+        0.0
+    }
+    fn on_comm_dep(&mut self, _ev: &CommDepEvent) -> f64 {
+        self.events += 1;
+        0.0
+    }
+    fn on_indirect_call(&mut self, _ev: &IndirectCallEvent) -> f64 {
+        self.events += 1;
+        0.0
+    }
+    fn on_run_end(&mut self, _rank_elapsed: &[f64]) {
+        self.metrics.sim_runs.inc();
+        self.metrics.sim_events.add(self.events);
+        self.metrics.sim_inflight_peak.raise(self.inflight_peak);
+        self.metrics
+            .sim_run_ns
+            .record(self.started.elapsed().as_nanos() as u64);
+        self.events = 0;
+        self.inflight = 0;
+        self.inflight_peak = 0;
+    }
+}
+
+/// One per-scale simulation exactly as a worker runs it: a `simulate`
+/// stage span feeding the stage histogram, the `ObsSimHook` observer
+/// chained after the profiler, and the panic guard — returning the
+/// profile (or the failure message) plus the finished trace span.
+///
+/// Public so the `obs` bench suite can measure this *production*
+/// instrumented path against the stripped
+/// [`profile_one_scale`](scalana_core::profile_one_scale) it wraps; the
+/// gap between the two is the always-on observability overhead the
+/// perfgate bounds.
+pub fn profile_one_scale_instrumented(
+    metrics: &ServiceMetrics,
+    program: &Program,
+    psg: &Psg,
+    config: &ScalAnaConfig,
+    nprocs: usize,
+) -> (Result<ProfileData, String>, TraceSpan) {
+    let stage = obs::span_timed(metrics.lbl_simulate, &metrics.simulate_ns);
+    let result = guarded(|| {
+        let mut observer = ObsSimHook::new(metrics);
+        profile_one_scale_observed(program, psg, config, nprocs, &mut observer)
+            .map_err(|e| e.to_string())
+    });
+    let span = TraceSpan::new("scale", stage.start_ns(), stage.elapsed_ns())
+        .with_tag("nprocs", &nprocs.to_string())
+        .with_tag("cache", "miss");
+    (result, span)
 }
 
 /// Execute one task. Called by the worker loop; never panics outward
@@ -142,22 +259,28 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
     };
 
     let prepared = guarded(|| {
+        let stage = obs::span_timed(ctx.metrics.lbl_resolve, &ctx.metrics.resolve_ns);
         let (program, config) = spec.resolve()?;
 
         // Refined PSG: program + PSG options + discovery scale. A hit
         // skips ScalAna-static *and* the indirect-call discovery run.
         let psg_key = spec.psg_key(&config);
-        let psg = match ctx.psgs.lookup(&psg_key) {
-            Some(psg) => psg,
+        let (psg, psg_verdict) = match ctx.psgs.lookup(&psg_key) {
+            Some(psg) => (psg, "hit"),
             None => {
                 let psg = Arc::new(
                     refined_psg(&program, &config, spec.discovery_scale())
                         .map_err(|e| e.to_string())?,
                 );
                 ctx.psgs.store(psg_key, Arc::clone(&psg));
-                psg
+                (psg, "miss")
             }
         };
+        let mut spans = vec![
+            TraceSpan::new("resolve", stage.start_ns(), stage.elapsed_ns())
+                .with_tag("psg", psg_verdict),
+        ];
+        drop(stage);
 
         // Resolve each requested scale; a hit reloads the persisted
         // image (the exact bytes `ScalAna-prof` would leave on disk).
@@ -167,7 +290,8 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
             .map(|&nprocs| spec.profile_key(&config, nprocs))
             .collect();
         let mut slots: Vec<Option<(ProfileData, Bytes)>> = Vec::with_capacity(spec.scales.len());
-        for pk in &profile_keys {
+        for (pk, &nprocs) in profile_keys.iter().zip(&spec.scales) {
+            let probe_start = obs::now_ns();
             let slot = ctx.profiles.lookup(pk).and_then(|image| {
                 match scalana_profile::store::load(image.clone()) {
                     Ok(data) => Some((data, image)),
@@ -179,12 +303,25 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
                     }
                 }
             });
+            if slot.is_some() {
+                // Cache-hit scales are answered right here; misses get
+                // their (simulating) span in `run_scale`.
+                spans.push(
+                    TraceSpan::new(
+                        "scale",
+                        probe_start,
+                        obs::now_ns().saturating_sub(probe_start),
+                    )
+                    .with_tag("nprocs", &nprocs.to_string())
+                    .with_tag("cache", "hit"),
+                );
+            }
             slots.push(slot);
         }
 
-        Ok((program, config, psg, profile_keys, slots))
+        Ok((program, config, psg, profile_keys, slots, spans))
     });
-    let (program, config, psg, profile_keys, slots) = match prepared {
+    let (program, config, psg, profile_keys, slots, spans) = match prepared {
         Ok(prepared) => prepared,
         Err(error) => {
             ctx.registry.fail(key, generation, error);
@@ -204,6 +341,7 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
         slots: Mutex::new(slots),
         remaining: AtomicUsize::new(misses.len()),
         failed: AtomicBool::new(false),
+        trace_spans: Mutex::new(spans),
     });
 
     match misses.split_first() {
@@ -231,10 +369,14 @@ fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
     // still participate in the countdown so the job's state winds down.
     if !work.failed.load(Ordering::Acquire) {
         let nprocs = work.scales[index];
-        let result = guarded(|| {
-            profile_one_scale(&work.program, &work.psg, &work.config, nprocs)
-                .map_err(|e| e.to_string())
-        });
+        let (result, span) = profile_one_scale_instrumented(
+            ctx.metrics,
+            &work.program,
+            &work.psg,
+            &work.config,
+            nprocs,
+        );
+        work.push_span(span);
         match result {
             Ok(data) => {
                 let image = scalana_profile::store::save(&data);
@@ -244,6 +386,7 @@ fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
             }
             Err(error) => {
                 work.failed.store(true, Ordering::Release);
+                attach_spans(ctx, work);
                 ctx.registry.fail(
                     &work.key,
                     work.generation,
@@ -257,6 +400,15 @@ fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
     }
 }
 
+/// Hand the job's collected execution spans to the registry record.
+/// Must run *before* the terminal transition — the registry refuses
+/// attachments once the record leaves `Running`.
+fn attach_spans(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
+    let spans = std::mem::take(&mut *work.trace_spans.lock().unwrap());
+    ctx.registry
+        .attach_run_spans(&work.key, work.generation, spans);
+}
+
 /// `ScalAna-detect` over the collected profiles, then publish the
 /// result. Profile images are reused as collected/cached — byte-stable,
 /// refcounted, never re-serialized.
@@ -268,6 +420,7 @@ fn assemble_and_complete(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
         let Some((data, image)) = slot else {
             // Unreachable by construction (every miss filled its slot or
             // failed the job); guard against stranding `Running` anyway.
+            attach_spans(ctx, work);
             ctx.registry.fail(
                 &work.key,
                 work.generation,
@@ -279,6 +432,7 @@ fn assemble_and_complete(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
         images.push((nprocs, image));
     }
 
+    let stage = obs::span_timed(ctx.metrics.lbl_assemble, &ctx.metrics.assemble_ns);
     let result = guarded(|| {
         let runs = ProfiledRuns {
             psg: Arc::clone(&work.psg),
@@ -293,6 +447,13 @@ fn assemble_and_complete(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
             profiles: images,
         })
     });
+    work.push_span(TraceSpan::new(
+        "assemble",
+        stage.start_ns(),
+        stage.elapsed_ns(),
+    ));
+    drop(stage);
+    attach_spans(ctx, work);
     match result {
         Ok(output) => ctx.registry.complete(&work.key, work.generation, output),
         Err(error) => ctx.registry.fail(&work.key, work.generation, error),
@@ -305,12 +466,19 @@ mod tests {
     use crate::cache::JobStatus;
     use crate::job::{JobProgram, JobSpec};
 
-    fn ctx_parts() -> (Registry, JobQueue<Task>, ProfileCache, PsgCache) {
+    fn ctx_parts() -> (
+        Registry,
+        JobQueue<Task>,
+        ProfileCache,
+        PsgCache,
+        ServiceMetrics,
+    ) {
         (
             Registry::new(),
             JobQueue::new(16),
             ProfileCache::new(0),
             PsgCache::new(0),
+            ServiceMetrics::new(),
         )
     }
 
@@ -349,12 +517,13 @@ mod tests {
 
     #[test]
     fn overlapping_scale_sets_simulate_only_the_new_scale() {
-        let (registry, queue, profiles, psgs) = ctx_parts();
+        let (registry, queue, profiles, psgs, metrics) = ctx_parts();
         let ctx = ExecCtx {
             registry: &registry,
             queue: &queue,
             profiles: &profiles,
             psgs: &psgs,
+            metrics: &metrics,
         };
 
         // Cold job over [2, 4]: both scales miss.
@@ -393,12 +562,13 @@ mod tests {
 
     #[test]
     fn failing_scale_fails_the_job_without_stranding_it() {
-        let (registry, queue, profiles, psgs) = ctx_parts();
+        let (registry, queue, profiles, psgs, metrics) = ctx_parts();
         let ctx = ExecCtx {
             registry: &registry,
             queue: &queue,
             profiles: &profiles,
             psgs: &psgs,
+            metrics: &metrics,
         };
         // Deadlocks at every scale: rank 0 waits on a recv nobody sends.
         let bad = JobSpec {

@@ -27,6 +27,11 @@
 //! - [`profile_cache`] / [`exec`] — the per-scale profile image cache,
 //!   refined-PSG cache, and program index, plus the per-scale job
 //!   execution that fans simulation misses out across the worker pool;
+//! - [`metrics`] — the daemon observing itself: one
+//!   [`scalana_obs`]-backed [`ServiceMetrics`] per server (stage
+//!   latency histograms, long-poll and simulator counters) behind
+//!   `GET /v1/metrics`, with per-job span timelines served from the
+//!   registry at `GET /v1/jobs/<id>/trace`;
 //! - [`http`] / [`server`] / [`client`] — HTTP/1.1 framing with
 //!   keep-alive over `std::net`, the daemon itself, and the blocking
 //!   client ([`client::Conn`] reuses one connection per interaction).
@@ -58,6 +63,7 @@ pub mod hash;
 pub mod http;
 pub mod job;
 pub mod jsonify;
+pub mod metrics;
 pub mod profile_cache;
 pub mod queue;
 pub mod server;
@@ -71,6 +77,7 @@ pub use cache::{JobStatus, Registry, StatsSnapshot};
 pub use job::{JobProgram, JobSpec};
 pub use json::Json;
 pub use jsonify::{analysis_to_json, report_to_json};
+pub use metrics::ServiceMetrics;
 pub use profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 pub use queue::JobQueue;
 pub use scalana_api as api;

@@ -14,6 +14,8 @@
 //! GET  /v1/jobs/<id>/profile/<p>     persisted profile image at scale <p>
 //! POST /v1/diff                      run/reuse two analyses and compare them
 //! GET  /v1/stats                     counters: job + per-scale cache hits/misses, ...
+//! GET  /v1/metrics                   Prometheus-style exposition (text)
+//! GET  /v1/jobs/<id>/trace           per-job span timeline (terminal jobs)
 //! GET  /v1/healthz                   liveness probe
 //! POST /v1/shutdown                  graceful stop
 //! ```
@@ -36,11 +38,12 @@
 //! without touching the queue and overlapping ones re-simulate only
 //! their genuinely new scales.
 
-use crate::cache::{JobStatus, Registry, StatusView, SubmitOutcome, WaitOutcome};
+use crate::cache::{JobStatus, Registry, RegistryObs, StatusView, SubmitOutcome, WaitOutcome};
 use crate::exec::{ExecCtx, Task};
 use crate::http::{write_response_headers, MessageReader, Request};
 use crate::job::{JobProgram, JobSpec};
 use crate::json::{parse, Json};
+use crate::metrics::ServiceMetrics;
 use crate::profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 use crate::queue::JobQueue;
 use scalana_api::diff::DiffSide;
@@ -49,11 +52,12 @@ use scalana_api::{
     ProgramRef, StatsResponse, SubmitAck, SubmitRequest, WaitQuery,
 };
 use scalana_core::ScalAnaConfig;
+use scalana_obs::{self as obs, Family};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Re-export of the wire contract's scale bound (it predates the
 /// `scalana-api` crate and callers import it from here).
@@ -115,6 +119,11 @@ const MAX_CONNECTIONS: usize = 256;
 /// resumes the wait against the same records).
 const DIFF_WAIT: Duration = Duration::from_secs(60);
 
+/// `Retry-After:` value (seconds) sent with every retryable error —
+/// backpressure answers (`503` shed, queue full) and transient job
+/// states. Clients honor it in their polling fallback.
+const RETRY_AFTER_SECS: u64 = 1;
+
 struct State {
     registry: Registry,
     queue: JobQueue<Task>,
@@ -126,6 +135,12 @@ struct State {
     addr: SocketAddr,
     connections: AtomicUsize,
     default_config: ScalAnaConfig,
+    /// Per-server observability: stage histograms, simulator counters,
+    /// and the `/v1/metrics` exposition registry. Owned here (not
+    /// global) so in-process daemons never share counters.
+    metrics: ServiceMetrics,
+    /// Bind time — the zero point of `uptime_ms`.
+    started: Instant,
 }
 
 impl State {
@@ -135,7 +150,12 @@ impl State {
             queue: &self.queue,
             profiles: &self.profiles,
             psgs: &self.psgs,
+            metrics: &self.metrics,
         }
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     fn trigger_shutdown(&self) {
@@ -176,10 +196,22 @@ impl Server {
     pub fn bind(config: &ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // The registry records into the same handles `/v1/metrics`
+        // renders — long-poll park/wake counters, queue-wait and
+        // whole-job histograms, the eviction ring label.
+        let metrics = ServiceMetrics::new();
+        let registry =
+            Registry::with_result_capacity(config.max_cached_results).with_obs(RegistryObs {
+                parks: metrics.longpoll_parks.clone(),
+                wakes: metrics.longpoll_wakes.clone(),
+                queue_wait_ns: metrics.queue_wait_ns.clone(),
+                job_ns: metrics.job_ns.clone(),
+                evict_label: metrics.lbl_evict,
+            });
         Ok(Server {
             listener,
             state: Arc::new(State {
-                registry: Registry::with_result_capacity(config.max_cached_results),
+                registry,
                 queue: JobQueue::new(config.queue_capacity),
                 profiles: ProfileCache::new(config.max_cached_profiles),
                 psgs: PsgCache::new(config.max_cached_psgs),
@@ -189,6 +221,8 @@ impl Server {
                 addr,
                 connections: AtomicUsize::new(0),
                 default_config: config.default_config.clone(),
+                metrics,
+                started: Instant::now(),
             }),
         })
     }
@@ -231,7 +265,7 @@ impl Server {
                     &stream,
                     503,
                     "application/json",
-                    &[],
+                    &[("Retry-After", RETRY_AFTER_SECS.to_string())],
                     body.as_bytes(),
                     false,
                 );
@@ -287,8 +321,16 @@ fn handle_connection(stream: TcpStream, state: &State) {
     // Keep-alive loop: one request per iteration, strictly in order
     // (pipelined requests are answered in sequence).
     loop {
+        let read_started = obs::now_ns();
         let request = match reader.next_request() {
-            Ok(Some(request)) => request,
+            Ok(Some(request)) => {
+                state
+                    .metrics
+                    .http_read_ns
+                    .record(obs::now_ns().saturating_sub(read_started));
+                state.metrics.http_requests.inc();
+                request
+            }
             // Peer closed between requests — a clean end.
             Ok(None) => return,
             Err(e) => {
@@ -318,12 +360,15 @@ fn handle_connection(stream: TcpStream, state: &State) {
                 return;
             }
         };
+        let route_guard = obs::span_timed(state.metrics.lbl_render, &state.metrics.render_ns);
         let (response, action) = route(&request, state);
+        drop(route_guard);
         // Shutting down (this request or a concurrent one): announce
         // close so well-behaved clients stop reusing the socket.
         let keep_alive = request.keep_alive
             && action != Action::Shutdown
             && !state.shutdown.load(Ordering::SeqCst);
+        let write_guard = obs::span_timed(state.metrics.lbl_write, &state.metrics.write_ns);
         let written = write_response_headers(
             &stream,
             response.code,
@@ -333,6 +378,7 @@ fn handle_connection(stream: TcpStream, state: &State) {
             keep_alive,
         )
         .is_ok();
+        drop(write_guard);
         // The routing decision (not a re-match on the raw path, which
         // would miss normalized forms like `//shutdown`) drives
         // post-response actions, after the acknowledgment is on the
@@ -375,7 +421,16 @@ fn json_response(code: u16, body: Json) -> Response {
 }
 
 fn error_response(error: &ApiError) -> Response {
-    json_response(error.http_status(), error.to_json())
+    let mut response = json_response(error.http_status(), error.to_json());
+    if error.retryable {
+        // The structured body already says `retryable: true`; the
+        // header says *when* — plain HTTP clients get backoff advice
+        // without parsing the body.
+        response
+            .headers
+            .push(("Retry-After", RETRY_AFTER_SECS.to_string()));
+    }
+    response
 }
 
 /// The wire view of a registry record.
@@ -413,11 +468,13 @@ fn allowed_methods(segments: &[&str]) -> Option<&'static str> {
     Some(match segments {
         ["healthz"] => "GET",
         ["stats"] => "GET",
+        ["metrics"] => "GET",
         ["shutdown"] => "POST",
         ["jobs"] => "GET, POST",
         ["jobs", _] => "GET",
         ["jobs", _, "result"] => "GET",
         ["jobs", _, "wait"] => "GET",
+        ["jobs", _, "trace"] => "GET",
         ["jobs", _, "profile", _] => "GET",
         ["diff"] => "POST",
         _ => return None,
@@ -429,7 +486,11 @@ fn allowed_methods(segments: &[&str]) -> Option<&'static str> {
 fn born_in_v1(method: &str, segments: &[&str]) -> bool {
     matches!(
         (method, segments),
-        ("GET", ["jobs"]) | ("GET", ["jobs", _, "wait"]) | ("POST", ["diff"])
+        ("GET", ["jobs"])
+            | ("GET", ["jobs", _, "wait"])
+            | ("GET", ["jobs", _, "trace"])
+            | ("GET", ["metrics"])
+            | ("POST", ["diff"])
     )
 }
 
@@ -486,13 +547,21 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
     }
 
     let (mut response, action) = match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => (json_response(200, dto::ok_body()), Action::None),
+        ("GET", ["healthz"]) => (
+            json_response(
+                200,
+                dto::health_body(env!("CARGO_PKG_VERSION"), state.uptime_ms()),
+            ),
+            Action::None,
+        ),
         ("GET", ["stats"]) => (json_response(200, stats(state).to_json()), Action::None),
+        ("GET", ["metrics"]) => (metrics_text(state), Action::None),
         ("POST", ["shutdown"]) => (json_response(200, dto::ok_body()), Action::Shutdown),
         ("POST", ["jobs"]) => (submit(request, state), Action::None),
         ("GET", ["jobs"]) => (list_jobs(query, state), Action::None),
         ("GET", ["jobs", key]) => (status(key, state), Action::None),
         ("GET", ["jobs", key, "wait"]) => (wait(key, query, state), Action::None),
+        ("GET", ["jobs", key, "trace"]) => (trace(key, state), Action::None),
         ("GET", ["jobs", key, "result"]) => (result(key, state), Action::None),
         ("GET", ["jobs", key, "profile", nprocs]) => (profile(key, nprocs, state), Action::None),
         ("POST", ["diff"]) => (diff(request, state), Action::None),
@@ -538,6 +607,64 @@ fn stats(state: &State) -> StatsResponse {
         psg_hits,
         psg_misses,
         programs_indexed: state.programs.len(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        uptime_ms: state.uptime_ms(),
+    }
+}
+
+/// `GET /v1/metrics` — Prometheus-style text exposition. Families with
+/// live handles render from [`ServiceMetrics`]; counters that already
+/// exist elsewhere (the three cache tiers, job counters, gauges) are
+/// mirrored here from the *same atomics* `/v1/stats` reads, so the two
+/// endpoints can never disagree.
+fn metrics_text(state: &State) -> Response {
+    let s = stats(state);
+    let mirrored = vec![
+        Family::gauge("scalana_build_info", 1)
+            .with_sample_suffix(&format!("{{version=\"{}\"}}", env!("CARGO_PKG_VERSION"))),
+        Family::counter("scalana_cache_psg_hits_total", s.psg_hits),
+        Family::counter("scalana_cache_psg_misses_total", s.psg_misses),
+        Family::counter("scalana_cache_result_evicted_total", s.evicted),
+        Family::counter("scalana_cache_result_hits_total", s.cache_hits),
+        Family::counter("scalana_cache_result_misses_total", s.cache_misses),
+        Family::counter("scalana_cache_scale_evicted_total", s.scale_evicted),
+        Family::counter("scalana_cache_scale_hits_total", s.scale_hits),
+        Family::counter("scalana_cache_scale_misses_total", s.scale_misses),
+        Family::gauge(
+            "scalana_connections",
+            state.connections.load(Ordering::SeqCst) as u64,
+        ),
+        Family::counter("scalana_jobs_completed_total", s.completed),
+        Family::counter("scalana_jobs_executed_total", s.executed),
+        Family::counter("scalana_jobs_failed_total", s.failed),
+        Family::counter("scalana_jobs_rejected_total", s.rejected),
+        Family::counter("scalana_jobs_submitted_total", s.submitted),
+        Family::gauge("scalana_profiles_cached", s.profiles_cached as u64),
+        Family::gauge("scalana_programs_indexed", s.programs_indexed as u64),
+        Family::gauge("scalana_queue_depth", s.queue_depth as u64),
+        Family::gauge("scalana_results_cached", s.results_cached as u64),
+        Family::gauge("scalana_uptime_ms", s.uptime_ms),
+        Family::gauge("scalana_workers", s.workers as u64),
+    ];
+    Response {
+        code: 200,
+        content_type: "text/plain; version=0.0.4".to_string(),
+        body: bytes::Bytes::from(state.metrics.render(mirrored).into_bytes()),
+        headers: Vec::new(),
+    }
+}
+
+/// `GET /v1/jobs/<id>/trace` — the job's span timeline. Traces exist
+/// only for terminal jobs (the timeline is closed by the terminal
+/// transition); a pending job answers `job_pending` + `Retry-After`.
+fn trace(key: &str, state: &State) -> Response {
+    match state.registry.trace(key) {
+        None => error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job")),
+        Some((_, None)) => error_response(&ApiError::new(
+            ErrorCode::JobPending,
+            "job still pending (traces exist once the job is terminal)",
+        )),
+        Some((_, Some(trace))) => json_response(200, trace.to_json()),
     }
 }
 
@@ -593,12 +720,17 @@ fn wait(key: &str, query: &str, state: &State) -> Response {
 /// batched form — one request, many submissions, one array of the same
 /// per-job response objects, answered in order).
 fn submit(request: &Request, state: &State) -> Response {
+    // Stamped before parsing: the trace's time zero, so the `submit`
+    // span accounts for parse + validation + registration.
+    let recv_ns = obs::now_ns();
+    let parse_guard = obs::span_timed(state.metrics.lbl_parse, &state.metrics.parse_ns);
     let doc = match parse(&request.body) {
         Ok(doc) => doc,
         Err(e) => {
             return error_response(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
         }
     };
+    drop(parse_guard);
     match doc {
         Json::Arr(items) => {
             if items.is_empty() {
@@ -606,7 +738,7 @@ fn submit(request: &Request, state: &State) -> Response {
             }
             let responses: Vec<Json> = items
                 .iter()
-                .map(|item| match submit_one(item, state) {
+                .map(|item| match submit_one(item, state, recv_ns) {
                     Ok(ack) => ack.to_json(),
                     // Per-item errors are reported in place: one bad
                     // entry must not void its siblings' acknowledgments.
@@ -615,7 +747,7 @@ fn submit(request: &Request, state: &State) -> Response {
                 .collect();
             json_response(200, Json::Arr(responses))
         }
-        doc => match submit_one(&doc, state) {
+        doc => match submit_one(&doc, state, recv_ns) {
             Ok(ack) => json_response(200, ack.to_json()),
             Err(error) => error_response(&error),
         },
@@ -623,19 +755,23 @@ fn submit(request: &Request, state: &State) -> Response {
 }
 
 /// Register one submission document; returns the acknowledgment.
-fn submit_one(doc: &Json, state: &State) -> Result<SubmitAck, ApiError> {
-    submit_request(SubmitRequest::from_json(doc)?, state)
+fn submit_one(doc: &Json, state: &State, recv_ns: u64) -> Result<SubmitAck, ApiError> {
+    submit_request(SubmitRequest::from_json(doc)?, state, recv_ns)
 }
 
 /// Register one already-validated submission — the typed core shared by
 /// the JSON submit path and the diff handler (which holds
 /// [`SubmitRequest`]s and must not round-trip them through JSON again).
-fn submit_request(request: SubmitRequest, state: &State) -> Result<SubmitAck, ApiError> {
+fn submit_request(
+    request: SubmitRequest,
+    state: &State,
+    recv_ns: u64,
+) -> Result<SubmitAck, ApiError> {
     let spec = spec_from_request(request, &state.default_config, &state.programs)?;
     // Remember the program so later submissions can reference it by
     // hash instead of re-sending the source.
     let program_hash = state.programs.remember(&spec.program);
-    let outcome = state.registry.submit(spec, |key| {
+    let outcome = state.registry.submit_at(spec, recv_ns, |key| {
         state.queue.push(Task::Job(key.to_string())).is_ok()
     });
     match outcome {
@@ -805,8 +941,9 @@ fn diff(request: &Request, state: &State) -> Response {
         Ok(request) => request,
         Err(error) => return error_response(&error),
     };
+    let recv_ns = obs::now_ns();
     let submit_side = |label: &str, side: SubmitRequest| -> Result<String, ApiError> {
-        submit_request(side, state)
+        submit_request(side, state, recv_ns)
             .map(|ack| ack.job().to_string())
             .map_err(|e| ApiError {
                 message: format!("`{label}`: {}", e.message),
@@ -941,6 +1078,7 @@ mod tests {
         for (target, method) in [
             (paths::HEALTHZ.to_string(), "GET"),
             (paths::STATS.to_string(), "GET"),
+            (paths::METRICS.to_string(), "GET"),
             (paths::SHUTDOWN.to_string(), "POST"),
             (paths::JOBS.to_string(), "POST"),
             (paths::jobs_list(Some("done"), Some(5), None), "GET"),
@@ -948,6 +1086,7 @@ mod tests {
             (paths::job_result("k"), "GET"),
             (paths::job_profile("k", 8), "GET"),
             (paths::job_wait("k", 100), "GET"),
+            (paths::job_trace("k"), "GET"),
             (paths::DIFF.to_string(), "POST"),
         ] {
             let (path, _) = paths::split_target(&target);

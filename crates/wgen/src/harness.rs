@@ -25,7 +25,8 @@ pub const DEFAULT_CASES: usize = 200;
 /// Default base seed (overridden by `WGEN_SEED` / `PROPTEST_SEED`).
 pub const DEFAULT_SEED: u64 = 0x5ca1_a11a_0000_0006;
 
-/// Wire-fuzz mutants sent per case.
+/// Wire-fuzz mutants sent per case, per fuzzed endpoint (the submit
+/// body and the trace job id are each mutated this many times).
 const WIRE_ROUNDS: usize = 2;
 
 /// Shrink budget: oracle re-evaluations spent minimizing one failure.
@@ -82,7 +83,7 @@ pub enum Oracle {
     Invariants,
     /// Daemon cache differential over `/v1`.
     Daemon,
-    /// Wire fuzz of the submit endpoint.
+    /// Wire fuzz of the submit, metrics, and trace endpoints.
     Wire,
 }
 
@@ -357,7 +358,8 @@ pub fn run(config: &FuzzConfig) -> Result<FuzzStats, Box<Failure>> {
         stats.stmts += spec.stmt_count();
         if config.daemon.is_some() {
             stats.daemon_cases += 1;
-            stats.wire_requests += WIRE_ROUNDS;
+            // Submit-body mutants plus trace-id mutants.
+            stats.wire_requests += 2 * WIRE_ROUNDS;
         }
     }
     Ok(stats)

@@ -23,11 +23,15 @@
 //!    complete HTTP answer: a structured `ApiError` (with `error` and
 //!    `code`) for rejections, a well-formed ack (and a job that reaches
 //!    a terminal state) for accepts, and a healthy daemon afterwards.
+//!    The observability surface is held to the same bar: `/v1/metrics`
+//!    always serves a complete Prometheus exposition, and
+//!    `/v1/jobs/<id>/trace` answers every mutated id with a structured
+//!    error or a decodable trace — never a hang, never a torn response.
 
 use bytes::Bytes;
 use proptest::test_runner::TestRng;
 use scalana_api::json::{self, Json};
-use scalana_api::{paths, SubmitAck, SubmitRequest, MAX_SCALE};
+use scalana_api::{paths, SubmitAck, SubmitRequest, TraceResponse, MAX_SCALE};
 use scalana_core::{pipeline, ScalAnaConfig};
 use scalana_graph::{build_psg, MpiKind, PsgOptions};
 use scalana_lang::Program;
@@ -330,11 +334,16 @@ pub fn check_daemon(
     Ok(())
 }
 
-/// One raw HTTP POST with an arbitrary byte body (possibly invalid
+/// One raw HTTP request with an arbitrary byte body (possibly invalid
 /// UTF-8/JSON) on a fresh `Connection: close` socket. Any transport
 /// failure — refused connection, reset, read timeout, truncated
 /// response — is a finding: the daemon must always answer.
-fn raw_post(addr: &str, path: &str, body: &[u8]) -> Result<(u16, Vec<u8>), String> {
+fn raw_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("daemon refused connection: {e}"))?;
     stream
@@ -344,7 +353,7 @@ fn raw_post(addr: &str, path: &str, body: &[u8]) -> Result<(u16, Vec<u8>), Strin
         .set_write_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| e.to_string())?;
     let head = format!(
-        "POST {path} HTTP/1.1\r\nHost: wgen\r\nContent-Type: application/json\r\n\
+        "{method} {path} HTTP/1.1\r\nHost: wgen\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
@@ -442,10 +451,40 @@ fn mutate(rng: &mut TestRng, canonical: &str) -> Vec<u8> {
     }
 }
 
+/// Derive one job-id mutant for the trace path. Every arm stays within
+/// URL-token characters — request-line framing damage is the HTTP
+/// layer's concern, not this oracle's — but together they cover the
+/// valid id, empty keys, extra path segments, traversal shapes,
+/// percent-damage, oversized ids, and plain garbage.
+fn mutate_job_id(rng: &mut TestRng, real: &str) -> String {
+    match rng.gen_index(8) {
+        // The genuine id: the trace must decode, not just answer.
+        0 => real.to_string(),
+        1 => format!("{real}junk"),
+        2 => String::new(),
+        3 => "a".repeat(1024),
+        4 => format!("{real}/extra"),
+        5 => "../../jobs".to_string(),
+        6 => "%00%ff%zz".to_string(),
+        _ => {
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-._~:@";
+            let len = 1 + rng.gen_index(24);
+            (0..len)
+                .map(|_| ALPHABET[rng.gen_index(ALPHABET.len())] as char)
+                .collect()
+        }
+    }
+}
+
 /// Oracle 4: wire fuzz. Sends `rounds` mutants of the canonical submit
 /// request; the daemon must answer every one with a complete HTTP
 /// response — a structured error for rejections, a valid ack (whose job
-/// reaches a terminal state) for accepts — and stay healthy.
+/// reaches a terminal state) for accepts. The observability surface
+/// rides the same contract: `/v1/metrics` must always serve a complete
+/// Prometheus exposition, a freshly completed job's trace must decode
+/// as a [`TraceResponse`], `rounds` mutated job ids on the trace path
+/// must each get a structured error or a decodable trace, and the
+/// daemon must be healthy afterwards.
 ///
 /// Accepted mutants are waited to a terminal state so the daemon is
 /// quiescent again before the next case measures `/stats` deltas.
@@ -462,8 +501,8 @@ pub fn check_wire(
         .render();
     for round in 0..rounds {
         let mutant = mutate(rng, &canonical);
-        let (code, body) =
-            raw_post(addr, paths::JOBS, &mutant).map_err(|e| format!("wire round {round}: {e}"))?;
+        let (code, body) = raw_request(addr, "POST", paths::JOBS, &mutant)
+            .map_err(|e| format!("wire round {round}: {e}"))?;
         let body_text = String::from_utf8(body)
             .map_err(|_| format!("wire round {round}: status {code} with a non-UTF-8 body"))?;
         let doc = json::parse(&body_text).map_err(|e| {
@@ -483,7 +522,62 @@ pub fn check_wire(
             ));
         }
     }
+
+    // The metrics exposition is unconditional: any live daemon serves
+    // it, whatever the fuzzing did to its caches and queues.
+    let (code, body) = raw_request(addr, "GET", paths::METRICS, &[])
+        .map_err(|e| format!("metrics scrape: {e}"))?;
+    let metrics_text = String::from_utf8(body)
+        .map_err(|_| format!("metrics scrape: status {code} with a non-UTF-8 body"))?;
+    if code != 200 || !metrics_text.contains("# TYPE scalana_") {
+        return Err(format!(
+            "metrics scrape: status {code} without a Prometheus exposition: {metrics_text:?}"
+        ));
+    }
+
+    // A real terminal job (the canonical program again — cached, so
+    // cheap) anchors the trace-path fuzz with a known-good id.
     let mut conn = Conn::connect(addr).map_err(|e| format!("daemon dead after wire fuzz: {e}"))?;
+    let ack = submit_v1(&mut conn, text, scales)
+        .map_err(|e| format!("canonical resubmission for the trace fuzz: {e}"))?;
+    let trace = conn
+        .request_json("GET", &paths::job_trace(ack.job()), "")
+        .map_err(|e| format!("trace of a completed job: {e}"))?;
+    if TraceResponse::from_json(&trace).is_none() {
+        return Err(format!(
+            "trace of completed job {} does not decode as a TraceResponse: {}",
+            ack.job(),
+            trace.render()
+        ));
+    }
+    for round in 0..rounds {
+        let target = mutate_job_id(rng, ack.job());
+        let (code, body) = raw_request(addr, "GET", &paths::job_trace(&target), &[])
+            .map_err(|e| format!("trace round {round} (id {target:?}): {e}"))?;
+        let body_text = String::from_utf8(body).map_err(|_| {
+            format!("trace round {round} (id {target:?}): status {code} with a non-UTF-8 body")
+        })?;
+        let doc = json::parse(&body_text).map_err(|e| {
+            format!(
+                "trace round {round} (id {target:?}): status {code} \
+                 with non-JSON body {body_text:?}: {e}"
+            )
+        })?;
+        if (200..300).contains(&code) {
+            if TraceResponse::from_json(&doc).is_none() {
+                return Err(format!(
+                    "trace round {round} (id {target:?}): 2xx body is not a TraceResponse: \
+                     {body_text}"
+                ));
+            }
+        } else if doc.get("error").is_none() || doc.get("code").is_none() {
+            return Err(format!(
+                "trace round {round} (id {target:?}): status {code} without a structured \
+                 ApiError: {body_text}"
+            ));
+        }
+    }
+
     let (code, _) = conn
         .request_raw("GET", paths::HEALTHZ, "")
         .map_err(|e| format!("healthz after wire fuzz: {e}"))?;

@@ -71,6 +71,17 @@ STATS="$("$BIN" status --addr "$ADDR")"
 echo "$STATS" | grep -q '"scale_hits":2' || { echo "overlap submission missed the per-scale cache: $STATS" >&2; exit 1; }
 echo "$STATS" | grep -q '"scale_misses":3' || { echo "unexpected per-scale miss count: $STATS" >&2; exit 1; }
 
+echo "==> /v1/metrics agrees with /stats on the per-tier cache counters"
+METRICS="$("$BIN" top --addr "$ADDR" --raw)"
+echo "$METRICS" | grep -q '^scalana_cache_scale_hits_total 2$' \
+    || { echo "metrics disagree with /stats on scale hits: $METRICS" >&2; exit 1; }
+echo "$METRICS" | grep -q '^scalana_cache_scale_misses_total 3$' \
+    || { echo "metrics disagree with /stats on scale misses: $METRICS" >&2; exit 1; }
+echo "$METRICS" | grep -q '^scalana_cache_result_hits_total 1$' \
+    || { echo "metrics disagree with /stats on result hits: $METRICS" >&2; exit 1; }
+echo "$METRICS" | grep -q '^# TYPE scalana_stage_simulate_ns summary$' \
+    || { echo "metrics lack the simulate stage histogram: $METRICS" >&2; exit 1; }
+
 JOB="$(echo "$SECOND" | sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p')"
 "$BIN" result --addr "$ADDR" "$JOB" | grep -q '"report"' \
     || { echo "result endpoint did not serve the cached report" >&2; exit 1; }
