@@ -81,3 +81,31 @@ fn readme_documents_the_dtos_and_error_codes() {
         "README must mention the unversioned-path redirects"
     );
 }
+
+#[test]
+fn readme_documents_the_concurrency_model() {
+    assert!(
+        README.contains("### Concurrency model"),
+        "README is missing the `Concurrency model` section"
+    );
+    // The serving-layer metric families the event loop publishes; the
+    // golden exposition test (`crates/service/tests/obs.rs`) pins the
+    // same names on the wire.
+    for family in [
+        "scalana_accept_errors_total",
+        "scalana_epoll_registered_fds",
+        "scalana_longpoll_parked",
+        "scalana_readiness_round_ns",
+    ] {
+        assert!(
+            README.contains(family),
+            "README is missing metric family `{family}`"
+        );
+    }
+    for concept in ["max_connections", "Retry-After", "eventfd", "epoll"] {
+        assert!(
+            README.contains(concept),
+            "README's concurrency model must cover `{concept}`"
+        );
+    }
+}

@@ -6,14 +6,18 @@
 //! `BENCH_*.json` trajectory point: current medians for all eight
 //! suites, the cache hit/miss submission latencies, the
 //! overlapping-scales warm/cold speedup, the long-poll vs polling wait
-//! latency, multi-client jobs/sec with p50/p99 latency, the
-//! observability overhead (instrumented vs stripped simulation), and
-//! speedups against the committed pre-refactor baseline. CI runs it in
-//! `--quick` mode gated against the committed `BENCH_pr7.json`
-//! (`BENCH_pr3.json` through `BENCH_pr6.json` remain as earlier
+//! latency, the long-poll *fan-out* (completion-observation latency
+//! percentiles and process RSS with 1k — 10k in full runs — waiters
+//! parked on one daemon), multi-client jobs/sec with p50/p99 latency,
+//! the observability overhead (instrumented vs stripped simulation),
+//! and speedups against the committed pre-refactor baseline. CI runs it
+//! in `--quick` mode gated against the committed `BENCH_pr8.json`
+//! (`BENCH_pr3.json` through `BENCH_pr7.json` remain as earlier
 //! trajectory points), so a panicking bench or a wild regression
 //! (default: >10× the recorded median, tunable with `PERFGATE_FACTOR`,
-//! machine differences included) fails the build.
+//! machine differences included) fails the build. The `wait_fanout`
+//! section is gated too: p99 observation latency and RSS at each waiter
+//! count measured in both runs must stay within the same factor.
 //!
 //! The observability overhead is gated *within* the run, not against a
 //! file: the `obs` suite's instrumented/stripped median ratio at each
@@ -25,9 +29,9 @@
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr7.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr8.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr7.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr8.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -87,7 +91,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr8.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -247,6 +251,39 @@ fn main() -> ExitCode {
         ]));
     }
 
+    // Long-poll fan-out: thousands of waiters parked on one daemon and
+    // a single terminal transition observed by all of them. Quick mode
+    // stops at 1k waiters; full runs add the 10k point.
+    #[cfg(target_os = "linux")]
+    let fanouts: Vec<scalana_bench::suites::WaitFanout> = {
+        let counts: &[usize] = if args.quick {
+            &[1_000]
+        } else {
+            &[1_000, 10_000]
+        };
+        counts
+            .iter()
+            .map(|&clients| {
+                eprintln!("perfgate: measuring wait fan-out at {clients} parked waiters");
+                scalana_bench::suites::measure_wait_fanout(clients)
+            })
+            .collect()
+    };
+    #[cfg(not(target_os = "linux"))]
+    let fanouts: Vec<scalana_bench::suites::WaitFanout> = Vec::new();
+    let fanout_json: Vec<Json> = fanouts
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("clients", m.clients.into()),
+                ("parked", m.parked.into()),
+                ("p50_ns", m.p50_ns.into()),
+                ("p99_ns", m.p99_ns.into()),
+                ("rss_bytes", m.rss_bytes.into()),
+            ])
+        })
+        .collect();
+
     // Multi-client throughput: jobs/sec and latency percentiles at 1
     // and 8 concurrent clients (scaling evidence, not just latency).
     eprintln!("perfgate: measuring multi-client throughput");
@@ -269,7 +306,7 @@ fn main() -> ExitCode {
         .collect();
 
     let doc = Json::obj(vec![
-        ("pr", "pr7".into()),
+        ("pr", "pr8".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -327,6 +364,7 @@ fn main() -> ExitCode {
                 ("longpoll_speedup", wait_speedup),
             ]),
         ),
+        ("wait_fanout", Json::Arr(fanout_json)),
         ("client_throughput", Json::Arr(client_metrics)),
         ("obs", Json::obj(vec![("sim", Json::Arr(obs_sim))])),
         ("speedup_vs_baseline", Json::Obj(speedups)),
@@ -370,9 +408,9 @@ fn main() -> ExitCode {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(10.0);
-        let recorded = match std::fs::read_to_string(gate_path) {
+        let recorded_doc = match std::fs::read_to_string(gate_path) {
             Ok(text) => match parse(text.trim()) {
-                Ok(doc) => gate_medians(&doc),
+                Ok(doc) => doc,
                 Err(e) => {
                     eprintln!("perfgate: cannot parse {gate_path}: {e:?}");
                     return ExitCode::FAILURE;
@@ -383,6 +421,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let recorded = gate_medians(&recorded_doc);
         if recorded.is_empty() {
             eprintln!("perfgate: {gate_path} contains no recorded medians — refusing to gate");
             return ExitCode::FAILURE;
@@ -401,6 +440,41 @@ fn main() -> ExitCode {
                     current.median_ns, limit
                 );
                 violations += 1;
+            }
+        }
+        // Fan-out gate: p99 completion-observation latency and process
+        // RSS at every waiter count measured in *both* runs (quick runs
+        // measure fewer points than a full recorded trajectory).
+        if let Some(Json::Arr(points)) = recorded_doc.get("wait_fanout") {
+            for point in points {
+                let (Some(clients), Some(p99), Some(rss)) = (
+                    point.get("clients").and_then(Json::as_i64),
+                    point.get("p99_ns").and_then(Json::as_i64),
+                    point.get("rss_bytes").and_then(Json::as_i64),
+                ) else {
+                    continue;
+                };
+                let Some(current) = fanouts.iter().find(|m| m.clients as i64 == clients) else {
+                    continue;
+                };
+                let p99_limit = p99.max(1) as f64 * factor;
+                if current.p99_ns as f64 > p99_limit {
+                    eprintln!(
+                        "perfgate: GATE: wait_fanout@{clients} p99 {}ns exceeds {p99_limit:.0}ns \
+                         ({p99}ns × {factor})",
+                        current.p99_ns
+                    );
+                    violations += 1;
+                }
+                let rss_limit = rss.max(1) as f64 * factor;
+                if current.rss_bytes as f64 > rss_limit {
+                    eprintln!(
+                        "perfgate: GATE: wait_fanout@{clients} RSS {} bytes exceeds {rss_limit:.0} \
+                         ({rss} × {factor})",
+                        current.rss_bytes
+                    );
+                    violations += 1;
+                }
             }
         }
         if violations > 0 {

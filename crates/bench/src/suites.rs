@@ -738,6 +738,280 @@ pub fn measure_wait(samples: usize) -> WaitMetrics {
     }
 }
 
+/// Machine-readable wait fan-out metrics for the `BENCH_*.json`
+/// trajectory: one daemon, `clients` concurrent parked long-pollers,
+/// one terminal transition observed by all of them.
+#[derive(Debug, Clone)]
+pub struct WaitFanout {
+    /// Concurrent long-poll waiters parked on one job.
+    pub clients: usize,
+    /// `scalana_longpoll_parked` at saturation (must equal `clients`).
+    pub parked: u64,
+    /// Median completion-observation latency, nanoseconds, measured
+    /// from the *first* observed response (the daemon-side fan-out
+    /// spread; the absolute completion instant is not observable from
+    /// outside the process).
+    pub p50_ns: u64,
+    /// 99th-percentile of the same (worst observed at small counts).
+    pub p99_ns: u64,
+    /// `VmRSS` of the whole process (daemon + parked client sockets) at
+    /// park saturation, bytes. The headline: memory stays flat in the
+    /// waiter count because a parked waiter is a subscription, not a
+    /// thread.
+    pub rss_bytes: u64,
+}
+
+/// Resident set of this process, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn vm_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|l| l.strip_prefix("VmRSS:"))
+                .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// A never-seen source whose runtime scales linearly in `iters` —
+/// `salt` keeps the content address unique across submissions.
+fn fanout_source(iters: u64, salt: u64) -> String {
+    format!(
+        "param SALT = {salt};\n\
+         fn main() {{\n\
+             for it in 0 .. {iters} {{\n\
+                 comp(cycles = 400 + SALT % 2);\n\
+                 barrier();\n\
+                 allreduce(bytes = 8);\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Submit `source` at one scale without waiting; returns the job key.
+fn submit_fanout_job(conn: &mut Conn, source: &str) -> String {
+    let body = Json::obj(vec![
+        ("source", source.into()),
+        ("name", "fanout.mmpi".into()),
+        ("scales", vec![4usize].into()),
+    ])
+    .render();
+    let response = conn.request_json("POST", "/jobs", &body).unwrap();
+    response.get("job").unwrap().as_str().unwrap().to_string()
+}
+
+/// Scrape one gauge/counter sample from `/v1/metrics`.
+fn scrape_metric(conn: &mut Conn, name: &str) -> u64 {
+    let (code, text) = conn.request("GET", paths::METRICS, "").unwrap();
+    assert_eq!(code, 200, "metrics scrape failed: {text}");
+    text.lines()
+        .find_map(|l| l.strip_prefix(name))
+        .and_then(|rest| rest.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing from exposition"))
+}
+
+/// Park `clients` concurrent long-pollers on one pending job and
+/// measure the completion fan-out.
+///
+/// Mechanics: a single-worker daemon runs a calibrated *filler* job
+/// while the *target* job queues behind it, so the target stays pending
+/// for the whole parking phase no matter how long parking takes. Every
+/// waiter is a raw keep-alive socket whose `GET .../wait` request is
+/// written and never read; saturation is confirmed on the daemon's own
+/// `scalana_longpoll_parked` gauge (exact, not sampled). A fresh submit
+/// is then issued *while all waiters are parked* — the acceptance point
+/// of the event-loop refactor (the old thread-per-connection daemon
+/// shed every submit past 256 parked waiters). When the filler drains,
+/// the target completes and the daemon fans the response out; arrival
+/// timestamps come from a client-side epoll loop in this thread.
+///
+/// Daemon and clients share the process (2 fds per waiter), so the fd
+/// limit is raised up front; where the environment caps the hard limit
+/// (no `CAP_SYS_RESOURCE`), the waiter count is clamped to what the
+/// limit affords and the recorded `clients` reflects the clamp — never
+/// a silently partial park. The run also asserts, at the end, that no
+/// waiter timed out (`scalana_longpoll_wakes_total` grew by the full
+/// waiter count) — a timeout would silently turn the fan-out spread
+/// into timeout jitter.
+#[cfg(target_os = "linux")]
+pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
+    use scalana_service::net::{self, Epoll, Interest};
+    use std::io::Write as _;
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+
+    let requested = clients;
+    let granted = net::raise_nofile_limit(2 * clients as u64 + 512).unwrap_or(512);
+    let clients = requested.min((granted.saturating_sub(512) / 2) as usize);
+    assert!(clients > 0, "fd limit {granted} leaves no room for waiters");
+    if clients < requested {
+        eprintln!(
+            "wait_fanout: fd limit {granted} caps waiters at {clients} (requested {requested})"
+        );
+    }
+
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 16,
+        max_connections: clients + 64,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+
+    let unique = AtomicU64::new(0);
+    let salt = || 9_700_000 + unique.fetch_add(1, Ordering::Relaxed);
+    let mut control = Conn::connect(&addr).unwrap();
+
+    // Calibrate the filler against this machine: parking must finish
+    // well inside the filler's runtime, and the filler must finish well
+    // inside the waiters' 25 s server-side wait clamp (a timed-out
+    // waiter would be answered `pending` early and poison the numbers).
+    let probe_iters = 2_000u64;
+    let probe = fanout_source(probe_iters, salt());
+    let probe_started = Instant::now();
+    let key = submit_fanout_job(&mut control, &probe);
+    control.wait_for_job(&key, Duration::from_secs(60)).unwrap();
+    let per_iter = probe_started.elapsed() / probe_iters as u32;
+    let runway = (Duration::from_secs(4) + Duration::from_millis(clients as u64 * 3 / 2))
+        .min(Duration::from_secs(14));
+    let filler_iters =
+        (runway.as_nanos() / per_iter.as_nanos().max(1)).max(probe_iters as u128) as u64;
+
+    // Parking can race the filler: the probe calibrates against the
+    // machine as it is *now*, and a load spike that lifts between
+    // calibration and parking leaves the filler drained before the last
+    // waiter arrives — every waiter is then answered inline and the
+    // gauge never saturates. Detect that case (target already terminal
+    // while the gauge is short) and retry with a 4× filler rather than
+    // recording a partial park.
+    let mut filler_iters = filler_iters;
+    let (epoll, waiters, parked, wakes_before) = 'park: {
+        for attempt in 0..4u32 {
+            // Let the daemon retire the previous attempt's sockets so
+            // its connection budget is free again before reconnecting.
+            let drain_deadline = Instant::now() + Duration::from_secs(10);
+            while scrape_metric(&mut control, "scalana_connections ") > 8 {
+                assert!(
+                    Instant::now() < drain_deadline,
+                    "stale waiter connections never drained"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+
+            let wakes_before = scrape_metric(&mut control, "scalana_longpoll_wakes_total ");
+            submit_fanout_job(&mut control, &fanout_source(filler_iters, salt()));
+            let target = submit_fanout_job(&mut control, &fanout_source(64, salt()));
+
+            // Park the waiters: blocking connect + write (both instant
+            // on loopback), then nonblocking and registered for
+            // readability.
+            let epoll = Epoll::new().unwrap();
+            let wait_request = format!(
+                "GET /v1/jobs/{target}/wait?timeout_ms=25000 HTTP/1.1\r\nHost: fanout\r\n\r\n"
+            );
+            let mut waiters: Vec<TcpStream> = Vec::with_capacity(clients);
+            for token in 0..clients {
+                let mut socket = TcpStream::connect(addr.as_str()).unwrap();
+                socket.write_all(wait_request.as_bytes()).unwrap();
+                socket.set_nonblocking(true).unwrap();
+                epoll
+                    .add(socket.as_raw_fd(), token as u64, Interest::READ)
+                    .unwrap();
+                waiters.push(socket);
+            }
+
+            let park_deadline = Instant::now() + runway + Duration::from_secs(30);
+            loop {
+                let parked = scrape_metric(&mut control, "scalana_longpoll_parked ");
+                if parked >= clients as u64 {
+                    break 'park (epoll, waiters, parked, wakes_before);
+                }
+                let view = control
+                    .request_json("GET", &format!("/jobs/{target}"), "")
+                    .unwrap();
+                let state = view
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .and_then(scalana_api::JobState::parse);
+                if state.is_some_and(|s| s.is_terminal()) {
+                    eprintln!(
+                        "wait_fanout: filler drained before park saturated \
+                         ({parked}/{clients}, attempt {attempt}) — resizing filler"
+                    );
+                    filler_iters *= 4;
+                    break; // drops this attempt's sockets
+                }
+                assert!(
+                    Instant::now() < park_deadline,
+                    "only {parked}/{clients} waiters parked — filler undersized or waiters shed"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        panic!("wait_fanout: park never saturated after 4 filler resizes");
+    };
+    let rss_bytes = vm_rss_bytes();
+
+    // The acceptance point: a fresh submission lands while every waiter
+    // is parked (it queues behind the target and is never waited on).
+    submit_fanout_job(&mut control, &fanout_source(32, salt()));
+
+    // Observe the fan-out: each readiness event is one waiter seeing
+    // the terminal response. Tokens are deleted on arrival so the
+    // level-triggered registration fires exactly once per waiter.
+    let mut arrivals: Vec<u64> = Vec::with_capacity(clients);
+    let mut events = Vec::new();
+    let observe_deadline = Instant::now() + Duration::from_secs(120);
+    while arrivals.len() < clients {
+        assert!(
+            Instant::now() < observe_deadline,
+            "only {}/{clients} waiters observed completion",
+            arrivals.len()
+        );
+        epoll
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        let now = scalana_obs::now_ns();
+        for event in &events {
+            if event.readable || event.broken {
+                arrivals.push(now);
+                epoll
+                    .delete(waiters[event.token as usize].as_raw_fd())
+                    .unwrap();
+            }
+        }
+    }
+
+    // No waiter may have timed out into a `pending` answer: every one
+    // must have been woken by the terminal transition.
+    let wakes = scrape_metric(&mut control, "scalana_longpoll_wakes_total ");
+    assert!(
+        wakes - wakes_before >= clients as u64,
+        "only {} of {clients} waiters woke on completion (the rest timed out)",
+        wakes - wakes_before
+    );
+    let _ = client::request(&addr, "POST", "/shutdown", "");
+
+    arrivals.sort_unstable();
+    let t0 = arrivals[0];
+    let pct = |p: f64| -> u64 {
+        let idx = ((clients as f64 * p).ceil() as usize).clamp(1, clients) - 1;
+        arrivals[idx] - t0
+    };
+    WaitFanout {
+        clients,
+        parked,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        rss_bytes,
+    }
+}
+
 /// One round: `clients` threads, each submitting `jobs_per_client`
 /// unique jobs over [2, 4, 8] on its own keep-alive connection.
 /// Returns every job's end-to-end latency.

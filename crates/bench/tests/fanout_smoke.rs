@@ -1,0 +1,22 @@
+//! Smoke-level run of the wait fan-out harness, so the perfgate path
+//! that produces the committed `wait_fanout` numbers is itself covered
+//! by `cargo test` (at a size that stays fast in debug builds).
+
+#[cfg(target_os = "linux")]
+#[test]
+fn wait_fanout_harness_parks_and_observes_every_waiter() {
+    const CLIENTS: usize = 64;
+    let metrics = scalana_bench::suites::measure_wait_fanout(CLIENTS);
+    assert_eq!(metrics.clients, CLIENTS);
+    assert_eq!(
+        metrics.parked, CLIENTS as u64,
+        "every waiter must actually park (gauge is exact)"
+    );
+    assert!(metrics.rss_bytes > 0, "RSS must be sampled");
+    assert!(
+        metrics.p50_ns <= metrics.p99_ns,
+        "percentiles must be ordered: p50 {} > p99 {}",
+        metrics.p50_ns,
+        metrics.p99_ns
+    );
+}

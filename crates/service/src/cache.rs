@@ -134,15 +134,55 @@ pub struct StatsSnapshot {
 /// connection counts the daemon admits.
 const REGISTRY_SHARDS: usize = 16;
 
-/// One registry shard: the record map plus the condition variable that
-/// long-poll waiters ([`Registry::wait_terminal`]) park on. Terminal
-/// transitions (`complete`/`fail`) notify it; waiters re-check their
+/// One registry shard: the record map, the condition variable that
+/// *blocking* long-poll waiters ([`Registry::wait_terminal`]) park on,
+/// and the list of *asynchronous* completion subscriptions
+/// ([`Registry::subscribe`]) the daemon's event loop parks instead of
+/// threads. Terminal transitions (`complete`/`fail`) notify the condvar
+/// and drain the matching subscriptions; condvar waiters re-check their
 /// record and go back to sleep on wake-ups for sibling keys (cheap, and
 /// shard-local so unrelated jobs rarely share a condvar).
+///
+/// Lock order within a shard is `records` → `waiters`, always: both
+/// subscription registration and the terminal-transition drain happen
+/// under the `records` lock, which is what makes park-vs-complete
+/// race-free — a subscription either observes the terminal status in
+/// `records` or is enlisted before the transition can start draining.
 #[derive(Debug, Default)]
 struct Shard {
     records: Mutex<HashMap<String, JobRecord>>,
     terminal: Condvar,
+    waiters: Mutex<Vec<Waiter>>,
+}
+
+/// One parked completion subscription.
+#[derive(Debug)]
+struct Waiter {
+    key: String,
+    token: u64,
+    waker: Arc<dyn WaitWaker>,
+}
+
+/// Sink for completion notifications: [`Registry::subscribe`] hands the
+/// registry one of these per parked waiter, and the terminal transition
+/// calls [`wake`](WaitWaker::wake) with the waiter's token. Called with
+/// a shard `records` lock held, so implementations must be quick and
+/// must never call back into the registry (the daemon's implementation
+/// pushes the token onto a ready queue and signals an eventfd).
+pub trait WaitWaker: Send + Sync + std::fmt::Debug {
+    /// Deliver a completion notification for the subscription `token`.
+    fn wake(&self, token: u64);
+}
+
+/// Outcome of [`Registry::subscribe`].
+#[derive(Debug)]
+pub enum SubscribeOutcome {
+    /// No record under that key (never submitted, or evicted).
+    Unknown,
+    /// Already terminal — answered inline, nothing parked.
+    Terminal(StatusView),
+    /// Parked: the waker fires when the job reaches a terminal state.
+    Parked,
 }
 
 /// Outcome of a bounded wait for a job to finish.
@@ -162,10 +202,13 @@ pub enum WaitOutcome {
 /// [`Registry::with_obs`].
 #[derive(Debug)]
 pub struct RegistryObs {
-    /// Long-poll waiters that actually parked on a shard condvar.
+    /// Long-poll waiters that actually parked (condvar or subscription).
     pub parks: obs::Counter,
     /// Parked waiters woken by a terminal transition (vs. timing out).
     pub wakes: obs::Counter,
+    /// Subscriptions currently parked (gauge mirror of
+    /// [`Registry::parked`]).
+    pub parked: obs::Gauge,
     /// Fresh job registered → claimed by a worker.
     pub queue_wait_ns: obs::Histogram,
     /// Worker claim → terminal transition.
@@ -179,6 +222,7 @@ impl Default for RegistryObs {
         RegistryObs {
             parks: obs::Counter::detached(),
             wakes: obs::Counter::detached(),
+            parked: obs::Gauge::detached(),
             queue_wait_ns: obs::Histogram::detached(),
             job_ns: obs::Histogram::detached(),
             evict_label: obs::label("result_evict"),
@@ -203,6 +247,9 @@ pub struct Registry {
     /// Completed results currently held — kept as an atomic so `/stats`
     /// and `results_cached` never touch the shard locks.
     results_held: AtomicUsize,
+    /// Subscriptions currently parked across all shards (mirrored into
+    /// `obs.parked` so `/v1/metrics` sees it without touching locks).
+    parked: AtomicUsize,
     /// Generation source for [`JobRecord::generation`].
     generations: AtomicU64,
     submitted: AtomicU64,
@@ -223,6 +270,7 @@ impl Default for Registry {
             done_order: Mutex::new(VecDeque::new()),
             max_results: 0,
             results_held: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
             generations: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -380,6 +428,7 @@ impl Registry {
             // Wake long-poll waiters while still holding the shard lock
             // (no waiter can miss the transition).
             shard.terminal.notify_all();
+            self.drain_waiters(shard, key);
         }
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.results_held.fetch_add(1, Ordering::Relaxed);
@@ -430,6 +479,27 @@ impl Registry {
                 .record(record.terminal_ns.saturating_sub(record.started_ns));
             self.failed.fetch_add(1, Ordering::Relaxed);
             shard.terminal.notify_all();
+            self.drain_waiters(shard, key);
+        }
+    }
+
+    /// Wake and remove every subscription parked on `key`. Must be
+    /// called with the shard's `records` lock held (the terminal
+    /// transition is still in progress, so no new subscription can
+    /// slip in between the status change and the drain).
+    fn drain_waiters(&self, shard: &Shard, key: &str) {
+        let mut waiters = shard.waiters.lock().unwrap();
+        let mut index = 0;
+        while index < waiters.len() {
+            if waiters[index].key == key {
+                let waiter = waiters.swap_remove(index);
+                waiter.waker.wake(waiter.token);
+                self.obs.wakes.inc();
+                let now = self.parked.fetch_sub(1, Ordering::Relaxed) - 1;
+                self.obs.parked.set(now as u64);
+            } else {
+                index += 1;
+            }
         }
     }
 
@@ -562,6 +632,64 @@ impl Registry {
                 };
             }
         }
+    }
+
+    /// Non-blocking counterpart of [`Registry::wait_terminal`] for the
+    /// daemon's event loop: answer inline if the job is already
+    /// terminal (or unknown), otherwise park `(token, waker)` as a
+    /// completion subscription. The terminal transition wakes every
+    /// subscription for the key exactly once; the subscription is
+    /// consumed by the wake. Waiters that give up early (client went
+    /// away, wait budget elapsed) must [`Registry::unsubscribe`].
+    ///
+    /// The registration is race-free against `complete`/`fail`: both
+    /// the status check here and the drain there run under the shard's
+    /// `records` lock, so a subscription either sees the terminal
+    /// status inline or is enlisted before the drain runs.
+    pub fn subscribe(&self, key: &str, token: u64, waker: Arc<dyn WaitWaker>) -> SubscribeOutcome {
+        let shard = self.shard(key);
+        let jobs = shard.records.lock().unwrap();
+        let Some(record) = jobs.get(key) else {
+            return SubscribeOutcome::Unknown;
+        };
+        if matches!(record.status, JobStatus::Done | JobStatus::Failed) {
+            return SubscribeOutcome::Terminal(view(key, record));
+        }
+        shard.waiters.lock().unwrap().push(Waiter {
+            key: key.to_string(),
+            token,
+            waker,
+        });
+        self.obs.parks.inc();
+        let now = self.parked.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.parked.set(now as u64);
+        SubscribeOutcome::Parked
+    }
+
+    /// Remove a parked subscription that gave up before the terminal
+    /// transition (timeout, or the client hung up). Returns whether a
+    /// subscription was actually removed — `false` means the wake
+    /// already fired (or was never parked) and the caller races a
+    /// pending notification for this token.
+    pub fn unsubscribe(&self, key: &str, token: u64) -> bool {
+        let shard = self.shard(key);
+        // Taken in the shard's records → waiters order so removal can
+        // never interleave with a terminal drain for the same key.
+        let _jobs = shard.records.lock().unwrap();
+        let mut waiters = shard.waiters.lock().unwrap();
+        let before = waiters.len();
+        waiters.retain(|w| !(w.key == key && w.token == token));
+        let removed = before - waiters.len();
+        if removed > 0 {
+            let now = self.parked.fetch_sub(removed, Ordering::Relaxed) - removed;
+            self.obs.parked.set(now as u64);
+        }
+        removed > 0
+    }
+
+    /// Subscriptions currently parked (lock-free).
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::Relaxed)
     }
 
     /// One page of jobs, ordered by key: jobs in `state` (all states
@@ -883,5 +1011,61 @@ mod tests {
             registry.submit(spec(SRC), |_| true),
             SubmitOutcome::Fresh(_)
         ));
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingWaker(Mutex<Vec<u64>>);
+
+    impl WaitWaker for RecordingWaker {
+        fn wake(&self, token: u64) {
+            self.0.lock().unwrap().push(token);
+        }
+    }
+
+    #[test]
+    fn subscriptions_park_wake_once_and_unsubscribe() {
+        let registry = Registry::new();
+        let waker = Arc::new(RecordingWaker::default());
+
+        // Unknown key: answered inline, nothing parked.
+        assert!(matches!(
+            registry.subscribe("nope", 1, waker.clone()),
+            SubscribeOutcome::Unknown
+        ));
+        assert_eq!(registry.parked(), 0);
+
+        let key = match accept(&registry, spec(SRC)) {
+            SubmitOutcome::Fresh(key) => key,
+            other => panic!("{other:?}"),
+        };
+        // Pending job: both subscriptions park.
+        assert!(matches!(
+            registry.subscribe(&key, 10, waker.clone()),
+            SubscribeOutcome::Parked
+        ));
+        assert!(matches!(
+            registry.subscribe(&key, 11, waker.clone()),
+            SubscribeOutcome::Parked
+        ));
+        assert_eq!(registry.parked(), 2);
+
+        // One gives up early; only the survivor is woken.
+        assert!(registry.unsubscribe(&key, 11));
+        assert!(!registry.unsubscribe(&key, 11), "second removal is a no-op");
+        assert_eq!(registry.parked(), 1);
+
+        let (job, generation) = registry.start(&key).unwrap();
+        registry.complete(&key, generation, job.execute().unwrap());
+        assert_eq!(*waker.0.lock().unwrap(), vec![10]);
+        assert_eq!(registry.parked(), 0);
+        // The wake consumed the subscription: nothing left to remove.
+        assert!(!registry.unsubscribe(&key, 10));
+
+        // Terminal job: answered inline, waker untouched.
+        match registry.subscribe(&key, 12, waker.clone()) {
+            SubscribeOutcome::Terminal(view) => assert_eq!(view.status, JobStatus::Done),
+            other => panic!("expected inline terminal answer, got {other:?}"),
+        }
+        assert_eq!(*waker.0.lock().unwrap(), vec![10]);
     }
 }

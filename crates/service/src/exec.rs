@@ -412,6 +412,12 @@ fn attach_spans(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
 /// `ScalAna-detect` over the collected profiles, then publish the
 /// result. Profile images are reused as collected/cached — byte-stable,
 /// refcounted, never re-serialized.
+///
+/// The terminal `complete`/`fail` inside does double duty: it wakes
+/// threads blocked on the shard condvar *and* fires any event-loop
+/// subscriptions ([`crate::cache::Registry::subscribe`]) parked by
+/// long-poll connections, so worker threads never interact with
+/// connection state directly.
 fn assemble_and_complete(ctx: &ExecCtx<'_>, work: &Arc<JobWork>) {
     let filled = std::mem::take(&mut *work.slots.lock().unwrap());
     let mut profiles = Vec::with_capacity(filled.len());

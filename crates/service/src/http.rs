@@ -117,22 +117,13 @@ impl<S: Read> MessageReader<S> {
         if self.reader.read_line(&mut line)? == 0 {
             return Ok(None);
         }
-        let mut parts = line.split_whitespace();
-        let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
-        let path = parts
-            .next()
-            .ok_or_else(|| invalid("missing request path"))?;
-        let version = parts.next().unwrap_or("");
-        if !version.starts_with("HTTP/1.") {
-            return Err(invalid("unsupported HTTP version"));
-        }
-        let default_keep_alive = version == "HTTP/1.1";
+        let (method, path, default_keep_alive) = parse_request_line(&line)?;
         let head = read_headers(&mut self.reader, MAX_BODY, line.len())?;
         let body = read_body(&mut self.reader, head.content_length)?;
         let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
         Ok(Some(Request {
-            method: method.to_string(),
-            path: path.to_string(),
+            method,
+            path,
             body,
             keep_alive: head.connection.unwrap_or(default_keep_alive),
         }))
@@ -164,6 +155,127 @@ impl<S: Read> MessageReader<S> {
             headers: head.headers,
             body,
         })
+    }
+}
+
+/// Parse a request line into `(method, path, default_keep_alive)`.
+/// Shared by the blocking [`MessageReader`] and the incremental
+/// [`RequestBuffer`] so both ends of the daemon accept exactly the same
+/// request grammar.
+fn parse_request_line(line: &str) -> io::Result<(String, String, bool)> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("missing request path"))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    Ok((method.to_string(), path.to_string(), version == "HTTP/1.1"))
+}
+
+/// Incremental request parser for nonblocking connections: bytes are
+/// [`fed`](RequestBuffer::feed) in whatever fragments the socket
+/// yields, and [`try_next`](RequestBuffer::try_next) hands back each
+/// complete request in order (`Ok(None)` = need more bytes).
+///
+/// It enforces the same per-request budgets as [`MessageReader`] —
+/// heads at most [`MAX_HEAD`] bytes, declared bodies at most
+/// [`MAX_BODY`] (rejected with [`ERR_BODY_TOO_LARGE`] verbatim, so the
+/// server's error classification keeps working) — and accepts the same
+/// grammar, because the head is parsed by the same helpers once it is
+/// fully buffered. Pipelined requests simply stay in the buffer until
+/// their turn.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// Empty buffer.
+    pub fn new() -> RequestBuffer {
+        RequestBuffer::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered (a clean point to close at EOF).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Position one past the head's terminating blank line, if the full
+    /// head has arrived. The head ends at the first empty line — a bare
+    /// `\n` or a `\r\n` — matching the line-based blocking parser.
+    fn head_end(&self) -> Option<usize> {
+        let buf = &self.buf;
+        // A head that opens with its own blank line (empty request
+        // line) terminates immediately; the parse then rejects it.
+        if buf.starts_with(b"\n") {
+            return Some(1);
+        }
+        if buf.starts_with(b"\r\n") {
+            return Some(2);
+        }
+        let mut i = 0;
+        while let Some(rel) = buf[i..].iter().position(|&b| b == b'\n') {
+            let after = i + rel + 1;
+            if buf[after..].starts_with(b"\n") {
+                return Some(after + 1);
+            }
+            if buf[after..].starts_with(b"\r\n") {
+                return Some(after + 2);
+            }
+            i = after;
+        }
+        None
+    }
+
+    /// Parse the next complete request out of the buffer, if one has
+    /// fully arrived. Errors are sticky protocol violations (oversized
+    /// head/body, bad framing) — the connection should answer `400` and
+    /// close, exactly as with [`MessageReader`] failures.
+    pub fn try_next(&mut self) -> io::Result<Option<Request>> {
+        let Some(head_len) = self.head_end() else {
+            // No terminator yet: any head this prefix could grow into
+            // is already over budget once the prefix itself is.
+            if self.buf.len() > MAX_HEAD {
+                return Err(invalid("header section too large"));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD {
+            return Err(invalid("header section too large"));
+        }
+        // The head is complete, so the line-based helpers parse it from
+        // the slice without ever hitting a premature EOF.
+        let mut head_slice = &self.buf[..head_len];
+        let mut line = String::new();
+        head_slice.read_line(&mut line)?;
+        let (method, path, default_keep_alive) = parse_request_line(&line)?;
+        let head = read_headers(&mut head_slice, MAX_BODY, line.len())?;
+        let total = head_len + head.content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = String::from_utf8(self.buf[head_len..total].to_vec())
+            .map_err(|_| invalid("body is not UTF-8"))?;
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            keep_alive: head.connection.unwrap_or(default_keep_alive),
+        }))
     }
 }
 
@@ -269,22 +381,46 @@ pub fn write_response_headers<S: Write>(
     keep_alive: bool,
 ) -> io::Result<()> {
     let mut message = Vec::with_capacity(160 + body.len());
-    write!(
-        message,
+    render_response_into(
+        &mut message,
+        code,
+        content_type,
+        extra_headers,
+        body,
+        keep_alive,
+    );
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Render one complete response — head and body contiguous — into
+/// `out`. The blocking writer above and the event loop's per-connection
+/// output buffer both go through here, so their wire bytes are
+/// identical by construction (and a batch of pipelined responses still
+/// leaves in one write).
+pub fn render_response_into(
+    out: &mut Vec<u8>,
+    code: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) {
+    // Writes into a Vec cannot fail.
+    let _ = write!(
+        out,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         code,
         status_text(code),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    )?;
+    );
     for (name, value) in extra_headers {
-        write!(message, "{name}: {value}\r\n")?;
+        let _ = write!(out, "{name}: {value}\r\n");
     }
-    message.extend_from_slice(b"\r\n");
-    message.extend_from_slice(body);
-    stream.write_all(&message)?;
-    stream.flush()
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
 }
 
 /// [`write_response_conn`] closing the connection (one-shot paths).
@@ -458,5 +594,135 @@ mod tests {
         let wire = b"POST / HTTP/1.0\r\ncOnTeNt-LeNgTh: 2\r\nX-Other: 1\r\n\r\nok";
         let req = read_request(&wire[..]).unwrap();
         assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn request_buffer_parses_across_arbitrary_fragments() {
+        let mut wire = Vec::new();
+        write_request_conn(&mut wire, "POST", "/jobs", b"{\"app\":\"CG\"}", true).unwrap();
+        // Feed one byte at a time: a request must appear exactly once,
+        // at the final byte, never early and never corrupted.
+        let mut parser = RequestBuffer::new();
+        for (i, byte) in wire.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            let parsed = parser.try_next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "complete request after {} bytes", i + 1);
+            } else {
+                let req = parsed.expect("request at final byte");
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/jobs");
+                assert_eq!(req.body, "{\"app\":\"CG\"}");
+                assert!(req.keep_alive);
+            }
+        }
+        assert!(parser.is_empty());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn request_buffer_yields_pipelined_requests_in_order() {
+        let mut wire = Vec::new();
+        write_request_conn(&mut wire, "GET", "/stats", b"", true).unwrap();
+        write_request_conn(&mut wire, "POST", "/jobs", b"{\"app\":\"CG\"}", true).unwrap();
+        write_request_conn(&mut wire, "GET", "/healthz", b"", false).unwrap();
+        let mut parser = RequestBuffer::new();
+        parser.feed(&wire);
+        assert_eq!(parser.try_next().unwrap().unwrap().path, "/stats");
+        let second = parser.try_next().unwrap().unwrap();
+        assert_eq!(second.body, "{\"app\":\"CG\"}");
+        let third = parser.try_next().unwrap().unwrap();
+        assert_eq!(third.path, "/healthz");
+        assert!(!third.keep_alive, "explicit close honored");
+        assert!(parser.try_next().unwrap().is_none());
+        assert!(parser.is_empty());
+    }
+
+    #[test]
+    fn request_buffer_enforces_the_message_reader_budgets() {
+        // Declared body over budget: the exact ERR_BODY_TOO_LARGE
+        // message, so the server's 400 classification holds.
+        let mut parser = RequestBuffer::new();
+        parser.feed(
+            format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        );
+        assert_eq!(
+            parser.try_next().unwrap_err().to_string(),
+            ERR_BODY_TOO_LARGE
+        );
+
+        // Endless header stream: rejected once the head budget is
+        // exhausted, even though no terminator ever arrives.
+        let mut parser = RequestBuffer::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let mut rejected = false;
+        for _ in 0..4096 {
+            parser.feed(b"X-Spam: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+            if let Err(e) = parser.try_next() {
+                assert!(e.to_string().contains("header section too large"), "{e}");
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "oversized head must be rejected");
+
+        // A complete head over MAX_HEAD is rejected too.
+        let mut parser = RequestBuffer::new();
+        let filler = "X-Pad: ".to_string() + &"a".repeat(MAX_HEAD) + "\r\n";
+        parser.feed(format!("GET /a HTTP/1.1\r\n{filler}\r\n").as_bytes());
+        assert!(parser.try_next().is_err());
+
+        // Two near-limit requests back to back: the budget is per
+        // request, exactly like MessageReader's.
+        let mut parser = RequestBuffer::new();
+        let filler = "X-Pad: ".to_string() + &"a".repeat(8 << 10) + "\r\n";
+        let one = format!("GET /a HTTP/1.1\r\n{filler}\r\n");
+        parser.feed(format!("{one}{one}").as_bytes());
+        assert_eq!(parser.try_next().unwrap().unwrap().path, "/a");
+        assert_eq!(parser.try_next().unwrap().unwrap().path, "/a");
+    }
+
+    #[test]
+    fn request_buffer_rejects_the_same_garbage_as_message_reader() {
+        for wire in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"\r\n\r\n"[..],
+        ] {
+            let mut parser = RequestBuffer::new();
+            parser.feed(wire);
+            let incremental = parser.try_next().err().map(|e| e.to_string());
+            let blocking = read_request(wire).err().map(|e| e.to_string());
+            assert_eq!(incremental, blocking, "wire {wire:?}");
+            assert!(incremental.is_some(), "wire {wire:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn render_response_into_matches_the_blocking_writer() {
+        let mut written = Vec::new();
+        write_response_headers(
+            &mut written,
+            200,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{\"ok\":true}",
+            true,
+        )
+        .unwrap();
+        let mut rendered = Vec::new();
+        render_response_into(
+            &mut rendered,
+            200,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{\"ok\":true}",
+            true,
+        );
+        assert_eq!(written, rendered);
     }
 }

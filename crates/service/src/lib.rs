@@ -32,9 +32,14 @@
 //!   latency histograms, long-poll and simulator counters) behind
 //!   `GET /v1/metrics`, with per-job span timelines served from the
 //!   registry at `GET /v1/jobs/<id>/trace`;
-//! - [`http`] / [`server`] / [`client`] — HTTP/1.1 framing with
-//!   keep-alive over `std::net`, the daemon itself, and the blocking
-//!   client ([`client::Conn`] reuses one connection per interaction).
+//! - [`http`] / [`net`] / [`server`] / [`client`] — HTTP/1.1 framing
+//!   with keep-alive over `std::net` (both the blocking reader and the
+//!   incremental [`http::RequestBuffer`]), the epoll/eventfd readiness
+//!   primitives behind the daemon's event loop, the daemon itself, and
+//!   the blocking client ([`client::Conn`] reuses one connection per
+//!   interaction). On Linux every connection is served by one epoll
+//!   readiness loop and long-polls park as registry subscriptions, so
+//!   thousands of concurrent waiters cost fds, not threads.
 //!
 //! The `scalana` binary lives here too: the classic `static`/`analyze`/
 //! `apps` one-shot commands plus `serve`, `submit`, `status`, `result`,
@@ -64,8 +69,11 @@ pub mod http;
 pub mod job;
 pub mod jsonify;
 pub mod metrics;
+pub mod net;
 pub mod profile_cache;
 pub mod queue;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 pub mod sharded;
 

@@ -36,15 +36,30 @@ pub struct ServiceMetrics {
     /// `ScalAna-detect` + result-document rendering.
     pub assemble_ns: Histogram,
     /// Routing one request through its handler and rendering the
-    /// response body (long-poll handlers park in here).
+    /// response body. Long-poll handlers do *not* park in here: the
+    /// event loop suspends them as registry subscriptions, so parked
+    /// time shows up in `scalana_longpoll_parked`, not this histogram.
     pub render_ns: Histogram,
     /// Writing a response to the socket.
     pub write_ns: Histogram,
 
-    /// Long-poll waiters that actually parked on a shard condvar.
+    /// Accept-loop failures (EMFILE and friends); each one also arms
+    /// the bounded accept backoff.
+    pub accept_errors: Counter,
+    /// File descriptors registered with the event loop right now
+    /// (listener + wake eventfd + connections).
+    pub epoll_fds: Gauge,
+    /// One readiness round of the event loop: epoll wake-up → all due
+    /// reads, handlers, and writes dispatched. Only rounds that carried
+    /// events are recorded (idle timer ticks would drown the signal).
+    pub round_ns: Histogram,
+
+    /// Long-poll waiters that actually parked (condvar or subscription).
     pub longpoll_parks: Counter,
     /// Parked waiters woken by a terminal transition (vs. timing out).
     pub longpoll_wakes: Counter,
+    /// Long-poll subscriptions currently parked in the registry.
+    pub longpoll_parked: Gauge,
 
     /// Simulator runs observed through the hook layer.
     pub sim_runs: Counter,
@@ -87,8 +102,12 @@ impl ServiceMetrics {
             assemble_ns: registry.histogram("scalana_stage_assemble_ns"),
             render_ns: registry.histogram("scalana_stage_render_ns"),
             write_ns: registry.histogram("scalana_stage_write_ns"),
+            accept_errors: registry.counter("scalana_accept_errors_total"),
+            epoll_fds: registry.gauge("scalana_epoll_registered_fds"),
+            round_ns: registry.histogram("scalana_readiness_round_ns"),
             longpoll_parks: registry.counter("scalana_longpoll_parks_total"),
             longpoll_wakes: registry.counter("scalana_longpoll_wakes_total"),
+            longpoll_parked: registry.gauge("scalana_longpoll_parked"),
             sim_runs: registry.counter("scalana_sim_runs_total"),
             sim_events: registry.counter("scalana_sim_events_total"),
             sim_run_ns: registry.histogram("scalana_sim_run_ns"),

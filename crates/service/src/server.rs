@@ -37,10 +37,21 @@
 //! in the sharded [`Registry`], so identical re-submissions are answered
 //! without touching the queue and overlapping ones re-simulate only
 //! their genuinely new scales.
+//!
+//! On Linux all connections are served by a single epoll readiness loop
+//! (`crate::reactor`): reads, routing, and batched writes happen on
+//! one thread, and long-polls park as registry *subscriptions*
+//! (`Registry::subscribe`) instead of blocked threads — which is what
+//! lets one daemon hold tens of thousands of concurrent waiters. Other
+//! platforms fall back to the historical thread-per-connection loop in
+//! this module; both paths share `route` and the response renderers,
+//! so the wire behavior is identical.
 
 use crate::cache::{JobStatus, Registry, RegistryObs, StatusView, SubmitOutcome, WaitOutcome};
 use crate::exec::{ExecCtx, Task};
-use crate::http::{write_response_headers, MessageReader, Request};
+use crate::http::Request;
+#[cfg(not(target_os = "linux"))]
+use crate::http::{write_response_headers, MessageReader};
 use crate::job::{JobProgram, JobSpec};
 use crate::json::{parse, Json};
 use crate::metrics::ServiceMetrics;
@@ -86,6 +97,12 @@ pub struct ServiceConfig {
     /// Programs indexed by content hash for `--program-hash` reuse
     /// (0 = unbounded).
     pub max_indexed_programs: usize,
+    /// Connections served concurrently before new ones are shed with a
+    /// `503` + `Retry-After`. A connection costs the event loop one fd
+    /// and a small state machine (not a thread), so the default is
+    /// sized for thousands of parked long-pollers; the real ceiling is
+    /// the process fd limit.
+    pub max_connections: usize,
     /// Base analysis configuration; per-request knobs override it.
     pub default_config: ScalAnaConfig,
 }
@@ -103,48 +120,53 @@ impl Default for ServiceConfig {
             max_cached_profiles: 1024,
             max_cached_psgs: 64,
             max_indexed_programs: 512,
+            max_connections: 16_384,
             default_config: ScalAnaConfig::default(),
         }
     }
 }
 
-/// Most connection-handler threads alive at once. The job queue and
-/// worker pool are bounded; without this, connection concurrency would
-/// be the one unbounded resource (a burst of idle sockets = one thread
-/// + stack each for up to the 30 s read timeout).
-const MAX_CONNECTIONS: usize = 256;
-
 /// How long `POST /v1/diff` waits for each side to finish before
 /// answering `504` (the jobs keep running; retrying the identical diff
 /// resumes the wait against the same records).
-const DIFF_WAIT: Duration = Duration::from_secs(60);
+pub(crate) const DIFF_WAIT: Duration = Duration::from_secs(60);
 
 /// `Retry-After:` value (seconds) sent with every retryable error —
 /// backpressure answers (`503` shed, queue full) and transient job
 /// states. Clients honor it in their polling fallback.
 const RETRY_AFTER_SECS: u64 = 1;
 
-struct State {
-    registry: Registry,
-    queue: JobQueue<Task>,
-    profiles: ProfileCache,
-    psgs: PsgCache,
-    programs: ProgramIndex,
-    workers: usize,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    connections: AtomicUsize,
-    default_config: ScalAnaConfig,
+pub(crate) struct State {
+    pub(crate) registry: Registry,
+    pub(crate) queue: JobQueue<Task>,
+    pub(crate) profiles: ProfileCache,
+    pub(crate) psgs: PsgCache,
+    pub(crate) programs: ProgramIndex,
+    pub(crate) workers: usize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// Connections currently served (mirrored into `scalana_connections`
+    /// at exposition time). The event loop stores its live count here;
+    /// the fallback path counts handler threads.
+    pub(crate) connections: AtomicUsize,
+    pub(crate) max_connections: usize,
+    pub(crate) default_config: ScalAnaConfig,
     /// Per-server observability: stage histograms, simulator counters,
     /// and the `/v1/metrics` exposition registry. Owned here (not
     /// global) so in-process daemons never share counters.
-    metrics: ServiceMetrics,
+    pub(crate) metrics: ServiceMetrics,
     /// Bind time — the zero point of `uptime_ms`.
-    started: Instant,
+    pub(crate) started: Instant,
+    /// Event-loop wake handle, installed by the reactor before it
+    /// starts serving. `trigger_shutdown` signals it so an *idle*
+    /// daemon leaves its `epoll_wait` immediately instead of on the
+    /// next accepted connection.
+    #[cfg(target_os = "linux")]
+    pub(crate) wake: std::sync::OnceLock<Arc<crate::net::WakeFd>>,
 }
 
 impl State {
-    fn exec_ctx(&self) -> ExecCtx<'_> {
+    pub(crate) fn exec_ctx(&self) -> ExecCtx<'_> {
         ExecCtx {
             registry: &self.registry,
             queue: &self.queue,
@@ -158,10 +180,17 @@ impl State {
         self.started.elapsed().as_millis() as u64
     }
 
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             self.queue.shutdown();
-            // Wake the blocked accept loop with a throwaway connection.
+            #[cfg(target_os = "linux")]
+            if let Some(wake) = self.wake.get() {
+                wake.wake();
+                return;
+            }
+            // No event loop to signal (fallback path, or shutdown raced
+            // the reactor's startup): wake the blocked accept call with
+            // a throwaway connection.
             let _ = TcpStream::connect(self.addr);
         }
     }
@@ -169,8 +198,10 @@ impl State {
 
 /// Decrements the live-connection count when a handler exits, however
 /// it exits.
+#[cfg(not(target_os = "linux"))]
 struct ConnGuard<'a>(&'a AtomicUsize);
 
+#[cfg(not(target_os = "linux"))]
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
@@ -204,6 +235,7 @@ impl Server {
             Registry::with_result_capacity(config.max_cached_results).with_obs(RegistryObs {
                 parks: metrics.longpoll_parks.clone(),
                 wakes: metrics.longpoll_wakes.clone(),
+                parked: metrics.longpoll_parked.clone(),
                 queue_wait_ns: metrics.queue_wait_ns.clone(),
                 job_ns: metrics.job_ns.clone(),
                 evict_label: metrics.lbl_evict,
@@ -220,9 +252,12 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 addr,
                 connections: AtomicUsize::new(0),
+                max_connections: config.max_connections.max(1),
                 default_config: config.default_config.clone(),
                 metrics,
                 started: Instant::now(),
+                #[cfg(target_os = "linux")]
+                wake: std::sync::OnceLock::new(),
             }),
         })
     }
@@ -232,8 +267,9 @@ impl Server {
         self.state.addr
     }
 
-    /// Serve until `POST /v1/shutdown`. Blocks; spawns the worker pool
-    /// and one connection-handler thread per live connection.
+    /// Serve until `POST /v1/shutdown`. Blocks; spawns the worker pool,
+    /// then serves every connection from one epoll readiness loop
+    /// (Linux) or one handler thread per connection (elsewhere).
     pub fn run(self) -> io::Result<()> {
         let workers: Vec<_> = (0..self.state.workers)
             .map(|i| {
@@ -245,51 +281,89 @@ impl Server {
             })
             .collect();
 
-        for stream in self.listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // Overload shedding: answer 503 from the accept thread
-            // rather than spawn an unbounded number of handlers.
-            if self.state.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
-                self.state.connections.fetch_sub(1, Ordering::SeqCst);
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let body = ApiError::new(ErrorCode::TooManyConnections, "too many connections")
-                    .to_json()
-                    .render();
-                let _ = write_response_headers(
-                    &stream,
-                    503,
-                    "application/json",
-                    &[("Retry-After", RETRY_AFTER_SECS.to_string())],
-                    body.as_bytes(),
-                    false,
-                );
-                continue;
-            }
-            let state = Arc::clone(&self.state);
-            // Detached: handlers are time-limited (the read timeout
-            // bounds idle keep-alive connections) and counted (the
-            // guard in handle_connection releases the slot).
-            if std::thread::Builder::new()
-                .name("scalana-conn".to_string())
-                .spawn(move || handle_connection(stream, &state))
-                .is_err()
-            {
-                self.state.connections.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
+        #[cfg(target_os = "linux")]
+        let served = crate::reactor::serve(self.listener, &self.state);
+        #[cfg(not(target_os = "linux"))]
+        let served = serve_threaded(self.listener, &self.state);
 
         self.state.queue.shutdown();
         for worker in workers {
             let _ = worker.join();
         }
-        Ok(())
+        served
     }
+}
+
+/// The portable accept loop: one detached handler thread per
+/// connection. Kept only for non-Linux builds — Linux serves everything
+/// from [`crate::reactor`].
+#[cfg(not(target_os = "linux"))]
+fn serve_threaded(listener: TcpListener, state: &Arc<State>) -> io::Result<()> {
+    // Transient accept failures (EMFILE under fd pressure is the
+    // classic) must not busy-loop the accept thread at 100% CPU;
+    // back off, bounded, and reset on the next success.
+    let mut backoff = Duration::from_millis(10);
+    const MAX_BACKOFF: Duration = Duration::from_millis(1280);
+
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionAborted | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                state.metrics.accept_errors.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+        };
+        backoff = Duration::from_millis(10);
+        // Overload shedding: answer 503 from the accept thread rather
+        // than spawn an unbounded number of handlers. The pending
+        // request is drained (bounded) first so the response is not
+        // lost to a kernel RST over unread bytes.
+        if state.connections.fetch_add(1, Ordering::SeqCst) >= state.max_connections {
+            state.connections.fetch_sub(1, Ordering::SeqCst);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let mut reader = MessageReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            });
+            let _ = reader.next_request();
+            let response = shed_response();
+            let _ = write_response_headers(
+                &stream,
+                response.code,
+                &response.content_type,
+                &response.headers,
+                &response.body,
+                false,
+            );
+            continue;
+        }
+        let handler_state = Arc::clone(state);
+        // Detached: handlers are time-limited (the read timeout
+        // bounds idle keep-alive connections) and counted (the
+        // guard in handle_connection releases the slot).
+        if std::thread::Builder::new()
+            .name("scalana-conn".to_string())
+            .spawn(move || handle_connection(stream, &handler_state))
+            .is_err()
+        {
+            state.connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    Ok(())
 }
 
 fn worker_loop(state: &State) {
@@ -307,6 +381,7 @@ fn worker_loop(state: &State) {
     }
 }
 
+#[cfg(not(target_os = "linux"))]
 fn handle_connection(stream: TcpStream, state: &State) {
     let _guard = ConnGuard(&state.connections);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
@@ -337,23 +412,13 @@ fn handle_connection(stream: TcpStream, state: &State) {
                 // An idle keep-alive connection hitting the read
                 // timeout is normal; only protocol garbage earns a 400.
                 if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut {
-                    let message = e.to_string();
-                    // Exact message match (`http::read_headers` emits it
-                    // verbatim): only a declared body over budget is
-                    // `body_too_large` — an oversized *head* must not
-                    // tell the client to shrink its body.
-                    let code = if message == crate::http::ERR_BODY_TOO_LARGE {
-                        ErrorCode::BodyTooLarge
-                    } else {
-                        ErrorCode::MalformedRequest
-                    };
-                    let body = ApiError::new(code, message).to_json().render();
+                    let response = malformed_response(&e);
                     let _ = write_response_headers(
                         &stream,
-                        400,
-                        "application/json",
-                        &[],
-                        body.as_bytes(),
+                        response.code,
+                        &response.content_type,
+                        &response.headers,
+                        &response.body,
                         false,
                     );
                 }
@@ -361,7 +426,8 @@ fn handle_connection(stream: TcpStream, state: &State) {
             }
         };
         let route_guard = obs::span_timed(state.metrics.lbl_render, &state.metrics.render_ns);
-        let (response, action) = route(&request, state);
+        let (routed, action) = route(&request, state);
+        let response = resolve_routed(routed, state);
         drop(route_guard);
         // Shutting down (this request or a concurrent one): announce
         // close so well-behaved clients stop reusing the socket.
@@ -396,7 +462,7 @@ fn handle_connection(stream: TcpStream, state: &State) {
 
 /// What to do after the response is written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Action {
+pub(crate) enum Action {
     None,
     Shutdown,
 }
@@ -404,11 +470,79 @@ enum Action {
 /// One routed response. Bodies are `Bytes` so a cached profile image is
 /// served by refcount bump, not a per-request deep copy; `headers`
 /// carries endpoint metadata (`Allow:`, `Location:`, `Deprecation:`).
-struct Response {
-    code: u16,
-    content_type: String,
-    body: bytes::Bytes,
-    headers: Vec<(&'static str, String)>,
+pub(crate) struct Response {
+    pub(crate) code: u16,
+    pub(crate) content_type: String,
+    pub(crate) body: bytes::Bytes,
+    pub(crate) headers: Vec<(&'static str, String)>,
+}
+
+/// Outcome of [`route`]: either a finished response, or a long-poll the
+/// caller must park. The blocking fallback resolves parked variants
+/// with [`Registry::wait_terminal`] on the handler thread
+/// ([`resolve_routed`]); the event loop parks them as registry
+/// subscriptions instead.
+pub(crate) enum Routed {
+    /// Fully handled; write it.
+    Done(Response),
+    /// `GET /v1/jobs/<id>/wait`: answer when `key` turns terminal or
+    /// after `timeout`, whichever first (the job may not exist — the
+    /// waiter resolves that to `unknown_job`).
+    Wait { key: String, timeout: Duration },
+    /// `POST /v1/diff`: both sides submitted; answer when both are
+    /// terminal or after [`DIFF_WAIT`].
+    Diff { a: String, b: String },
+}
+
+/// Resolve a [`Routed`] by blocking this thread — the historical
+/// semantics, used by the non-Linux fallback path.
+#[cfg(not(target_os = "linux"))]
+fn resolve_routed(routed: Routed, state: &State) -> Response {
+    match routed {
+        Routed::Done(response) => response,
+        Routed::Wait { key, timeout } => {
+            wait_outcome_response(state.registry.wait_terminal(&key, timeout))
+        }
+        Routed::Diff { a, b } => {
+            let side_a = diff_side("a", &a, state.registry.wait_terminal(&a, DIFF_WAIT));
+            let side_b = diff_side("b", &b, state.registry.wait_terminal(&b, DIFF_WAIT));
+            render_diff(side_a, side_b)
+        }
+    }
+}
+
+/// The `400` for protocol garbage. The exact-string match
+/// (`http::read_headers` emits it verbatim) matters: only a declared
+/// body over budget is `body_too_large` — an oversized *head* must not
+/// tell the client to shrink its body.
+pub(crate) fn malformed_response(e: &io::Error) -> Response {
+    let message = e.to_string();
+    let code = if message == crate::http::ERR_BODY_TOO_LARGE {
+        ErrorCode::BodyTooLarge
+    } else {
+        ErrorCode::MalformedRequest
+    };
+    error_response(&ApiError::new(code, message))
+}
+
+/// The `503` shed answer for connections over the admission cap.
+pub(crate) fn shed_response() -> Response {
+    error_response(&ApiError::new(
+        ErrorCode::TooManyConnections,
+        "too many connections",
+    ))
+}
+
+/// The status document a resolved `wait` long-poll answers with.
+pub(crate) fn wait_outcome_response(outcome: WaitOutcome) -> Response {
+    match outcome {
+        WaitOutcome::Unknown => {
+            error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job"))
+        }
+        WaitOutcome::Terminal(view) | WaitOutcome::Pending(view) => {
+            json_response(200, job_view(&view).to_json())
+        }
+    }
 }
 
 fn json_response(code: u16, body: Json) -> Response {
@@ -494,7 +628,7 @@ fn born_in_v1(method: &str, segments: &[&str]) -> bool {
     )
 }
 
-fn route(request: &Request, state: &State) -> (Response, Action) {
+pub(crate) fn route(request: &Request, state: &State) -> (Routed, Action) {
     let (path, query) = paths::split_target(&request.path);
     let mut segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     // Version handling: strip the served version, reject recognizable
@@ -506,13 +640,13 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
         }
         Some(&segment) if paths::looks_like_version(segment) => {
             return (
-                error_response(&ApiError::new(
+                Routed::Done(error_response(&ApiError::new(
                     ErrorCode::UnsupportedVersion,
                     format!(
                         "unsupported API version `{segment}` (this server serves `{}`)",
                         paths::API_VERSION
                     ),
-                )),
+                ))),
                 Action::None,
             );
         }
@@ -522,7 +656,10 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
     let method = request.method.as_str();
     let Some(allowed) = allowed_methods(&segments) else {
         return (
-            error_response(&ApiError::new(ErrorCode::NotFound, "no such endpoint")),
+            Routed::Done(error_response(&ApiError::new(
+                ErrorCode::NotFound,
+                "no such endpoint",
+            ))),
             Action::None,
         );
     };
@@ -532,7 +669,7 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
             format!("method {method} not allowed (allowed: {allowed})"),
         ));
         response.headers.push(("Allow", allowed.to_string()));
-        return (response, Action::None);
+        return (Routed::Done(response), Action::None);
     }
     if !versioned && born_in_v1(method, &segments) {
         let location = if query.is_empty() {
@@ -543,45 +680,61 @@ fn route(request: &Request, state: &State) -> (Response, Action) {
         let mut response =
             json_response(308, Json::obj(vec![("location", location.as_str().into())]));
         response.headers.push(("Location", location));
-        return (response, Action::None);
+        return (Routed::Done(response), Action::None);
     }
 
-    let (mut response, action) = match (method, segments.as_slice()) {
+    let (routed, action) = match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => (
-            json_response(
+            Routed::Done(json_response(
                 200,
                 dto::health_body(env!("CARGO_PKG_VERSION"), state.uptime_ms()),
-            ),
+            )),
             Action::None,
         ),
-        ("GET", ["stats"]) => (json_response(200, stats(state).to_json()), Action::None),
-        ("GET", ["metrics"]) => (metrics_text(state), Action::None),
-        ("POST", ["shutdown"]) => (json_response(200, dto::ok_body()), Action::Shutdown),
-        ("POST", ["jobs"]) => (submit(request, state), Action::None),
-        ("GET", ["jobs"]) => (list_jobs(query, state), Action::None),
-        ("GET", ["jobs", key]) => (status(key, state), Action::None),
-        ("GET", ["jobs", key, "wait"]) => (wait(key, query, state), Action::None),
-        ("GET", ["jobs", key, "trace"]) => (trace(key, state), Action::None),
-        ("GET", ["jobs", key, "result"]) => (result(key, state), Action::None),
-        ("GET", ["jobs", key, "profile", nprocs]) => (profile(key, nprocs, state), Action::None),
+        ("GET", ["stats"]) => (
+            Routed::Done(json_response(200, stats(state).to_json())),
+            Action::None,
+        ),
+        ("GET", ["metrics"]) => (Routed::Done(metrics_text(state)), Action::None),
+        ("POST", ["shutdown"]) => (
+            Routed::Done(json_response(200, dto::ok_body())),
+            Action::Shutdown,
+        ),
+        ("POST", ["jobs"]) => (Routed::Done(submit(request, state)), Action::None),
+        ("GET", ["jobs"]) => (Routed::Done(list_jobs(query, state)), Action::None),
+        ("GET", ["jobs", key]) => (Routed::Done(status(key, state)), Action::None),
+        ("GET", ["jobs", key, "wait"]) => (wait(key, query), Action::None),
+        ("GET", ["jobs", key, "trace"]) => (Routed::Done(trace(key, state)), Action::None),
+        ("GET", ["jobs", key, "result"]) => (Routed::Done(result(key, state)), Action::None),
+        ("GET", ["jobs", key, "profile", nprocs]) => {
+            (Routed::Done(profile(key, nprocs, state)), Action::None)
+        }
         ("POST", ["diff"]) => (diff(request, state), Action::None),
         // Unreachable given the allow-list check, but a 404 beats UB in
         // a long-lived daemon if the two tables ever drift.
         _ => (
-            error_response(&ApiError::new(ErrorCode::NotFound, "no such endpoint")),
+            Routed::Done(error_response(&ApiError::new(
+                ErrorCode::NotFound,
+                "no such endpoint",
+            ))),
             Action::None,
         ),
     };
     if !versioned {
         // Legacy alias: identical bytes, plus machine-readable notice
-        // of where the endpoint lives now.
-        response.headers.push(("Deprecation", "true".to_string()));
-        response.headers.push((
-            "Link",
-            format!("</v1/{}>; rel=\"successor-version\"", segments.join("/")),
-        ));
+        // of where the endpoint lives now. Parked variants never get
+        // here: `wait` and `diff` were born under `/v1`, so their
+        // unversioned spellings already answered `308` above.
+        if let Routed::Done(mut response) = routed {
+            response.headers.push(("Deprecation", "true".to_string()));
+            response.headers.push((
+                "Link",
+                format!("</v1/{}>; rel=\"successor-version\"", segments.join("/")),
+            ));
+            return (Routed::Done(response), action);
+        }
     }
-    (response, action)
+    (routed, action)
 }
 
 fn stats(state: &State) -> StatsResponse {
@@ -693,26 +846,20 @@ fn list_jobs(query: &str, state: &State) -> Response {
     json_response(200, page.to_json())
 }
 
-/// `GET /v1/jobs/<id>/wait` — server-side long-poll: parks on the job's
-/// registry shard until a worker completes/fails it or the (clamped)
-/// budget elapses, then answers the job's current status document. The
-/// client decides whether to re-issue — a `200` with a non-terminal
-/// `status` simply means the budget ran out first.
-fn wait(key: &str, query: &str, state: &State) -> Response {
+/// `GET /v1/jobs/<id>/wait` — server-side long-poll: the job's current
+/// status document once it turns terminal or the (clamped) budget
+/// elapses, whichever first. The client decides whether to re-issue — a
+/// `200` with a non-terminal `status` simply means the budget ran out.
+/// Only the query is validated here; parking is the caller's job
+/// (subscription on the event loop, condvar on the fallback path).
+fn wait(key: &str, query: &str) -> Routed {
     let wait = match WaitQuery::from_query(&paths::parse_query(query)) {
         Ok(wait) => wait,
-        Err(error) => return error_response(&error),
+        Err(error) => return Routed::Done(error_response(&error)),
     };
-    match state
-        .registry
-        .wait_terminal(key, Duration::from_millis(wait.timeout_ms))
-    {
-        WaitOutcome::Unknown => {
-            error_response(&ApiError::new(ErrorCode::UnknownJob, "unknown job"))
-        }
-        WaitOutcome::Terminal(view) | WaitOutcome::Pending(view) => {
-            json_response(200, job_view(&view).to_json())
-        }
+    Routed::Wait {
+        key: key.to_string(),
+        timeout: Duration::from_millis(wait.timeout_ms),
     }
 }
 
@@ -930,16 +1077,19 @@ fn profile(key: &str, nprocs: &str, state: &State) -> Response {
 /// submission path, so the whole-job cache, the per-scale profile
 /// cache, and the refined-PSG cache all apply: diffing two analyses
 /// that share scales simulates only what no previous job ever ran.
-fn diff(request: &Request, state: &State) -> Response {
+fn diff(request: &Request, state: &State) -> Routed {
     let doc = match parse(&request.body) {
         Ok(doc) => doc,
         Err(e) => {
-            return error_response(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
+            return Routed::Done(error_response(&ApiError::new(
+                ErrorCode::BadJson,
+                format!("bad JSON: {e}"),
+            )))
         }
     };
     let diff_request = match DiffRequest::from_json(&doc) {
         Ok(request) => request,
-        Err(error) => return error_response(&error),
+        Err(error) => return Routed::Done(error_response(&error)),
     };
     let recv_ns = obs::now_ns();
     let submit_side = |label: &str, side: SubmitRequest| -> Result<String, ApiError> {
@@ -952,54 +1102,70 @@ fn diff(request: &Request, state: &State) -> Response {
     };
     // Submit both before waiting on either, so the sides execute
     // concurrently across the worker pool.
-    let (key_a, key_b) = match (
+    match (
         submit_side("a", diff_request.a),
         submit_side("b", diff_request.b),
     ) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(error), _) | (_, Err(error)) => return error_response(&error),
-    };
+        (Ok(a), Ok(b)) => Routed::Diff { a, b },
+        (Err(error), _) | (_, Err(error)) => Routed::Done(error_response(&error)),
+    }
+}
 
-    let side = |label: &str, key: String| -> Result<DiffSide, ApiError> {
-        match state.registry.wait_terminal(&key, DIFF_WAIT) {
-            // Not a bug: at result-cache capacity, FIFO eviction can
-            // remove a completed record before this handler re-reads
-            // it. Retrying re-submits the side and will normally win
-            // the race (its profiles are still per-scale cached).
-            WaitOutcome::Unknown => Err(ApiError::new(
-                ErrorCode::Evicted,
+/// Resolve one side of a diff from its final wait outcome. Both sides
+/// are always driven to an outcome before the response is assembled
+/// (matching the historical both-sides-waited semantics); errors prefer
+/// side `a` via [`render_diff`].
+pub(crate) fn diff_side(
+    label: &str,
+    key: &str,
+    outcome: WaitOutcome,
+) -> Result<DiffSide, ApiError> {
+    match outcome {
+        // Not a bug: at result-cache capacity, FIFO eviction can
+        // remove a completed record before this handler re-reads
+        // it. Retrying re-submits the side and will normally win
+        // the race (its profiles are still per-scale cached).
+        WaitOutcome::Unknown => Err(ApiError::new(
+            ErrorCode::Evicted,
+            format!(
+                "side `{label}` (job {key}) was evicted from the result cache before the \
+                 diff could read it; retry"
+            ),
+        )),
+        WaitOutcome::Pending(_) => Err(ApiError::new(
+            ErrorCode::Timeout,
+            format!("side `{label}` (job {key}) still pending after {DIFF_WAIT:?}"),
+        )),
+        WaitOutcome::Terminal(view) => match (view.status, &view.result) {
+            (JobStatus::Done, Some(output)) => Ok(DiffSide {
+                job: key.to_string(),
+                // Stored fragments are canonical JSON rendered by
+                // this process; a parse failure is a server bug.
+                report: parse(&output.report_json).map_err(|e| {
+                    ApiError::new(ErrorCode::Internal, format!("stored report: {e}"))
+                })?,
+                runs: parse(&output.runs_json)
+                    .map_err(|e| ApiError::new(ErrorCode::Internal, format!("stored runs: {e}")))?,
+            }),
+            _ => Err(ApiError::new(
+                ErrorCode::JobFailed,
                 format!(
-                    "side `{label}` (job {key}) was evicted from the result cache before the \
-                     diff could read it; retry"
+                    "side `{label}` (job {key}) failed: {}",
+                    view.error.as_deref().unwrap_or("unknown error")
                 ),
             )),
-            WaitOutcome::Pending(_) => Err(ApiError::new(
-                ErrorCode::Timeout,
-                format!("side `{label}` (job {key}) still pending after {DIFF_WAIT:?}"),
-            )),
-            WaitOutcome::Terminal(view) => match (view.status, &view.result) {
-                (JobStatus::Done, Some(output)) => Ok(DiffSide {
-                    job: key,
-                    // Stored fragments are canonical JSON rendered by
-                    // this process; a parse failure is a server bug.
-                    report: parse(&output.report_json).map_err(|e| {
-                        ApiError::new(ErrorCode::Internal, format!("stored report: {e}"))
-                    })?,
-                    runs: parse(&output.runs_json).map_err(|e| {
-                        ApiError::new(ErrorCode::Internal, format!("stored runs: {e}"))
-                    })?,
-                }),
-                _ => Err(ApiError::new(
-                    ErrorCode::JobFailed,
-                    format!(
-                        "side `{label}` (job {key}) failed: {}",
-                        view.error.as_deref().unwrap_or("unknown error")
-                    ),
-                )),
-            },
-        }
-    };
-    match (side("a", key_a), side("b", key_b)) {
+        },
+    }
+}
+
+/// Assemble the final diff response from both resolved sides (side
+/// `a`'s error wins when both failed, matching the historical
+/// evaluation order).
+pub(crate) fn render_diff(
+    a: Result<DiffSide, ApiError>,
+    b: Result<DiffSide, ApiError>,
+) -> Response {
+    match (a, b) {
         (Ok(a), Ok(b)) => json_response(200, scalana_api::diff::diff(&a, &b)),
         (Err(error), _) | (_, Err(error)) => error_response(&error),
     }

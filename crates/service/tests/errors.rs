@@ -136,3 +136,44 @@ fn malformed_requests_answer_their_pinned_error_codes() {
 
     let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
 }
+
+#[test]
+fn overloaded_daemon_drains_the_request_before_shedding() {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 4,
+        max_connections: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+
+    // Occupy the only serving slot. The request (not just the connect)
+    // matters: it proves the connection is registered, not still in the
+    // accept backlog.
+    let mut occupier = Conn::connect(&addr).unwrap();
+    let (code, _) = occupier.request("GET", "/v1/stats", "").unwrap();
+    assert_eq!(code, 200);
+
+    // The next connection is over the cap. The daemon must *drain* its
+    // request before answering: a 503 written over unread request bytes
+    // makes the kernel reset the connection, and the client reads
+    // ECONNRESET instead of the structured error this asserts on.
+    let mut shed = Conn::connect(&addr).unwrap();
+    let response = shed
+        .request_full("POST", "/v1/jobs", r#"{"app":"CG","scales":[2]}"#)
+        .unwrap();
+    assert_eq!(response.code, 503);
+    assert!(
+        response.header("Retry-After").is_some(),
+        "shed responses advertise when to retry"
+    );
+    let text = String::from_utf8(response.body).unwrap();
+    let error = ApiError::from_body(&text).expect("shed response carries a structured error");
+    assert_eq!(error.code, ErrorCode::TooManyConnections);
+    assert!(error.retryable, "shedding is transient, so retryable");
+
+    let _ = occupier.request("POST", paths::SHUTDOWN, "");
+}

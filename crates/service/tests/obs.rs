@@ -125,6 +125,7 @@ fn metrics_exposition_has_the_golden_shape() {
     assert_eq!(
         families,
         vec![
+            "scalana_accept_errors_total",
             "scalana_build_info",
             "scalana_cache_psg_hits_total",
             "scalana_cache_psg_misses_total",
@@ -135,6 +136,7 @@ fn metrics_exposition_has_the_golden_shape() {
             "scalana_cache_scale_hits_total",
             "scalana_cache_scale_misses_total",
             "scalana_connections",
+            "scalana_epoll_registered_fds",
             "scalana_http_requests_total",
             "scalana_job_ns",
             "scalana_jobs_completed_total",
@@ -142,11 +144,13 @@ fn metrics_exposition_has_the_golden_shape() {
             "scalana_jobs_failed_total",
             "scalana_jobs_rejected_total",
             "scalana_jobs_submitted_total",
+            "scalana_longpoll_parked",
             "scalana_longpoll_parks_total",
             "scalana_longpoll_wakes_total",
             "scalana_profiles_cached",
             "scalana_programs_indexed",
             "scalana_queue_depth",
+            "scalana_readiness_round_ns",
             "scalana_results_cached",
             "scalana_sim_events_total",
             "scalana_sim_inflight_ops_peak",

@@ -23,6 +23,11 @@
 //!    complete HTTP answer: a structured `ApiError` (with `error` and
 //!    `code`) for rejections, a well-formed ack (and a job that reaches
 //!    a terminal state) for accepts, and a healthy daemon afterwards.
+//!    The same bar holds for *torn* writes: a valid submit dribbled in
+//!    random fragments, with full exchanges on other connections
+//!    between the fragments, must answer exactly like the whole request
+//!    at once (the event loop's per-connection parser state cannot
+//!    leak, reset, or stall across readiness rounds).
 //!    The observability surface is held to the same bar: `/v1/metrics`
 //!    always serves a complete Prometheus exposition, and
 //!    `/v1/jobs/<id>/trace` answers every mutated id with a structured
@@ -366,6 +371,12 @@ fn raw_request(
     stream
         .read_to_end(&mut raw)
         .map_err(|e| format!("daemon hung or dropped mid-response: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Split one raw `Connection: close` HTTP response into status code and
+/// body, checking the body against the declared `Content-Length`.
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
     let head_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -399,6 +410,80 @@ fn raw_request(
         }
     }
     Ok((code, response_body))
+}
+
+/// The readiness loop keeps per-connection parser state across rounds:
+/// a valid submit dribbled onto one connection in random fragments,
+/// with complete request/response exchanges on *other* connections
+/// between the fragments, must produce exactly the answer the whole
+/// request gets at once — never a hang, a torn response, or bytes bled
+/// across connections.
+fn check_interleaved_writes(
+    addr: &str,
+    canonical: &str,
+    rng: &mut TestRng,
+    rounds: usize,
+) -> Result<(), String> {
+    let body = canonical.as_bytes();
+    let head = format!(
+        "POST {} HTTP/1.1\r\nHost: wgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        paths::JOBS,
+        body.len()
+    );
+    let mut request = head.into_bytes();
+    request.extend_from_slice(body);
+
+    for round in 0..rounds {
+        let mut cuts: Vec<usize> = (0..2 + rng.gen_index(3))
+            .map(|_| 1 + rng.gen_index(request.len() - 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let context = |what: &str| format!("interleave round {round} (cuts {cuts:?}): {what}");
+        let mut slow = TcpStream::connect(addr)
+            .map_err(|e| context(&format!("daemon refused connection: {e}")))?;
+        slow.set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        slow.set_write_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let mut sent = 0;
+        for &cut in &cuts {
+            slow.write_all(&request[sent..cut])
+                .map_err(|e| context(&format!("daemon dropped a fragment: {e}")))?;
+            sent = cut;
+            // A full exchange on a fresh connection while the slow
+            // request sits half-read.
+            let (code, _) =
+                raw_request(addr, "GET", paths::HEALTHZ, &[]).map_err(|e| context(&e))?;
+            if code != 200 {
+                return Err(context(&format!(
+                    "daemon unhealthy with a half-written request in flight: healthz {code}"
+                )));
+            }
+        }
+        slow.write_all(&request[sent..])
+            .map_err(|e| context(&format!("daemon dropped the final fragment: {e}")))?;
+        let mut raw = Vec::new();
+        slow.read_to_end(&mut raw)
+            .map_err(|e| context(&format!("daemon hung or dropped mid-response: {e}")))?;
+        let (code, response_body) = parse_response(&raw).map_err(|e| context(&e))?;
+        if !(200..300).contains(&code) {
+            return Err(context(&format!(
+                "valid submit answered {code}: {:?}",
+                String::from_utf8_lossy(&response_body)
+            )));
+        }
+        let doc = json::parse(&String::from_utf8_lossy(&response_body))
+            .map_err(|e| context(&format!("2xx with a non-JSON body: {e:?}")))?;
+        let ack =
+            SubmitAck::from_json(&doc).ok_or_else(|| context("2xx body is not a SubmitAck"))?;
+        let mut conn = Conn::connect(addr).map_err(|e| context(&e.to_string()))?;
+        conn.wait_for_job(ack.job(), JOB_TIMEOUT)
+            .map_err(|e| context(&format!("dribbled submit never reached terminal: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Derive one mutant of the canonical submit body. The first arms are
@@ -522,6 +607,11 @@ pub fn check_wire(
             ));
         }
     }
+
+    // Half-written requests interleaved with live traffic: the event
+    // loop's per-connection parser state must survive readiness rounds
+    // that serve other connections in between.
+    check_interleaved_writes(addr, &canonical, rng, rounds.min(3))?;
 
     // The metrics exposition is unconditional: any live daemon serves
     // it, whatever the fuzzing did to its caches and queues.
