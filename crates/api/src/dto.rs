@@ -687,6 +687,24 @@ pub struct StatsResponse {
     pub psg_misses: u64,
     /// Programs indexed for `program_hash` reuse.
     pub programs_indexed: usize,
+    /// Entries persisted to the durable store (0 without `--store-dir`).
+    pub store_writes: u64,
+    /// Failed store write attempts.
+    pub store_write_errors: u64,
+    /// Store writes skipped while degraded to memory-only mode.
+    pub store_skipped: u64,
+    /// Files quarantined as corrupt, torn, alien, or orphaned.
+    pub store_quarantined: u64,
+    /// Entries loaded from disk (warm scan + read-through).
+    pub store_loaded: u64,
+    /// Entries removed by the store's LRU quota sweep.
+    pub store_evicted: u64,
+    /// Live entries in the store directory.
+    pub store_entries: u64,
+    /// Bytes of live store entries.
+    pub store_bytes: u64,
+    /// 1 while the store's write breaker is open (memory-only), else 0.
+    pub store_degraded: u64,
     /// Daemon crate version, so fleet tooling can tell restarts from
     /// stalls (empty when talking to a pre-version daemon).
     pub version: String,
@@ -716,6 +734,15 @@ impl StatsResponse {
             ("psg_hits", self.psg_hits.into()),
             ("psg_misses", self.psg_misses.into()),
             ("programs_indexed", self.programs_indexed.into()),
+            ("store_writes", self.store_writes.into()),
+            ("store_write_errors", self.store_write_errors.into()),
+            ("store_skipped", self.store_skipped.into()),
+            ("store_quarantined", self.store_quarantined.into()),
+            ("store_loaded", self.store_loaded.into()),
+            ("store_evicted", self.store_evicted.into()),
+            ("store_entries", self.store_entries.into()),
+            ("store_bytes", self.store_bytes.into()),
+            ("store_degraded", self.store_degraded.into()),
             ("version", self.version.as_str().into()),
             ("uptime_ms", self.uptime_ms.into()),
         ])
@@ -743,6 +770,15 @@ impl StatsResponse {
             psg_hits: n("psg_hits") as u64,
             psg_misses: n("psg_misses") as u64,
             programs_indexed: n("programs_indexed") as usize,
+            store_writes: n("store_writes") as u64,
+            store_write_errors: n("store_write_errors") as u64,
+            store_skipped: n("store_skipped") as u64,
+            store_quarantined: n("store_quarantined") as u64,
+            store_loaded: n("store_loaded") as u64,
+            store_evicted: n("store_evicted") as u64,
+            store_entries: n("store_entries") as u64,
+            store_bytes: n("store_bytes") as u64,
+            store_degraded: n("store_degraded") as u64,
             version: doc
                 .get("version")
                 .and_then(Json::as_str)

@@ -63,6 +63,10 @@ pub enum ErrorCode {
     /// could be read (e.g. a diff side at result-cache capacity) —
     /// transient; retry.
     Evicted,
+    /// The durable store has degraded to memory-only mode (its write
+    /// circuit breaker is open); the operation needs a writable store.
+    /// Transient — the breaker retries half-open with backoff.
+    StoreDegraded,
     /// The server violated its own invariants (a bug, not bad input).
     Internal,
 }
@@ -88,6 +92,7 @@ impl ErrorCode {
             ErrorCode::TooManyConnections => "too_many_connections",
             ErrorCode::Timeout => "timeout",
             ErrorCode::Evicted => "evicted",
+            ErrorCode::StoreDegraded => "store_degraded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -112,6 +117,7 @@ impl ErrorCode {
             "too_many_connections" => ErrorCode::TooManyConnections,
             "timeout" => ErrorCode::Timeout,
             "evicted" => ErrorCode::Evicted,
+            "store_degraded" => ErrorCode::StoreDegraded,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -131,7 +137,10 @@ impl ErrorCode {
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::JobPending => 409,
             ErrorCode::JobFailed | ErrorCode::Internal => 500,
-            ErrorCode::QueueFull | ErrorCode::TooManyConnections | ErrorCode::Evicted => 503,
+            ErrorCode::QueueFull
+            | ErrorCode::TooManyConnections
+            | ErrorCode::Evicted
+            | ErrorCode::StoreDegraded => 503,
             ErrorCode::Timeout => 504,
         }
     }
@@ -145,6 +154,7 @@ impl ErrorCode {
                 | ErrorCode::TooManyConnections
                 | ErrorCode::Timeout
                 | ErrorCode::Evicted
+                | ErrorCode::StoreDegraded
         )
     }
 }
@@ -247,6 +257,7 @@ mod tests {
             ErrorCode::TooManyConnections,
             ErrorCode::Timeout,
             ErrorCode::Evicted,
+            ErrorCode::StoreDegraded,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));

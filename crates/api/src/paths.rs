@@ -35,6 +35,15 @@ pub const DIFF: &str = "/v1/diff";
 /// counters, queue/connection gauges), deterministically ordered.
 pub const METRICS: &str = "/v1/metrics";
 
+/// `GET {STORE}` — the durable store's directory view (entry/byte
+/// totals, quota, degradation state, a bounded file listing). `404`
+/// on a memory-only daemon.
+pub const STORE: &str = "/v1/store";
+
+/// `POST {STORE_GC}` — run one LRU quota sweep now. `503` +
+/// `Retry-After` while the store is degraded to memory-only mode.
+pub const STORE_GC: &str = "/v1/store/gc";
+
 /// `GET` — status of one job.
 pub fn job(key: &str) -> String {
     format!("/v1/jobs/{key}")
@@ -137,6 +146,8 @@ mod tests {
         assert!(JOBS.starts_with(PREFIX));
         assert!(STATS.starts_with(PREFIX));
         assert!(METRICS.starts_with(PREFIX));
+        assert!(STORE.starts_with(PREFIX));
+        assert!(STORE_GC.starts_with(STORE));
     }
 
     #[test]

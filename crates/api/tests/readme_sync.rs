@@ -16,6 +16,8 @@ fn readme_documents_every_endpoint() {
         paths::HEALTHZ,
         paths::SHUTDOWN,
         paths::DIFF,
+        paths::STORE,
+        paths::STORE_GC,
     ] {
         assert!(README.contains(path), "README is missing endpoint `{path}`");
     }
@@ -65,6 +67,7 @@ fn readme_documents_the_dtos_and_error_codes() {
         ErrorCode::QueueFull,
         ErrorCode::Timeout,
         ErrorCode::Evicted,
+        ErrorCode::StoreDegraded,
     ] {
         assert!(
             README.contains(code.as_str()),
@@ -106,6 +109,44 @@ fn readme_documents_the_concurrency_model() {
         assert!(
             README.contains(concept),
             "README's concurrency model must cover `{concept}`"
+        );
+    }
+}
+
+#[test]
+fn readme_documents_durability() {
+    assert!(
+        README.contains("### Durability & fault tolerance"),
+        "README is missing the `Durability & fault tolerance` section"
+    );
+    // The store's metric families; the golden exposition test
+    // (`crates/service/tests/obs.rs`) pins the same names on the wire.
+    for family in [
+        "scalana_store_writes_total",
+        "scalana_store_write_errors_total",
+        "scalana_store_skipped_total",
+        "scalana_store_quarantined_total",
+        "scalana_store_loaded_total",
+        "scalana_store_evicted_total",
+        "scalana_store_entries",
+        "scalana_store_bytes",
+        "scalana_store_degraded",
+    ] {
+        assert!(
+            README.contains(family),
+            "README is missing metric family `{family}`"
+        );
+    }
+    for concept in [
+        "--store-dir",
+        "--store-quota",
+        "quarantine",
+        "circuit",
+        "warm-start",
+    ] {
+        assert!(
+            README.contains(concept),
+            "README's durability section must cover `{concept}`"
         );
     }
 }

@@ -10,9 +10,12 @@
 //! percentiles and process RSS with 1k — 10k in full runs — waiters
 //! parked on one daemon), multi-client jobs/sec with p50/p99 latency,
 //! the observability overhead (instrumented vs stripped simulation),
+//! the warm-restart cycle of the durable store (cold vs
+//! restart-and-serve-from-disk latency, gated on the deterministic
+//! `scale_misses == 0` contract — no factor applied),
 //! and speedups against the committed pre-refactor baseline. CI runs it
-//! in `--quick` mode gated against the committed `BENCH_pr8.json`
-//! (`BENCH_pr3.json` through `BENCH_pr7.json` remain as earlier
+//! in `--quick` mode gated against the committed `BENCH_pr9.json`
+//! (`BENCH_pr3.json` through `BENCH_pr8.json` remain as earlier
 //! trajectory points), so a panicking bench or a wild regression
 //! (default: >10× the recorded median, tunable with `PERFGATE_FACTOR`,
 //! machine differences included) fails the build. The `wait_fanout`
@@ -29,9 +32,9 @@
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr8.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr9.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr8.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr9.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -91,7 +94,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr8.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -284,6 +287,19 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    // Warm restart: the durable store's headline. Cold analysis vs a
+    // restarted daemon serving the same submission from disk; the
+    // `scale_misses == 0` contract is gated below, unconditionally.
+    eprintln!("perfgate: measuring warm restart (durable store)");
+    let warm_restart = scalana_bench::suites::measure_warm_restart();
+    let warm_speedup = if warm_restart.warm_ns > 0 {
+        Json::Num(
+            (warm_restart.cold_ns as f64 / warm_restart.warm_ns as f64 * 100.0).round() / 100.0,
+        )
+    } else {
+        Json::Null
+    };
+
     // Multi-client throughput: jobs/sec and latency percentiles at 1
     // and 8 concurrent clients (scaling evidence, not just latency).
     eprintln!("perfgate: measuring multi-client throughput");
@@ -306,7 +322,7 @@ fn main() -> ExitCode {
         .collect();
 
     let doc = Json::obj(vec![
-        ("pr", "pr8".into()),
+        ("pr", "pr9".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -365,6 +381,16 @@ fn main() -> ExitCode {
             ]),
         ),
         ("wait_fanout", Json::Arr(fanout_json)),
+        (
+            "warm_restart",
+            Json::obj(vec![
+                ("cold_ns", warm_restart.cold_ns.into()),
+                ("warm_ns", warm_restart.warm_ns.into()),
+                ("loaded", warm_restart.loaded.into()),
+                ("scale_misses", warm_restart.scale_misses.into()),
+                ("warm_speedup", warm_speedup),
+            ]),
+        ),
         ("client_throughput", Json::Arr(client_metrics)),
         ("obs", Json::obj(vec![("sim", Json::Arr(obs_sim))])),
         ("speedup_vs_baseline", Json::Obj(speedups)),
@@ -399,6 +425,30 @@ fn main() -> ExitCode {
             eprintln!("perfgate: obs overhead OK (worst ratio {worst:.3} <= {obs_factor})");
         }
     }
+
+    // Warm-restart gate: deterministic, factor-free, checked within
+    // this run. A restarted daemon re-simulating *anything* is a
+    // correctness bug in the durable store, not a perf regression.
+    if warm_restart.scale_misses != 0 {
+        eprintln!(
+            "perfgate: GATE: warm restart incurred {} per-scale miss(es) — the durable \
+             store must serve every previously-profiled scale from disk",
+            warm_restart.scale_misses
+        );
+        return ExitCode::FAILURE;
+    }
+    if warm_restart.loaded < 3 {
+        eprintln!(
+            "perfgate: GATE: warm boot loaded only {} store entries (2 profiles + 1 PSG \
+             trace expected)",
+            warm_restart.loaded
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perfgate: warm restart OK ({} entries loaded, 0 scale misses, cold {}ns / warm {}ns)",
+        warm_restart.loaded, warm_restart.cold_ns, warm_restart.warm_ns
+    );
 
     // Gate: every current median must stay within FACTOR× of the
     // recorded one (generous by default — the gate exists to catch

@@ -1090,3 +1090,89 @@ pub fn measure_clients(clients: usize, jobs_per_client: usize) -> ThroughputMetr
         p99_ns: pct(0.99),
     }
 }
+
+/// Warm-restart metrics for the `BENCH_*.json` trajectory: a durable
+/// store-backed daemon analyses a workload cold, stops, and a
+/// successor booted on the same `--store-dir` answers the identical
+/// submission entirely from disk.
+#[derive(Debug, Clone)]
+pub struct WarmRestart {
+    /// Cold submit→done latency against a fresh daemon + empty store,
+    /// nanoseconds.
+    pub cold_ns: u64,
+    /// Warm submit→done latency against the restarted daemon,
+    /// nanoseconds.
+    pub warm_ns: u64,
+    /// Entries the successor warm-loaded at boot.
+    pub loaded: u64,
+    /// Per-scale cache misses the warm resubmission incurred. The
+    /// crash-safety contract pins this to exactly 0 — perfgate fails
+    /// on any other value, no factor applied.
+    pub scale_misses: u64,
+}
+
+/// Run the cold → restart → warm cycle once and aggregate it.
+pub fn measure_warm_restart() -> WarmRestart {
+    let dir =
+        std::env::temp_dir().join(format!("scalana-bench-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let boot = || {
+        let server = Server::bind(&ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    };
+    let body = Json::obj(vec![
+        ("app", "CG".into()),
+        ("scales", vec![2usize, 4usize].into()),
+    ])
+    .render();
+    let stat = |conn: &mut Conn, key: &str| -> u64 {
+        conn.request_json("GET", paths::STATS, "")
+            .unwrap()
+            .get(key)
+            .and_then(Json::as_i64)
+            .unwrap_or(0) as u64
+    };
+    let timed_submit = |conn: &mut Conn| -> u64 {
+        let started = Instant::now();
+        let ack = conn.request_json("POST", paths::JOBS, &body).unwrap();
+        let key = ack.get("job").unwrap().as_str().unwrap().to_string();
+        let done = conn.wait_for_job(&key, Duration::from_secs(120)).unwrap();
+        assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+        started.elapsed().as_nanos() as u64
+    };
+
+    // Cold: fresh daemon, empty store; graceful shutdown flushes the
+    // write-behind queue so the successor has everything.
+    let (addr, handle) = boot();
+    let mut conn = Conn::connect(&addr).unwrap();
+    let cold_ns = timed_submit(&mut conn);
+    let _ = conn.request("POST", paths::SHUTDOWN, "");
+    let _ = handle.join();
+
+    // Warm: a successor on the same directory must answer the same
+    // submission without touching the simulator.
+    let (addr, handle) = boot();
+    let mut conn = Conn::connect(&addr).unwrap();
+    let loaded = stat(&mut conn, "store_loaded");
+    let warm_ns = timed_submit(&mut conn);
+    let scale_misses = stat(&mut conn, "scale_misses");
+    let _ = conn.request("POST", paths::SHUTDOWN, "");
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    WarmRestart {
+        cold_ns,
+        warm_ns,
+        loaded,
+        scale_misses,
+    }
+}

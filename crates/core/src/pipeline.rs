@@ -6,7 +6,9 @@ use scalana_detect::{detect, DetectConfig, DetectionReport};
 use scalana_graph::{build_psg, Ppg, Psg, PsgOptions};
 use scalana_lang::Program;
 use scalana_mpisim::{ChainHook, Hook, MachineConfig, SimConfig, SimError, Simulation};
-use scalana_profile::recorder::discover_indirect_calls;
+use scalana_profile::recorder::{
+    discover_indirect_calls, discover_indirect_calls_traced, replay_indirect_calls, DiscoveryRound,
+};
 use scalana_profile::{ProfileData, ProfilerConfig, ScalAnaProfiler};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -102,6 +104,36 @@ pub fn refined_psg(
     let mut psg = build_psg(program, &config.psg);
     discover_indirect_calls(program, &mut psg, discovery_scale)?;
     Ok(psg)
+}
+
+/// [`refined_psg`], additionally returning the discovery trace: each
+/// round's `(context, statement, callee)` resolutions in application
+/// order. Feeding the trace to [`replay_refined_psg`] rebuilds the
+/// identical refined PSG without running the discovery simulation —
+/// the service persists these traces so a restarted daemon skips
+/// discovery entirely.
+pub fn refined_psg_traced(
+    program: &Program,
+    config: &ScalAnaConfig,
+    discovery_scale: usize,
+) -> Result<(Psg, Vec<DiscoveryRound>), SimError> {
+    let mut psg = build_psg(program, &config.psg);
+    let (_, trace) = discover_indirect_calls_traced(program, &mut psg, discovery_scale)?;
+    Ok((psg, trace))
+}
+
+/// Rebuild a refined PSG from a recorded discovery trace: build the
+/// static PSG and replay the recorded resolution rounds in order.
+/// Context ids are allocation-ordered, so the result is structurally
+/// identical to the PSG the trace was recorded from. Zero simulation.
+pub fn replay_refined_psg(
+    program: &Program,
+    config: &ScalAnaConfig,
+    trace: &[DiscoveryRound],
+) -> Psg {
+    let mut psg = build_psg(program, &config.psg);
+    replay_indirect_calls(&mut psg, trace);
+    psg
 }
 
 /// One profiled run (`ScalAna-prof` at a single process count): an

@@ -1,0 +1,46 @@
+//! Discovery-trace replay must be a perfect substitute for running the
+//! discovery simulation: the replayed PSG is structurally identical and
+//! drives every scale to byte-identical profile images. The daemon's
+//! warm-restart path (persisted traces, `scalana-service`'s store)
+//! depends on this equivalence.
+
+use scalana_apps::{cg, CgOptions};
+use scalana_core::{profile_one_scale, refined_psg_traced, replay_refined_psg, ScalAnaConfig};
+
+#[test]
+fn replayed_psg_is_identical_to_the_discovered_one() {
+    let app = cg::build(&CgOptions {
+        na: 20_000,
+        iterations: 3,
+        delay_rank: None,
+    });
+    let program = &app.program;
+    let config = ScalAnaConfig::default();
+    let (discovered, trace) = refined_psg_traced(program, &config, 2).unwrap();
+    let replayed = replay_refined_psg(program, &config, &trace);
+
+    assert_eq!(discovered.ctx_count(), replayed.ctx_count());
+    assert_eq!(discovered.vertex_count(), replayed.vertex_count());
+    let sorted = |psg: &scalana_graph::Psg| {
+        let mut attribution: Vec<((u32, u32), u32)> =
+            psg.attribution_entries().map(|(k, v)| (*k, *v)).collect();
+        attribution.sort_unstable();
+        let mut transitions: Vec<((u32, u32), u32)> =
+            psg.transition_entries().map(|(k, v)| (*k, *v)).collect();
+        transitions.sort_unstable();
+        (attribution, transitions)
+    };
+    assert_eq!(sorted(&discovered), sorted(&replayed));
+
+    // The equivalence the store relies on: profiles driven by the
+    // replayed PSG serialize to the exact bytes of the originals.
+    for nprocs in [2usize, 4] {
+        let original = profile_one_scale(program, &discovered, &config, nprocs).unwrap();
+        let again = profile_one_scale(program, &replayed, &config, nprocs).unwrap();
+        assert_eq!(
+            &scalana_profile::store::save(&original)[..],
+            &scalana_profile::store::save(&again)[..],
+            "profile image @ {nprocs} ranks"
+        );
+    }
+}

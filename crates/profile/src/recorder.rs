@@ -64,6 +64,10 @@ impl Hook for IndirectRecorder {
     }
 }
 
+/// One recorded discovery round: the sorted `(context, statement,
+/// callee)` triples the simulation observed before they were applied.
+pub type DiscoveryRound = Vec<(CtxId, NodeId, String)>;
+
 /// Run discovery to a fixed point: simulate at a small scale with the
 /// recorder attached, apply resolutions, repeat until no new call sites
 /// appear. Returns the number of rounds executed.
@@ -72,18 +76,56 @@ pub fn discover_indirect_calls(
     psg: &mut Psg,
     nprocs: usize,
 ) -> Result<usize, scalana_mpisim::SimError> {
-    let mut rounds = 0;
+    discover_indirect_calls_traced(program, psg, nprocs).map(|(rounds, _)| rounds)
+}
+
+/// [`discover_indirect_calls`], additionally returning each round's
+/// observations in the order they were applied. Replaying the rounds
+/// with [`replay_indirect_calls`] against a freshly built PSG of the
+/// same program reproduces the refined PSG exactly — context ids are
+/// allocation-ordered and the recorder's `BTreeSet` fixes the
+/// application order — with zero simulation. This is what the service's
+/// durable store persists for warm restarts.
+pub fn discover_indirect_calls_traced(
+    program: &scalana_lang::Program,
+    psg: &mut Psg,
+    nprocs: usize,
+) -> Result<(usize, Vec<DiscoveryRound>), scalana_mpisim::SimError> {
+    let mut trace = Vec::new();
     loop {
-        rounds += 1;
         let mut recorder = IndirectRecorder::new();
         let config = scalana_mpisim::SimConfig::with_nprocs(nprocs);
         scalana_mpisim::Simulation::new(program, psg, config)
             .with_hook(&mut recorder)
             .run()?;
-        if recorder.apply(psg) == 0 || rounds > 8 {
-            return Ok(rounds);
+        let observed: DiscoveryRound = recorder.observations().cloned().collect();
+        let expanded = recorder.apply(psg);
+        trace.push(observed);
+        if expanded == 0 || trace.len() > 8 {
+            let rounds = trace.len();
+            return Ok((rounds, trace));
         }
     }
+}
+
+/// Re-apply recorded discovery rounds to a freshly built (unrefined)
+/// PSG of the same program. Returns the number of call sites expanded;
+/// never simulates. Unknown or already-resolved triples are skipped, so
+/// replaying a stale trace degrades to a partial refinement rather than
+/// an error — callers that need exactness compare scale images, not
+/// replay counts.
+pub fn replay_indirect_calls(psg: &mut Psg, trace: &[DiscoveryRound]) -> usize {
+    let mut expanded = 0;
+    for round in trace {
+        for (ctx, stmt, callee) in round {
+            if psg.enter_indirect(*ctx, *stmt, callee).is_none()
+                && psg.resolve_indirect(*ctx, *stmt, callee).is_some()
+            {
+                expanded += 1;
+            }
+        }
+    }
+    expanded
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //!                              [--param NAME=V]... [--json]
 //! scalana apps     [--list | --run NAME [--scales ...]]
 //! scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+//!                  [--store-dir DIR] [--store-quota BYTES]
 //! scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH) [--addr A]
 //!                  [--scales ...] [--abnorm-thd X] [--top K]
 //!                  [--param NAME=V]... [--wait]
@@ -14,6 +15,7 @@
 //! scalana result   [--addr A] JOB
 //! scalana trace    [--addr A] [--json] JOB
 //! scalana top      [--addr A] [--raw] [--interval SECS] [--count N]
+//! scalana store    (ls | gc) [--addr A]
 //! scalana diff     <a.mmpi> <b.mmpi> [--addr A] [--scales ...] [--scales-b ...]
 //! scalana shutdown [--addr A]
 //! ```
@@ -62,6 +64,7 @@ const USAGE: &str = "usage:
                                [--top K] [--param NAME=VALUE]... [--json]
   scalana apps     [--list | --run NAME [--scales 4,8,16,32]]
   scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+                   [--store-dir DIR] [--store-quota BYTES]
   scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH)
                    [--addr ADDR] [--scales ...] [--abnorm-thd X] [--top K]
                    [--param NAME=VALUE]... [--wait]
@@ -69,6 +72,7 @@ const USAGE: &str = "usage:
   scalana result   [--addr ADDR] JOB
   scalana trace    [--addr ADDR] [--json] JOB
   scalana top      [--addr ADDR] [--raw] [--interval SECS] [--count N]
+  scalana store    (ls | gc) [--addr ADDR]
   scalana diff     <a.mmpi> <b.mmpi> [--addr ADDR] [--scales 4,8,16,32]
                    [--scales-b ...]
   scalana shutdown [--addr ADDR]";
@@ -86,6 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("result") => cmd_result(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -299,8 +304,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --queue-capacity: {e}"))?;
             }
+            "--store-dir" => {
+                config.store_dir = Some(it.next().ok_or("--store-dir needs a DIR")?.clone());
+            }
+            "--store-quota" => {
+                let v = it.next().ok_or("--store-quota needs BYTES")?;
+                config.store_quota = v.parse().map_err(|e| format!("bad --store-quota: {e}"))?;
+            }
             other => return Err(format!("serve: unknown flag `{other}`")),
         }
+    }
+    if config.store_quota > 0 && config.store_dir.is_none() {
+        return Err("--store-quota needs --store-dir".to_string());
     }
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     println!(
@@ -309,6 +324,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.workers,
         config.queue_capacity
     );
+    if let Some(dir) = &config.store_dir {
+        println!(
+            "durable store at {dir} (quota {} bytes)",
+            config.store_quota
+        );
+    }
     // The smoke script and tests scrape the address from this line; make
     // sure it is out before the (long-lived) accept loop starts.
     use std::io::Write as _;
@@ -600,6 +621,20 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         }
         print_metrics_digest(&text);
     }
+    Ok(())
+}
+
+/// `scalana store ls|gc`: inspect or sweep the daemon's durable store.
+/// `ls` prints `GET /v1/store` (directory totals + bounded file list);
+/// `gc` runs one LRU quota sweep via `POST /v1/store/gc`.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_addr(args)?;
+    let response = match rest.as_slice() {
+        [sub] if sub == "ls" => client::request_json(&addr, "GET", paths::STORE, "")?,
+        [sub] if sub == "gc" => client::request_json(&addr, "POST", paths::STORE_GC, "")?,
+        _ => return Err("store: need exactly one subcommand, `ls` or `gc`".to_string()),
+    };
+    println!("{}", response.render());
     Ok(())
 }
 

@@ -154,7 +154,14 @@ impl Conn {
             }
             let budget_ms = (remaining.as_millis() as u64).clamp(1, scalana_api::dto::MAX_WAIT_MS);
             let path = paths::job_wait(key, budget_ms);
-            let (code, text) = self.request("GET", &path, "")?;
+            let response = self.request_full("GET", &path, "")?;
+            let backoff = response
+                .header("Retry-After")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_secs);
+            let code = response.code;
+            let text = String::from_utf8(response.body)
+                .map_err(|_| "response is not UTF-8".to_string())?;
             let doc = parse(&text).map_err(|e| format!("bad response JSON: {e}"))?;
             if (200..300).contains(&code) {
                 match doc.get("status").and_then(Json::as_str) {
@@ -183,6 +190,19 @@ impl Conn {
                         )
                     }
                 }
+            }
+            // A retryable structured error (`store_degraded` while the
+            // daemon runs memory-only, a backpressure shed) is not
+            // fatal mid-wait: honor the server's `Retry-After` and
+            // re-issue within the remaining budget.
+            if ApiError::from_json(&doc).is_some_and(|e| e.retryable) {
+                let backoff = backoff.unwrap_or(FALLBACK_POLL);
+                std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+                if !self.alive {
+                    let addr = self.addr.clone();
+                    *self = Conn::connect(&addr)?;
+                }
+                continue;
             }
             return Err(request_error("GET", &path, code, &doc));
         }

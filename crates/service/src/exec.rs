@@ -28,10 +28,12 @@ use crate::jsonify::{report_to_json, run_summary_to_json};
 use crate::metrics::ServiceMetrics;
 use crate::profile_cache::{ProfileCache, PsgCache};
 use crate::queue::JobQueue;
+use crate::store::{self, DiskStore};
 use bytes::Bytes;
 use scalana_api::trace::TraceSpan;
 use scalana_core::{
-    assemble, profile_one_scale_observed, refined_psg, ProfiledRuns, ScalAnaConfig,
+    assemble, profile_one_scale_observed, refined_psg_traced, replay_refined_psg, ProfiledRuns,
+    ScalAnaConfig,
 };
 use scalana_graph::Psg;
 use scalana_lang::Program;
@@ -84,6 +86,10 @@ pub struct ExecCtx<'a> {
     pub profiles: &'a ProfileCache,
     /// Refined-PSG cache.
     pub psgs: &'a PsgCache,
+    /// Durable on-disk tier under the caches, when `--store-dir` is
+    /// configured: profile images write through to it, per-scale misses
+    /// read through it, and PSG misses replay its discovery traces.
+    pub store: Option<&'a DiskStore>,
     /// Observability handles (stage histograms, simulator counters).
     pub metrics: &'a ServiceMetrics,
 }
@@ -268,12 +274,30 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
         let (psg, psg_verdict) = match ctx.psgs.lookup(&psg_key) {
             Some(psg) => (psg, "hit"),
             None => {
-                let psg = Arc::new(
-                    refined_psg(&program, &config, spec.discovery_scale())
-                        .map_err(|e| e.to_string())?,
-                );
-                ctx.psgs.store(psg_key, Arc::clone(&psg));
-                (psg, "miss")
+                // Warm restart: a persisted discovery trace rebuilds
+                // the identical refined PSG with zero simulation.
+                let replayed = ctx.store.and_then(|store| {
+                    let trace = store::decode_trace(store.psg_trace(&psg_key)?)?;
+                    Some(replay_refined_psg(&program, &config, &trace))
+                });
+                match replayed {
+                    Some(psg) => {
+                        let psg = Arc::new(psg);
+                        ctx.psgs.store(psg_key, Arc::clone(&psg));
+                        (psg, "replay")
+                    }
+                    None => {
+                        let (psg, trace) =
+                            refined_psg_traced(&program, &config, spec.discovery_scale())
+                                .map_err(|e| e.to_string())?;
+                        if let Some(store) = ctx.store {
+                            store.save_psg_trace(&psg_key, store::encode_trace(&trace));
+                        }
+                        let psg = Arc::new(psg);
+                        ctx.psgs.store(psg_key, Arc::clone(&psg));
+                        (psg, "miss")
+                    }
+                }
             }
         };
         let mut spans = vec![
@@ -292,17 +316,30 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
         let mut slots: Vec<Option<(ProfileData, Bytes)>> = Vec::with_capacity(spec.scales.len());
         for (pk, &nprocs) in profile_keys.iter().zip(&spec.scales) {
             let probe_start = obs::now_ns();
-            let slot = ctx.profiles.lookup(pk).and_then(|image| {
-                match scalana_profile::store::load(image.clone()) {
-                    Ok(data) => Some((data, image)),
-                    Err(_) => {
-                        // A corrupt image must not poison the job —
-                        // drop it and re-simulate the scale.
-                        ctx.profiles.invalidate(pk);
-                        None
+            let slot = ctx
+                .profiles
+                .lookup(pk)
+                .and_then(|image| {
+                    match scalana_profile::store::load(image.clone()) {
+                        Ok(data) => Some((data, image)),
+                        Err(_) => {
+                            // A corrupt image must not poison the job —
+                            // drop it and re-simulate the scale.
+                            ctx.profiles.invalidate(pk);
+                            None
+                        }
                     }
-                }
-            });
+                })
+                .or_else(|| {
+                    // Memory miss: the durable tier may still have the
+                    // image (evicted, or written by a previous process
+                    // and not warm-loaded). Corrupt frames were already
+                    // quarantined inside `read_profile`.
+                    let image = ctx.store?.read_profile(pk)?;
+                    let data = scalana_profile::store::load(image.clone()).ok()?;
+                    ctx.profiles.store(pk.clone(), image.clone());
+                    Some((data, image))
+                });
             if slot.is_some() {
                 // Cache-hit scales are answered right here; misses get
                 // their (simulating) span in `run_scale`.
@@ -382,6 +419,9 @@ fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
                 let image = scalana_profile::store::save(&data);
                 ctx.profiles
                     .store(work.profile_keys[index].clone(), image.clone());
+                if let Some(store) = ctx.store {
+                    store.save_profile(&work.profile_keys[index], image.clone());
+                }
                 work.slots.lock().unwrap()[index] = Some((data, image));
             }
             Err(error) => {
@@ -529,6 +569,7 @@ mod tests {
             queue: &queue,
             profiles: &profiles,
             psgs: &psgs,
+            store: None,
             metrics: &metrics,
         };
 
@@ -574,6 +615,7 @@ mod tests {
             queue: &queue,
             profiles: &profiles,
             psgs: &psgs,
+            store: None,
             metrics: &metrics,
         };
         // Deadlocks at every scale: rank 0 waits on a recv nobody sends.

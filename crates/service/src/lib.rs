@@ -27,6 +27,12 @@
 //! - [`profile_cache`] / [`exec`] — the per-scale profile image cache,
 //!   refined-PSG cache, and program index, plus the per-scale job
 //!   execution that fans simulation misses out across the worker pool;
+//! - [`store`] — the durable on-disk tier under the caches: crash-safe
+//!   content-addressed persistence of profile images and PSG discovery
+//!   traces (atomic temp+rename+fsync writes, checksum framing,
+//!   quarantine), warm restarts, an injectable [`StoreIo`] with a
+//!   deterministic fault plan, a write-failure circuit breaker into
+//!   memory-only mode, and an LRU quota sweep;
 //! - [`metrics`] — the daemon observing itself: one
 //!   [`scalana_obs`]-backed [`ServiceMetrics`] per server (stage
 //!   latency histograms, long-poll and simulator counters) behind
@@ -76,6 +82,7 @@ pub mod queue;
 pub(crate) mod reactor;
 pub mod server;
 pub mod sharded;
+pub mod store;
 
 /// The canonical JSON layer now lives in [`scalana_api`]; re-exported
 /// here so `scalana_service::json::{parse, Json}` keeps working.
@@ -90,3 +97,4 @@ pub use profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 pub use queue::JobQueue;
 pub use scalana_api as api;
 pub use server::{Server, ServiceConfig};
+pub use store::{DiskStore, FaultIo, FaultPlan, RealIo, StoreIo, StoreSnapshot};

@@ -57,6 +57,7 @@ use crate::json::{parse, Json};
 use crate::metrics::ServiceMetrics;
 use crate::profile_cache::{ProfileCache, ProgramIndex, PsgCache};
 use crate::queue::JobQueue;
+use crate::store::{DiskStore, RealIo, StoreIo};
 use scalana_api::diff::DiffSide;
 use scalana_api::{
     dto, paths, ApiError, DiffRequest, ErrorCode, JobPage, JobState, JobView, ListQuery,
@@ -105,6 +106,17 @@ pub struct ServiceConfig {
     pub max_connections: usize,
     /// Base analysis configuration; per-request knobs override it.
     pub default_config: ScalAnaConfig,
+    /// Durable store directory (`--store-dir`). When set, profile
+    /// images and PSG discovery traces are written through to disk and
+    /// the caches warm from it at startup; `None` keeps the daemon
+    /// memory-only.
+    pub store_dir: Option<String>,
+    /// Store size quota in bytes (`--store-quota`; 0 = unlimited).
+    /// When exceeded after a write, an LRU sweep evicts oldest entries.
+    pub store_quota: u64,
+    /// Filesystem access for the store. `None` uses the real
+    /// filesystem; tests inject a [`crate::store::FaultIo`] here.
+    pub store_io: Option<Arc<dyn StoreIo>>,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +134,9 @@ impl Default for ServiceConfig {
             max_indexed_programs: 512,
             max_connections: 16_384,
             default_config: ScalAnaConfig::default(),
+            store_dir: None,
+            store_quota: 0,
+            store_io: None,
         }
     }
 }
@@ -142,6 +157,9 @@ pub(crate) struct State {
     pub(crate) profiles: ProfileCache,
     pub(crate) psgs: PsgCache,
     pub(crate) programs: ProgramIndex,
+    /// The durable tier under the caches (`--store-dir`), or `None`
+    /// for a memory-only daemon.
+    pub(crate) store: Option<Arc<DiskStore>>,
     pub(crate) workers: usize,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
@@ -172,6 +190,7 @@ impl State {
             queue: &self.queue,
             profiles: &self.profiles,
             psgs: &self.psgs,
+            store: self.store.as_deref(),
             metrics: &self.metrics,
         }
     }
@@ -240,14 +259,31 @@ impl Server {
                 job_ns: metrics.job_ns.clone(),
                 evict_label: metrics.lbl_evict,
             });
+        // Durable tier: open (never fails hard — a broken directory
+        // degrades to memory-only) and warm the per-scale cache with
+        // every valid profile image found on disk. PSG traces stay in
+        // the store and are replayed lazily by the executor.
+        let profiles = ProfileCache::new(config.max_cached_profiles);
+        let store = config.store_dir.as_ref().map(|dir| {
+            let io = config
+                .store_io
+                .clone()
+                .unwrap_or_else(|| Arc::new(RealIo) as Arc<dyn StoreIo>);
+            let (store, warm) = DiskStore::open(io, std::path::Path::new(dir), config.store_quota);
+            for (key, image) in warm {
+                profiles.store(key, image);
+            }
+            Arc::new(store)
+        });
         Ok(Server {
             listener,
             state: Arc::new(State {
                 registry,
                 queue: JobQueue::new(config.queue_capacity),
-                profiles: ProfileCache::new(config.max_cached_profiles),
+                profiles,
                 psgs: PsgCache::new(config.max_cached_psgs),
                 programs: ProgramIndex::new(config.max_indexed_programs),
+                store,
                 workers: config.workers.max(1),
                 shutdown: AtomicBool::new(false),
                 addr,
@@ -271,6 +307,10 @@ impl Server {
     /// then serves every connection from one epoll readiness loop
     /// (Linux) or one handler thread per connection (elsewhere).
     pub fn run(self) -> io::Result<()> {
+        // The store's write-behind thread starts before the workers so
+        // their saves enqueue instead of blocking on fsync in the job
+        // path.
+        let store_writer = self.state.store.as_ref().map(DiskStore::start_writer);
         let workers: Vec<_> = (0..self.state.workers)
             .map(|i| {
                 let state = Arc::clone(&self.state);
@@ -289,6 +329,15 @@ impl Server {
         self.state.queue.shutdown();
         for worker in workers {
             let _ = worker.join();
+        }
+        // Workers are gone, so no more saves can be enqueued: dropping
+        // the sender lets the writer drain its backlog and exit, making
+        // graceful shutdown flush every pending store write.
+        if let Some(store) = &self.state.store {
+            store.stop_writer();
+        }
+        if let Some(writer) = store_writer {
+            let _ = writer.join();
         }
         served
     }
@@ -611,6 +660,8 @@ fn allowed_methods(segments: &[&str]) -> Option<&'static str> {
         ["jobs", _, "trace"] => "GET",
         ["jobs", _, "profile", _] => "GET",
         ["diff"] => "POST",
+        ["store"] => "GET",
+        ["store", "gc"] => "POST",
         _ => return None,
     })
 }
@@ -625,6 +676,8 @@ fn born_in_v1(method: &str, segments: &[&str]) -> bool {
             | ("GET", ["jobs", _, "trace"])
             | ("GET", ["metrics"])
             | ("POST", ["diff"])
+            | ("GET", ["store"])
+            | ("POST", ["store", "gc"])
     )
 }
 
@@ -710,6 +763,8 @@ pub(crate) fn route(request: &Request, state: &State) -> (Routed, Action) {
             (Routed::Done(profile(key, nprocs, state)), Action::None)
         }
         ("POST", ["diff"]) => (diff(request, state), Action::None),
+        ("GET", ["store"]) => (Routed::Done(store_info(state)), Action::None),
+        ("POST", ["store", "gc"]) => (Routed::Done(store_gc(state)), Action::None),
         // Unreachable given the allow-list check, but a 404 beats UB in
         // a long-lived daemon if the two tables ever drift.
         _ => (
@@ -741,6 +796,14 @@ fn stats(state: &State) -> StatsResponse {
     let job_stats = state.registry.stats();
     let scale = state.profiles.stats();
     let (psg_hits, psg_misses) = state.psgs.stats();
+    // Memory-only daemons report all-zero store counters rather than
+    // omitting the fields, so the stats shape (and the metrics golden
+    // list) is identical with and without `--store-dir`.
+    let store = state
+        .store
+        .as_ref()
+        .map(|s| s.snapshot())
+        .unwrap_or_default();
     StatsResponse {
         workers: state.workers,
         queue_depth: state.queue.depth(),
@@ -760,6 +823,15 @@ fn stats(state: &State) -> StatsResponse {
         psg_hits,
         psg_misses,
         programs_indexed: state.programs.len(),
+        store_writes: store.writes,
+        store_write_errors: store.write_errors,
+        store_skipped: store.skipped,
+        store_quarantined: store.quarantined,
+        store_loaded: store.loaded,
+        store_evicted: store.evicted,
+        store_entries: store.entries,
+        store_bytes: store.bytes,
+        store_degraded: store.degraded,
         version: env!("CARGO_PKG_VERSION").to_string(),
         uptime_ms: state.uptime_ms(),
     }
@@ -796,6 +868,15 @@ fn metrics_text(state: &State) -> Response {
         Family::gauge("scalana_programs_indexed", s.programs_indexed as u64),
         Family::gauge("scalana_queue_depth", s.queue_depth as u64),
         Family::gauge("scalana_results_cached", s.results_cached as u64),
+        Family::gauge("scalana_store_bytes", s.store_bytes),
+        Family::gauge("scalana_store_degraded", s.store_degraded),
+        Family::gauge("scalana_store_entries", s.store_entries),
+        Family::counter("scalana_store_evicted_total", s.store_evicted),
+        Family::counter("scalana_store_loaded_total", s.store_loaded),
+        Family::counter("scalana_store_quarantined_total", s.store_quarantined),
+        Family::counter("scalana_store_skipped_total", s.store_skipped),
+        Family::counter("scalana_store_write_errors_total", s.store_write_errors),
+        Family::counter("scalana_store_writes_total", s.store_writes),
         Family::gauge("scalana_uptime_ms", s.uptime_ms),
         Family::gauge("scalana_workers", s.workers as u64),
     ];
@@ -805,6 +886,77 @@ fn metrics_text(state: &State) -> Response {
         body: bytes::Bytes::from(state.metrics.render(mirrored).into_bytes()),
         headers: Vec::new(),
     }
+}
+
+/// Cap on the per-file listing in `GET /v1/store` — the counters above
+/// it are always complete; the listing is a bounded sample so a huge
+/// store directory cannot balloon one response.
+const STORE_LIST_LIMIT: usize = 256;
+
+/// `GET /v1/store` — the durable tier's directory view: entry/byte
+/// totals, the configured quota, degradation state, and a bounded file
+/// listing. A memory-only daemon (no `--store-dir`) answers `404`.
+fn store_info(state: &State) -> Response {
+    let Some(store) = state.store.as_ref() else {
+        return error_response(&ApiError::new(
+            ErrorCode::NotFound,
+            "no store configured (start the daemon with --store-dir)",
+        ));
+    };
+    let snapshot = store.snapshot();
+    let files = store.list();
+    let listed: Vec<Json> = files
+        .iter()
+        .take(STORE_LIST_LIMIT)
+        .map(|(name, bytes)| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("bytes", Json::Int(*bytes as i64)),
+            ])
+        })
+        .collect();
+    json_response(
+        200,
+        Json::obj(vec![
+            ("dir", Json::Str(store.dir().display().to_string())),
+            ("entries", Json::Int(snapshot.entries as i64)),
+            ("bytes", Json::Int(snapshot.bytes as i64)),
+            ("quota", Json::Int(store.quota() as i64)),
+            ("degraded", Json::Bool(snapshot.degraded != 0)),
+            ("files_listed", Json::Int(listed.len() as i64)),
+            ("files_total", Json::Int(files.len() as i64)),
+            ("files", Json::Arr(listed)),
+        ]),
+    )
+}
+
+/// `POST /v1/store/gc` — run one LRU quota sweep now. Answers `503` +
+/// `Retry-After` while the breaker is open (sweeping a store that
+/// cannot write is pointless churn), `404` without a store.
+fn store_gc(state: &State) -> Response {
+    let Some(store) = state.store.as_ref() else {
+        return error_response(&ApiError::new(
+            ErrorCode::NotFound,
+            "no store configured (start the daemon with --store-dir)",
+        ));
+    };
+    if store.is_degraded() {
+        return error_response(&ApiError::new(
+            ErrorCode::StoreDegraded,
+            "store is degraded to memory-only mode; retry after the breaker closes",
+        ));
+    }
+    let report = store.sweep();
+    let snapshot = store.snapshot();
+    json_response(
+        200,
+        Json::obj(vec![
+            ("evicted", Json::Int(report.evicted as i64)),
+            ("freed_bytes", Json::Int(report.freed_bytes as i64)),
+            ("entries", Json::Int(snapshot.entries as i64)),
+            ("bytes", Json::Int(snapshot.bytes as i64)),
+        ]),
+    )
 }
 
 /// `GET /v1/jobs/<id>/trace` — the job's span timeline. Traces exist
@@ -1254,6 +1406,8 @@ mod tests {
             (paths::job_wait("k", 100), "GET"),
             (paths::job_trace("k"), "GET"),
             (paths::DIFF.to_string(), "POST"),
+            (paths::STORE.to_string(), "GET"),
+            (paths::STORE_GC.to_string(), "POST"),
         ] {
             let (path, _) = paths::split_target(&target);
             let segments: Vec<&str> = path

@@ -94,6 +94,13 @@ fn malformed_requests_answer_their_pinned_error_codes() {
             400, ErrorCode::UnknownField),
         ("POST", "/v1/diff", r#"{"a":{"app":"NOPE","scales":[2]},"b":{"app":"CG","scales":[2]}}"#,
             400, ErrorCode::UnknownApp),
+        // -- store endpoints on a memory-only daemon --------------------
+        ("GET", "/v1/store", "",
+            404, ErrorCode::NotFound),
+        ("POST", "/v1/store/gc", "",
+            404, ErrorCode::NotFound),
+        ("DELETE", "/v1/store", "",
+            405, ErrorCode::MethodNotAllowed),
     ];
 
     for &(method, target, body, expected_status, expected_code) in table {

@@ -44,6 +44,65 @@ fn idle_daemon_exits_promptly_after_shutdown() {
         .expect("idle daemon must exit promptly after shutdown, with no further traffic");
 }
 
+/// Graceful shutdown must flush the store's write-behind queue: every
+/// profile and PSG trace a worker enqueued before `POST /v1/shutdown`
+/// has to be on disk by the time `Server::run` returns — a clean stop
+/// that silently dropped queued writes would cold-start the successor.
+#[test]
+fn graceful_shutdown_flushes_pending_store_writes() {
+    let dir = std::env::temp_dir().join(format!(
+        "scalana-eventloop-flush-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, exited) = boot(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServiceConfig::default()
+    });
+    let mut conn = Conn::connect(&addr).unwrap();
+    let body = Json::obj(vec![
+        ("app", "CG".into()),
+        ("scales", vec![2usize, 4usize].into()),
+    ])
+    .render();
+    let ack = conn.request_json("POST", "/v1/jobs", &body).unwrap();
+    let key = ack.get("job").unwrap().as_str().unwrap().to_string();
+    let done = conn.wait_for_job(&key, Duration::from_secs(120)).unwrap();
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+
+    // Shut down immediately — the write-behind thread may still hold
+    // queued entries; run() must drain them before returning.
+    let (code, _) = conn.request("POST", paths::SHUTDOWN, "").unwrap();
+    assert_eq!(code, 200);
+    exited
+        .recv_timeout(Duration::from_secs(30))
+        .expect("daemon exits after shutdown");
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("store directory exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().is_ok_and(|t| t.is_file()))
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    let profiles = names.iter().filter(|n| n.starts_with("profile-")).count();
+    let traces = names.iter().filter(|n| n.starts_with("psg-")).count();
+    assert_eq!(
+        (profiles, traces),
+        (2, 1),
+        "2 profile images + 1 PSG trace must be flushed, found {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n.ends_with(".tmp")),
+        "no torn temp files after graceful shutdown: {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The motivating bug: every parked long-poll used to hold one of the
 /// 256 connection threads, so 256 slow waiters starved every new submit
 /// into a 503 shed. Park more waiters than that old cap and prove a

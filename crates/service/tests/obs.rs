@@ -164,6 +164,15 @@ fn metrics_exposition_has_the_golden_shape() {
             "scalana_stage_resolve_ns",
             "scalana_stage_simulate_ns",
             "scalana_stage_write_ns",
+            "scalana_store_bytes",
+            "scalana_store_degraded",
+            "scalana_store_entries",
+            "scalana_store_evicted_total",
+            "scalana_store_loaded_total",
+            "scalana_store_quarantined_total",
+            "scalana_store_skipped_total",
+            "scalana_store_write_errors_total",
+            "scalana_store_writes_total",
             "scalana_uptime_ms",
             "scalana_workers",
         ],

@@ -1,0 +1,362 @@
+//! Durability integration tests: warm restarts over HTTP, boot-time
+//! quarantine of damaged store files, the `/v1/store` endpoints, the
+//! degradation ladder under injected IO faults, and the atomic-write
+//! protocol property (a store directory only ever contains fully-valid
+//! or quarantinable files — never a half-written entry a reader trusts).
+
+use proptest::prelude::*;
+use scalana_api::{paths, ApiError, ErrorCode};
+use scalana_service::client::Conn;
+use scalana_service::json::Json;
+use scalana_service::store::{self, EntryKind, FaultIo, FaultPlan, RealIo};
+use scalana_service::{DiskStore, Server, ServiceConfig, StoreIo};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "scalana-store-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boot a daemon; returns the address and a channel that fires when
+/// `Server::run` has fully returned (writes flushed).
+fn boot(config: ServiceConfig) -> (String, mpsc::Receiver<()>) {
+    let server = Server::bind(&config).unwrap();
+    let addr = server.local_addr().to_string();
+    let (exited_tx, exited) = mpsc::channel();
+    std::thread::spawn(move || {
+        let served = server.run();
+        let _ = exited_tx.send(());
+        served
+    });
+    (addr, exited)
+}
+
+fn store_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Submit + wait to `done`; returns the job key.
+fn run_job(conn: &mut Conn, body: &str) -> String {
+    let ack = conn.request_json("POST", paths::JOBS, body).unwrap();
+    let key = ack.get("job").and_then(Json::as_str).unwrap().to_string();
+    let last = conn.wait_for_job(&key, Duration::from_secs(120)).unwrap();
+    assert_eq!(last.get("status").and_then(Json::as_str), Some("done"));
+    key
+}
+
+fn stat(conn: &mut Conn, key: &str) -> i64 {
+    let doc = conn.request_json("GET", paths::STATS, "").unwrap();
+    doc.get(key).and_then(Json::as_i64).unwrap()
+}
+
+fn shutdown_and_join(conn: &mut Conn, exited: &mpsc::Receiver<()>) {
+    let (code, _) = conn.request("POST", paths::SHUTDOWN, "").unwrap();
+    assert_eq!(code, 200);
+    exited
+        .recv_timeout(Duration::from_secs(30))
+        .expect("daemon exits after shutdown");
+}
+
+/// The tentpole end-to-end: a restarted daemon answers every
+/// previously-profiled scale from disk — zero re-simulation, responses
+/// byte-identical to the pre-restart ones.
+#[test]
+fn warm_restart_serves_previous_scales_byte_identically() {
+    let dir = temp_dir("warm");
+    let body = r#"{"app":"CG","scales":[2,4]}"#;
+
+    // Cold daemon: run the job, capture report + per-scale image bytes.
+    // The deterministic slice of a result document: everything but the
+    // wall-clock `detect_seconds` measurement.
+    let canonical = |raw: Vec<u8>| -> (String, String) {
+        let doc = scalana_service::json::parse(&String::from_utf8(raw).unwrap()).unwrap();
+        (
+            doc.get("report").unwrap().render(),
+            doc.get("runs").unwrap().render(),
+        )
+    };
+
+    let (addr, exited) = boot(store_config(&dir));
+    let mut conn = Conn::connect(&addr).unwrap();
+    let key = run_job(&mut conn, body);
+    let cold_result = canonical(
+        conn.request_raw("GET", &paths::job_result(&key), "")
+            .unwrap()
+            .1,
+    );
+    let cold_images: Vec<Vec<u8>> = [2usize, 4]
+        .iter()
+        .map(|&n| {
+            conn.request_raw("GET", &paths::job_profile(&key, n), "")
+                .unwrap()
+                .1
+        })
+        .collect();
+    shutdown_and_join(&mut conn, &exited);
+
+    // Warm daemon on the same directory: the per-scale cache is primed
+    // before the listener answers, so the same submission simulates
+    // nothing at all.
+    let (addr, exited) = boot(store_config(&dir));
+    let mut conn = Conn::connect(&addr).unwrap();
+    assert_eq!(stat(&mut conn, "profiles_cached"), 2, "warm scan primes");
+    assert!(stat(&mut conn, "store_loaded") >= 3, "2 profiles + 1 trace");
+    let key2 = run_job(&mut conn, body);
+    assert_eq!(key2, key, "content-addressed key is restart-stable");
+    assert_eq!(stat(&mut conn, "scale_misses"), 0, "zero re-simulation");
+    assert_eq!(stat(&mut conn, "scale_hits"), 2);
+    let metrics = conn.request("GET", paths::METRICS, "").unwrap().1;
+    assert!(
+        metrics.contains("scalana_sim_runs_total 0"),
+        "the simulator never ran on the warm daemon"
+    );
+
+    let warm_result = canonical(
+        conn.request_raw("GET", &paths::job_result(&key2), "")
+            .unwrap()
+            .1,
+    );
+    assert_eq!(warm_result, cold_result, "report bytes survive restart");
+    for (i, &n) in [2usize, 4].iter().enumerate() {
+        let warm = conn
+            .request_raw("GET", &paths::job_profile(&key2, n), "")
+            .unwrap()
+            .1;
+        assert_eq!(warm, cold_images[i], "profile image @ {n} ranks");
+    }
+    shutdown_and_join(&mut conn, &exited);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boot-time corruption matrix over HTTP: valid entries load, everything
+/// damaged or alien is quarantined (counted, never panicked on), and the
+/// daemon serves normally afterwards.
+#[test]
+fn damaged_store_files_are_quarantined_at_boot() {
+    let dir = temp_dir("quarantine");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One valid entry, written with the real frame codec.
+    let frame = store::encode_frame(EntryKind::Profile, "aaaaaaaaaaaaaaaa", b"payload bytes");
+    std::fs::write(
+        dir.join(store::entry_file_name(
+            EntryKind::Profile,
+            "aaaaaaaaaaaaaaaa",
+        )),
+        &frame[..],
+    )
+    .unwrap();
+    // Truncated (torn tail), flipped byte (bad checksum), alien file,
+    // and an orphaned temp file from a simulated crash mid-write.
+    std::fs::write(
+        dir.join(store::entry_file_name(
+            EntryKind::Profile,
+            "bbbbbbbbbbbbbbbb",
+        )),
+        &frame[..frame.len() - 7],
+    )
+    .unwrap();
+    let mut flipped = frame[..].to_vec();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(
+        dir.join(store::entry_file_name(
+            EntryKind::Profile,
+            "cccccccccccccccc",
+        )),
+        &flipped,
+    )
+    .unwrap();
+    std::fs::write(dir.join("notes.txt"), b"not a store file").unwrap();
+    std::fs::write(dir.join("profile-dddddddddddddddd.img.tmp"), b"torn").unwrap();
+
+    let (addr, exited) = boot(store_config(&dir));
+    let mut conn = Conn::connect(&addr).unwrap();
+    assert_eq!(stat(&mut conn, "store_quarantined"), 4);
+    assert_eq!(stat(&mut conn, "store_entries"), 1, "the valid one");
+    assert_eq!(stat(&mut conn, "store_loaded"), 1);
+    let quarantined = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+    assert_eq!(quarantined, 4, "damaged files moved, not deleted");
+
+    // The daemon is healthy: it runs jobs and reports via /v1/store.
+    run_job(&mut conn, r#"{"app":"CG","scales":[2]}"#);
+    let view = conn.request_json("GET", paths::STORE, "").unwrap();
+    assert_eq!(view.get("degraded"), Some(&Json::Bool(false)));
+    shutdown_and_join(&mut conn, &exited);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /v1/store` and `POST /v1/store/gc` round-trip against a healthy
+/// store; both answer 404 `not_found` on a memory-only daemon (pinned in
+/// the errors matrix too).
+#[test]
+fn store_endpoints_report_directory_state() {
+    let dir = temp_dir("endpoints");
+    let (addr, exited) = boot(store_config(&dir));
+    let mut conn = Conn::connect(&addr).unwrap();
+    run_job(&mut conn, r#"{"app":"CG","scales":[2,4]}"#);
+
+    // Writes are behind a queue; poll until all three entries land.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while stat(&mut conn, "store_entries") < 3 {
+        assert!(Instant::now() < deadline, "store writes never flushed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let view = conn.request_json("GET", paths::STORE, "").unwrap();
+    assert_eq!(view.get("entries").and_then(Json::as_i64), Some(3));
+    assert_eq!(view.get("quota").and_then(Json::as_i64), Some(0));
+    assert_eq!(view.get("degraded"), Some(&Json::Bool(false)));
+    let files = view.get("files").and_then(Json::as_array).unwrap();
+    assert_eq!(files.len(), 3);
+    let names: Vec<&str> = files
+        .iter()
+        .filter_map(|f| f.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        names.iter().filter(|n| n.starts_with("profile-")).count(),
+        2
+    );
+    assert_eq!(names.iter().filter(|n| n.starts_with("psg-")).count(), 1);
+    let total_bytes = view.get("bytes").and_then(Json::as_i64).unwrap();
+    assert!(total_bytes > 0);
+
+    // Quota 0 = unbounded: a manual sweep has nothing to evict.
+    let swept = conn.request_json("POST", paths::STORE_GC, "").unwrap();
+    assert_eq!(swept.get("evicted").and_then(Json::as_i64), Some(0));
+    assert_eq!(swept.get("entries").and_then(Json::as_i64), Some(3));
+    shutdown_and_join(&mut conn, &exited);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The degradation ladder: persistent injected write failures trip the
+/// breaker into memory-only mode — the daemon stays fully available,
+/// reports `store_degraded`, and `/v1/store/gc` sheds with a retryable
+/// 503.
+#[test]
+fn persistent_write_faults_degrade_to_memory_only_without_losing_service() {
+    let dir = temp_dir("degraded");
+    // Every mutating IO op faults: nothing can ever be persisted.
+    let fault_io: Arc<dyn StoreIo> = Arc::new(FaultIo::new(FaultPlan::seeded(9, 1000)));
+    let config = ServiceConfig {
+        store_io: Some(fault_io),
+        ..store_config(&dir)
+    };
+    let (addr, exited) = boot(config);
+    let mut conn = Conn::connect(&addr).unwrap();
+
+    // Jobs still complete: the caches absorb what the disk rejects.
+    run_job(&mut conn, r#"{"app":"CG","scales":[2,4]}"#);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while stat(&mut conn, "store_degraded") != 1 {
+        assert!(Instant::now() < deadline, "breaker never tripped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(stat(&mut conn, "store_write_errors") >= 3, "trip threshold");
+    assert_eq!(stat(&mut conn, "store_entries"), 0, "nothing persisted");
+
+    // Degraded-mode daemon keeps answering new work from memory.
+    run_job(&mut conn, r#"{"app":"CG","scales":[2,4,8]}"#);
+
+    let response = conn.request_full("POST", paths::STORE_GC, "").unwrap();
+    assert_eq!(response.code, 503);
+    assert!(
+        response.header("Retry-After").is_some(),
+        "degraded shed carries backoff advice"
+    );
+    let error = ApiError::from_body(&String::from_utf8(response.body).unwrap()).unwrap();
+    assert_eq!(error.code, ErrorCode::StoreDegraded);
+    assert!(error.retryable);
+
+    let metrics = conn.request("GET", paths::METRICS, "").unwrap().1;
+    assert!(metrics.contains("scalana_store_degraded 1"));
+    shutdown_and_join(&mut conn, &exited);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every surviving store file decodes as a complete valid frame with
+/// the right key, or is quarantinable at reopen — across seeded fault
+/// schedules covering fail-before-rename, fsync failure, and torn cuts.
+fn check_valid_or_quarantinable(seed: u64, rate: u32, entries: usize) -> Result<(), TestCaseError> {
+    let dir = std::env::temp_dir().join(format!(
+        "scalana-store-prop-{seed}-{rate}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let io: Arc<dyn StoreIo> = Arc::new(FaultIo::new(FaultPlan::seeded(seed, rate)));
+    let (store, warm) = DiskStore::open(io, &dir, 0);
+    prop_assert!(warm.is_empty());
+    let payloads: Vec<(String, Vec<u8>)> = (0..entries)
+        .map(|i| {
+            let key = format!("{:016x}", 0xabcd_0000 + i as u64);
+            let payload = vec![i as u8 ^ 0x5a; 64 + i * 17];
+            (key, payload)
+        })
+        .collect();
+    for (key, payload) in &payloads {
+        // No writer thread running: save persists synchronously, with
+        // whatever faults the plan schedules at each IO op.
+        store.save(EntryKind::Profile, key, payload.clone().into());
+    }
+    drop(store);
+
+    // Invariant 1: every data file in the directory (quarantine and
+    // temp files aside) is a complete valid frame for its own name.
+    if let Ok(dir_entries) = std::fs::read_dir(&dir) {
+        for entry in dir_entries.flatten() {
+            if !entry.file_type().is_ok_and(|t| t.is_file()) {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                continue; // orphan from a faulted write: quarantinable
+            }
+            let raw = std::fs::read(entry.path()).unwrap();
+            let (kind, key, payload) = store::decode_frame(&raw)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+            prop_assert_eq!(kind, EntryKind::Profile);
+            prop_assert_eq!(store::entry_file_name(kind, &key), name);
+            let expected = &payloads.iter().find(|(k, _)| *k == key).unwrap().1;
+            prop_assert_eq!(&payload[..], &expected[..]);
+        }
+    }
+
+    // Invariant 2: a clean reopen accepts every survivor and returns
+    // its exact payload; anything else was quarantined, not trusted.
+    let (reopened, warm) = DiskStore::open(Arc::new(RealIo), &dir, 0);
+    for (key, image) in &warm {
+        let expected = &payloads.iter().find(|(k, _)| k == key).unwrap().1;
+        prop_assert_eq!(&image[..], &expected[..]);
+        prop_assert_eq!(&reopened.read_profile(key).unwrap()[..], &expected[..]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_directory_only_ever_contains_valid_or_quarantinable_files(
+        seed in 0u64..10_000,
+        rate in 50u32..1000,
+        entries in 1usize..6,
+    ) {
+        check_valid_or_quarantinable(seed, rate, entries)?;
+    }
+}

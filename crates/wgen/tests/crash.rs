@@ -1,0 +1,215 @@
+//! The crash-recovery oracle.
+//!
+//! A store-backed daemon is SIGKILLed — no shutdown hook, no flush,
+//! possibly mid-write — and restarted on the same `--store-dir`. The
+//! restarted daemon must answer a resubmission of the pre-crash
+//! workload with **zero re-simulation** (`scale_misses == 0`,
+//! `scalana_sim_runs_total 0`) and serve a report and per-scale
+//! profile images byte-identical to a cold in-process analysis
+//! ([`oracle::cold_analysis`]). Any torn temp file or truncated entry
+//! the kill left behind must be quarantined, never crash the warm
+//! boot.
+//!
+//! The kill has to land on a *real* process (an in-process server
+//! thread cannot be SIGKILLed without taking the test down), so this
+//! test self-executes: the parent spawns its own test binary filtered
+//! to [`crash_daemon_child`], which — gated on `WGEN_CRASH_STORE` —
+//! boots a daemon and prints its address. Under a plain `cargo test`
+//! the child test is an instant no-op pass.
+
+use scalana_api::{paths, SubmitAck, SubmitRequest};
+use scalana_service::client::Conn;
+use scalana_service::json::Json;
+use scalana_service::{Server, ServiceConfig};
+use scalana_wgen::oracle;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Env var carrying the store directory to the self-executed child.
+const ENV: &str = "WGEN_CRASH_STORE";
+const ADDR_PREFIX: &str = "CRASH_CHILD_ADDR ";
+const JOB_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Child mode: boot a store-backed daemon, announce its address on
+/// stdout, and serve until killed. A no-op pass unless spawned by
+/// [`sigkill_then_warm_restart_serves_cold_bytes_without_resimulation`]
+/// (the gate is the env var only that parent sets).
+#[test]
+fn crash_daemon_child() {
+    let Ok(dir) = std::env::var(ENV) else {
+        return;
+    };
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 16,
+        store_dir: Some(dir),
+        ..ServiceConfig::default()
+    })
+    .expect("child daemon binds");
+    println!("{ADDR_PREFIX}{}", server.local_addr());
+    std::io::stdout().flush().expect("announce address");
+    let _ = server.run();
+}
+
+/// A spawned daemon process, killed on drop so a failing assertion
+/// never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(dir: &std::path::Path) -> Daemon {
+        let exe = std::env::current_exe().expect("own test binary path");
+        let mut child = Command::new(exe)
+            .args(["crash_daemon_child", "--exact", "--nocapture"])
+            .env(ENV, dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn child daemon");
+        // The libtest harness chatters before our announcement — and
+        // prints `test crash_daemon_child ... ` with no newline right
+        // before it — so scan whole lines for the marker anywhere.
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let mut addr = None;
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("read child stdout");
+            if let Some(pos) = line.find(ADDR_PREFIX) {
+                addr = Some(line[pos + ADDR_PREFIX.len()..].trim().to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("child announced its address before stdout closed");
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — the crash under test. No shutdown request, no flush.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL child daemon");
+        self.child.wait().expect("reap child daemon");
+        std::mem::forget(self); // already reaped
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn submit(conn: &mut Conn, text: &str, scales: &[usize]) -> SubmitAck {
+    let body = SubmitRequest::source("wgen.mmpi", text)
+        .with_scales(scales.to_vec())
+        .to_json()
+        .render();
+    let doc = conn.request_json("POST", paths::JOBS, &body).unwrap();
+    SubmitAck::from_json(&doc).unwrap_or_else(|| panic!("not a submit ack: {}", doc.render()))
+}
+
+fn stat(conn: &mut Conn, key: &str) -> i64 {
+    let stats = conn.request_json("GET", paths::STATS, "").unwrap();
+    stats
+        .get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("/stats missing {key}: {}", stats.render()))
+}
+
+#[test]
+fn sigkill_then_warm_restart_serves_cold_bytes_without_resimulation() {
+    if std::env::var(ENV).is_ok() {
+        // We *are* the child (filtering ran every test): stay quiet.
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("scalana-wgen-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The workload comes from the generator, same as every other
+    // oracle, and the ground truth from a cold in-process analysis.
+    // Like the harness, analyze the *re-parse* of the pretty text —
+    // that is the program the daemon sees (name included: source
+    // locations in the report carry it).
+    let spec = scalana_wgen::generate(0xC4A5_u64, 7);
+    let text = spec.pretty();
+    let program = scalana_lang::parse_program("wgen.mmpi", &text).expect("pretty text re-parses");
+    let scales = [2usize, 4, 6];
+    let cold = oracle::cold_analysis(&program, &scales).expect("cold analysis");
+
+    // Phase 1: a victim daemon analyses the workload; wait until every
+    // artifact (3 profiles + 1 PSG trace) is durable, then start a
+    // second job and SIGKILL while its writes are in flight.
+    let victim = Daemon::spawn(&dir);
+    let mut conn = Conn::connect(&victim.addr).unwrap();
+    let ack = submit(&mut conn, &text, &scales);
+    let done = conn.wait_for_job(ack.job(), JOB_TIMEOUT).unwrap();
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while stat(&mut conn, "store_entries") < scales.len() as i64 + 1 {
+        assert!(
+            Instant::now() < deadline,
+            "write-behind never flushed the first job's artifacts"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let decoy = scalana_wgen::generate(0xC4A5_u64, 8).pretty();
+    submit(&mut conn, &decoy, &scales); // not awaited: its writes race the kill
+    victim.kill();
+
+    // Phase 2: warm restart on the same directory. Whatever the kill
+    // tore mid-write must be quarantined or absent — never fatal — and
+    // the first job's artifacts must all come back.
+    let successor = Daemon::spawn(&dir);
+    let mut conn = Conn::connect(&successor.addr).unwrap();
+    assert!(
+        stat(&mut conn, "store_loaded") > scales.len() as i64,
+        "warm boot must reload every artifact of the completed job"
+    );
+
+    // Resubmitting the pre-crash workload must not simulate anything.
+    let ack = submit(&mut conn, &text, &scales);
+    let done = conn.wait_for_job(ack.job(), JOB_TIMEOUT).unwrap();
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        stat(&mut conn, "scale_misses"),
+        0,
+        "every scale must be served from the durable store"
+    );
+    assert_eq!(stat(&mut conn, "scale_hits"), scales.len() as i64);
+    let (_, metrics) = conn.request("GET", paths::METRICS, "").unwrap();
+    assert!(
+        metrics.contains("scalana_sim_runs_total 0"),
+        "the restarted daemon must not have simulated at all"
+    );
+
+    // And the answers are the cold answers, byte for byte.
+    let result = conn
+        .request_json("GET", &paths::job_result(ack.job()), "")
+        .unwrap();
+    let served = result
+        .get("report")
+        .unwrap_or_else(|| panic!("result missing report: {}", result.render()))
+        .render();
+    assert_eq!(
+        served, cold.report,
+        "post-crash report diverges from the cold analysis"
+    );
+    for (&nprocs, expected) in scales.iter().zip(&cold.images) {
+        let (code, image) = conn
+            .request_raw("GET", &paths::job_profile(ack.job(), nprocs), "")
+            .unwrap();
+        assert_eq!(code, 200, "profile at scale {nprocs}");
+        assert_eq!(
+            &image[..],
+            &expected[..],
+            "profile image at scale {nprocs} diverges from the cold analysis"
+        );
+    }
+
+    let _ = conn.request("POST", paths::SHUTDOWN, "");
+    drop(successor);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -107,4 +107,86 @@ echo "==> shutdown"
 wait "$SERVE_PID"
 SERVE_PID=""
 
+# ---------------------------------------------------------------------
+# Crash recovery: a fresh daemon with a durable store, killed with
+# SIGKILL (no shutdown hook, no flush), must warm-restart from the
+# store directory and answer the same submission with zero per-scale
+# misses and an identical report.
+# ---------------------------------------------------------------------
+STORE="$WORKDIR/store"
+SERVE_LOG="$WORKDIR/serve_store.log"
+
+echo "==> scalana serve --store-dir (durable store)"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --store-dir "$STORE" > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "service smoke: store daemon never announced its address" >&2; exit 1; }
+echo "    daemon at $ADDR (store at $STORE)"
+
+BEFORE="$("$BIN" submit --addr "$ADDR" "$WORKDIR/demo.mmpi" --scales 2,4 --wait)"
+echo "$BEFORE" | grep -q '"status":"done"' || { echo "store job did not finish: $BEFORE" >&2; exit 1; }
+JOB="$(echo "$BEFORE" | sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p' | head -n1)"
+# detect_seconds is wall-clock; everything else in the result document
+# is the byte-stable contract the restart must reproduce.
+REPORT_BEFORE="$("$BIN" result --addr "$ADDR" "$JOB" | sed 's/"detect_seconds":[0-9.eE+-]*//')"
+
+# Wait for the write-behind queue to flush all three artifacts
+# (2 profile images + 1 PSG trace) before pulling the plug.
+for _ in $(seq 1 100); do
+    "$BIN" status --addr "$ADDR" | grep -q '"store_entries":3' && break
+    sleep 0.1
+done
+"$BIN" status --addr "$ADDR" | grep -q '"store_entries":3' \
+    || { echo "store never flushed the job's artifacts" >&2; exit 1; }
+"$BIN" top --addr "$ADDR" --raw | grep -q '^scalana_store_writes_total 3$' \
+    || { echo "metrics disagree about store writes" >&2; exit 1; }
+
+echo "==> kill -9 (no shutdown, no flush)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "==> warm restart on the same --store-dir"
+SERVE_LOG="$WORKDIR/serve_warm.log"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --store-dir "$STORE" > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "service smoke: restarted daemon never announced its address" >&2; exit 1; }
+
+STATS="$("$BIN" status --addr "$ADDR")"
+echo "$STATS" | grep -q '"store_loaded":3' || { echo "warm boot did not reload the store: $STATS" >&2; exit 1; }
+
+AFTER="$("$BIN" submit --addr "$ADDR" "$WORKDIR/demo.mmpi" --scales 2,4 --wait)"
+echo "$AFTER" | grep -q '"status":"done"' || { echo "warm resubmission did not finish: $AFTER" >&2; exit 1; }
+STATS="$("$BIN" status --addr "$ADDR")"
+echo "$STATS" | grep -q '"scale_misses":0' || { echo "warm resubmission re-simulated: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -q '"scale_hits":2' || { echo "warm resubmission missed the store: $STATS" >&2; exit 1; }
+
+REPORT_AFTER="$("$BIN" result --addr "$ADDR" "$JOB" | sed 's/"detect_seconds":[0-9.eE+-]*//')"
+[ "$REPORT_BEFORE" = "$REPORT_AFTER" ] \
+    || { echo "post-crash report diverges from the pre-crash answer" >&2; exit 1; }
+
+echo "==> scalana store ls / gc"
+"$BIN" store ls --addr "$ADDR" | grep -q '"entries":3' \
+    || { echo "store ls does not see the durable entries" >&2; exit 1; }
+"$BIN" store gc --addr "$ADDR" | grep -q '"evicted":0' \
+    || { echo "unquota'd store gc evicted something" >&2; exit 1; }
+
+echo "==> shutdown (store daemon)"
+"$BIN" shutdown --addr "$ADDR" > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
 echo "service smoke: all green"
