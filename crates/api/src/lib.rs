@@ -36,8 +36,9 @@ pub mod paths;
 pub mod trace;
 
 pub use dto::{
-    DiffRequest, JobPage, JobState, JobView, ListQuery, ProgramRef, ResultView, StatsResponse,
-    SubmitAck, SubmitRequest, WaitQuery, DEFAULT_SCALES, MAX_SCALE,
+    DiffRequest, JobPage, JobState, JobView, ListQuery, PeerAnnounce, PeerBlob, ProgramRef,
+    ResultView, RingView, StatsResponse, StoreQuery, SubmitAck, SubmitRequest, WaitQuery,
+    DEFAULT_SCALES, MAX_SCALE,
 };
 pub use error::{ApiError, ErrorCode};
 pub use json::Json;

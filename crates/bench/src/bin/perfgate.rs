@@ -13,9 +13,14 @@
 //! the warm-restart cycle of the durable store (cold vs
 //! restart-and-serve-from-disk latency, gated on the deterministic
 //! `scale_misses == 0` contract — no factor applied),
+//! the federation round (aggregate jobs/sec of one capacity-constrained
+//! daemon vs a three-daemon fleet over the same skewed-popularity
+//! workload, gated at ≥ 1.8× in full runs, plus the deterministic
+//! cross-daemon resubmission and dead-peer-survival contracts — gated
+//! in every mode, no factor applied),
 //! and speedups against the committed pre-refactor baseline. CI runs it
-//! in `--quick` mode gated against the committed `BENCH_pr9.json`
-//! (`BENCH_pr3.json` through `BENCH_pr8.json` remain as earlier
+//! in `--quick` mode gated against the committed `BENCH_pr10.json`
+//! (`BENCH_pr3.json` through `BENCH_pr9.json` remain as earlier
 //! trajectory points), so a panicking bench or a wild regression
 //! (default: >10× the recorded median, tunable with `PERFGATE_FACTOR`,
 //! machine differences included) fails the build. The `wait_fanout`
@@ -32,9 +37,9 @@
 //!
 //! ```sh
 //! # full run, refresh the committed trajectory point
-//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr9.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --out BENCH_pr10.json
 //! # CI: few samples, gate against the committed medians
-//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr9.json --out target/perfgate.json
+//! cargo run --release -p scalana-bench --bin perfgate -- --quick --gate BENCH_pr10.json --out target/perfgate.json
 //! ```
 
 use criterion::{take_results, BenchResult, Criterion};
@@ -94,7 +99,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_pr9.json".to_string(),
+        out: "BENCH_pr10.json".to_string(),
         gate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -321,8 +326,17 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    // Federation: one capacity-constrained daemon vs a three-daemon
+    // fleet over the same skewed-popularity workload. The speedup comes
+    // from aggregate cache capacity (the fleet holds the popular
+    // working set; one daemon thrashes), so it holds on single-core
+    // runners; the cross-daemon and dead-peer contracts are gated
+    // deterministically below.
+    eprintln!("perfgate: measuring federation (1 daemon vs 3-daemon fleet)");
+    let federation = scalana_bench::suites::measure_federation(if args.quick { 8 } else { 24 });
+
     let doc = Json::obj(vec![
-        ("pr", "pr9".into()),
+        ("pr", "pr10".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
         (
             "baseline_pre_refactor",
@@ -392,6 +406,37 @@ fn main() -> ExitCode {
             ]),
         ),
         ("client_throughput", Json::Arr(client_metrics)),
+        (
+            "federation",
+            Json::obj(vec![
+                ("daemons", federation.daemons.into()),
+                ("jobs", federation.jobs.into()),
+                (
+                    "solo_jobs_per_sec",
+                    ((federation.solo_jobs_per_sec * 100.0).round() / 100.0).into(),
+                ),
+                (
+                    "fleet_jobs_per_sec",
+                    ((federation.fleet_jobs_per_sec * 100.0).round() / 100.0).into(),
+                ),
+                (
+                    "speedup",
+                    ((federation.speedup * 100.0).round() / 100.0).into(),
+                ),
+                ("solo_sim_runs", federation.solo_sim_runs.into()),
+                ("fleet_sim_runs", federation.fleet_sim_runs.into()),
+                ("remote_identical", federation.remote_identical.into()),
+                ("remote_scale_misses", federation.remote_scale_misses.into()),
+                ("remote_sim_runs", federation.remote_sim_runs.into()),
+                (
+                    "remote_peer_requests",
+                    federation.remote_peer_requests.into(),
+                ),
+                ("remote_peer_hits", federation.remote_peer_hits.into()),
+                ("kill_requests", federation.kill_requests.into()),
+                ("kill_failures", federation.kill_failures.into()),
+            ]),
+        ),
         ("obs", Json::obj(vec![("sim", Json::Arr(obs_sim))])),
         ("speedup_vs_baseline", Json::Obj(speedups)),
     ]);
@@ -448,6 +493,55 @@ fn main() -> ExitCode {
     eprintln!(
         "perfgate: warm restart OK ({} entries loaded, 0 scale misses, cold {}ns / warm {}ns)",
         warm_restart.loaded, warm_restart.cold_ns, warm_restart.warm_ns
+    );
+
+    // Federation gates. The cross-daemon and dead-peer contracts are
+    // deterministic — correctness bugs, not perf regressions — so they
+    // gate in every mode with no factor. The aggregate-throughput
+    // speedup is gated in full runs only (quick rounds are too short to
+    // resolve a ratio); `FEDERATION_SPEEDUP` overrides the bar.
+    if !federation.remote_identical {
+        eprintln!(
+            "perfgate: GATE: cross-daemon resubmission diverged from the cold analysis — \
+             fleet-served results must be byte-identical"
+        );
+        return ExitCode::FAILURE;
+    }
+    if federation.remote_scale_misses != 0 || federation.remote_sim_runs != 0 {
+        eprintln!(
+            "perfgate: GATE: cross-daemon resubmission incurred {} per-scale miss(es) and {} \
+             simulator run(s) on the answering daemon — every scale must come from the fleet",
+            federation.remote_scale_misses, federation.remote_sim_runs
+        );
+        return ExitCode::FAILURE;
+    }
+    if federation.kill_failures != 0 {
+        eprintln!(
+            "perfgate: GATE: {}/{} requests failed after a peer was killed — a dead peer \
+             must degrade throughput, never availability",
+            federation.kill_failures, federation.kill_requests
+        );
+        return ExitCode::FAILURE;
+    }
+    let speedup_bar: f64 = std::env::var("FEDERATION_SPEEDUP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.8);
+    if !args.quick && federation.speedup < speedup_bar {
+        eprintln!(
+            "perfgate: GATE: federation speedup {:.2}x below {speedup_bar}x (solo {:.2} \
+             jobs/sec, fleet {:.2} jobs/sec)",
+            federation.speedup, federation.solo_jobs_per_sec, federation.fleet_jobs_per_sec
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perfgate: federation OK ({:.2}x aggregate jobs/sec, {} vs {} simulator runs, \
+         cross-daemon identical with 0 misses, {} post-kill requests all served)",
+        federation.speedup,
+        federation.solo_sim_runs,
+        federation.fleet_sim_runs,
+        federation.kill_requests
     );
 
     // Gate: every current median must stay within FACTOR× of the

@@ -812,6 +812,26 @@ fn scrape_metric(conn: &mut Conn, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("metric `{name}` missing from exposition"))
 }
 
+/// Like [`scrape_metric`], but re-establishes the connection and retries
+/// once if the daemon dropped it. The fan-out harness leaves its control
+/// connection idle for tens of seconds while it parks thousands of
+/// waiters on a busy machine, which is long enough for the daemon's idle
+/// sweep to reap it.
+#[cfg(target_os = "linux")]
+fn scrape_metric_reconnect(conn: &mut Conn, addr: &str, name: &str) -> u64 {
+    if let Ok((200, text)) = conn.request("GET", paths::METRICS, "") {
+        if let Some(sample) = text
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|rest| rest.trim().parse::<u64>().ok())
+        {
+            return sample;
+        }
+    }
+    *conn = Conn::connect(addr).unwrap();
+    scrape_metric(conn, name)
+}
+
 /// Park `clients` concurrent long-pollers on one pending job and
 /// measure the completion fan-out.
 ///
@@ -831,7 +851,10 @@ fn scrape_metric(conn: &mut Conn, name: &str) -> u64 {
 /// limit is raised up front; where the environment caps the hard limit
 /// (no `CAP_SYS_RESOURCE`), the waiter count is clamped to what the
 /// limit affords and the recorded `clients` reflects the clamp — never
-/// a silently partial park. The run also asserts, at the end, that no
+/// a silently partial park. The same honesty applies to time: the
+/// server clamps each wait at 25 s, so on machines whose accept+park
+/// pace cannot fit the requested count inside that window the count is
+/// clamped to what a 10 s connect phase affords. The run also asserts, at the end, that no
 /// waiter timed out (`scalana_longpoll_wakes_total` grew by the full
 /// waiter count) — a timeout would silently turn the fan-out spread
 /// into timeout jitter.
@@ -844,7 +867,7 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
 
     let requested = clients;
     let granted = net::raise_nofile_limit(2 * clients as u64 + 512).unwrap_or(512);
-    let clients = requested.min((granted.saturating_sub(512) / 2) as usize);
+    let mut clients = requested.min((granted.saturating_sub(512) / 2) as usize);
     assert!(clients > 0, "fd limit {granted} leaves no room for waiters");
     if clients < requested {
         eprintln!(
@@ -881,6 +904,9 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
         .min(Duration::from_secs(14));
     let filler_iters =
         (runway.as_nanos() / per_iter.as_nanos().max(1)).max(probe_iters as u128) as u64;
+    eprintln!(
+        "wait_fanout: calibrated per_iter={per_iter:?} runway={runway:?} filler_iters={filler_iters}"
+    );
 
     // Parking can race the filler: the probe calibrates against the
     // machine as it is *now*, and a load spike that lifts between
@@ -892,10 +918,18 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
     let mut filler_iters = filler_iters;
     let (epoll, waiters, parked, wakes_before) = 'park: {
         for attempt in 0..4u32 {
+            // A retry starts by dropping thousands of waiter sockets at
+            // once; processing that disconnect storm can occupy the
+            // daemon long enough that its idle sweep reaps the control
+            // connection in the meantime. Re-establish it rather than
+            // racing the sweep.
+            if attempt > 0 {
+                control = Conn::connect(&addr).unwrap();
+            }
             // Let the daemon retire the previous attempt's sockets so
             // its connection budget is free again before reconnecting.
-            let drain_deadline = Instant::now() + Duration::from_secs(10);
-            while scrape_metric(&mut control, "scalana_connections ") > 8 {
+            let drain_deadline = Instant::now() + Duration::from_secs(30);
+            while scrape_metric_reconnect(&mut control, &addr, "scalana_connections ") > 8 {
                 assert!(
                     Instant::now() < drain_deadline,
                     "stale waiter connections never drained"
@@ -903,7 +937,8 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
                 std::thread::sleep(Duration::from_millis(20));
             }
 
-            let wakes_before = scrape_metric(&mut control, "scalana_longpoll_wakes_total ");
+            let wakes_before =
+                scrape_metric_reconnect(&mut control, &addr, "scalana_longpoll_wakes_total ");
             submit_fanout_job(&mut control, &fanout_source(filler_iters, salt()));
             let target = submit_fanout_job(&mut control, &fanout_source(64, salt()));
 
@@ -914,8 +949,25 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
             let wait_request = format!(
                 "GET /v1/jobs/{target}/wait?timeout_ms=25000 HTTP/1.1\r\nHost: fanout\r\n\r\n"
             );
+            // Every waiter must be parked *simultaneously*, and the
+            // server clamps each wait at 25 s, so the whole connect
+            // phase has to fit well inside that clamp. On a loaded
+            // single-core machine the daemon's accept+park pace
+            // (competing with the filler simulation for the same core)
+            // can drop to milliseconds per waiter; clamp the waiter
+            // count to what the window affords — a partial park honestly
+            // recorded beats an impossible one retried forever. (The
+            // filler cannot simply be grown to cover a slow connect
+            // phase either: the simulator's per-rank step budget caps
+            // its runtime, and waits expiring at the 25 s clamp would
+            // poison the fan-out anyway.)
+            let park_window = Duration::from_secs(10);
+            let connect_started = Instant::now();
             let mut waiters: Vec<TcpStream> = Vec::with_capacity(clients);
             for token in 0..clients {
+                if token != 0 && token % 256 == 0 && connect_started.elapsed() > park_window {
+                    break;
+                }
                 let mut socket = TcpStream::connect(addr.as_str()).unwrap();
                 socket.write_all(wait_request.as_bytes()).unwrap();
                 socket.set_nonblocking(true).unwrap();
@@ -924,10 +976,23 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
                     .unwrap();
                 waiters.push(socket);
             }
+            if waiters.len() < clients {
+                eprintln!(
+                    "wait_fanout: accept pace fits only {} of {clients} waiters inside the \
+                     {park_window:?} park window — clamping",
+                    waiters.len()
+                );
+                clients = waiters.len();
+            }
+            eprintln!(
+                "wait_fanout: connected {clients} waiters in {:?} (attempt {attempt})",
+                connect_started.elapsed()
+            );
 
             let park_deadline = Instant::now() + runway + Duration::from_secs(30);
             loop {
-                let parked = scrape_metric(&mut control, "scalana_longpoll_parked ");
+                let parked =
+                    scrape_metric_reconnect(&mut control, &addr, "scalana_longpoll_parked ");
                 if parked >= clients as u64 {
                     break 'park (epoll, waiters, parked, wakes_before);
                 }
@@ -989,7 +1054,7 @@ pub fn measure_wait_fanout(clients: usize) -> WaitFanout {
 
     // No waiter may have timed out into a `pending` answer: every one
     // must have been woken by the terminal transition.
-    let wakes = scrape_metric(&mut control, "scalana_longpoll_wakes_total ");
+    let wakes = scrape_metric_reconnect(&mut control, &addr, "scalana_longpoll_wakes_total ");
     assert!(
         wakes - wakes_before >= clients as u64,
         "only {} of {clients} waiters woke on completion (the rest timed out)",
@@ -1174,5 +1239,329 @@ pub fn measure_warm_restart() -> WarmRestart {
         warm_ns,
         loaded,
         scale_misses,
+    }
+}
+
+/// Federation metrics for the `BENCH_*.json` trajectory: aggregate
+/// jobs/sec of one capacity-constrained daemon vs a three-daemon fleet
+/// over the same skewed-popularity workload, plus the deterministic
+/// cross-daemon and dead-peer legs.
+#[derive(Debug, Clone)]
+pub struct FederationMetrics {
+    /// Fleet size of the federated round.
+    pub daemons: usize,
+    /// Jobs per measured round (identical for solo and fleet).
+    pub jobs: usize,
+    /// Aggregate jobs/sec of the single daemon.
+    pub solo_jobs_per_sec: f64,
+    /// Aggregate jobs/sec of the fleet.
+    pub fleet_jobs_per_sec: f64,
+    /// `fleet_jobs_per_sec / solo_jobs_per_sec` — the headline number;
+    /// perfgate requires ≥ 1.8.
+    pub speedup: f64,
+    /// Simulator runs the solo round incurred (cache thrash made
+    /// visible).
+    pub solo_sim_runs: u64,
+    /// Simulator runs the fleet round incurred, summed over daemons.
+    pub fleet_sim_runs: u64,
+    /// Cross-daemon leg: the resubmitted analysis matched A's byte for
+    /// byte. Gated `true`, no factor.
+    pub remote_identical: bool,
+    /// Cross-daemon leg: per-scale misses on the answering daemon.
+    /// Gated exactly 0.
+    pub remote_scale_misses: u64,
+    /// Cross-daemon leg: simulator runs on the answering daemon.
+    /// Gated exactly 0.
+    pub remote_sim_runs: u64,
+    /// Cross-daemon leg: peer fetches the answering daemon issued
+    /// (recorded; how many of B's scales its owners served remotely vs
+    /// write-through having landed them locally is placement-dependent).
+    pub remote_peer_requests: u64,
+    /// Cross-daemon leg: peer fetches answered with a decodable entry.
+    pub remote_peer_hits: u64,
+    /// Dead-peer leg: requests issued after one fleet member was
+    /// killed.
+    pub kill_requests: usize,
+    /// Dead-peer leg: requests that failed. Gated exactly 0 — a dead
+    /// peer degrades throughput, never availability.
+    pub kill_failures: usize,
+}
+
+/// The skewed-popularity program set: every client cycles the same
+/// popular programs, so the fleet-wide per-scale working set
+/// (`POPULAR_PROGRAMS × FEDERATION_SCALES.len()` keys) is hot on every
+/// daemon.
+const POPULAR_PROGRAMS: usize = 48;
+/// The 512-rank scale dominates each job's simulation cost (the small
+/// scales are protocol-overhead-bound), so cache outcomes — simulate
+/// 512 ranks vs one peer round trip — dwarf everything else in the
+/// jobs/sec ratio.
+const FEDERATION_SCALES: [usize; 3] = [2, 8, 512];
+/// Per-daemon profile-cache capacity. Deliberately below the 144-key
+/// working set: one daemon thrashes (access order matches insertion
+/// order, so FIFO eviction re-simulates the popular set continuously),
+/// while three federated daemons hold it comfortably — each retains
+/// roughly its owned shard (~48 keys) plus what it simulated at prime
+/// time, because remote hits are served by their owners, not admitted
+/// locally. The capacity also leaves the cache's internal 16 shards
+/// enough per-shard FIFO headroom (ceil(96/16) = 6 entries against an
+/// expected 3 owned keys per shard) that hash imbalance does not evict
+/// a daemon's own shard. That aggregate-capacity effect, not CPU
+/// parallelism, is what the speedup gate measures — it holds on a
+/// single-core runner.
+const FEDERATION_CACHE_CAPACITY: usize = 96;
+
+fn federation_program(index: usize) -> String {
+    overlap_program(12_000_000 + index as u64)
+}
+
+/// Boot one capacity-constrained daemon with `peers` as federation
+/// seeds; returns its bound address (also its ring identity).
+fn boot_federation_daemon(peers: Vec<String>) -> String {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 256,
+        max_cached_profiles: FEDERATION_CACHE_CAPACITY,
+        peers,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Poll every daemon's `GET /v1/peer/ring` until all agree on a
+/// `members`-member ring (announce gossip is asynchronous).
+fn await_ring(addrs: &[String], members: usize) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    'outer: loop {
+        for addr in addrs {
+            let (code, body) = client::request(addr, "GET", paths::PEER_RING, "").unwrap();
+            assert_eq!(code, 200, "ring endpoint on {addr}: {body}");
+            let doc = scalana_service::json::parse(&body).unwrap();
+            let seen = doc
+                .get("members")
+                .and_then(Json::as_array)
+                .map_or(0, |m| m.len());
+            if seen != members {
+                assert!(
+                    Instant::now() < deadline,
+                    "{addr} still sees {seen}/{members} ring members"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+                continue 'outer;
+            }
+        }
+        return;
+    }
+}
+
+/// One `/v1/stats` field.
+fn fleet_stat(conn: &mut Conn, key: &str) -> u64 {
+    conn.request_json("GET", paths::STATS, "")
+        .unwrap()
+        .get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or(0) as u64
+}
+
+/// Poll until a daemon's peer write-behind backlog settles, so
+/// cross-daemon reads are deterministic.
+fn await_peer_backlog(conn: &mut Conn) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fleet_stat(conn, "peer_backlog") != 0 {
+        assert!(Instant::now() < deadline, "peer backlog never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Submit and wait without panicking; `Err` carries the failure shape
+/// (the dead-peer leg counts these — the gate demands zero).
+fn try_submit_scales(
+    conn: &mut Conn,
+    source: &str,
+    scales: &[usize],
+    abnorm_thd: Option<f64>,
+) -> Result<String, String> {
+    let mut pairs = vec![
+        ("source", Json::from(source)),
+        ("name", "federation.mmpi".into()),
+        ("scales", scales.to_vec().into()),
+    ];
+    if let Some(thd) = abnorm_thd {
+        pairs.push(("abnorm_thd", thd.into()));
+    }
+    let ack = conn
+        .request_json("POST", "/jobs", &pairs_body(pairs))
+        .map_err(|e| format!("submit: {e}"))?;
+    let key = ack
+        .get("job")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("no job key in {}", ack.render()))?
+        .to_string();
+    let done = conn
+        .wait_for_job(&key, Duration::from_secs(120))
+        .map_err(|e| format!("wait: {e}"))?;
+    match done.get("status").and_then(Json::as_str) {
+        Some("done") => Ok(key),
+        other => Err(format!("job ended {other:?}")),
+    }
+}
+
+/// The `report` + `runs` fragments of a job's result — the analysis
+/// itself, excluding `detect_seconds` (wall-clock, legitimately
+/// varies between daemons).
+fn analysis_fragments(conn: &mut Conn, key: &str) -> (String, String) {
+    let doc = conn
+        .request_json("GET", &format!("{}/{key}/result", paths::JOBS), "")
+        .unwrap();
+    (
+        doc.get("report").unwrap().render(),
+        doc.get("runs").unwrap().render(),
+    )
+}
+
+/// One measured round: 3 client threads, each pinned to one daemon
+/// (round-robin when fewer daemons than clients), cycling the popular
+/// program set with a unique detection threshold per submission — a
+/// fresh job key every time, so each job exercises the per-scale tier
+/// rather than the whole-job result cache.
+fn federation_round(addrs: &[String], jobs_per_client: usize, unique: &AtomicU64) -> Duration {
+    const CLIENTS: usize = 3;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let addr = &addrs[c % addrs.len()];
+            scope.spawn(move || {
+                let mut conn = Conn::connect(addr).unwrap();
+                for j in 0..jobs_per_client {
+                    // Stride by the client count so the three clients
+                    // partition the program set (client c touches only
+                    // indices ≡ c mod 3) and a repeat of the same
+                    // program is as far apart in the global access
+                    // stream as the set allows — adjacent repeats would
+                    // hand the under-provisioned solo daemon FIFO hits
+                    // it does not deserve.
+                    let program = federation_program((j * CLIENTS + c) % POPULAR_PROGRAMS);
+                    let thd = 2.5 + unique.fetch_add(1, Ordering::Relaxed) as f64 * 1e-6;
+                    submit_scales(&mut conn, &program, &FEDERATION_SCALES, Some(thd));
+                }
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// Prime every popular program once (spread round-robin over the
+/// daemons) so both rounds start from the same steady state: PSGs
+/// discovered, every profile simulated at least once, write-through
+/// settled.
+fn federation_prime(addrs: &[String]) {
+    let mut conns: Vec<Conn> = addrs.iter().map(|a| Conn::connect(a).unwrap()).collect();
+    for i in 0..POPULAR_PROGRAMS {
+        let conn = &mut conns[i % addrs.len()];
+        submit_scales(conn, &federation_program(i), &FEDERATION_SCALES, None);
+    }
+    for conn in &mut conns {
+        await_peer_backlog(conn);
+    }
+}
+
+/// Simulator runs summed over a set of daemons.
+fn fleet_sim_runs(addrs: &[String]) -> u64 {
+    addrs
+        .iter()
+        .map(|a| {
+            let mut conn = Conn::connect(a).unwrap();
+            scrape_metric(&mut conn, "scalana_sim_runs_total ")
+        })
+        .sum()
+}
+
+/// The federation benchmark: solo round, fleet round, deterministic
+/// cross-daemon resubmission, dead-peer survival.
+pub fn measure_federation(jobs_per_client: usize) -> FederationMetrics {
+    let unique = AtomicU64::new(0);
+    let jobs = 3 * jobs_per_client;
+
+    // Solo: one daemon whose profile cache cannot hold the popular
+    // working set — FIFO thrash re-simulates it continuously.
+    let solo = vec![boot_federation_daemon(Vec::new())];
+    federation_prime(&solo);
+    let sims_before = fleet_sim_runs(&solo);
+    let solo_elapsed = federation_round(&solo, jobs_per_client, &unique);
+    let solo_sim_runs = fleet_sim_runs(&solo) - sims_before;
+    let _ = client::request(&solo[0], "POST", "/shutdown", "");
+
+    // Fleet: three such daemons federated. Each daemon's cache holds
+    // its owned shard; everything else is one peer round trip away.
+    let a = boot_federation_daemon(Vec::new());
+    let b = boot_federation_daemon(vec![a.clone()]);
+    let c = boot_federation_daemon(vec![a.clone(), b.clone()]);
+    let fleet = vec![a, b, c];
+    await_ring(&fleet, fleet.len());
+    federation_prime(&fleet);
+    let sims_before = fleet_sim_runs(&fleet);
+    let fleet_elapsed = federation_round(&fleet, jobs_per_client, &unique);
+    let fleet_sims = fleet_sim_runs(&fleet) - sims_before;
+
+    // Cross-daemon leg: a never-seen program analysed cold on A must be
+    // served by B without a single per-scale miss or simulator run,
+    // byte-identical — once A's write-through has settled.
+    let fresh = overlap_program(13_000_000);
+    let mut conn_a = Conn::connect(&fleet[0]).unwrap();
+    let mut conn_b = Conn::connect(&fleet[1]).unwrap();
+    let key_a = try_submit_scales(&mut conn_a, &fresh, &FEDERATION_SCALES, None).unwrap();
+    await_peer_backlog(&mut conn_a);
+    let misses_before = fleet_stat(&mut conn_b, "scale_misses");
+    let sims_b_before = scrape_metric(&mut conn_b, "scalana_sim_runs_total ");
+    let requests_before = fleet_stat(&mut conn_b, "peer_requests");
+    let hits_before = fleet_stat(&mut conn_b, "peer_hits");
+    let key_b = try_submit_scales(&mut conn_b, &fresh, &FEDERATION_SCALES, None).unwrap();
+    assert_eq!(key_a, key_b, "content-addressed job keys must agree");
+    let remote_scale_misses = fleet_stat(&mut conn_b, "scale_misses") - misses_before;
+    let remote_sim_runs = scrape_metric(&mut conn_b, "scalana_sim_runs_total ") - sims_b_before;
+    let remote_peer_requests = fleet_stat(&mut conn_b, "peer_requests") - requests_before;
+    let remote_peer_hits = fleet_stat(&mut conn_b, "peer_hits") - hits_before;
+    let remote_identical =
+        analysis_fragments(&mut conn_a, &key_a) == analysis_fragments(&mut conn_b, &key_b);
+
+    // Dead-peer leg: kill the third daemon mid-fleet and keep
+    // submitting to the survivors. Probes to the dead owner fail fast
+    // (then its breaker opens) and every job still completes locally.
+    let _ = client::request(&fleet[2], "POST", "/shutdown", "");
+    let kill_requests = 2 * jobs_per_client.max(2);
+    let mut kill_failures = 0usize;
+    for i in 0..kill_requests {
+        let conn = if i % 2 == 0 { &mut conn_a } else { &mut conn_b };
+        let program = federation_program(i % POPULAR_PROGRAMS);
+        let thd = 2.5 + unique.fetch_add(1, Ordering::Relaxed) as f64 * 1e-6;
+        if try_submit_scales(conn, &program, &FEDERATION_SCALES, Some(thd)).is_err() {
+            kill_failures += 1;
+        }
+    }
+    for addr in &fleet[..2] {
+        let _ = client::request(addr, "POST", "/shutdown", "");
+    }
+
+    let solo_jobs_per_sec = jobs as f64 / solo_elapsed.as_secs_f64();
+    let fleet_jobs_per_sec = jobs as f64 / fleet_elapsed.as_secs_f64();
+    FederationMetrics {
+        daemons: fleet.len(),
+        jobs,
+        solo_jobs_per_sec,
+        fleet_jobs_per_sec,
+        speedup: fleet_jobs_per_sec / solo_jobs_per_sec,
+        solo_sim_runs,
+        fleet_sim_runs: fleet_sims,
+        remote_identical,
+        remote_scale_misses,
+        remote_sim_runs,
+        remote_peer_requests,
+        remote_peer_hits,
+        kill_requests,
+        kill_failures,
     }
 }

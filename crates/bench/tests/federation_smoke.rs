@@ -1,0 +1,38 @@
+//! Smoke-level run of the federation harness, so the perfgate path
+//! that produces the committed `federation` numbers is itself covered
+//! by `cargo test` (at a size that stays fast in debug builds). The
+//! deterministic contracts are asserted at full strength; the speedup
+//! is only sanity-checked here — debug-build simulation costs distort
+//! the ratio the release-mode gate enforces.
+
+#[test]
+fn federation_harness_measures_and_upholds_the_deterministic_contracts() {
+    let metrics = scalana_bench::suites::measure_federation(2);
+    eprintln!("federation smoke: {metrics:?}");
+    assert_eq!(metrics.daemons, 3);
+    assert_eq!(metrics.jobs, 6);
+    assert!(metrics.solo_jobs_per_sec > 0.0);
+    assert!(metrics.fleet_jobs_per_sec > 0.0);
+    assert!(
+        metrics.remote_identical,
+        "cross-daemon analysis must be byte-identical"
+    );
+    assert_eq!(
+        metrics.remote_scale_misses, 0,
+        "the answering daemon must not miss a single scale"
+    );
+    assert_eq!(
+        metrics.remote_sim_runs, 0,
+        "the answering daemon must not touch the simulator"
+    );
+    assert_eq!(
+        metrics.kill_failures, 0,
+        "a dead peer must never fail a request ({} issued)",
+        metrics.kill_requests
+    );
+    assert!(
+        metrics.speedup > 0.5,
+        "fleet round collapsed: speedup {}",
+        metrics.speedup
+    );
+}

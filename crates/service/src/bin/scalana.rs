@@ -8,6 +8,7 @@
 //! scalana apps     [--list | --run NAME [--scales ...]]
 //! scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
 //!                  [--store-dir DIR] [--store-quota BYTES]
+//!                  [--peer ADDR]... [--self-addr ADDR] [--idle-timeout SECS]
 //! scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH) [--addr A]
 //!                  [--scales ...] [--abnorm-thd X] [--top K]
 //!                  [--param NAME=V]... [--wait]
@@ -15,7 +16,7 @@
 //! scalana result   [--addr A] JOB
 //! scalana trace    [--addr A] [--json] JOB
 //! scalana top      [--addr A] [--raw] [--interval SECS] [--count N]
-//! scalana store    (ls | gc) [--addr A]
+//! scalana store    (ls [--after NAME] [--limit N] | gc) [--addr A]
 //! scalana diff     <a.mmpi> <b.mmpi> [--addr A] [--scales ...] [--scales-b ...]
 //! scalana shutdown [--addr A]
 //! ```
@@ -65,6 +66,7 @@ const USAGE: &str = "usage:
   scalana apps     [--list | --run NAME [--scales 4,8,16,32]]
   scalana serve    [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
                    [--store-dir DIR] [--store-quota BYTES]
+                   [--peer ADDR]... [--self-addr ADDR] [--idle-timeout SECS]
   scalana submit   (<file.mmpi> | --app NAME | --program-hash HASH)
                    [--addr ADDR] [--scales ...] [--abnorm-thd X] [--top K]
                    [--param NAME=VALUE]... [--wait]
@@ -72,7 +74,7 @@ const USAGE: &str = "usage:
   scalana result   [--addr ADDR] JOB
   scalana trace    [--addr ADDR] [--json] JOB
   scalana top      [--addr ADDR] [--raw] [--interval SECS] [--count N]
-  scalana store    (ls | gc) [--addr ADDR]
+  scalana store    (ls [--after NAME] [--limit N] | gc) [--addr ADDR]
   scalana diff     <a.mmpi> <b.mmpi> [--addr ADDR] [--scales 4,8,16,32]
                    [--scales-b ...]
   scalana shutdown [--addr ADDR]";
@@ -311,6 +313,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--store-quota needs BYTES")?;
                 config.store_quota = v.parse().map_err(|e| format!("bad --store-quota: {e}"))?;
             }
+            "--peer" => {
+                let v = it.next().ok_or("--peer needs an ADDR")?;
+                v.parse::<std::net::SocketAddr>()
+                    .map_err(|e| format!("bad --peer `{v}`: {e}"))?;
+                config.peers.push(v.clone());
+            }
+            "--self-addr" => {
+                let v = it.next().ok_or("--self-addr needs an ADDR")?;
+                v.parse::<std::net::SocketAddr>()
+                    .map_err(|e| format!("bad --self-addr `{v}`: {e}"))?;
+                config.self_addr = Some(v.clone());
+            }
+            "--idle-timeout" => {
+                let v = it.next().ok_or("--idle-timeout needs SECS")?;
+                let secs: u64 = v.parse().map_err(|e| format!("bad --idle-timeout: {e}"))?;
+                if secs == 0 {
+                    return Err("--idle-timeout must be at least 1 second".to_string());
+                }
+                config.idle_timeout = Duration::from_secs(secs);
+            }
             other => return Err(format!("serve: unknown flag `{other}`")),
         }
     }
@@ -328,6 +350,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         println!(
             "durable store at {dir} (quota {} bytes)",
             config.store_quota
+        );
+    }
+    if !config.peers.is_empty() {
+        println!(
+            "federated as {} with {} seed peer(s): {}",
+            config
+                .self_addr
+                .clone()
+                .unwrap_or_else(|| server.local_addr().to_string()),
+            config.peers.len(),
+            config.peers.join(", ")
         );
     }
     // The smoke script and tests scrape the address from this line; make
@@ -625,13 +658,39 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
 }
 
 /// `scalana store ls|gc`: inspect or sweep the daemon's durable store.
-/// `ls` prints `GET /v1/store` (directory totals + bounded file list);
-/// `gc` runs one LRU quota sweep via `POST /v1/store/gc`.
+/// `ls` prints one page of `GET /v1/store` (directory totals + a file
+/// list capped at 256 entries by default); `--after NAME`/`--limit N`
+/// drive the keyset pagination, and a non-null `next_after` in the
+/// response is the cursor for the following page. `gc` runs one LRU
+/// quota sweep via `POST /v1/store/gc`.
 fn cmd_store(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_addr(args)?;
-    let response = match rest.as_slice() {
-        [sub] if sub == "ls" => client::request_json(&addr, "GET", paths::STORE, "")?,
-        [sub] if sub == "gc" => client::request_json(&addr, "POST", paths::STORE_GC, "")?,
+    let response = match rest.split_first().map(|(sub, flags)| (sub.as_str(), flags)) {
+        Some(("ls", flags)) => {
+            let mut query: Vec<String> = Vec::new();
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--after" => {
+                        let v = it.next().ok_or("--after needs a NAME")?;
+                        query.push(format!("after={v}"));
+                    }
+                    "--limit" => {
+                        let v = it.next().ok_or("--limit needs N")?;
+                        let n: usize = v.parse().map_err(|e| format!("bad --limit: {e}"))?;
+                        query.push(format!("limit={n}"));
+                    }
+                    other => return Err(format!("store ls: unknown flag `{other}`")),
+                }
+            }
+            let path = if query.is_empty() {
+                paths::STORE.to_string()
+            } else {
+                format!("{}?{}", paths::STORE, query.join("&"))
+            };
+            client::request_json(&addr, "GET", &path, "")?
+        }
+        Some(("gc", [])) => client::request_json(&addr, "POST", paths::STORE_GC, "")?,
         _ => return Err("store: need exactly one subcommand, `ls` or `gc`".to_string()),
     };
     println!("{}", response.render());

@@ -425,13 +425,17 @@ impl Registry {
             self.obs
                 .job_ns
                 .record(record.terminal_ns.saturating_sub(record.started_ns));
+            // Count the completion before waking anyone: a client woken
+            // by the transition must find `completed`/`results_cached`
+            // already reflecting the job it just observed (`fail()`
+            // orders its counter the same way).
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.results_held.fetch_add(1, Ordering::Relaxed);
             // Wake long-poll waiters while still holding the shard lock
             // (no waiter can miss the transition).
             shard.terminal.notify_all();
             self.drain_waiters(shard, key);
         }
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.results_held.fetch_add(1, Ordering::Relaxed);
 
         // Eviction holds the completion-order lock and takes one shard
         // lock per candidate; the shard lock above is already released,

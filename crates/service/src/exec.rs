@@ -22,6 +22,7 @@
 //! `scalana_profile::store`.
 
 use crate::cache::Registry;
+use crate::federation::Federation;
 use crate::job::JobOutput;
 use crate::json::Json;
 use crate::jsonify::{report_to_json, run_summary_to_json};
@@ -90,6 +91,11 @@ pub struct ExecCtx<'a> {
     /// configured: profile images write through to it, per-scale misses
     /// read through it, and PSG misses replay its discovery traces.
     pub store: Option<&'a DiskStore>,
+    /// Fleet tier under the store: on a miss in both local tiers the
+    /// key's ring owner is consulted before simulating, and fresh
+    /// entries are offered back to their owners asynchronously. `None`
+    /// on a standalone executor (tests, benches without a server).
+    pub federation: Option<&'a Federation>,
     /// Observability handles (stage histograms, simulator counters).
     pub metrics: &'a ServiceMetrics,
 }
@@ -275,23 +281,36 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
             Some(psg) => (psg, "hit"),
             None => {
                 // Warm restart: a persisted discovery trace rebuilds
-                // the identical refined PSG with zero simulation.
-                let replayed = ctx.store.and_then(|store| {
-                    let trace = store::decode_trace(store.psg_trace(&psg_key)?)?;
-                    Some(replay_refined_psg(&program, &config, &trace))
-                });
+                // the identical refined PSG with zero simulation. Next
+                // tier: the trace's ring owner elsewhere in the fleet —
+                // replaying a fetched trace is exact the same way.
+                let replayed = ctx
+                    .store
+                    .and_then(|store| {
+                        let trace = store::decode_trace(store.psg_trace(&psg_key)?)?;
+                        Some((replay_refined_psg(&program, &config, &trace), "replay"))
+                    })
+                    .or_else(|| {
+                        let federation = ctx.federation?;
+                        let trace = store::decode_trace(federation.fetch_psg_trace(&psg_key)?)?;
+                        Some((replay_refined_psg(&program, &config, &trace), "peer"))
+                    });
                 match replayed {
-                    Some(psg) => {
+                    Some((psg, verdict)) => {
                         let psg = Arc::new(psg);
                         ctx.psgs.store(psg_key, Arc::clone(&psg));
-                        (psg, "replay")
+                        (psg, verdict)
                     }
                     None => {
                         let (psg, trace) =
                             refined_psg_traced(&program, &config, spec.discovery_scale())
                                 .map_err(|e| e.to_string())?;
+                        let encoded = store::encode_trace(&trace);
                         if let Some(store) = ctx.store {
-                            store.save_psg_trace(&psg_key, store::encode_trace(&trace));
+                            store.save_psg_trace(&psg_key, encoded.clone());
+                        }
+                        if let Some(federation) = ctx.federation {
+                            federation.publish_psg_trace(&psg_key, &encoded);
                         }
                         let psg = Arc::new(psg);
                         ctx.psgs.store(psg_key, Arc::clone(&psg));
@@ -316,6 +335,7 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
         let mut slots: Vec<Option<(ProfileData, Bytes)>> = Vec::with_capacity(spec.scales.len());
         for (pk, &nprocs) in profile_keys.iter().zip(&spec.scales) {
             let probe_start = obs::now_ns();
+            let tier = std::cell::Cell::new("hit");
             let slot = ctx
                 .profiles
                 .lookup(pk)
@@ -339,6 +359,26 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
                     let data = scalana_profile::store::load(image.clone()).ok()?;
                     ctx.profiles.store(pk.clone(), image.clone());
                     Some((data, image))
+                })
+                .or_else(|| {
+                    // Fleet tier: ask the key's ring owner. A decodable
+                    // answer counts as a hit — no simulation ran — so
+                    // the recorded miss is redeemed. The image is *not*
+                    // admitted to the local cache: the owner already
+                    // retains it, and admitting remote keys here would
+                    // let a hot fleet working set evict this daemon's
+                    // own shard — collapsing the fleet's aggregate
+                    // capacity back to one daemon's. Re-reading a hot
+                    // remote key costs one local round trip, not a
+                    // simulator run. Every failure shape (we own the
+                    // key, a dead peer, a bad payload) just falls
+                    // through to simulation.
+                    let federation = ctx.federation?;
+                    let image = federation.fetch_profile(pk)?;
+                    let data = scalana_profile::store::load(image.clone()).ok()?;
+                    ctx.profiles.redeem_miss();
+                    tier.set("peer");
+                    Some((data, image))
                 });
             if slot.is_some() {
                 // Cache-hit scales are answered right here; misses get
@@ -350,7 +390,7 @@ fn run_job(ctx: &ExecCtx<'_>, key: &str) {
                         obs::now_ns().saturating_sub(probe_start),
                     )
                     .with_tag("nprocs", &nprocs.to_string())
-                    .with_tag("cache", "hit"),
+                    .with_tag("cache", tier.get()),
                 );
             }
             slots.push(slot);
@@ -416,11 +456,26 @@ fn run_scale(ctx: &ExecCtx<'_>, work: &Arc<JobWork>, index: usize) {
         work.push_span(span);
         match result {
             Ok(data) => {
+                let key = &work.profile_keys[index];
                 let image = scalana_profile::store::save(&data);
-                ctx.profiles
-                    .store(work.profile_keys[index].clone(), image.clone());
+                // Admission policy: local memory holds the daemon's own
+                // ring shard. A key owned elsewhere is written through
+                // to its owner instead of admitted here — caching it
+                // locally would evict owned entries and collapse the
+                // fleet's aggregate capacity toward one daemon's. On a
+                // standalone daemon (no federation, or a single-member
+                // ring) every key is owned.
+                let owned = ctx.federation.is_none_or(|f| f.owns(key));
+                if owned {
+                    ctx.profiles.store(key.clone(), image.clone());
+                }
                 if let Some(store) = ctx.store {
-                    store.save_profile(&work.profile_keys[index], image.clone());
+                    store.save_profile(key, image.clone());
+                }
+                // Write-behind to the scale's ring owner, so the next
+                // daemon to miss on this key finds it fleet-side.
+                if let Some(federation) = ctx.federation {
+                    federation.offer_profile(key, &image);
                 }
                 work.slots.lock().unwrap()[index] = Some((data, image));
             }
@@ -570,6 +625,7 @@ mod tests {
             profiles: &profiles,
             psgs: &psgs,
             store: None,
+            federation: None,
             metrics: &metrics,
         };
 
@@ -616,6 +672,7 @@ mod tests {
             profiles: &profiles,
             psgs: &psgs,
             store: None,
+            federation: None,
             metrics: &metrics,
         };
         // Deadlocks at every scale: rank 0 waits on a recv nobody sends.

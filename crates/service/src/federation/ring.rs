@@ -1,0 +1,220 @@
+//! Rendezvous (highest-random-weight) hashing over the daemon fleet.
+//!
+//! Every member scores every key with the same process-independent
+//! FNV-1a ([`crate::hash::StableHasher`]) over `(key, member)`; the
+//! member with the highest score owns the key. Because the score is a
+//! pure function of the pair, any two daemons holding the same member
+//! set compute the same owner for every key — no coordination, no
+//! token table to replicate. And because removing a member only
+//! reassigns the keys *it* won (every other pair's score is untouched),
+//! membership churn remaps ~1/N of the key space instead of rehashing
+//! everything — the property the federation proptests pin.
+
+use crate::hash::StableHasher;
+
+/// An ordered, deduplicated member set with rendezvous ownership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// Member addresses, ascending and unique.
+    members: Vec<String>,
+}
+
+impl Ring {
+    /// Build a ring from any iterable of member addresses (sorted and
+    /// deduplicated, so insertion order never influences ownership).
+    pub fn new(members: impl IntoIterator<Item = String>) -> Ring {
+        let mut members: Vec<String> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        Ring { members }
+    }
+
+    /// The member list, ascending.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// No members at all.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `addr` is already a member.
+    pub fn contains(&self, addr: &str) -> bool {
+        self.members
+            .binary_search_by(|m| m.as_str().cmp(addr))
+            .is_ok()
+    }
+
+    /// Add a member; returns whether the set changed.
+    pub fn insert(&mut self, addr: &str) -> bool {
+        match self.members.binary_search_by(|m| m.as_str().cmp(addr)) {
+            Ok(_) => false,
+            Err(at) => {
+                self.members.insert(at, addr.to_string());
+                true
+            }
+        }
+    }
+
+    /// Remove a member; returns whether the set changed.
+    pub fn remove(&mut self, addr: &str) -> bool {
+        match self.members.binary_search_by(|m| m.as_str().cmp(addr)) {
+            Ok(at) => {
+                self.members.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The rendezvous score of one `(key, member)` pair.
+    ///
+    /// FNV-1a diffuses trailing bytes weakly (one xor-multiply), and
+    /// member addresses differ mostly in their final port digits — raw
+    /// FNV scores would hand some members far more than 1/N of the key
+    /// space. The splitmix64 finalizer gives every input bit even
+    /// influence over the comparison.
+    fn score(key: &str, member: &str) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(key);
+        h.write_str(member);
+        let mut x = h.finish();
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+
+    /// The member owning `key`: highest score wins, ties broken by the
+    /// larger address so the winner is unique and order-independent.
+    pub fn owner(&self, key: &str) -> Option<&str> {
+        self.members
+            .iter()
+            .max_by_key(|member| (Ring::score(key, member), member.as_str()))
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                let mut h = StableHasher::new();
+                h.write_usize(i);
+                h.hex()
+            })
+            .collect()
+    }
+
+    fn member_set(max: usize) -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec(0u16..500, 1..max + 1).prop_map(|ports| {
+            ports
+                .iter()
+                .map(|p| format!("10.0.0.1:{}", 7000 + p))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = Ring::new(["a:1".to_string()]);
+        for key in keys(64) {
+            assert_eq!(ring.owner(&key), Some("a:1"));
+        }
+        assert_eq!(Ring::new(std::iter::empty()).owner("k"), None);
+    }
+
+    #[test]
+    fn duplicates_and_order_are_normalized() {
+        let a = Ring::new(["b:2".to_string(), "a:1".to_string(), "b:2".to_string()]);
+        let b = Ring::new(["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains("a:1") && !a.contains("c:3"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Same member set ⇒ identical ownership on every node, however
+        /// the set was assembled.
+        #[test]
+        fn placement_is_order_independent(members in member_set(8), shift in 0usize..8) {
+            let forward = Ring::new(members.clone());
+            let mut rotated = members.clone();
+            rotated.rotate_left(shift % members.len().max(1));
+            rotated.reverse();
+            let backward = Ring::new(rotated);
+            prop_assert_eq!(forward.members(), backward.members());
+            for key in keys(128) {
+                prop_assert_eq!(forward.owner(&key), backward.owner(&key));
+            }
+        }
+
+        /// Removing one member reassigns exactly the keys it owned —
+        /// every other key keeps its owner (minimal disruption).
+        #[test]
+        fn removing_a_member_only_remaps_its_keys(members in member_set(8), victim in 0usize..8) {
+            let full = Ring::new(members.clone());
+            let victim = full.members()[victim % full.len()].clone();
+            let mut shrunk = full.clone();
+            shrunk.remove(&victim);
+            if shrunk.is_empty() {
+                return Ok(());
+            }
+            for key in keys(256) {
+                let before = full.owner(&key).unwrap();
+                let after = shrunk.owner(&key).unwrap();
+                if before != victim {
+                    prop_assert_eq!(before, after, "non-victim keys must not move");
+                }
+            }
+        }
+
+        /// Adding one member steals only the keys it now owns, and on a
+        /// uniform key space it takes roughly 1/N of them.
+        #[test]
+        fn adding_a_member_takes_about_one_nth(members in member_set(6)) {
+            let base = Ring::new(members.clone());
+            let mut grown = base.clone();
+            if !grown.insert("10.0.0.2:9999") {
+                return Ok(());
+            }
+            let sample = keys(1024);
+            let mut moved = 0usize;
+            for key in &sample {
+                let before = base.owner(key).unwrap();
+                let after = grown.owner(key).unwrap();
+                if before != after {
+                    prop_assert_eq!(after, "10.0.0.2:9999", "keys only move to the newcomer");
+                    moved += 1;
+                }
+            }
+            // Expected share is 1/N; allow a generous band around it so
+            // the test pins the property, not the RNG.
+            let n = grown.len();
+            let expected = sample.len() / n;
+            prop_assert!(
+                moved <= expected * 3 + 32,
+                "newcomer took {moved} of {} keys in an {n}-member ring (expected ~{expected})",
+                sample.len()
+            );
+            prop_assert!(
+                moved * 8 >= expected,
+                "newcomer took {moved} keys; a rendezvous ring cannot leave it empty-handed"
+            );
+        }
+    }
+}

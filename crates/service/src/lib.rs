@@ -70,6 +70,7 @@
 pub mod cache;
 pub mod client;
 pub mod exec;
+pub mod federation;
 pub mod hash;
 pub mod http;
 pub mod job;
@@ -89,6 +90,7 @@ pub mod store;
 pub use scalana_api::json;
 
 pub use cache::{JobStatus, Registry, StatsSnapshot};
+pub use federation::{Federation, PeerClient, PeerMetrics, Ring};
 pub use job::{JobProgram, JobSpec};
 pub use json::Json;
 pub use jsonify::{analysis_to_json, report_to_json};

@@ -83,6 +83,21 @@ impl ProfileCache {
         image
     }
 
+    /// Look one scale up *without* counting the outcome. The federation
+    /// serve path uses this: a peer's read-through probe must not skew
+    /// this daemon's own hit/miss accounting.
+    pub fn peek(&self, key: &str) -> Option<Bytes> {
+        self.images.get(key)
+    }
+
+    /// Reclassify the most recent miss as a hit: the scale was absent
+    /// locally but a federation peer supplied it, so no simulation ran —
+    /// which is what the hit/miss split measures.
+    pub fn redeem_miss(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Insert a freshly simulated scale's image.
     pub fn store(&self, key: String, image: Bytes) {
         let outcome = self.images.insert(key, image);

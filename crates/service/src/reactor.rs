@@ -54,11 +54,10 @@ const TOKEN_WAKE: u64 = 1;
 /// First connection token (monotonic, never reused).
 const TOKEN_FIRST_CONN: u64 = 2;
 
-/// Idle keep-alive connections are closed after this long without
-/// traffic — the same budget the blocking path enforced via its socket
-/// read timeout. Parked long-polls are exempt (their wait deadline
-/// bounds them instead).
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+// Idle keep-alive connections are closed after `State::idle_timeout`
+// (`--idle-timeout`, default 30 s) without traffic — the same budget
+// the blocking path enforced via its socket read timeout. Parked
+// long-polls are exempt (their wait deadline bounds them instead).
 /// How often the idle sweep runs.
 const IDLE_SWEEP_EVERY: Duration = Duration::from_secs(1);
 
@@ -799,7 +798,8 @@ impl Reactor<'_> {
                 .filter(|(_, conn)| {
                     conn.wait.is_none()
                         && conn.shed.is_none()
-                        && now.saturating_duration_since(conn.last_activity) > IDLE_TIMEOUT
+                        && now.saturating_duration_since(conn.last_activity)
+                            > self.state.idle_timeout
                 })
                 .map(|(token, _)| *token)
                 .collect();

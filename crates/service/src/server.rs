@@ -18,6 +18,12 @@
 //! GET  /v1/jobs/<id>/trace           per-job span timeline (terminal jobs)
 //! GET  /v1/healthz                   liveness probe
 //! POST /v1/shutdown                  graceful stop
+//! GET  /v1/store?after=&limit=       durable store view (paginated listing)
+//! POST /v1/store/gc                  run one LRU quota sweep
+//! GET  /v1/peer/ring                 federation ring (identity + members)
+//! POST /v1/peer/announce             a peer introduces itself
+//! GET/POST /v1/peer/profile/<key>    fetch / write-through one profile image
+//! GET/POST /v1/peer/psg/<key>        fetch / write-through one PSG trace
 //! ```
 //!
 //! Endpoints that predate versioning are still served at their
@@ -49,6 +55,7 @@
 
 use crate::cache::{JobStatus, Registry, RegistryObs, StatusView, SubmitOutcome, WaitOutcome};
 use crate::exec::{ExecCtx, Task};
+use crate::federation::{Federation, PeerMetrics};
 use crate::http::Request;
 #[cfg(not(target_os = "linux"))]
 use crate::http::{write_response_headers, MessageReader};
@@ -61,7 +68,8 @@ use crate::store::{DiskStore, RealIo, StoreIo};
 use scalana_api::diff::DiffSide;
 use scalana_api::{
     dto, paths, ApiError, DiffRequest, ErrorCode, JobPage, JobState, JobView, ListQuery,
-    ProgramRef, StatsResponse, SubmitAck, SubmitRequest, WaitQuery,
+    PeerAnnounce, PeerBlob, ProgramRef, StatsResponse, StoreQuery, SubmitAck, SubmitRequest,
+    WaitQuery,
 };
 use scalana_core::ScalAnaConfig;
 use scalana_obs::{self as obs, Family};
@@ -117,6 +125,19 @@ pub struct ServiceConfig {
     /// Filesystem access for the store. `None` uses the real
     /// filesystem; tests inject a [`crate::store::FaultIo`] here.
     pub store_io: Option<Arc<dyn StoreIo>>,
+    /// Federation seeds (`--peer`, repeatable): addresses of other
+    /// daemons to place on the rendezvous ring. Empty keeps the daemon
+    /// standalone (a single-member ring of itself).
+    pub peers: Vec<String>,
+    /// The address this daemon advertises to its peers (`--self-addr`).
+    /// `None` advertises the bound address — correct unless the daemon
+    /// binds a wildcard or sits behind a proxy.
+    pub self_addr: Option<String>,
+    /// Idle keep-alive connections are closed after this long without a
+    /// request (`--idle-timeout`). Peer pools hold longer-lived idle
+    /// connections than interactive clients, so federated fleets often
+    /// raise it.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -137,6 +158,9 @@ impl Default for ServiceConfig {
             store_dir: None,
             store_quota: 0,
             store_io: None,
+            peers: Vec::new(),
+            self_addr: None,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -160,6 +184,12 @@ pub(crate) struct State {
     /// The durable tier under the caches (`--store-dir`), or `None`
     /// for a memory-only daemon.
     pub(crate) store: Option<Arc<DiskStore>>,
+    /// The fleet tier: ring membership, peer clients, and the
+    /// write-behind offer queue. Always present — a standalone daemon
+    /// holds a single-member ring and every federation call is a no-op.
+    pub(crate) federation: Arc<Federation>,
+    /// Idle keep-alive connections are swept after this long.
+    pub(crate) idle_timeout: Duration,
     pub(crate) workers: usize,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
@@ -191,6 +221,7 @@ impl State {
             profiles: &self.profiles,
             psgs: &self.psgs,
             store: self.store.as_deref(),
+            federation: Some(&self.federation),
             metrics: &self.metrics,
         }
     }
@@ -275,6 +306,18 @@ impl Server {
             }
             Arc::new(store)
         });
+        // Fleet tier: ring identity defaults to the bound address (with
+        // an ephemeral port that *is* the only address peers can dial).
+        let self_addr = config.self_addr.clone().unwrap_or_else(|| addr.to_string());
+        let federation = Arc::new(Federation::new(
+            self_addr,
+            &config.peers,
+            PeerMetrics {
+                requests: metrics.peer_requests.clone(),
+                hits: metrics.peer_hits.clone(),
+                fetch_ns: metrics.peer_fetch_ns.clone(),
+            },
+        ));
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -284,6 +327,8 @@ impl Server {
                 psgs: PsgCache::new(config.max_cached_psgs),
                 programs: ProgramIndex::new(config.max_indexed_programs),
                 store,
+                federation,
+                idle_timeout: config.idle_timeout.max(Duration::from_secs(1)),
                 workers: config.workers.max(1),
                 shutdown: AtomicBool::new(false),
                 addr,
@@ -311,6 +356,11 @@ impl Server {
         // their saves enqueue instead of blocking on fsync in the job
         // path.
         let store_writer = self.state.store.as_ref().map(DiskStore::start_writer);
+        // The federation's writer settles peer offers off the job path
+        // the same way; the startup announcements ride it too, so a
+        // seed that is still booting delays nothing here.
+        let peer_writer = self.state.federation.start_writer();
+        self.state.federation.announce_peers();
         let workers: Vec<_> = (0..self.state.workers)
             .map(|i| {
                 let state = Arc::clone(&self.state);
@@ -339,6 +389,8 @@ impl Server {
         if let Some(writer) = store_writer {
             let _ = writer.join();
         }
+        self.state.federation.stop_writer();
+        let _ = peer_writer.join();
         served
     }
 }
@@ -433,7 +485,7 @@ fn worker_loop(state: &State) {
 #[cfg(not(target_os = "linux"))]
 fn handle_connection(stream: TcpStream, state: &State) {
     let _guard = ConnGuard(&state.connections);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(state.idle_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     // Keep-alive exchanges are small request/response pairs; Nagle
     // batching would add delayed-ACK latency to every one of them.
@@ -662,6 +714,10 @@ fn allowed_methods(segments: &[&str]) -> Option<&'static str> {
         ["diff"] => "POST",
         ["store"] => "GET",
         ["store", "gc"] => "POST",
+        ["peer", "ring"] => "GET",
+        ["peer", "announce"] => "POST",
+        ["peer", "profile", _] => "GET, POST",
+        ["peer", "psg", _] => "GET, POST",
         _ => return None,
     })
 }
@@ -678,6 +734,7 @@ fn born_in_v1(method: &str, segments: &[&str]) -> bool {
             | ("POST", ["diff"])
             | ("GET", ["store"])
             | ("POST", ["store", "gc"])
+            | (_, ["peer", ..])
     )
 }
 
@@ -763,8 +820,27 @@ pub(crate) fn route(request: &Request, state: &State) -> (Routed, Action) {
             (Routed::Done(profile(key, nprocs, state)), Action::None)
         }
         ("POST", ["diff"]) => (diff(request, state), Action::None),
-        ("GET", ["store"]) => (Routed::Done(store_info(state)), Action::None),
+        ("GET", ["store"]) => (Routed::Done(store_info(query, state)), Action::None),
         ("POST", ["store", "gc"]) => (Routed::Done(store_gc(state)), Action::None),
+        ("GET", ["peer", "ring"]) => (
+            Routed::Done(json_response(200, state.federation.ring_view().to_json())),
+            Action::None,
+        ),
+        ("POST", ["peer", "announce"]) => {
+            (Routed::Done(peer_announce(request, state)), Action::None)
+        }
+        ("GET", ["peer", "profile", key]) => {
+            (Routed::Done(peer_profile_get(key, state)), Action::None)
+        }
+        ("POST", ["peer", "profile", key]) => (
+            Routed::Done(peer_profile_post(key, request, state)),
+            Action::None,
+        ),
+        ("GET", ["peer", "psg", key]) => (Routed::Done(peer_psg_get(key, state)), Action::None),
+        ("POST", ["peer", "psg", key]) => (
+            Routed::Done(peer_psg_post(key, request, state)),
+            Action::None,
+        ),
         // Unreachable given the allow-list check, but a 404 beats UB in
         // a long-lived daemon if the two tables ever drift.
         _ => (
@@ -804,6 +880,7 @@ fn stats(state: &State) -> StatsResponse {
         .as_ref()
         .map(|s| s.snapshot())
         .unwrap_or_default();
+    let (peer_requests, peer_hits, peer_backlog) = state.federation.counters();
     StatsResponse {
         workers: state.workers,
         queue_depth: state.queue.depth(),
@@ -832,6 +909,9 @@ fn stats(state: &State) -> StatsResponse {
         store_entries: store.entries,
         store_bytes: store.bytes,
         store_degraded: store.degraded,
+        peer_requests,
+        peer_hits,
+        peer_backlog,
         version: env!("CARGO_PKG_VERSION").to_string(),
         uptime_ms: state.uptime_ms(),
     }
@@ -864,6 +944,12 @@ fn metrics_text(state: &State) -> Response {
         Family::counter("scalana_jobs_failed_total", s.failed),
         Family::counter("scalana_jobs_rejected_total", s.rejected),
         Family::counter("scalana_jobs_submitted_total", s.submitted),
+        Family::gauge("scalana_peer_backlog", s.peer_backlog),
+        Family::gauge(
+            "scalana_peer_breaker_open",
+            state.federation.open_breakers(),
+        ),
+        Family::gauge("scalana_peer_ring_size", state.federation.ring_len() as u64),
         Family::gauge("scalana_profiles_cached", s.profiles_cached as u64),
         Family::gauge("scalana_programs_indexed", s.programs_indexed as u64),
         Family::gauge("scalana_queue_depth", s.queue_depth as u64),
@@ -888,26 +974,36 @@ fn metrics_text(state: &State) -> Response {
     }
 }
 
-/// Cap on the per-file listing in `GET /v1/store` — the counters above
-/// it are always complete; the listing is a bounded sample so a huge
-/// store directory cannot balloon one response.
-const STORE_LIST_LIMIT: usize = 256;
-
-/// `GET /v1/store` — the durable tier's directory view: entry/byte
-/// totals, the configured quota, degradation state, and a bounded file
-/// listing. A memory-only daemon (no `--store-dir`) answers `404`.
-fn store_info(state: &State) -> Response {
+/// `GET /v1/store?after=&limit=` — the durable tier's directory view:
+/// entry/byte totals, the configured quota, degradation state, and one
+/// keyset-paginated page of the (name-sorted) file listing. The
+/// counters are always complete; the listing pages so a huge store
+/// directory cannot balloon one response — follow `next_after` until it
+/// is `null` for the full listing. A memory-only daemon (no
+/// `--store-dir`) answers `404`.
+fn store_info(query: &str, state: &State) -> Response {
     let Some(store) = state.store.as_ref() else {
         return error_response(&ApiError::new(
             ErrorCode::NotFound,
             "no store configured (start the daemon with --store-dir)",
         ));
     };
+    let page = match StoreQuery::from_query(&paths::parse_query(query)) {
+        Ok(page) => page,
+        Err(error) => return error_response(&error),
+    };
     let snapshot = store.snapshot();
     let files = store.list();
-    let listed: Vec<Json> = files
+    // Keyset, not offset: `after` names the last file of the previous
+    // page, so a sweep between pages skips entries instead of
+    // repeating or missing them.
+    let start = match &page.after {
+        Some(after) => files.partition_point(|(name, _)| name.as_str() <= after.as_str()),
+        None => 0,
+    };
+    let listed: Vec<Json> = files[start..]
         .iter()
-        .take(STORE_LIST_LIMIT)
+        .take(page.limit)
         .map(|(name, bytes)| {
             Json::obj(vec![
                 ("name", Json::Str(name.clone())),
@@ -915,6 +1011,14 @@ fn store_info(state: &State) -> Response {
             ])
         })
         .collect();
+    let next_after = if start + listed.len() < files.len() {
+        match files.get(start + listed.len() - 1) {
+            Some((name, _)) => Json::Str(name.clone()),
+            None => Json::Null,
+        }
+    } else {
+        Json::Null
+    };
     json_response(
         200,
         Json::obj(vec![
@@ -926,6 +1030,7 @@ fn store_info(state: &State) -> Response {
             ("files_listed", Json::Int(listed.len() as i64)),
             ("files_total", Json::Int(files.len() as i64)),
             ("files", Json::Arr(listed)),
+            ("next_after", next_after),
         ]),
     )
 }
@@ -957,6 +1062,132 @@ fn store_gc(state: &State) -> Response {
             ("bytes", Json::Int(snapshot.bytes as i64)),
         ]),
     )
+}
+
+/// `POST /v1/peer/announce` — a peer introduces itself; merge it into
+/// the ring and answer with our updated view (which the announcer
+/// merges back — two-way gossip, so transitively seeded fleets
+/// converge on one member set).
+fn peer_announce(request: &Request, state: &State) -> Response {
+    let doc = match parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return error_response(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
+        }
+    };
+    match PeerAnnounce::from_json(&doc) {
+        Ok(announce) => json_response(200, state.federation.announce(&announce.addr).to_json()),
+        Err(error) => error_response(&error),
+    }
+}
+
+/// The `400` for a peer path whose `<key>` segment is not a cache key.
+fn peer_bad_key() -> Response {
+    error_response(&ApiError::bad_request(
+        "peer keys are 16 lowercase hex digits",
+    ))
+}
+
+/// `GET /v1/peer/profile/<key>` — serve one per-scale profile image to
+/// a peer, from the memory cache (without touching this daemon's
+/// hit/miss accounting — it is the *peer's* lookup) or the durable
+/// store beneath it.
+fn peer_profile_get(key: &str, state: &State) -> Response {
+    if !dto::valid_peer_key(key) {
+        return peer_bad_key();
+    }
+    let image = state.profiles.peek(key).or_else(|| {
+        state
+            .store
+            .as_ref()
+            .and_then(|store| store.read_profile(key))
+    });
+    match image {
+        Some(image) => json_response(200, PeerBlob::from_bytes(key, &image).to_json()),
+        None => error_response(&ApiError::new(ErrorCode::NotFound, "no such profile entry")),
+    }
+}
+
+/// `POST /v1/peer/profile/<key>` — a peer writes an entry through to us
+/// (we own its key). The payload must round-trip as a profile image
+/// before anything caches it: a mutated offer is rejected, never served
+/// onward.
+fn peer_profile_post(key: &str, request: &Request, state: &State) -> Response {
+    if !dto::valid_peer_key(key) {
+        return peer_bad_key();
+    }
+    let blob = match parse(&request.body)
+        .map_err(|e| ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
+        .and_then(|doc| PeerBlob::from_json(&doc))
+    {
+        Ok(blob) => blob,
+        Err(error) => return error_response(&error),
+    };
+    if blob.key != key {
+        return error_response(&ApiError::bad_request("body key does not match path key"));
+    }
+    let image = match blob.bytes() {
+        Ok(bytes) => bytes::Bytes::from(bytes),
+        Err(error) => return error_response(&error),
+    };
+    if scalana_profile::store::load(image.clone()).is_err() {
+        return error_response(&ApiError::bad_request(
+            "payload is not a valid profile image",
+        ));
+    }
+    state.profiles.store(key.to_string(), image.clone());
+    if let Some(store) = state.store.as_ref() {
+        store.save_profile(key, image);
+    }
+    json_response(200, dto::ok_body())
+}
+
+/// `GET /v1/peer/psg/<key>` — serve one encoded PSG discovery trace,
+/// from the federation shelf or the durable store.
+fn peer_psg_get(key: &str, state: &State) -> Response {
+    if !dto::valid_peer_key(key) {
+        return peer_bad_key();
+    }
+    let trace = state
+        .federation
+        .lookup_psg_trace(key)
+        .or_else(|| state.store.as_ref().and_then(|store| store.psg_trace(key)));
+    match trace {
+        Some(trace) => json_response(200, PeerBlob::from_bytes(key, &trace).to_json()),
+        None => error_response(&ApiError::new(ErrorCode::NotFound, "no such trace entry")),
+    }
+}
+
+/// `POST /v1/peer/psg/<key>` — a peer writes a discovery trace through
+/// to us. Decoded before anything caches it, same as profiles.
+fn peer_psg_post(key: &str, request: &Request, state: &State) -> Response {
+    if !dto::valid_peer_key(key) {
+        return peer_bad_key();
+    }
+    let blob = match parse(&request.body)
+        .map_err(|e| ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))
+        .and_then(|doc| PeerBlob::from_json(&doc))
+    {
+        Ok(blob) => blob,
+        Err(error) => return error_response(&error),
+    };
+    if blob.key != key {
+        return error_response(&ApiError::bad_request("body key does not match path key"));
+    }
+    let encoded = match blob.bytes() {
+        Ok(bytes) => bytes::Bytes::from(bytes),
+        Err(error) => return error_response(&error),
+    };
+    if crate::store::decode_trace(encoded.clone()).is_none() {
+        return error_response(&ApiError::bad_request(
+            "payload is not a valid discovery trace",
+        ));
+    }
+    state.federation.record_psg_trace(key, encoded.clone());
+    if let Some(store) = state.store.as_ref() {
+        store.save_psg_trace(key, encoded);
+    }
+    json_response(200, dto::ok_body())
 }
 
 /// `GET /v1/jobs/<id>/trace` — the job's span timeline. Traces exist
@@ -1408,6 +1639,12 @@ mod tests {
             (paths::DIFF.to_string(), "POST"),
             (paths::STORE.to_string(), "GET"),
             (paths::STORE_GC.to_string(), "POST"),
+            (paths::PEER_RING.to_string(), "GET"),
+            (paths::PEER_ANNOUNCE.to_string(), "POST"),
+            (paths::peer_profile("k"), "GET"),
+            (paths::peer_profile("k"), "POST"),
+            (paths::peer_psg("k"), "GET"),
+            (paths::peer_psg("k"), "POST"),
         ] {
             let (path, _) = paths::split_target(&target);
             let segments: Vec<&str> = path

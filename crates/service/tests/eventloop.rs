@@ -103,6 +103,48 @@ fn graceful_shutdown_flushes_pending_store_writes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--idle-timeout` drives the reactor's idle sweep: a connection that
+/// goes silent for longer than the configured window is closed (EOF on
+/// the client side), while a shorter silence survives. The default used
+/// to be a hardcoded 30 s, which no test could afford to wait out.
+#[test]
+fn idle_connections_are_swept_after_the_configured_timeout() {
+    let (addr, _exited) = boot(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 4,
+        idle_timeout: Duration::from_secs(1),
+        ..ServiceConfig::default()
+    });
+
+    // Prove the connection works, then go silent past the window.
+    let mut socket = TcpStream::connect(&addr).unwrap();
+    let request = "GET /v1/healthz HTTP/1.1\r\nHost: eventloop\r\n\r\n";
+    socket.write_all(request.as_bytes()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 1024];
+    let n = socket.read(&mut buf).unwrap();
+    assert!(buf[..n].starts_with(b"HTTP/1.1 200 "));
+
+    // The sweep cadence is coarse; allow a couple of periods.
+    let mut eof = Vec::new();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let swept = socket.read_to_end(&mut eof);
+    assert!(
+        matches!(swept, Ok(0)),
+        "idle connection must be closed by the sweep, got {swept:?} ({eof:?})"
+    );
+
+    // A fresh connection is still served after the sweep.
+    let (code, _) = client::request(&addr, "GET", paths::HEALTHZ, "").unwrap();
+    assert_eq!(code, 200);
+    let _ = client::request(&addr, "POST", paths::SHUTDOWN, "");
+}
+
 /// The motivating bug: every parked long-poll used to hold one of the
 /// 256 connection threads, so 256 slow waiters starved every new submit
 /// into a 503 shed. Park more waiters than that old cap and prove a

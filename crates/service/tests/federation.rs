@@ -1,0 +1,193 @@
+//! End-to-end federation: several in-process daemons on one rendezvous
+//! ring, exercised over real sockets. These pin the fleet-level
+//! contracts the unit tests cannot see — gossip convergence, remote
+//! read-through with exact hit/miss accounting, write-through to the
+//! owner, and the dead-peer degradation ladder.
+
+use scalana_api::paths;
+use scalana_service::client::Conn;
+use scalana_service::json::Json;
+use scalana_service::{client, Server, ServiceConfig};
+use std::time::{Duration, Instant};
+
+/// Boot one daemon with `peers` as federation seeds; returns its bound
+/// address (also its advertised ring identity).
+fn boot(peers: Vec<String>) -> String {
+    let server = Server::bind(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 16,
+        peers,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Poll `GET /v1/peer/ring` on every daemon until they all agree on a
+/// `members`-member ring (announce gossip is asynchronous).
+fn await_convergence(addrs: &[&str], members: usize) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    'outer: loop {
+        for addr in addrs {
+            let (code, body) = client::request(addr, "GET", paths::PEER_RING, "").unwrap();
+            assert_eq!(code, 200, "ring endpoint on {addr}: {body}");
+            let doc = scalana_service::json::parse(&body).unwrap();
+            let seen = doc
+                .get("members")
+                .and_then(Json::as_array)
+                .map_or(0, |m| m.len());
+            if seen != members {
+                assert!(
+                    Instant::now() < deadline,
+                    "{addr} still sees {seen}/{members} members"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+                continue 'outer;
+            }
+        }
+        return;
+    }
+}
+
+/// Poll a daemon's `/v1/stats` until its peer write-behind backlog is
+/// fully settled, so cross-daemon assertions are deterministic.
+fn await_backlog_drained(conn: &mut Conn) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while stat(conn, "peer_backlog") != 0 {
+        assert!(Instant::now() < deadline, "peer backlog never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stat(conn: &mut Conn, key: &str) -> u64 {
+    conn.request_json("GET", paths::STATS, "")
+        .unwrap()
+        .get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or(0) as u64
+}
+
+/// One counter sample from `/v1/metrics` (`name` includes the trailing
+/// space so prefixes cannot alias).
+fn metric(conn: &mut Conn, name: &str) -> u64 {
+    let (code, text) = conn.request("GET", paths::METRICS, "").unwrap();
+    assert_eq!(code, 200);
+    text.lines()
+        .find_map(|l| l.strip_prefix(name))
+        .and_then(|rest| rest.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing"))
+}
+
+/// Submit `source` over `scales` and wait it out; returns the job key.
+fn submit(conn: &mut Conn, source: &str, scales: &[usize]) -> String {
+    let body = Json::obj(vec![
+        ("source", source.into()),
+        ("name", "federation.mmpi".into()),
+        ("scales", scales.to_vec().into()),
+    ])
+    .render();
+    let ack = conn.request_json("POST", paths::JOBS, &body).unwrap();
+    let key = ack.get("job").unwrap().as_str().unwrap().to_string();
+    let done = conn.wait_for_job(&key, Duration::from_secs(120)).unwrap();
+    assert_eq!(
+        done.get("status").and_then(Json::as_str),
+        Some("done"),
+        "job must complete: {}",
+        done.render()
+    );
+    key
+}
+
+/// The analysis payload of `GET /v1/jobs/<key>/result` — the `report`
+/// and `runs` fragments, excluding measurement metadata
+/// (`detect_seconds` is wall-clock and legitimately varies).
+fn analysis(conn: &mut Conn, key: &str) -> (String, String) {
+    let doc = conn
+        .request_json("GET", &format!("{}/{key}/result", paths::JOBS), "")
+        .unwrap();
+    (
+        doc.get("report").unwrap().render(),
+        doc.get("runs").unwrap().render(),
+    )
+}
+
+const PROGRAM: &str = "fn main() {\n\
+                       \x20   for it in 0 .. 20 {\n\
+                       \x20       comp(cycles = 4000 / nprocs, ins = 4000 / nprocs);\n\
+                       \x20       if rank == 0 { comp(cycles = 500, ins = 500); }\n\
+                       \x20       barrier();\n\
+                       \x20       allreduce(bytes = 8);\n\
+                       \x20   }\n\
+                       }";
+
+/// The tentpole contract end to end: three daemons converge on one
+/// ring via announce gossip; a program analysed on daemon A is then
+/// served by daemon B with *zero* per-scale misses and *zero* simulator
+/// runs — every scale answered locally (write-through landed B's owned
+/// keys) or by the key's owner — and the analysis is byte-identical.
+#[test]
+fn fleet_serves_cross_daemon_resubmission_without_simulating() {
+    let a = boot(Vec::new());
+    let b = boot(vec![a.clone()]);
+    let c = boot(vec![a.clone(), b.clone()]);
+    await_convergence(&[&a, &b, &c], 3);
+
+    let mut conn_a = Conn::connect(&a).unwrap();
+    let mut conn_b = Conn::connect(&b).unwrap();
+
+    // Cold analysis on A; its write-behind must fully settle so every
+    // owner holds its shard before B is asked.
+    let key_a = submit(&mut conn_a, PROGRAM, &[2, 4]);
+    await_backlog_drained(&mut conn_a);
+
+    let misses_before = stat(&mut conn_b, "scale_misses");
+    let sims_before = metric(&mut conn_b, "scalana_sim_runs_total ");
+    let key_b = submit(&mut conn_b, PROGRAM, &[2, 4]);
+    assert_eq!(key_a, key_b, "content-addressed job keys must agree");
+
+    assert_eq!(
+        stat(&mut conn_b, "scale_misses") - misses_before,
+        0,
+        "every scale must be answered from the fleet, not simulated"
+    );
+    assert_eq!(
+        metric(&mut conn_b, "scalana_sim_runs_total ") - sims_before,
+        0,
+        "B must not touch the simulator"
+    );
+    assert_eq!(
+        analysis(&mut conn_a, &key_a),
+        analysis(&mut conn_b, &key_b),
+        "cross-daemon analysis must be byte-identical"
+    );
+
+    for addr in [&a, &b, &c] {
+        let _ = client::request(addr, "POST", paths::SHUTDOWN, "");
+    }
+}
+
+/// Degradation, not denial: with the only peer dead, every probe fails
+/// (then the breaker opens) and the daemon falls back to local
+/// simulation — requests keep succeeding.
+#[test]
+fn dead_peer_degrades_to_local_simulation() {
+    let a = boot(Vec::new());
+    let b = boot(vec![a.clone()]);
+    await_convergence(&[&a, &b], 2);
+
+    // Kill A; B still believes in the two-member ring.
+    let (code, _) = client::request(&a, "POST", paths::SHUTDOWN, "").unwrap();
+    assert_eq!(code, 200);
+
+    let mut conn_b = Conn::connect(&b).unwrap();
+    // Several distinct programs: enough owner probes to trip A's
+    // breaker, and every one of them must still complete.
+    for i in 0..4 {
+        let source = format!("param SALT = {i};\n{PROGRAM}");
+        submit(&mut conn_b, &source, &[2, 4]);
+    }
+    let _ = client::request(&b, "POST", paths::SHUTDOWN, "");
+}

@@ -358,8 +358,10 @@ pub fn run(config: &FuzzConfig) -> Result<FuzzStats, Box<Failure>> {
         stats.stmts += spec.stmt_count();
         if config.daemon.is_some() {
             stats.daemon_cases += 1;
-            // Submit-body mutants plus trace-id mutants.
-            stats.wire_requests += 2 * WIRE_ROUNDS;
+            // Submit-body mutants, trace-id mutants, and the four
+            // peer-surface mutants per round (profile + psg keys,
+            // announce body, write-through blob).
+            stats.wire_requests += 6 * WIRE_ROUNDS;
         }
     }
     Ok(stats)

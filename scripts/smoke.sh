@@ -34,12 +34,12 @@ echo "==> wgen differential fuzz sweep (30 generated cases, all oracles)"
 # `cargo test --workspace`; this sweep exercises a second fixed seed.
 WGEN_SEED=1337 WGEN_CASES=30 cargo test --quiet --release -p scalana-wgen
 
-echo "==> perfgate --quick (all eight bench suites, gated vs BENCH_pr8.json)"
+echo "==> perfgate --quick (all eight bench suites, gated vs BENCH_pr10.json)"
 mkdir -p target/perfgate
 # Generous factor (matching CI): the committed medians come from one
 # specific machine; the gate is for panics and order-of-magnitude
 # regressions, not machine variance.
 PERFGATE_FACTOR="${PERFGATE_FACTOR:-25}" cargo run --release -q -p scalana-bench --bin perfgate -- \
-  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr8.json
+  --quick --out target/perfgate/BENCH_quick.json --gate BENCH_pr10.json
 
 echo "smoke: all green"
